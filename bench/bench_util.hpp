@@ -1,0 +1,90 @@
+// Shared plumbing for the experiment benches (E1–E7): configuration from
+// the command line, table printing, CSV export, and paper-vs-measured rows.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "gsfl/common/cli.hpp"
+#include "gsfl/core/experiment.hpp"
+#include "gsfl/metrics/recorder.hpp"
+
+namespace gsfl::bench {
+
+/// Standard bench flags:
+///   --full            paper-scale configuration (32×32, 43 classes)
+///   --rounds=N        override the round budget
+///   --seed=S          override the master seed
+///   --csv=DIR         also write per-run CSV files into DIR
+struct BenchOptions {
+  core::ExperimentConfig config;
+  std::size_t rounds;
+  std::optional<std::string> csv_dir;
+
+  static BenchOptions parse(int argc, char** argv,
+                            std::size_t default_rounds,
+                            std::size_t full_rounds) {
+    const common::CliArgs args(argc, argv, {"full"});
+    BenchOptions options{
+        .config = args.has_flag("full") ? core::ExperimentConfig::paper()
+                                        : core::ExperimentConfig::scaled(),
+        .rounds = static_cast<std::size_t>(args.int_or(
+            "rounds", static_cast<std::int64_t>(
+                          args.has_flag("full") ? full_rounds
+                                                : default_rounds))),
+        .csv_dir = args.value("csv"),
+    };
+    options.config.seed = static_cast<std::uint64_t>(
+        args.int_or("seed", static_cast<std::int64_t>(options.config.seed)));
+    return options;
+  }
+};
+
+inline void print_header(const std::string& title,
+                         const core::ExperimentConfig& config) {
+  std::cout << "=== " << title << " ===\n"
+            << "world: " << config.num_clients << " clients, "
+            << config.num_groups << " groups, "
+            << config.dataset.num_classes << " classes, "
+            << config.dataset.image_size << "x" << config.dataset.image_size
+            << " px, cut layer " << config.cut_layer << ", "
+            << config.network.total_bandwidth_hz / 1e6 << " MHz band, seed "
+            << config.seed << "\n\n";
+}
+
+/// "paper: X, measured: Y" comparison row.
+inline void print_claim(const std::string& claim, const std::string& paper,
+                        const std::string& measured) {
+  std::printf("  %-52s paper: %-14s measured: %s\n", claim.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline std::string format_seconds(std::optional<double> seconds) {
+  if (!seconds) return "not reached";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f s", *seconds);
+  return buffer;
+}
+
+inline std::string format_percent(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", fraction * 100.0);
+  return buffer;
+}
+
+/// Write one run's per-round records to <dir>/<file>.
+inline void maybe_write_csv(const std::optional<std::string>& dir,
+                            const std::string& file,
+                            const metrics::RunRecorder& recorder) {
+  if (!dir) return;
+  std::filesystem::create_directories(*dir);
+  std::ofstream out(*dir + "/" + file);
+  recorder.write_csv(out);
+  std::cout << "  [csv] " << *dir << "/" << file << "\n";
+}
+
+}  // namespace gsfl::bench

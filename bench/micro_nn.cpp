@@ -1,0 +1,174 @@
+// E8 — substrate microbenchmarks (google-benchmark).
+//
+// Measures the numeric kernels every experiment rides on: GEMM, im2col
+// convolution, dense layers, loss, FedAvg aggregation, and the synthetic
+// image renderer. Counters report achieved FLOP/s so the latency model's
+// per-device FLOPS knob can be sanity-checked against real silicon.
+#include <benchmark/benchmark.h>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/data/synthetic_gtsrb.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/loss.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/schemes/aggregate.hpp"
+#include "gsfl/tensor/gemm.hpp"
+#include "gsfl/tensor/im2col.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = Tensor::uniform(Shape{n, n}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{n, n}, rng, -1, 1);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gsfl::tensor::gemm(1.0f, a, gsfl::tensor::Trans::kNo, b,
+                       gsfl::tensor::Trans::kNo, 0.0f, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(2.0 * n * n * n * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto a = Tensor::uniform(Shape{n, n}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{n, n}, rng, -1, 1);
+  Tensor c(Shape{n, n});
+  for (auto _ : state) {
+    gsfl::tensor::gemm(1.0f, a, gsfl::tensor::Trans::kYes, b,
+                       gsfl::tensor::Trans::kNo, 0.0f, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_GemmTransposed)->Arg(64)->Arg(128);
+
+void BM_Im2col(benchmark::State& state) {
+  Rng rng(3);
+  const auto image = Tensor::uniform(Shape{1, 3, 32, 32}, rng, 0, 1);
+  const gsfl::tensor::ConvGeometry geom{.in_channels = 3, .in_h = 32,
+                                        .in_w = 32, .kernel = 3,
+                                        .stride = 1, .pad = 1};
+  for (auto _ : state) {
+    auto cols = gsfl::tensor::im2col(image, 0, geom);
+    benchmark::DoNotOptimize(cols.data().data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  gsfl::nn::Conv2d conv(3, 8, 3, 1, 1, rng);
+  const auto x = Tensor::uniform(Shape{batch, 3, 32, 32}, rng, 0, 1);
+  const auto cost = conv.flops(x.shape());
+  for (auto _ : state) {
+    auto y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(cost.forward) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(8);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(5);
+  gsfl::nn::Conv2d conv(3, 8, 3, 1, 1, rng);
+  const auto x = Tensor::uniform(Shape{8, 3, 32, 32}, rng, 0, 1);
+  const auto y = conv.forward(x, true);
+  const auto grad = Tensor::uniform(y.shape(), rng, -1, 1);
+  for (auto _ : state) {
+    conv.zero_grad();
+    auto gx = conv.backward(grad);
+    benchmark::DoNotOptimize(gx.data().data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_DenseForward(benchmark::State& state) {
+  Rng rng(6);
+  gsfl::nn::Dense dense(1024, 256, rng);
+  const auto x = Tensor::uniform(Shape{16, 1024}, rng, -1, 1);
+  for (auto _ : state) {
+    auto y = dense.forward(x, true);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_DenseForward);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  Rng rng(7);
+  const auto logits = Tensor::uniform(Shape{64, 43}, rng, -4, 4);
+  std::vector<std::int32_t> labels(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    labels[i] = static_cast<std::int32_t>(i % 43);
+  }
+  for (auto _ : state) {
+    auto result = gsfl::nn::softmax_cross_entropy(logits, labels);
+    benchmark::DoNotOptimize(result.loss);
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy);
+
+void BM_ModelForwardBackward(benchmark::State& state) {
+  Rng rng(8);
+  gsfl::nn::CnnConfig config;  // paper-scale 32x32x3 → 43 classes
+  auto model = gsfl::nn::make_gtsrb_cnn(config, rng);
+  const auto x = Tensor::uniform(Shape{16, 3, 32, 32}, rng, 0, 1);
+  std::vector<std::int32_t> labels(16, 7);
+  const auto cost = model.flops(x.shape());
+  for (auto _ : state) {
+    model.zero_grad();
+    const auto logits = model.forward(x, true);
+    const auto loss = gsfl::nn::softmax_cross_entropy(logits, labels);
+    auto gx = model.backward(loss.grad_logits);
+    benchmark::DoNotOptimize(gx.data().data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      static_cast<double>(cost.forward + cost.backward) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModelForwardBackward);
+
+void BM_FedAvgAggregation(benchmark::State& state) {
+  const auto replicas = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  gsfl::nn::CnnConfig config;
+  auto model = gsfl::nn::make_gtsrb_cnn(config, rng);
+  std::vector<gsfl::nn::StateDict> states(replicas, model.state());
+  std::vector<double> weights(replicas, 1.0);
+  for (auto _ : state) {
+    auto avg = gsfl::schemes::fedavg_states(states, weights);
+    benchmark::DoNotOptimize(avg.data());
+  }
+}
+BENCHMARK(BM_FedAvgAggregation)->Arg(6)->Arg(30);
+
+void BM_SyntheticRender(benchmark::State& state) {
+  gsfl::data::SyntheticGtsrbConfig config;
+  config.image_size = 32;
+  config.num_classes = 43;
+  config.samples_per_class = 1;
+  const gsfl::data::SyntheticGtsrb generator(config);
+  Rng rng(10);
+  for (auto _ : state) {
+    auto ds = generator.generate_class(17, 1, rng);
+    benchmark::DoNotOptimize(ds.images().data().data());
+  }
+}
+BENCHMARK(BM_SyntheticRender);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// E3 — headline-numbers table (§III text): one summary row per scheme,
+// with the paper's three claims checked against measured values.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gsfl;
+  const auto options = bench::BenchOptions::parse(argc, argv,
+                                                  /*default_rounds=*/80,
+                                                  /*full_rounds=*/600);
+  bench::print_header("E3: headline claims (paper §III)", options.config);
+
+  const core::Experiment experiment(options.config);
+  schemes::ExperimentOptions run;
+  run.rounds = options.rounds;
+  run.eval_every = 2;
+
+  struct Row {
+    metrics::RunRecorder recorder;
+  };
+  std::vector<metrics::RunRecorder> runs;
+  {
+    auto cl = experiment.make_cl();
+    runs.push_back(schemes::run_experiment(*cl, experiment.test_set(), run));
+    auto sl = experiment.make_sl();
+    runs.push_back(schemes::run_experiment(*sl, experiment.test_set(), run));
+    auto gsfl_trainer = experiment.make_gsfl();
+    runs.push_back(
+        schemes::run_experiment(*gsfl_trainer, experiment.test_set(), run));
+    auto fl = experiment.make_fl();
+    runs.push_back(schemes::run_experiment(*fl, experiment.test_set(), run));
+  }
+
+  const double target = 0.90;
+  std::printf("%-6s %10s %14s %16s %12s\n", "scheme", "best_acc%",
+              "rounds_to_90%", "seconds_to_90%", "final_acc%");
+  for (const auto& r : runs) {
+    const auto rounds = r.rounds_to_accuracy(target, 2);
+    const auto seconds = r.seconds_to_accuracy(target, 2);
+    std::printf("%-6s %10.1f %14s %16s %12.1f\n", r.scheme_name().c_str(),
+                r.best_accuracy() * 100.0,
+                rounds ? std::to_string(*rounds).c_str() : "—",
+                seconds ? bench::format_seconds(seconds).c_str() : "—",
+                r.final_accuracy() * 100.0);
+  }
+  std::cout << '\n';
+
+  const auto& sl_run = runs[1];
+  const auto& gsfl_run = runs[2];
+  const auto& fl_run = runs[3];
+
+  // Claim 1: GSFL accuracy comparable to SL and CL.
+  {
+    const double gap = sl_run.best_accuracy() - gsfl_run.best_accuracy();
+    char measured[64];
+    std::snprintf(measured, sizeof(measured), "gap to SL = %.1f pp",
+                  gap * 100.0);
+    bench::print_claim("GSFL accuracy comparable to SL/CL", "comparable",
+                       measured);
+  }
+  // Claim 2: ~500% convergence-speed improvement over FL.
+  {
+    const auto g = gsfl_run.rounds_to_accuracy(target, 2);
+    const auto f = fl_run.rounds_to_accuracy(target, 2);
+    char measured[64];
+    if (g && f) {
+      std::snprintf(measured, sizeof(measured), "%.1fx in rounds",
+                    static_cast<double>(*f) / static_cast<double>(*g));
+    } else {
+      std::snprintf(measured, sizeof(measured), "target not reached");
+    }
+    bench::print_claim("GSFL convergence speed vs FL", "~5x", measured);
+  }
+  // Claim 3: ~31.45% delay reduction vs SL.
+  {
+    const auto g = gsfl_run.seconds_to_accuracy(target, 2);
+    const auto s = sl_run.seconds_to_accuracy(target, 2);
+    char measured[64];
+    if (g && s) {
+      std::snprintf(measured, sizeof(measured), "%.2f%%",
+                    (1.0 - *g / *s) * 100.0);
+    } else {
+      std::snprintf(measured, sizeof(measured), "target not reached");
+    }
+    bench::print_claim("GSFL delay reduction vs SL", "~31.45%", measured);
+  }
+
+  for (const auto& r : runs) {
+    bench::maybe_write_csv(options.csv_dir,
+                           "headline_" + r.scheme_name() + ".csv", r);
+  }
+  return 0;
+}

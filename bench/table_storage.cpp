@@ -1,0 +1,58 @@
+// E6 — server-side storage table (the paper's §I resource argument).
+//
+// "The simple combination scheme [SplitFed] requires equipping each client
+// with a server-side model ... consuming prohibitive storage resources."
+// GSFL stores M ≪ N replicas instead. This bench prints storage and one
+// round's latency for SL (1 replica), GSFL (M), and SplitFed (N).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gsfl;
+  const auto options = bench::BenchOptions::parse(argc, argv,
+                                                  /*default_rounds=*/1,
+                                                  /*full_rounds=*/1);
+  bench::print_header("E6: server-side model storage (paper §I)",
+                      options.config);
+
+  const core::Experiment experiment(options.config);
+  auto sl = experiment.make_sl();
+  auto gsfl_trainer = experiment.make_gsfl();
+  auto sfl = experiment.make_sfl();
+
+  const std::size_t one_replica = sl->split_model().server_state_bytes();
+  const std::size_t gsfl_storage = gsfl_trainer->server_storage_bytes();
+  const std::size_t sfl_storage = sfl->server_storage_bytes();
+
+  const double sl_round = sl->run_round().latency.total();
+  const double gsfl_round = gsfl_trainer->run_round().latency.total();
+  const double sfl_round = sfl->run_round().latency.total();
+
+  std::printf("%-8s %16s %18s %18s\n", "scheme", "server_models",
+              "server_storage_kB", "round_latency_s");
+  std::printf("%-8s %16zu %18.1f %18.4f\n", "SL", std::size_t{1},
+              static_cast<double>(one_replica) / 1024.0, sl_round);
+  std::printf("%-8s %16zu %18.1f %18.4f\n", "GSFL",
+              gsfl_trainer->num_groups(),
+              static_cast<double>(gsfl_storage) / 1024.0, gsfl_round);
+  std::printf("%-8s %16zu %18.1f %18.4f\n", "SFL",
+              experiment.network().num_clients(),
+              static_cast<double>(sfl_storage) / 1024.0, sfl_round);
+
+  std::cout << '\n';
+  char measured[64];
+  std::snprintf(measured, sizeof(measured), "%.0fx less than SFL (M=%zu vs N=%zu)",
+                static_cast<double>(sfl_storage) / gsfl_storage,
+                gsfl_trainer->num_groups(),
+                experiment.network().num_clients());
+  bench::print_claim("GSFL server storage vs per-client replicas",
+                     "M/N of SFL", measured);
+  bench::print_claim(
+      "GSFL keeps most of SFL's parallel speed-up",
+      "close to SFL",
+      gsfl_round < 0.6 * sl_round ? "yes (see round latency column)"
+                                  : "partially — profile-dependent");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Grouping under non-IID data: why *how* you group clients matters.
+//
+// Partitions the synthetic GTSRB data with label-skewed shards (each client
+// sees ~2 classes), then compares GSFL under contiguous, random, and
+// label-aware grouping: label imbalance of the groups, and accuracy after a
+// fixed round budget. Label-aware grouping gives every group a near-global
+// label mix, so its per-group models average better.
+#include <cstdio>
+#include <iostream>
+
+#include "gsfl/common/cli.hpp"
+#include "gsfl/core/experiment.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gsfl;
+  const common::CliArgs args(argc, argv);
+  const auto rounds = static_cast<std::size_t>(args.int_or("rounds", 40));
+
+  auto config = core::ExperimentConfig::scaled();
+  config.partition = core::PartitionKind::kShards;
+  config.shards_per_client = 1;  // extreme label skew: ~1 class per client
+
+  struct Policy {
+    const char* name;
+    core::GroupingPolicy policy;
+  };
+  const Policy policies[] = {
+      {"contiguous", core::GroupingPolicy::kContiguous},
+      {"random", core::GroupingPolicy::kRandom},
+      {"label-aware", core::GroupingPolicy::kLabelAware},
+  };
+
+  std::printf("%-12s %18s %14s %16s\n", "grouping", "label_imbalance",
+              "final_acc%", "rounds_to_80%");
+  for (const auto& p : policies) {
+    config.grouping = p.policy;
+    const core::Experiment experiment(config);
+    auto trainer = experiment.make_gsfl();
+
+    const double imbalance = core::grouping_label_imbalance(
+        trainer->groups(), experiment.client_data());
+
+    schemes::ExperimentOptions options;
+    options.rounds = rounds;
+    options.eval_every = 2;
+    const auto recorder =
+        schemes::run_experiment(*trainer, experiment.test_set(), options);
+    const auto r80 = recorder.rounds_to_accuracy(0.80, 2);
+
+    std::printf("%-12s %18.5f %14.1f %16s\n", p.name, imbalance,
+                recorder.final_accuracy() * 100.0,
+                r80 ? std::to_string(*r80).c_str() : "not reached");
+  }
+
+  std::cout << "\nLower imbalance -> each group's pooled data looks closer "
+               "to the global distribution,\nwhich is what FedAvg across "
+               "groups implicitly assumes. The label-aware greedy strategy\n"
+               "(see gsfl/core/grouping.hpp) minimizes exactly the imbalance "
+               "metric shown here.\n"
+               "At this miniature scale the accuracy column is noisy (one "
+               "seed, small test set);\nthe imbalance column is "
+               "deterministic and is the quantity the strategy optimizes.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Tiny command-line parser shared by benches and examples.
+//
+// Supports "--name=value", "--name value", and boolean "--flag" forms.
+// Unknown flags raise errors rather than being silently ignored so that
+// experiment scripts fail loudly on typos.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gsfl::common {
+
+class CliArgs {
+ public:
+  /// Parse argv. `known_flags` lists valid boolean flags; every other
+  /// "--name" is treated as a key expecting a value.
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& known_flags = {});
+
+  [[nodiscard]] bool has_flag(const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) const;
+
+  [[nodiscard]] std::string value_or(const std::string& name,
+                                     const std::string& fallback) const;
+  [[nodiscard]] std::int64_t int_or(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] double double_or(const std::string& name,
+                                 double fallback) const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+};
+
+}  // namespace gsfl::common

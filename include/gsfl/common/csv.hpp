@@ -1,0 +1,57 @@
+// CSV emission for experiment results.
+//
+// Benches write one row per measurement so results can be re-plotted
+// without re-running; CsvWriter handles quoting, header consistency, and
+// numeric formatting in one place.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace gsfl::common {
+
+/// One CSV cell: text, integer, or floating point.
+using CsvCell = std::variant<std::string, std::int64_t, double>;
+
+/// Streams rows of fixed arity to an std::ostream.
+///
+/// The header is written on construction; every row must match its width.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<CsvCell>& cells);
+  void row(std::initializer_list<CsvCell> cells) {
+    row(std::vector<CsvCell>(cells));
+  }
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Escape a single cell per RFC 4180 (quote if it contains , " or \n).
+  static std::string escape(const std::string& raw);
+
+ private:
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+/// CsvWriter that owns the file it writes to.
+class CsvFile {
+ public:
+  CsvFile(const std::string& path, std::vector<std::string> header);
+
+  CsvWriter& writer() { return writer_; }
+  void row(std::initializer_list<CsvCell> cells) { writer_.row(cells); }
+  void row(const std::vector<CsvCell>& cells) { writer_.row(cells); }
+
+ private:
+  std::ofstream file_;
+  CsvWriter writer_;
+};
+
+}  // namespace gsfl::common

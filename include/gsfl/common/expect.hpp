@@ -1,0 +1,54 @@
+// Contract-checking helpers used across the library.
+//
+// GSFL_EXPECT guards preconditions (caller bugs) and throws
+// std::invalid_argument; GSFL_ENSURE guards internal invariants
+// (library bugs) and throws std::logic_error. Both are always on:
+// this library drives simulations whose results must not be built
+// on silently-violated assumptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gsfl::common {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (std::string(kind) == "precondition") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace gsfl::common
+
+#define GSFL_EXPECT(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::gsfl::common::contract_failure("precondition", #cond, __FILE__,       \
+                                       __LINE__, "");                         \
+  } while (0)
+
+#define GSFL_EXPECT_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::gsfl::common::contract_failure("precondition", #cond, __FILE__,       \
+                                       __LINE__, (msg));                      \
+  } while (0)
+
+#define GSFL_ENSURE(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::gsfl::common::contract_failure("invariant", #cond, __FILE__,          \
+                                       __LINE__, "");                         \
+  } while (0)
+
+#define GSFL_ENSURE_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::gsfl::common::contract_failure("invariant", #cond, __FILE__,          \
+                                       __LINE__, (msg));                      \
+  } while (0)

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The library itself logs sparingly (benches and examples narrate their own
+// progress); the logger exists so long-running experiments can surface
+// per-round status without std::cout plumbing through every API.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gsfl::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+const char* to_string(LogLevel level);
+
+/// Stream-style log statement: collects the message and emits it (with a
+/// level prefix) on destruction, so a statement like
+///   LogMessage(LogLevel::kInfo) << "round " << r;
+/// produces exactly one line.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() {
+    if (level_ >= log_level() && log_level() != LogLevel::kOff) {
+      std::clog << '[' << to_string(level_) << "] " << stream_.str() << '\n';
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gsfl::common
+
+#define GSFL_LOG_DEBUG ::gsfl::common::LogMessage(::gsfl::common::LogLevel::kDebug)
+#define GSFL_LOG_INFO ::gsfl::common::LogMessage(::gsfl::common::LogLevel::kInfo)
+#define GSFL_LOG_WARN ::gsfl::common::LogMessage(::gsfl::common::LogLevel::kWarn)
+#define GSFL_LOG_ERROR ::gsfl::common::LogMessage(::gsfl::common::LogLevel::kError)

@@ -1,0 +1,39 @@
+// Unit helpers for the wireless model.
+//
+// The net/ and sim/ modules mix quantities whose units are easy to confuse
+// (dBm vs. watts, bits vs. bytes, Hz vs. MHz). These helpers keep every
+// conversion in one audited place.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace gsfl::common {
+
+constexpr double kBitsPerByte = 8.0;
+
+/// dBm → watts. 0 dBm == 1 mW.
+inline double dbm_to_watts(double dbm) { return 1e-3 * std::pow(10.0, dbm / 10.0); }
+
+/// watts → dBm.
+inline double watts_to_dbm(double watts) { return 10.0 * std::log10(watts / 1e-3); }
+
+/// dB ratio → linear ratio.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// linear ratio → dB.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+constexpr double mhz(double v) { return v * 1e6; }
+constexpr double ghz(double v) { return v * 1e9; }
+constexpr double kib(double v) { return v * 1024.0; }
+constexpr double mib(double v) { return v * 1024.0 * 1024.0; }
+constexpr double gflops(double v) { return v * 1e9; }
+constexpr double mflops(double v) { return v * 1e6; }
+
+/// Bytes → transmission seconds at `rate_bps` bits/second.
+inline double transmit_seconds(double bytes, double rate_bps) {
+  return bytes * kBitsPerByte / rate_bps;
+}
+
+}  // namespace gsfl::common

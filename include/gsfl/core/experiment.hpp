@@ -1,0 +1,99 @@
+// Experiment: one-stop construction of a complete, *fair* comparison.
+//
+// Every scheme in a figure must see the same world: identical synthetic
+// dataset, identical client partition, identical wireless network, and an
+// identical initial model. Experiment derives all of those from a single
+// seed and hands out independently constructed trainers that share them.
+//
+// Two canonical configurations are provided:
+//   - paper():  the paper's setup — 30 clients, 6 groups, 43-class 32×32
+//     GTSRB-like data (hours of CPU time; use for final runs).
+//   - scaled(): a laptop-scale variant (12 classes, 16×16, 30 clients) that
+//     preserves every *relative* behaviour the paper reports and finishes
+//     in minutes.
+#pragma once
+
+#include <memory>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/data/partition.hpp"
+#include "gsfl/data/synthetic_gtsrb.hpp"
+#include "gsfl/net/network.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/schemes/centralized.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "gsfl/schemes/split_learning.hpp"
+#include "gsfl/schemes/splitfed.hpp"
+
+namespace gsfl::core {
+
+enum class PartitionKind { kIid, kShards, kDirichlet };
+
+struct ExperimentConfig {
+  // Data.
+  data::SyntheticGtsrbConfig dataset;
+  PartitionKind partition = PartitionKind::kShards;
+  std::size_t shards_per_client = 2;
+  double dirichlet_alpha = 0.5;
+  std::size_t test_samples_per_class = 10;
+
+  // Population.
+  std::size_t num_clients = 30;
+  std::size_t num_groups = 6;
+
+  // Model.
+  nn::CnnConfig model;  ///< image_size/classes are overwritten from dataset
+  std::size_t cut_layer = 3;
+
+  // Wireless network.
+  net::NetworkConfig network;
+  double min_distance_m = 20.0;
+  double max_distance_m = 120.0;
+  double min_device_flops = 5e8;   ///< ~0.5 GFLOP/s (weak IoT class)
+  double max_device_flops = 4e9;   ///< ~4 GFLOP/s (phone class)
+
+  // Training.
+  schemes::TrainConfig train;
+  GroupingPolicy grouping = GroupingPolicy::kRoundRobin;
+
+  // Master seed: everything stochastic derives from this.
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] static ExperimentConfig paper();
+  [[nodiscard]] static ExperimentConfig scaled();
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const data::Dataset& test_set() const { return test_set_; }
+  [[nodiscard]] const std::vector<data::Dataset>& client_data() const {
+    return client_data_;
+  }
+  [[nodiscard]] const net::WirelessNetwork& network() const {
+    return network_;
+  }
+
+  /// A fresh copy of the shared initial model (identical weights each call).
+  [[nodiscard]] nn::Sequential initial_model() const;
+
+  [[nodiscard]] std::unique_ptr<schemes::CentralizedTrainer> make_cl() const;
+  [[nodiscard]] std::unique_ptr<schemes::FedAvgTrainer> make_fl() const;
+  [[nodiscard]] std::unique_ptr<schemes::SplitLearningTrainer> make_sl() const;
+  [[nodiscard]] std::unique_ptr<schemes::SplitFedTrainer> make_sfl() const;
+  [[nodiscard]] std::unique_ptr<GsflTrainer> make_gsfl() const;
+  /// GSFL with an overridden group count / cut layer (ablation sweeps).
+  [[nodiscard]] std::unique_ptr<GsflTrainer> make_gsfl(
+      std::size_t num_groups, std::size_t cut_layer) const;
+
+ private:
+  ExperimentConfig config_;
+  data::Dataset test_set_;
+  std::vector<data::Dataset> client_data_;
+  net::WirelessNetwork network_;
+  nn::Sequential initial_model_;
+};
+
+}  // namespace gsfl::core

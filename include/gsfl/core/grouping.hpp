@@ -1,0 +1,56 @@
+// Client grouping strategies for GSFL.
+//
+// The paper partitions N clients into M groups and trains the groups in
+// parallel; *how* clients are grouped is deferred to future work (§IV).
+// This module implements the obvious contenders so the grouping ablation
+// (bench E5) can quantify the choice:
+//   - round-robin: client i → group i mod M (the default; spreads any
+//     index-correlated heterogeneity evenly)
+//   - contiguous: blocks of N/M
+//   - random: a seeded shuffle dealt round-robin
+//   - label-aware: greedy balancing so every group's pooled label
+//     distribution approximates the global one (helps under non-IID splits,
+//     because each group's sequential pass then resembles an IID epoch)
+#pragma once
+
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/data/dataset.hpp"
+
+namespace gsfl::core {
+
+/// groups[g] = client indices belonging to group g (every client exactly
+/// once, no empty groups).
+using GroupAssignment = std::vector<std::vector<std::size_t>>;
+
+[[nodiscard]] GroupAssignment group_round_robin(std::size_t num_clients,
+                                                std::size_t num_groups);
+
+[[nodiscard]] GroupAssignment group_contiguous(std::size_t num_clients,
+                                               std::size_t num_groups);
+
+[[nodiscard]] GroupAssignment group_random(std::size_t num_clients,
+                                           std::size_t num_groups,
+                                           common::Rng& rng);
+
+/// Greedy label-distribution balancing: clients are assigned (largest
+/// dataset first) to the group whose pooled label histogram moves closest
+/// to the global histogram, subject to group sizes staying within one
+/// client of each other.
+[[nodiscard]] GroupAssignment group_label_aware(
+    const std::vector<data::Dataset>& client_data, std::size_t num_groups);
+
+/// True iff the assignment covers clients [0, num_clients) exactly once
+/// with no empty group.
+[[nodiscard]] bool is_valid_grouping(const GroupAssignment& groups,
+                                     std::size_t num_clients);
+
+/// Mean squared deviation between each group's pooled label distribution
+/// and the global distribution (0 = perfectly balanced groups). The metric
+/// the label-aware strategy minimizes greedily.
+[[nodiscard]] double grouping_label_imbalance(
+    const GroupAssignment& groups,
+    const std::vector<data::Dataset>& client_data);
+
+}  // namespace gsfl::core

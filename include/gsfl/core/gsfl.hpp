@@ -1,0 +1,115 @@
+// GSFL — group-based split federated learning (the paper's contribution).
+//
+// Round structure (paper §II):
+//   Step 1, model distribution — the AP splits the global model at the cut
+//     layer and downlinks the client-side model to the first client of each
+//     group. Each group also receives its own server-side replica (local to
+//     the AP: no radio cost, M× storage).
+//   Step 2, model training — within a group, members train sequentially in
+//     split-learning fashion, relaying the client-side model through the AP
+//     between members; the M groups run concurrently, splitting the band.
+//     The last member of each group uploads its client-side model.
+//   Step 3, model aggregation — the AP FedAvg-averages the M client-side
+//     and the M server-side models (sample-weighted) into the next round's
+//     global model.
+//
+// Simulated round latency = max over groups of the group's sequential chain
+// (distribution + per-member split epochs + relays + final upload), plus
+// aggregation compute. With M = 1 this is vanilla SL (plus a trivial
+// aggregation); with M = N and singleton groups it is exactly SplitFed.
+#pragma once
+
+#include "gsfl/core/grouping.hpp"
+#include "gsfl/data/sampler.hpp"
+#include "gsfl/nn/split.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+namespace gsfl::core {
+
+enum class GroupingPolicy {
+  kRoundRobin,
+  kContiguous,
+  kRandom,
+  kLabelAware,
+  kExplicit,  ///< use GsflConfig::explicit_groups as given
+};
+
+/// How the shared band is divided among the M concurrently training groups
+/// (the paper's §IV "rationally allocating communication bandwidth").
+enum class BandwidthPolicy {
+  kEqualShare,  ///< every group gets 1/M of the band (the paper's implicit choice)
+  kAdaptive,    ///< re-balance shares each round toward equal group radio time
+};
+
+struct GsflConfig {
+  std::size_t num_groups = 6;
+  std::size_t cut_layer = 3;
+  GroupingPolicy grouping = GroupingPolicy::kRoundRobin;
+  GroupAssignment explicit_groups;      ///< used iff grouping == kExplicit
+  std::uint64_t grouping_seed = 7;      ///< for GroupingPolicy::kRandom
+  BandwidthPolicy bandwidth = BandwidthPolicy::kEqualShare;
+
+  /// Failure injection: per-round probability that a client is unavailable
+  /// (battery, mobility, radio outage). A failed client is skipped — the
+  /// client-side model relays past it to the group's next available member;
+  /// a fully failed group contributes nothing to aggregation that round.
+  double client_failure_rate = 0.0;
+  std::uint64_t failure_seed = 99;
+
+  schemes::TrainConfig train;
+};
+
+class GsflTrainer final : public schemes::Trainer {
+ public:
+  GsflTrainer(const net::WirelessNetwork& network,
+              std::vector<data::Dataset> client_data,
+              nn::Sequential initial_model, GsflConfig config);
+
+  [[nodiscard]] nn::Sequential global_model() const override;
+
+  [[nodiscard]] const GroupAssignment& groups() const { return groups_; }
+  [[nodiscard]] std::size_t num_groups() const { return groups_.size(); }
+  [[nodiscard]] std::size_t cut_layer() const { return gsfl_config_.cut_layer; }
+
+  /// Server-side model storage at the AP (M replicas — the paper's
+  /// resource-efficiency argument vs. SplitFed's N replicas).
+  [[nodiscard]] std::size_t server_storage_bytes() const;
+  /// Client-side model bytes a device must hold / relay.
+  [[nodiscard]] std::size_t client_model_bytes() const;
+
+  /// Latency breakdown of each group's chain in the most recent round
+  /// (index-aligned with groups()); empty before the first round.
+  [[nodiscard]] const std::vector<sim::LatencyBreakdown>& last_group_chains()
+      const {
+    return last_group_chains_;
+  }
+
+  /// Current per-group bandwidth shares (sum to 1). Fixed at 1/M under
+  /// BandwidthPolicy::kEqualShare; re-balanced every round under kAdaptive.
+  [[nodiscard]] const std::vector<double>& group_shares() const {
+    return group_shares_;
+  }
+
+  /// Clients skipped by failure injection in the most recent round.
+  [[nodiscard]] const std::vector<std::size_t>& last_round_failures() const {
+    return last_round_failures_;
+  }
+
+ protected:
+  schemes::RoundResult do_round() override;
+
+ private:
+  GsflConfig gsfl_config_;
+  GroupAssignment groups_;
+  nn::Sequential global_client_;
+  nn::Sequential global_server_;
+  std::vector<data::BatchSampler> samplers_;  ///< one per client, persistent
+  std::vector<sim::LatencyBreakdown> last_group_chains_;
+  std::vector<double> group_shares_;
+  common::Rng failure_rng_;
+  std::vector<std::size_t> last_round_failures_;
+
+  void rebalance_shares();
+};
+
+}  // namespace gsfl::core

@@ -1,0 +1,64 @@
+// In-memory labeled image dataset (NCHW float images + integer labels).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// images: (N, C, H, W); labels: N entries in [0, num_classes).
+  Dataset(tensor::Tensor images, std::vector<std::int32_t> labels,
+          std::size_t num_classes);
+
+  [[nodiscard]] std::size_t size() const { return labels_.size(); }
+  [[nodiscard]] bool empty() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t num_classes() const { return num_classes_; }
+
+  [[nodiscard]] const tensor::Tensor& images() const { return images_; }
+  [[nodiscard]] std::span<const std::int32_t> labels() const {
+    return labels_;
+  }
+  /// Shape of one sample (C, H, W).
+  [[nodiscard]] tensor::Shape sample_shape() const;
+  /// Shape of a batch of `n` samples (n, C, H, W).
+  [[nodiscard]] tensor::Shape batch_shape(std::size_t n) const;
+
+  /// Gather a batch (copy) of the given sample indices.
+  [[nodiscard]] std::pair<tensor::Tensor, std::vector<std::int32_t>> gather(
+      std::span<const std::size_t> indices) const;
+
+  /// New dataset holding copies of the given samples.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Split into (train, test) with `test_fraction` of samples held out,
+  /// after a deterministic shuffle.
+  [[nodiscard]] std::pair<Dataset, Dataset> split_train_test(
+      double test_fraction, common::Rng& rng) const;
+
+  /// Count of samples per class.
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+  /// Raw storage size of the images (the payload CL clients would upload).
+  [[nodiscard]] std::size_t image_bytes() const {
+    return images_.size_bytes();
+  }
+
+  /// Concatenate datasets with identical sample shape and class count —
+  /// the "pooled data" view that centralized learning trains on.
+  [[nodiscard]] static Dataset concatenate(const std::vector<Dataset>& parts);
+
+ private:
+  tensor::Tensor images_;
+  std::vector<std::int32_t> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace gsfl::data

@@ -1,0 +1,38 @@
+// Image I/O for plugging the *real* GTSRB into the pipeline.
+//
+// The repository ships a synthetic GTSRB stand-in, but every consumer of
+// Dataset is format-agnostic: anyone holding the actual benchmark (or any
+// labeled RGB image set) can convert it to binary PPM (P6) — ImageMagick:
+// `mogrify -format ppm *.png` — write an `index.csv` of "file,label" rows,
+// and load it with load_image_directory(). Images are resized (nearest
+// neighbour) to the square geometry the models expect.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "gsfl/data/dataset.hpp"
+
+namespace gsfl::data {
+
+/// Read one binary P6 PPM (maxval 255) into a (3, H, W) tensor in [0, 1].
+[[nodiscard]] tensor::Tensor read_ppm(std::istream& in);
+[[nodiscard]] tensor::Tensor read_ppm_file(const std::string& path);
+
+/// Write a (3, H, W) tensor in [0, 1] as binary P6 PPM.
+void write_ppm(std::ostream& out, const tensor::Tensor& chw);
+void write_ppm_file(const std::string& path, const tensor::Tensor& chw);
+
+/// Nearest-neighbour resize of a (3, H, W) image to (3, size, size).
+[[nodiscard]] tensor::Tensor resize_nearest(const tensor::Tensor& chw,
+                                            std::size_t size);
+
+/// Load `dir/index.csv` ("relative/path.ppm,label" per line, '#' comments
+/// allowed) into a Dataset of `image_size`² images. Labels must lie in
+/// [0, num_classes).
+[[nodiscard]] Dataset load_image_directory(const std::string& dir,
+                                           std::size_t num_classes,
+                                           std::size_t image_size);
+
+}  // namespace gsfl::data

@@ -1,0 +1,51 @@
+// Client data partitioners.
+//
+// A Partition assigns every sample of a dataset to exactly one client.
+// Three strategies cover the federated-learning literature's usual spectrum:
+//   - IID: a uniform random split.
+//   - Shard (label-skew): sort by label, deal out contiguous shards; each
+//     client sees only a few classes. This is the classic McMahan et al.
+//     non-IID construction and the default for the paper reproduction.
+//   - Dirichlet: per-class client proportions drawn from Dir(α); α → ∞
+//     approaches IID, small α is highly skewed.
+#pragma once
+
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/data/dataset.hpp"
+
+namespace gsfl::data {
+
+/// partition[c] = indices (into the source dataset) owned by client c.
+using Partition = std::vector<std::vector<std::size_t>>;
+
+/// Uniform random split into `num_clients` near-equal parts.
+[[nodiscard]] Partition partition_iid(const Dataset& dataset,
+                                      std::size_t num_clients,
+                                      common::Rng& rng);
+
+/// Label-sorted shard split: `shards_per_client` shards are dealt to each
+/// client, so each client holds at most that many distinct label runs.
+[[nodiscard]] Partition partition_shards(const Dataset& dataset,
+                                         std::size_t num_clients,
+                                         std::size_t shards_per_client,
+                                         common::Rng& rng);
+
+/// Dirichlet(α) label-distribution split. Every client is guaranteed at
+/// least `min_samples` samples (re-sampled if necessary).
+[[nodiscard]] Partition partition_dirichlet(const Dataset& dataset,
+                                            std::size_t num_clients,
+                                            double alpha, common::Rng& rng,
+                                            std::size_t min_samples = 1,
+                                            std::size_t max_attempts = 100);
+
+/// Validate that `partition` covers every sample exactly once.
+[[nodiscard]] bool is_exact_cover(const Partition& partition,
+                                  std::size_t dataset_size);
+
+/// Materialize per-client datasets from a partition.
+[[nodiscard]] std::vector<Dataset> materialize(const Dataset& dataset,
+                                               const Partition& partition);
+
+}  // namespace gsfl::data

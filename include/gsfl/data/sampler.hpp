@@ -1,0 +1,55 @@
+// Mini-batch sampling.
+//
+// BatchSampler walks a dataset in shuffled order, one epoch at a time,
+// yielding index batches. Sampling is driven by a forked Rng stream so two
+// schemes handed the same seed visit identical batches — the foundation of
+// the library's scheme-equivalence tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/data/dataset.hpp"
+
+namespace gsfl::data {
+
+struct Batch {
+  tensor::Tensor images;             ///< (b, C, H, W)
+  std::vector<std::int32_t> labels;  ///< b entries
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+};
+
+class BatchSampler {
+ public:
+  /// `drop_last`: discard a trailing partial batch (keeps batch statistics
+  /// homogeneous); if the dataset is smaller than one batch the partial
+  /// batch is always kept.
+  BatchSampler(const Dataset& dataset, std::size_t batch_size,
+               common::Rng rng, bool drop_last = false);
+
+  /// Next batch, reshuffling at epoch boundaries.
+  [[nodiscard]] Batch next();
+
+  /// All batches of one fresh epoch, in order.
+  [[nodiscard]] std::vector<Batch> epoch();
+
+  /// Batches per epoch under the current settings.
+  [[nodiscard]] std::size_t batches_per_epoch() const;
+
+  [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
+  [[nodiscard]] const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  void reshuffle();
+
+  const Dataset* dataset_;  ///< non-owning; caller keeps the dataset alive
+  std::size_t batch_size_;
+  bool drop_last_;
+  common::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace gsfl::data

@@ -1,0 +1,74 @@
+// Synthetic GTSRB-like traffic-sign image generator.
+//
+// The real German Traffic Sign Recognition Benchmark cannot be bundled, so
+// this renderer produces procedurally generated stand-ins with the same
+// tensor geometry (3-channel square images, up to 43 classes). Each class is
+// a deterministic combination of sign silhouette (circle / triangle / octagon
+// / diamond / square), ring hue, and interior glyph; each *sample* randomizes
+// position, scale, brightness, background, and pixel noise. Classes are
+// separable by a small CNN but only after genuine training — random
+// initialization sits at chance accuracy, which is what the paper's
+// accuracy-vs-round curves require.
+#pragma once
+
+#include <cstdint>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/data/dataset.hpp"
+
+namespace gsfl::data {
+
+struct SyntheticGtsrbConfig {
+  std::size_t image_size = 32;       ///< square images, pixels
+  std::size_t num_classes = 43;      ///< ≤ 60 supported
+  std::size_t samples_per_class = 50;
+  float noise_stddev = 0.08f;        ///< additive Gaussian pixel noise
+  float jitter = 0.12f;              ///< max |center offset| as fraction of size
+  float min_scale = 0.60f;           ///< sign radius as fraction of half-size
+  float max_scale = 0.92f;
+};
+
+/// Sign silhouettes; class id selects one via id % 5.
+enum class SignShape : std::uint8_t {
+  kCircle = 0,
+  kTriangle,
+  kOctagon,
+  kDiamond,
+  kSquare,
+};
+
+/// Deterministic style for a class id (exposed for tests).
+struct SignStyle {
+  SignShape shape;
+  float hue;        ///< ring hue in [0, 1)
+  std::uint8_t glyph;  ///< interior glyph pattern id in [0, 4)
+};
+[[nodiscard]] SignStyle class_style(std::size_t class_id);
+
+/// HSV→RGB for hue in [0,1), s,v in [0,1] (exposed for tests).
+void hsv_to_rgb(float h, float s, float v, float& r, float& g, float& b);
+
+class SyntheticGtsrb {
+ public:
+  explicit SyntheticGtsrb(SyntheticGtsrbConfig config);
+
+  /// Generate a balanced dataset: samples_per_class images per class.
+  /// Different `rng` streams give disjoint-looking draws — use forked
+  /// streams for train vs. test.
+  [[nodiscard]] Dataset generate(common::Rng& rng) const;
+
+  /// Generate `count` images all of class `class_id`.
+  [[nodiscard]] Dataset generate_class(std::size_t class_id,
+                                       std::size_t count,
+                                       common::Rng& rng) const;
+
+  [[nodiscard]] const SyntheticGtsrbConfig& config() const { return config_; }
+
+ private:
+  void render_sample(std::size_t class_id, common::Rng& rng,
+                     float* pixels) const;
+
+  SyntheticGtsrbConfig config_;
+};
+
+}  // namespace gsfl::data

@@ -1,0 +1,19 @@
+// Model evaluation on a held-out dataset.
+#pragma once
+
+#include "gsfl/data/dataset.hpp"
+#include "gsfl/nn/sequential.hpp"
+
+namespace gsfl::metrics {
+
+struct EvalResult {
+  double accuracy = 0.0;  ///< fraction of correctly classified samples
+  double loss = 0.0;      ///< mean cross-entropy
+};
+
+/// Run `model` in evaluation mode over `dataset` in batches.
+[[nodiscard]] EvalResult evaluate(nn::Sequential& model,
+                                  const data::Dataset& dataset,
+                                  std::size_t batch_size = 64);
+
+}  // namespace gsfl::metrics

@@ -1,0 +1,54 @@
+// RunRecorder: the per-round record of one training run, and the
+// convergence queries the paper's figures are built from.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gsfl::metrics {
+
+struct RoundRecord {
+  std::size_t round = 0;         ///< 1-based round index
+  double sim_seconds = 0.0;      ///< cumulative simulated latency
+  double train_loss = 0.0;       ///< mean training loss this round
+  double eval_accuracy = 0.0;    ///< held-out accuracy after this round
+};
+
+class RunRecorder {
+ public:
+  explicit RunRecorder(std::string scheme_name)
+      : scheme_name_(std::move(scheme_name)) {}
+
+  void record(const RoundRecord& record);
+
+  [[nodiscard]] const std::string& scheme_name() const { return scheme_name_; }
+  [[nodiscard]] std::size_t rounds() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] const std::vector<RoundRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const RoundRecord& last() const;
+
+  [[nodiscard]] double best_accuracy() const;
+  [[nodiscard]] double final_accuracy() const;
+
+  /// First round whose `window`-round trailing mean accuracy reaches
+  /// `target` (smoothed to ignore single-round spikes). nullopt if never.
+  [[nodiscard]] std::optional<std::size_t> rounds_to_accuracy(
+      double target, std::size_t window = 3) const;
+
+  /// Cumulative simulated seconds at that round. nullopt if never reached.
+  [[nodiscard]] std::optional<double> seconds_to_accuracy(
+      double target, std::size_t window = 3) const;
+
+  /// Write "scheme,round,sim_seconds,train_loss,eval_accuracy" rows.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::string scheme_name_;
+  std::vector<RoundRecord> records_;
+};
+
+}  // namespace gsfl::metrics

@@ -1,0 +1,64 @@
+// Physical-layer model: log-distance path loss + AWGN Shannon capacity.
+//
+// The paper evaluates on "resource-limited wireless networks" without
+// publishing channel parameters, so this module implements the standard
+// textbook chain used by its reference [2] (split learning over wireless):
+//
+//   Prx[dBm] = Ptx[dBm] − PL(d),  PL(d) = PL(d0) + 10·γ·log10(d/d0)
+//   noise[W] = kT·B·NF           (thermal floor −174 dBm/Hz)
+//   SNR      = Prx / noise
+//   rate     = B · log2(1 + SNR)  bits/s
+//
+// Everything is deterministic unless a fading draw is requested explicitly.
+#pragma once
+
+#include "gsfl/common/rng.hpp"
+
+namespace gsfl::net {
+
+struct PathLossModel {
+  double reference_loss_db = 40.0;  ///< PL(d0) at the reference distance
+  double reference_distance_m = 1.0;
+  double exponent = 3.0;            ///< γ: 2 free space, 3–4 urban
+
+  /// Path loss in dB at distance `distance_m` (clamped to d0).
+  [[nodiscard]] double loss_db(double distance_m) const;
+};
+
+struct ChannelConfig {
+  PathLossModel path_loss;
+  double noise_figure_db = 7.0;
+  double thermal_noise_dbm_per_hz = -174.0;
+};
+
+/// One directional link: transmitter power, distance, bandwidth share.
+class ShannonLink {
+ public:
+  ShannonLink(const ChannelConfig& config, double tx_power_dbm,
+              double distance_m);
+
+  /// Linear SNR when the receiver listens over `bandwidth_hz`.
+  [[nodiscard]] double snr(double bandwidth_hz) const;
+
+  /// Achievable rate (bits/s) over `bandwidth_hz`.
+  [[nodiscard]] double rate_bps(double bandwidth_hz) const;
+
+  /// Rate with an explicit Rayleigh fading power draw (mean 1). Used by the
+  /// stochastic latency benches; the deterministic path calls rate_bps().
+  [[nodiscard]] double faded_rate_bps(double bandwidth_hz,
+                                      common::Rng& rng) const;
+
+  /// Seconds to move `payload_bytes` over `bandwidth_hz`.
+  [[nodiscard]] double transmit_seconds(double payload_bytes,
+                                        double bandwidth_hz) const;
+
+  [[nodiscard]] double received_power_watts() const {
+    return received_power_watts_;
+  }
+
+ private:
+  double received_power_watts_;
+  double noise_density_watts_per_hz_;
+};
+
+}  // namespace gsfl::net

@@ -1,0 +1,89 @@
+// WirelessNetwork: one access point (with co-located edge server) and N
+// client devices, with per-client link rates and compute throughput.
+//
+// The network answers exactly the questions the training schemes ask:
+//   - how long does client c need to compute F flops?
+//   - how long does the edge server need?
+//   - how long does a payload of B bytes take uplink/downlink for client c,
+//     when the client is entitled to a given fraction of the band?
+//
+// Bandwidth shares encode medium contention: in vanilla SL one client
+// transmits at a time (share 1), in GSFL the M concurrently-training groups
+// split the band (share 1/M), in FL all N clients upload at once (share 1/N).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/net/channel.hpp"
+
+namespace gsfl::net {
+
+/// A client device: radio + compute capabilities.
+struct DeviceProfile {
+  double distance_m = 50.0;      ///< distance to the AP
+  double tx_power_dbm = 20.0;    ///< uplink transmit power (100 mW class)
+  double compute_flops = 1e9;    ///< effective device throughput (FLOP/s)
+};
+
+/// The access point / edge server.
+struct ApProfile {
+  double tx_power_dbm = 36.0;    ///< downlink transmit power (4 W class)
+  double compute_flops = 1e11;   ///< edge-server throughput (FLOP/s)
+};
+
+struct NetworkConfig {
+  double total_bandwidth_hz = 10e6;  ///< shared band, split by contention
+  ChannelConfig channel;
+  ApProfile ap;
+};
+
+class WirelessNetwork {
+ public:
+  WirelessNetwork(NetworkConfig config, std::vector<DeviceProfile> clients);
+
+  /// Deterministically heterogeneous fleet: distances uniform in
+  /// [min_distance, max_distance], compute uniform in [min_flops, max_flops].
+  [[nodiscard]] static WirelessNetwork make_uniform_random(
+      NetworkConfig config, std::size_t num_clients, double min_distance_m,
+      double max_distance_m, double min_flops, double max_flops,
+      common::Rng& rng);
+
+  [[nodiscard]] std::size_t num_clients() const { return clients_.size(); }
+  [[nodiscard]] const DeviceProfile& client(std::size_t index) const;
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Achievable uplink rate (bits/s) for a client granted `bandwidth_share`
+  /// ∈ (0, 1] of the band.
+  [[nodiscard]] double uplink_rate_bps(std::size_t client,
+                                       double bandwidth_share) const;
+  [[nodiscard]] double downlink_rate_bps(std::size_t client,
+                                         double bandwidth_share) const;
+
+  /// Transfer latencies in seconds.
+  [[nodiscard]] double uplink_seconds(std::size_t client, double payload_bytes,
+                                      double bandwidth_share) const;
+  [[nodiscard]] double downlink_seconds(std::size_t client,
+                                        double payload_bytes,
+                                        double bandwidth_share) const;
+
+  /// Compute latencies in seconds.
+  [[nodiscard]] double client_compute_seconds(std::size_t client,
+                                              double flops) const;
+  [[nodiscard]] double server_compute_seconds(double flops) const;
+
+  /// AP-relayed hand-off of a payload from one client to another
+  /// (uplink from `from`, then downlink to `to`).
+  [[nodiscard]] double relay_seconds(std::size_t from, std::size_t to,
+                                     double payload_bytes,
+                                     double bandwidth_share) const;
+
+ private:
+  NetworkConfig config_;
+  std::vector<DeviceProfile> clients_;
+  std::vector<ShannonLink> uplinks_;
+  std::vector<ShannonLink> downlinks_;
+};
+
+}  // namespace gsfl::net

@@ -1,0 +1,96 @@
+// Elementwise activation layers: ReLU, LeakyReLU, Tanh, Sigmoid.
+#pragma once
+
+#include "gsfl/nn/layer.hpp"
+
+namespace gsfl::nn {
+
+/// Common base for stateless elementwise activations; derived classes
+/// provide the scalar function and its derivative in terms of the cached
+/// forward input/output.
+class Activation : public Layer {
+ public:
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    return input;
+  }
+  [[nodiscard]] FlopCount flops(const Shape& input) const override {
+    const std::uint64_t n = input.numel();
+    return FlopCount{n, n};
+  }
+
+ protected:
+  [[nodiscard]] virtual float apply(float x) const = 0;
+  /// Derivative given the input x and the output y = apply(x).
+  [[nodiscard]] virtual float derivative(float x, float y) const = 0;
+
+  Tensor cached_input_;
+  Tensor cached_output_;
+};
+
+class Relu final : public Activation {
+ public:
+  [[nodiscard]] std::string name() const override { return "relu"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Relu>(*this);
+  }
+
+ protected:
+  [[nodiscard]] float apply(float x) const override { return x > 0 ? x : 0; }
+  [[nodiscard]] float derivative(float x, float /*y*/) const override {
+    return x > 0 ? 1.0f : 0.0f;
+  }
+};
+
+class LeakyRelu final : public Activation {
+ public:
+  explicit LeakyRelu(float slope = 0.01f) : slope_(slope) {}
+  [[nodiscard]] std::string name() const override { return "leaky_relu"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<LeakyRelu>(*this);
+  }
+
+ protected:
+  [[nodiscard]] float apply(float x) const override {
+    return x > 0 ? x : slope_ * x;
+  }
+  [[nodiscard]] float derivative(float x, float /*y*/) const override {
+    return x > 0 ? 1.0f : slope_;
+  }
+
+ private:
+  float slope_;
+};
+
+class Tanh final : public Activation {
+ public:
+  [[nodiscard]] std::string name() const override { return "tanh"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Tanh>(*this);
+  }
+
+ protected:
+  [[nodiscard]] float apply(float x) const override;
+  [[nodiscard]] float derivative(float x, float y) const override {
+    (void)x;
+    return 1.0f - y * y;
+  }
+};
+
+class Sigmoid final : public Activation {
+ public:
+  [[nodiscard]] std::string name() const override { return "sigmoid"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Sigmoid>(*this);
+  }
+
+ protected:
+  [[nodiscard]] float apply(float x) const override;
+  [[nodiscard]] float derivative(float x, float y) const override {
+    (void)x;
+    return y * (1.0f - y);
+  }
+};
+
+}  // namespace gsfl::nn

@@ -1,0 +1,57 @@
+// Batch normalization over NCHW batches (per-channel statistics).
+//
+// Training uses batch statistics and maintains running estimates; evaluation
+// normalizes with the running estimates. The running statistics are exposed
+// as buffers() so model aggregation (FedAvg) can average them alongside the
+// trainable parameters — without this FL/GSFL evaluation would normalize
+// with whichever replica's statistics happened to survive.
+#pragma once
+
+#include "gsfl/nn/layer.hpp"
+
+namespace gsfl::nn {
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1f,
+                       float epsilon = 1e-5f);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::vector<Tensor*> parameters() override {
+    return {&gamma_, &beta_};
+  }
+  [[nodiscard]] std::vector<Tensor*> gradients() override {
+    return {&grad_gamma_, &grad_beta_};
+  }
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] FlopCount flops(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<BatchNorm2d>(*this);
+  }
+
+  /// Non-trainable state that still travels with the model (running stats).
+  [[nodiscard]] std::vector<Tensor*> buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+
+ private:
+  std::size_t channels_;
+  float momentum_;
+  float epsilon_;
+  Tensor gamma_;         ///< per-channel scale, init 1
+  Tensor beta_;          ///< per-channel shift, init 0
+  Tensor grad_gamma_;
+  Tensor grad_beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Forward caches (training mode) for backward.
+  Tensor cached_input_;
+  Tensor cached_normalized_;
+  std::vector<float> cached_mean_;
+  std::vector<float> cached_inv_std_;
+};
+
+}  // namespace gsfl::nn

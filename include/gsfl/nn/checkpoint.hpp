@@ -1,0 +1,28 @@
+// Model checkpointing: persist a model's StateDict to a binary stream/file.
+//
+// Format: magic "GSFC" | u32 version | u64 entry count | serialized tensors.
+// A checkpoint can be loaded into any architecturally identical model — the
+// same index-alignment contract that powers FedAvg aggregation.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "gsfl/nn/sequential.hpp"
+
+namespace gsfl::nn {
+
+/// Write `model`'s parameters + buffers.
+void save_checkpoint(std::ostream& out, const Sequential& model);
+void save_checkpoint_file(const std::string& path, const Sequential& model);
+
+/// Read a checkpoint into `model`; throws std::runtime_error on malformed
+/// input and std::invalid_argument on architecture mismatch.
+void load_checkpoint(std::istream& in, Sequential& model);
+void load_checkpoint_file(const std::string& path, Sequential& model);
+
+/// Read a checkpoint's raw state without a model (for inspection/averaging).
+[[nodiscard]] StateDict read_checkpoint_state(std::istream& in);
+
+}  // namespace gsfl::nn

@@ -1,0 +1,48 @@
+// 2-D convolution over NCHW batches, implemented as im2col + GEMM.
+#pragma once
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/nn/layer.hpp"
+#include "gsfl/tensor/im2col.hpp"
+
+namespace gsfl::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t pad,
+         common::Rng& rng);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::vector<Tensor*> parameters() override;
+  [[nodiscard]] std::vector<Tensor*> gradients() override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] FlopCount flops(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] std::size_t in_channels() const { return in_channels_; }
+  [[nodiscard]] std::size_t out_channels() const { return out_channels_; }
+  [[nodiscard]] Tensor& weight() { return weight_; }
+  [[nodiscard]] Tensor& bias() { return bias_; }
+
+ private:
+  [[nodiscard]] tensor::ConvGeometry geometry(const Shape& input) const;
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t pad_;
+  Tensor weight_;      ///< (out_c, in_c·k·k) — GEMM-ready layout
+  Tensor bias_;        ///< (out_c)
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+
+  // Forward caches for backward.
+  Shape cached_input_shape_;
+  std::vector<Tensor> cached_columns_;  ///< one im2col matrix per image
+};
+
+}  // namespace gsfl::nn

@@ -1,0 +1,40 @@
+// Fully-connected layer: y = x·Wᵀ + b.
+#pragma once
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/nn/layer.hpp"
+
+namespace gsfl::nn {
+
+class Dense final : public Layer {
+ public:
+  /// Weights are He-initialized from `rng`; bias starts at zero.
+  Dense(std::size_t in_features, std::size_t out_features, common::Rng& rng);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] std::vector<Tensor*> parameters() override;
+  [[nodiscard]] std::vector<Tensor*> gradients() override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] FlopCount flops(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] std::size_t in_features() const { return in_features_; }
+  [[nodiscard]] std::size_t out_features() const { return out_features_; }
+
+  /// Direct parameter access for tests.
+  [[nodiscard]] Tensor& weight() { return weight_; }
+  [[nodiscard]] Tensor& bias() { return bias_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  Tensor weight_;       ///< (out, in)
+  Tensor bias_;         ///< (out)
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  Tensor cached_input_; ///< (batch, in) from the last forward
+};
+
+}  // namespace gsfl::nn

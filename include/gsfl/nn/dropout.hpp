@@ -1,0 +1,40 @@
+// Inverted dropout.
+//
+// During training each unit is zeroed with probability p and survivors are
+// scaled by 1/(1-p) so the expected activation is unchanged; at evaluation
+// time the layer is the identity. The layer owns a forked RNG so cloned
+// models draw identical masks — a requirement for the library's
+// scheme-equivalence tests.
+#pragma once
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/nn/layer.hpp"
+
+namespace gsfl::nn {
+
+class Dropout final : public Layer {
+ public:
+  Dropout(float drop_probability, common::Rng& rng);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    return input;
+  }
+  [[nodiscard]] FlopCount flops(const Shape& input) const override {
+    const std::uint64_t n = input.numel();
+    return FlopCount{n, n};
+  }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dropout>(*this);
+  }
+
+ private:
+  float drop_probability_;
+  common::Rng rng_;
+  Tensor cached_mask_;  ///< scale factors applied in the last training pass
+  bool last_was_train_ = false;
+};
+
+}  // namespace gsfl::nn

@@ -1,0 +1,42 @@
+// Flatten: collapse every non-batch axis into one, (N, C, H, W) → (N, CHW).
+#pragma once
+
+#include "gsfl/nn/layer.hpp"
+
+namespace gsfl::nn {
+
+class Flatten final : public Layer {
+ public:
+  [[nodiscard]] std::string name() const override { return "flatten"; }
+
+  [[nodiscard]] Tensor forward(const Tensor& input, bool /*train*/) override {
+    GSFL_EXPECT(input.shape().rank() >= 2);
+    cached_input_shape_ = input.shape();
+    return input.reshape(output_shape(input.shape()));
+  }
+
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override {
+    GSFL_EXPECT_MSG(cached_input_shape_.rank() >= 2,
+                    "backward() requires a prior forward()");
+    GSFL_EXPECT(grad_output.numel() == cached_input_shape_.numel());
+    return grad_output.reshape(cached_input_shape_);
+  }
+
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    GSFL_EXPECT(input.rank() >= 2);
+    return Shape{input[0], input.numel() / input[0]};
+  }
+
+  [[nodiscard]] FlopCount flops(const Shape& /*input*/) const override {
+    return FlopCount{0, 0};
+  }
+
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace gsfl::nn

@@ -1,0 +1,21 @@
+// Weight initializers.
+//
+// Kept separate from the layers so tests can exercise initial-distribution
+// properties and so every layer draws from the experiment's single seeded
+// RNG (reproducibility across schemes requires identical initial weights).
+#pragma once
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::nn {
+
+/// He (Kaiming) normal: stddev = sqrt(2 / fan_in). Standard for ReLU nets.
+void he_normal(tensor::Tensor& weights, std::size_t fan_in,
+               common::Rng& rng);
+
+/// Xavier/Glorot uniform: limit = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(tensor::Tensor& weights, std::size_t fan_in,
+                    std::size_t fan_out, common::Rng& rng);
+
+}  // namespace gsfl::nn

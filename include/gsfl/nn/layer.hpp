@@ -1,0 +1,92 @@
+// Layer: the unit of composition for neural models.
+//
+// A Layer owns its parameters and gradients, caches whatever it needs from
+// the last forward() to run backward(), and reports its compute cost (FLOPs)
+// and parameter footprint so the wireless latency model can price client-side
+// and server-side work without executing it.
+//
+// Layers are deliberately stateful and not thread-safe: one Layer instance
+// belongs to one model replica. Replication (per-group models in GSFL,
+// per-client models in FL) goes through clone().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsfl/tensor/shape.hpp"
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Forward / backward floating-point operation counts for one pass over a
+/// given input shape (batch dimension included).
+struct FlopCount {
+  std::uint64_t forward = 0;
+  std::uint64_t backward = 0;
+
+  FlopCount& operator+=(const FlopCount& other) {
+    forward += other.forward;
+    backward += other.backward;
+    return *this;
+  }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Human-readable layer description, e.g. "conv2d(3->8,k3,s1,p1)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Run the layer on `input`; `train` selects training behaviour
+  /// (dropout masks, batch statistics). Caches activations for backward().
+  [[nodiscard]] virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+  /// Given d(loss)/d(output), accumulate parameter gradients and return
+  /// d(loss)/d(input). Must follow a forward() on the same instance.
+  [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters and their gradient buffers, in matching order.
+  /// Stateless layers return empty vectors.
+  [[nodiscard]] virtual std::vector<Tensor*> parameters() { return {}; }
+  [[nodiscard]] virtual std::vector<Tensor*> gradients() { return {}; }
+
+  /// Non-trainable state that still belongs to the model (e.g. batch-norm
+  /// running statistics). Included in state dicts and model aggregation but
+  /// never touched by optimizers.
+  [[nodiscard]] virtual std::vector<Tensor*> buffers() { return {}; }
+
+  /// Shape this layer produces for the given input shape (batch included).
+  [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// FLOPs for one forward/backward on the given input shape.
+  [[nodiscard]] virtual FlopCount flops(const Shape& input) const = 0;
+
+  /// Deep copy, including parameter values and any RNG state, so that a
+  /// clone and its source evolve identically given identical inputs.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Zero all gradient buffers.
+  void zero_grad() {
+    for (Tensor* g : gradients()) g->fill(0.0f);
+  }
+
+  /// Total trainable scalar parameters.
+  [[nodiscard]] std::size_t parameter_count() {
+    std::size_t n = 0;
+    for (const Tensor* p : parameters()) n += p->numel();
+    return n;
+  }
+
+ protected:
+  Layer() = default;
+  Layer(const Layer&) = default;
+  Layer& operator=(const Layer&) = default;
+};
+
+}  // namespace gsfl::nn

@@ -1,0 +1,31 @@
+// Softmax cross-entropy loss over integer class labels.
+//
+// Computed jointly (log-sum-exp form) for numerical stability; the gradient
+// with respect to the logits is the familiar (softmax − one-hot) / batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::nn {
+
+struct LossResult {
+  double loss = 0.0;              ///< mean cross-entropy over the batch
+  tensor::Tensor grad_logits;     ///< d(loss)/d(logits), shape (batch, classes)
+  tensor::Tensor probabilities;   ///< softmax outputs, shape (batch, classes)
+};
+
+/// logits: (batch, classes); labels: one class id per batch row.
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const tensor::Tensor& logits, std::span<const std::int32_t> labels);
+
+/// Row-wise softmax of a (batch, classes) tensor (inference helper).
+[[nodiscard]] tensor::Tensor softmax(const tensor::Tensor& logits);
+
+/// Fraction of rows whose argmax equals the label.
+[[nodiscard]] double accuracy(const tensor::Tensor& logits,
+                              std::span<const std::int32_t> labels);
+
+}  // namespace gsfl::nn

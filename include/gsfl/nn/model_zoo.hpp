@@ -1,0 +1,47 @@
+// Canonical model architectures used across examples, tests, and benches.
+#pragma once
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/nn/sequential.hpp"
+
+namespace gsfl::nn {
+
+struct CnnConfig {
+  std::size_t in_channels = 3;
+  std::size_t image_size = 32;     ///< square input images
+  std::size_t classes = 43;        ///< GTSRB has 43 traffic-sign classes
+  std::size_t conv1_filters = 8;
+  std::size_t conv2_filters = 16;
+  std::size_t conv3_filters = 0;   ///< 0 ⇒ two conv blocks; >0 ⇒ a third
+                                   ///< block (image_size must divide by 8)
+  std::size_t hidden = 64;
+  bool batch_norm = false;
+  float dropout = 0.0f;
+};
+
+/// The DeepThin-inspired lightweight traffic-sign CNN used throughout the
+/// paper reproduction:
+///   conv3x3 (pad 1) → [bn] → relu → maxpool2      (× 2 or 3 blocks)
+///   flatten → dense(hidden) → relu → [dropout] → dense(classes)
+[[nodiscard]] Sequential make_gtsrb_cnn(const CnnConfig& config,
+                                        common::Rng& rng);
+
+/// Three-block variant preset (closer to DeepThin's full depth [ref 4 of
+/// the paper]); ~4× the FLOPs of the default two-block model.
+[[nodiscard]] CnnConfig deep_cnn_config(std::size_t image_size = 32,
+                                        std::size_t classes = 43);
+
+/// Layer index after the first conv block — the paper's natural cut point
+/// (small client-side model, moderate smashed data).
+[[nodiscard]] std::size_t default_cut_layer(const CnnConfig& config);
+
+/// Number of distinct cut points (0..size inclusive is legal; this returns
+/// the model depth for sweep bounds).
+[[nodiscard]] std::size_t cut_layer_count(const CnnConfig& config);
+
+/// A plain MLP for fast unit tests: dense(h) → relu, repeated, → dense(out).
+[[nodiscard]] Sequential make_mlp(std::size_t in_features,
+                                  std::vector<std::size_t> hidden,
+                                  std::size_t out_features, common::Rng& rng);
+
+}  // namespace gsfl::nn

@@ -1,0 +1,96 @@
+// First-order optimizers.
+//
+// An Optimizer binds to a fixed list of (parameter, gradient) pairs — in
+// practice a model's parameters()/gradients() — and advances them on each
+// step(). Per-parameter state (momentum, Adam moments) is keyed by position,
+// so the binding must not change between steps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Bind to parameters and matching gradients (same order, same shapes).
+  void attach(std::vector<tensor::Tensor*> params,
+              std::vector<tensor::Tensor*> grads);
+
+  /// Apply one update using the currently accumulated gradients.
+  void step();
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ protected:
+  explicit Optimizer(double lr) : lr_(lr) {}
+
+  /// Called once at the start of each step(), before any update().
+  virtual void begin_step() {}
+
+  /// Update one parameter tensor from its gradient; `slot` identifies the
+  /// parameter for optimizers with per-parameter state.
+  virtual void update(std::size_t slot, tensor::Tensor& param,
+                      const tensor::Tensor& grad) = 0;
+
+  double lr_;
+  std::vector<tensor::Tensor*> params_;
+  std::vector<tensor::Tensor*> grads_;
+};
+
+/// Plain SGD with optional L2 weight decay: w ← w − lr · (g + λw).
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double weight_decay = 0.0);
+  [[nodiscard]] std::string name() const override { return "sgd"; }
+
+ protected:
+  void update(std::size_t slot, tensor::Tensor& param,
+              const tensor::Tensor& grad) override;
+
+ private:
+  double weight_decay_;
+};
+
+/// SGD with classical momentum: v ← μv + g; w ← w − lr·v.
+class MomentumSgd final : public Optimizer {
+ public:
+  MomentumSgd(double lr, double momentum, double weight_decay = 0.0);
+  [[nodiscard]] std::string name() const override { return "momentum"; }
+
+ protected:
+  void update(std::size_t slot, tensor::Tensor& param,
+              const tensor::Tensor& grad) override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8);
+  [[nodiscard]] std::string name() const override { return "adam"; }
+
+ protected:
+  void begin_step() override { ++t_; }
+  void update(std::size_t slot, tensor::Tensor& param,
+              const tensor::Tensor& grad) override;
+
+ private:
+  double beta1_, beta2_, epsilon_;
+  std::uint64_t t_ = 0;
+  std::vector<tensor::Tensor> m_, v_;
+};
+
+}  // namespace gsfl::nn

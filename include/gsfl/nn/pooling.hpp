@@ -1,0 +1,46 @@
+// Spatial pooling layers over NCHW batches.
+#pragma once
+
+#include "gsfl/nn/layer.hpp"
+
+namespace gsfl::nn {
+
+/// Max pooling with a square window; remembers argmax positions so backward
+/// routes each gradient to exactly the winning input element.
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t window, std::size_t stride = 0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] FlopCount flops(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t window_;
+  std::size_t stride_;
+  Shape cached_input_shape_;
+  std::vector<std::size_t> cached_argmax_;  ///< flat input index per output
+};
+
+/// Average pooling with a square window.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t window, std::size_t stride = 0);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+  [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] FlopCount flops(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t window_;
+  std::size_t stride_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace gsfl::nn

@@ -1,0 +1,82 @@
+// Sequential: an ordered stack of layers with a shared forward/backward
+// contract, plus the state-dict machinery that model distribution and
+// aggregation are built on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gsfl/nn/layer.hpp"
+
+namespace gsfl::nn {
+
+/// A model's full state: parameters followed by buffers, layer by layer.
+/// Two models built from the same architecture have index-aligned states,
+/// which is exactly the property FedAvg aggregation relies on.
+using StateDict = std::vector<Tensor>;
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Deep copy (clones every layer, including parameter values).
+  Sequential(const Sequential& other);
+  Sequential& operator=(const Sequential& other);
+  Sequential(Sequential&&) noexcept = default;
+  Sequential& operator=(Sequential&&) noexcept = default;
+
+  /// Append a layer; returns *this for builder-style chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] bool empty() const { return layers_.empty(); }
+  [[nodiscard]] Layer& layer(std::size_t i);
+  [[nodiscard]] const Layer& layer(std::size_t i) const;
+
+  /// Forward through every layer in order.
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train);
+
+  /// Backward through every layer in reverse; returns d(loss)/d(input).
+  [[nodiscard]] Tensor backward(const Tensor& grad_output);
+
+  void zero_grad();
+
+  [[nodiscard]] std::vector<Tensor*> parameters();
+  [[nodiscard]] std::vector<Tensor*> gradients();
+  [[nodiscard]] std::vector<Tensor*> buffers();
+
+  /// Copy of all parameters + buffers (the unit of model exchange).
+  [[nodiscard]] StateDict state() const;
+  /// Load a state produced by an architecturally identical model.
+  void load_state(const StateDict& state);
+
+  [[nodiscard]] std::size_t parameter_count() const;
+  /// Bytes needed to transmit the model (parameters + buffers, float32).
+  [[nodiscard]] std::size_t state_bytes() const;
+
+  [[nodiscard]] Shape output_shape(const Shape& input) const;
+  [[nodiscard]] FlopCount flops(const Shape& input) const;
+  /// Per-layer output shapes for the given input (index i = after layer i).
+  [[nodiscard]] std::vector<Shape> layer_output_shapes(const Shape& input) const;
+
+  [[nodiscard]] std::string summary(const Shape& input) const;
+
+  /// Split into [0, cut) and [cut, size) deep copies — the primitive beneath
+  /// SplitModel. `cut` may be 0 or size() (one side empty).
+  [[nodiscard]] std::pair<Sequential, Sequential> split(std::size_t cut) const;
+
+  /// Concatenate: layers of `head` followed by layers of `tail` (deep copies).
+  [[nodiscard]] static Sequential concatenate(const Sequential& head,
+                                              const Sequential& tail);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace gsfl::nn

@@ -1,0 +1,69 @@
+// SplitModel: a model divided at a cut layer into a client-side prefix and a
+// server-side suffix — the central object of split learning.
+//
+// The forward pass crosses the wireless link once (client → server, carrying
+// the "smashed data" activation) and the backward pass crosses it once more
+// (server → client, carrying the smashed-data gradient). SplitModel exposes
+// exactly those four half-passes plus the payload sizes each exchange puts
+// on the air, so training schemes and the latency model stay in lock-step.
+#pragma once
+
+#include <cstddef>
+
+#include "gsfl/nn/sequential.hpp"
+
+namespace gsfl::nn {
+
+class SplitModel {
+ public:
+  /// Split `full` before layer `cut_layer` (0 ⇒ empty client side,
+  /// full.size() ⇒ empty server side; both extremes are legal and degrade
+  /// to centralized-on-server / centralized-on-client respectively).
+  SplitModel(const Sequential& full, std::size_t cut_layer);
+
+  /// Assemble directly from the two halves.
+  SplitModel(Sequential client_side, Sequential server_side);
+
+  [[nodiscard]] std::size_t cut_layer() const { return cut_; }
+
+  [[nodiscard]] Sequential& client() { return client_; }
+  [[nodiscard]] const Sequential& client() const { return client_; }
+  [[nodiscard]] Sequential& server() { return server_; }
+  [[nodiscard]] const Sequential& server() const { return server_; }
+
+  /// Client half-pass: local data in, smashed data out.
+  [[nodiscard]] Tensor client_forward(const Tensor& input, bool train);
+  /// Server half-pass: smashed data in, logits out.
+  [[nodiscard]] Tensor server_forward(const Tensor& smashed, bool train);
+  /// Server backward: logits gradient in, smashed-data gradient out.
+  [[nodiscard]] Tensor server_backward(const Tensor& grad_logits);
+  /// Client backward: consumes the smashed-data gradient.
+  void client_backward(const Tensor& grad_smashed);
+
+  /// Whole-model convenience forward (evaluation path).
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train);
+
+  void zero_grad();
+
+  /// Reassembled full model (deep copy) — used for evaluation/aggregation.
+  [[nodiscard]] Sequential merged() const;
+
+  /// Shape of the smashed data for a given input shape.
+  [[nodiscard]] Shape smashed_shape(const Shape& input) const;
+  /// Bytes on the air for one smashed-data (or gradient) exchange.
+  [[nodiscard]] std::size_t smashed_bytes(const Shape& input) const;
+  /// Bytes on the air to move the client-side (resp. server-side) model.
+  [[nodiscard]] std::size_t client_state_bytes() const;
+  [[nodiscard]] std::size_t server_state_bytes() const;
+
+  /// FLOP counts per side for one batch of the given input shape.
+  [[nodiscard]] FlopCount client_flops(const Shape& input) const;
+  [[nodiscard]] FlopCount server_flops(const Shape& input) const;
+
+ private:
+  std::size_t cut_ = 0;
+  Sequential client_;
+  Sequential server_;
+};
+
+}  // namespace gsfl::nn

@@ -1,0 +1,30 @@
+// FedAvg aggregation of model state dicts.
+//
+// Both the FL baseline and GSFL's step-3 aggregation reduce K replicas to a
+// sample-weighted average, tensor by tensor. The FLOP model (2·K·P for K
+// replicas of P scalars) lets the latency simulation price aggregation at
+// the edge server.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gsfl/nn/sequential.hpp"
+
+namespace gsfl::schemes {
+
+/// Sample-weighted average of state dicts. Weights are normalized
+/// internally; all states must be index-aligned (same architecture).
+[[nodiscard]] nn::StateDict fedavg_states(
+    std::span<const nn::StateDict> states, std::span<const double> weights);
+
+/// Convenience: aggregate models in place of states.
+[[nodiscard]] nn::StateDict fedavg_models(
+    std::span<const nn::Sequential* const> models,
+    std::span<const double> weights);
+
+/// FLOPs to average `replicas` state dicts of `scalars` parameters each.
+[[nodiscard]] double aggregation_flops(std::size_t scalars,
+                                       std::size_t replicas);
+
+}  // namespace gsfl::schemes

@@ -1,0 +1,35 @@
+// Centralized learning (CL): the accuracy upper-bound baseline.
+//
+// All client data is pooled at the edge server and trained with ordinary
+// mini-batch SGD. One "round" processes the pooled data once (the same
+// number of samples every other scheme touches per round, keeping
+// accuracy-vs-round curves comparable). The latency model charges the
+// one-time raw-data upload on the first round — the very cost FL/SL/GSFL
+// exist to avoid — and server compute thereafter.
+#pragma once
+
+#include "gsfl/data/sampler.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+namespace gsfl::schemes {
+
+class CentralizedTrainer final : public Trainer {
+ public:
+  CentralizedTrainer(const net::WirelessNetwork& network,
+                     std::vector<data::Dataset> client_data,
+                     nn::Sequential initial_model, TrainConfig config);
+
+  [[nodiscard]] nn::Sequential global_model() const override { return model_; }
+
+ protected:
+  RoundResult do_round() override;
+
+ private:
+  nn::Sequential model_;
+  data::Dataset pooled_;
+  data::BatchSampler sampler_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+  bool data_uploaded_ = false;
+};
+
+}  // namespace gsfl::schemes

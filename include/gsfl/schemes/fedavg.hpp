@@ -1,0 +1,35 @@
+// Federated learning (FL) with FedAvg — McMahan et al. (2017).
+//
+// Each round every client downloads the full global model, trains
+// `local_epochs` passes over its local data on-device, and uploads the full
+// model; the AP averages (sample-weighted). All clients work concurrently,
+// so the round's span is the slowest client's download+train+upload chain,
+// with the N clients splitting the band while transmitting. The large
+// full-model payloads over weak uplinks are exactly the communication
+// bottleneck the paper's Fig. 2(a) holds against FL.
+#pragma once
+
+#include "gsfl/data/sampler.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+namespace gsfl::schemes {
+
+class FedAvgTrainer final : public Trainer {
+ public:
+  FedAvgTrainer(const net::WirelessNetwork& network,
+                std::vector<data::Dataset> client_data,
+                nn::Sequential initial_model, TrainConfig config);
+
+  [[nodiscard]] nn::Sequential global_model() const override {
+    return global_;
+  }
+
+ protected:
+  RoundResult do_round() override;
+
+ private:
+  nn::Sequential global_;
+  std::vector<data::BatchSampler> samplers_;  ///< one per client, persistent
+};
+
+}  // namespace gsfl::schemes

@@ -1,0 +1,48 @@
+// The split-training inner loop shared by vanilla SL, SplitFed, and GSFL.
+//
+// One call trains a single client's full local pass through a SplitModel and
+// accounts every latency component of the split-learning exchange:
+//
+//   client forward  → smashed-data uplink (+labels) → server forward
+//   server backward → smashed-gradient downlink     → client backward
+//
+// Charging happens per mini-batch so partial batches are priced exactly.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "gsfl/data/sampler.hpp"
+#include "gsfl/net/network.hpp"
+#include "gsfl/nn/optimizer.hpp"
+#include "gsfl/nn/split.hpp"
+#include "gsfl/sim/breakdown.hpp"
+
+namespace gsfl::schemes {
+
+struct SplitEpochResult {
+  double loss_sum = 0.0;        ///< sum of per-batch mean losses
+  std::size_t batches = 0;
+  std::size_t samples = 0;
+  sim::LatencyBreakdown latency;
+};
+
+/// Train one epoch of `sampler`'s dataset through `model`, updating both
+/// sides with the given optimizers (which must already be attached).
+/// `client_optimizer` may be null when the client side has no trainable
+/// parameters (cut layer 0 or an all-stateless prefix). `bandwidth_share`
+/// is the fraction of the band this client may use while transmitting
+/// (1 for vanilla SL, 1/M for GSFL, 1/N for SplitFed).
+[[nodiscard]] SplitEpochResult run_split_epoch(
+    nn::SplitModel& model, nn::Optimizer* client_optimizer,
+    nn::Optimizer& server_optimizer, data::BatchSampler& sampler,
+    const net::WirelessNetwork& network, std::size_t client_id,
+    double bandwidth_share);
+
+/// Attach a fresh optimizer to a model half; returns null when the half has
+/// no trainable parameters.
+[[nodiscard]] std::unique_ptr<nn::Optimizer> attach_optimizer(
+    nn::Sequential& half, const std::function<std::unique_ptr<nn::Optimizer>()>&
+                              factory);
+
+}  // namespace gsfl::schemes

@@ -1,0 +1,43 @@
+// Vanilla split learning (SL) — Gupta & Raskar (2018).
+//
+// One client-side model travels from client to client through the AP; one
+// server-side model lives at the edge server and updates continuously.
+// Clients train strictly sequentially, each running one split pass over its
+// local data per round; per-round this is mathematically plain SGD over the
+// union of client data, which is why SL tracks CL's accuracy curve — but
+// the sequential span across N clients makes each round slow, the weakness
+// GSFL attacks.
+#pragma once
+
+#include "gsfl/data/sampler.hpp"
+#include "gsfl/nn/split.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+namespace gsfl::schemes {
+
+class SplitLearningTrainer final : public Trainer {
+ public:
+  /// `cut_layer` splits `initial_model` into client/server sides.
+  SplitLearningTrainer(const net::WirelessNetwork& network,
+                       std::vector<data::Dataset> client_data,
+                       nn::Sequential initial_model, std::size_t cut_layer,
+                       TrainConfig config);
+
+  [[nodiscard]] nn::Sequential global_model() const override {
+    return model_.merged();
+  }
+
+  [[nodiscard]] const nn::SplitModel& split_model() const { return model_; }
+
+ protected:
+  RoundResult do_round() override;
+
+ private:
+  nn::SplitModel model_;
+  std::vector<data::BatchSampler> samplers_;
+  std::unique_ptr<nn::Optimizer> client_optimizer_;
+  std::unique_ptr<nn::Optimizer> server_optimizer_;
+  bool distributed_ = false;  ///< initial client-model download done?
+};
+
+}  // namespace gsfl::schemes

@@ -1,0 +1,40 @@
+// SplitFed learning (SFL) — Thapa et al. (2022), the hybrid the paper's
+// introduction critiques.
+//
+// Every client trains in parallel against its *own* server-side model
+// replica (N replicas at the edge server — the storage cost the paper calls
+// prohibitive), then both halves are FedAvg-aggregated. Included as the
+// natural upper-parallelism/upper-storage reference point for GSFL's
+// grouping trade-off (GSFL with M = N groups of one client degenerates to
+// exactly this scheme).
+#pragma once
+
+#include "gsfl/data/sampler.hpp"
+#include "gsfl/nn/split.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+namespace gsfl::schemes {
+
+class SplitFedTrainer final : public Trainer {
+ public:
+  SplitFedTrainer(const net::WirelessNetwork& network,
+                  std::vector<data::Dataset> client_data,
+                  nn::Sequential initial_model, std::size_t cut_layer,
+                  TrainConfig config);
+
+  [[nodiscard]] nn::Sequential global_model() const override;
+
+  /// Bytes of server-side model storage this scheme needs at the AP.
+  [[nodiscard]] std::size_t server_storage_bytes() const;
+
+ protected:
+  RoundResult do_round() override;
+
+ private:
+  std::size_t cut_layer_;
+  nn::Sequential global_client_;  ///< aggregated client-side model
+  nn::Sequential global_server_;  ///< aggregated server-side model
+  std::vector<data::BatchSampler> samplers_;
+};
+
+}  // namespace gsfl::schemes

@@ -1,0 +1,113 @@
+// Trainer: the common contract for every distributed-learning scheme.
+//
+// A Trainer owns the scheme's model replicas and per-client samplers and
+// advances one *global round* at a time, returning the round's mean training
+// loss and its simulated latency. The experiment driver layered on top
+// evaluates the global model between rounds and fills a RunRecorder — one
+// per scheme — from which every figure in the paper is plotted.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/data/dataset.hpp"
+#include "gsfl/metrics/recorder.hpp"
+#include "gsfl/net/network.hpp"
+#include "gsfl/nn/optimizer.hpp"
+#include "gsfl/nn/sequential.hpp"
+#include "gsfl/sim/breakdown.hpp"
+#include "gsfl/sim/timeline.hpp"
+
+namespace gsfl::schemes {
+
+/// Hyperparameters shared by all schemes.
+struct TrainConfig {
+  double learning_rate = 0.05;
+  double momentum = 0.0;        ///< 0 ⇒ plain SGD
+  double weight_decay = 0.0;
+  std::size_t batch_size = 16;
+  std::size_t local_epochs = 1; ///< FL-style local passes per round
+  std::uint64_t seed = 1;       ///< drives batch sampling (per-client forks)
+};
+
+struct RoundResult {
+  double train_loss = 0.0;          ///< sample-weighted mean over the round
+  sim::LatencyBreakdown latency;    ///< simulated cost of the round
+};
+
+class Trainer {
+ public:
+  Trainer(std::string name, const net::WirelessNetwork& network,
+          std::vector<data::Dataset> client_data, TrainConfig config);
+  virtual ~Trainer() = default;
+
+  Trainer(const Trainer&) = delete;
+  Trainer& operator=(const Trainer&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t num_clients() const {
+    return client_data_.size();
+  }
+  [[nodiscard]] const TrainConfig& config() const { return config_; }
+  [[nodiscard]] const net::WirelessNetwork& network() const {
+    return *network_;
+  }
+  [[nodiscard]] const data::Dataset& client_dataset(std::size_t c) const;
+  /// Completed global rounds.
+  [[nodiscard]] std::size_t rounds_completed() const { return rounds_; }
+
+  /// Execute the next global round.
+  RoundResult run_round();
+
+  /// Snapshot of the current global model (for evaluation).
+  [[nodiscard]] virtual nn::Sequential global_model() const = 0;
+
+ protected:
+  /// Scheme-specific round body.
+  virtual RoundResult do_round() = 0;
+
+  /// The canonical per-client sampling stream: every scheme that touches
+  /// client c's data in round-robin fashion uses this stream, which is what
+  /// makes cross-scheme equivalence tests exact.
+  [[nodiscard]] common::Rng client_sampler_rng(std::size_t client) const {
+    common::Rng root(config_.seed);
+    return root.fork(client + 1);
+  }
+
+  /// Make a fresh optimizer from the shared hyperparameters.
+  [[nodiscard]] std::unique_ptr<nn::Optimizer> make_optimizer() const;
+
+  [[nodiscard]] std::size_t total_samples() const;
+
+ private:
+  std::string name_;
+  const net::WirelessNetwork* network_;  ///< non-owning
+
+ protected:
+  std::vector<data::Dataset> client_data_;
+  TrainConfig config_;
+
+ private:
+  std::size_t rounds_ = 0;
+};
+
+/// Options for the round-loop driver.
+struct ExperimentOptions {
+  std::size_t rounds = 100;              ///< hard round budget
+  std::size_t eval_every = 1;            ///< evaluate every k rounds
+  std::size_t eval_batch_size = 64;
+  std::optional<double> stop_at_accuracy;    ///< early stop once reached
+  std::optional<double> stop_after_seconds;  ///< simulated-time budget
+  bool verbose = false;                  ///< per-eval stdout progress line
+};
+
+/// Run `trainer` for up to `options.rounds` rounds, evaluating on `test_set`,
+/// and return the per-round record.
+[[nodiscard]] metrics::RunRecorder run_experiment(
+    Trainer& trainer, const data::Dataset& test_set,
+    const ExperimentOptions& options);
+
+}  // namespace gsfl::schemes

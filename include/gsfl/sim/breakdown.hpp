@@ -1,0 +1,46 @@
+// Latency accounting in simulated seconds.
+//
+// Every training scheme reports per-round cost as a LatencyBreakdown so
+// benches can show not just who is faster but where the time goes (compute
+// vs. uplink vs. model relay). Simulated time is completely decoupled from
+// host wall-clock time.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace gsfl::sim {
+
+struct LatencyBreakdown {
+  double client_compute = 0.0;  ///< forward+backward on devices
+  double server_compute = 0.0;  ///< forward+backward on the edge server
+  double uplink = 0.0;          ///< smashed data / model uploads
+  double downlink = 0.0;        ///< gradients / model downloads
+  double relay = 0.0;           ///< client→AP→client model hand-offs
+  double aggregation = 0.0;     ///< FedAvg compute at the AP
+
+  [[nodiscard]] double total() const {
+    return client_compute + server_compute + uplink + downlink + relay +
+           aggregation;
+  }
+
+  LatencyBreakdown& operator+=(const LatencyBreakdown& other);
+  [[nodiscard]] LatencyBreakdown operator+(const LatencyBreakdown& other) const;
+  [[nodiscard]] LatencyBreakdown scaled(double factor) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Sum of spans executed one after another.
+[[nodiscard]] double span_sequential(std::span<const double> spans);
+
+/// Span of tasks executed concurrently (the slowest dominates).
+[[nodiscard]] double span_parallel(std::span<const double> spans);
+
+/// Breakdown of the critical path among parallel branches: the branch with
+/// the largest total. (Attribution follows the branch that determines the
+/// wall-clock span.)
+[[nodiscard]] LatencyBreakdown critical_branch(
+    std::span<const LatencyBreakdown> branches);
+
+}  // namespace gsfl::sim

@@ -1,0 +1,49 @@
+// Timeline: a record of named spans in simulated time.
+//
+// Schemes append one entry per round; benches and the convergence detector
+// read cumulative time off the back. The timeline also doubles as a Gantt
+// export (CSV) for debugging latency models.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gsfl/sim/breakdown.hpp"
+
+namespace gsfl::sim {
+
+struct TimelineEntry {
+  std::string label;          ///< e.g. "round 12"
+  double start_seconds = 0.0;
+  LatencyBreakdown cost;
+
+  [[nodiscard]] double end_seconds() const {
+    return start_seconds + cost.total();
+  }
+};
+
+class Timeline {
+ public:
+  /// Append a span starting at the current end of the timeline.
+  void append(std::string label, const LatencyBreakdown& cost);
+
+  [[nodiscard]] double now_seconds() const { return now_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const TimelineEntry& entry(std::size_t i) const;
+  [[nodiscard]] const std::vector<TimelineEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Aggregate cost across all entries.
+  [[nodiscard]] LatencyBreakdown total_cost() const;
+
+  /// Write "label,start,end,total,client,server,up,down,relay,agg" rows.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TimelineEntry> entries_;
+  double now_ = 0.0;
+};
+
+}  // namespace gsfl::sim

@@ -1,0 +1,32 @@
+// Single-precision matrix multiply.
+//
+// All heavy math in the NN substrate (dense layers, im2col convolutions)
+// funnels through this one routine, so it is the only place that needs
+// cache-aware tuning. The kernel is a register-blocked, panel-packed SGEMM —
+// not BLAS-fast, but within a small factor on the matrix sizes this library
+// uses, and entirely deterministic.
+#pragma once
+
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::tensor {
+
+/// Whether an operand is used as stored or transposed.
+enum class Trans { kNo, kYes };
+
+/// C = alpha * op(A) · op(B) + beta * C.
+///
+/// A is (m × k) after op, B is (k × n) after op, C is (m × n). All matrices
+/// are dense row-major 2-D tensors; shapes are validated.
+void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
+          Trans trans_b, float beta, Tensor& c);
+
+/// Convenience: returns op(A) · op(B) as a fresh tensor.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b,
+                            Trans trans_a = Trans::kNo,
+                            Trans trans_b = Trans::kNo);
+
+/// Out-of-place 2-D transpose.
+[[nodiscard]] Tensor transpose(const Tensor& a);
+
+}  // namespace gsfl::tensor

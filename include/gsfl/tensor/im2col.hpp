@@ -1,0 +1,47 @@
+// im2col / col2im: the bridge between convolution and GEMM.
+//
+// im2col unfolds every convolution receptive field of an NCHW image batch
+// into a column of a matrix, so conv2d forward becomes one GEMM; col2im is
+// its adjoint, scattering column gradients back into image layout for the
+// backward pass.
+#pragma once
+
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::tensor {
+
+struct ConvGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t kernel = 0;   ///< square kernel size
+  std::size_t stride = 1;
+  std::size_t pad = 0;      ///< symmetric zero padding
+
+  [[nodiscard]] std::size_t out_h() const {
+    GSFL_EXPECT(in_h + 2 * pad >= kernel);
+    return (in_h + 2 * pad - kernel) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_w() const {
+    GSFL_EXPECT(in_w + 2 * pad >= kernel);
+    return (in_w + 2 * pad - kernel) / stride + 1;
+  }
+  /// Rows of the im2col matrix: C·K·K.
+  [[nodiscard]] std::size_t patch_size() const {
+    return in_channels * kernel * kernel;
+  }
+  /// Columns of the im2col matrix per image: out_h·out_w.
+  [[nodiscard]] std::size_t out_positions() const { return out_h() * out_w(); }
+};
+
+/// Unfold one image (C×H×W slice of an NCHW tensor, at batch index n) into a
+/// (patch_size × out_positions) matrix.
+[[nodiscard]] Tensor im2col(const Tensor& input, std::size_t batch_index,
+                            const ConvGeometry& geom);
+
+/// Adjoint of im2col: accumulate a (patch_size × out_positions) matrix back
+/// into the C×H×W image at batch index n of `grad_input` (+=, not =).
+void col2im_accumulate(const Tensor& columns, const ConvGeometry& geom,
+                       Tensor& grad_input, std::size_t batch_index);
+
+}  // namespace gsfl::tensor

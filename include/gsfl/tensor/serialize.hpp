@@ -1,0 +1,25 @@
+// Binary tensor serialization.
+//
+// Used for model checkpointing and, in the wireless model, to size the
+// payloads that clients and the AP exchange (client-side models, smashed
+// data, gradients). The format is a fixed little-endian layout:
+//   magic "GSFT" | u32 rank | u64 dims[rank] | f32 data[numel]
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::tensor {
+
+/// Write one tensor; throws std::runtime_error on stream failure.
+void write_tensor(std::ostream& out, const Tensor& t);
+
+/// Read one tensor; throws std::runtime_error on malformed input.
+[[nodiscard]] Tensor read_tensor(std::istream& in);
+
+/// Serialized size in bytes (header + payload) without writing.
+[[nodiscard]] std::size_t serialized_size(const Tensor& t);
+
+}  // namespace gsfl::tensor

@@ -1,0 +1,81 @@
+// Tensor shapes.
+//
+// A Shape is an ordered list of dimension extents (row-major layout is
+// implied throughout the library). Shapes are small value types; copying
+// them is cheap and they are compared element-wise.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+
+  [[nodiscard]] std::size_t dim(std::size_t axis) const {
+    GSFL_EXPECT(axis < dims_.size());
+    return dims_[axis];
+  }
+
+  [[nodiscard]] std::size_t operator[](std::size_t axis) const {
+    return dim(axis);
+  }
+
+  /// Total number of elements. The empty (rank-0) shape has one element,
+  /// matching the scalar convention.
+  [[nodiscard]] std::size_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(),
+                           static_cast<std::size_t>(1),
+                           std::multiplies<>());
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& dims() const { return dims_; }
+
+  /// Row-major strides (in elements) for this shape.
+  [[nodiscard]] std::vector<std::size_t> strides() const {
+    std::vector<std::size_t> s(dims_.size(), 1);
+    for (std::size_t i = dims_.size(); i-- > 1;) {
+      s[i - 1] = s[i] * dims_[i];
+    }
+    return s;
+  }
+
+  /// Shape with axis 0 replaced (batch re-sizing).
+  [[nodiscard]] Shape with_dim0(std::size_t d0) const {
+    GSFL_EXPECT(!dims_.empty());
+    auto dims = dims_;
+    dims[0] = d0;
+    return Shape(std::move(dims));
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const Shape& a, const Shape& b) { return !(a == b); }
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace gsfl::tensor

@@ -1,0 +1,114 @@
+// Dense float32 tensor, row-major, owning its storage.
+//
+// This is the numeric workhorse of the library: activations, gradients,
+// parameters, smashed data, and synthetic images are all Tensors. The type
+// is a regular value (copyable, movable, equality-comparable) per the Core
+// Guidelines; views are intentionally not provided — the workloads here are
+// small enough that explicit copies are clearer and still fast.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/tensor/shape.hpp"
+
+namespace gsfl::tensor {
+
+class Tensor {
+ public:
+  /// Empty (rank-0, one-element) tensor holding a single zero.
+  Tensor() : shape_(), data_(1, 0.0f) {}
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(shape_.numel(), 0.0f) {}
+
+  /// Tensor with explicit contents; data size must match the shape.
+  Tensor(Shape shape, std::vector<float> data);
+
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  [[nodiscard]] static Tensor full(Shape shape, float value);
+  [[nodiscard]] static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
+  /// i.i.d. uniform entries in [lo, hi).
+  [[nodiscard]] static Tensor uniform(Shape shape, common::Rng& rng,
+                                      float lo = 0.0f, float hi = 1.0f);
+  /// i.i.d. normal entries.
+  [[nodiscard]] static Tensor normal(Shape shape, common::Rng& rng,
+                                     float mean = 0.0f, float stddev = 1.0f);
+  /// 1-D tensor [0, 1, ..., n-1]; handy in tests.
+  [[nodiscard]] static Tensor arange(std::size_t n);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::size_t size_bytes() const {
+    return data_.size() * sizeof(float);
+  }
+
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+
+  [[nodiscard]] float& at(std::size_t flat_index);
+  [[nodiscard]] float at(std::size_t flat_index) const;
+
+  /// 2-D element access (row-major).
+  [[nodiscard]] float& at2(std::size_t i, std::size_t j);
+  [[nodiscard]] float at2(std::size_t i, std::size_t j) const;
+
+  /// 4-D element access (NCHW).
+  [[nodiscard]] float& at4(std::size_t n, std::size_t c, std::size_t h,
+                           std::size_t w);
+  [[nodiscard]] float at4(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w) const;
+
+  /// Same storage reinterpreted under a new shape with equal numel.
+  [[nodiscard]] Tensor reshape(Shape new_shape) const;
+
+  /// Copy of rows [begin, end) along axis 0.
+  [[nodiscard]] Tensor slice0(std::size_t begin, std::size_t end) const;
+
+  /// In-place mutators (return *this for chaining).
+  Tensor& fill(float value);
+  Tensor& add_(const Tensor& other);           ///< this += other
+  Tensor& sub_(const Tensor& other);           ///< this -= other
+  Tensor& mul_(const Tensor& other);           ///< this *= other (elementwise)
+  Tensor& scale_(float factor);                ///< this *= factor
+  Tensor& axpy_(float alpha, const Tensor& x); ///< this += alpha * x
+
+  /// Reductions.
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] float max() const;
+  [[nodiscard]] float min() const;
+  /// Index of the max element in row i of a 2-D tensor (argmax over classes).
+  [[nodiscard]] std::size_t argmax_row(std::size_t row) const;
+  /// Squared L2 norm of all entries.
+  [[nodiscard]] double squared_norm() const;
+
+  /// Exact elementwise equality (useful for determinism tests).
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+  friend bool operator!=(const Tensor& a, const Tensor& b) { return !(a == b); }
+
+  /// Max |a-b| over all entries; shapes must match.
+  [[nodiscard]] static double max_abs_diff(const Tensor& a, const Tensor& b);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Out-of-place arithmetic.
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor mul(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor scale(const Tensor& a, float factor);
+
+/// Weighted sum Σ w_i · t_i — the primitive beneath FedAvg. Weights need not
+/// be normalized; shapes must all agree and at least one tensor is required.
+[[nodiscard]] Tensor weighted_sum(std::span<const Tensor* const> tensors,
+                                  std::span<const double> weights);
+
+}  // namespace gsfl::tensor

@@ -1,0 +1,71 @@
+#include "gsfl/common/cli.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::common {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& known_flags) {
+  GSFL_EXPECT(argc >= 1);
+  program_ = argv[0];
+  const auto is_flag = [&](const std::string& name) {
+    return std::find(known_flags.begin(), known_flags.end(), name) !=
+           known_flags.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (is_flag(arg)) {
+      flags_[arg] = true;
+      continue;
+    }
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+      continue;
+    }
+    throw std::invalid_argument("flag --" + arg +
+                                " expects a value (use --" + arg + "=V)");
+  }
+}
+
+bool CliArgs::has_flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second;
+}
+
+std::optional<std::string> CliArgs::value(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::value_or(const std::string& name,
+                              const std::string& fallback) const {
+  return value(name).value_or(fallback);
+}
+
+std::int64_t CliArgs::int_or(const std::string& name,
+                             std::int64_t fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double CliArgs::double_or(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+}  // namespace gsfl::common

@@ -1,0 +1,68 @@
+#include "gsfl/common/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::common {
+
+namespace {
+
+std::string format_cell(const CsvCell& cell) {
+  struct Visitor {
+    std::string operator()(const std::string& s) const {
+      return CsvWriter::escape(s);
+    }
+    std::string operator()(std::int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const {
+      std::ostringstream os;
+      os << std::setprecision(10) << v;
+      return os.str();
+    }
+  };
+  return std::visit(Visitor{}, cell);
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), width_(header.size()) {
+  GSFL_EXPECT_MSG(!header.empty(), "CSV header must name at least one column");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<CsvCell>& cells) {
+  GSFL_EXPECT_MSG(cells.size() == width_,
+                  "CSV row width must match the header");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << format_cell(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& raw) {
+  const bool needs_quotes =
+      raw.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return raw;
+  std::string quoted = "\"";
+  for (const char c : raw) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+CsvFile::CsvFile(const std::string& path, std::vector<std::string> header)
+    : file_(path), writer_(file_, std::move(header)) {
+  GSFL_EXPECT_MSG(file_.is_open(), "cannot open CSV output file: " + path);
+}
+
+}  // namespace gsfl::common

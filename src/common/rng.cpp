@@ -1,0 +1,77 @@
+#include "gsfl/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gsfl::common {
+
+double Rng::normal() {
+  // Box–Muller; u1 is kept away from zero so log() is finite.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double lambda) {
+  GSFL_EXPECT(lambda > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+double Rng::gamma(double shape) {
+  GSFL_EXPECT(shape > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang section 6).
+    const double g = gamma(shape + 1.0);
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return g * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t dim) {
+  GSFL_EXPECT(alpha > 0.0);
+  GSFL_EXPECT(dim > 0);
+  std::vector<double> draw(dim);
+  double sum = 0.0;
+  for (auto& value : draw) {
+    value = gamma(alpha);
+    sum += value;
+  }
+  if (sum <= 0.0) {
+    // Pathologically small alpha can underflow every gamma draw; fall back
+    // to a single random vertex of the simplex, which is the alpha→0 limit.
+    std::vector<double> vertex(dim, 0.0);
+    vertex[static_cast<std::size_t>(uniform_index(dim))] = 1.0;
+    return vertex;
+  }
+  for (auto& value : draw) value /= sum;
+  return draw;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  shuffle(perm);
+  return perm;
+}
+
+}  // namespace gsfl::common

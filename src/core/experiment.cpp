@@ -1,0 +1,173 @@
+#include "gsfl/core/experiment.hpp"
+
+namespace gsfl::core {
+
+namespace {
+
+// Fork tags for the master seed; distinct constants keep streams independent.
+constexpr std::uint64_t kTrainDataTag = 1;
+constexpr std::uint64_t kTestDataTag = 2;
+constexpr std::uint64_t kPartitionTag = 3;
+constexpr std::uint64_t kNetworkTag = 4;
+constexpr std::uint64_t kModelTag = 5;
+
+struct BuiltWorld {
+  data::Dataset test_set;
+  std::vector<data::Dataset> client_data;
+  net::WirelessNetwork network;
+  nn::Sequential initial_model;
+};
+
+BuiltWorld build_world(ExperimentConfig& config) {
+  GSFL_EXPECT(config.num_clients >= 1);
+  GSFL_EXPECT(config.num_groups >= 1 &&
+              config.num_groups <= config.num_clients);
+
+  // Keep the model architecture consistent with the data geometry.
+  config.model.image_size = config.dataset.image_size;
+  config.model.classes = config.dataset.num_classes;
+
+  common::Rng master(config.seed);
+  auto train_rng = master.fork(kTrainDataTag);
+  auto test_rng = master.fork(kTestDataTag);
+  auto partition_rng = master.fork(kPartitionTag);
+  auto network_rng = master.fork(kNetworkTag);
+  auto model_rng = master.fork(kModelTag);
+
+  const data::SyntheticGtsrb generator(config.dataset);
+  const data::Dataset train_set = generator.generate(train_rng);
+
+  auto test_config = config.dataset;
+  test_config.samples_per_class = config.test_samples_per_class;
+  const data::SyntheticGtsrb test_generator(test_config);
+  data::Dataset test_set = test_generator.generate(test_rng);
+
+  data::Partition partition;
+  switch (config.partition) {
+    case PartitionKind::kIid:
+      partition =
+          data::partition_iid(train_set, config.num_clients, partition_rng);
+      break;
+    case PartitionKind::kShards:
+      partition = data::partition_shards(train_set, config.num_clients,
+                                         config.shards_per_client,
+                                         partition_rng);
+      break;
+    case PartitionKind::kDirichlet:
+      partition = data::partition_dirichlet(train_set, config.num_clients,
+                                            config.dirichlet_alpha,
+                                            partition_rng);
+      break;
+  }
+  auto client_data = data::materialize(train_set, partition);
+
+  auto network = net::WirelessNetwork::make_uniform_random(
+      config.network, config.num_clients, config.min_distance_m,
+      config.max_distance_m, config.min_device_flops,
+      config.max_device_flops, network_rng);
+
+  auto initial_model = nn::make_gtsrb_cnn(config.model, model_rng);
+
+  return BuiltWorld{std::move(test_set), std::move(client_data),
+                    std::move(network), std::move(initial_model)};
+}
+
+}  // namespace
+
+ExperimentConfig ExperimentConfig::paper() {
+  ExperimentConfig config;
+  config.dataset.image_size = 32;
+  config.dataset.num_classes = 43;
+  config.dataset.samples_per_class = 70;  // ≈ 3010 train samples
+  config.test_samples_per_class = 12;
+  config.num_clients = 30;
+  config.num_groups = 6;
+  config.partition = PartitionKind::kIid;  // GTSRB randomly spread on clients
+  config.cut_layer = 3;  // after conv1→relu→pool, per the framework figure
+  // Resource-limited wireless profile (the paper's premise): IoT/phone-class
+  // devices far below the edge server's throughput, on a 20 MHz band.
+  config.network.total_bandwidth_hz = 20e6;
+  config.min_device_flops = 2e8;
+  config.max_device_flops = 1.2e9;
+  config.train.learning_rate = 0.05;
+  config.train.batch_size = 16;
+  config.seed = 42;
+  return config;
+}
+
+ExperimentConfig ExperimentConfig::scaled() {
+  ExperimentConfig config;
+  config.dataset.image_size = 16;
+  config.dataset.num_classes = 12;
+  config.dataset.samples_per_class = 60;  // 720 train samples
+  config.test_samples_per_class = 15;
+  config.num_clients = 30;
+  config.num_groups = 6;
+  config.partition = PartitionKind::kIid;
+  config.cut_layer = 3;
+  config.model.conv1_filters = 8;
+  config.model.conv2_filters = 16;
+  config.model.hidden = 48;
+  // Same resource-limited wireless profile as paper(), scaled data only.
+  config.network.total_bandwidth_hz = 20e6;
+  config.min_device_flops = 2e8;
+  config.max_device_flops = 1.2e9;
+  config.train.learning_rate = 0.08;
+  config.train.batch_size = 8;
+  config.seed = 42;
+  return config;
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      test_set_(),
+      client_data_(),
+      network_(net::NetworkConfig{}, {net::DeviceProfile{}}),
+      initial_model_() {
+  BuiltWorld world = build_world(config_);
+  test_set_ = std::move(world.test_set);
+  client_data_ = std::move(world.client_data);
+  network_ = std::move(world.network);
+  initial_model_ = std::move(world.initial_model);
+}
+
+nn::Sequential Experiment::initial_model() const { return initial_model_; }
+
+std::unique_ptr<schemes::CentralizedTrainer> Experiment::make_cl() const {
+  return std::make_unique<schemes::CentralizedTrainer>(
+      network_, client_data_, initial_model(), config_.train);
+}
+
+std::unique_ptr<schemes::FedAvgTrainer> Experiment::make_fl() const {
+  return std::make_unique<schemes::FedAvgTrainer>(
+      network_, client_data_, initial_model(), config_.train);
+}
+
+std::unique_ptr<schemes::SplitLearningTrainer> Experiment::make_sl() const {
+  return std::make_unique<schemes::SplitLearningTrainer>(
+      network_, client_data_, initial_model(), config_.cut_layer,
+      config_.train);
+}
+
+std::unique_ptr<schemes::SplitFedTrainer> Experiment::make_sfl() const {
+  return std::make_unique<schemes::SplitFedTrainer>(
+      network_, client_data_, initial_model(), config_.cut_layer,
+      config_.train);
+}
+
+std::unique_ptr<GsflTrainer> Experiment::make_gsfl() const {
+  return make_gsfl(config_.num_groups, config_.cut_layer);
+}
+
+std::unique_ptr<GsflTrainer> Experiment::make_gsfl(
+    std::size_t num_groups, std::size_t cut_layer) const {
+  GsflConfig gsfl_config;
+  gsfl_config.num_groups = num_groups;
+  gsfl_config.cut_layer = cut_layer;
+  gsfl_config.grouping = config_.grouping;
+  gsfl_config.train = config_.train;
+  return std::make_unique<GsflTrainer>(network_, client_data_,
+                                       initial_model(), gsfl_config);
+}
+
+}  // namespace gsfl::core

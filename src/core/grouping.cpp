@@ -1,0 +1,186 @@
+#include "gsfl/core/grouping.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::core {
+
+namespace {
+
+void check_counts(std::size_t num_clients, std::size_t num_groups) {
+  GSFL_EXPECT(num_groups >= 1);
+  GSFL_EXPECT_MSG(num_groups <= num_clients,
+                  "cannot have more groups than clients");
+}
+
+/// Normalized label histogram of a set of per-class counts.
+std::vector<double> normalize(const std::vector<std::size_t>& counts) {
+  const auto total = static_cast<double>(
+      std::accumulate(counts.begin(), counts.end(), std::size_t{0}));
+  std::vector<double> out(counts.size(), 0.0);
+  if (total == 0.0) return out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out[i] = static_cast<double>(counts[i]) / total;
+  }
+  return out;
+}
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+GroupAssignment group_round_robin(std::size_t num_clients,
+                                  std::size_t num_groups) {
+  check_counts(num_clients, num_groups);
+  GroupAssignment groups(num_groups);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    groups[c % num_groups].push_back(c);
+  }
+  return groups;
+}
+
+GroupAssignment group_contiguous(std::size_t num_clients,
+                                 std::size_t num_groups) {
+  check_counts(num_clients, num_groups);
+  GroupAssignment groups(num_groups);
+  const std::size_t base = num_clients / num_groups;
+  const std::size_t remainder = num_clients % num_groups;
+  std::size_t cursor = 0;
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    const std::size_t len = base + (g < remainder ? 1 : 0);
+    for (std::size_t j = 0; j < len; ++j) groups[g].push_back(cursor++);
+  }
+  GSFL_ENSURE(cursor == num_clients);
+  return groups;
+}
+
+GroupAssignment group_random(std::size_t num_clients, std::size_t num_groups,
+                             common::Rng& rng) {
+  check_counts(num_clients, num_groups);
+  auto perm = rng.permutation(num_clients);
+  GroupAssignment groups(num_groups);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    groups[i % num_groups].push_back(perm[i]);
+  }
+  return groups;
+}
+
+GroupAssignment group_label_aware(
+    const std::vector<data::Dataset>& client_data, std::size_t num_groups) {
+  const std::size_t num_clients = client_data.size();
+  check_counts(num_clients, num_groups);
+  const std::size_t classes = client_data.front().num_classes();
+
+  // Global target distribution.
+  std::vector<std::size_t> global_counts(classes, 0);
+  std::vector<std::vector<std::size_t>> client_hists;
+  client_hists.reserve(num_clients);
+  for (const auto& d : client_data) {
+    GSFL_EXPECT(d.num_classes() == classes);
+    client_hists.push_back(d.class_histogram());
+    for (std::size_t k = 0; k < classes; ++k) {
+      global_counts[k] += client_hists.back()[k];
+    }
+  }
+  const auto target = normalize(global_counts);
+
+  // Largest clients first: big histograms constrain groups the most.
+  std::vector<std::size_t> order(num_clients);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return client_data[a].size() > client_data[b].size();
+                   });
+
+  GroupAssignment groups(num_groups);
+  std::vector<std::vector<std::size_t>> group_counts(
+      num_groups, std::vector<std::size_t>(classes, 0));
+
+  // Balanced greedy: every client goes to one of the currently *smallest*
+  // groups (keeping sizes within one of each other and guaranteeing no
+  // group stays empty), choosing among those the group whose pooled label
+  // histogram lands closest to the global distribution. Restricting the
+  // candidates to minimum-size groups is what prevents the classic greedy
+  // failure mode of perfecting one group at a time.
+  for (const std::size_t c : order) {
+    std::size_t min_size = std::numeric_limits<std::size_t>::max();
+    for (const auto& g : groups) min_size = std::min(min_size, g.size());
+
+    double best_score = std::numeric_limits<double>::infinity();
+    std::size_t best_group = 0;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      if (groups[g].size() != min_size) continue;
+      auto candidate = group_counts[g];
+      for (std::size_t k = 0; k < classes; ++k) {
+        candidate[k] += client_hists[c][k];
+      }
+      const double score = squared_distance(normalize(candidate), target);
+      if (score < best_score) {
+        best_score = score;
+        best_group = g;
+      }
+    }
+    groups[best_group].push_back(c);
+    for (std::size_t k = 0; k < classes; ++k) {
+      group_counts[best_group][k] += client_hists[c][k];
+    }
+  }
+
+  GSFL_ENSURE(is_valid_grouping(groups, num_clients));
+  return groups;
+}
+
+bool is_valid_grouping(const GroupAssignment& groups,
+                       std::size_t num_clients) {
+  std::vector<bool> seen(num_clients, false);
+  std::size_t count = 0;
+  for (const auto& g : groups) {
+    if (g.empty()) return false;
+    for (const std::size_t c : g) {
+      if (c >= num_clients || seen[c]) return false;
+      seen[c] = true;
+      ++count;
+    }
+  }
+  return count == num_clients;
+}
+
+double grouping_label_imbalance(
+    const GroupAssignment& groups,
+    const std::vector<data::Dataset>& client_data) {
+  GSFL_EXPECT(!groups.empty());
+  GSFL_EXPECT(!client_data.empty());
+  const std::size_t classes = client_data.front().num_classes();
+
+  std::vector<std::size_t> global_counts(classes, 0);
+  for (const auto& d : client_data) {
+    const auto h = d.class_histogram();
+    for (std::size_t k = 0; k < classes; ++k) global_counts[k] += h[k];
+  }
+  const auto target = normalize(global_counts);
+
+  double sum = 0.0;
+  for (const auto& g : groups) {
+    std::vector<std::size_t> counts(classes, 0);
+    for (const std::size_t c : g) {
+      GSFL_EXPECT(c < client_data.size());
+      const auto h = client_data[c].class_histogram();
+      for (std::size_t k = 0; k < classes; ++k) counts[k] += h[k];
+    }
+    sum += squared_distance(normalize(counts), target);
+  }
+  return sum / static_cast<double>(groups.size());
+}
+
+}  // namespace gsfl::core

@@ -1,0 +1,203 @@
+#include "gsfl/core/gsfl.hpp"
+
+#include "gsfl/schemes/aggregate.hpp"
+#include "gsfl/schemes/split_common.hpp"
+
+namespace gsfl::core {
+
+namespace {
+
+GroupAssignment build_groups(const GsflConfig& config,
+                             const std::vector<data::Dataset>& client_data) {
+  const std::size_t n = client_data.size();
+  switch (config.grouping) {
+    case GroupingPolicy::kRoundRobin:
+      return group_round_robin(n, config.num_groups);
+    case GroupingPolicy::kContiguous:
+      return group_contiguous(n, config.num_groups);
+    case GroupingPolicy::kRandom: {
+      common::Rng rng(config.grouping_seed);
+      return group_random(n, config.num_groups, rng);
+    }
+    case GroupingPolicy::kLabelAware:
+      return group_label_aware(client_data, config.num_groups);
+    case GroupingPolicy::kExplicit:
+      GSFL_EXPECT_MSG(is_valid_grouping(config.explicit_groups, n),
+                      "explicit grouping must cover every client exactly "
+                      "once with no empty group");
+      return config.explicit_groups;
+  }
+  throw std::invalid_argument("unknown grouping policy");
+}
+
+}  // namespace
+
+GsflTrainer::GsflTrainer(const net::WirelessNetwork& network,
+                         std::vector<data::Dataset> client_data,
+                         nn::Sequential initial_model, GsflConfig config)
+    : Trainer("GSFL", network, std::move(client_data), config.train),
+      gsfl_config_(std::move(config)),
+      failure_rng_(gsfl_config_.failure_seed) {
+  GSFL_EXPECT(gsfl_config_.client_failure_rate >= 0.0 &&
+              gsfl_config_.client_failure_rate < 1.0);
+  groups_ = build_groups(gsfl_config_, client_data_);
+  auto [head, tail] = initial_model.split(gsfl_config_.cut_layer);
+  global_client_ = std::move(head);
+  global_server_ = std::move(tail);
+  GSFL_EXPECT_MSG(!global_server_.parameters().empty(),
+                  "GSFL requires a trainable server side (raise cut_layer)");
+  samplers_.reserve(client_data_.size());
+  for (std::size_t c = 0; c < client_data_.size(); ++c) {
+    samplers_.emplace_back(client_data_[c], gsfl_config_.train.batch_size,
+                           client_sampler_rng(c));
+  }
+  group_shares_.assign(groups_.size(), 1.0 / static_cast<double>(groups_.size()));
+}
+
+nn::Sequential GsflTrainer::global_model() const {
+  return nn::Sequential::concatenate(global_client_, global_server_);
+}
+
+std::size_t GsflTrainer::server_storage_bytes() const {
+  return global_server_.state_bytes() * groups_.size();
+}
+
+std::size_t GsflTrainer::client_model_bytes() const {
+  return global_client_.state_bytes();
+}
+
+schemes::RoundResult GsflTrainer::do_round() {
+  schemes::RoundResult result;
+  const double client_model_bytes =
+      static_cast<double>(global_client_.state_bytes());
+
+  std::vector<nn::StateDict> client_states;
+  std::vector<nn::StateDict> server_states;
+  std::vector<double> weights;
+  client_states.reserve(groups_.size());
+  server_states.reserve(groups_.size());
+  weights.reserve(groups_.size());
+  last_group_chains_.assign(groups_.size(), {});
+
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+
+  // Failure injection: draw this round's unavailable clients up front so
+  // the draw order is independent of group iteration order.
+  last_round_failures_.clear();
+  std::vector<bool> failed(client_data_.size(), false);
+  if (gsfl_config_.client_failure_rate > 0.0) {
+    for (std::size_t c = 0; c < client_data_.size(); ++c) {
+      if (failure_rng_.bernoulli(gsfl_config_.client_failure_rate)) {
+        failed[c] = true;
+        last_round_failures_.push_back(c);
+      }
+    }
+  }
+
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const auto& members = groups_[g];
+    // The M groups train concurrently and split the band per the policy.
+    const double share = group_shares_[g];
+    sim::LatencyBreakdown chain;
+
+    std::vector<std::size_t> available;
+    for (const std::size_t c : members) {
+      if (!failed[c]) available.push_back(c);
+    }
+    if (available.empty()) {
+      // The whole group is offline: it trains nothing and is excluded from
+      // aggregation this round (weight 0 would poison fedavg_states, so we
+      // simply skip pushing its states).
+      last_group_chains_[g] = chain;
+      continue;
+    }
+
+    // Step 1 for this group: fresh replicas of both halves; the client-side
+    // model is downlinked to the group's first *available* client.
+    nn::SplitModel replica(global_client_, global_server_);
+    auto client_opt = schemes::attach_optimizer(
+        replica.client(), [this] { return make_optimizer(); });
+    auto server_opt = schemes::attach_optimizer(
+        replica.server(), [this] { return make_optimizer(); });
+    chain.downlink += network().downlink_seconds(
+        available.front(), client_model_bytes, share);
+
+    // Step 2: sequential split training across the available members, with
+    // AP-relayed client-model hand-offs in between (failed members are
+    // bypassed entirely).
+    std::size_t group_samples = 0;
+    for (std::size_t j = 0; j < available.size(); ++j) {
+      const std::size_t c = available[j];
+      if (j > 0) {
+        chain.relay += network().relay_seconds(available[j - 1], c,
+                                               client_model_bytes, share);
+      }
+      const auto epoch = schemes::run_split_epoch(
+          replica, client_opt.get(), *server_opt, samplers_[c], network(), c,
+          share);
+      chain += epoch.latency;
+      loss_sum += epoch.loss_sum;
+      batches += epoch.batches;
+      group_samples += epoch.samples;
+    }
+
+    // Last-trained client ships the group's client-side model to the AP.
+    chain.uplink += network().uplink_seconds(available.back(),
+                                             client_model_bytes, share);
+
+    last_group_chains_[g] = chain;
+    client_states.push_back(replica.client().state());
+    server_states.push_back(replica.server().state());
+    weights.push_back(static_cast<double>(group_samples));
+  }
+
+  // Groups ran in parallel: the round's span is the critical group.
+  result.latency = sim::critical_branch(last_group_chains_);
+
+  if (!client_states.empty()) {
+    // Step 3: FedAvg both halves at the AP.
+    global_client_.load_state(schemes::fedavg_states(client_states, weights));
+    global_server_.load_state(schemes::fedavg_states(server_states, weights));
+    result.latency.aggregation += network().server_compute_seconds(
+        schemes::aggregation_flops(global_client_.parameter_count() +
+                                       global_server_.parameter_count(),
+                                   client_states.size()));
+  }
+
+  result.train_loss =
+      batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+
+  if (gsfl_config_.bandwidth == BandwidthPolicy::kAdaptive) {
+    rebalance_shares();
+  }
+  return result;
+}
+
+void GsflTrainer::rebalance_shares() {
+  // A group's radio time scales ≈ inversely with its bandwidth share, so the
+  // share-invariant "radio work" of group g is w_g = radio_time_g · share_g,
+  // and equalizing radio time across groups needs share'_g ∝ w_g. Compute
+  // and non-radio time are unaffected by the split, so this is a makespan
+  // heuristic, not an exact optimum — see the allocation ablation bench.
+  GSFL_ENSURE(last_group_chains_.size() == group_shares_.size());
+  std::vector<double> work(group_shares_.size());
+  double total = 0.0;
+  for (std::size_t g = 0; g < group_shares_.size(); ++g) {
+    const auto& chain = last_group_chains_[g];
+    const double radio = chain.uplink + chain.downlink + chain.relay;
+    work[g] = radio * group_shares_[g];
+    total += work[g];
+  }
+  if (total <= 0.0) return;  // nothing transmitted: keep current shares
+  // Floor each share so no group starves (Shannon rate → 0 as share → 0).
+  const double floor = 0.05 / static_cast<double>(group_shares_.size());
+  double sum = 0.0;
+  for (std::size_t g = 0; g < group_shares_.size(); ++g) {
+    group_shares_[g] = std::max(work[g] / total, floor);
+    sum += group_shares_[g];
+  }
+  for (auto& s : group_shares_) s /= sum;
+}
+
+}  // namespace gsfl::core

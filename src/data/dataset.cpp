@@ -1,0 +1,105 @@
+#include "gsfl/data/dataset.hpp"
+
+#include <algorithm>
+
+namespace gsfl::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Dataset::Dataset(Tensor images, std::vector<std::int32_t> labels,
+                 std::size_t num_classes)
+    : images_(std::move(images)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  GSFL_EXPECT_MSG(images_.shape().rank() == 4, "images must be NCHW");
+  GSFL_EXPECT_MSG(images_.shape()[0] == labels_.size(),
+                  "one label per image required");
+  GSFL_EXPECT(num_classes_ >= 2);
+  for (const auto label : labels_) {
+    GSFL_EXPECT_MSG(label >= 0 &&
+                        static_cast<std::size_t>(label) < num_classes_,
+                    "label out of range");
+  }
+}
+
+Shape Dataset::sample_shape() const {
+  GSFL_EXPECT(!empty());
+  return Shape{images_.shape()[1], images_.shape()[2], images_.shape()[3]};
+}
+
+Shape Dataset::batch_shape(std::size_t n) const {
+  GSFL_EXPECT(!empty());
+  return Shape{n, images_.shape()[1], images_.shape()[2], images_.shape()[3]};
+}
+
+std::pair<Tensor, std::vector<std::int32_t>> Dataset::gather(
+    std::span<const std::size_t> indices) const {
+  GSFL_EXPECT(!indices.empty());
+  const std::size_t sample_elems = images_.numel() / size();
+  Tensor batch(batch_shape(indices.size()));
+  std::vector<std::int32_t> batch_labels(indices.size());
+  const auto src = images_.data();
+  auto dst = batch.data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t idx = indices[i];
+    GSFL_EXPECT_MSG(idx < size(), "sample index out of range");
+    std::copy_n(src.data() + idx * sample_elems, sample_elems,
+                dst.data() + i * sample_elems);
+    batch_labels[i] = labels_[idx];
+  }
+  return {std::move(batch), std::move(batch_labels)};
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  auto [images, labels] = gather(indices);
+  return Dataset(std::move(images), std::move(labels), num_classes_);
+}
+
+std::pair<Dataset, Dataset> Dataset::split_train_test(
+    double test_fraction, common::Rng& rng) const {
+  GSFL_EXPECT(test_fraction > 0.0 && test_fraction < 1.0);
+  GSFL_EXPECT(size() >= 2);
+  auto perm = rng.permutation(size());
+  const auto test_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(test_fraction * static_cast<double>(size())));
+  GSFL_ENSURE(test_count < size());
+  const std::span<const std::size_t> all(perm);
+  return {subset(all.subspan(test_count)), subset(all.subspan(0, test_count))};
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes_, 0);
+  for (const auto label : labels_) {
+    ++hist[static_cast<std::size_t>(label)];
+  }
+  return hist;
+}
+
+Dataset Dataset::concatenate(const std::vector<Dataset>& parts) {
+  GSFL_EXPECT(!parts.empty());
+  const auto& first = parts.front();
+  GSFL_EXPECT(!first.empty());
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    GSFL_EXPECT_MSG(p.num_classes() == first.num_classes(),
+                    "datasets disagree on class count");
+    GSFL_EXPECT_MSG(p.empty() || p.sample_shape() == first.sample_shape(),
+                    "datasets disagree on sample shape");
+    total += p.size();
+  }
+  Tensor images(first.batch_shape(total));
+  std::vector<std::int32_t> labels;
+  labels.reserve(total);
+  auto dst = images.data();
+  std::size_t offset = 0;
+  for (const auto& p : parts) {
+    const auto src = p.images_.data();
+    std::copy(src.begin(), src.end(), dst.begin() + offset);
+    offset += src.size();
+    labels.insert(labels.end(), p.labels_.begin(), p.labels_.end());
+  }
+  return Dataset(std::move(images), std::move(labels), first.num_classes());
+}
+
+}  // namespace gsfl::data

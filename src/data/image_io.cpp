@@ -1,0 +1,181 @@
+#include "gsfl/data/image_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace gsfl::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/// Skip PPM whitespace and '#' comment lines; returns the next token.
+std::string next_token(std::istream& in) {
+  std::string token;
+  for (;;) {
+    const int c = in.peek();
+    if (c == EOF) throw std::runtime_error("ppm: truncated header");
+    if (std::isspace(c)) {
+      in.get();
+      continue;
+    }
+    if (c == '#') {
+      std::string comment;
+      std::getline(in, comment);
+      continue;
+    }
+    break;
+  }
+  in >> token;
+  if (!in) throw std::runtime_error("ppm: truncated header");
+  return token;
+}
+
+}  // namespace
+
+Tensor read_ppm(std::istream& in) {
+  if (next_token(in) != "P6") {
+    throw std::runtime_error("ppm: expected binary P6 magic");
+  }
+  const auto parse_dim = [&](const char* what) {
+    const auto token = next_token(in);
+    const long value = std::stol(token);
+    if (value <= 0 || value > 1 << 14) {
+      throw std::runtime_error(std::string("ppm: implausible ") + what);
+    }
+    return static_cast<std::size_t>(value);
+  };
+  const std::size_t width = parse_dim("width");
+  const std::size_t height = parse_dim("height");
+  if (next_token(in) != "255") {
+    throw std::runtime_error("ppm: only maxval 255 supported");
+  }
+  in.get();  // single whitespace byte after the header
+
+  std::vector<unsigned char> raw(width * height * 3);
+  in.read(reinterpret_cast<char*>(raw.data()),
+          static_cast<std::streamsize>(raw.size()));
+  if (!in) throw std::runtime_error("ppm: truncated pixel data");
+
+  Tensor image(Shape{3, height, width});
+  auto dst = image.data();
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t src = (y * width + x) * 3;
+      for (std::size_t c = 0; c < 3; ++c) {
+        dst[(c * height + y) * width + x] =
+            static_cast<float>(raw[src + c]) / 255.0f;
+      }
+    }
+  }
+  return image;
+}
+
+Tensor read_ppm_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open image: " + path);
+  return read_ppm(in);
+}
+
+void write_ppm(std::ostream& out, const Tensor& chw) {
+  GSFL_EXPECT(chw.shape().rank() == 3);
+  GSFL_EXPECT_MSG(chw.shape()[0] == 3, "write_ppm expects 3 channels");
+  const std::size_t height = chw.shape()[1];
+  const std::size_t width = chw.shape()[2];
+  out << "P6\n" << width << ' ' << height << "\n255\n";
+  const auto src = chw.data();
+  std::vector<unsigned char> raw(width * height * 3);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        const float v =
+            std::clamp(src[(c * height + y) * width + x], 0.0f, 1.0f);
+        raw[(y * width + x) * 3 + c] =
+            static_cast<unsigned char>(std::lround(v * 255.0f));
+      }
+    }
+  }
+  out.write(reinterpret_cast<const char*>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+  if (!out) throw std::runtime_error("ppm: write failed");
+}
+
+void write_ppm_file(const std::string& path, const Tensor& chw) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_ppm(out, chw);
+}
+
+Tensor resize_nearest(const Tensor& chw, std::size_t size) {
+  GSFL_EXPECT(chw.shape().rank() == 3);
+  GSFL_EXPECT(size >= 1);
+  const std::size_t channels = chw.shape()[0];
+  const std::size_t in_h = chw.shape()[1];
+  const std::size_t in_w = chw.shape()[2];
+  Tensor out(Shape{channels, size, size});
+  const auto src = chw.data();
+  auto dst = out.data();
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t y = 0; y < size; ++y) {
+      const std::size_t sy =
+          std::min(in_h - 1, y * in_h / size);
+      for (std::size_t x = 0; x < size; ++x) {
+        const std::size_t sx = std::min(in_w - 1, x * in_w / size);
+        dst[(c * size + y) * size + x] =
+            src[(c * in_h + sy) * in_w + sx];
+      }
+    }
+  }
+  return out;
+}
+
+Dataset load_image_directory(const std::string& dir,
+                             std::size_t num_classes,
+                             std::size_t image_size) {
+  std::ifstream index(dir + "/index.csv");
+  if (!index) {
+    throw std::runtime_error("cannot open index file: " + dir +
+                             "/index.csv");
+  }
+  std::vector<Tensor> images;
+  std::vector<std::int32_t> labels;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(index, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    const auto comma = line.rfind(',');
+    if (comma == std::string::npos) {
+      throw std::runtime_error("index.csv line " +
+                               std::to_string(line_number) +
+                               ": expected \"file,label\"");
+    }
+    const std::string file = line.substr(0, comma);
+    const long label = std::stol(line.substr(comma + 1));
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      throw std::runtime_error("index.csv line " +
+                               std::to_string(line_number) +
+                               ": label out of range");
+    }
+    images.push_back(
+        resize_nearest(read_ppm_file(dir + "/" + file), image_size));
+    labels.push_back(static_cast<std::int32_t>(label));
+  }
+  if (images.empty()) {
+    throw std::runtime_error("index.csv lists no images");
+  }
+
+  Tensor batch(Shape{images.size(), 3, image_size, image_size});
+  auto dst = batch.data();
+  const std::size_t stride = 3 * image_size * image_size;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const auto src = images[i].data();
+    std::copy(src.begin(), src.end(), dst.begin() + i * stride);
+  }
+  return Dataset(std::move(batch), std::move(labels), num_classes);
+}
+
+}  // namespace gsfl::data

@@ -1,0 +1,150 @@
+#include "gsfl/data/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gsfl::data {
+
+Partition partition_iid(const Dataset& dataset, std::size_t num_clients,
+                        common::Rng& rng) {
+  GSFL_EXPECT(num_clients >= 1);
+  GSFL_EXPECT_MSG(dataset.size() >= num_clients,
+                  "need at least one sample per client");
+  auto perm = rng.permutation(dataset.size());
+  Partition partition(num_clients);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    partition[i % num_clients].push_back(perm[i]);
+  }
+  return partition;
+}
+
+Partition partition_shards(const Dataset& dataset, std::size_t num_clients,
+                           std::size_t shards_per_client, common::Rng& rng) {
+  GSFL_EXPECT(num_clients >= 1 && shards_per_client >= 1);
+  const std::size_t num_shards = num_clients * shards_per_client;
+  GSFL_EXPECT_MSG(dataset.size() >= num_shards,
+                  "need at least one sample per shard");
+
+  // Sort sample indices by label (stable on index for determinism).
+  std::vector<std::size_t> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto labels = dataset.labels();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return labels[a] < labels[b];
+                   });
+
+  // Deal whole shards to clients in random order.
+  auto shard_order = rng.permutation(num_shards);
+  Partition partition(num_clients);
+  const std::size_t base = dataset.size() / num_shards;
+  const std::size_t remainder = dataset.size() % num_shards;
+  std::size_t cursor = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> shard_ranges;
+  shard_ranges.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t len = base + (s < remainder ? 1 : 0);
+    shard_ranges.emplace_back(cursor, cursor + len);
+    cursor += len;
+  }
+  GSFL_ENSURE(cursor == dataset.size());
+
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const std::size_t client = i / shards_per_client;
+    const auto [begin, end] = shard_ranges[shard_order[i]];
+    for (std::size_t j = begin; j < end; ++j) {
+      partition[client].push_back(order[j]);
+    }
+  }
+  return partition;
+}
+
+Partition partition_dirichlet(const Dataset& dataset, std::size_t num_clients,
+                              double alpha, common::Rng& rng,
+                              std::size_t min_samples,
+                              std::size_t max_attempts) {
+  GSFL_EXPECT(num_clients >= 1);
+  GSFL_EXPECT(alpha > 0.0);
+  GSFL_EXPECT_MSG(dataset.size() >= num_clients * min_samples,
+                  "dataset too small for the requested minimum");
+
+  // Group sample indices by class.
+  std::vector<std::vector<std::size_t>> by_class(dataset.num_classes());
+  const auto labels = dataset.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    by_class[static_cast<std::size_t>(labels[i])].push_back(i);
+  }
+
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Partition partition(num_clients);
+    for (auto& class_indices : by_class) {
+      if (class_indices.empty()) continue;
+      auto shuffled = class_indices;
+      rng.shuffle(shuffled);
+      const auto proportions = rng.dirichlet(alpha, num_clients);
+
+      // Largest-remainder rounding so counts sum exactly to the class size.
+      const auto total = static_cast<double>(shuffled.size());
+      std::vector<std::size_t> counts(num_clients, 0);
+      std::vector<std::pair<double, std::size_t>> remainders;
+      std::size_t assigned = 0;
+      for (std::size_t c = 0; c < num_clients; ++c) {
+        const double exact = proportions[c] * total;
+        counts[c] = static_cast<std::size_t>(exact);
+        assigned += counts[c];
+        remainders.emplace_back(exact - std::floor(exact), c);
+      }
+      std::stable_sort(remainders.begin(), remainders.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      for (std::size_t k = 0; assigned < shuffled.size(); ++k, ++assigned) {
+        ++counts[remainders[k % num_clients].second];
+      }
+
+      std::size_t cursor = 0;
+      for (std::size_t c = 0; c < num_clients; ++c) {
+        for (std::size_t j = 0; j < counts[c]; ++j) {
+          partition[c].push_back(shuffled[cursor++]);
+        }
+      }
+      GSFL_ENSURE(cursor == shuffled.size());
+    }
+
+    const bool ok = std::all_of(
+        partition.begin(), partition.end(),
+        [&](const auto& p) { return p.size() >= min_samples; });
+    if (ok) return partition;
+  }
+  throw std::runtime_error(
+      "partition_dirichlet: could not satisfy min_samples within the attempt "
+      "budget; raise alpha or lower min_samples");
+}
+
+bool is_exact_cover(const Partition& partition, std::size_t dataset_size) {
+  std::vector<bool> seen(dataset_size, false);
+  std::size_t count = 0;
+  for (const auto& client : partition) {
+    for (const std::size_t idx : client) {
+      if (idx >= dataset_size || seen[idx]) return false;
+      seen[idx] = true;
+      ++count;
+    }
+  }
+  return count == dataset_size;
+}
+
+std::vector<Dataset> materialize(const Dataset& dataset,
+                                 const Partition& partition) {
+  std::vector<Dataset> out;
+  out.reserve(partition.size());
+  for (const auto& indices : partition) {
+    GSFL_EXPECT_MSG(!indices.empty(),
+                    "cannot materialize an empty client dataset");
+    out.push_back(dataset.subset(indices));
+  }
+  return out;
+}
+
+}  // namespace gsfl::data

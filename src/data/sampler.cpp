@@ -1,0 +1,55 @@
+#include "gsfl/data/sampler.hpp"
+
+#include <algorithm>
+
+namespace gsfl::data {
+
+BatchSampler::BatchSampler(const Dataset& dataset, std::size_t batch_size,
+                           common::Rng rng, bool drop_last)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      drop_last_(drop_last),
+      rng_(rng) {
+  GSFL_EXPECT(batch_size >= 1);
+  GSFL_EXPECT_MSG(!dataset.empty(), "cannot sample from an empty dataset");
+  reshuffle();
+}
+
+void BatchSampler::reshuffle() {
+  order_ = rng_.permutation(dataset_->size());
+  cursor_ = 0;
+}
+
+std::size_t BatchSampler::batches_per_epoch() const {
+  const std::size_t n = dataset_->size();
+  if (n < batch_size_) return 1;  // single partial batch, always kept
+  return drop_last_ ? n / batch_size_
+                    : (n + batch_size_ - 1) / batch_size_;
+}
+
+Batch BatchSampler::next() {
+  const std::size_t n = dataset_->size();
+  if (cursor_ >= n) reshuffle();
+
+  std::size_t take = std::min(batch_size_, n - cursor_);
+  if (drop_last_ && take < batch_size_ && n >= batch_size_) {
+    // Trailing partial batch: skip it and start a fresh epoch.
+    reshuffle();
+    take = batch_size_;
+  }
+  const std::span<const std::size_t> indices(order_.data() + cursor_, take);
+  cursor_ += take;
+  auto [images, labels] = dataset_->gather(indices);
+  return Batch{std::move(images), std::move(labels)};
+}
+
+std::vector<Batch> BatchSampler::epoch() {
+  reshuffle();
+  const std::size_t count = batches_per_epoch();
+  std::vector<Batch> batches;
+  batches.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) batches.push_back(next());
+  return batches;
+}
+
+}  // namespace gsfl::data

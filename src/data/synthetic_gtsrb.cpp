@@ -1,0 +1,199 @@
+#include "gsfl/data/synthetic_gtsrb.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsfl::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+SignStyle class_style(std::size_t class_id) {
+  // Golden-ratio hue spacing keeps ring colours of nearby ids far apart.
+  const float hue =
+      std::fmod(0.11f + static_cast<float>(class_id) * 0.61803398875f, 1.0f);
+  return SignStyle{
+      .shape = static_cast<SignShape>(class_id % 5),
+      .hue = hue,
+      .glyph = static_cast<std::uint8_t>((class_id / 5) % 4),
+  };
+}
+
+void hsv_to_rgb(float h, float s, float v, float& r, float& g, float& b) {
+  const float hh = std::fmod(std::max(h, 0.0f), 1.0f) * 6.0f;
+  const int sector = static_cast<int>(hh) % 6;
+  const float f = hh - std::floor(hh);
+  const float p = v * (1.0f - s);
+  const float q = v * (1.0f - s * f);
+  const float t = v * (1.0f - s * (1.0f - f));
+  switch (sector) {
+    case 0: r = v; g = t; b = p; return;
+    case 1: r = q; g = v; b = p; return;
+    case 2: r = p; g = v; b = t; return;
+    case 3: r = p; g = q; b = v; return;
+    case 4: r = t; g = p; b = v; return;
+    default: r = v; g = p; b = q; return;
+  }
+}
+
+namespace {
+
+/// Signed "inside-ness" of a point (x, y) in sign-local coordinates where
+/// the silhouette has radius 1. Returns < 1 inside, > 1 outside.
+float silhouette_metric(SignShape shape, float x, float y) {
+  const float ax = std::fabs(x);
+  const float ay = std::fabs(y);
+  switch (shape) {
+    case SignShape::kCircle:
+      return std::sqrt(x * x + y * y);
+    case SignShape::kTriangle: {
+      // Upward equilateral triangle inscribed in the unit circle.
+      // Three half-plane constraints; the max is the inside metric.
+      const float a = -y;                                   // below top edge
+      const float b = 0.5f * y + 0.8660254f * x;            // right edge
+      const float c = 0.5f * y - 0.8660254f * x;            // left edge
+      return std::max({a, b, c}) * 2.0f;
+    }
+    case SignShape::kOctagon: {
+      const float diag = (ax + ay) * 0.70710678f;
+      return std::max(std::max(ax, ay), diag) * 1.0823922f;
+    }
+    case SignShape::kDiamond:
+      return ax + ay;
+    case SignShape::kSquare:
+      return std::max(ax, ay);
+  }
+  return 2.0f;
+}
+
+/// Whether the interior glyph covers point (x, y) in sign-local coordinates.
+bool glyph_covers(std::uint8_t glyph, float x, float y) {
+  switch (glyph % 4) {
+    case 0:  // horizontal bar
+      return std::fabs(y) < 0.18f && std::fabs(x) < 0.55f;
+    case 1:  // vertical bar
+      return std::fabs(x) < 0.18f && std::fabs(y) < 0.55f;
+    case 2:  // filled dot
+      return x * x + y * y < 0.30f * 0.30f;
+    default:  // cross
+      return (std::fabs(y) < 0.14f && std::fabs(x) < 0.5f) ||
+             (std::fabs(x) < 0.14f && std::fabs(y) < 0.5f);
+  }
+}
+
+}  // namespace
+
+SyntheticGtsrb::SyntheticGtsrb(SyntheticGtsrbConfig config)
+    : config_(config) {
+  GSFL_EXPECT(config_.image_size >= 8);
+  GSFL_EXPECT(config_.num_classes >= 2 && config_.num_classes <= 60);
+  GSFL_EXPECT(config_.samples_per_class >= 1);
+  GSFL_EXPECT(config_.noise_stddev >= 0.0f);
+  GSFL_EXPECT(config_.min_scale > 0.0f &&
+              config_.min_scale <= config_.max_scale &&
+              config_.max_scale <= 1.0f);
+}
+
+void SyntheticGtsrb::render_sample(std::size_t class_id, common::Rng& rng,
+                                   float* pixels) const {
+  const std::size_t n = config_.image_size;
+  const auto style = class_style(class_id);
+
+  // Per-sample variation.
+  const float cx = static_cast<float>(
+      rng.uniform(-config_.jitter, config_.jitter));
+  const float cy = static_cast<float>(
+      rng.uniform(-config_.jitter, config_.jitter));
+  const float scale = static_cast<float>(
+      rng.uniform(config_.min_scale, config_.max_scale));
+  const float brightness = static_cast<float>(rng.uniform(0.65, 1.30));
+  const float bg_hue = static_cast<float>(rng.uniform());
+  const float bg_value = static_cast<float>(rng.uniform(0.15, 0.45));
+
+  float ring_r = 0.0f, ring_g = 0.0f, ring_b = 0.0f;
+  hsv_to_rgb(style.hue, 0.85f, 0.95f, ring_r, ring_g, ring_b);
+  float bg_r = 0.0f, bg_g = 0.0f, bg_b = 0.0f;
+  hsv_to_rgb(bg_hue, 0.25f, bg_value, bg_r, bg_g, bg_b);
+
+  const float inv_half = 2.0f / static_cast<float>(n);
+  float* red = pixels;
+  float* green = pixels + n * n;
+  float* blue = pixels + 2 * n * n;
+
+  for (std::size_t py = 0; py < n; ++py) {
+    for (std::size_t px = 0; px < n; ++px) {
+      // Sign-local coordinates: origin at sign center, silhouette radius 1.
+      const float wx = (static_cast<float>(px) + 0.5f) * inv_half - 1.0f;
+      const float wy = (static_cast<float>(py) + 0.5f) * inv_half - 1.0f;
+      const float lx = (wx - cx) / scale;
+      const float ly = (wy - cy) / scale;
+
+      float r = bg_r, g = bg_g, b = bg_b;
+      const float m = silhouette_metric(style.shape, lx, ly);
+      if (m < 1.0f) {
+        if (m > 0.72f) {
+          // Coloured ring (the class's hue).
+          r = ring_r;
+          g = ring_g;
+          b = ring_b;
+        } else if (glyph_covers(style.glyph, lx, ly)) {
+          // Dark glyph.
+          r = g = b = 0.10f;
+        } else {
+          // Pale interior.
+          r = g = b = 0.92f;
+        }
+      }
+
+      const std::size_t idx = py * n + px;
+      const auto noise = [&] {
+        return static_cast<float>(rng.normal(0.0, config_.noise_stddev));
+      };
+      red[idx] = std::clamp(r * brightness + noise(), 0.0f, 1.0f);
+      green[idx] = std::clamp(g * brightness + noise(), 0.0f, 1.0f);
+      blue[idx] = std::clamp(b * brightness + noise(), 0.0f, 1.0f);
+    }
+  }
+}
+
+Dataset SyntheticGtsrb::generate(common::Rng& rng) const {
+  const std::size_t total = config_.num_classes * config_.samples_per_class;
+  const std::size_t n = config_.image_size;
+  Tensor images(Shape{total, 3, n, n});
+  std::vector<std::int32_t> labels(total);
+  auto px = images.data();
+  const std::size_t sample_elems = 3 * n * n;
+
+  std::size_t sample = 0;
+  for (std::size_t c = 0; c < config_.num_classes; ++c) {
+    for (std::size_t i = 0; i < config_.samples_per_class; ++i, ++sample) {
+      render_sample(c, rng, px.data() + sample * sample_elems);
+      labels[sample] = static_cast<std::int32_t>(c);
+    }
+  }
+
+  // Interleave classes so contiguous index ranges are roughly IID; the
+  // partitioners still control the actual per-client distribution.
+  auto perm = rng.permutation(total);
+  Dataset ordered(std::move(images), std::move(labels), config_.num_classes);
+  return ordered.subset(perm);
+}
+
+Dataset SyntheticGtsrb::generate_class(std::size_t class_id,
+                                       std::size_t count,
+                                       common::Rng& rng) const {
+  GSFL_EXPECT(class_id < config_.num_classes);
+  GSFL_EXPECT(count >= 1);
+  const std::size_t n = config_.image_size;
+  Tensor images(Shape{count, 3, n, n});
+  std::vector<std::int32_t> labels(count,
+                                   static_cast<std::int32_t>(class_id));
+  auto px = images.data();
+  const std::size_t sample_elems = 3 * n * n;
+  for (std::size_t i = 0; i < count; ++i) {
+    render_sample(class_id, rng, px.data() + i * sample_elems);
+  }
+  return Dataset(std::move(images), std::move(labels), config_.num_classes);
+}
+
+}  // namespace gsfl::data

@@ -1,0 +1,37 @@
+#include "gsfl/metrics/evaluate.hpp"
+
+#include <numeric>
+
+#include "gsfl/nn/loss.hpp"
+
+namespace gsfl::metrics {
+
+EvalResult evaluate(nn::Sequential& model, const data::Dataset& dataset,
+                    std::size_t batch_size) {
+  GSFL_EXPECT(batch_size >= 1);
+  GSFL_EXPECT_MSG(!dataset.empty(), "cannot evaluate on an empty dataset");
+
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  std::vector<std::size_t> indices(dataset.size());
+  std::iota(indices.begin(), indices.end(), 0);
+
+  for (std::size_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, dataset.size());
+    const std::span<const std::size_t> window(indices.data() + begin,
+                                              end - begin);
+    auto [images, labels] = dataset.gather(window);
+    const auto logits = model.forward(images, /*train=*/false);
+    const auto result = nn::softmax_cross_entropy(logits, labels);
+    loss_sum += result.loss * static_cast<double>(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (logits.argmax_row(i) == static_cast<std::size_t>(labels[i])) {
+        ++correct;
+      }
+    }
+  }
+  const auto n = static_cast<double>(dataset.size());
+  return EvalResult{static_cast<double>(correct) / n, loss_sum / n};
+}
+
+}  // namespace gsfl::metrics

@@ -1,0 +1,70 @@
+#include "gsfl/metrics/recorder.hpp"
+
+#include <algorithm>
+
+#include "gsfl/common/csv.hpp"
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::metrics {
+
+void RunRecorder::record(const RoundRecord& record) {
+  if (!records_.empty()) {
+    GSFL_EXPECT_MSG(record.round > records_.back().round,
+                    "round indices must be strictly increasing");
+    GSFL_EXPECT_MSG(record.sim_seconds >= records_.back().sim_seconds,
+                    "simulated time cannot run backwards");
+  }
+  records_.push_back(record);
+}
+
+const RoundRecord& RunRecorder::last() const {
+  GSFL_EXPECT(!records_.empty());
+  return records_.back();
+}
+
+double RunRecorder::best_accuracy() const {
+  double best = 0.0;
+  for (const auto& r : records_) best = std::max(best, r.eval_accuracy);
+  return best;
+}
+
+double RunRecorder::final_accuracy() const {
+  return records_.empty() ? 0.0 : records_.back().eval_accuracy;
+}
+
+std::optional<std::size_t> RunRecorder::rounds_to_accuracy(
+    double target, std::size_t window) const {
+  GSFL_EXPECT(window >= 1);
+  if (records_.empty()) return std::nullopt;
+  double running = 0.0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    running += records_[i].eval_accuracy;
+    if (i >= window) running -= records_[i - window].eval_accuracy;
+    const std::size_t span = std::min(i + 1, window);
+    if (running / static_cast<double>(span) >= target) {
+      return records_[i].round;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> RunRecorder::seconds_to_accuracy(
+    double target, std::size_t window) const {
+  const auto round = rounds_to_accuracy(target, window);
+  if (!round) return std::nullopt;
+  for (const auto& r : records_) {
+    if (r.round == *round) return r.sim_seconds;
+  }
+  return std::nullopt;  // unreachable given record() invariants
+}
+
+void RunRecorder::write_csv(std::ostream& out) const {
+  common::CsvWriter csv(
+      out, {"scheme", "round", "sim_seconds", "train_loss", "eval_accuracy"});
+  for (const auto& r : records_) {
+    csv.row({scheme_name_, static_cast<std::int64_t>(r.round), r.sim_seconds,
+             r.train_loss, r.eval_accuracy});
+  }
+}
+
+}  // namespace gsfl::metrics

@@ -1,0 +1,55 @@
+#include "gsfl/net/channel.hpp"
+
+#include <cmath>
+
+#include "gsfl/common/expect.hpp"
+#include "gsfl/common/units.hpp"
+
+namespace gsfl::net {
+
+double PathLossModel::loss_db(double distance_m) const {
+  GSFL_EXPECT(distance_m > 0.0);
+  GSFL_EXPECT(reference_distance_m > 0.0);
+  const double d = std::max(distance_m, reference_distance_m);
+  return reference_loss_db +
+         10.0 * exponent * std::log10(d / reference_distance_m);
+}
+
+ShannonLink::ShannonLink(const ChannelConfig& config, double tx_power_dbm,
+                         double distance_m) {
+  const double rx_dbm =
+      tx_power_dbm - config.path_loss.loss_db(distance_m);
+  received_power_watts_ = common::dbm_to_watts(rx_dbm);
+  noise_density_watts_per_hz_ = common::dbm_to_watts(
+      config.thermal_noise_dbm_per_hz + config.noise_figure_db);
+}
+
+double ShannonLink::snr(double bandwidth_hz) const {
+  GSFL_EXPECT(bandwidth_hz > 0.0);
+  return received_power_watts_ / (noise_density_watts_per_hz_ * bandwidth_hz);
+}
+
+double ShannonLink::rate_bps(double bandwidth_hz) const {
+  return bandwidth_hz * std::log2(1.0 + snr(bandwidth_hz));
+}
+
+double ShannonLink::faded_rate_bps(double bandwidth_hz,
+                                   common::Rng& rng) const {
+  // Rayleigh fading: |h|² is Exp(1), so E[|h|²] = 1 and the deterministic
+  // rate is the no-fading reference.
+  const double fade = rng.exponential(1.0);
+  GSFL_EXPECT(bandwidth_hz > 0.0);
+  const double faded_snr = snr(bandwidth_hz) * fade;
+  return bandwidth_hz * std::log2(1.0 + faded_snr);
+}
+
+double ShannonLink::transmit_seconds(double payload_bytes,
+                                     double bandwidth_hz) const {
+  GSFL_EXPECT(payload_bytes >= 0.0);
+  if (payload_bytes == 0.0) return 0.0;
+  const double rate = rate_bps(bandwidth_hz);
+  GSFL_ENSURE_MSG(rate > 0.0, "link rate collapsed to zero");
+  return common::transmit_seconds(payload_bytes, rate);
+}
+
+}  // namespace gsfl::net

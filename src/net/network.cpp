@@ -1,0 +1,99 @@
+#include "gsfl/net/network.hpp"
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::net {
+
+WirelessNetwork::WirelessNetwork(NetworkConfig config,
+                                 std::vector<DeviceProfile> clients)
+    : config_(config), clients_(std::move(clients)) {
+  GSFL_EXPECT(config_.total_bandwidth_hz > 0.0);
+  GSFL_EXPECT_MSG(!clients_.empty(), "a network needs at least one client");
+  uplinks_.reserve(clients_.size());
+  downlinks_.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    GSFL_EXPECT(c.compute_flops > 0.0);
+    uplinks_.emplace_back(config_.channel, c.tx_power_dbm, c.distance_m);
+    downlinks_.emplace_back(config_.channel, config_.ap.tx_power_dbm,
+                            c.distance_m);
+  }
+  GSFL_EXPECT(config_.ap.compute_flops > 0.0);
+}
+
+WirelessNetwork WirelessNetwork::make_uniform_random(
+    NetworkConfig config, std::size_t num_clients, double min_distance_m,
+    double max_distance_m, double min_flops, double max_flops,
+    common::Rng& rng) {
+  GSFL_EXPECT(num_clients >= 1);
+  GSFL_EXPECT(min_distance_m > 0.0 && min_distance_m <= max_distance_m);
+  GSFL_EXPECT(min_flops > 0.0 && min_flops <= max_flops);
+  std::vector<DeviceProfile> clients;
+  clients.reserve(num_clients);
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    DeviceProfile profile;
+    profile.distance_m = rng.uniform(min_distance_m, max_distance_m);
+    profile.compute_flops = rng.uniform(min_flops, max_flops);
+    clients.push_back(profile);
+  }
+  return WirelessNetwork(config, std::move(clients));
+}
+
+const DeviceProfile& WirelessNetwork::client(std::size_t index) const {
+  GSFL_EXPECT(index < clients_.size());
+  return clients_[index];
+}
+
+double WirelessNetwork::uplink_rate_bps(std::size_t client,
+                                        double bandwidth_share) const {
+  GSFL_EXPECT(client < clients_.size());
+  GSFL_EXPECT(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
+  return uplinks_[client].rate_bps(config_.total_bandwidth_hz *
+                                   bandwidth_share);
+}
+
+double WirelessNetwork::downlink_rate_bps(std::size_t client,
+                                          double bandwidth_share) const {
+  GSFL_EXPECT(client < clients_.size());
+  GSFL_EXPECT(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
+  return downlinks_[client].rate_bps(config_.total_bandwidth_hz *
+                                     bandwidth_share);
+}
+
+double WirelessNetwork::uplink_seconds(std::size_t client,
+                                       double payload_bytes,
+                                       double bandwidth_share) const {
+  GSFL_EXPECT(client < clients_.size());
+  GSFL_EXPECT(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
+  return uplinks_[client].transmit_seconds(
+      payload_bytes, config_.total_bandwidth_hz * bandwidth_share);
+}
+
+double WirelessNetwork::downlink_seconds(std::size_t client,
+                                         double payload_bytes,
+                                         double bandwidth_share) const {
+  GSFL_EXPECT(client < clients_.size());
+  GSFL_EXPECT(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
+  return downlinks_[client].transmit_seconds(
+      payload_bytes, config_.total_bandwidth_hz * bandwidth_share);
+}
+
+double WirelessNetwork::client_compute_seconds(std::size_t client,
+                                               double flops) const {
+  GSFL_EXPECT(client < clients_.size());
+  GSFL_EXPECT(flops >= 0.0);
+  return flops / clients_[client].compute_flops;
+}
+
+double WirelessNetwork::server_compute_seconds(double flops) const {
+  GSFL_EXPECT(flops >= 0.0);
+  return flops / config_.ap.compute_flops;
+}
+
+double WirelessNetwork::relay_seconds(std::size_t from, std::size_t to,
+                                      double payload_bytes,
+                                      double bandwidth_share) const {
+  return uplink_seconds(from, payload_bytes, bandwidth_share) +
+         downlink_seconds(to, payload_bytes, bandwidth_share);
+}
+
+}  // namespace gsfl::net

@@ -1,0 +1,37 @@
+#include "gsfl/nn/activations.hpp"
+
+#include <cmath>
+
+namespace gsfl::nn {
+
+Tensor Activation::forward(const Tensor& input, bool /*train*/) {
+  cached_input_ = input;
+  Tensor out(input.shape());
+  const auto src = input.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = apply(src[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Activation::backward(const Tensor& grad_output) {
+  GSFL_EXPECT_MSG(grad_output.shape() == cached_input_.shape(),
+                  "activation backward shape mismatch (missing forward?)");
+  Tensor grad_input(grad_output.shape());
+  const auto go = grad_output.data();
+  const auto x = cached_input_.data();
+  const auto y = cached_output_.data();
+  auto gi = grad_input.data();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    gi[i] = go[i] * derivative(x[i], y[i]);
+  }
+  return grad_input;
+}
+
+float Tanh::apply(float x) const { return std::tanh(x); }
+
+float Sigmoid::apply(float x) const {
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace gsfl::nn

@@ -1,0 +1,164 @@
+#include "gsfl/nn/batchnorm.hpp"
+
+#include <cmath>
+
+namespace gsfl::nn {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float epsilon)
+    : channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(Tensor::ones(Shape{channels})),
+      beta_(Shape{channels}),
+      grad_gamma_(Shape{channels}),
+      grad_beta_(Shape{channels}),
+      running_mean_(Shape{channels}),
+      running_var_(Tensor::ones(Shape{channels})) {
+  GSFL_EXPECT(channels > 0);
+  GSFL_EXPECT(momentum > 0.0f && momentum <= 1.0f);
+  GSFL_EXPECT(epsilon > 0.0f);
+}
+
+std::string BatchNorm2d::name() const {
+  return "batchnorm2d(" + std::to_string(channels_) + ")";
+}
+
+Shape BatchNorm2d::output_shape(const Shape& input) const {
+  GSFL_EXPECT(input.rank() == 4 && input[1] == channels_);
+  return input;
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+  GSFL_EXPECT(input.shape().rank() == 4);
+  GSFL_EXPECT_MSG(input.shape()[1] == channels_, "batchnorm channel mismatch");
+  const std::size_t batch = input.shape()[0];
+  const std::size_t hw = input.shape()[2] * input.shape()[3];
+  const std::size_t per_channel = batch * hw;
+  GSFL_EXPECT_MSG(per_channel > 0, "batchnorm needs at least one sample");
+
+  const auto src = input.data();
+  Tensor out(input.shape());
+  auto dst = out.data();
+  const auto g = gamma_.data();
+  const auto b = beta_.data();
+
+  const auto plane_offset = [&](std::size_t n, std::size_t c) {
+    return (n * channels_ + c) * hw;
+  };
+
+  if (train) {
+    cached_input_ = input;
+    cached_normalized_ = Tensor(input.shape());
+    cached_mean_.assign(channels_, 0.0f);
+    cached_inv_std_.assign(channels_, 0.0f);
+    auto norm = cached_normalized_.data();
+    auto rm = running_mean_.data();
+    auto rv = running_var_.data();
+
+    for (std::size_t c = 0; c < channels_; ++c) {
+      double sum = 0.0;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* p = src.data() + plane_offset(n, c);
+        for (std::size_t i = 0; i < hw; ++i) sum += p[i];
+      }
+      const float mean = static_cast<float>(sum / per_channel);
+
+      double var_sum = 0.0;
+      for (std::size_t n = 0; n < batch; ++n) {
+        const float* p = src.data() + plane_offset(n, c);
+        for (std::size_t i = 0; i < hw; ++i) {
+          const double d = p[i] - mean;
+          var_sum += d * d;
+        }
+      }
+      const float var = static_cast<float>(var_sum / per_channel);
+      const float inv_std = 1.0f / std::sqrt(var + epsilon_);
+      cached_mean_[c] = mean;
+      cached_inv_std_[c] = inv_std;
+      rm[c] = (1.0f - momentum_) * rm[c] + momentum_ * mean;
+      rv[c] = (1.0f - momentum_) * rv[c] + momentum_ * var;
+
+      for (std::size_t n = 0; n < batch; ++n) {
+        const std::size_t off = plane_offset(n, c);
+        for (std::size_t i = 0; i < hw; ++i) {
+          const float x_hat = (src[off + i] - mean) * inv_std;
+          norm[off + i] = x_hat;
+          dst[off + i] = g[c] * x_hat + b[c];
+        }
+      }
+    }
+  } else {
+    const auto rm = running_mean_.data();
+    const auto rv = running_var_.data();
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float inv_std = 1.0f / std::sqrt(rv[c] + epsilon_);
+      for (std::size_t n = 0; n < batch; ++n) {
+        const std::size_t off = plane_offset(n, c);
+        for (std::size_t i = 0; i < hw; ++i) {
+          dst[off + i] = g[c] * (src[off + i] - rm[c]) * inv_std + b[c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  GSFL_EXPECT_MSG(cached_input_.shape().rank() == 4,
+                  "backward() requires a prior training-mode forward()");
+  GSFL_EXPECT(grad_output.shape() == cached_input_.shape());
+  const std::size_t batch = cached_input_.shape()[0];
+  const std::size_t hw =
+      cached_input_.shape()[2] * cached_input_.shape()[3];
+  const auto m = static_cast<float>(batch * hw);
+
+  Tensor grad_input(cached_input_.shape());
+  const auto go = grad_output.data();
+  const auto norm = cached_normalized_.data();
+  auto gi = grad_input.data();
+  const auto g = gamma_.data();
+  auto gg = grad_gamma_.data();
+  auto gb = grad_beta_.data();
+
+  const auto plane_offset = [&](std::size_t n, std::size_t c) {
+    return (n * channels_ + c) * hw;
+  };
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Channel-wide reductions: Σdy and Σdy·x̂.
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const std::size_t off = plane_offset(n, c);
+      for (std::size_t i = 0; i < hw; ++i) {
+        sum_dy += go[off + i];
+        sum_dy_xhat += static_cast<double>(go[off + i]) * norm[off + i];
+      }
+    }
+    gb[c] += static_cast<float>(sum_dy);
+    gg[c] += static_cast<float>(sum_dy_xhat);
+
+    // dx = (γ/σ) · (dy − Σdy/m − x̂·Σ(dy·x̂)/m)
+    const float scale = g[c] * cached_inv_std_[c];
+    const auto mean_dy = static_cast<float>(sum_dy / m);
+    const auto mean_dy_xhat = static_cast<float>(sum_dy_xhat / m);
+    for (std::size_t n = 0; n < batch; ++n) {
+      const std::size_t off = plane_offset(n, c);
+      for (std::size_t i = 0; i < hw; ++i) {
+        gi[off + i] = scale * (go[off + i] - mean_dy -
+                               norm[off + i] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_input;
+}
+
+FlopCount BatchNorm2d::flops(const Shape& input) const {
+  GSFL_EXPECT(input.rank() == 4 && input[1] == channels_);
+  const std::uint64_t n = input.numel();
+  // ~4 ops/element forward (two reduction passes + normalize),
+  // ~7 ops/element backward (two reductions + recombine).
+  return FlopCount{4 * n, 7 * n};
+}
+
+}  // namespace gsfl::nn

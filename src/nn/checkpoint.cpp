@@ -1,0 +1,69 @@
+#include "gsfl/nn/checkpoint.hpp"
+
+#include <array>
+#include <fstream>
+
+#include "gsfl/tensor/serialize.hpp"
+
+namespace gsfl::nn {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'G', 'S', 'F', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const Sequential& model) {
+  const auto state = model.state();
+  out.write(kMagic.data(), kMagic.size());
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const std::uint64_t count = state.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& tensor : state) {
+    tensor::write_tensor(out, tensor);
+  }
+  if (!out) throw std::runtime_error("checkpoint write failed");
+}
+
+void save_checkpoint_file(const std::string& path, const Sequential& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open checkpoint file: " + path);
+  save_checkpoint(out, model);
+}
+
+StateDict read_checkpoint_state(std::istream& in) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version");
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count > (1ULL << 24)) {
+    throw std::runtime_error("checkpoint: implausible entry count");
+  }
+  StateDict state;
+  state.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    state.push_back(tensor::read_tensor(in));
+  }
+  return state;
+}
+
+void load_checkpoint(std::istream& in, Sequential& model) {
+  model.load_state(read_checkpoint_state(in));
+}
+
+void load_checkpoint_file(const std::string& path, Sequential& model) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open checkpoint file: " + path);
+  load_checkpoint(in, model);
+}
+
+}  // namespace gsfl::nn

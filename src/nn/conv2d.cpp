@@ -1,0 +1,137 @@
+#include "gsfl/nn/conv2d.hpp"
+
+#include "gsfl/nn/init.hpp"
+#include "gsfl/tensor/gemm.hpp"
+
+namespace gsfl::nn {
+
+using tensor::ConvGeometry;
+using tensor::Trans;
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               common::Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_(Shape{out_channels, in_channels * kernel * kernel}),
+      bias_(Shape{out_channels}),
+      grad_weight_(Shape{out_channels, in_channels * kernel * kernel}),
+      grad_bias_(Shape{out_channels}) {
+  GSFL_EXPECT(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+              stride > 0);
+  he_normal(weight_, in_channels * kernel * kernel, rng);
+}
+
+std::string Conv2d::name() const {
+  return "conv2d(" + std::to_string(in_channels_) + "->" +
+         std::to_string(out_channels_) + ",k" + std::to_string(kernel_) +
+         ",s" + std::to_string(stride_) + ",p" + std::to_string(pad_) + ")";
+}
+
+ConvGeometry Conv2d::geometry(const Shape& input) const {
+  GSFL_EXPECT(input.rank() == 4);
+  GSFL_EXPECT_MSG(input[1] == in_channels_, "conv2d channel mismatch");
+  return ConvGeometry{.in_channels = in_channels_,
+                      .in_h = input[2],
+                      .in_w = input[3],
+                      .kernel = kernel_,
+                      .stride = stride_,
+                      .pad = pad_};
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+  const ConvGeometry geom = geometry(input.shape());
+  const std::size_t batch = input.shape()[0];
+  const std::size_t oh = geom.out_h();
+  const std::size_t ow = geom.out_w();
+
+  cached_input_shape_ = input.shape();
+  cached_columns_.clear();
+  cached_columns_.reserve(batch);
+
+  Tensor out(Shape{batch, out_channels_, oh, ow});
+  auto od = out.data();
+  const auto bd = bias_.data();
+  const std::size_t positions = oh * ow;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    cached_columns_.push_back(tensor::im2col(input, n, geom));
+    // (out_c × patch) · (patch × positions) → (out_c × positions)
+    Tensor result = tensor::matmul(weight_, cached_columns_.back());
+    const auto rd = result.data();
+    float* dst = od.data() + n * out_channels_ * positions;
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      const float b = bd[c];
+      for (std::size_t p = 0; p < positions; ++p) {
+        dst[c * positions + p] = rd[c * positions + p] + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  GSFL_EXPECT_MSG(cached_input_shape_.rank() == 4,
+                  "backward() requires a prior forward()");
+  const ConvGeometry geom = geometry(cached_input_shape_);
+  const std::size_t batch = cached_input_shape_[0];
+  const std::size_t positions = geom.out_positions();
+  GSFL_EXPECT(grad_output.shape() ==
+              Shape({batch, out_channels_, geom.out_h(), geom.out_w()}));
+  GSFL_EXPECT(cached_columns_.size() == batch);
+
+  Tensor grad_input(cached_input_shape_);
+  const auto gd = grad_output.data();
+  auto gb = grad_bias_.data();
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    // View this image's output gradient as an (out_c × positions) matrix.
+    Tensor dy(Shape{out_channels_, positions});
+    auto dyd = dy.data();
+    const float* src = gd.data() + n * out_channels_ * positions;
+    std::copy(src, src + out_channels_ * positions, dyd.begin());
+
+    // db += row sums of dy.
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < positions; ++p) acc += dyd[c * positions + p];
+      gb[c] += acc;
+    }
+
+    // dW += dy · colsᵀ ; dcols = Wᵀ · dy, scattered back via col2im.
+    tensor::gemm(1.0f, dy, Trans::kNo, cached_columns_[n], Trans::kYes, 1.0f,
+                 grad_weight_);
+    Tensor dcols = tensor::matmul(weight_, dy, Trans::kYes, Trans::kNo);
+    tensor::col2im_accumulate(dcols, geom, grad_input, n);
+  }
+  return grad_input;
+}
+
+std::vector<Tensor*> Conv2d::parameters() { return {&weight_, &bias_}; }
+std::vector<Tensor*> Conv2d::gradients() {
+  return {&grad_weight_, &grad_bias_};
+}
+
+Shape Conv2d::output_shape(const Shape& input) const {
+  const ConvGeometry geom = geometry(input);
+  return Shape{input[0], out_channels_, geom.out_h(), geom.out_w()};
+}
+
+FlopCount Conv2d::flops(const Shape& input) const {
+  const ConvGeometry geom = geometry(input);
+  const std::uint64_t batch = input[0];
+  const std::uint64_t mac = 2ULL * batch * out_channels_ *
+                            geom.patch_size() * geom.out_positions();
+  const std::uint64_t bias_adds = batch * out_channels_ * geom.out_positions();
+  // Backward runs two GEMMs of the forward size (dW and dcols) plus col2im.
+  return FlopCount{mac + bias_adds, 2 * mac + bias_adds};
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  return std::make_unique<Conv2d>(*this);
+}
+
+}  // namespace gsfl::nn

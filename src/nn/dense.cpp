@@ -1,0 +1,89 @@
+#include "gsfl/nn/dense.hpp"
+
+#include "gsfl/nn/init.hpp"
+#include "gsfl/tensor/gemm.hpp"
+
+namespace gsfl::nn {
+
+using tensor::Trans;
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             common::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      grad_weight_(Shape{out_features, in_features}),
+      grad_bias_(Shape{out_features}) {
+  GSFL_EXPECT(in_features > 0 && out_features > 0);
+  he_normal(weight_, in_features, rng);
+}
+
+std::string Dense::name() const {
+  return "dense(" + std::to_string(in_features_) + "->" +
+         std::to_string(out_features_) + ")";
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*train*/) {
+  GSFL_EXPECT(input.shape().rank() == 2);
+  GSFL_EXPECT_MSG(input.shape()[1] == in_features_,
+                  "dense input width mismatch");
+  cached_input_ = input;
+  // y = x · Wᵀ, then add bias per row.
+  Tensor out = tensor::matmul(input, weight_, Trans::kNo, Trans::kYes);
+  auto od = out.data();
+  const auto bd = bias_.data();
+  const std::size_t batch = input.shape()[0];
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      od[i * out_features_ + j] += bd[j];
+    }
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  GSFL_EXPECT(grad_output.shape().rank() == 2);
+  GSFL_EXPECT(grad_output.shape()[1] == out_features_);
+  GSFL_EXPECT_MSG(cached_input_.shape().rank() == 2,
+                  "backward() requires a prior forward()");
+  GSFL_EXPECT(grad_output.shape()[0] == cached_input_.shape()[0]);
+
+  // dW += dyᵀ · x ; db += column sums of dy ; dx = dy · W.
+  tensor::gemm(1.0f, grad_output, Trans::kYes, cached_input_, Trans::kNo,
+               1.0f, grad_weight_);
+  const auto gd = grad_output.data();
+  auto gb = grad_bias_.data();
+  const std::size_t batch = grad_output.shape()[0];
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      gb[j] += gd[i * out_features_ + j];
+    }
+  }
+  return tensor::matmul(grad_output, weight_, Trans::kNo, Trans::kNo);
+}
+
+std::vector<Tensor*> Dense::parameters() { return {&weight_, &bias_}; }
+std::vector<Tensor*> Dense::gradients() {
+  return {&grad_weight_, &grad_bias_};
+}
+
+Shape Dense::output_shape(const Shape& input) const {
+  GSFL_EXPECT(input.rank() == 2 && input[1] == in_features_);
+  return Shape{input[0], out_features_};
+}
+
+FlopCount Dense::flops(const Shape& input) const {
+  GSFL_EXPECT(input.rank() == 2 && input[1] == in_features_);
+  const std::uint64_t batch = input[0];
+  const std::uint64_t mac = 2ULL * batch * in_features_ * out_features_;
+  // Backward: dW (one GEMM) + dx (one GEMM) + bias reduction.
+  return FlopCount{mac + batch * out_features_,
+                   2 * mac + batch * out_features_};
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  return std::make_unique<Dense>(*this);
+}
+
+}  // namespace gsfl::nn

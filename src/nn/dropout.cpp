@@ -1,0 +1,45 @@
+#include "gsfl/nn/dropout.hpp"
+
+namespace gsfl::nn {
+
+Dropout::Dropout(float drop_probability, common::Rng& rng)
+    : drop_probability_(drop_probability), rng_(rng.fork(0xd409u)) {
+  GSFL_EXPECT(drop_probability >= 0.0f && drop_probability < 1.0f);
+}
+
+std::string Dropout::name() const {
+  return "dropout(p=" + std::to_string(drop_probability_) + ")";
+}
+
+Tensor Dropout::forward(const Tensor& input, bool train) {
+  last_was_train_ = train;
+  if (!train || drop_probability_ == 0.0f) {
+    return input;
+  }
+  const float keep = 1.0f - drop_probability_;
+  const float scale = 1.0f / keep;
+  cached_mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const auto src = input.data();
+  auto mask = cached_mask_.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float m = rng_.bernoulli(keep) ? scale : 0.0f;
+    mask[i] = m;
+    dst[i] = src[i] * m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!last_was_train_ || drop_probability_ == 0.0f) {
+    return grad_output;
+  }
+  GSFL_EXPECT_MSG(grad_output.shape() == cached_mask_.shape(),
+                  "dropout backward shape mismatch (missing forward?)");
+  Tensor grad_input = grad_output;
+  grad_input.mul_(cached_mask_);
+  return grad_input;
+}
+
+}  // namespace gsfl::nn

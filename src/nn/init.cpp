@@ -1,0 +1,26 @@
+#include "gsfl/nn/init.hpp"
+
+#include <cmath>
+
+namespace gsfl::nn {
+
+void he_normal(tensor::Tensor& weights, std::size_t fan_in,
+               common::Rng& rng) {
+  GSFL_EXPECT(fan_in > 0);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (auto& w : weights.data()) {
+    w = static_cast<float>(rng.normal(0.0, stddev));
+  }
+}
+
+void xavier_uniform(tensor::Tensor& weights, std::size_t fan_in,
+                    std::size_t fan_out, common::Rng& rng) {
+  GSFL_EXPECT(fan_in > 0 && fan_out > 0);
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (auto& w : weights.data()) {
+    w = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+}  // namespace gsfl::nn

@@ -1,0 +1,78 @@
+#include "gsfl/nn/loss.hpp"
+
+#include <cmath>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor softmax(const Tensor& logits) {
+  GSFL_EXPECT(logits.shape().rank() == 2);
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  Tensor probs(logits.shape());
+  const auto src = logits.data();
+  auto dst = probs.data();
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* row = src.data() + i * classes;
+    float* out = dst.data() + i * classes;
+    float row_max = row[0];
+    for (std::size_t j = 1; j < classes; ++j) row_max = std::max(row_max, row[j]);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < classes; ++j) {
+      out[j] = std::exp(row[j] - row_max);
+      denom += out[j];
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::size_t j = 0; j < classes; ++j) out[j] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::int32_t> labels) {
+  GSFL_EXPECT(logits.shape().rank() == 2);
+  const std::size_t batch = logits.shape()[0];
+  const std::size_t classes = logits.shape()[1];
+  GSFL_EXPECT_MSG(labels.size() == batch,
+                  "one label per logits row required");
+  GSFL_EXPECT(batch > 0);
+
+  LossResult result;
+  result.probabilities = softmax(logits);
+  result.grad_logits = result.probabilities;
+
+  const auto probs = result.probabilities.data();
+  auto grad = result.grad_logits.data();
+  const auto inv_batch = static_cast<float>(1.0 / static_cast<double>(batch));
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto label = static_cast<std::size_t>(labels[i]);
+    GSFL_EXPECT_MSG(label < classes, "label out of range");
+    const double p = std::max(static_cast<double>(probs[i * classes + label]),
+                              1e-12);
+    loss -= std::log(p);
+    grad[i * classes + label] -= 1.0f;
+  }
+  for (std::size_t i = 0; i < batch * classes; ++i) grad[i] *= inv_batch;
+  result.loss = loss / static_cast<double>(batch);
+  return result;
+}
+
+double accuracy(const Tensor& logits, std::span<const std::int32_t> labels) {
+  GSFL_EXPECT(logits.shape().rank() == 2);
+  GSFL_EXPECT(labels.size() == logits.shape()[0]);
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (logits.argmax_row(i) == static_cast<std::size_t>(labels[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace gsfl::nn

@@ -1,0 +1,91 @@
+#include "gsfl/nn/model_zoo.hpp"
+
+#include "gsfl/nn/activations.hpp"
+#include "gsfl/nn/batchnorm.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/dropout.hpp"
+#include "gsfl/nn/flatten.hpp"
+#include "gsfl/nn/pooling.hpp"
+
+namespace gsfl::nn {
+
+Sequential make_gtsrb_cnn(const CnnConfig& config, common::Rng& rng) {
+  GSFL_EXPECT(config.image_size >= 8);
+  GSFL_EXPECT(config.image_size % 4 == 0);
+  GSFL_EXPECT(config.classes >= 2);
+  const bool three_blocks = config.conv3_filters > 0;
+  if (three_blocks) GSFL_EXPECT(config.image_size % 8 == 0);
+
+  Sequential model;
+  model.emplace<Conv2d>(config.in_channels, config.conv1_filters, 3, 1, 1,
+                        rng);
+  if (config.batch_norm) model.emplace<BatchNorm2d>(config.conv1_filters);
+  model.emplace<Relu>();
+  model.emplace<MaxPool2d>(2);
+
+  model.emplace<Conv2d>(config.conv1_filters, config.conv2_filters, 3, 1, 1,
+                        rng);
+  if (config.batch_norm) model.emplace<BatchNorm2d>(config.conv2_filters);
+  model.emplace<Relu>();
+  model.emplace<MaxPool2d>(2);
+
+  std::size_t spatial = config.image_size / 4;
+  std::size_t last_filters = config.conv2_filters;
+  if (three_blocks) {
+    model.emplace<Conv2d>(config.conv2_filters, config.conv3_filters, 3, 1,
+                          1, rng);
+    if (config.batch_norm) model.emplace<BatchNorm2d>(config.conv3_filters);
+    model.emplace<Relu>();
+    model.emplace<MaxPool2d>(2);
+    spatial = config.image_size / 8;
+    last_filters = config.conv3_filters;
+  }
+
+  model.emplace<Flatten>();
+  model.emplace<Dense>(last_filters * spatial * spatial, config.hidden, rng);
+  model.emplace<Relu>();
+  if (config.dropout > 0.0f) model.emplace<Dropout>(config.dropout, rng);
+  model.emplace<Dense>(config.hidden, config.classes, rng);
+  return model;
+}
+
+CnnConfig deep_cnn_config(std::size_t image_size, std::size_t classes) {
+  CnnConfig config;
+  config.image_size = image_size;
+  config.classes = classes;
+  config.conv1_filters = 16;
+  config.conv2_filters = 32;
+  config.conv3_filters = 64;
+  config.hidden = 128;
+  return config;
+}
+
+std::size_t default_cut_layer(const CnnConfig& config) {
+  // End of the first conv block: conv (+bn) + relu + pool.
+  return config.batch_norm ? 4 : 3;
+}
+
+std::size_t cut_layer_count(const CnnConfig& config) {
+  const std::size_t blocks = config.conv3_filters > 0 ? 3 : 2;
+  std::size_t n = 3 * blocks + 3;  // conv/relu/pool per block + head
+  if (config.batch_norm) n += blocks;
+  if (config.dropout > 0.0f) n += 1;
+  return n + 1;  // final dense
+}
+
+Sequential make_mlp(std::size_t in_features, std::vector<std::size_t> hidden,
+                    std::size_t out_features, common::Rng& rng) {
+  GSFL_EXPECT(in_features > 0 && out_features > 0);
+  Sequential model;
+  std::size_t width = in_features;
+  for (const std::size_t h : hidden) {
+    model.emplace<Dense>(width, h, rng);
+    model.emplace<Relu>();
+    width = h;
+  }
+  model.emplace<Dense>(width, out_features, rng);
+  return model;
+}
+
+}  // namespace gsfl::nn

@@ -1,0 +1,110 @@
+#include "gsfl/nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::nn {
+
+using tensor::Tensor;
+
+void Optimizer::attach(std::vector<Tensor*> params,
+                       std::vector<Tensor*> grads) {
+  GSFL_EXPECT_MSG(params.size() == grads.size(),
+                  "parameter/gradient count mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    GSFL_EXPECT(params[i] != nullptr && grads[i] != nullptr);
+    GSFL_EXPECT_MSG(params[i]->shape() == grads[i]->shape(),
+                    "parameter/gradient shape mismatch at slot " +
+                        std::to_string(i));
+  }
+  params_ = std::move(params);
+  grads_ = std::move(grads);
+}
+
+void Optimizer::step() {
+  GSFL_EXPECT_MSG(!params_.empty(), "optimizer not attached to a model");
+  begin_step();
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    update(i, *params_[i], *grads_[i]);
+  }
+}
+
+Sgd::Sgd(double lr, double weight_decay)
+    : Optimizer(lr), weight_decay_(weight_decay) {
+  GSFL_EXPECT(lr > 0.0);
+  GSFL_EXPECT(weight_decay >= 0.0);
+}
+
+void Sgd::update(std::size_t /*slot*/, Tensor& param, const Tensor& grad) {
+  auto p = param.data();
+  const auto g = grad.data();
+  const auto lr = static_cast<float>(lr_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] -= lr * (g[i] + wd * p[i]);
+  }
+}
+
+MomentumSgd::MomentumSgd(double lr, double momentum, double weight_decay)
+    : Optimizer(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  GSFL_EXPECT(lr > 0.0);
+  GSFL_EXPECT(momentum >= 0.0 && momentum < 1.0);
+}
+
+void MomentumSgd::update(std::size_t slot, Tensor& param, const Tensor& grad) {
+  if (velocity_.size() <= slot) velocity_.resize(slot + 1);
+  if (velocity_[slot].shape() != param.shape()) {
+    velocity_[slot] = Tensor(param.shape());
+  }
+  auto v = velocity_[slot].data();
+  auto p = param.data();
+  const auto g = grad.data();
+  const auto lr = static_cast<float>(lr_);
+  const auto mu = static_cast<float>(momentum_);
+  const auto wd = static_cast<float>(weight_decay_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    v[i] = mu * v[i] + g[i] + wd * p[i];
+    p[i] -= lr * v[i];
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {
+  GSFL_EXPECT(lr > 0.0);
+  GSFL_EXPECT(beta1 >= 0.0 && beta1 < 1.0);
+  GSFL_EXPECT(beta2 >= 0.0 && beta2 < 1.0);
+  GSFL_EXPECT(epsilon > 0.0);
+}
+
+void Adam::update(std::size_t slot, Tensor& param, const Tensor& grad) {
+  if (m_.size() <= slot) {
+    m_.resize(slot + 1);
+    v_.resize(slot + 1);
+  }
+  if (m_[slot].shape() != param.shape()) {
+    m_[slot] = Tensor(param.shape());
+    v_[slot] = Tensor(param.shape());
+  }
+  auto m = m_[slot].data();
+  auto v = v_[slot].data();
+  auto p = param.data();
+  const auto g = grad.data();
+  const auto b1 = static_cast<float>(beta1_);
+  const auto b2 = static_cast<float>(beta2_);
+  const auto bias1 =
+      static_cast<float>(1.0 - std::pow(beta1_, static_cast<double>(t_)));
+  const auto bias2 =
+      static_cast<float>(1.0 - std::pow(beta2_, static_cast<double>(t_)));
+  const auto lr = static_cast<float>(lr_);
+  const auto eps = static_cast<float>(epsilon_);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    m[i] = b1 * m[i] + (1.0f - b1) * g[i];
+    v[i] = b2 * v[i] + (1.0f - b2) * g[i] * g[i];
+    const float m_hat = m[i] / bias1;
+    const float v_hat = v[i] / bias2;
+    p[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+}  // namespace gsfl::nn

@@ -1,0 +1,195 @@
+#include "gsfl/nn/pooling.hpp"
+
+#include <limits>
+
+namespace gsfl::nn {
+
+namespace {
+
+Shape pooled_shape(const Shape& input, std::size_t window,
+                   std::size_t stride) {
+  GSFL_EXPECT(input.rank() == 4);
+  GSFL_EXPECT(input[2] >= window && input[3] >= window);
+  const std::size_t oh = (input[2] - window) / stride + 1;
+  const std::size_t ow = (input[3] - window) / stride + 1;
+  return Shape{input[0], input[1], oh, ow};
+}
+
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::size_t window, std::size_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  GSFL_EXPECT(window_ > 0);
+}
+
+std::string MaxPool2d::name() const {
+  return "maxpool2d(k" + std::to_string(window_) + ",s" +
+         std::to_string(stride_) + ")";
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
+  cached_input_shape_ = input.shape();
+  const Shape out_shape = pooled_shape(input.shape(), window_, stride_);
+  Tensor out(out_shape);
+  cached_argmax_.assign(out.numel(), 0);
+
+  const std::size_t batch = input.shape()[0];
+  const std::size_t channels = input.shape()[1];
+  const std::size_t ih = input.shape()[2];
+  const std::size_t iw = input.shape()[3];
+  const std::size_t oh = out_shape[2];
+  const std::size_t ow = out_shape[3];
+  const auto src = input.data();
+  auto dst = out.data();
+
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::size_t plane = (n * channels + c) * ih * iw;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = plane;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t iy = oy * stride_ + ky;
+              const std::size_t ix = ox * stride_ + kx;
+              const std::size_t idx = plane + iy * iw + ix;
+              if (src[idx] > best) {
+                best = src[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          dst[out_idx] = best;
+          cached_argmax_[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  GSFL_EXPECT_MSG(cached_input_shape_.rank() == 4,
+                  "backward() requires a prior forward()");
+  GSFL_EXPECT(grad_output.numel() == cached_argmax_.size());
+  Tensor grad_input(cached_input_shape_);
+  auto gi = grad_input.data();
+  const auto go = grad_output.data();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    gi[cached_argmax_[i]] += go[i];
+  }
+  return grad_input;
+}
+
+Shape MaxPool2d::output_shape(const Shape& input) const {
+  return pooled_shape(input, window_, stride_);
+}
+
+FlopCount MaxPool2d::flops(const Shape& input) const {
+  const Shape out = pooled_shape(input, window_, stride_);
+  const std::uint64_t comparisons = out.numel() * window_ * window_;
+  return FlopCount{comparisons, out.numel()};
+}
+
+std::unique_ptr<Layer> MaxPool2d::clone() const {
+  return std::make_unique<MaxPool2d>(*this);
+}
+
+AvgPool2d::AvgPool2d(std::size_t window, std::size_t stride)
+    : window_(window), stride_(stride == 0 ? window : stride) {
+  GSFL_EXPECT(window_ > 0);
+}
+
+std::string AvgPool2d::name() const {
+  return "avgpool2d(k" + std::to_string(window_) + ",s" +
+         std::to_string(stride_) + ")";
+}
+
+Tensor AvgPool2d::forward(const Tensor& input, bool /*train*/) {
+  cached_input_shape_ = input.shape();
+  const Shape out_shape = pooled_shape(input.shape(), window_, stride_);
+  Tensor out(out_shape);
+  const std::size_t batch = input.shape()[0];
+  const std::size_t channels = input.shape()[1];
+  const std::size_t ih = input.shape()[2];
+  const std::size_t iw = input.shape()[3];
+  const std::size_t oh = out_shape[2];
+  const std::size_t ow = out_shape[3];
+  const float inv_area = 1.0f / static_cast<float>(window_ * window_);
+  const auto src = input.data();
+  auto dst = out.data();
+
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::size_t plane = (n * channels + c) * ih * iw;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              acc += src[plane + (oy * stride_ + ky) * iw + ox * stride_ + kx];
+            }
+          }
+          dst[out_idx] = acc * inv_area;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+  GSFL_EXPECT_MSG(cached_input_shape_.rank() == 4,
+                  "backward() requires a prior forward()");
+  const Shape out_shape =
+      pooled_shape(cached_input_shape_, window_, stride_);
+  GSFL_EXPECT(grad_output.shape() == out_shape);
+
+  Tensor grad_input(cached_input_shape_);
+  const std::size_t batch = cached_input_shape_[0];
+  const std::size_t channels = cached_input_shape_[1];
+  const std::size_t ih = cached_input_shape_[2];
+  const std::size_t iw = cached_input_shape_[3];
+  const std::size_t oh = out_shape[2];
+  const std::size_t ow = out_shape[3];
+  const float inv_area = 1.0f / static_cast<float>(window_ * window_);
+  const auto go = grad_output.data();
+  auto gi = grad_input.data();
+
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::size_t plane = (n * channels + c) * ih * iw;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          const float g = go[out_idx] * inv_area;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              gi[plane + (oy * stride_ + ky) * iw + ox * stride_ + kx] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Shape AvgPool2d::output_shape(const Shape& input) const {
+  return pooled_shape(input, window_, stride_);
+}
+
+FlopCount AvgPool2d::flops(const Shape& input) const {
+  const Shape out = pooled_shape(input, window_, stride_);
+  const std::uint64_t adds = out.numel() * window_ * window_;
+  return FlopCount{adds, adds};
+}
+
+std::unique_ptr<Layer> AvgPool2d::clone() const {
+  return std::make_unique<AvgPool2d>(*this);
+}
+
+}  // namespace gsfl::nn

@@ -1,0 +1,179 @@
+#include "gsfl/nn/sequential.hpp"
+
+#include <sstream>
+
+namespace gsfl::nn {
+
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+  if (this == &other) return *this;
+  Sequential copy(other);
+  layers_ = std::move(copy.layers_);
+  return *this;
+}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  GSFL_EXPECT_MSG(layer != nullptr, "cannot add a null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  GSFL_EXPECT(i < layers_.size());
+  return *layers_[i];
+}
+
+const Layer& Sequential::layer(std::size_t i) const {
+  GSFL_EXPECT(i < layers_.size());
+  return *layers_[i];
+}
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x, train);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::zero_grad() {
+  for (auto& l : layers_) l->zero_grad();
+}
+
+std::vector<Tensor*> Sequential::parameters() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* p : l->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::gradients() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* g : l->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::buffers() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* b : l->buffers()) out.push_back(b);
+  }
+  return out;
+}
+
+StateDict Sequential::state() const {
+  StateDict out;
+  auto& self = const_cast<Sequential&>(*this);
+  for (Tensor* p : self.parameters()) out.push_back(*p);
+  for (Tensor* b : self.buffers()) out.push_back(*b);
+  return out;
+}
+
+void Sequential::load_state(const StateDict& state) {
+  auto params = parameters();
+  auto bufs = buffers();
+  GSFL_EXPECT_MSG(state.size() == params.size() + bufs.size(),
+                  "state dict entry count mismatch");
+  std::size_t i = 0;
+  for (Tensor* p : params) {
+    GSFL_EXPECT_MSG(state[i].shape() == p->shape(),
+                    "state dict shape mismatch at parameter " +
+                        std::to_string(i));
+    *p = state[i++];
+  }
+  for (Tensor* b : bufs) {
+    GSFL_EXPECT_MSG(state[i].shape() == b->shape(),
+                    "state dict shape mismatch at buffer " +
+                        std::to_string(i));
+    *b = state[i++];
+  }
+}
+
+std::size_t Sequential::parameter_count() const {
+  auto& self = const_cast<Sequential&>(*this);
+  std::size_t n = 0;
+  for (const Tensor* p : self.parameters()) n += p->numel();
+  return n;
+}
+
+std::size_t Sequential::state_bytes() const {
+  auto& self = const_cast<Sequential&>(*this);
+  std::size_t bytes = 0;
+  for (const Tensor* p : self.parameters()) bytes += p->size_bytes();
+  for (const Tensor* b : self.buffers()) bytes += b->size_bytes();
+  return bytes;
+}
+
+Shape Sequential::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+FlopCount Sequential::flops(const Shape& input) const {
+  FlopCount total;
+  Shape s = input;
+  for (const auto& l : layers_) {
+    total += l->flops(s);
+    s = l->output_shape(s);
+  }
+  return total;
+}
+
+std::vector<Shape> Sequential::layer_output_shapes(const Shape& input) const {
+  std::vector<Shape> out;
+  out.reserve(layers_.size());
+  Shape s = input;
+  for (const auto& l : layers_) {
+    s = l->output_shape(s);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::string Sequential::summary(const Shape& input) const {
+  std::ostringstream os;
+  Shape s = input;
+  os << "input " << s.to_string() << '\n';
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    s = layers_[i]->output_shape(s);
+    os << "  [" << i << "] " << layers_[i]->name() << " -> " << s.to_string()
+       << '\n';
+  }
+  os << "parameters: " << parameter_count();
+  return os.str();
+}
+
+std::pair<Sequential, Sequential> Sequential::split(std::size_t cut) const {
+  GSFL_EXPECT_MSG(cut <= layers_.size(), "cut index beyond model depth");
+  Sequential head;
+  Sequential tail;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    (i < cut ? head : tail).add(layers_[i]->clone());
+  }
+  return {std::move(head), std::move(tail)};
+}
+
+Sequential Sequential::concatenate(const Sequential& head,
+                                   const Sequential& tail) {
+  Sequential out(head);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    out.add(tail.layer(i).clone());
+  }
+  return out;
+}
+
+}  // namespace gsfl::nn

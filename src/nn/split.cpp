@@ -1,0 +1,71 @@
+#include "gsfl/nn/split.hpp"
+
+namespace gsfl::nn {
+
+SplitModel::SplitModel(const Sequential& full, std::size_t cut_layer)
+    : cut_(cut_layer) {
+  auto [head, tail] = full.split(cut_layer);
+  client_ = std::move(head);
+  server_ = std::move(tail);
+}
+
+SplitModel::SplitModel(Sequential client_side, Sequential server_side)
+    : cut_(client_side.size()),
+      client_(std::move(client_side)),
+      server_(std::move(server_side)) {}
+
+Tensor SplitModel::client_forward(const Tensor& input, bool train) {
+  return client_.forward(input, train);
+}
+
+Tensor SplitModel::server_forward(const Tensor& smashed, bool train) {
+  return server_.forward(smashed, train);
+}
+
+Tensor SplitModel::server_backward(const Tensor& grad_logits) {
+  return server_.backward(grad_logits);
+}
+
+void SplitModel::client_backward(const Tensor& grad_smashed) {
+  if (client_.empty()) return;
+  (void)client_.backward(grad_smashed);
+}
+
+Tensor SplitModel::forward(const Tensor& input, bool train) {
+  return server_.forward(client_.forward(input, train), train);
+}
+
+void SplitModel::zero_grad() {
+  client_.zero_grad();
+  server_.zero_grad();
+}
+
+Sequential SplitModel::merged() const {
+  return Sequential::concatenate(client_, server_);
+}
+
+Shape SplitModel::smashed_shape(const Shape& input) const {
+  return client_.output_shape(input);
+}
+
+std::size_t SplitModel::smashed_bytes(const Shape& input) const {
+  return smashed_shape(input).numel() * sizeof(float);
+}
+
+std::size_t SplitModel::client_state_bytes() const {
+  return client_.state_bytes();
+}
+
+std::size_t SplitModel::server_state_bytes() const {
+  return server_.state_bytes();
+}
+
+FlopCount SplitModel::client_flops(const Shape& input) const {
+  return client_.flops(input);
+}
+
+FlopCount SplitModel::server_flops(const Shape& input) const {
+  return server_.flops(smashed_shape(input));
+}
+
+}  // namespace gsfl::nn

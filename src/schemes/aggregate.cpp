@@ -1,0 +1,57 @@
+#include "gsfl/schemes/aggregate.hpp"
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::schemes {
+
+nn::StateDict fedavg_states(std::span<const nn::StateDict> states,
+                            std::span<const double> weights) {
+  GSFL_EXPECT(!states.empty());
+  GSFL_EXPECT(states.size() == weights.size());
+
+  double weight_sum = 0.0;
+  for (const double w : weights) {
+    GSFL_EXPECT_MSG(w >= 0.0, "aggregation weights must be non-negative");
+    weight_sum += w;
+  }
+  GSFL_EXPECT_MSG(weight_sum > 0.0, "aggregation weights sum to zero");
+
+  const std::size_t entries = states.front().size();
+  for (const auto& s : states) {
+    GSFL_EXPECT_MSG(s.size() == entries,
+                    "state dicts disagree on entry count");
+  }
+
+  nn::StateDict out;
+  out.reserve(entries);
+  for (std::size_t e = 0; e < entries; ++e) {
+    std::vector<const tensor::Tensor*> tensors;
+    std::vector<double> normalized;
+    tensors.reserve(states.size());
+    normalized.reserve(states.size());
+    for (std::size_t k = 0; k < states.size(); ++k) {
+      tensors.push_back(&states[k][e]);
+      normalized.push_back(weights[k] / weight_sum);
+    }
+    out.push_back(tensor::weighted_sum(tensors, normalized));
+  }
+  return out;
+}
+
+nn::StateDict fedavg_models(std::span<const nn::Sequential* const> models,
+                            std::span<const double> weights) {
+  std::vector<nn::StateDict> states;
+  states.reserve(models.size());
+  for (const auto* m : models) {
+    GSFL_EXPECT(m != nullptr);
+    states.push_back(m->state());
+  }
+  return fedavg_states(states, weights);
+}
+
+double aggregation_flops(std::size_t scalars, std::size_t replicas) {
+  // One multiply and one add per scalar per replica.
+  return 2.0 * static_cast<double>(scalars) * static_cast<double>(replicas);
+}
+
+}  // namespace gsfl::schemes

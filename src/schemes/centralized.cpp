@@ -1,0 +1,58 @@
+#include "gsfl/schemes/centralized.hpp"
+
+#include "gsfl/nn/loss.hpp"
+
+namespace gsfl::schemes {
+
+CentralizedTrainer::CentralizedTrainer(const net::WirelessNetwork& network,
+                                       std::vector<data::Dataset> client_data,
+                                       nn::Sequential initial_model,
+                                       TrainConfig config)
+    : Trainer("CL", network, std::move(client_data), config),
+      model_(std::move(initial_model)),
+      pooled_(data::Dataset::concatenate(client_data_)),
+      sampler_(pooled_, config.batch_size, client_sampler_rng(0)) {
+  optimizer_ = make_optimizer();
+  optimizer_->attach(model_.parameters(), model_.gradients());
+}
+
+RoundResult CentralizedTrainer::do_round() {
+  RoundResult result;
+
+  if (!data_uploaded_) {
+    // One-time raw-data upload: every client ships its dataset to the AP.
+    // All clients transmit concurrently, splitting the band N ways.
+    const double share = 1.0 / static_cast<double>(num_clients());
+    std::vector<double> spans;
+    spans.reserve(num_clients());
+    for (std::size_t c = 0; c < num_clients(); ++c) {
+      const auto bytes =
+          static_cast<double>(client_dataset(c).image_bytes() +
+                              client_dataset(c).size() * sizeof(std::int32_t));
+      spans.push_back(network().uplink_seconds(c, bytes, share));
+    }
+    result.latency.uplink += sim::span_parallel(spans);
+    data_uploaded_ = true;
+  }
+
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  const std::size_t num_batches = sampler_.batches_per_epoch();
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const auto batch = sampler_.next();
+    const auto cost = model_.flops(batch.images.shape());
+    model_.zero_grad();
+    const auto logits = model_.forward(batch.images, /*train=*/true);
+    const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+    (void)model_.backward(loss.grad_logits);
+    optimizer_->step();
+    result.latency.server_compute += network().server_compute_seconds(
+        static_cast<double>(cost.forward + cost.backward));
+    loss_sum += loss.loss;
+    ++batches;
+  }
+  result.train_loss = loss_sum / static_cast<double>(batches);
+  return result;
+}
+
+}  // namespace gsfl::schemes

@@ -1,0 +1,84 @@
+#include "gsfl/schemes/fedavg.hpp"
+
+#include "gsfl/nn/loss.hpp"
+#include "gsfl/schemes/aggregate.hpp"
+
+namespace gsfl::schemes {
+
+FedAvgTrainer::FedAvgTrainer(const net::WirelessNetwork& network,
+                             std::vector<data::Dataset> client_data,
+                             nn::Sequential initial_model, TrainConfig config)
+    : Trainer("FL", network, std::move(client_data), config),
+      global_(std::move(initial_model)) {
+  samplers_.reserve(client_data_.size());
+  for (std::size_t c = 0; c < client_data_.size(); ++c) {
+    samplers_.emplace_back(client_data_[c], config.batch_size,
+                           client_sampler_rng(c));
+  }
+}
+
+RoundResult FedAvgTrainer::do_round() {
+  RoundResult result;
+  const double model_bytes = static_cast<double>(global_.state_bytes());
+  const double share = 1.0 / static_cast<double>(num_clients());
+
+  std::vector<nn::StateDict> local_states;
+  std::vector<double> weights;
+  local_states.reserve(num_clients());
+  weights.reserve(num_clients());
+
+  double loss_sum = 0.0;
+  std::size_t loss_batches = 0;
+  sim::LatencyBreakdown slowest;
+
+  for (std::size_t c = 0; c < num_clients(); ++c) {
+    sim::LatencyBreakdown chain;
+    // Global model download (all clients concurrently).
+    chain.downlink += network().downlink_seconds(c, model_bytes, share);
+
+    // Local training: full model on the device.
+    nn::Sequential local = global_;
+    auto optimizer = make_optimizer();
+    optimizer->attach(local.parameters(), local.gradients());
+
+    for (std::size_t e = 0; e < config().local_epochs; ++e) {
+      const std::size_t num_batches = samplers_[c].batches_per_epoch();
+      for (std::size_t b = 0; b < num_batches; ++b) {
+        const auto batch = samplers_[c].next();
+        const auto cost = local.flops(batch.images.shape());
+        local.zero_grad();
+        const auto logits = local.forward(batch.images, /*train=*/true);
+        const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+        (void)local.backward(loss.grad_logits);
+        optimizer->step();
+        chain.client_compute += network().client_compute_seconds(
+            c, static_cast<double>(cost.forward + cost.backward));
+        loss_sum += loss.loss;
+        ++loss_batches;
+      }
+    }
+
+    // Model upload (all clients concurrently).
+    chain.uplink += network().uplink_seconds(c, model_bytes, share);
+
+    if (chain.total() > slowest.total()) slowest = chain;
+
+    local_states.push_back(local.state());
+    weights.push_back(static_cast<double>(client_dataset(c).size()));
+  }
+
+  // The round's span is the slowest client chain; attribute the breakdown
+  // to that critical client.
+  result.latency = slowest;
+
+  // FedAvg at the AP.
+  const auto aggregated = fedavg_states(local_states, weights);
+  global_.load_state(aggregated);
+  result.latency.aggregation += network().server_compute_seconds(
+      aggregation_flops(global_.parameter_count(), num_clients()));
+
+  result.train_loss = loss_sum / static_cast<double>(loss_batches);
+  return result;
+}
+
+}  // namespace gsfl::schemes

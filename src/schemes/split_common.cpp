@@ -1,0 +1,74 @@
+#include "gsfl/schemes/split_common.hpp"
+
+#include "gsfl/nn/loss.hpp"
+
+namespace gsfl::schemes {
+
+std::unique_ptr<nn::Optimizer> attach_optimizer(
+    nn::Sequential& half,
+    const std::function<std::unique_ptr<nn::Optimizer>()>& factory) {
+  auto params = half.parameters();
+  if (params.empty()) return nullptr;
+  auto optimizer = factory();
+  optimizer->attach(std::move(params), half.gradients());
+  return optimizer;
+}
+
+SplitEpochResult run_split_epoch(nn::SplitModel& model,
+                                 nn::Optimizer* client_optimizer,
+                                 nn::Optimizer& server_optimizer,
+                                 data::BatchSampler& sampler,
+                                 const net::WirelessNetwork& network,
+                                 std::size_t client_id,
+                                 double bandwidth_share) {
+  SplitEpochResult result;
+  const std::size_t num_batches = sampler.batches_per_epoch();
+
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const auto batch = sampler.next();
+    const auto batch_shape = batch.images.shape();
+    const auto client_cost = model.client_flops(batch_shape);
+    const auto server_cost = model.server_flops(batch_shape);
+    const double smashed_bytes =
+        static_cast<double>(model.smashed_bytes(batch_shape));
+    const double label_bytes =
+        static_cast<double>(batch.size() * sizeof(std::int32_t));
+
+    // --- client forward: local data → smashed data ---
+    model.zero_grad();
+    const auto smashed = model.client_forward(batch.images, /*train=*/true);
+    result.latency.client_compute += network.client_compute_seconds(
+        client_id, static_cast<double>(client_cost.forward));
+
+    // --- uplink: smashed data + labels to the AP ---
+    result.latency.uplink += network.uplink_seconds(
+        client_id, smashed_bytes + label_bytes, bandwidth_share);
+
+    // --- server forward + loss + backward ---
+    const auto logits = model.server_forward(smashed, /*train=*/true);
+    const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+    const auto grad_smashed = model.server_backward(loss.grad_logits);
+    result.latency.server_compute += network.server_compute_seconds(
+        static_cast<double>(server_cost.forward + server_cost.backward));
+
+    // --- downlink: smashed-data gradient back to the client ---
+    result.latency.downlink +=
+        network.downlink_seconds(client_id, smashed_bytes, bandwidth_share);
+
+    // --- client backward ---
+    model.client_backward(grad_smashed);
+    result.latency.client_compute += network.client_compute_seconds(
+        client_id, static_cast<double>(client_cost.backward));
+
+    // --- updates (local at each side; no radio cost) ---
+    server_optimizer.step();
+    if (client_optimizer != nullptr) client_optimizer->step();
+
+    result.loss_sum += loss.loss;
+    result.samples += batch.size();
+    ++result.batches;
+  }
+  return result;
+}
+
+}  // namespace gsfl::schemes

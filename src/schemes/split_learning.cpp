@@ -1,0 +1,63 @@
+#include "gsfl/schemes/split_learning.hpp"
+
+#include "gsfl/schemes/split_common.hpp"
+
+namespace gsfl::schemes {
+
+SplitLearningTrainer::SplitLearningTrainer(
+    const net::WirelessNetwork& network,
+    std::vector<data::Dataset> client_data, nn::Sequential initial_model,
+    std::size_t cut_layer, TrainConfig config)
+    : Trainer("SL", network, std::move(client_data), config),
+      model_(initial_model, cut_layer) {
+  samplers_.reserve(client_data_.size());
+  for (std::size_t c = 0; c < client_data_.size(); ++c) {
+    samplers_.emplace_back(client_data_[c], config.batch_size,
+                           client_sampler_rng(c));
+  }
+  client_optimizer_ = attach_optimizer(
+      model_.client(), [this] { return make_optimizer(); });
+  server_optimizer_ = attach_optimizer(
+      model_.server(), [this] { return make_optimizer(); });
+  GSFL_EXPECT_MSG(server_optimizer_ != nullptr,
+                  "SL requires a trainable server side (raise cut_layer)");
+}
+
+RoundResult SplitLearningTrainer::do_round() {
+  RoundResult result;
+  const double client_model_bytes =
+      static_cast<double>(model_.client_state_bytes());
+  // Only one client is active at a time: it gets the whole band.
+  constexpr double kShare = 1.0;
+
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+
+  for (std::size_t c = 0; c < num_clients(); ++c) {
+    // Client-model hand-off. First ever activation is an AP download to
+    // client 0 (model distribution); afterwards the previous holder relays
+    // through the AP — including the wrap-around from last client of round
+    // r to first client of round r+1.
+    if (!distributed_) {
+      result.latency.downlink +=
+          network().downlink_seconds(c, client_model_bytes, kShare);
+      distributed_ = true;
+    } else {
+      const std::size_t prev = c == 0 ? num_clients() - 1 : c - 1;
+      result.latency.relay +=
+          network().relay_seconds(prev, c, client_model_bytes, kShare);
+    }
+
+    const auto epoch =
+        run_split_epoch(model_, client_optimizer_.get(), *server_optimizer_,
+                        samplers_[c], network(), c, kShare);
+    result.latency += epoch.latency;
+    loss_sum += epoch.loss_sum;
+    batches += epoch.batches;
+  }
+
+  result.train_loss = loss_sum / static_cast<double>(batches);
+  return result;
+}
+
+}  // namespace gsfl::schemes

@@ -1,0 +1,93 @@
+#include "gsfl/schemes/splitfed.hpp"
+
+#include "gsfl/schemes/aggregate.hpp"
+#include "gsfl/schemes/split_common.hpp"
+
+namespace gsfl::schemes {
+
+SplitFedTrainer::SplitFedTrainer(const net::WirelessNetwork& network,
+                                 std::vector<data::Dataset> client_data,
+                                 nn::Sequential initial_model,
+                                 std::size_t cut_layer, TrainConfig config)
+    : Trainer("SFL", network, std::move(client_data), config),
+      cut_layer_(cut_layer) {
+  auto [head, tail] = initial_model.split(cut_layer);
+  global_client_ = std::move(head);
+  global_server_ = std::move(tail);
+  GSFL_EXPECT_MSG(!global_server_.parameters().empty(),
+                  "SFL requires a trainable server side (raise cut_layer)");
+  samplers_.reserve(client_data_.size());
+  for (std::size_t c = 0; c < client_data_.size(); ++c) {
+    samplers_.emplace_back(client_data_[c], config.batch_size,
+                           client_sampler_rng(c));
+  }
+}
+
+nn::Sequential SplitFedTrainer::global_model() const {
+  return nn::Sequential::concatenate(global_client_, global_server_);
+}
+
+std::size_t SplitFedTrainer::server_storage_bytes() const {
+  // One server-side replica per client, resident simultaneously.
+  return global_server_.state_bytes() * num_clients();
+}
+
+RoundResult SplitFedTrainer::do_round() {
+  RoundResult result;
+  const double client_model_bytes =
+      static_cast<double>(global_client_.state_bytes());
+  const double share = 1.0 / static_cast<double>(num_clients());
+
+  std::vector<nn::StateDict> client_states;
+  std::vector<nn::StateDict> server_states;
+  std::vector<double> weights;
+  client_states.reserve(num_clients());
+  server_states.reserve(num_clients());
+  weights.reserve(num_clients());
+
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  sim::LatencyBreakdown slowest;
+
+  for (std::size_t c = 0; c < num_clients(); ++c) {
+    sim::LatencyBreakdown chain;
+    // Client-side model download (all clients concurrently).
+    chain.downlink +=
+        network().downlink_seconds(c, client_model_bytes, share);
+
+    nn::SplitModel replica(global_client_, global_server_);
+    auto client_opt = attach_optimizer(replica.client(),
+                                       [this] { return make_optimizer(); });
+    auto server_opt = attach_optimizer(replica.server(),
+                                       [this] { return make_optimizer(); });
+
+    const auto epoch =
+        run_split_epoch(replica, client_opt.get(), *server_opt, samplers_[c],
+                        network(), c, share);
+    chain += epoch.latency;
+    loss_sum += epoch.loss_sum;
+    batches += epoch.batches;
+
+    // Client-side model upload for aggregation.
+    chain.uplink += network().uplink_seconds(c, client_model_bytes, share);
+    if (chain.total() > slowest.total()) slowest = chain;
+
+    client_states.push_back(replica.client().state());
+    server_states.push_back(replica.server().state());
+    weights.push_back(static_cast<double>(client_dataset(c).size()));
+  }
+
+  result.latency = slowest;
+
+  global_client_.load_state(fedavg_states(client_states, weights));
+  global_server_.load_state(fedavg_states(server_states, weights));
+  result.latency.aggregation += network().server_compute_seconds(
+      aggregation_flops(global_client_.parameter_count() +
+                            global_server_.parameter_count(),
+                        num_clients()));
+
+  result.train_loss = loss_sum / static_cast<double>(batches);
+  return result;
+}
+
+}  // namespace gsfl::schemes

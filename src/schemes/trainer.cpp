@@ -1,0 +1,92 @@
+#include "gsfl/schemes/trainer.hpp"
+
+#include <iostream>
+
+#include "gsfl/metrics/evaluate.hpp"
+#include "gsfl/nn/optimizer.hpp"
+
+namespace gsfl::schemes {
+
+Trainer::Trainer(std::string name, const net::WirelessNetwork& network,
+                 std::vector<data::Dataset> client_data, TrainConfig config)
+    : name_(std::move(name)),
+      network_(&network),
+      client_data_(std::move(client_data)),
+      config_(config) {
+  GSFL_EXPECT_MSG(!client_data_.empty(), "at least one client required");
+  GSFL_EXPECT_MSG(client_data_.size() <= network.num_clients(),
+                  "more client datasets than network devices");
+  for (const auto& d : client_data_) {
+    GSFL_EXPECT_MSG(!d.empty(), "every client needs at least one sample");
+  }
+  GSFL_EXPECT(config_.learning_rate > 0.0);
+  GSFL_EXPECT(config_.batch_size >= 1);
+  GSFL_EXPECT(config_.local_epochs >= 1);
+}
+
+const data::Dataset& Trainer::client_dataset(std::size_t c) const {
+  GSFL_EXPECT(c < client_data_.size());
+  return client_data_[c];
+}
+
+RoundResult Trainer::run_round() {
+  RoundResult result = do_round();
+  ++rounds_;
+  return result;
+}
+
+std::unique_ptr<nn::Optimizer> Trainer::make_optimizer() const {
+  if (config_.momentum > 0.0) {
+    return std::make_unique<nn::MomentumSgd>(
+        config_.learning_rate, config_.momentum, config_.weight_decay);
+  }
+  return std::make_unique<nn::Sgd>(config_.learning_rate,
+                                   config_.weight_decay);
+}
+
+std::size_t Trainer::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& d : client_data_) n += d.size();
+  return n;
+}
+
+metrics::RunRecorder run_experiment(Trainer& trainer,
+                                    const data::Dataset& test_set,
+                                    const ExperimentOptions& options) {
+  GSFL_EXPECT(options.rounds >= 1);
+  GSFL_EXPECT(options.eval_every >= 1);
+  metrics::RunRecorder recorder(trainer.name());
+  double sim_seconds = 0.0;
+
+  for (std::size_t round = 1; round <= options.rounds; ++round) {
+    const RoundResult result = trainer.run_round();
+    sim_seconds += result.latency.total();
+
+    if (round % options.eval_every != 0 && round != options.rounds) {
+      continue;
+    }
+    auto model = trainer.global_model();
+    const auto eval =
+        metrics::evaluate(model, test_set, options.eval_batch_size);
+    recorder.record(metrics::RoundRecord{
+        .round = round,
+        .sim_seconds = sim_seconds,
+        .train_loss = result.train_loss,
+        .eval_accuracy = eval.accuracy,
+    });
+    if (options.verbose) {
+      std::cout << trainer.name() << " round " << round << ": acc "
+                << eval.accuracy * 100.0 << "% loss " << result.train_loss
+                << " t " << sim_seconds << "s\n";
+    }
+    if (options.stop_at_accuracy && eval.accuracy >= *options.stop_at_accuracy) {
+      break;
+    }
+    if (options.stop_after_seconds && sim_seconds >= *options.stop_after_seconds) {
+      break;
+    }
+  }
+  return recorder;
+}
+
+}  // namespace gsfl::schemes

@@ -1,0 +1,74 @@
+#include "gsfl/sim/breakdown.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::sim {
+
+LatencyBreakdown& LatencyBreakdown::operator+=(const LatencyBreakdown& other) {
+  client_compute += other.client_compute;
+  server_compute += other.server_compute;
+  uplink += other.uplink;
+  downlink += other.downlink;
+  relay += other.relay;
+  aggregation += other.aggregation;
+  return *this;
+}
+
+LatencyBreakdown LatencyBreakdown::operator+(
+    const LatencyBreakdown& other) const {
+  LatencyBreakdown out = *this;
+  out += other;
+  return out;
+}
+
+LatencyBreakdown LatencyBreakdown::scaled(double factor) const {
+  LatencyBreakdown out = *this;
+  out.client_compute *= factor;
+  out.server_compute *= factor;
+  out.uplink *= factor;
+  out.downlink *= factor;
+  out.relay *= factor;
+  out.aggregation *= factor;
+  return out;
+}
+
+std::string LatencyBreakdown::to_string() const {
+  std::ostringstream os;
+  os << "total=" << total() << "s (client=" << client_compute
+     << " server=" << server_compute << " up=" << uplink
+     << " down=" << downlink << " relay=" << relay
+     << " agg=" << aggregation << ")";
+  return os.str();
+}
+
+double span_sequential(std::span<const double> spans) {
+  double sum = 0.0;
+  for (const double s : spans) {
+    GSFL_EXPECT(s >= 0.0);
+    sum += s;
+  }
+  return sum;
+}
+
+double span_parallel(std::span<const double> spans) {
+  double worst = 0.0;
+  for (const double s : spans) {
+    GSFL_EXPECT(s >= 0.0);
+    worst = std::max(worst, s);
+  }
+  return worst;
+}
+
+LatencyBreakdown critical_branch(std::span<const LatencyBreakdown> branches) {
+  GSFL_EXPECT(!branches.empty());
+  const auto* best = &branches[0];
+  for (const auto& b : branches) {
+    if (b.total() > best->total()) best = &b;
+  }
+  return *best;
+}
+
+}  // namespace gsfl::sim

@@ -1,0 +1,40 @@
+#include "gsfl/sim/timeline.hpp"
+
+#include "gsfl/common/csv.hpp"
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::sim {
+
+void Timeline::append(std::string label, const LatencyBreakdown& cost) {
+  TimelineEntry entry;
+  entry.label = std::move(label);
+  entry.start_seconds = now_;
+  entry.cost = cost;
+  now_ = entry.end_seconds();
+  entries_.push_back(std::move(entry));
+}
+
+const TimelineEntry& Timeline::entry(std::size_t i) const {
+  GSFL_EXPECT(i < entries_.size());
+  return entries_[i];
+}
+
+LatencyBreakdown Timeline::total_cost() const {
+  LatencyBreakdown total;
+  for (const auto& e : entries_) total += e.cost;
+  return total;
+}
+
+void Timeline::write_csv(std::ostream& out) const {
+  common::CsvWriter csv(out, {"label", "start_s", "end_s", "total_s",
+                              "client_compute_s", "server_compute_s",
+                              "uplink_s", "downlink_s", "relay_s",
+                              "aggregation_s"});
+  for (const auto& e : entries_) {
+    csv.row({e.label, e.start_seconds, e.end_seconds(), e.cost.total(),
+             e.cost.client_compute, e.cost.server_compute, e.cost.uplink,
+             e.cost.downlink, e.cost.relay, e.cost.aggregation});
+  }
+}
+
+}  // namespace gsfl::sim

@@ -1,0 +1,107 @@
+#include "gsfl/tensor/gemm.hpp"
+
+#include <algorithm>
+
+namespace gsfl::tensor {
+
+namespace {
+
+// Block sizes chosen so an (MC×KC) panel of A and a (KC×NC) panel of B fit
+// comfortably in L1/L2 on commodity cores.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 128;
+constexpr std::size_t kBlockN = 256;
+
+// C[i,:] += a_ik * B[k,:] over a j-range: the innermost kernel. Written so
+// the compiler auto-vectorizes the contiguous row walk.
+inline void saxpy_row(float a_ik, const float* b_row, float* c_row,
+                      std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+}
+
+}  // namespace
+
+Tensor transpose(const Tensor& a) {
+  GSFL_EXPECT(a.shape().rank() == 2);
+  const std::size_t rows = a.shape()[0];
+  const std::size_t cols = a.shape()[1];
+  Tensor out(Shape{cols, rows});
+  const auto src = a.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      dst[j * rows + i] = src[i * cols + j];
+    }
+  }
+  return out;
+}
+
+void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
+          Trans trans_b, float beta, Tensor& c) {
+  GSFL_EXPECT(a.shape().rank() == 2 && b.shape().rank() == 2 &&
+              c.shape().rank() == 2);
+
+  // Materialize transposed operands; the copies are small relative to the
+  // O(mnk) work and keep the kernel a single fast row-major path.
+  const Tensor* pa = &a;
+  const Tensor* pb = &b;
+  Tensor at, bt;
+  if (trans_a == Trans::kYes) {
+    at = transpose(a);
+    pa = &at;
+  }
+  if (trans_b == Trans::kYes) {
+    bt = transpose(b);
+    pb = &bt;
+  }
+
+  const std::size_t m = pa->shape()[0];
+  const std::size_t k = pa->shape()[1];
+  GSFL_EXPECT_MSG(pb->shape()[0] == k, "gemm inner dimensions must agree");
+  const std::size_t n = pb->shape()[1];
+  GSFL_EXPECT_MSG(c.shape()[0] == m && c.shape()[1] == n,
+                  "gemm output shape mismatch");
+
+  auto cd = c.data();
+  if (beta == 0.0f) {
+    std::fill(cd.begin(), cd.end(), 0.0f);
+  } else if (beta != 1.0f) {
+    for (auto& v : cd) v *= beta;
+  }
+
+  const auto ad = pa->data();
+  const auto bd = pb->data();
+
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t j1 = std::min(j0 + kBlockN, n);
+        const std::size_t jn = j1 - j0;
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* c_row = cd.data() + i * n + j0;
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const float a_ik = alpha * ad[i * k + kk];
+            if (a_ik == 0.0f) continue;
+            saxpy_row(a_ik, bd.data() + kk * n + j0, c_row, jn);
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a,
+              Trans trans_b) {
+  GSFL_EXPECT(a.shape().rank() == 2 && b.shape().rank() == 2);
+  const std::size_t m =
+      trans_a == Trans::kNo ? a.shape()[0] : a.shape()[1];
+  const std::size_t n =
+      trans_b == Trans::kNo ? b.shape()[1] : b.shape()[0];
+  Tensor c(Shape{m, n});
+  gemm(1.0f, a, trans_a, b, trans_b, 0.0f, c);
+  return c;
+}
+
+}  // namespace gsfl::tensor

@@ -1,0 +1,98 @@
+#include "gsfl/tensor/im2col.hpp"
+
+namespace gsfl::tensor {
+
+namespace {
+
+void check_image(const Tensor& t, std::size_t batch_index,
+                 const ConvGeometry& geom) {
+  GSFL_EXPECT(t.shape().rank() == 4);
+  GSFL_EXPECT(batch_index < t.shape()[0]);
+  GSFL_EXPECT(t.shape()[1] == geom.in_channels);
+  GSFL_EXPECT(t.shape()[2] == geom.in_h);
+  GSFL_EXPECT(t.shape()[3] == geom.in_w);
+  GSFL_EXPECT(geom.kernel > 0 && geom.stride > 0);
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& input, std::size_t batch_index,
+              const ConvGeometry& geom) {
+  check_image(input, batch_index, geom);
+  const std::size_t oh = geom.out_h();
+  const std::size_t ow = geom.out_w();
+  Tensor columns(Shape{geom.patch_size(), oh * ow});
+  auto dst = columns.data();
+  const auto src = input.data();
+  const std::size_t chw = geom.in_channels * geom.in_h * geom.in_w;
+  const float* image = src.data() + batch_index * chw;
+
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < geom.in_channels; ++c) {
+    for (std::size_t ky = 0; ky < geom.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < geom.kernel; ++kx, ++row) {
+        float* out_row = dst.data() + row * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * geom.stride + ky) -
+              static_cast<std::ptrdiff_t>(geom.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * geom.stride + kx) -
+                static_cast<std::ptrdiff_t>(geom.pad);
+            float value = 0.0f;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(geom.in_h) &&
+                ix >= 0 && ix < static_cast<std::ptrdiff_t>(geom.in_w)) {
+              value = image[(c * geom.in_h + static_cast<std::size_t>(iy)) *
+                                geom.in_w +
+                            static_cast<std::size_t>(ix)];
+            }
+            out_row[oy * ow + ox] = value;
+          }
+        }
+      }
+    }
+  }
+  return columns;
+}
+
+void col2im_accumulate(const Tensor& columns, const ConvGeometry& geom,
+                       Tensor& grad_input, std::size_t batch_index) {
+  check_image(grad_input, batch_index, geom);
+  const std::size_t oh = geom.out_h();
+  const std::size_t ow = geom.out_w();
+  GSFL_EXPECT(columns.shape().rank() == 2);
+  GSFL_EXPECT(columns.shape()[0] == geom.patch_size());
+  GSFL_EXPECT(columns.shape()[1] == oh * ow);
+
+  const auto src = columns.data();
+  auto dst = grad_input.data();
+  const std::size_t chw = geom.in_channels * geom.in_h * geom.in_w;
+  float* image = dst.data() + batch_index * chw;
+
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < geom.in_channels; ++c) {
+    for (std::size_t ky = 0; ky < geom.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < geom.kernel; ++kx, ++row) {
+        const float* in_row = src.data() + row * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * geom.stride + ky) -
+              static_cast<std::ptrdiff_t>(geom.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(geom.in_h)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * geom.stride + kx) -
+                static_cast<std::ptrdiff_t>(geom.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(geom.in_w))
+              continue;
+            image[(c * geom.in_h + static_cast<std::size_t>(iy)) * geom.in_w +
+                  static_cast<std::size_t>(ix)] += in_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gsfl::tensor

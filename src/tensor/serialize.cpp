@@ -1,0 +1,70 @@
+#include "gsfl/tensor/serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace gsfl::tensor {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'G', 'S', 'F', 'T'};
+
+template <typename T>
+void write_raw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_raw(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("tensor deserialization: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out.write(kMagic.data(), kMagic.size());
+  write_raw<std::uint32_t>(out, static_cast<std::uint32_t>(t.shape().rank()));
+  for (const std::size_t d : t.shape().dims()) {
+    write_raw<std::uint64_t>(out, d);
+  }
+  const auto data = t.data();
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!out) throw std::runtime_error("tensor serialization: write failed");
+}
+
+Tensor read_tensor(std::istream& in) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("tensor deserialization: bad magic");
+  }
+  const auto rank = read_raw<std::uint32_t>(in);
+  if (rank > 8) throw std::runtime_error("tensor deserialization: rank > 8");
+  std::vector<std::size_t> dims(rank);
+  std::size_t numel = 1;
+  for (auto& d : dims) {
+    d = static_cast<std::size_t>(read_raw<std::uint64_t>(in));
+    if (d == 0 || numel > (1ULL << 32) / std::max<std::size_t>(d, 1)) {
+      throw std::runtime_error("tensor deserialization: implausible shape");
+    }
+    numel *= d;
+  }
+  Tensor t{Shape(std::move(dims))};
+  auto data = t.data();
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(float)));
+  if (!in) throw std::runtime_error("tensor deserialization: truncated data");
+  return t;
+}
+
+std::size_t serialized_size(const Tensor& t) {
+  return kMagic.size() + sizeof(std::uint32_t) +
+         t.shape().rank() * sizeof(std::uint64_t) + t.size_bytes();
+}
+
+}  // namespace gsfl::tensor

@@ -1,0 +1,216 @@
+#include "gsfl/tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsfl::tensor {
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  GSFL_EXPECT_MSG(data_.size() == shape_.numel(),
+                  "data size must match shape " + shape_.to_string());
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, common::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, common::Rng& rng, float mean,
+                      float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::arange(std::size_t n) {
+  Tensor t(Shape{n});
+  for (std::size_t i = 0; i < n; ++i) t.data_[i] = static_cast<float>(i);
+  return t;
+}
+
+float& Tensor::at(std::size_t flat_index) {
+  GSFL_EXPECT(flat_index < data_.size());
+  return data_[flat_index];
+}
+
+float Tensor::at(std::size_t flat_index) const {
+  GSFL_EXPECT(flat_index < data_.size());
+  return data_[flat_index];
+}
+
+float& Tensor::at2(std::size_t i, std::size_t j) {
+  GSFL_EXPECT(shape_.rank() == 2);
+  GSFL_EXPECT(i < shape_[0] && j < shape_[1]);
+  return data_[i * shape_[1] + j];
+}
+
+float Tensor::at2(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor*>(this)->at2(i, j);
+}
+
+float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                   std::size_t w) {
+  GSFL_EXPECT(shape_.rank() == 4);
+  GSFL_EXPECT(n < shape_[0] && c < shape_[1] && h < shape_[2] &&
+              w < shape_[3]);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
+                  std::size_t w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  GSFL_EXPECT_MSG(new_shape.numel() == numel(),
+                  "reshape must preserve element count");
+  return Tensor(std::move(new_shape), data_);
+}
+
+Tensor Tensor::slice0(std::size_t begin, std::size_t end) const {
+  GSFL_EXPECT(shape_.rank() >= 1);
+  GSFL_EXPECT(begin <= end && end <= shape_[0]);
+  const std::size_t row = numel() / std::max<std::size_t>(shape_[0], 1);
+  Tensor out(shape_.with_dim0(end - begin));
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(begin * row),
+            data_.begin() + static_cast<std::ptrdiff_t>(end * row),
+            out.data_.begin());
+  return out;
+}
+
+Tensor& Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  GSFL_EXPECT(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::sub_(const Tensor& other) {
+  GSFL_EXPECT(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  GSFL_EXPECT(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float factor) {
+  for (auto& v : data_) v *= factor;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
+  GSFL_EXPECT(shape_ == x.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * x.data_[i];
+  return *this;
+}
+
+double Tensor::sum() const {
+  double acc = 0.0;
+  for (const float v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::mean() const {
+  return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+float Tensor::max() const {
+  GSFL_EXPECT(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::min() const {
+  GSFL_EXPECT(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax_row(std::size_t row) const {
+  GSFL_EXPECT(shape_.rank() == 2);
+  GSFL_EXPECT(row < shape_[0]);
+  const std::size_t cols = shape_[1];
+  const auto begin = data_.begin() + static_cast<std::ptrdiff_t>(row * cols);
+  return static_cast<std::size_t>(
+      std::distance(begin, std::max_element(
+                               begin, begin + static_cast<std::ptrdiff_t>(cols))));
+}
+
+double Tensor::squared_norm() const {
+  double acc = 0.0;
+  for (const float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+double Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  GSFL_EXPECT(a.shape_ == b.shape_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(a.data_[i]) - b.data_[i]));
+  }
+  return worst;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.add_(b);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.sub_(b);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.mul_(b);
+  return out;
+}
+
+Tensor scale(const Tensor& a, float factor) {
+  Tensor out = a;
+  out.scale_(factor);
+  return out;
+}
+
+Tensor weighted_sum(std::span<const Tensor* const> tensors,
+                    std::span<const double> weights) {
+  GSFL_EXPECT(!tensors.empty());
+  GSFL_EXPECT(tensors.size() == weights.size());
+  Tensor out(tensors.front()->shape());
+  auto out_data = out.data();
+  for (std::size_t t = 0; t < tensors.size(); ++t) {
+    GSFL_EXPECT_MSG(tensors[t]->shape() == out.shape(),
+                    "weighted_sum requires identical shapes");
+    const auto w = static_cast<float>(weights[t]);
+    const auto src = tensors[t]->data();
+    for (std::size_t i = 0; i < out_data.size(); ++i) {
+      out_data[i] += w * src[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace gsfl::tensor

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/common/cli.hpp"
+
+namespace {
+
+using gsfl::common::CliArgs;
+
+CliArgs parse(std::vector<const char*> argv,
+              std::vector<std::string> flags = {}) {
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), flags);
+}
+
+TEST(Cli, EqualsFormParsesValue) {
+  const auto args = parse({"prog", "--rounds=25"});
+  EXPECT_EQ(args.int_or("rounds", 0), 25);
+}
+
+TEST(Cli, SpaceFormParsesValue) {
+  const auto args = parse({"prog", "--rounds", "25"});
+  EXPECT_EQ(args.int_or("rounds", 0), 25);
+}
+
+TEST(Cli, BooleanFlagRecognized) {
+  const auto args = parse({"prog", "--full"}, {"full"});
+  EXPECT_TRUE(args.has_flag("full"));
+  EXPECT_FALSE(args.has_flag("other"));
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.int_or("rounds", 7), 7);
+  EXPECT_DOUBLE_EQ(args.double_or("lr", 0.5), 0.5);
+  EXPECT_EQ(args.value_or("name", "x"), "x");
+  EXPECT_FALSE(args.value("name").has_value());
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = parse({"prog", "--lr=0.125"});
+  EXPECT_DOUBLE_EQ(args.double_or("lr", 0.0), 0.125);
+}
+
+TEST(Cli, StringValues) {
+  const auto args = parse({"prog", "--csv=/tmp/out.csv"});
+  EXPECT_EQ(args.value_or("csv", ""), "/tmp/out.csv");
+}
+
+TEST(Cli, ProgramNameCaptured) {
+  const auto args = parse({"bench_fig2a"});
+  EXPECT_EQ(args.program(), "bench_fig2a");
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  EXPECT_THROW(parse({"prog", "loose"}), std::invalid_argument);
+}
+
+TEST(Cli, UnknownFlagWithoutValueRejected) {
+  EXPECT_THROW(parse({"prog", "--dangling"}), std::invalid_argument);
+}
+
+TEST(Cli, FlagFollowedByFlagDoesNotStealValue) {
+  const auto args = parse({"prog", "--full", "--rounds=3"}, {"full"});
+  EXPECT_TRUE(args.has_flag("full"));
+  EXPECT_EQ(args.int_or("rounds", 0), 3);
+}
+
+TEST(Cli, MultipleValuesParsed) {
+  const auto args =
+      parse({"prog", "--a=1", "--b", "2", "--c=3.5"}, {});
+  EXPECT_EQ(args.int_or("a", 0), 1);
+  EXPECT_EQ(args.int_or("b", 0), 2);
+  EXPECT_DOUBLE_EQ(args.double_or("c", 0.0), 3.5);
+}
+
+}  // namespace

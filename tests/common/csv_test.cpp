@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "gsfl/common/csv.hpp"
+
+namespace {
+
+using gsfl::common::CsvWriter;
+
+TEST(Csv, WritesHeaderOnConstruction) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, WritesMixedTypedRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"name", "count", "ratio"});
+  csv.row({std::string("x"), std::int64_t{3}, 0.5});
+  EXPECT_EQ(out.str(), "name,count,ratio\nx,3,0.5\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.row({std::int64_t{1}}), std::invalid_argument);
+  EXPECT_THROW(csv.row({std::int64_t{1}, std::int64_t{2}, std::int64_t{3}}),
+               std::invalid_argument);
+}
+
+TEST(Csv, EmptyHeaderThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(CsvWriter(out, {}), std::invalid_argument);
+}
+
+TEST(Csv, HeaderCellsAreEscaped) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"plain", "with,comma"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\"\n");
+}
+
+TEST(Csv, DoubleFormattingKeepsPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"v"});
+  csv.row({0.123456789});
+  EXPECT_NE(out.str().find("0.123456789"), std::string::npos);
+}
+
+TEST(CsvFile, UnwritablePathThrows) {
+  EXPECT_THROW(
+      gsfl::common::CsvFile("/nonexistent-dir/x.csv", {"a"}),
+      std::invalid_argument);
+}
+
+}  // namespace

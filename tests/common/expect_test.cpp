@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/common/expect.hpp"
+
+namespace {
+
+TEST(Expect, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(GSFL_EXPECT(1 + 1 == 2));
+  EXPECT_NO_THROW(GSFL_ENSURE(true));
+}
+
+TEST(Expect, FailingPreconditionThrowsInvalidArgument) {
+  EXPECT_THROW(GSFL_EXPECT(false), std::invalid_argument);
+  EXPECT_THROW(GSFL_EXPECT_MSG(false, "context"), std::invalid_argument);
+}
+
+TEST(Expect, FailingInvariantThrowsLogicError) {
+  EXPECT_THROW(GSFL_ENSURE(false), std::logic_error);
+  EXPECT_THROW(GSFL_ENSURE_MSG(false, "context"), std::logic_error);
+}
+
+TEST(Expect, MessageCarriesExpressionAndContext) {
+  try {
+    GSFL_EXPECT_MSG(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("expect_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Expect, InvariantMessageNamesInvariant) {
+  try {
+    GSFL_ENSURE(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numeric>
+#include <set>
+
+#include "gsfl/common/rng.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123);
+  Rng b(124);
+  int differences = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) ++differences;
+  }
+  EXPECT_GT(differences, 60);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(9);
+  const auto first = a.next();
+  a.reseed(9);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIndexApproximatelyUniform) {
+  Rng rng(6);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_index(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  constexpr int kDraws = 60000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleShift) {
+  Rng rng(14);
+  constexpr int kDraws = 60000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(15);
+  constexpr int kDraws = 60000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.exponential(4.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.25, 0.01);
+}
+
+TEST(Rng, GammaMeanEqualsShape) {
+  Rng rng(16);
+  for (const double shape : {0.5, 1.0, 2.0, 7.5}) {
+    double sum = 0.0;
+    constexpr int kDraws = 40000;
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = rng.gamma(shape);
+      ASSERT_GT(x, 0.0);
+      sum += x;
+    }
+    EXPECT_NEAR(sum / kDraws, shape, shape * 0.05)
+        << "gamma mean off for shape " << shape;
+  }
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(17);
+  for (const double alpha : {0.1, 1.0, 100.0}) {
+    const auto draw = rng.dirichlet(alpha, 8);
+    ASSERT_EQ(draw.size(), 8u);
+    const double sum = std::accumulate(draw.begin(), draw.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (const double p : draw) EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(Rng, DirichletLargeAlphaNearUniform) {
+  Rng rng(18);
+  const auto draw = rng.dirichlet(5000.0, 5);
+  for (const double p : draw) EXPECT_NEAR(p, 0.2, 0.03);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(19);
+  const auto perm = rng.permutation(100);
+  ASSERT_EQ(perm.size(), 100u);
+  std::vector<bool> seen(100, false);
+  for (const auto i : perm) {
+    ASSERT_LT(i, 100u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(20);
+  const auto perm = rng.permutation(100);
+  std::size_t fixed_points = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed_points;
+  }
+  EXPECT_LT(fixed_points, 10u);  // expected ≈ 1
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(21);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, ForkedStreamsDecorrelated) {
+  Rng parent(22);
+  auto a = parent.fork(1);
+  auto b = parent.fork(2);
+  int matches = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++matches;
+  }
+  EXPECT_LT(matches, 2);
+}
+
+TEST(Rng, ForkIsDeterministicGivenParentState) {
+  Rng p1(33);
+  Rng p2(33);
+  auto c1 = p1.fork(9);
+  auto c2 = p2.fork(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.gamma(-1.0), std::invalid_argument);
+  EXPECT_THROW(rng.dirichlet(0.0, 3), std::invalid_argument);
+  EXPECT_THROW(rng.dirichlet(1.0, 0), std::invalid_argument);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndVaries) {
+  Rng rng(GetParam());
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 256; ++i) values.insert(rng.next());
+  EXPECT_GT(values.size(), 250u);  // collisions in 256 draws ≈ impossible
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           ~0ULL));
+
+}  // namespace

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/common/units.hpp"
+
+namespace {
+
+using namespace gsfl::common;
+
+TEST(Units, DbmWattsRoundTrip) {
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-9);
+  for (const double dbm : {-80.0, -10.0, 0.0, 20.0, 36.0}) {
+    EXPECT_NEAR(watts_to_dbm(dbm_to_watts(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, DbLinearRoundTrip) {
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-9);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9952623, 1e-6);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-9);
+}
+
+TEST(Units, ScaleHelpers) {
+  EXPECT_DOUBLE_EQ(mhz(10.0), 1e7);
+  EXPECT_DOUBLE_EQ(ghz(2.4), 2.4e9);
+  EXPECT_DOUBLE_EQ(kib(1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(mib(2.0), 2.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(gflops(1.5), 1.5e9);
+  EXPECT_DOUBLE_EQ(mflops(300.0), 3e8);
+}
+
+TEST(Units, TransmitSeconds) {
+  // 1 MB over 8 Mbit/s = 1 second.
+  EXPECT_NEAR(transmit_seconds(1e6, 8e6), 1.0, 1e-12);
+  // Doubling rate halves time.
+  EXPECT_NEAR(transmit_seconds(1e6, 16e6), 0.5, 1e-12);
+  // Zero payload costs nothing.
+  EXPECT_DOUBLE_EQ(transmit_seconds(0.0, 1e6), 0.0);
+}
+
+}  // namespace

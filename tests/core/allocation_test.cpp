@@ -1,0 +1,136 @@
+// Adaptive bandwidth allocation across groups (the paper's §IV future work:
+// "rationally allocating communication bandwidth ... is crucial").
+#include <gtest/gtest.h>
+#include <numeric>
+
+#include "gsfl/core/gsfl.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::core::BandwidthPolicy;
+using gsfl::core::GroupingPolicy;
+using gsfl::core::GsflConfig;
+using gsfl::core::GsflTrainer;
+
+/// Network with one far/slow-radio half and one near/fast-radio half, so
+/// contiguous groups have very unequal radio demands.
+gsfl::net::WirelessNetwork make_lopsided_network() {
+  gsfl::net::NetworkConfig config;
+  config.total_bandwidth_hz = 10e6;
+  std::vector<gsfl::net::DeviceProfile> devices(6);
+  for (int i = 0; i < 3; ++i) {
+    devices[i].distance_m = 15.0;   // near group
+    devices[i].compute_flops = 1e9;
+  }
+  for (int i = 3; i < 6; ++i) {
+    devices[i].distance_m = 220.0;  // far group: weak links
+    devices[i].compute_flops = 1e9;
+  }
+  return gsfl::net::WirelessNetwork(config, std::move(devices));
+}
+
+GsflConfig lopsided_config(BandwidthPolicy policy) {
+  GsflConfig config;
+  config.num_groups = 2;
+  config.cut_layer = gsfl::test::kTinyCut;
+  config.grouping = GroupingPolicy::kContiguous;  // near|far split
+  config.bandwidth = policy;
+  return config;
+}
+
+TEST(Allocation, EqualShareStaysFixed) {
+  const auto network = make_lopsided_network();
+  const auto data = gsfl::test::make_client_datasets(6, 8, 71);
+  Rng rng(71);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      lopsided_config(BandwidthPolicy::kEqualShare));
+  for (int i = 0; i < 3; ++i) (void)trainer.run_round();
+  ASSERT_EQ(trainer.group_shares().size(), 2u);
+  EXPECT_DOUBLE_EQ(trainer.group_shares()[0], 0.5);
+  EXPECT_DOUBLE_EQ(trainer.group_shares()[1], 0.5);
+}
+
+TEST(Allocation, AdaptiveSharesSumToOneAndStayPositive) {
+  const auto network = make_lopsided_network();
+  const auto data = gsfl::test::make_client_datasets(6, 8, 72);
+  Rng rng(72);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      lopsided_config(BandwidthPolicy::kAdaptive));
+  for (int i = 0; i < 5; ++i) {
+    (void)trainer.run_round();
+    const auto& shares = trainer.group_shares();
+    const double sum = std::accumulate(shares.begin(), shares.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (const double s : shares) EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(Allocation, AdaptiveFavoursTheWeakLinkGroup) {
+  const auto network = make_lopsided_network();
+  const auto data = gsfl::test::make_client_datasets(6, 8, 73);
+  Rng rng(73);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      lopsided_config(BandwidthPolicy::kAdaptive));
+  for (int i = 0; i < 3; ++i) (void)trainer.run_round();
+  // Group 1 (far clients) has much slower links → needs the larger share.
+  EXPECT_GT(trainer.group_shares()[1], trainer.group_shares()[0]);
+}
+
+TEST(Allocation, AdaptiveReducesRoundLatency) {
+  const auto network = make_lopsided_network();
+  const auto data = gsfl::test::make_client_datasets(6, 8, 74);
+  Rng rng(74);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer equal(network, data, init,
+                    lopsided_config(BandwidthPolicy::kEqualShare));
+  GsflTrainer adaptive(network, data, init,
+                       lopsided_config(BandwidthPolicy::kAdaptive));
+  double equal_total = 0.0;
+  double adaptive_total = 0.0;
+  // Skip round 1 (identical shares); compare the steady state.
+  (void)equal.run_round();
+  (void)adaptive.run_round();
+  for (int i = 0; i < 4; ++i) {
+    equal_total += equal.run_round().latency.total();
+    adaptive_total += adaptive.run_round().latency.total();
+  }
+  EXPECT_LT(adaptive_total, equal_total);
+}
+
+TEST(Allocation, AdaptiveDoesNotChangeModelTrajectory) {
+  // Bandwidth shares affect latency only — the trained weights must be
+  // identical under both policies.
+  const auto network = make_lopsided_network();
+  const auto data = gsfl::test::make_client_datasets(6, 8, 75);
+  Rng rng(75);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer equal(network, data, init,
+                    lopsided_config(BandwidthPolicy::kEqualShare));
+  GsflTrainer adaptive(network, data, init,
+                       lopsided_config(BandwidthPolicy::kAdaptive));
+  for (int i = 0; i < 4; ++i) {
+    (void)equal.run_round();
+    (void)adaptive.run_round();
+  }
+  EXPECT_TRUE(gsfl::test::states_equal(equal.global_model(),
+                                       adaptive.global_model()));
+}
+
+TEST(Allocation, SingleGroupAdaptiveIsFullBand) {
+  const auto network = gsfl::test::make_tiny_network(3);
+  const auto data = gsfl::test::make_client_datasets(3, 8, 76);
+  Rng rng(76);
+  auto config = lopsided_config(BandwidthPolicy::kAdaptive);
+  config.num_groups = 1;
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config);
+  for (int i = 0; i < 2; ++i) (void)trainer.run_round();
+  ASSERT_EQ(trainer.group_shares().size(), 1u);
+  EXPECT_DOUBLE_EQ(trainer.group_shares()[0], 1.0);
+}
+
+}  // namespace

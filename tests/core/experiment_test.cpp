@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/core/experiment.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::core::Experiment;
+using gsfl::core::ExperimentConfig;
+using gsfl::core::PartitionKind;
+
+ExperimentConfig tiny_config() {
+  auto config = ExperimentConfig::scaled();
+  config.dataset.image_size = 8;
+  config.dataset.num_classes = 4;
+  config.dataset.samples_per_class = 10;
+  config.test_samples_per_class = 4;
+  config.num_clients = 4;
+  config.num_groups = 2;
+  config.shards_per_client = 2;
+  config.model.conv1_filters = 4;
+  config.model.conv2_filters = 4;
+  config.model.hidden = 16;
+  return config;
+}
+
+TEST(Experiment, BuildsConsistentWorld) {
+  const Experiment experiment(tiny_config());
+  EXPECT_EQ(experiment.client_data().size(), 4u);
+  EXPECT_EQ(experiment.test_set().num_classes(), 4u);
+  EXPECT_EQ(experiment.test_set().size(), 16u);
+  EXPECT_EQ(experiment.network().num_clients(), 4u);
+
+  std::size_t total = 0;
+  for (const auto& d : experiment.client_data()) {
+    EXPECT_FALSE(d.empty());
+    total += d.size();
+  }
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(Experiment, ModelGeometryFollowsDataset) {
+  const Experiment experiment(tiny_config());
+  auto model = experiment.initial_model();
+  EXPECT_EQ(model.output_shape(gsfl::tensor::Shape{2, 3, 8, 8}),
+            gsfl::tensor::Shape({2, 4}));
+}
+
+TEST(Experiment, InitialModelIdenticalAcrossCalls) {
+  const Experiment experiment(tiny_config());
+  EXPECT_TRUE(gsfl::test::states_equal(experiment.initial_model(),
+                                       experiment.initial_model()));
+}
+
+TEST(Experiment, SameSeedSameWorld) {
+  const Experiment a(tiny_config());
+  const Experiment b(tiny_config());
+  EXPECT_EQ(a.test_set().images(), b.test_set().images());
+  EXPECT_TRUE(gsfl::test::states_equal(a.initial_model(), b.initial_model()));
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(a.client_data()[c].images(), b.client_data()[c].images());
+    EXPECT_DOUBLE_EQ(a.network().client(c).distance_m,
+                     b.network().client(c).distance_m);
+  }
+}
+
+TEST(Experiment, DifferentSeedDifferentWorld) {
+  auto config = tiny_config();
+  const Experiment a(config);
+  config.seed = 777;
+  const Experiment b(config);
+  EXPECT_NE(a.test_set().images(), b.test_set().images());
+  EXPECT_FALSE(gsfl::test::states_equal(a.initial_model(),
+                                        b.initial_model()));
+}
+
+TEST(Experiment, AllTrainersShareTheSameInitialModel) {
+  const Experiment experiment(tiny_config());
+  const auto cl = experiment.make_cl();
+  const auto fl = experiment.make_fl();
+  const auto sl = experiment.make_sl();
+  const auto sfl = experiment.make_sfl();
+  const auto gsfl_trainer = experiment.make_gsfl();
+
+  const auto reference = experiment.initial_model();
+  EXPECT_TRUE(gsfl::test::states_equal(cl->global_model(), reference));
+  EXPECT_TRUE(gsfl::test::states_equal(fl->global_model(), reference));
+  EXPECT_TRUE(gsfl::test::states_equal(sl->global_model(), reference));
+  EXPECT_TRUE(gsfl::test::states_equal(sfl->global_model(), reference));
+  EXPECT_TRUE(
+      gsfl::test::states_equal(gsfl_trainer->global_model(), reference));
+}
+
+TEST(Experiment, GsflOverridesGroupsAndCut) {
+  const Experiment experiment(tiny_config());
+  const auto trainer = experiment.make_gsfl(4, 1);
+  EXPECT_EQ(trainer->num_groups(), 4u);
+  EXPECT_EQ(trainer->cut_layer(), 1u);
+}
+
+TEST(Experiment, PartitionKindsAllWork) {
+  for (const auto kind : {PartitionKind::kIid, PartitionKind::kShards,
+                          PartitionKind::kDirichlet}) {
+    auto config = tiny_config();
+    config.partition = kind;
+    const Experiment experiment(config);
+    std::size_t total = 0;
+    for (const auto& d : experiment.client_data()) total += d.size();
+    EXPECT_EQ(total, 40u);
+  }
+}
+
+TEST(Experiment, ShardPartitionIsSkewedIidIsNot) {
+  auto config = tiny_config();
+  config.dataset.samples_per_class = 40;  // enough for clear histograms
+  config.partition = PartitionKind::kShards;
+  config.shards_per_client = 1;
+  const Experiment skewed(config);
+  config.partition = PartitionKind::kIid;
+  const Experiment iid(config);
+
+  const auto distinct = [](const gsfl::data::Dataset& d) {
+    std::size_t n = 0;
+    for (const auto c : d.class_histogram()) n += c > 0 ? 1 : 0;
+    return n;
+  };
+  std::size_t skewed_distinct = 0;
+  std::size_t iid_distinct = 0;
+  for (const auto& d : skewed.client_data()) skewed_distinct += distinct(d);
+  for (const auto& d : iid.client_data()) iid_distinct += distinct(d);
+  EXPECT_LT(skewed_distinct, iid_distinct);
+}
+
+TEST(Experiment, PaperAndScaledConfigsAreSane) {
+  const auto paper = ExperimentConfig::paper();
+  EXPECT_EQ(paper.num_clients, 30u);
+  EXPECT_EQ(paper.num_groups, 6u);
+  EXPECT_EQ(paper.dataset.num_classes, 43u);
+  EXPECT_EQ(paper.dataset.image_size, 32u);
+
+  const auto scaled = ExperimentConfig::scaled();
+  EXPECT_EQ(scaled.num_clients, 30u);
+  EXPECT_EQ(scaled.num_groups, 6u);
+  EXPECT_LT(scaled.dataset.num_classes, paper.dataset.num_classes);
+  EXPECT_LT(scaled.dataset.image_size, paper.dataset.image_size);
+}
+
+TEST(Experiment, InvalidConfigRejected) {
+  auto config = tiny_config();
+  config.num_groups = 10;  // more groups than clients
+  EXPECT_THROW(Experiment{config}, std::invalid_argument);
+}
+
+}  // namespace

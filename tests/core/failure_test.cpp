@@ -1,0 +1,141 @@
+#include <cmath>
+// Client failure injection: GSFL must degrade gracefully when devices drop
+// out of a round (battery, mobility, radio outage).
+#include <gtest/gtest.h>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/metrics/evaluate.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::core::GsflConfig;
+using gsfl::core::GsflTrainer;
+
+GsflConfig failing_config(std::size_t groups, double rate) {
+  GsflConfig config;
+  config.num_groups = groups;
+  config.cut_layer = gsfl::test::kTinyCut;
+  config.client_failure_rate = rate;
+  return config;
+}
+
+TEST(FailureInjection, RateZeroIsExactlyBaseline) {
+  const auto network = gsfl::test::make_tiny_network(6);
+  const auto data = gsfl::test::make_client_datasets(6, 8, 91);
+  Rng rng(91);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer baseline(network, data, init, failing_config(3, 0.0));
+  GsflConfig with_seed = failing_config(3, 0.0);
+  with_seed.failure_seed = 12345;  // seed is irrelevant at rate 0
+  GsflTrainer same(network, data, init, with_seed);
+  for (int i = 0; i < 3; ++i) {
+    (void)baseline.run_round();
+    (void)same.run_round();
+  }
+  EXPECT_TRUE(gsfl::test::states_equal(baseline.global_model(),
+                                       same.global_model()));
+  EXPECT_TRUE(baseline.last_round_failures().empty());
+}
+
+TEST(FailureInjection, FailuresAreReportedAndDeterministic) {
+  const auto network = gsfl::test::make_tiny_network(8);
+  const auto data = gsfl::test::make_client_datasets(8, 8, 92);
+  Rng rng(92);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer a(network, data, init, failing_config(2, 0.5));
+  GsflTrainer b(network, data, init, failing_config(2, 0.5));
+  for (int i = 0; i < 4; ++i) {
+    (void)a.run_round();
+    (void)b.run_round();
+    EXPECT_EQ(a.last_round_failures(), b.last_round_failures());
+  }
+  EXPECT_TRUE(gsfl::test::states_equal(a.global_model(), b.global_model()));
+}
+
+TEST(FailureInjection, ModerateFailuresStillLearn) {
+  const auto network = gsfl::test::make_tiny_network(8);
+  Rng test_rng(93);
+  const auto test_set = gsfl::test::make_separable_dataset(40, test_rng);
+  Rng rng(93);
+  auto config = failing_config(4, 0.25);
+  config.train.learning_rate = 0.15;
+  GsflTrainer trainer(network, gsfl::test::make_client_datasets(8, 16, 93),
+                      gsfl::test::make_tiny_model(rng), config);
+  for (int i = 0; i < 30; ++i) (void)trainer.run_round();
+  auto model = trainer.global_model();
+  EXPECT_GT(gsfl::metrics::evaluate(model, test_set).accuracy, 0.8);
+}
+
+TEST(FailureInjection, FullyFailedGroupIsExcludedNotPoisonous) {
+  // With 2 singleton groups and one client always failing (rate just below
+  // 1 applied repeatedly), some rounds will have a fully-failed group; the
+  // aggregation must skip it rather than averaging an untrained replica.
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 94);
+  Rng rng(94);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      failing_config(2, 0.6));
+  for (int i = 0; i < 10; ++i) {
+    const auto result = trainer.run_round();
+    EXPECT_TRUE(std::isfinite(result.train_loss));
+  }
+  auto model = trainer.global_model();
+  for (const auto& t : model.state()) {
+    for (const float v : t.data()) ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(FailureInjection, AllClientsFailedLeavesModelUntouched) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 95);
+  Rng rng(95);
+  const auto init = gsfl::test::make_tiny_model(rng);
+  // rate ~1 (capped below 1): all clients fail in virtually every round.
+  GsflTrainer trainer(network, data, init, failing_config(2, 0.999));
+  const auto result = trainer.run_round();
+  if (trainer.last_round_failures().size() == 2) {
+    EXPECT_TRUE(gsfl::test::states_equal(trainer.global_model(), init));
+    EXPECT_DOUBLE_EQ(result.train_loss, 0.0);
+  }
+}
+
+TEST(FailureInjection, SkippedClientsReduceRoundTraffic) {
+  const auto network = gsfl::test::make_tiny_network(6);
+  const auto data = gsfl::test::make_client_datasets(6, 8, 96);
+  Rng rng(96);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer healthy(network, data, init, failing_config(1, 0.0));
+  GsflTrainer flaky(network, data, init, failing_config(1, 0.5));
+  const double healthy_up = healthy.run_round().latency.uplink;
+  double flaky_up = 0.0;
+  // Find a round where at least one client failed.
+  for (int i = 0; i < 10; ++i) {
+    const auto result = flaky.run_round();
+    if (!flaky.last_round_failures().empty() &&
+        flaky.last_round_failures().size() < 6) {
+      flaky_up = result.latency.uplink;
+      break;
+    }
+  }
+  ASSERT_GT(flaky_up, 0.0) << "no usable failure round drawn";
+  EXPECT_LT(flaky_up, healthy_up);
+}
+
+TEST(FailureInjection, InvalidRateRejected) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 97);
+  Rng rng(97);
+  EXPECT_THROW(GsflTrainer(network, data, gsfl::test::make_tiny_model(rng),
+                           failing_config(2, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(GsflTrainer(network, data, gsfl::test::make_tiny_model(rng),
+                           failing_config(2, -0.1)),
+               std::invalid_argument);
+}
+
+}  // namespace

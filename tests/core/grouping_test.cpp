@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/core/grouping.hpp"
+#include "gsfl/data/partition.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::core::group_contiguous;
+using gsfl::core::group_label_aware;
+using gsfl::core::group_random;
+using gsfl::core::group_round_robin;
+using gsfl::core::GroupAssignment;
+using gsfl::core::grouping_label_imbalance;
+using gsfl::core::is_valid_grouping;
+using gsfl::data::Dataset;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(Grouping, RoundRobinInterleaves) {
+  const auto groups = group_round_robin(7, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 3, 6}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(groups[2], (std::vector<std::size_t>{2, 5}));
+  EXPECT_TRUE(is_valid_grouping(groups, 7));
+}
+
+TEST(Grouping, ContiguousBlocks) {
+  const auto groups = group_contiguous(7, 3);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(groups[2], (std::vector<std::size_t>{5, 6}));
+  EXPECT_TRUE(is_valid_grouping(groups, 7));
+}
+
+TEST(Grouping, RandomIsValidAndSeeded) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto a = group_random(10, 4, rng_a);
+  const auto b = group_random(10, 4, rng_b);
+  EXPECT_TRUE(is_valid_grouping(a, 10));
+  EXPECT_EQ(a, b);  // deterministic given the seed
+}
+
+TEST(Grouping, PaperConfiguration30Clients6Groups) {
+  const auto groups = group_round_robin(30, 6);
+  ASSERT_EQ(groups.size(), 6u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 5u);
+  EXPECT_TRUE(is_valid_grouping(groups, 30));
+}
+
+TEST(Grouping, SingleGroupAndSingletonGroups) {
+  const auto one = group_round_robin(5, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].size(), 5u);
+
+  const auto singletons = group_round_robin(5, 5);
+  ASSERT_EQ(singletons.size(), 5u);
+  for (const auto& g : singletons) EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Grouping, MoreGroupsThanClientsThrows) {
+  EXPECT_THROW(group_round_robin(3, 4), std::invalid_argument);
+  EXPECT_THROW(group_contiguous(3, 0), std::invalid_argument);
+}
+
+TEST(Grouping, ValidityDetectsProblems) {
+  EXPECT_TRUE(is_valid_grouping({{0, 1}, {2}}, 3));
+  EXPECT_FALSE(is_valid_grouping({{0, 1}, {}}, 2));      // empty group
+  EXPECT_FALSE(is_valid_grouping({{0, 1}, {1}}, 2));     // duplicate
+  EXPECT_FALSE(is_valid_grouping({{0}}, 2));             // missing client
+  EXPECT_FALSE(is_valid_grouping({{0, 2}}, 2));          // out of range
+}
+
+/// Clients with single-class datasets; class = client index % classes.
+std::vector<Dataset> single_class_clients(std::size_t n,
+                                          std::size_t classes) {
+  std::vector<Dataset> out;
+  for (std::size_t c = 0; c < n; ++c) {
+    Tensor images(Shape{6, 1, 2, 2});
+    std::vector<std::int32_t> labels(
+        6, static_cast<std::int32_t>(c % classes));
+    out.emplace_back(std::move(images), std::move(labels), classes);
+  }
+  return out;
+}
+
+TEST(Grouping, LabelAwareIsValid) {
+  const auto clients = single_class_clients(12, 4);
+  const auto groups = group_label_aware(clients, 4);
+  EXPECT_TRUE(is_valid_grouping(groups, 12));
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 3u);
+}
+
+TEST(Grouping, LabelAwareBalancesSkewedClients) {
+  // 8 clients, 4 classes, two single-class clients per class. A contiguous
+  // grouping into 4 groups pairs same-class clients (worst case); the
+  // label-aware grouping must do strictly better.
+  std::vector<Dataset> clients;
+  for (std::size_t c = 0; c < 8; ++c) {
+    Tensor images(Shape{6, 1, 2, 2});
+    std::vector<std::int32_t> labels(6,
+                                     static_cast<std::int32_t>(c / 2));
+    clients.emplace_back(std::move(images), std::move(labels), 4);
+  }
+  const auto aware = group_label_aware(clients, 4);
+  const auto contiguous = group_contiguous(8, 4);
+  EXPECT_TRUE(is_valid_grouping(aware, 8));
+  EXPECT_LT(grouping_label_imbalance(aware, clients),
+            grouping_label_imbalance(contiguous, clients));
+}
+
+TEST(Grouping, LabelAwareHandlesAwkwardSizes) {
+  // N=4, M=3 — the case where greedy filling could leave a group empty.
+  const auto clients = single_class_clients(4, 2);
+  const auto groups = group_label_aware(clients, 3);
+  EXPECT_TRUE(is_valid_grouping(groups, 4));
+}
+
+TEST(Grouping, ImbalanceZeroForPerfectlyMixedGroups) {
+  // Every client IID over classes → every grouping has imbalance ≈ 0.
+  std::vector<Dataset> clients;
+  for (std::size_t c = 0; c < 6; ++c) {
+    Tensor images(Shape{4, 1, 2, 2});
+    std::vector<std::int32_t> labels = {0, 1, 2, 3};
+    clients.emplace_back(std::move(images), std::move(labels), 4);
+  }
+  EXPECT_NEAR(grouping_label_imbalance(group_round_robin(6, 2), clients),
+              0.0, 1e-12);
+}
+
+class GroupingSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(GroupingSweep, AllStrategiesValid) {
+  const auto [clients_n, groups_n] = GetParam();
+  Rng rng(clients_n * 13 + groups_n);
+  EXPECT_TRUE(
+      is_valid_grouping(group_round_robin(clients_n, groups_n), clients_n));
+  EXPECT_TRUE(
+      is_valid_grouping(group_contiguous(clients_n, groups_n), clients_n));
+  EXPECT_TRUE(is_valid_grouping(group_random(clients_n, groups_n, rng),
+                                clients_n));
+  const auto data = single_class_clients(clients_n, 3);
+  EXPECT_TRUE(
+      is_valid_grouping(group_label_aware(data, groups_n), clients_n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GroupingSweep,
+    ::testing::Values(std::make_tuple(30, 6), std::make_tuple(30, 1),
+                      std::make_tuple(30, 30), std::make_tuple(7, 3),
+                      std::make_tuple(4, 3), std::make_tuple(5, 2),
+                      std::make_tuple(13, 5)));
+
+}  // namespace

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/metrics/evaluate.hpp"
+#include "gsfl/schemes/split_learning.hpp"
+#include "gsfl/schemes/splitfed.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::core::GroupingPolicy;
+using gsfl::core::GsflConfig;
+using gsfl::core::GsflTrainer;
+using gsfl::schemes::SplitFedTrainer;
+using gsfl::schemes::SplitLearningTrainer;
+using gsfl::schemes::TrainConfig;
+
+GsflConfig tiny_gsfl_config(std::size_t groups) {
+  GsflConfig config;
+  config.num_groups = groups;
+  config.cut_layer = gsfl::test::kTinyCut;
+  return config;
+}
+
+TEST(Gsfl, SingleGroupEqualsVanillaSlExactly) {
+  // With M = 1 the group walks all clients sequentially — exactly vanilla
+  // SL — and aggregating a single replica is the identity.
+  const auto network = gsfl::test::make_tiny_network(4);
+  const auto data = gsfl::test::make_client_datasets(4, 12, 41);
+  Rng rng(41);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer gsfl(network, data, init, tiny_gsfl_config(1));
+  SplitLearningTrainer sl(network, data, init, gsfl::test::kTinyCut,
+                          TrainConfig{});
+
+  for (int round = 0; round < 3; ++round) {
+    (void)gsfl.run_round();
+    (void)sl.run_round();
+    EXPECT_TRUE(
+        gsfl::test::states_equal(gsfl.global_model(), sl.global_model()))
+        << "diverged at round " << round;
+  }
+}
+
+TEST(Gsfl, SingletonGroupsEqualSplitFedExactly) {
+  // With M = N every group is one client with its own server replica —
+  // exactly SplitFed.
+  const auto network = gsfl::test::make_tiny_network(3);
+  const auto data = gsfl::test::make_client_datasets(3, 12, 42);
+  Rng rng(42);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer gsfl(network, data, init, tiny_gsfl_config(3));
+  SplitFedTrainer sfl(network, data, init, gsfl::test::kTinyCut,
+                      TrainConfig{});
+
+  for (int round = 0; round < 3; ++round) {
+    (void)gsfl.run_round();
+    (void)sfl.run_round();
+    EXPECT_TRUE(
+        gsfl::test::states_equal(gsfl.global_model(), sfl.global_model()))
+        << "diverged at round " << round;
+  }
+}
+
+TEST(Gsfl, LearnsSeparableTask) {
+  const auto network = gsfl::test::make_tiny_network(6);
+  Rng rng(43);
+  Rng test_rng(44);
+  const auto test_set = gsfl::test::make_separable_dataset(48, test_rng);
+  auto config = tiny_gsfl_config(3);
+  config.train.learning_rate = 0.15;
+  GsflTrainer trainer(network, gsfl::test::make_client_datasets(6, 12, 43),
+                      gsfl::test::make_tiny_model(rng), config);
+  for (int i = 0; i < 25; ++i) (void)trainer.run_round();
+  auto model = trainer.global_model();
+  EXPECT_GT(gsfl::metrics::evaluate(model, test_set).accuracy, 0.85);
+}
+
+TEST(Gsfl, RoundLatencyDecreasesWithMoreGroups) {
+  // Groups train in parallel: more groups ⇒ shorter sequential chains ⇒
+  // a shorter round, despite the reduced per-group bandwidth share.
+  const auto network = gsfl::test::make_tiny_network(12);
+  const auto data = gsfl::test::make_client_datasets(12, 8, 45);
+  Rng rng(45);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer one(network, data, init, tiny_gsfl_config(1));
+  GsflTrainer four(network, data, init, tiny_gsfl_config(4));
+  const double t1 = one.run_round().latency.total();
+  const double t4 = four.run_round().latency.total();
+  EXPECT_LT(t4, t1);
+}
+
+TEST(Gsfl, ServerStorageScalesWithGroupsNotClients) {
+  const auto network = gsfl::test::make_tiny_network(12);
+  const auto data = gsfl::test::make_client_datasets(12, 8, 46);
+  Rng rng(46);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer two(network, data, init, tiny_gsfl_config(2));
+  GsflTrainer six(network, data, init, tiny_gsfl_config(6));
+  EXPECT_EQ(six.server_storage_bytes(), 3 * two.server_storage_bytes());
+
+  // The paper's argument: GSFL with M ≪ N stores far less than SplitFed.
+  SplitFedTrainer sfl(network, data, init, gsfl::test::kTinyCut,
+                      TrainConfig{});
+  EXPECT_LT(two.server_storage_bytes(), sfl.server_storage_bytes());
+}
+
+TEST(Gsfl, GroupChainsExposedPerRound) {
+  const auto network = gsfl::test::make_tiny_network(6);
+  Rng rng(47);
+  GsflTrainer trainer(network, gsfl::test::make_client_datasets(6, 8, 47),
+                      gsfl::test::make_tiny_model(rng), tiny_gsfl_config(3));
+  EXPECT_TRUE(trainer.last_group_chains().empty());
+  const auto result = trainer.run_round();
+  ASSERT_EQ(trainer.last_group_chains().size(), 3u);
+  // The reported round latency equals the critical chain plus aggregation.
+  double max_chain = 0.0;
+  for (const auto& chain : trainer.last_group_chains()) {
+    max_chain = std::max(max_chain, chain.total());
+  }
+  EXPECT_NEAR(result.latency.total() - result.latency.aggregation, max_chain,
+              1e-9);
+  EXPECT_GT(result.latency.aggregation, 0.0);
+}
+
+TEST(Gsfl, GroupingPoliciesProduceValidGroups) {
+  const auto network = gsfl::test::make_tiny_network(9);
+  const auto data = gsfl::test::make_client_datasets(9, 8, 48);
+  Rng rng(48);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  for (const auto policy :
+       {GroupingPolicy::kRoundRobin, GroupingPolicy::kContiguous,
+        GroupingPolicy::kRandom, GroupingPolicy::kLabelAware}) {
+    auto config = tiny_gsfl_config(3);
+    config.grouping = policy;
+    GsflTrainer trainer(network, data, init, config);
+    EXPECT_TRUE(gsfl::core::is_valid_grouping(trainer.groups(), 9));
+    EXPECT_EQ(trainer.num_groups(), 3u);
+  }
+}
+
+TEST(Gsfl, ExplicitGroupingHonoured) {
+  const auto network = gsfl::test::make_tiny_network(4);
+  const auto data = gsfl::test::make_client_datasets(4, 8, 49);
+  Rng rng(49);
+  auto config = tiny_gsfl_config(2);
+  config.grouping = GroupingPolicy::kExplicit;
+  config.explicit_groups = {{3, 0}, {2, 1}};
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config);
+  EXPECT_EQ(trainer.groups(), config.explicit_groups);
+
+  config.explicit_groups = {{0, 1}, {1, 2}};  // duplicate, missing 3
+  EXPECT_THROW(GsflTrainer(network, data, gsfl::test::make_tiny_model(rng),
+                           config),
+               std::invalid_argument);
+}
+
+TEST(Gsfl, RequiresTrainableServerSide) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 50);
+  Rng rng(50);
+  const auto init = gsfl::test::make_tiny_model(rng);
+  auto config = tiny_gsfl_config(2);
+  config.cut_layer = init.size();
+  EXPECT_THROW(GsflTrainer(network, data, init, config),
+               std::invalid_argument);
+}
+
+TEST(Gsfl, ClientModelBytesMatchCut) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 51);
+  Rng rng(51);
+  const auto init = gsfl::test::make_tiny_model(rng);
+  GsflTrainer trainer(network, data, init, tiny_gsfl_config(2));
+  // Client side = flatten + dense(4→8): (4·8 + 8) floats.
+  EXPECT_EQ(trainer.client_model_bytes(), (4 * 8 + 8) * sizeof(float));
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/data/dataset.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::data::Dataset;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+Dataset make_dataset(std::size_t n, std::size_t classes = 4) {
+  Tensor images(Shape{n, 1, 2, 2});
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    images.at4(i, 0, 0, 0) = static_cast<float>(i);
+    labels[i] = static_cast<std::int32_t>(i % classes);
+  }
+  return Dataset(std::move(images), std::move(labels), classes);
+}
+
+TEST(Dataset, BasicAccessors) {
+  const auto ds = make_dataset(10);
+  EXPECT_EQ(ds.size(), 10u);
+  EXPECT_FALSE(ds.empty());
+  EXPECT_EQ(ds.num_classes(), 4u);
+  EXPECT_EQ(ds.sample_shape(), Shape({1, 2, 2}));
+  EXPECT_EQ(ds.batch_shape(3), Shape({3, 1, 2, 2}));
+  EXPECT_EQ(ds.image_bytes(), 10u * 4u * sizeof(float));
+}
+
+TEST(Dataset, ConstructionValidation) {
+  Tensor images(Shape{2, 1, 2, 2});
+  EXPECT_THROW(Dataset(images, {0}, 4), std::invalid_argument);      // count
+  EXPECT_THROW(Dataset(images, {0, 9}, 4), std::invalid_argument);   // range
+  EXPECT_THROW(Dataset(images, {0, -1}, 4), std::invalid_argument);  // range
+  EXPECT_THROW(Dataset(Tensor(Shape{2, 4}), {0, 1}, 4),
+               std::invalid_argument);  // rank
+}
+
+TEST(Dataset, GatherCopiesRequestedSamples) {
+  const auto ds = make_dataset(10);
+  const std::size_t idx[] = {7, 2, 2};
+  const auto [images, labels] = ds.gather(idx);
+  EXPECT_EQ(images.shape(), Shape({3, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(images.at4(0, 0, 0, 0), 7.0f);
+  EXPECT_FLOAT_EQ(images.at4(1, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(images.at4(2, 0, 0, 0), 2.0f);
+  EXPECT_EQ(labels[0], 3);
+  EXPECT_EQ(labels[1], 2);
+}
+
+TEST(Dataset, GatherValidatesIndices) {
+  const auto ds = make_dataset(5);
+  const std::size_t bad[] = {5};
+  EXPECT_THROW(ds.gather(bad), std::invalid_argument);
+  EXPECT_THROW(ds.gather({}), std::invalid_argument);
+}
+
+TEST(Dataset, SubsetPreservesMetadata) {
+  const auto ds = make_dataset(10);
+  const std::size_t idx[] = {1, 3, 5};
+  const auto sub = ds.subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.num_classes(), 4u);
+  EXPECT_EQ(sub.labels()[2], 1);
+}
+
+TEST(Dataset, SplitTrainTestPartitions) {
+  const auto ds = make_dataset(20);
+  Rng rng(1);
+  const auto [train, test] = ds.split_train_test(0.25, rng);
+  EXPECT_EQ(train.size(), 15u);
+  EXPECT_EQ(test.size(), 5u);
+
+  // Together they hold every original marker value exactly once.
+  std::vector<int> seen(20, 0);
+  for (const auto& part : {train, test}) {
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      ++seen[static_cast<std::size_t>(part.images().at4(i, 0, 0, 0))];
+    }
+  }
+  for (const int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Dataset, SplitValidation) {
+  const auto ds = make_dataset(10);
+  Rng rng(2);
+  EXPECT_THROW(ds.split_train_test(0.0, rng), std::invalid_argument);
+  EXPECT_THROW(ds.split_train_test(1.0, rng), std::invalid_argument);
+}
+
+TEST(Dataset, ClassHistogram) {
+  const auto ds = make_dataset(10, 4);  // labels 0..3 cycling
+  const auto hist = ds.class_histogram();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 3u);  // 0, 4, 8
+  EXPECT_EQ(hist[1], 3u);  // 1, 5, 9
+  EXPECT_EQ(hist[2], 2u);
+  EXPECT_EQ(hist[3], 2u);
+}
+
+TEST(Dataset, ConcatenatePools) {
+  const auto a = make_dataset(4);
+  const auto b = make_dataset(6);
+  const auto pooled = Dataset::concatenate({a, b});
+  EXPECT_EQ(pooled.size(), 10u);
+  EXPECT_EQ(pooled.num_classes(), 4u);
+  EXPECT_FLOAT_EQ(pooled.images().at4(4, 0, 0, 0), 0.0f);  // b starts over
+}
+
+TEST(Dataset, ConcatenateValidatesCompatibility) {
+  const auto a = make_dataset(4, 4);
+  const auto b = make_dataset(4, 5);
+  EXPECT_THROW(Dataset::concatenate({a, b}), std::invalid_argument);
+  EXPECT_THROW(Dataset::concatenate({}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "gsfl/data/image_io.hpp"
+#include "gsfl/data/synthetic_gtsrb.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::data::load_image_directory;
+using gsfl::data::read_ppm;
+using gsfl::data::resize_nearest;
+using gsfl::data::write_ppm;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+Tensor gradient_image(std::size_t h, std::size_t w) {
+  Tensor image(Shape{3, h, w});
+  auto px = image.data();
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        px[(c * h + y) * w + x] =
+            static_cast<float>((c + 1) * (y * w + x)) /
+            static_cast<float>(3 * h * w);
+      }
+    }
+  }
+  return image;
+}
+
+TEST(PpmIo, RoundTripWithinQuantization) {
+  const auto original = gradient_image(7, 5);
+  std::stringstream buffer;
+  write_ppm(buffer, original);
+  const auto restored = read_ppm(buffer);
+  ASSERT_EQ(restored.shape(), original.shape());
+  // 8-bit quantization: error bounded by 1/510.
+  EXPECT_LT(Tensor::max_abs_diff(original, restored), 1.0 / 255.0);
+}
+
+TEST(PpmIo, HeaderCommentsAndWhitespaceAccepted) {
+  const auto image = gradient_image(2, 2);
+  std::stringstream buffer;
+  write_ppm(buffer, image);
+  const auto body = buffer.str().substr(buffer.str().find("255") + 4);
+  std::stringstream commented;
+  commented << "P6\n# a comment line\n  2   2\n# another\n255\n" << body;
+  const auto restored = read_ppm(commented);
+  EXPECT_EQ(restored.shape(), Shape({3, 2, 2}));
+}
+
+TEST(PpmIo, MalformedInputsRejected) {
+  std::stringstream bad_magic("P5\n2 2\n255\n....");
+  EXPECT_THROW(read_ppm(bad_magic), std::runtime_error);
+  std::stringstream bad_maxval("P6\n2 2\n65535\n....");
+  EXPECT_THROW(read_ppm(bad_maxval), std::runtime_error);
+  std::stringstream truncated("P6\n4 4\n255\nxx");
+  EXPECT_THROW(read_ppm(truncated), std::runtime_error);
+  std::stringstream huge("P6\n999999 2\n255\n");
+  EXPECT_THROW(read_ppm(huge), std::runtime_error);
+}
+
+TEST(PpmIo, WriteRejectsNonRgb) {
+  EXPECT_THROW(write_ppm(std::cout, Tensor(Shape{1, 4, 4})),
+               std::invalid_argument);
+  EXPECT_THROW(write_ppm(std::cout, Tensor(Shape{3, 4})),
+               std::invalid_argument);
+}
+
+TEST(Resize, IdentityWhenSizesMatch) {
+  const auto image = gradient_image(8, 8);
+  EXPECT_EQ(resize_nearest(image, 8), image);
+}
+
+TEST(Resize, DownAndUpScaleGeometry) {
+  const auto image = gradient_image(16, 12);
+  const auto small = resize_nearest(image, 8);
+  EXPECT_EQ(small.shape(), Shape({3, 8, 8}));
+  const auto big = resize_nearest(image, 32);
+  EXPECT_EQ(big.shape(), Shape({3, 32, 32}));
+  // Nearest-neighbour preserves the value range exactly.
+  EXPECT_GE(small.min(), image.min());
+  EXPECT_LE(small.max(), image.max());
+}
+
+TEST(Resize, ConstantImageStaysConstant) {
+  const auto image = Tensor::full(Shape{3, 10, 10}, 0.3f);
+  const auto resized = resize_nearest(image, 7);
+  for (const float v : resized.data()) EXPECT_FLOAT_EQ(v, 0.3f);
+}
+
+class ImageDirectoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/gsfl_image_dir_test";
+    std::filesystem::create_directories(dir_);
+    // Render a few synthetic signs to PPM at heterogeneous sizes.
+    gsfl::data::SyntheticGtsrbConfig config;
+    config.image_size = 20;
+    config.num_classes = 4;
+    config.samples_per_class = 1;
+    const gsfl::data::SyntheticGtsrb generator(config);
+    Rng rng(5);
+    std::ofstream index(dir_ + "/index.csv");
+    index << "# file,label\n";
+    for (std::size_t c = 0; c < 4; ++c) {
+      const auto ds = generator.generate_class(c, 1, rng);
+      const auto image =
+          ds.images().slice0(0, 1).reshape(Shape{3, 20, 20});
+      const std::string name = "sign_" + std::to_string(c) + ".ppm";
+      gsfl::data::write_ppm_file(dir_ + "/" + name, image);
+      index << name << ',' << c << '\n';
+    }
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ImageDirectoryTest, LoadsAndResizes) {
+  const auto ds = load_image_directory(dir_, 4, 16);
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.num_classes(), 4u);
+  EXPECT_EQ(ds.sample_shape(), Shape({3, 16, 16}));
+  const auto hist = ds.class_histogram();
+  for (const auto count : hist) EXPECT_EQ(count, 1u);
+}
+
+TEST_F(ImageDirectoryTest, RejectsOutOfRangeLabels) {
+  std::ofstream(dir_ + "/index.csv") << "sign_0.ppm,9\n";
+  EXPECT_THROW(load_image_directory(dir_, 4, 16), std::runtime_error);
+}
+
+TEST_F(ImageDirectoryTest, RejectsMissingIndex) {
+  std::filesystem::remove(dir_ + "/index.csv");
+  EXPECT_THROW(load_image_directory(dir_, 4, 16), std::runtime_error);
+}
+
+TEST_F(ImageDirectoryTest, RejectsEmptyIndex) {
+  std::ofstream(dir_ + "/index.csv") << "# nothing here\n";
+  EXPECT_THROW(load_image_directory(dir_, 4, 16), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <set>
+
+#include "gsfl/data/partition.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::data::Dataset;
+using gsfl::data::is_exact_cover;
+using gsfl::data::materialize;
+using gsfl::data::Partition;
+using gsfl::data::partition_dirichlet;
+using gsfl::data::partition_iid;
+using gsfl::data::partition_shards;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+Dataset make_dataset(std::size_t n, std::size_t classes) {
+  Tensor images(Shape{n, 1, 2, 2});
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::int32_t>(i % classes);
+  }
+  return Dataset(std::move(images), std::move(labels), classes);
+}
+
+TEST(PartitionIid, ExactCoverAndBalance) {
+  const auto ds = make_dataset(100, 10);
+  Rng rng(1);
+  const auto partition = partition_iid(ds, 7, rng);
+  EXPECT_TRUE(is_exact_cover(partition, 100));
+  for (const auto& p : partition) {
+    EXPECT_GE(p.size(), 14u);
+    EXPECT_LE(p.size(), 15u);
+  }
+}
+
+TEST(PartitionIid, LabelDistributionRoughlyUniform) {
+  const auto ds = make_dataset(1000, 10);
+  Rng rng(2);
+  const auto partition = partition_iid(ds, 4, rng);
+  const auto clients = materialize(ds, partition);
+  for (const auto& c : clients) {
+    const auto hist = c.class_histogram();
+    // Each client holds ~250 samples, ~25/class; allow generous slack.
+    for (const auto count : hist) {
+      EXPECT_GT(count, 10u);
+      EXPECT_LT(count, 45u);
+    }
+  }
+}
+
+TEST(PartitionShards, ExactCover) {
+  const auto ds = make_dataset(120, 10);
+  Rng rng(3);
+  const auto partition = partition_shards(ds, 10, 2, rng);
+  EXPECT_TRUE(is_exact_cover(partition, 120));
+}
+
+TEST(PartitionShards, LimitsDistinctLabelsPerClient) {
+  // 10 classes, 12 samples each; 10 clients × 2 shards of 12 → each client
+  // sees at most 2 label runs (possibly 3 labels if a shard straddles).
+  const auto ds = make_dataset(120, 10);
+  Rng rng(4);
+  const auto partition = partition_shards(ds, 10, 2, rng);
+  const auto clients = materialize(ds, partition);
+  for (const auto& c : clients) {
+    const auto hist = c.class_histogram();
+    const auto distinct = static_cast<std::size_t>(
+        std::count_if(hist.begin(), hist.end(),
+                      [](std::size_t n) { return n > 0; }));
+    EXPECT_LE(distinct, 4u);
+    EXPECT_GE(distinct, 1u);
+  }
+}
+
+TEST(PartitionShards, MoreShardsMoreMixing) {
+  const auto ds = make_dataset(400, 10);
+  Rng rng(5);
+  const auto skewed = materialize(ds, partition_shards(ds, 10, 1, rng));
+  const auto mixed = materialize(ds, partition_shards(ds, 10, 8, rng));
+  const auto count_distinct = [](const Dataset& d) {
+    const auto h = d.class_histogram();
+    return static_cast<std::size_t>(std::count_if(
+        h.begin(), h.end(), [](std::size_t n) { return n > 0; }));
+  };
+  std::size_t skewed_total = 0;
+  std::size_t mixed_total = 0;
+  for (const auto& c : skewed) skewed_total += count_distinct(c);
+  for (const auto& c : mixed) mixed_total += count_distinct(c);
+  EXPECT_LT(skewed_total, mixed_total);
+}
+
+TEST(PartitionDirichlet, ExactCoverAndMinSamples) {
+  const auto ds = make_dataset(300, 6);
+  Rng rng(6);
+  const auto partition = partition_dirichlet(ds, 10, 0.5, rng, 3);
+  EXPECT_TRUE(is_exact_cover(partition, 300));
+  for (const auto& p : partition) EXPECT_GE(p.size(), 3u);
+}
+
+TEST(PartitionDirichlet, HighAlphaApproachesIid) {
+  const auto ds = make_dataset(1000, 10);
+  Rng rng(7);
+  const auto partition = partition_dirichlet(ds, 5, 1e4, rng);
+  for (const auto& p : partition) {
+    EXPECT_NEAR(static_cast<double>(p.size()), 200.0, 40.0);
+  }
+}
+
+TEST(PartitionDirichlet, LowAlphaConcentrates) {
+  const auto ds = make_dataset(1000, 10);
+  Rng rng(8);
+  const auto partition = partition_dirichlet(ds, 5, 0.05, rng);
+  // With extreme skew, at least one client dominates some class: compute
+  // the max share any single client holds of any class.
+  const auto clients = materialize(ds, partition);
+  double max_share = 0.0;
+  for (const auto& c : clients) {
+    const auto hist = c.class_histogram();
+    for (const auto count : hist) {
+      max_share = std::max(max_share, static_cast<double>(count) / 100.0);
+    }
+  }
+  EXPECT_GT(max_share, 0.8);
+}
+
+TEST(PartitionDirichlet, ImpossibleMinSamplesThrows) {
+  const auto ds = make_dataset(10, 2);
+  Rng rng(9);
+  EXPECT_THROW(partition_dirichlet(ds, 5, 1.0, rng, 3),
+               std::invalid_argument);
+}
+
+TEST(Partition, ValidationHelpers) {
+  EXPECT_TRUE(is_exact_cover({{0, 1}, {2}}, 3));
+  EXPECT_FALSE(is_exact_cover({{0, 1}}, 3));          // missing 2
+  EXPECT_FALSE(is_exact_cover({{0, 1}, {1, 2}}, 3));  // duplicate 1
+  EXPECT_FALSE(is_exact_cover({{0, 3}}, 3));          // out of range
+}
+
+TEST(Partition, MaterializeRejectsEmptyClient) {
+  const auto ds = make_dataset(4, 2);
+  const Partition with_empty{{0, 1, 2, 3}, {}};
+  EXPECT_THROW(materialize(ds, with_empty), std::invalid_argument);
+}
+
+TEST(Partition, TooManyClientsThrows) {
+  const auto ds = make_dataset(3, 3);
+  Rng rng(10);
+  EXPECT_THROW(partition_iid(ds, 4, rng), std::invalid_argument);
+  EXPECT_THROW(partition_shards(ds, 2, 2, rng), std::invalid_argument);
+}
+
+class PartitionCoverSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PartitionCoverSweep, AllStrategiesCoverExactly) {
+  const auto [samples, clients] = GetParam();
+  const auto ds = make_dataset(samples, 5);
+  Rng rng(samples * 31 + clients);
+  EXPECT_TRUE(is_exact_cover(partition_iid(ds, clients, rng), samples));
+  if (samples >= clients * 2) {
+    EXPECT_TRUE(
+        is_exact_cover(partition_shards(ds, clients, 2, rng), samples));
+  }
+  if (samples >= clients * 4) {
+    EXPECT_TRUE(is_exact_cover(
+        partition_dirichlet(ds, clients, 0.8, rng, 1), samples));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PartitionCoverSweep,
+    ::testing::Values(std::make_tuple(30, 30), std::make_tuple(100, 7),
+                      std::make_tuple(101, 7), std::make_tuple(720, 30),
+                      std::make_tuple(64, 2)));
+
+}  // namespace

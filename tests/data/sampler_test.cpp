@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+#include <set>
+
+#include "gsfl/data/sampler.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::data::BatchSampler;
+using gsfl::data::Dataset;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+Dataset make_dataset(std::size_t n) {
+  Tensor images(Shape{n, 1, 1, 1});
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    images.at4(i, 0, 0, 0) = static_cast<float>(i);
+    labels[i] = static_cast<std::int32_t>(i % 2);
+  }
+  return Dataset(std::move(images), std::move(labels), 2);
+}
+
+TEST(Sampler, BatchesPerEpochArithmetic) {
+  const auto ds = make_dataset(10);
+  EXPECT_EQ(BatchSampler(ds, 3, Rng(1)).batches_per_epoch(), 4u);
+  EXPECT_EQ(BatchSampler(ds, 3, Rng(1), true).batches_per_epoch(), 3u);
+  EXPECT_EQ(BatchSampler(ds, 5, Rng(1)).batches_per_epoch(), 2u);
+  EXPECT_EQ(BatchSampler(ds, 20, Rng(1)).batches_per_epoch(), 1u);
+  EXPECT_EQ(BatchSampler(ds, 20, Rng(1), true).batches_per_epoch(), 1u);
+}
+
+TEST(Sampler, EpochVisitsEverySampleOnce) {
+  const auto ds = make_dataset(10);
+  BatchSampler sampler(ds, 3, Rng(2));
+  std::multiset<float> seen;
+  for (const auto& batch : sampler.epoch()) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      seen.insert(batch.images.at4(i, 0, 0, 0));
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u) << "sample " << i;
+  }
+}
+
+TEST(Sampler, PartialBatchKeptByDefault) {
+  const auto ds = make_dataset(7);
+  BatchSampler sampler(ds, 4, Rng(3));
+  const auto batches = sampler.epoch();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[1].size(), 3u);
+}
+
+TEST(Sampler, DropLastSkipsPartialBatch) {
+  const auto ds = make_dataset(7);
+  BatchSampler sampler(ds, 4, Rng(4), /*drop_last=*/true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sampler.next().size(), 4u);
+  }
+}
+
+TEST(Sampler, TinyDatasetAlwaysKept) {
+  const auto ds = make_dataset(3);
+  BatchSampler sampler(ds, 8, Rng(5), /*drop_last=*/true);
+  EXPECT_EQ(sampler.next().size(), 3u);
+}
+
+TEST(Sampler, DeterministicGivenSameRng) {
+  const auto ds = make_dataset(20);
+  BatchSampler a(ds, 4, Rng(6));
+  BatchSampler b(ds, 4, Rng(6));
+  for (int i = 0; i < 10; ++i) {
+    const auto ba = a.next();
+    const auto bb = b.next();
+    EXPECT_EQ(ba.images, bb.images);
+    EXPECT_EQ(ba.labels, bb.labels);
+  }
+}
+
+TEST(Sampler, ReshufflesBetweenEpochs) {
+  const auto ds = make_dataset(16);
+  BatchSampler sampler(ds, 16, Rng(7));
+  const auto e1 = sampler.next();
+  const auto e2 = sampler.next();
+  EXPECT_NE(e1.images, e2.images);  // same multiset, new order
+}
+
+TEST(Sampler, LabelsTravelWithImages) {
+  const auto ds = make_dataset(10);
+  BatchSampler sampler(ds, 5, Rng(8));
+  const auto batch = sampler.next();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto value =
+        static_cast<std::int32_t>(batch.images.at4(i, 0, 0, 0));
+    EXPECT_EQ(batch.labels[i], value % 2);
+  }
+}
+
+TEST(Sampler, ConstructorValidation) {
+  const auto ds = make_dataset(4);
+  EXPECT_THROW(BatchSampler(ds, 0, Rng(9)), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+#include <set>
+
+#include "gsfl/data/synthetic_gtsrb.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::data::class_style;
+using gsfl::data::hsv_to_rgb;
+using gsfl::data::SignShape;
+using gsfl::data::SyntheticGtsrb;
+using gsfl::data::SyntheticGtsrbConfig;
+using gsfl::tensor::Shape;
+
+SyntheticGtsrbConfig small_config() {
+  SyntheticGtsrbConfig config;
+  config.image_size = 16;
+  config.num_classes = 8;
+  config.samples_per_class = 5;
+  return config;
+}
+
+TEST(ClassStyle, DeterministicAndShapeCycles) {
+  for (std::size_t id = 0; id < 43; ++id) {
+    const auto a = class_style(id);
+    const auto b = class_style(id);
+    EXPECT_EQ(a.shape, b.shape);
+    EXPECT_FLOAT_EQ(a.hue, b.hue);
+    EXPECT_EQ(a.glyph, b.glyph);
+    EXPECT_EQ(static_cast<std::size_t>(a.shape), id % 5);
+  }
+}
+
+TEST(ClassStyle, NearbyClassesDiffer) {
+  // Consecutive ids must differ in silhouette or hue (or both).
+  for (std::size_t id = 0; id + 1 < 43; ++id) {
+    const auto a = class_style(id);
+    const auto b = class_style(id + 1);
+    const bool differs = a.shape != b.shape ||
+                         std::abs(a.hue - b.hue) > 0.05f ||
+                         a.glyph != b.glyph;
+    EXPECT_TRUE(differs) << "classes " << id << " and " << id + 1;
+  }
+}
+
+TEST(HsvToRgb, PrimaryColours) {
+  float r = 0, g = 0, b = 0;
+  hsv_to_rgb(0.0f, 1.0f, 1.0f, r, g, b);
+  EXPECT_FLOAT_EQ(r, 1.0f);
+  EXPECT_FLOAT_EQ(g, 0.0f);
+  hsv_to_rgb(1.0f / 3.0f, 1.0f, 1.0f, r, g, b);
+  EXPECT_FLOAT_EQ(g, 1.0f);
+  hsv_to_rgb(2.0f / 3.0f, 1.0f, 1.0f, r, g, b);
+  EXPECT_FLOAT_EQ(b, 1.0f);
+  // Zero saturation → gray at value.
+  hsv_to_rgb(0.5f, 0.0f, 0.7f, r, g, b);
+  EXPECT_FLOAT_EQ(r, 0.7f);
+  EXPECT_FLOAT_EQ(g, 0.7f);
+  EXPECT_FLOAT_EQ(b, 0.7f);
+}
+
+TEST(SyntheticGtsrb, GeneratesBalancedDataset) {
+  const SyntheticGtsrb generator(small_config());
+  Rng rng(1);
+  const auto ds = generator.generate(rng);
+  EXPECT_EQ(ds.size(), 40u);
+  EXPECT_EQ(ds.num_classes(), 8u);
+  EXPECT_EQ(ds.sample_shape(), Shape({3, 16, 16}));
+  for (const auto count : ds.class_histogram()) EXPECT_EQ(count, 5u);
+}
+
+TEST(SyntheticGtsrb, PixelsInUnitRange) {
+  const SyntheticGtsrb generator(small_config());
+  Rng rng(2);
+  const auto ds = generator.generate(rng);
+  EXPECT_GE(ds.images().min(), 0.0f);
+  EXPECT_LE(ds.images().max(), 1.0f);
+}
+
+TEST(SyntheticGtsrb, DeterministicGivenSeed) {
+  const SyntheticGtsrb generator(small_config());
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto a = generator.generate(rng_a);
+  const auto b = generator.generate(rng_b);
+  EXPECT_EQ(a.images(), b.images());
+  EXPECT_TRUE(std::equal(a.labels().begin(), a.labels().end(),
+                         b.labels().begin()));
+}
+
+TEST(SyntheticGtsrb, DifferentSeedsDiffer) {
+  const SyntheticGtsrb generator(small_config());
+  Rng rng_a(7);
+  Rng rng_b(8);
+  const auto a = generator.generate(rng_a);
+  const auto b = generator.generate(rng_b);
+  EXPECT_NE(a.images(), b.images());
+}
+
+TEST(SyntheticGtsrb, SamplesOfSameClassVary) {
+  const SyntheticGtsrb generator(small_config());
+  Rng rng(3);
+  const auto ds = generator.generate_class(2, 4, rng);
+  EXPECT_EQ(ds.size(), 4u);
+  // Jitter/noise must make samples distinct.
+  const auto img = ds.images();
+  const auto s0 = img.slice0(0, 1);
+  const auto s1 = img.slice0(1, 2);
+  EXPECT_NE(s0, s1);
+}
+
+TEST(SyntheticGtsrb, ClassesAreVisuallyDistinct) {
+  // Noise-free renders of different classes should differ by much more
+  // than renders of the same class (separability precondition).
+  auto config = small_config();
+  config.noise_stddev = 0.0f;
+  config.jitter = 0.0f;
+  config.min_scale = 0.8f;
+  config.max_scale = 0.8f;
+  const SyntheticGtsrb generator(config);
+
+  Rng rng(4);
+  const auto a0 = generator.generate_class(0, 1, rng).images();
+  const auto a1 = generator.generate_class(0, 1, rng).images();
+  const auto b0 = generator.generate_class(1, 1, rng).images();
+
+  const double same = gsfl::tensor::Tensor::max_abs_diff(a0, a1);
+  const double cross = gsfl::tensor::Tensor::max_abs_diff(a0, b0);
+  EXPECT_GT(cross, 2.0 * same + 0.2);
+}
+
+TEST(SyntheticGtsrb, GenerateClassValidatesId) {
+  const SyntheticGtsrb generator(small_config());
+  Rng rng(5);
+  EXPECT_THROW(generator.generate_class(8, 1, rng), std::invalid_argument);
+}
+
+TEST(SyntheticGtsrb, ConfigValidation) {
+  SyntheticGtsrbConfig bad = small_config();
+  bad.num_classes = 1;
+  EXPECT_THROW(SyntheticGtsrb{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.num_classes = 61;
+  EXPECT_THROW(SyntheticGtsrb{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.min_scale = 0.9f;
+  bad.max_scale = 0.5f;
+  EXPECT_THROW(SyntheticGtsrb{bad}, std::invalid_argument);
+  bad = small_config();
+  bad.image_size = 4;
+  EXPECT_THROW(SyntheticGtsrb{bad}, std::invalid_argument);
+}
+
+TEST(SyntheticGtsrb, SupportsFull43Classes) {
+  SyntheticGtsrbConfig config;
+  config.image_size = 16;
+  config.num_classes = 43;
+  config.samples_per_class = 1;
+  const SyntheticGtsrb generator(config);
+  Rng rng(6);
+  const auto ds = generator.generate(rng);
+  EXPECT_EQ(ds.size(), 43u);
+  std::set<std::int32_t> labels(ds.labels().begin(), ds.labels().end());
+  EXPECT_EQ(labels.size(), 43u);
+}
+
+}  // namespace

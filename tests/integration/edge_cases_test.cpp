@@ -1,0 +1,163 @@
+#include <cmath>
+// Edge-case and failure-injection tests across the training schemes:
+// awkward population sizes, tiny client datasets, uneven groups, and the
+// degenerate-but-legal corners of the configuration space.
+#include <gtest/gtest.h>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/metrics/evaluate.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "gsfl/schemes/split_learning.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::core::GsflConfig;
+using gsfl::core::GsflTrainer;
+using gsfl::schemes::FedAvgTrainer;
+using gsfl::schemes::SplitLearningTrainer;
+using gsfl::schemes::TrainConfig;
+
+GsflConfig config_with(std::size_t groups) {
+  GsflConfig config;
+  config.num_groups = groups;
+  config.cut_layer = gsfl::test::kTinyCut;
+  return config;
+}
+
+TEST(EdgeCases, UnevenGroupsTrainCorrectly) {
+  // 7 clients in 3 groups: sizes 3/2/2 under round-robin.
+  const auto network = gsfl::test::make_tiny_network(7);
+  const auto data = gsfl::test::make_client_datasets(7, 10, 81);
+  Rng rng(81);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config_with(3));
+  ASSERT_EQ(trainer.groups()[0].size(), 3u);
+  ASSERT_EQ(trainer.groups()[1].size(), 2u);
+  const double first = trainer.run_round().train_loss;
+  double last = first;
+  for (int i = 0; i < 8; ++i) last = trainer.run_round().train_loss;
+  EXPECT_LT(last, first);
+}
+
+TEST(EdgeCases, ClientSmallerThanBatchSize) {
+  // 3 samples per client, batch size 16: a single partial batch per epoch.
+  const auto network = gsfl::test::make_tiny_network(4);
+  const auto data = gsfl::test::make_client_datasets(4, 3, 82);
+  Rng rng(82);
+  TrainConfig train;
+  train.batch_size = 16;
+  auto config = config_with(2);
+  config.train = train;
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config);
+  const auto result = trainer.run_round();
+  EXPECT_GT(result.train_loss, 0.0);
+  EXPECT_GT(result.latency.total(), 0.0);
+}
+
+TEST(EdgeCases, SingleSamplePerClient) {
+  const auto network = gsfl::test::make_tiny_network(3);
+  const auto data = gsfl::test::make_client_datasets(3, 1, 83);
+  Rng rng(83);
+  GsflTrainer gsfl_trainer(network, data, gsfl::test::make_tiny_model(rng),
+                           config_with(3));
+  EXPECT_NO_THROW((void)gsfl_trainer.run_round());
+
+  SplitLearningTrainer sl(network, data, gsfl::test::make_tiny_model(rng),
+                          gsfl::test::kTinyCut, TrainConfig{});
+  EXPECT_NO_THROW((void)sl.run_round());
+}
+
+TEST(EdgeCases, WildlyUnequalClientDataSizes) {
+  // One data-rich client, several data-poor ones: sample-weighted FedAvg
+  // must keep training stable and weights finite.
+  const auto network = gsfl::test::make_tiny_network(4);
+  Rng root(84);
+  std::vector<gsfl::data::Dataset> data;
+  auto rich_rng = root.fork(1);
+  data.push_back(gsfl::test::make_separable_dataset(64, rich_rng));
+  for (int i = 0; i < 3; ++i) {
+    auto poor_rng = root.fork(10 + i);
+    data.push_back(gsfl::test::make_separable_dataset(2, poor_rng));
+  }
+  Rng rng(84);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config_with(2));
+  for (int i = 0; i < 5; ++i) (void)trainer.run_round();
+  auto model = trainer.global_model();
+  for (const auto& tensor : model.state()) {
+    for (const float v : tensor.data()) {
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(EdgeCases, TwoClientsTwoGroupsIsMinimalParallelism) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 85);
+  Rng rng(85);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config_with(2));
+  const auto result = trainer.run_round();
+  EXPECT_EQ(trainer.last_group_chains().size(), 2u);
+  EXPECT_DOUBLE_EQ(result.latency.relay, 0.0);  // singleton groups: no relays
+}
+
+TEST(EdgeCases, HighMomentumStaysStable) {
+  const auto network = gsfl::test::make_tiny_network(4);
+  const auto data = gsfl::test::make_client_datasets(4, 16, 86);
+  Rng rng(86);
+  TrainConfig train;
+  train.momentum = 0.9;
+  train.learning_rate = 0.02;
+  auto config = config_with(2);
+  config.train = train;
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config);
+  double last = 0.0;
+  for (int i = 0; i < 10; ++i) last = trainer.run_round().train_loss;
+  EXPECT_TRUE(std::isfinite(last));
+  EXPECT_LT(last, 0.7);  // actually learns
+}
+
+TEST(EdgeCases, WeightDecayShrinksNorm) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 87);
+  Rng rng(87);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  TrainConfig plain;
+  TrainConfig decayed;
+  decayed.weight_decay = 0.05;
+  FedAvgTrainer a(network, data, init, plain);
+  FedAvgTrainer b(network, data, init, decayed);
+  for (int i = 0; i < 5; ++i) {
+    (void)a.run_round();
+    (void)b.run_round();
+  }
+  double norm_plain = 0.0;
+  double norm_decayed = 0.0;
+  auto ma = a.global_model();
+  auto mb = b.global_model();
+  for (const auto& t : ma.state()) norm_plain += t.squared_norm();
+  for (const auto& t : mb.state()) norm_decayed += t.squared_norm();
+  EXPECT_LT(norm_decayed, norm_plain);
+}
+
+TEST(EdgeCases, EvaluationAfterZeroRounds) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 88);
+  Rng rng(88);
+  Rng test_rng(89);
+  const auto test_set = gsfl::test::make_separable_dataset(20, test_rng);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config_with(2));
+  auto model = trainer.global_model();
+  const auto eval = gsfl::metrics::evaluate(model, test_set);
+  EXPECT_GE(eval.accuracy, 0.0);
+  EXPECT_LE(eval.accuracy, 1.0);
+}
+
+}  // namespace

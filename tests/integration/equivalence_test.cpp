@@ -1,0 +1,141 @@
+// Cross-scheme equivalence: the strongest correctness evidence in the suite.
+// Degenerate configurations of different schemes must produce *bit-identical*
+// model trajectories, because the underlying math is identical and every
+// stochastic choice is seeded through the same per-client streams.
+#include <gtest/gtest.h>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/schemes/centralized.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "gsfl/schemes/split_learning.hpp"
+#include "gsfl/schemes/splitfed.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::core::GsflConfig;
+using gsfl::core::GsflTrainer;
+using gsfl::schemes::CentralizedTrainer;
+using gsfl::schemes::FedAvgTrainer;
+using gsfl::schemes::SplitFedTrainer;
+using gsfl::schemes::SplitLearningTrainer;
+using gsfl::schemes::TrainConfig;
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    network_ = std::make_unique<gsfl::net::WirelessNetwork>(
+        gsfl::test::make_tiny_network(4));
+    data_ = gsfl::test::make_client_datasets(4, 12, 1234);
+    Rng rng(1234);
+    init_ = gsfl::test::make_tiny_model(rng);
+  }
+
+  GsflConfig gsfl_config(std::size_t groups) const {
+    GsflConfig config;
+    config.num_groups = groups;
+    config.cut_layer = gsfl::test::kTinyCut;
+    return config;
+  }
+
+  std::unique_ptr<gsfl::net::WirelessNetwork> network_;
+  std::vector<gsfl::data::Dataset> data_;
+  gsfl::nn::Sequential init_;
+};
+
+TEST_F(EquivalenceTest, ChainSlEqualsClWithOneClient) {
+  const auto one_network = gsfl::test::make_tiny_network(1);
+  const std::vector<gsfl::data::Dataset> one_client = {data_[0]};
+  SplitLearningTrainer sl(one_network, one_client, init_,
+                          gsfl::test::kTinyCut, TrainConfig{});
+  CentralizedTrainer cl(one_network, one_client, init_, TrainConfig{});
+  for (int i = 0; i < 5; ++i) {
+    (void)sl.run_round();
+    (void)cl.run_round();
+  }
+  EXPECT_TRUE(gsfl::test::states_equal(sl.global_model(), cl.global_model()));
+}
+
+TEST_F(EquivalenceTest, GsflWithOneGroupTracksSlForManyRounds) {
+  GsflTrainer gsfl(*network_, data_, init_, gsfl_config(1));
+  SplitLearningTrainer sl(*network_, data_, init_, gsfl::test::kTinyCut,
+                          TrainConfig{});
+  for (int i = 0; i < 6; ++i) {
+    (void)gsfl.run_round();
+    (void)sl.run_round();
+  }
+  EXPECT_TRUE(
+      gsfl::test::states_equal(gsfl.global_model(), sl.global_model()));
+}
+
+TEST_F(EquivalenceTest, GsflWithSingletonGroupsTracksSplitFed) {
+  GsflTrainer gsfl(*network_, data_, init_, gsfl_config(4));
+  SplitFedTrainer sfl(*network_, data_, init_, gsfl::test::kTinyCut,
+                      TrainConfig{});
+  for (int i = 0; i < 6; ++i) {
+    (void)gsfl.run_round();
+    (void)sfl.run_round();
+  }
+  EXPECT_TRUE(
+      gsfl::test::states_equal(gsfl.global_model(), sfl.global_model()));
+}
+
+TEST_F(EquivalenceTest, CutLayerDoesNotChangeSlTrajectory) {
+  // Splitting is mathematically transparent: SL trajectories are identical
+  // for every cut layer (the wireless cost differs, the weights must not).
+  SplitLearningTrainer cut1(*network_, data_, init_, 1, TrainConfig{});
+  SplitLearningTrainer cut3(*network_, data_, init_, 3, TrainConfig{});
+  for (int i = 0; i < 4; ++i) {
+    (void)cut1.run_round();
+    (void)cut3.run_round();
+  }
+  EXPECT_TRUE(
+      gsfl::test::states_equal(cut1.global_model(), cut3.global_model()));
+}
+
+TEST_F(EquivalenceTest, CutLayerDoesNotChangeGsflTrajectory) {
+  auto config1 = gsfl_config(2);
+  config1.cut_layer = 1;
+  auto config3 = gsfl_config(2);
+  config3.cut_layer = 3;
+  GsflTrainer a(*network_, data_, init_, config1);
+  GsflTrainer b(*network_, data_, init_, config3);
+  for (int i = 0; i < 4; ++i) {
+    (void)a.run_round();
+    (void)b.run_round();
+  }
+  EXPECT_TRUE(gsfl::test::states_equal(a.global_model(), b.global_model()));
+}
+
+TEST_F(EquivalenceTest, SchemesDivergeInGeneralConfigurations) {
+  // Sanity check that the equalities above are meaningful: in a general
+  // configuration the schemes genuinely differ.
+  GsflTrainer gsfl(*network_, data_, init_, gsfl_config(2));
+  SplitLearningTrainer sl(*network_, data_, init_, gsfl::test::kTinyCut,
+                          TrainConfig{});
+  FedAvgTrainer fl(*network_, data_, init_, TrainConfig{});
+  (void)gsfl.run_round();
+  (void)sl.run_round();
+  (void)fl.run_round();
+  EXPECT_FALSE(
+      gsfl::test::states_equal(gsfl.global_model(), sl.global_model()));
+  EXPECT_FALSE(
+      gsfl::test::states_equal(gsfl.global_model(), fl.global_model()));
+  EXPECT_FALSE(
+      gsfl::test::states_equal(sl.global_model(), fl.global_model()));
+}
+
+TEST_F(EquivalenceTest, DeterminismAcrossIdenticalRuns) {
+  GsflTrainer a(*network_, data_, init_, gsfl_config(2));
+  GsflTrainer b(*network_, data_, init_, gsfl_config(2));
+  for (int i = 0; i < 5; ++i) {
+    const auto ra = a.run_round();
+    const auto rb = b.run_round();
+    EXPECT_DOUBLE_EQ(ra.train_loss, rb.train_loss);
+    EXPECT_DOUBLE_EQ(ra.latency.total(), rb.latency.total());
+  }
+  EXPECT_TRUE(gsfl::test::states_equal(a.global_model(), b.global_model()));
+}
+
+}  // namespace

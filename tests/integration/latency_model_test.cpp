@@ -1,0 +1,140 @@
+// Latency-model integration: the analytic relationships between scheme
+// round times that Fig. 2(b)'s result depends on.
+#include <gtest/gtest.h>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/schemes/split_learning.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::core::GsflConfig;
+using gsfl::core::GsflTrainer;
+using gsfl::schemes::SplitLearningTrainer;
+using gsfl::schemes::TrainConfig;
+
+GsflConfig config_with_groups(std::size_t groups, std::size_t cut) {
+  GsflConfig config;
+  config.num_groups = groups;
+  config.cut_layer = cut;
+  return config;
+}
+
+TEST(LatencyModel, GsflRoundShrinksAsGroupsGrow) {
+  const auto network = gsfl::test::make_tiny_network(12);
+  const auto data = gsfl::test::make_client_datasets(12, 8, 61);
+  Rng rng(61);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  double prev = 1e18;
+  for (const std::size_t m : {1u, 2u, 4u, 6u}) {
+    GsflTrainer trainer(network, data, init,
+                        config_with_groups(m, gsfl::test::kTinyCut));
+    const double t = trainer.run_round().latency.total();
+    EXPECT_LT(t, prev) << "round latency should shrink at M=" << m;
+    prev = t;
+  }
+}
+
+TEST(LatencyModel, DeeperCutMovesComputeToClient) {
+  const auto network = gsfl::test::make_tiny_network(4);
+  const auto data = gsfl::test::make_client_datasets(4, 8, 62);
+  Rng rng(62);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer shallow(network, data, init, config_with_groups(2, 1));
+  GsflTrainer deep(network, data, init, config_with_groups(2, 3));
+  const auto shallow_latency = shallow.run_round().latency;
+  const auto deep_latency = deep.run_round().latency;
+  EXPECT_GT(deep_latency.client_compute, shallow_latency.client_compute);
+  EXPECT_LT(deep_latency.server_compute, shallow_latency.server_compute);
+}
+
+TEST(LatencyModel, WiderBandShortensEveryRound) {
+  const auto data = gsfl::test::make_client_datasets(4, 8, 63);
+  Rng rng(63);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  double prev = 1e18;
+  for (const double mhz : {1.0, 5.0, 20.0}) {
+    gsfl::net::NetworkConfig net_config;
+    net_config.total_bandwidth_hz = mhz * 1e6;
+    std::vector<gsfl::net::DeviceProfile> devices(4);
+    const gsfl::net::WirelessNetwork network(net_config, std::move(devices));
+    GsflTrainer trainer(network, data, init,
+                        config_with_groups(2, gsfl::test::kTinyCut));
+    const double t = trainer.run_round().latency.total();
+    EXPECT_LT(t, prev) << "at " << mhz << " MHz";
+    prev = t;
+  }
+}
+
+TEST(LatencyModel, FasterDevicesShortenClientCompute) {
+  const auto data = gsfl::test::make_client_datasets(2, 8, 64);
+  Rng rng(64);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  const auto make_network = [](double flops) {
+    gsfl::net::NetworkConfig config;
+    std::vector<gsfl::net::DeviceProfile> devices(2);
+    devices[0].compute_flops = flops;
+    devices[1].compute_flops = flops;
+    return gsfl::net::WirelessNetwork(config, std::move(devices));
+  };
+  const auto slow_net = make_network(1e8);
+  const auto fast_net = make_network(1e10);
+  SplitLearningTrainer slow(slow_net, data, init, gsfl::test::kTinyCut,
+                            TrainConfig{});
+  SplitLearningTrainer fast(fast_net, data, init, gsfl::test::kTinyCut,
+                            TrainConfig{});
+  const auto slow_latency = slow.run_round().latency;
+  const auto fast_latency = fast.run_round().latency;
+  EXPECT_NEAR(slow_latency.client_compute / fast_latency.client_compute,
+              100.0, 1.0);
+  // Radio time unchanged.
+  EXPECT_NEAR(slow_latency.uplink, fast_latency.uplink, 1e-9);
+}
+
+TEST(LatencyModel, SlRoundTimeEqualsSumOfGsflSingleGroupChain) {
+  // GSFL with M=1 and SL walk the same chain; their per-round latency
+  // should agree except for GSFL's distribution + upload + aggregation
+  // (SL relays instead of re-distributing).
+  const auto network = gsfl::test::make_tiny_network(4);
+  const auto data = gsfl::test::make_client_datasets(4, 8, 65);
+  Rng rng(65);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  GsflTrainer gsfl_trainer(network, data, init,
+                           config_with_groups(1, gsfl::test::kTinyCut));
+  SplitLearningTrainer sl(network, data, init, gsfl::test::kTinyCut,
+                          TrainConfig{});
+  const auto g = gsfl_trainer.run_round().latency;
+  const auto s = sl.run_round().latency;
+  // Identical compute and smashed-data traffic.
+  EXPECT_NEAR(g.client_compute, s.client_compute, 1e-9);
+  EXPECT_NEAR(g.server_compute, s.server_compute, 1e-9);
+  // Same number of intra-round hand-offs.
+  EXPECT_NEAR(g.relay, s.relay, 1e-9);
+  // GSFL adds aggregation; SL has none.
+  EXPECT_GT(g.aggregation, 0.0);
+  EXPECT_DOUBLE_EQ(s.aggregation, 0.0);
+}
+
+TEST(LatencyModel, SmashedDataTrafficScalesWithLocalData) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(66);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  const auto small_data = gsfl::test::make_client_datasets(2, 8, 66);
+  const auto big_data = gsfl::test::make_client_datasets(2, 32, 66);
+  SplitLearningTrainer small(network, small_data, init, gsfl::test::kTinyCut,
+                             TrainConfig{});
+  SplitLearningTrainer big(network, big_data, init, gsfl::test::kTinyCut,
+                           TrainConfig{});
+  const double small_up = small.run_round().latency.uplink;
+  const double big_up = big.run_round().latency.uplink;
+  EXPECT_NEAR(big_up / small_up, 4.0, 0.5);
+}
+
+}  // namespace

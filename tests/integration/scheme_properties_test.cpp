@@ -1,0 +1,98 @@
+// Scheme-level property sweep: invariants that must hold for every
+// population shape (N clients × M groups), not just the paper's 30×6.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "gsfl/schemes/split_learning.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::core::GsflConfig;
+using gsfl::core::GsflTrainer;
+
+struct Population {
+  std::size_t clients;
+  std::size_t groups;
+};
+
+class SchemeProperties : public ::testing::TestWithParam<Population> {
+ protected:
+  GsflConfig make_config() const {
+    GsflConfig config;
+    config.num_groups = GetParam().groups;
+    config.cut_layer = gsfl::test::kTinyCut;
+    return config;
+  }
+};
+
+TEST_P(SchemeProperties, GsflRoundInvariants) {
+  const auto [n, m] = GetParam();
+  const auto network = gsfl::test::make_tiny_network(n);
+  const auto data = gsfl::test::make_client_datasets(n, 6, 200 + n);
+  Rng rng(200 + n);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      make_config());
+
+  for (int round = 0; round < 3; ++round) {
+    const auto result = trainer.run_round();
+    // Losses and latencies are finite and positive.
+    ASSERT_TRUE(std::isfinite(result.train_loss));
+    EXPECT_GT(result.train_loss, 0.0);
+    EXPECT_GT(result.latency.total(), 0.0);
+    // One chain per group; the round span is the critical chain.
+    ASSERT_EQ(trainer.last_group_chains().size(), m);
+    double max_chain = 0.0;
+    for (const auto& chain : trainer.last_group_chains()) {
+      max_chain = std::max(max_chain, chain.total());
+    }
+    EXPECT_NEAR(result.latency.total(),
+                max_chain + result.latency.aggregation, 1e-9);
+  }
+}
+
+TEST_P(SchemeProperties, GsflModelStaysFinite) {
+  const auto [n, m] = GetParam();
+  const auto network = gsfl::test::make_tiny_network(n);
+  const auto data = gsfl::test::make_client_datasets(n, 6, 300 + n);
+  Rng rng(300 + n);
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      make_config());
+  for (int round = 0; round < 5; ++round) (void)trainer.run_round();
+  auto model = trainer.global_model();
+  for (const auto& tensor : model.state()) {
+    for (const float v : tensor.data()) {
+      ASSERT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST_P(SchemeProperties, LossDecreasesOverRounds) {
+  const auto [n, m] = GetParam();
+  const auto network = gsfl::test::make_tiny_network(n);
+  const auto data = gsfl::test::make_client_datasets(n, 10, 500 + n);
+  Rng rng(500 + n);
+  auto config = make_config();
+  config.train.learning_rate = 0.1;
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config);
+  const double first = trainer.run_round().train_loss;
+  double last = first;
+  for (int i = 0; i < 10; ++i) last = trainer.run_round().train_loss;
+  EXPECT_LT(last, first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Populations, SchemeProperties,
+    ::testing::Values(Population{2, 1}, Population{2, 2}, Population{5, 2},
+                      Population{6, 3}, Population{7, 3}, Population{9, 9},
+                      Population{12, 4}, Population{10, 1}),
+    [](const ::testing::TestParamInfo<Population>& param_info) {
+      return "n" + std::to_string(param_info.param.clients) + "_m" +
+             std::to_string(param_info.param.groups);
+    });
+
+}  // namespace

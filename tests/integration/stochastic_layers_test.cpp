@@ -1,0 +1,114 @@
+// Split-vs-full equivalence in the presence of *stochastic* and *stateful*
+// layers (dropout masks, batch-norm running statistics) — the cases where
+// naive split implementations usually diverge from the unsplit model.
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/loss.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/nn/split.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::CnnConfig;
+using gsfl::nn::make_gtsrb_cnn;
+using gsfl::nn::SplitModel;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+CnnConfig stochastic_config() {
+  CnnConfig config;
+  config.image_size = 8;
+  config.classes = 4;
+  config.conv1_filters = 4;
+  config.conv2_filters = 4;
+  config.hidden = 16;
+  config.batch_norm = true;
+  config.dropout = 0.4f;
+  return config;
+}
+
+TEST(StochasticLayers, SplitEqualsFullInTrainingMode) {
+  // Cloned dropout layers carry their RNG state, so the split model must
+  // draw the *same masks* as the full model it was split from.
+  Rng rng(1);
+  const auto full = make_gtsrb_cnn(stochastic_config(), rng);
+  auto reference = full;
+  SplitModel split(full, 4);  // conv, bn, relu, pool | rest
+
+  const auto x = Tensor::uniform(Shape{4, 3, 8, 8}, rng, 0, 1);
+  for (int step = 0; step < 3; ++step) {
+    const auto expected = reference.forward(x, /*train=*/true);
+    const auto actual = split.forward(x, /*train=*/true);
+    EXPECT_EQ(actual, expected) << "diverged at training step " << step;
+  }
+}
+
+TEST(StochasticLayers, SplitBackwardMatchesFullWithBatchNorm) {
+  Rng rng(2);
+  auto config = stochastic_config();
+  config.dropout = 0.0f;  // keep backward deterministic w.r.t. masks
+  const auto full = make_gtsrb_cnn(config, rng);
+  auto reference = full;
+  SplitModel split(full, 4);
+
+  const auto x = Tensor::uniform(Shape{4, 3, 8, 8}, rng, 0, 1);
+  const std::int32_t labels[] = {0, 1, 2, 3};
+
+  reference.zero_grad();
+  const auto logits_ref = reference.forward(x, true);
+  const auto loss_ref = gsfl::nn::softmax_cross_entropy(logits_ref, labels);
+  (void)reference.backward(loss_ref.grad_logits);
+
+  split.zero_grad();
+  const auto smashed = split.client_forward(x, true);
+  const auto logits = split.server_forward(smashed, true);
+  const auto loss = gsfl::nn::softmax_cross_entropy(logits, labels);
+  const auto grad_smashed = split.server_backward(loss.grad_logits);
+  split.client_backward(grad_smashed);
+
+  std::vector<Tensor*> split_grads;
+  for (auto* g : split.client().gradients()) split_grads.push_back(g);
+  for (auto* g : split.server().gradients()) split_grads.push_back(g);
+  const auto ref_grads = reference.gradients();
+  ASSERT_EQ(split_grads.size(), ref_grads.size());
+  for (std::size_t i = 0; i < split_grads.size(); ++i) {
+    EXPECT_EQ(*split_grads[i], *ref_grads[i]) << "gradient slot " << i;
+  }
+}
+
+TEST(StochasticLayers, RunningStatsTravelWithTheSplit) {
+  Rng rng(3);
+  auto config = stochastic_config();
+  config.dropout = 0.0f;
+  const auto full = make_gtsrb_cnn(config, rng);
+  SplitModel split(full, 4);
+
+  // Train-mode forwards perturb the client-side batch-norm running stats;
+  // merged() must carry the *updated* stats, not the initial ones.
+  const auto x = Tensor::uniform(Shape{8, 3, 8, 8}, rng, 0, 1);
+  for (int i = 0; i < 5; ++i) (void)split.forward(x, true);
+
+  auto merged = split.merged();
+  auto original = full;
+  // Evaluation outputs differ unless running stats were carried over.
+  const auto eval_merged = merged.forward(x, false);
+  const auto eval_original = original.forward(x, false);
+  EXPECT_NE(eval_merged, eval_original);
+
+  // And the merged model must equal the split model's own eval output.
+  EXPECT_EQ(eval_merged, split.forward(x, false));
+}
+
+TEST(StochasticLayers, EvalModeIsDeterministic) {
+  Rng rng(4);
+  const auto full = make_gtsrb_cnn(stochastic_config(), rng);
+  SplitModel split(full, 4);
+  const auto x = Tensor::uniform(Shape{2, 3, 8, 8}, rng, 0, 1);
+  const auto once = split.forward(x, false);
+  const auto twice = split.forward(x, false);
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace

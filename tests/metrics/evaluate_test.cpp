@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/metrics/evaluate.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/flatten.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::data::Dataset;
+using gsfl::metrics::evaluate;
+using gsfl::nn::Dense;
+using gsfl::nn::Sequential;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+/// Two-class dataset where class = sign of the single pixel.
+Dataset make_sign_dataset(std::size_t n) {
+  Tensor images(Shape{n, 1, 1, 1});
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = (i % 2 == 0) ? 1.0f : -1.0f;
+    images.at4(i, 0, 0, 0) = v;
+    labels[i] = v > 0 ? 1 : 0;
+  }
+  return Dataset(std::move(images), std::move(labels), 2);
+}
+
+/// A hand-built perfect classifier: logit_1 = x, logit_0 = -x.
+Sequential make_perfect_model() {
+  Rng rng(1);
+  Sequential model;
+  model.emplace<gsfl::nn::Flatten>();
+  auto dense = std::make_unique<Dense>(1, 2, rng);
+  dense->weight() = Tensor(Shape{2, 1}, {-1.0f, 1.0f});
+  dense->bias().fill(0.0f);
+  model.add(std::move(dense));
+  return model;
+}
+
+TEST(Evaluate, PerfectModelScoresOne) {
+  auto model = make_perfect_model();
+  const auto ds = make_sign_dataset(32);
+  const auto result = evaluate(model, ds);
+  EXPECT_DOUBLE_EQ(result.accuracy, 1.0);
+  EXPECT_GT(result.loss, 0.0);
+  EXPECT_LT(result.loss, 0.5);
+}
+
+TEST(Evaluate, InvertedModelScoresZero) {
+  Rng rng(2);
+  Sequential model;
+  model.emplace<gsfl::nn::Flatten>();
+  auto dense = std::make_unique<Dense>(1, 2, rng);
+  dense->weight() = Tensor(Shape{2, 1}, {1.0f, -1.0f});  // flipped
+  dense->bias().fill(0.0f);
+  model.add(std::move(dense));
+  const auto ds = make_sign_dataset(32);
+  EXPECT_DOUBLE_EQ(evaluate(model, ds).accuracy, 0.0);
+}
+
+TEST(Evaluate, BatchSizeDoesNotChangeResult) {
+  auto model = make_perfect_model();
+  const auto ds = make_sign_dataset(37);  // deliberately not a multiple
+  const auto a = evaluate(model, ds, 8);
+  const auto b = evaluate(model, ds, 64);
+  const auto c = evaluate(model, ds, 1);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_NEAR(a.loss, b.loss, 1e-9);
+  EXPECT_NEAR(a.loss, c.loss, 1e-9);
+}
+
+TEST(Evaluate, ValidatesArguments) {
+  auto model = make_perfect_model();
+  const auto ds = make_sign_dataset(4);
+  EXPECT_THROW(evaluate(model, ds, 0), std::invalid_argument);
+  EXPECT_THROW(evaluate(model, Dataset{}, 8), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "gsfl/metrics/recorder.hpp"
+
+namespace {
+
+using gsfl::metrics::RoundRecord;
+using gsfl::metrics::RunRecorder;
+
+RoundRecord record(std::size_t round, double seconds, double accuracy) {
+  return RoundRecord{.round = round,
+                     .sim_seconds = seconds,
+                     .train_loss = 1.0 / static_cast<double>(round),
+                     .eval_accuracy = accuracy};
+}
+
+TEST(Recorder, RecordsInOrder) {
+  RunRecorder rec("GSFL");
+  rec.record(record(1, 10.0, 0.2));
+  rec.record(record(2, 20.0, 0.4));
+  EXPECT_EQ(rec.scheme_name(), "GSFL");
+  EXPECT_EQ(rec.rounds(), 2u);
+  EXPECT_DOUBLE_EQ(rec.last().sim_seconds, 20.0);
+}
+
+TEST(Recorder, RejectsNonMonotonicRoundsAndTime) {
+  RunRecorder rec("SL");
+  rec.record(record(5, 10.0, 0.2));
+  EXPECT_THROW(rec.record(record(5, 20.0, 0.3)), std::invalid_argument);
+  EXPECT_THROW(rec.record(record(4, 20.0, 0.3)), std::invalid_argument);
+  EXPECT_THROW(rec.record(record(6, 5.0, 0.3)), std::invalid_argument);
+}
+
+TEST(Recorder, BestAndFinalAccuracy) {
+  RunRecorder rec("FL");
+  rec.record(record(1, 1.0, 0.3));
+  rec.record(record(2, 2.0, 0.7));
+  rec.record(record(3, 3.0, 0.5));
+  EXPECT_DOUBLE_EQ(rec.best_accuracy(), 0.7);
+  EXPECT_DOUBLE_EQ(rec.final_accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(RunRecorder("x").best_accuracy(), 0.0);
+}
+
+TEST(Recorder, RoundsToAccuracyWithWindowOne) {
+  RunRecorder rec("CL");
+  rec.record(record(1, 1.0, 0.2));
+  rec.record(record(2, 2.0, 0.6));
+  rec.record(record(3, 3.0, 0.9));
+  EXPECT_EQ(rec.rounds_to_accuracy(0.55, 1), 2u);
+  EXPECT_EQ(rec.rounds_to_accuracy(0.95, 1), std::nullopt);
+}
+
+TEST(Recorder, SmoothingIgnoresSingleSpike) {
+  RunRecorder rec("CL");
+  rec.record(record(1, 1.0, 0.1));
+  rec.record(record(2, 2.0, 0.9));  // lucky spike
+  rec.record(record(3, 3.0, 0.1));
+  rec.record(record(4, 4.0, 0.8));
+  rec.record(record(5, 5.0, 0.85));
+  rec.record(record(6, 6.0, 0.9));
+  // Window-3 mean first reaches 0.8 at round 6 ((0.8+0.85+0.9)/3 = 0.85),
+  // not at the round-2 spike.
+  EXPECT_EQ(rec.rounds_to_accuracy(0.8, 3), 6u);
+}
+
+TEST(Recorder, SecondsToAccuracyMatchesRound) {
+  RunRecorder rec("GSFL");
+  rec.record(record(1, 5.0, 0.2));
+  rec.record(record(2, 11.0, 0.8));
+  EXPECT_DOUBLE_EQ(*rec.seconds_to_accuracy(0.75, 1), 11.0);
+  EXPECT_EQ(rec.seconds_to_accuracy(0.99, 1), std::nullopt);
+}
+
+TEST(Recorder, EvalEveryKRecordsStillQueryable) {
+  RunRecorder rec("GSFL");
+  rec.record(record(5, 50.0, 0.5));
+  rec.record(record(10, 100.0, 0.9));
+  EXPECT_EQ(rec.rounds_to_accuracy(0.85, 1), 10u);
+  EXPECT_DOUBLE_EQ(*rec.seconds_to_accuracy(0.85, 1), 100.0);
+}
+
+TEST(Recorder, CsvOutput) {
+  RunRecorder rec("SL");
+  rec.record(record(1, 2.5, 0.25));
+  std::ostringstream out;
+  rec.write_csv(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("scheme,round,sim_seconds"), std::string::npos);
+  EXPECT_NE(text.find("SL,1,2.5,1,0.25"), std::string::npos);
+}
+
+TEST(Recorder, WindowZeroRejected) {
+  RunRecorder rec("SL");
+  rec.record(record(1, 1.0, 0.5));
+  EXPECT_THROW(rec.rounds_to_accuracy(0.5, 0), std::invalid_argument);
+}
+
+}  // namespace

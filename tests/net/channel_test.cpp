@@ -1,0 +1,133 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/common/units.hpp"
+#include "gsfl/net/channel.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::net::ChannelConfig;
+using gsfl::net::PathLossModel;
+using gsfl::net::ShannonLink;
+
+TEST(PathLoss, ReferenceDistanceGivesReferenceLoss) {
+  const PathLossModel model{.reference_loss_db = 40.0,
+                            .reference_distance_m = 1.0,
+                            .exponent = 3.0};
+  EXPECT_DOUBLE_EQ(model.loss_db(1.0), 40.0);
+}
+
+TEST(PathLoss, TenXDistanceAdds10GammaDb) {
+  const PathLossModel model{.reference_loss_db = 40.0,
+                            .reference_distance_m = 1.0,
+                            .exponent = 3.0};
+  EXPECT_NEAR(model.loss_db(10.0), 70.0, 1e-9);
+  EXPECT_NEAR(model.loss_db(100.0), 100.0, 1e-9);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  const PathLossModel model;
+  double prev = model.loss_db(1.0);
+  for (double d = 2.0; d < 500.0; d *= 1.7) {
+    const double loss = model.loss_db(d);
+    EXPECT_GT(loss, prev);
+    prev = loss;
+  }
+}
+
+TEST(PathLoss, ClampsBelowReferenceDistance) {
+  const PathLossModel model{.reference_loss_db = 40.0,
+                            .reference_distance_m = 1.0,
+                            .exponent = 3.0};
+  EXPECT_DOUBLE_EQ(model.loss_db(0.2), 40.0);
+  EXPECT_THROW(model.loss_db(0.0), std::invalid_argument);
+}
+
+ChannelConfig default_channel() { return ChannelConfig{}; }
+
+TEST(ShannonLink, SnrDecreasesWithDistance) {
+  const auto config = default_channel();
+  const ShannonLink near_link(config, 20.0, 10.0);
+  const ShannonLink far_link(config, 20.0, 100.0);
+  EXPECT_GT(near_link.snr(1e6), far_link.snr(1e6));
+}
+
+TEST(ShannonLink, SnrIncreasesWithPower) {
+  const auto config = default_channel();
+  const ShannonLink weak(config, 10.0, 50.0);
+  const ShannonLink strong(config, 30.0, 50.0);
+  EXPECT_GT(strong.snr(1e6), weak.snr(1e6));
+  // +20 dB transmit power = 100× SNR.
+  EXPECT_NEAR(strong.snr(1e6) / weak.snr(1e6), 100.0, 1e-6);
+}
+
+TEST(ShannonLink, RateMonotoneInBandwidth) {
+  const auto config = default_channel();
+  const ShannonLink link(config, 20.0, 50.0);
+  double prev = 0.0;
+  for (double bw = 1e5; bw <= 1e8; bw *= 10.0) {
+    const double rate = link.rate_bps(bw);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(ShannonLink, RateMatchesShannonFormula) {
+  const auto config = default_channel();
+  const ShannonLink link(config, 20.0, 50.0);
+  const double bw = 5e6;
+  const double expected = bw * std::log2(1.0 + link.snr(bw));
+  EXPECT_NEAR(link.rate_bps(bw), expected, 1e-6 * expected);
+}
+
+TEST(ShannonLink, TransmitTimeInverseInRate) {
+  const auto config = default_channel();
+  const ShannonLink link(config, 20.0, 50.0);
+  const double t = link.transmit_seconds(1e6, 1e6);
+  EXPECT_GT(t, 0.0);
+  // Same payload, double bandwidth → strictly faster (rate grows with B).
+  EXPECT_LT(link.transmit_seconds(1e6, 2e6), t);
+  // Double payload at fixed bandwidth → exactly double time.
+  EXPECT_NEAR(link.transmit_seconds(2e6, 1e6), 2.0 * t, 1e-9);
+  // Zero payload is free.
+  EXPECT_DOUBLE_EQ(link.transmit_seconds(0.0, 1e6), 0.0);
+}
+
+TEST(ShannonLink, FadedRateAveragesNearDeterministic) {
+  const auto config = default_channel();
+  const ShannonLink link(config, 20.0, 50.0);
+  Rng rng(1);
+  const double bw = 1e6;
+  double sum = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double r = link.faded_rate_bps(bw, rng);
+    EXPECT_GE(r, 0.0);
+    sum += r;
+  }
+  // Jensen: E[log2(1+aX)] < log2(1+a E[X]); mean faded rate sits below the
+  // deterministic rate but within a factor ~2 at these SNRs.
+  const double deterministic = link.rate_bps(bw);
+  EXPECT_LT(sum / kDraws, deterministic);
+  EXPECT_GT(sum / kDraws, 0.3 * deterministic);
+}
+
+TEST(ShannonLink, HigherNoiseFigureLowersRate) {
+  ChannelConfig quiet;
+  quiet.noise_figure_db = 3.0;
+  ChannelConfig noisy;
+  noisy.noise_figure_db = 12.0;
+  const ShannonLink quiet_link(quiet, 20.0, 50.0);
+  const ShannonLink noisy_link(noisy, 20.0, 50.0);
+  EXPECT_GT(quiet_link.rate_bps(1e6), noisy_link.rate_bps(1e6));
+}
+
+TEST(ShannonLink, InvalidArgumentsThrow) {
+  const auto config = default_channel();
+  const ShannonLink link(config, 20.0, 50.0);
+  EXPECT_THROW(link.snr(0.0), std::invalid_argument);
+  EXPECT_THROW(link.transmit_seconds(-1.0, 1e6), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/net/network.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::net::ApProfile;
+using gsfl::net::DeviceProfile;
+using gsfl::net::NetworkConfig;
+using gsfl::net::WirelessNetwork;
+
+WirelessNetwork make_two_client_network() {
+  NetworkConfig config;
+  config.total_bandwidth_hz = 10e6;
+  std::vector<DeviceProfile> clients(2);
+  clients[0].distance_m = 20.0;
+  clients[0].compute_flops = 2e9;
+  clients[1].distance_m = 120.0;
+  clients[1].compute_flops = 5e8;
+  return WirelessNetwork(config, std::move(clients));
+}
+
+TEST(Network, BasicAccessors) {
+  const auto net = make_two_client_network();
+  EXPECT_EQ(net.num_clients(), 2u);
+  EXPECT_DOUBLE_EQ(net.client(0).distance_m, 20.0);
+  EXPECT_THROW((void)net.client(2), std::invalid_argument);
+}
+
+TEST(Network, NearClientFasterThanFarClient) {
+  const auto net = make_two_client_network();
+  EXPECT_GT(net.uplink_rate_bps(0, 1.0), net.uplink_rate_bps(1, 1.0));
+  EXPECT_GT(net.downlink_rate_bps(0, 1.0), net.downlink_rate_bps(1, 1.0));
+  EXPECT_LT(net.uplink_seconds(0, 1e6, 1.0), net.uplink_seconds(1, 1e6, 1.0));
+}
+
+TEST(Network, DownlinkFasterThanUplink) {
+  // AP transmits at 36 dBm vs the client's 20 dBm.
+  const auto net = make_two_client_network();
+  EXPECT_GT(net.downlink_rate_bps(0, 1.0), net.uplink_rate_bps(0, 1.0));
+}
+
+TEST(Network, RateMonotoneInBandwidthShare) {
+  const auto net = make_two_client_network();
+  double prev = 0.0;
+  for (const double share : {0.1, 0.25, 0.5, 1.0}) {
+    const double rate = net.uplink_rate_bps(0, share);
+    EXPECT_GT(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(Network, SmallerShareSlowerTransfer) {
+  const auto net = make_two_client_network();
+  const double full = net.uplink_seconds(0, 1e6, 1.0);
+  const double sixth = net.uplink_seconds(0, 1e6, 1.0 / 6.0);
+  EXPECT_GT(sixth, full);
+  // Rate is sub-linear in bandwidth, so 1/6 of the band costs less than
+  // 6× the time only when SNR gain compensates; it must cost at least
+  // somewhat more than full-band time though.
+  EXPECT_LT(sixth, 12.0 * full);
+}
+
+TEST(Network, ComputeSecondsScaleInversely) {
+  const auto net = make_two_client_network();
+  EXPECT_DOUBLE_EQ(net.client_compute_seconds(0, 2e9), 1.0);
+  EXPECT_DOUBLE_EQ(net.client_compute_seconds(1, 5e8), 1.0);
+  EXPECT_DOUBLE_EQ(net.client_compute_seconds(0, 0.0), 0.0);
+  // Edge server default is 1e11 FLOP/s.
+  EXPECT_DOUBLE_EQ(net.server_compute_seconds(1e11), 1.0);
+}
+
+TEST(Network, RelayIsUplinkPlusDownlink) {
+  const auto net = make_two_client_network();
+  const double bytes = 5e5;
+  const double share = 0.5;
+  EXPECT_NEAR(net.relay_seconds(0, 1, bytes, share),
+              net.uplink_seconds(0, bytes, share) +
+                  net.downlink_seconds(1, bytes, share),
+              1e-12);
+}
+
+TEST(Network, UniformRandomFleetRespectsBounds) {
+  NetworkConfig config;
+  Rng rng(1);
+  const auto net = WirelessNetwork::make_uniform_random(
+      config, 30, 10.0, 100.0, 1e8, 1e9, rng);
+  EXPECT_EQ(net.num_clients(), 30u);
+  for (std::size_t c = 0; c < 30; ++c) {
+    EXPECT_GE(net.client(c).distance_m, 10.0);
+    EXPECT_LE(net.client(c).distance_m, 100.0);
+    EXPECT_GE(net.client(c).compute_flops, 1e8);
+    EXPECT_LE(net.client(c).compute_flops, 1e9);
+  }
+}
+
+TEST(Network, UniformRandomIsHeterogeneous) {
+  NetworkConfig config;
+  Rng rng(2);
+  const auto net = WirelessNetwork::make_uniform_random(
+      config, 10, 10.0, 200.0, 1e8, 1e10, rng);
+  double min_d = 1e9;
+  double max_d = 0.0;
+  for (std::size_t c = 0; c < 10; ++c) {
+    min_d = std::min(min_d, net.client(c).distance_m);
+    max_d = std::max(max_d, net.client(c).distance_m);
+  }
+  EXPECT_GT(max_d - min_d, 20.0);
+}
+
+TEST(Network, ValidationOfArguments) {
+  const auto net = make_two_client_network();
+  EXPECT_THROW((void)net.uplink_rate_bps(0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)net.uplink_rate_bps(0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)net.uplink_seconds(5, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)net.client_compute_seconds(0, -1.0), std::invalid_argument);
+
+  NetworkConfig config;
+  EXPECT_THROW(WirelessNetwork(config, {}), std::invalid_argument);
+  config.total_bandwidth_hz = 0.0;
+  EXPECT_THROW(WirelessNetwork(config, {DeviceProfile{}}),
+               std::invalid_argument);
+}
+
+}  // namespace

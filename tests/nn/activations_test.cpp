@@ -1,0 +1,111 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/activations.hpp"
+#include "support/gradcheck.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::LeakyRelu;
+using gsfl::nn::Relu;
+using gsfl::nn::Sigmoid;
+using gsfl::nn::Tanh;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(Relu, ClampsNegatives) {
+  Relu relu;
+  const Tensor x(Shape{1, 4}, {-2.0f, -0.5f, 0.0f, 3.0f});
+  const auto y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 3.0f);
+}
+
+TEST(Relu, BackwardMasksGradient) {
+  Relu relu;
+  const Tensor x(Shape{1, 3}, {-1.0f, 2.0f, -0.1f});
+  (void)relu.forward(x, true);
+  const auto g = relu.backward(Tensor::ones(Shape{1, 3}));
+  EXPECT_FLOAT_EQ(g.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(1), 1.0f);
+  EXPECT_FLOAT_EQ(g.at(2), 0.0f);
+}
+
+TEST(LeakyRelu, NegativeSlope) {
+  LeakyRelu leaky(0.1f);
+  const Tensor x(Shape{1, 2}, {-10.0f, 10.0f});
+  const auto y = leaky.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), -1.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 10.0f);
+  const auto g = leaky.backward(Tensor::ones(Shape{1, 2}));
+  EXPECT_FLOAT_EQ(g.at(0), 0.1f);
+  EXPECT_FLOAT_EQ(g.at(1), 1.0f);
+}
+
+TEST(Tanh, MatchesStdTanh) {
+  Tanh tanh_layer;
+  const Tensor x(Shape{1, 3}, {-1.0f, 0.0f, 2.0f});
+  const auto y = tanh_layer.forward(x, true);
+  EXPECT_NEAR(y.at(0), std::tanh(-1.0f), 1e-6);
+  EXPECT_FLOAT_EQ(y.at(1), 0.0f);
+  EXPECT_NEAR(y.at(2), std::tanh(2.0f), 1e-6);
+}
+
+TEST(Sigmoid, KnownValues) {
+  Sigmoid sigmoid;
+  const Tensor x(Shape{1, 3}, {0.0f, 100.0f, -100.0f});
+  const auto y = sigmoid.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), 0.5f);
+  EXPECT_NEAR(y.at(1), 1.0f, 1e-6);
+  EXPECT_NEAR(y.at(2), 0.0f, 1e-6);
+}
+
+template <typename L>
+class SmoothActivationGradient : public ::testing::Test {};
+
+using SmoothActivations = ::testing::Types<Tanh, Sigmoid, LeakyRelu>;
+TYPED_TEST_SUITE(SmoothActivationGradient, SmoothActivations);
+
+TYPED_TEST(SmoothActivationGradient, NumericCheck) {
+  Rng rng(42);
+  TypeParam layer;
+  auto input = Tensor::uniform(Shape{2, 6}, rng, -2.0f, 2.0f);
+  gsfl::test::check_input_gradient(layer, input, rng);
+}
+
+TEST(Relu, NumericCheckAwayFromKink) {
+  Rng rng(43);
+  Relu layer;
+  // Keep inputs away from 0 where ReLU is non-differentiable.
+  auto input = Tensor::uniform(Shape{2, 6}, rng, 0.5f, 2.0f);
+  gsfl::test::check_input_gradient(layer, input, rng);
+  auto negative = Tensor::uniform(Shape{2, 6}, rng, -2.0f, -0.5f);
+  gsfl::test::check_input_gradient(layer, negative, rng);
+}
+
+TEST(Activations, ShapePreservedAndFlopsLinear) {
+  Relu relu;
+  EXPECT_EQ(relu.output_shape(Shape{3, 4, 5, 6}), Shape({3, 4, 5, 6}));
+  EXPECT_EQ(relu.flops(Shape{2, 10}).forward, 20u);
+  EXPECT_TRUE(relu.parameters().empty());
+}
+
+TEST(Activations, BackwardShapeMismatchThrows) {
+  Relu relu;
+  (void)relu.forward(Tensor(Shape{1, 3}), true);
+  EXPECT_THROW((void)relu.backward(Tensor(Shape{1, 4})),
+               std::invalid_argument);
+}
+
+TEST(Activations, CloneKeepsBehaviour) {
+  Rng rng(44);
+  LeakyRelu original(0.2f);
+  auto clone = original.clone();
+  const auto x = Tensor::uniform(Shape{1, 8}, rng, -1, 1);
+  EXPECT_EQ(original.forward(x, true), clone->forward(x, true));
+}
+
+}  // namespace

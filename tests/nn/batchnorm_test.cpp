@@ -1,0 +1,129 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/batchnorm.hpp"
+#include "support/gradcheck.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::BatchNorm2d;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(BatchNorm, TrainingOutputIsNormalizedPerChannel) {
+  Rng rng(1);
+  BatchNorm2d bn(3);
+  const auto x = Tensor::uniform(Shape{4, 3, 5, 5}, rng, -2, 7);
+  const auto y = bn.forward(x, /*train=*/true);
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    double sum = 0.0;
+    double sq = 0.0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 4; ++n) {
+      for (std::size_t h = 0; h < 5; ++h) {
+        for (std::size_t w = 0; w < 5; ++w) {
+          const double v = y.at4(n, c, h, w);
+          sum += v;
+          sq += v * v;
+          ++count;
+        }
+      }
+    }
+    const double mean = sum / static_cast<double>(count);
+    const double var = sq / static_cast<double>(count) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "channel " << c;
+    EXPECT_NEAR(var, 1.0, 1e-2) << "channel " << c;
+  }
+}
+
+TEST(BatchNorm, GammaBetaAffectOutput) {
+  BatchNorm2d bn(1);
+  bn.parameters()[0]->fill(2.0f);  // gamma
+  bn.parameters()[1]->fill(3.0f);  // beta
+  Rng rng(2);
+  const auto x = Tensor::uniform(Shape{2, 1, 4, 4}, rng, -1, 1);
+  const auto y = bn.forward(x, true);
+  EXPECT_NEAR(y.mean(), 3.0, 1e-4);  // mean(γ·x̂+β) = β
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats) {
+  BatchNorm2d bn(1, /*momentum=*/0.5f);
+  Rng rng(3);
+  // Feed batches drawn from N(4, 2²); running stats should approach them.
+  for (int i = 0; i < 60; ++i) {
+    const auto x = Tensor::normal(Shape{8, 1, 4, 4}, rng, 4.0f, 2.0f);
+    (void)bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.buffers()[0]->at(0), 4.0f, 0.3f);
+  EXPECT_NEAR(bn.buffers()[1]->at(0), 4.0f, 0.8f);  // variance ≈ 4
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm2d bn(1, 1.0f);  // momentum 1: running stats = last batch stats
+  Rng rng(4);
+  const auto train_batch = Tensor::normal(Shape{16, 1, 4, 4}, rng, 2.0f, 3.0f);
+  (void)bn.forward(train_batch, true);
+
+  // In eval mode, a constant input equal to the running mean maps to ≈ 0.
+  const float mean = bn.buffers()[0]->at(0);
+  const auto constant = Tensor::full(Shape{1, 1, 2, 2}, mean);
+  const auto y = bn.forward(constant, /*train=*/false);
+  for (const float v : y.data()) EXPECT_NEAR(v, 0.0f, 1e-4f);
+}
+
+TEST(BatchNorm, EvalDoesNotUpdateRunningStats) {
+  BatchNorm2d bn(2);
+  Rng rng(5);
+  const Tensor before_mean = *bn.buffers()[0];
+  const auto x = Tensor::uniform(Shape{2, 2, 3, 3}, rng, -1, 1);
+  (void)bn.forward(x, /*train=*/false);
+  EXPECT_EQ(before_mean, *bn.buffers()[0]);
+}
+
+TEST(BatchNorm, InputGradientCheck) {
+  Rng rng(6);
+  BatchNorm2d bn(2);
+  auto input = Tensor::uniform(Shape{3, 2, 3, 3}, rng, -1, 1);
+  gsfl::test::check_input_gradient(bn, input, rng);
+}
+
+TEST(BatchNorm, ParameterGradientCheck) {
+  Rng rng(7);
+  BatchNorm2d bn(2);
+  auto input = Tensor::uniform(Shape{3, 2, 3, 3}, rng, -1, 1);
+  gsfl::test::check_parameter_gradients(bn, input, rng);
+}
+
+TEST(BatchNorm, ChannelMismatchThrows) {
+  BatchNorm2d bn(3);
+  EXPECT_THROW((void)bn.forward(Tensor(Shape{1, 2, 4, 4}), true),
+               std::invalid_argument);
+}
+
+TEST(BatchNorm, BackwardWithoutTrainForwardThrows) {
+  BatchNorm2d bn(1);
+  EXPECT_THROW((void)bn.backward(Tensor(Shape{1, 1, 2, 2})),
+               std::invalid_argument);
+}
+
+TEST(BatchNorm, CloneCarriesRunningStats) {
+  BatchNorm2d bn(1, 1.0f);
+  Rng rng(8);
+  (void)bn.forward(Tensor::normal(Shape{8, 1, 3, 3}, rng, 5.0f, 1.0f), true);
+  auto clone = bn.clone();
+  auto* cloned_bn = dynamic_cast<BatchNorm2d*>(clone.get());
+  ASSERT_NE(cloned_bn, nullptr);
+  EXPECT_EQ(*cloned_bn->buffers()[0], *bn.buffers()[0]);
+  EXPECT_EQ(*cloned_bn->buffers()[1], *bn.buffers()[1]);
+}
+
+TEST(BatchNorm, BuffersExposedForAggregation) {
+  BatchNorm2d bn(4);
+  EXPECT_EQ(bn.buffers().size(), 2u);
+  EXPECT_EQ(bn.parameters().size(), 2u);
+  EXPECT_EQ(bn.parameter_count(), 8u);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "gsfl/nn/checkpoint.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::CnnConfig;
+using gsfl::nn::load_checkpoint;
+using gsfl::nn::load_checkpoint_file;
+using gsfl::nn::make_gtsrb_cnn;
+using gsfl::nn::read_checkpoint_state;
+using gsfl::nn::save_checkpoint;
+using gsfl::nn::save_checkpoint_file;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+CnnConfig small_config() {
+  CnnConfig config;
+  config.image_size = 8;
+  config.classes = 4;
+  config.conv1_filters = 4;
+  config.conv2_filters = 4;
+  config.hidden = 8;
+  config.batch_norm = true;  // exercises buffers in the checkpoint
+  return config;
+}
+
+TEST(Checkpoint, RoundTripRestoresExactState) {
+  Rng rng(1);
+  auto original = make_gtsrb_cnn(small_config(), rng);
+  auto other = make_gtsrb_cnn(small_config(), rng);  // different weights
+
+  std::stringstream buffer;
+  save_checkpoint(buffer, original);
+  load_checkpoint(buffer, other);
+
+  const auto x = Tensor::uniform(Shape{2, 3, 8, 8}, rng, 0, 1);
+  EXPECT_EQ(original.forward(x, false), other.forward(x, false));
+}
+
+TEST(Checkpoint, StateIncludesBuffers) {
+  Rng rng(2);
+  auto model = make_gtsrb_cnn(small_config(), rng);
+  // Train-mode forward perturbs batch-norm running stats.
+  (void)model.forward(Tensor::uniform(Shape{4, 3, 8, 8}, rng, 0, 1), true);
+
+  std::stringstream buffer;
+  save_checkpoint(buffer, model);
+  const auto state = read_checkpoint_state(buffer);
+  EXPECT_EQ(state.size(), model.state().size());
+  // Parameter count alone is smaller than the state (buffers add entries).
+  EXPECT_GT(state.size(), model.parameters().size());
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  Rng rng(3);
+  auto original = make_gtsrb_cnn(small_config(), rng);
+  auto other = make_gtsrb_cnn(small_config(), rng);
+  const std::string path = "/tmp/gsfl_checkpoint_test.bin";
+  save_checkpoint_file(path, original);
+  load_checkpoint_file(path, other);
+  const auto x = Tensor::uniform(Shape{1, 3, 8, 8}, rng, 0, 1);
+  EXPECT_EQ(original.forward(x, false), other.forward(x, false));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("NOPEgarbage");
+  EXPECT_THROW(read_checkpoint_state(bad), std::runtime_error);
+
+  Rng rng(4);
+  auto model = make_gtsrb_cnn(small_config(), rng);
+  std::stringstream buffer;
+  save_checkpoint(buffer, model);
+  const auto full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_checkpoint_state(truncated), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  Rng rng(5);
+  auto small = make_gtsrb_cnn(small_config(), rng);
+  auto big_config = small_config();
+  big_config.hidden = 16;
+  auto big = make_gtsrb_cnn(big_config, rng);
+
+  std::stringstream buffer;
+  save_checkpoint(buffer, small);
+  EXPECT_THROW(load_checkpoint(buffer, big), std::invalid_argument);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Rng rng(6);
+  auto model = make_gtsrb_cnn(small_config(), rng);
+  EXPECT_THROW(load_checkpoint_file("/nonexistent/gsfl.bin", model),
+               std::runtime_error);
+  EXPECT_THROW(save_checkpoint_file("/nonexistent/gsfl.bin", model),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/conv2d.hpp"
+#include "support/gradcheck.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::Conv2d;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+/// Direct (non-im2col) reference convolution for one output element.
+float naive_conv_at(const Tensor& x, const Tensor& w, const Tensor& b,
+                    std::size_t n, std::size_t oc, std::size_t oy,
+                    std::size_t ox, std::size_t kernel, std::size_t stride,
+                    std::size_t pad) {
+  const std::size_t in_c = x.shape()[1];
+  const std::size_t in_h = x.shape()[2];
+  const std::size_t in_w = x.shape()[3];
+  float acc = b.at(oc);
+  for (std::size_t c = 0; c < in_c; ++c) {
+    for (std::size_t ky = 0; ky < kernel; ++ky) {
+      for (std::size_t kx = 0; kx < kernel; ++kx) {
+        const auto iy = static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                        static_cast<std::ptrdiff_t>(pad);
+        const auto ix = static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                        static_cast<std::ptrdiff_t>(pad);
+        if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h) || ix < 0 ||
+            ix >= static_cast<std::ptrdiff_t>(in_w)) {
+          continue;
+        }
+        // Weight layout: (out_c, in_c·k·k) with (c, ky, kx) row-major.
+        const std::size_t widx = (c * kernel + ky) * kernel + kx;
+        acc += w.at2(oc, widx) *
+               x.at4(n, c, static_cast<std::size_t>(iy),
+                     static_cast<std::size_t>(ix));
+      }
+    }
+  }
+  return acc;
+}
+
+TEST(Conv2d, ForwardMatchesNaiveReference) {
+  Rng rng(1);
+  Conv2d layer(2, 3, 3, 1, 1, rng);
+  const auto x = Tensor::uniform(Shape{2, 2, 5, 5}, rng, -1, 1);
+  const auto y = layer.forward(x, true);
+  ASSERT_EQ(y.shape(), Shape({2, 3, 5, 5}));
+  for (std::size_t n = 0; n < 2; ++n) {
+    for (std::size_t oc = 0; oc < 3; ++oc) {
+      for (std::size_t oy = 0; oy < 5; ++oy) {
+        for (std::size_t ox = 0; ox < 5; ++ox) {
+          EXPECT_NEAR(y.at4(n, oc, oy, ox),
+                      naive_conv_at(x, layer.weight(), layer.bias(), n, oc,
+                                    oy, ox, 3, 1, 1),
+                      1e-4);
+        }
+      }
+    }
+  }
+}
+
+TEST(Conv2d, StridedNoPadGeometry) {
+  Rng rng(2);
+  Conv2d layer(1, 2, 3, 2, 0, rng);
+  const auto x = Tensor::uniform(Shape{1, 1, 7, 9}, rng, -1, 1);
+  const auto y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 2, 3, 4}));
+  // Spot-check one strided element against the reference.
+  EXPECT_NEAR(y.at4(0, 1, 2, 3),
+              naive_conv_at(x, layer.weight(), layer.bias(), 0, 1, 2, 3, 3,
+                            2, 0),
+              1e-4);
+}
+
+TEST(Conv2d, KnownAveragingKernel) {
+  Rng rng(3);
+  Conv2d layer(1, 1, 3, 1, 0, rng);
+  layer.weight().fill(1.0f / 9.0f);
+  layer.bias().fill(0.0f);
+  const auto x = Tensor::full(Shape{1, 1, 3, 3}, 9.0f);
+  const auto y = layer.forward(x, true);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_NEAR(y.at(0), 9.0f, 1e-5);
+}
+
+TEST(Conv2d, InputGradientCheck) {
+  Rng rng(4);
+  Conv2d layer(2, 2, 3, 1, 1, rng);
+  auto input = Tensor::uniform(Shape{1, 2, 4, 4}, rng, -1, 1);
+  gsfl::test::check_input_gradient(layer, input, rng);
+}
+
+TEST(Conv2d, ParameterGradientCheck) {
+  Rng rng(5);
+  Conv2d layer(1, 2, 3, 1, 0, rng);
+  auto input = Tensor::uniform(Shape{2, 1, 5, 5}, rng, -1, 1);
+  gsfl::test::check_parameter_gradients(layer, input, rng);
+}
+
+TEST(Conv2d, StridedGradientCheck) {
+  Rng rng(6);
+  Conv2d layer(1, 1, 3, 2, 1, rng);
+  auto input = Tensor::uniform(Shape{1, 1, 6, 6}, rng, -1, 1);
+  gsfl::test::check_input_gradient(layer, input, rng);
+  gsfl::test::check_parameter_gradients(layer, input, rng);
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+  Rng rng(7);
+  Conv2d layer(3, 4, 3, 1, 1, rng);
+  EXPECT_THROW((void)layer.forward(Tensor(Shape{1, 2, 8, 8}), true),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, BackwardWithoutForwardThrows) {
+  Rng rng(8);
+  Conv2d layer(1, 1, 3, 1, 1, rng);
+  EXPECT_THROW((void)layer.backward(Tensor(Shape{1, 1, 4, 4})),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, NameAndShapes) {
+  Rng rng(9);
+  Conv2d layer(3, 8, 3, 1, 1, rng);
+  EXPECT_EQ(layer.name(), "conv2d(3->8,k3,s1,p1)");
+  EXPECT_EQ(layer.output_shape(Shape{4, 3, 16, 16}),
+            Shape({4, 8, 16, 16}));
+  EXPECT_EQ(layer.parameter_count(), 8u * 27u + 8u);
+}
+
+TEST(Conv2d, FlopsScaleWithSpatialSizeAndBatch) {
+  Rng rng(10);
+  Conv2d layer(3, 8, 3, 1, 1, rng);
+  const auto small = layer.flops(Shape{1, 3, 8, 8});
+  const auto big = layer.flops(Shape{1, 3, 16, 16});
+  const auto batched = layer.flops(Shape{2, 3, 8, 8});
+  EXPECT_NEAR(static_cast<double>(big.forward) / small.forward, 4.0, 0.1);
+  EXPECT_EQ(batched.forward, 2 * small.forward);
+  EXPECT_GT(small.backward, small.forward);
+}
+
+TEST(Conv2d, CloneProducesIdenticalOutputs) {
+  Rng rng(11);
+  Conv2d layer(2, 2, 3, 1, 1, rng);
+  auto clone = layer.clone();
+  const auto x = Tensor::uniform(Shape{1, 2, 6, 6}, rng, -1, 1);
+  EXPECT_EQ(layer.forward(x, true), clone->forward(x, true));
+}
+
+TEST(Conv2d, GradientAccumulationAcrossBatches) {
+  Rng rng(12);
+  Conv2d layer(1, 1, 3, 1, 1, rng);
+  const auto x = Tensor::uniform(Shape{1, 1, 4, 4}, rng, -1, 1);
+  const auto g = Tensor::ones(Shape{1, 1, 4, 4});
+  layer.zero_grad();
+  (void)layer.forward(x, true);
+  (void)layer.backward(g);
+  const Tensor once = *layer.gradients()[0];
+  (void)layer.forward(x, true);
+  (void)layer.backward(g);
+  for (std::size_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(layer.gradients()[0]->at(i), 2.0f * once.at(i), 1e-5);
+  }
+}
+
+}  // namespace

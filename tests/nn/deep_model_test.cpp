@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/loss.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/nn/optimizer.hpp"
+#include "gsfl/nn/split.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::CnnConfig;
+using gsfl::nn::cut_layer_count;
+using gsfl::nn::deep_cnn_config;
+using gsfl::nn::make_gtsrb_cnn;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(DeepModel, ThreeBlockTopology) {
+  Rng rng(1);
+  const auto config = deep_cnn_config(32, 43);
+  auto model = make_gtsrb_cnn(config, rng);
+  EXPECT_EQ(model.size(), 13u);  // 3 × (conv relu pool) + flatten d r d
+  EXPECT_EQ(model.size(), cut_layer_count(config));
+  EXPECT_EQ(model.output_shape(Shape{2, 3, 32, 32}), Shape({2, 43}));
+}
+
+TEST(DeepModel, MoreFlopsThanTwoBlockModel) {
+  Rng rng(2);
+  CnnConfig shallow;
+  const auto deep = deep_cnn_config(32, 43);
+  auto shallow_model = make_gtsrb_cnn(shallow, rng);
+  auto deep_model = make_gtsrb_cnn(deep, rng);
+  const Shape input{1, 3, 32, 32};
+  EXPECT_GT(deep_model.flops(input).forward,
+            2 * shallow_model.flops(input).forward);
+  EXPECT_GT(deep_model.parameter_count(), shallow_model.parameter_count());
+}
+
+TEST(DeepModel, RequiresImageDivisibleByEight) {
+  Rng rng(3);
+  auto config = deep_cnn_config(32, 10);
+  config.image_size = 12;  // divides by 4 but not by 8
+  EXPECT_THROW(make_gtsrb_cnn(config, rng), std::invalid_argument);
+}
+
+TEST(DeepModel, SplitsAtEveryCut) {
+  Rng rng(4);
+  const auto config = deep_cnn_config(16, 6);
+  const auto model = make_gtsrb_cnn(config, rng);
+  auto reference = model;
+  const auto x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, 0, 1);
+  const auto expected = reference.forward(x, false);
+  for (std::size_t cut = 0; cut <= model.size(); ++cut) {
+    gsfl::nn::SplitModel split(model, cut);
+    EXPECT_EQ(split.forward(x, false), expected) << "cut " << cut;
+  }
+}
+
+TEST(DeepModel, TrainsOnTinyTask) {
+  Rng rng(5);
+  const auto config = deep_cnn_config(16, 3);
+  auto model = make_gtsrb_cnn(config, rng);
+  gsfl::nn::Adam optimizer(0.005);
+  optimizer.attach(model.parameters(), model.gradients());
+
+  // Three fixed random "class prototypes": the model must memorize them.
+  const auto x = Tensor::uniform(Shape{3, 3, 16, 16}, rng, 0, 1);
+  const std::int32_t labels[] = {0, 1, 2};
+  double loss_value = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    model.zero_grad();
+    const auto logits = model.forward(x, true);
+    const auto loss = gsfl::nn::softmax_cross_entropy(logits, labels);
+    (void)model.backward(loss.grad_logits);
+    optimizer.step();
+    loss_value = loss.loss;
+  }
+  EXPECT_LT(loss_value, 0.1);
+}
+
+TEST(DeepModel, BatchNormVariantCutCountConsistent) {
+  Rng rng(6);
+  auto config = deep_cnn_config(16, 4);
+  config.batch_norm = true;
+  config.dropout = 0.2f;
+  auto model = make_gtsrb_cnn(config, rng);
+  EXPECT_EQ(model.size(), cut_layer_count(config));
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/dense.hpp"
+#include "support/gradcheck.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::Dense;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(Dense, ForwardMatchesHandComputation) {
+  Rng rng(1);
+  Dense layer(2, 3, rng);
+  layer.weight() = Tensor(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  layer.bias() = Tensor(Shape{3}, {0.5f, -0.5f, 1.0f});
+
+  const Tensor x(Shape{1, 2}, {10, 20});
+  const auto y = layer.forward(x, true);
+  ASSERT_EQ(y.shape(), Shape({1, 3}));
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1 * 10 + 2 * 20 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 3 * 10 + 4 * 20 - 0.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 2), 5 * 10 + 6 * 20 + 1.0f);
+}
+
+TEST(Dense, ForwardBatches) {
+  Rng rng(2);
+  Dense layer(3, 2, rng);
+  const auto x = Tensor::uniform(Shape{5, 3}, rng, -1, 1);
+  const auto y = layer.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({5, 2}));
+  // Row independence: forwarding a single row gives the same answer.
+  const auto row = x.slice0(2, 3);
+  const auto y_row = layer.forward(row, true);
+  EXPECT_NEAR(y_row.at2(0, 0), y.at2(2, 0), 1e-6);
+  EXPECT_NEAR(y_row.at2(0, 1), y.at2(2, 1), 1e-6);
+}
+
+TEST(Dense, InputGradientCheck) {
+  Rng rng(3);
+  Dense layer(4, 3, rng);
+  auto input = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  gsfl::test::check_input_gradient(layer, input, rng);
+}
+
+TEST(Dense, ParameterGradientCheck) {
+  Rng rng(4);
+  Dense layer(3, 2, rng);
+  auto input = Tensor::uniform(Shape{3, 3}, rng, -1, 1);
+  gsfl::test::check_parameter_gradients(layer, input, rng);
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(5);
+  Dense layer(2, 2, rng);
+  const auto x = Tensor::uniform(Shape{1, 2}, rng, -1, 1);
+  const auto g = Tensor::ones(Shape{1, 2});
+
+  layer.zero_grad();
+  (void)layer.forward(x, true);
+  (void)layer.backward(g);
+  const Tensor once = *layer.gradients()[0];
+
+  (void)layer.forward(x, true);
+  (void)layer.backward(g);
+  const Tensor twice = *layer.gradients()[0];
+
+  for (std::size_t i = 0; i < once.numel(); ++i) {
+    EXPECT_NEAR(twice.at(i), 2.0f * once.at(i), 1e-6);
+  }
+}
+
+TEST(Dense, ZeroGradClears) {
+  Rng rng(6);
+  Dense layer(2, 2, rng);
+  (void)layer.forward(Tensor::ones(Shape{1, 2}), true);
+  (void)layer.backward(Tensor::ones(Shape{1, 2}));
+  layer.zero_grad();
+  for (const auto* g : layer.gradients()) {
+    for (const float v : g->data()) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Dense, BackwardWithoutForwardThrows) {
+  Rng rng(7);
+  Dense layer(2, 2, rng);
+  EXPECT_THROW((void)layer.backward(Tensor::ones(Shape{1, 2})),
+               std::invalid_argument);
+}
+
+TEST(Dense, InputWidthMismatchThrows) {
+  Rng rng(8);
+  Dense layer(3, 2, rng);
+  EXPECT_THROW((void)layer.forward(Tensor(Shape{1, 4}), true),
+               std::invalid_argument);
+}
+
+TEST(Dense, OutputShapeAndName) {
+  Rng rng(9);
+  Dense layer(5, 7, rng);
+  EXPECT_EQ(layer.output_shape(Shape{3, 5}), Shape({3, 7}));
+  EXPECT_EQ(layer.name(), "dense(5->7)");
+  EXPECT_EQ(layer.parameter_count(), 5u * 7u + 7u);
+}
+
+TEST(Dense, FlopCountScalesWithBatch) {
+  Rng rng(10);
+  Dense layer(8, 4, rng);
+  const auto f1 = layer.flops(Shape{1, 8});
+  const auto f4 = layer.flops(Shape{4, 8});
+  EXPECT_EQ(f4.forward, 4 * f1.forward);
+  EXPECT_EQ(f4.backward, 4 * f1.backward);
+  EXPECT_GT(f1.backward, f1.forward);  // two GEMMs vs one
+}
+
+TEST(Dense, CloneIsDeepAndIdentical) {
+  Rng rng(11);
+  Dense layer(3, 3, rng);
+  auto clone = layer.clone();
+  const auto x = Tensor::uniform(Shape{2, 3}, rng, -1, 1);
+  const auto y1 = layer.forward(x, true);
+  const auto y2 = clone->forward(x, true);
+  EXPECT_EQ(y1, y2);
+
+  // Mutating the clone's weights must not affect the original.
+  clone->parameters()[0]->fill(0.0f);
+  const auto y3 = layer.forward(x, true);
+  EXPECT_EQ(y1, y3);
+}
+
+TEST(Dense, HeInitializationScale) {
+  Rng rng(12);
+  Dense layer(1000, 50, rng);
+  // He stddev = sqrt(2/1000) ≈ 0.0447.
+  double sq = 0.0;
+  const auto w = layer.weight().data();
+  for (const float v : w) sq += static_cast<double>(v) * v;
+  const double stddev = std::sqrt(sq / static_cast<double>(w.size()));
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 1000.0), 0.005);
+  // Bias starts at zero.
+  for (const float b : layer.bias().data()) EXPECT_FLOAT_EQ(b, 0.0f);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/dropout.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::Dropout;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Rng rng(1);
+  Dropout dropout(0.5f, rng);
+  const auto x = Tensor::uniform(Shape{4, 8}, rng, -1, 1);
+  EXPECT_EQ(dropout.forward(x, /*train=*/false), x);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityEvenInTraining) {
+  Rng rng(2);
+  Dropout dropout(0.0f, rng);
+  const auto x = Tensor::uniform(Shape{4, 8}, rng, -1, 1);
+  EXPECT_EQ(dropout.forward(x, /*train=*/true), x);
+}
+
+TEST(Dropout, TrainingZeroesApproximatelyPFraction) {
+  Rng rng(3);
+  const float p = 0.3f;
+  Dropout dropout(p, rng);
+  const auto x = Tensor::ones(Shape{100, 100});
+  const auto y = dropout.forward(x, true);
+  std::size_t zeros = 0;
+  for (const float v : y.data()) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, p, 0.02);
+}
+
+TEST(Dropout, SurvivorsScaledByInverseKeep) {
+  Rng rng(4);
+  const float p = 0.25f;
+  Dropout dropout(p, rng);
+  const auto x = Tensor::ones(Shape{50, 50});
+  const auto y = dropout.forward(x, true);
+  const float expected = 1.0f / (1.0f - p);
+  for (const float v : y.data()) {
+    EXPECT_TRUE(v == 0.0f || std::abs(v - expected) < 1e-6f);
+  }
+  // Inverted dropout preserves the expectation.
+  EXPECT_NEAR(y.mean(), 1.0, 0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Rng rng(5);
+  Dropout dropout(0.5f, rng);
+  const auto x = Tensor::ones(Shape{10, 10});
+  const auto y = dropout.forward(x, true);
+  const auto g = dropout.backward(Tensor::ones(Shape{10, 10}));
+  // Gradient passes exactly where the activation passed.
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(g.at(i), y.at(i));
+  }
+}
+
+TEST(Dropout, EvalBackwardIsIdentity) {
+  Rng rng(6);
+  Dropout dropout(0.5f, rng);
+  const auto x = Tensor::ones(Shape{3, 3});
+  (void)dropout.forward(x, false);
+  const Tensor g(Shape{3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(dropout.backward(g), g);
+}
+
+TEST(Dropout, CloneDrawsIdenticalMasks) {
+  Rng rng(7);
+  Dropout original(0.5f, rng);
+  auto clone = original.clone();
+  const auto x = Tensor::ones(Shape{8, 8});
+  // Same RNG state in the clone → same masks in the same order.
+  EXPECT_EQ(original.forward(x, true), clone->forward(x, true));
+  EXPECT_EQ(original.forward(x, true), clone->forward(x, true));
+}
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  Rng rng(8);
+  EXPECT_THROW(Dropout(-0.1f, rng), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f, rng), std::invalid_argument);
+}
+
+TEST(Dropout, StatelessInterface) {
+  Rng rng(9);
+  Dropout dropout(0.2f, rng);
+  EXPECT_TRUE(dropout.parameters().empty());
+  EXPECT_EQ(dropout.output_shape(Shape{2, 3}), Shape({2, 3}));
+}
+
+}  // namespace

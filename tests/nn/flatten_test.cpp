@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/flatten.hpp"
+
+namespace {
+
+using gsfl::nn::Flatten;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(Flatten, CollapsesNonBatchAxes) {
+  Flatten flatten;
+  const Tensor x(Shape{2, 3, 4, 5});
+  const auto y = flatten.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 60}));
+}
+
+TEST(Flatten, PreservesValuesRowMajor) {
+  Flatten flatten;
+  const auto x = Tensor::arange(24).reshape(Shape{2, 2, 2, 3});
+  const auto y = flatten.forward(x, true);
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_FLOAT_EQ(y.at(i), static_cast<float>(i));
+  }
+}
+
+TEST(Flatten, BackwardRestoresShape) {
+  Flatten flatten;
+  const Tensor x(Shape{2, 3, 2, 2});
+  (void)flatten.forward(x, true);
+  const auto g = flatten.backward(Tensor::ones(Shape{2, 12}));
+  EXPECT_EQ(g.shape(), Shape({2, 3, 2, 2}));
+}
+
+TEST(Flatten, Rank2PassThrough) {
+  Flatten flatten;
+  const Tensor x(Shape{4, 7});
+  EXPECT_EQ(flatten.forward(x, true).shape(), Shape({4, 7}));
+}
+
+TEST(Flatten, BackwardWithoutForwardThrows) {
+  Flatten flatten;
+  EXPECT_THROW((void)flatten.backward(Tensor(Shape{1, 4})),
+               std::invalid_argument);
+}
+
+TEST(Flatten, ZeroCostAndStateless) {
+  Flatten flatten;
+  EXPECT_EQ(flatten.flops(Shape{8, 3, 16, 16}).forward, 0u);
+  EXPECT_TRUE(flatten.parameters().empty());
+  EXPECT_EQ(flatten.output_shape(Shape{8, 3, 16, 16}), Shape({8, 768}));
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Layer-contract property sweep: every Layer implementation must satisfy
+// the same invariants regardless of configuration —
+//   (1) forward(x).shape() == output_shape(x.shape())
+//   (2) backward(dy).shape() == x.shape()
+//   (3) parameters() and gradients() are index-aligned in shape
+//   (4) clone() is behaviourally identical and fully independent
+//   (5) flops() is positive for compute layers and batch-additive
+// Run for every layer type across a grid of input geometries.
+#include <functional>
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/activations.hpp"
+#include "gsfl/nn/batchnorm.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/dropout.hpp"
+#include "gsfl/nn/flatten.hpp"
+#include "gsfl/nn/pooling.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::Layer;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+struct LayerCase {
+  std::string name;
+  std::function<std::unique_ptr<Layer>(Rng&)> make;
+  Shape input;
+};
+
+std::vector<LayerCase> all_cases() {
+  std::vector<LayerCase> cases;
+  const auto add = [&](std::string name,
+                       std::function<std::unique_ptr<Layer>(Rng&)> make,
+                       Shape input) {
+    cases.push_back({std::move(name), std::move(make), std::move(input)});
+  };
+
+  for (const std::size_t batch : {1ul, 3ul}) {
+    add("dense_b" + std::to_string(batch),
+        [](Rng& rng) { return std::make_unique<gsfl::nn::Dense>(6, 4, rng); },
+        Shape{batch, 6});
+    add("conv_s1p1_b" + std::to_string(batch),
+        [](Rng& rng) {
+          return std::make_unique<gsfl::nn::Conv2d>(2, 3, 3, 1, 1, rng);
+        },
+        Shape{batch, 2, 6, 5});
+    add("conv_s2p0_b" + std::to_string(batch),
+        [](Rng& rng) {
+          return std::make_unique<gsfl::nn::Conv2d>(1, 2, 3, 2, 0, rng);
+        },
+        Shape{batch, 1, 7, 9});
+    add("conv_k1_b" + std::to_string(batch),
+        [](Rng& rng) {
+          return std::make_unique<gsfl::nn::Conv2d>(3, 5, 1, 1, 0, rng);
+        },
+        Shape{batch, 3, 4, 4});
+    add("maxpool_b" + std::to_string(batch),
+        [](Rng&) { return std::make_unique<gsfl::nn::MaxPool2d>(2); },
+        Shape{batch, 2, 6, 4});
+    add("maxpool_overlap_b" + std::to_string(batch),
+        [](Rng&) { return std::make_unique<gsfl::nn::MaxPool2d>(3, 1); },
+        Shape{batch, 1, 5, 5});
+    add("avgpool_b" + std::to_string(batch),
+        [](Rng&) { return std::make_unique<gsfl::nn::AvgPool2d>(2); },
+        Shape{batch, 3, 4, 6});
+    add("relu_b" + std::to_string(batch),
+        [](Rng&) { return std::make_unique<gsfl::nn::Relu>(); },
+        Shape{batch, 10});
+    add("leaky_b" + std::to_string(batch),
+        [](Rng&) { return std::make_unique<gsfl::nn::LeakyRelu>(0.1f); },
+        Shape{batch, 2, 3, 3});
+    add("tanh_b" + std::to_string(batch),
+        [](Rng&) { return std::make_unique<gsfl::nn::Tanh>(); },
+        Shape{batch, 7});
+    add("sigmoid_b" + std::to_string(batch),
+        [](Rng&) { return std::make_unique<gsfl::nn::Sigmoid>(); },
+        Shape{batch, 4});
+    add("flatten_b" + std::to_string(batch),
+        [](Rng&) { return std::make_unique<gsfl::nn::Flatten>(); },
+        Shape{batch, 2, 3, 4});
+    add("batchnorm_b" + std::to_string(batch + 1),  // bn needs batch ≥ 2
+        [](Rng&) { return std::make_unique<gsfl::nn::BatchNorm2d>(2); },
+        Shape{batch + 1, 2, 3, 3});
+    add("dropout_b" + std::to_string(batch),
+        [](Rng& rng) {
+          return std::make_unique<gsfl::nn::Dropout>(0.3f, rng);
+        },
+        Shape{batch, 8});
+  }
+  return cases;
+}
+
+class LayerContract : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(LayerContract, ForwardShapeMatchesDeclaredOutputShape) {
+  Rng rng(101);
+  auto layer = GetParam().make(rng);
+  const auto x = Tensor::uniform(GetParam().input, rng, -1, 1);
+  const auto y = layer->forward(x, true);
+  EXPECT_EQ(y.shape(), layer->output_shape(x.shape()));
+}
+
+TEST_P(LayerContract, BackwardShapeMatchesInput) {
+  Rng rng(102);
+  auto layer = GetParam().make(rng);
+  const auto x = Tensor::uniform(GetParam().input, rng, -1, 1);
+  const auto y = layer->forward(x, true);
+  const auto dy = Tensor::uniform(y.shape(), rng, -1, 1);
+  const auto dx = layer->backward(dy);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST_P(LayerContract, ParameterGradientAlignment) {
+  Rng rng(103);
+  auto layer = GetParam().make(rng);
+  const auto params = layer->parameters();
+  const auto grads = layer->gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i]->shape(), grads[i]->shape()) << "slot " << i;
+  }
+}
+
+TEST_P(LayerContract, CloneIsIdenticalAndIndependent) {
+  Rng rng(104);
+  auto layer = GetParam().make(rng);
+  auto clone = layer->clone();
+  const auto x = Tensor::uniform(GetParam().input, rng, -1, 1);
+  EXPECT_EQ(layer->forward(x, true), clone->forward(x, true));
+
+  // Perturbing the clone's parameters must not leak into the original.
+  if (!clone->parameters().empty()) {
+    clone->parameters().front()->fill(123.0f);
+    const auto y1 = layer->forward(x, true);
+    const auto y2 = clone->forward(x, true);
+    EXPECT_NE(y1, y2);
+  }
+}
+
+TEST_P(LayerContract, FlopsBatchAdditive) {
+  Rng rng(105);
+  auto layer = GetParam().make(rng);
+  const Shape one = GetParam().input.with_dim0(1);
+  const Shape four = GetParam().input.with_dim0(4);
+  const auto f1 = layer->flops(one);
+  const auto f4 = layer->flops(four);
+  EXPECT_EQ(f4.forward, 4 * f1.forward) << "forward flops not batch-linear";
+  EXPECT_EQ(f4.backward, 4 * f1.backward)
+      << "backward flops not batch-linear";
+}
+
+TEST_P(LayerContract, ZeroGradClearsEverything) {
+  Rng rng(106);
+  auto layer = GetParam().make(rng);
+  const auto x = Tensor::uniform(GetParam().input, rng, -1, 1);
+  const auto y = layer->forward(x, true);
+  (void)layer->backward(Tensor::uniform(y.shape(), rng, -1, 1));
+  layer->zero_grad();
+  for (const auto* g : layer->gradients()) {
+    for (const float v : g->data()) {
+      ASSERT_FLOAT_EQ(v, 0.0f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayers, LayerContract, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<LayerCase>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/nn/loss.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::accuracy;
+using gsfl::nn::softmax;
+using gsfl::nn::softmax_cross_entropy;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(1);
+  const auto logits = Tensor::uniform(Shape{5, 7}, rng, -4, 4);
+  const auto probs = softmax(logits);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 7; ++j) {
+      const float p = probs.at2(i, j);
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, UniformLogitsGiveUniformProbs) {
+  const auto probs = softmax(Tensor::full(Shape{1, 4}, 3.0f));
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(probs.at2(0, j), 0.25f, 1e-6);
+  }
+}
+
+TEST(Softmax, InvariantToLogitShift) {
+  const Tensor a(Shape{1, 3}, {1.0f, 2.0f, 3.0f});
+  const Tensor b(Shape{1, 3}, {101.0f, 102.0f, 103.0f});
+  EXPECT_LT(Tensor::max_abs_diff(softmax(a), softmax(b)), 1e-6);
+}
+
+TEST(Softmax, NumericallyStableAtExtremes) {
+  const Tensor logits(Shape{1, 3}, {1000.0f, -1000.0f, 0.0f});
+  const auto probs = softmax(logits);
+  EXPECT_NEAR(probs.at2(0, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(probs.at2(0, 1), 0.0f, 1e-6);
+  for (const float p : probs.data()) EXPECT_FALSE(std::isnan(p));
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  const auto logits = Tensor::zeros(Shape{2, 10});
+  const std::int32_t labels[] = {3, 7};
+  const auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, std::log(10.0), 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionNearZeroLoss) {
+  Tensor logits(Shape{1, 3});
+  logits.at2(0, 1) = 50.0f;
+  const std::int32_t labels[] = {1};
+  const auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, 0.0, 1e-5);
+}
+
+TEST(CrossEntropy, GradientIsProbsMinusOneHotOverBatch) {
+  Rng rng(2);
+  const auto logits = Tensor::uniform(Shape{4, 5}, rng, -2, 2);
+  const std::int32_t labels[] = {0, 2, 4, 2};
+  const auto result = softmax_cross_entropy(logits, labels);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      const float expected =
+          (result.probabilities.at2(i, j) -
+           (static_cast<std::size_t>(labels[i]) == j ? 1.0f : 0.0f)) /
+          4.0f;
+      EXPECT_NEAR(result.grad_logits.at2(i, j), expected, 1e-6);
+    }
+  }
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  Rng rng(3);
+  const auto logits = Tensor::uniform(Shape{3, 6}, rng, -3, 3);
+  const std::int32_t labels[] = {5, 0, 3};
+  const auto result = softmax_cross_entropy(logits, labels);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) {
+      row_sum += result.grad_logits.at2(i, j);
+    }
+    EXPECT_NEAR(row_sum, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, NumericGradientCheck) {
+  Rng rng(4);
+  auto logits = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  const std::int32_t labels[] = {1, 3};
+  const auto analytic = softmax_cross_entropy(logits, labels);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits.at(i);
+    logits.at(i) = saved + eps;
+    const double plus = softmax_cross_entropy(logits, labels).loss;
+    logits.at(i) = saved - eps;
+    const double minus = softmax_cross_entropy(logits, labels).loss;
+    logits.at(i) = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(analytic.grad_logits.at(i), numeric, 1e-3);
+  }
+}
+
+TEST(CrossEntropy, ValidatesArguments) {
+  const Tensor logits(Shape{2, 3});
+  const std::int32_t too_few[] = {0};
+  EXPECT_THROW(softmax_cross_entropy(logits, too_few),
+               std::invalid_argument);
+  const std::int32_t out_of_range[] = {0, 3};
+  EXPECT_THROW(softmax_cross_entropy(logits, out_of_range),
+               std::invalid_argument);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits(Shape{3, 3});
+  logits.at2(0, 0) = 1.0f;  // predicts 0
+  logits.at2(1, 2) = 1.0f;  // predicts 2
+  logits.at2(2, 1) = 1.0f;  // predicts 1
+  const std::int32_t labels[] = {0, 2, 0};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Accuracy, PerfectAndZero) {
+  Tensor logits(Shape{2, 2});
+  logits.at2(0, 0) = 5.0f;
+  logits.at2(1, 1) = 5.0f;
+  const std::int32_t right[] = {0, 1};
+  const std::int32_t wrong[] = {1, 0};
+  EXPECT_DOUBLE_EQ(accuracy(logits, right), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy(logits, wrong), 0.0);
+}
+
+}  // namespace

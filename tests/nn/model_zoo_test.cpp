@@ -1,0 +1,104 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/model_zoo.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::CnnConfig;
+using gsfl::nn::cut_layer_count;
+using gsfl::nn::default_cut_layer;
+using gsfl::nn::make_gtsrb_cnn;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(ModelZoo, DefaultCnnTopology) {
+  Rng rng(1);
+  CnnConfig config;  // 32x32x3 → 43 classes
+  auto model = make_gtsrb_cnn(config, rng);
+  EXPECT_EQ(model.size(), 10u);
+  EXPECT_EQ(model.output_shape(Shape{2, 3, 32, 32}), Shape({2, 43}));
+}
+
+TEST(ModelZoo, BatchNormVariantAddsLayers) {
+  Rng rng(2);
+  CnnConfig config;
+  config.batch_norm = true;
+  config.dropout = 0.3f;
+  auto model = make_gtsrb_cnn(config, rng);
+  EXPECT_EQ(model.size(), 13u);
+  EXPECT_EQ(model.output_shape(Shape{1, 3, 32, 32}), Shape({1, 43}));
+}
+
+TEST(ModelZoo, ScaledGeometryWorks) {
+  Rng rng(3);
+  CnnConfig config;
+  config.image_size = 16;
+  config.classes = 12;
+  auto model = make_gtsrb_cnn(config, rng);
+  EXPECT_EQ(model.output_shape(Shape{4, 3, 16, 16}), Shape({4, 12}));
+}
+
+TEST(ModelZoo, DefaultCutLayerSplitsAfterFirstBlock) {
+  CnnConfig plain;
+  EXPECT_EQ(default_cut_layer(plain), 3u);
+  CnnConfig bn;
+  bn.batch_norm = true;
+  EXPECT_EQ(default_cut_layer(bn), 4u);
+
+  // The cut must fall strictly inside the model.
+  Rng rng(4);
+  auto model = make_gtsrb_cnn(plain, rng);
+  EXPECT_LT(default_cut_layer(plain), model.size());
+  EXPECT_GT(default_cut_layer(plain), 0u);
+}
+
+TEST(ModelZoo, CutLayerCountMatchesDepth) {
+  Rng rng(5);
+  CnnConfig plain;
+  EXPECT_EQ(cut_layer_count(plain), make_gtsrb_cnn(plain, rng).size());
+  CnnConfig fancy;
+  fancy.batch_norm = true;
+  fancy.dropout = 0.5f;
+  EXPECT_EQ(cut_layer_count(fancy), make_gtsrb_cnn(fancy, rng).size());
+}
+
+TEST(ModelZoo, ForwardProducesFiniteLogits) {
+  Rng rng(6);
+  CnnConfig config;
+  config.image_size = 16;
+  config.classes = 8;
+  auto model = make_gtsrb_cnn(config, rng);
+  const auto x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, 0, 1);
+  const auto logits = model.forward(x, true);
+  for (const float v : logits.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(ModelZoo, SameSeedSameModel) {
+  CnnConfig config;
+  config.image_size = 16;
+  config.classes = 5;
+  Rng rng_a(77);
+  Rng rng_b(77);
+  auto a = make_gtsrb_cnn(config, rng_a);
+  auto b = make_gtsrb_cnn(config, rng_b);
+  const auto sa = a.state();
+  const auto sb = b.state();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+}
+
+TEST(ModelZoo, ConfigValidation) {
+  Rng rng(7);
+  CnnConfig bad_size;
+  bad_size.image_size = 10;  // not divisible by 4
+  EXPECT_THROW(make_gtsrb_cnn(bad_size, rng), std::invalid_argument);
+  CnnConfig one_class;
+  one_class.classes = 1;
+  EXPECT_THROW(make_gtsrb_cnn(one_class, rng), std::invalid_argument);
+}
+
+}  // namespace

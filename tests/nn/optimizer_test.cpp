@@ -1,0 +1,156 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/loss.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/nn/optimizer.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::Adam;
+using gsfl::nn::MomentumSgd;
+using gsfl::nn::Sgd;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+struct Slot {
+  Tensor param{Shape{2}, {1.0f, 2.0f}};
+  Tensor grad{Shape{2}, {0.5f, -1.0f}};
+};
+
+TEST(Sgd, BasicStep) {
+  Slot s;
+  Sgd opt(0.1);
+  opt.attach({&s.param}, {&s.grad});
+  opt.step();
+  EXPECT_FLOAT_EQ(s.param.at(0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(s.param.at(1), 2.0f + 0.1f * 1.0f);
+}
+
+TEST(Sgd, WeightDecayShrinksParams) {
+  Slot s;
+  s.grad.fill(0.0f);
+  Sgd opt(0.1, /*weight_decay=*/0.5);
+  opt.attach({&s.param}, {&s.grad});
+  opt.step();
+  // w ← w − lr·λ·w = w(1 − 0.05)
+  EXPECT_FLOAT_EQ(s.param.at(0), 1.0f * 0.95f);
+  EXPECT_FLOAT_EQ(s.param.at(1), 2.0f * 0.95f);
+}
+
+TEST(Sgd, LearningRateMutable) {
+  Slot s;
+  Sgd opt(0.1);
+  opt.attach({&s.param}, {&s.grad});
+  opt.set_learning_rate(0.2);
+  EXPECT_DOUBLE_EQ(opt.learning_rate(), 0.2);
+  opt.step();
+  EXPECT_FLOAT_EQ(s.param.at(0), 1.0f - 0.2f * 0.5f);
+}
+
+TEST(MomentumSgd, FirstStepEqualsSgd) {
+  Slot a;
+  Slot b;
+  Sgd plain(0.1);
+  MomentumSgd mom(0.1, 0.9);
+  plain.attach({&a.param}, {&a.grad});
+  mom.attach({&b.param}, {&b.grad});
+  plain.step();
+  mom.step();
+  EXPECT_FLOAT_EQ(a.param.at(0), b.param.at(0));
+}
+
+TEST(MomentumSgd, VelocityAccumulates) {
+  Slot s;
+  MomentumSgd opt(0.1, 0.5);
+  opt.attach({&s.param}, {&s.grad});
+  opt.step();  // v = g,          w -= lr·g
+  opt.step();  // v = 0.5g + g,   w -= lr·1.5g
+  // Total: w -= lr·(1 + 1.5)·g
+  EXPECT_NEAR(s.param.at(0), 1.0f - 0.1f * 2.5f * 0.5f, 1e-6);
+}
+
+TEST(Adam, StepsTowardGradientDescentDirection) {
+  Slot s;
+  Adam opt(0.01);
+  opt.attach({&s.param}, {&s.grad});
+  const float before0 = s.param.at(0);
+  const float before1 = s.param.at(1);
+  opt.step();
+  EXPECT_LT(s.param.at(0), before0);  // positive grad → decrease
+  EXPECT_GT(s.param.at(1), before1);  // negative grad → increase
+}
+
+TEST(Adam, FirstStepSizeApproximatelyLr) {
+  // With bias correction, |Δw| ≈ lr for the first step regardless of
+  // gradient magnitude.
+  Slot s;
+  s.grad = Tensor(Shape{2}, {100.0f, -0.001f});
+  Adam opt(0.01);
+  opt.attach({&s.param}, {&s.grad});
+  opt.step();
+  EXPECT_NEAR(std::abs(s.param.at(0) - 1.0f), 0.01f, 1e-4);
+  EXPECT_NEAR(std::abs(s.param.at(1) - 2.0f), 0.01f, 2e-3);
+}
+
+TEST(Optimizer, AttachValidation) {
+  Slot s;
+  Sgd opt(0.1);
+  Tensor wrong_shape(Shape{3});
+  EXPECT_THROW(opt.attach({&s.param}, {&wrong_shape}),
+               std::invalid_argument);
+  EXPECT_THROW(opt.attach({&s.param}, {}), std::invalid_argument);
+  EXPECT_THROW(opt.step(), std::invalid_argument);  // not attached
+}
+
+TEST(Optimizer, ConstructorValidation) {
+  EXPECT_THROW(Sgd(0.0), std::invalid_argument);
+  EXPECT_THROW(Sgd(0.1, -1.0), std::invalid_argument);
+  EXPECT_THROW(MomentumSgd(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(Adam(0.1, 0.9, 0.999, 0.0), std::invalid_argument);
+}
+
+TEST(Optimizer, TrainsSmallModelToLowLoss) {
+  // End-to-end: a 2-layer MLP learns XOR-ish synthetic labels.
+  Rng rng(1);
+  auto model = gsfl::nn::make_mlp(2, {16}, 2, rng);
+  Adam opt(0.02);
+  opt.attach(model.parameters(), model.gradients());
+
+  // Four points, labels = XOR of sign bits.
+  const Tensor x(Shape{4, 2}, {-1, -1, -1, 1, 1, -1, 1, 1});
+  const std::int32_t labels[] = {0, 1, 1, 0};
+
+  double last_loss = 0.0;
+  for (int iter = 0; iter < 300; ++iter) {
+    model.zero_grad();
+    const auto logits = model.forward(x, true);
+    const auto loss = gsfl::nn::softmax_cross_entropy(logits, labels);
+    (void)model.backward(loss.grad_logits);
+    opt.step();
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, 0.05);
+}
+
+TEST(Optimizer, SgdDecreasesLossMonotonicallyOnQuadratic) {
+  // Minimize ||w||² directly: grad = 2w.
+  Tensor w(Shape{3}, {3.0f, -4.0f, 5.0f});
+  Tensor g(Shape{3});
+  Sgd opt(0.1);
+  opt.attach({&w}, {&g});
+  double prev = w.squared_norm();
+  for (int i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) g.at(j) = 2.0f * w.at(j);
+    opt.step();
+    const double now = w.squared_norm();
+    EXPECT_LT(now, prev);
+    prev = now;
+  }
+  EXPECT_LT(prev, 0.1);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/pooling.hpp"
+#include "support/gradcheck.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::AvgPool2d;
+using gsfl::nn::MaxPool2d;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(MaxPool, SelectsWindowMaxima) {
+  MaxPool2d pool(2);
+  const Tensor x(Shape{1, 1, 4, 4},
+                 {1,  2,  3,  4,
+                  5,  6,  7,  8,
+                  9, 10, 11, 12,
+                 13, 14, 15, 16});
+  const auto y = pool.forward(x, true);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 0), 14.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 1, 1), 16.0f);
+}
+
+TEST(MaxPool, HandlesNegativeValues) {
+  MaxPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 2}, {-5.0f, -3.0f, -8.0f, -4.0f});
+  const auto y = pool.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0), -3.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmaxOnly) {
+  MaxPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 2}, {1.0f, 9.0f, 3.0f, 2.0f});
+  (void)pool.forward(x, true);
+  const auto g = pool.backward(Tensor(Shape{1, 1, 1, 1}, {5.0f}));
+  EXPECT_FLOAT_EQ(g.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(1), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(2), 0.0f);
+  EXPECT_FLOAT_EQ(g.at(3), 0.0f);
+}
+
+TEST(MaxPool, OverlappingStrideGeometry) {
+  MaxPool2d pool(3, 1);
+  const auto x = Tensor::arange(25).reshape(Shape{1, 1, 5, 5});
+  const auto y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 3, 3}));
+  // Window at (0,0) covers rows 0..2, cols 0..2 → max = 12.
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 12.0f);
+  // Window at (2,2) covers rows 2..4, cols 2..4 → max = 24.
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 2, 2), 24.0f);
+}
+
+TEST(MaxPool, GradientCheckOnDistinctValues) {
+  Rng rng(1);
+  MaxPool2d pool(2);
+  // arange guarantees unique values → no argmax ties under perturbation.
+  auto input = Tensor::arange(32).reshape(Shape{1, 2, 4, 4});
+  gsfl::test::check_input_gradient(pool, input, rng);
+}
+
+TEST(AvgPool, AveragesWindows) {
+  AvgPool2d pool(2);
+  const Tensor x(Shape{1, 1, 2, 4}, {1, 3, 5, 7, 9, 11, 13, 15});
+  const auto y = pool.forward(x, true);
+  ASSERT_EQ(y.shape(), Shape({1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 10.0f);
+}
+
+TEST(AvgPool, BackwardSpreadsUniformly) {
+  AvgPool2d pool(2);
+  const auto x = Tensor::ones(Shape{1, 1, 2, 2});
+  (void)pool.forward(x, true);
+  const auto g = pool.backward(Tensor(Shape{1, 1, 1, 1}, {8.0f}));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g.at(i), 2.0f);
+}
+
+TEST(AvgPool, GradientCheck) {
+  Rng rng(2);
+  AvgPool2d pool(2);
+  auto input = Tensor::uniform(Shape{2, 2, 4, 4}, rng, -1, 1);
+  gsfl::test::check_input_gradient(pool, input, rng);
+}
+
+TEST(Pooling, BatchAndChannelIndependence) {
+  Rng rng(3);
+  MaxPool2d pool(2);
+  const auto x = Tensor::uniform(Shape{3, 4, 6, 6}, rng, -1, 1);
+  const auto y = pool.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({3, 4, 3, 3}));
+  // Pooling image 1 alone matches the batched result.
+  const auto single = x.slice0(1, 2);
+  MaxPool2d pool2(2);
+  const auto y_single = pool2.forward(single, true);
+  for (std::size_t i = 0; i < y_single.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y_single.at(i), y.at(y.numel() / 3 + i));
+  }
+}
+
+TEST(Pooling, TooSmallInputThrows) {
+  MaxPool2d pool(4);
+  EXPECT_THROW((void)pool.forward(Tensor(Shape{1, 1, 3, 3}), true),
+               std::invalid_argument);
+}
+
+TEST(Pooling, BackwardWithoutForwardThrows) {
+  MaxPool2d max_pool(2);
+  AvgPool2d avg_pool(2);
+  EXPECT_THROW((void)max_pool.backward(Tensor(Shape{1, 1, 2, 2})),
+               std::invalid_argument);
+  EXPECT_THROW((void)avg_pool.backward(Tensor(Shape{1, 1, 2, 2})),
+               std::invalid_argument);
+}
+
+TEST(Pooling, NamesAndClones) {
+  MaxPool2d max_pool(2);
+  AvgPool2d avg_pool(3, 2);
+  EXPECT_EQ(max_pool.name(), "maxpool2d(k2,s2)");
+  EXPECT_EQ(avg_pool.name(), "avgpool2d(k3,s2)");
+  EXPECT_NE(max_pool.clone(), nullptr);
+  EXPECT_NE(avg_pool.clone(), nullptr);
+  EXPECT_TRUE(max_pool.parameters().empty());
+}
+
+}  // namespace

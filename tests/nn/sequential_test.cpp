@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/activations.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/nn/sequential.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::Dense;
+using gsfl::nn::make_mlp;
+using gsfl::nn::Relu;
+using gsfl::nn::Sequential;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+Sequential two_layer(Rng& rng) {
+  Sequential model;
+  model.emplace<Dense>(4, 8, rng);
+  model.emplace<Relu>();
+  model.emplace<Dense>(8, 3, rng);
+  return model;
+}
+
+TEST(Sequential, ForwardComposesLayers) {
+  Rng rng(1);
+  auto model = two_layer(rng);
+  const auto x = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  const auto y = model.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 3}));
+
+  // Manually compose the same layers.
+  auto manual = model.layer(2).forward(
+      model.layer(1).forward(model.layer(0).forward(x, true), true), true);
+  EXPECT_EQ(y, manual);
+}
+
+TEST(Sequential, BackwardChainsInReverse) {
+  Rng rng(2);
+  auto model = two_layer(rng);
+  const auto x = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  (void)model.forward(x, true);
+  const auto g = model.backward(Tensor::ones(Shape{2, 3}));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Sequential, ParameterAndGradientOrderingAligned) {
+  Rng rng(3);
+  auto model = two_layer(rng);
+  const auto params = model.parameters();
+  const auto grads = model.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  ASSERT_EQ(params.size(), 4u);  // two Dense layers, W+b each
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i]->shape(), grads[i]->shape());
+  }
+}
+
+TEST(Sequential, StateRoundTrip) {
+  Rng rng(4);
+  auto a = two_layer(rng);
+  auto b = two_layer(rng);  // different weights (same architecture)
+  const auto x = Tensor::uniform(Shape{1, 4}, rng, -1, 1);
+  EXPECT_NE(a.forward(x, false), b.forward(x, false));
+
+  b.load_state(a.state());
+  EXPECT_EQ(a.forward(x, false), b.forward(x, false));
+}
+
+TEST(Sequential, LoadStateValidatesShapeAndCount) {
+  Rng rng(5);
+  auto model = two_layer(rng);
+  auto state = model.state();
+  state.pop_back();
+  EXPECT_THROW(model.load_state(state), std::invalid_argument);
+
+  auto bad_shape = model.state();
+  bad_shape[0] = Tensor(Shape{1});
+  EXPECT_THROW(model.load_state(bad_shape), std::invalid_argument);
+}
+
+TEST(Sequential, CopyIsDeep) {
+  Rng rng(6);
+  auto original = two_layer(rng);
+  Sequential copy = original;
+  const auto x = Tensor::uniform(Shape{1, 4}, rng, -1, 1);
+  const auto before = original.forward(x, false);
+  copy.parameters()[0]->fill(0.0f);
+  EXPECT_EQ(original.forward(x, false), before);
+  EXPECT_NE(copy.forward(x, false), before);
+}
+
+TEST(Sequential, MoveKeepsBehaviour) {
+  Rng rng(7);
+  auto original = two_layer(rng);
+  const auto x = Tensor::uniform(Shape{1, 4}, rng, -1, 1);
+  const auto expected = original.forward(x, false);
+  Sequential moved = std::move(original);
+  EXPECT_EQ(moved.forward(x, false), expected);
+}
+
+TEST(Sequential, SplitPartitionsLayers) {
+  Rng rng(8);
+  auto model = two_layer(rng);
+  const auto [head, tail] = model.split(1);
+  EXPECT_EQ(head.size(), 1u);
+  EXPECT_EQ(tail.size(), 2u);
+
+  const auto x = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  auto head_copy = head;
+  auto tail_copy = tail;
+  const auto composed =
+      tail_copy.forward(head_copy.forward(x, false), false);
+  EXPECT_EQ(composed, model.forward(x, false));
+}
+
+TEST(Sequential, SplitAtExtremes) {
+  Rng rng(9);
+  auto model = two_layer(rng);
+  const auto [empty_head, full_tail] = model.split(0);
+  EXPECT_TRUE(empty_head.empty());
+  EXPECT_EQ(full_tail.size(), 3u);
+  const auto [full_head, empty_tail] = model.split(3);
+  EXPECT_EQ(full_head.size(), 3u);
+  EXPECT_TRUE(empty_tail.empty());
+  EXPECT_THROW(model.split(4), std::invalid_argument);
+}
+
+TEST(Sequential, ConcatenateInvertsSplit) {
+  Rng rng(10);
+  auto model = two_layer(rng);
+  const auto [head, tail] = model.split(2);
+  auto rejoined = Sequential::concatenate(head, tail);
+  const auto x = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  EXPECT_EQ(rejoined.forward(x, false), model.forward(x, false));
+  EXPECT_EQ(rejoined.parameter_count(), model.parameter_count());
+}
+
+TEST(Sequential, OutputShapeWalksLayers) {
+  Rng rng(11);
+  auto model = two_layer(rng);
+  EXPECT_EQ(model.output_shape(Shape{5, 4}), Shape({5, 3}));
+  const auto shapes = model.layer_output_shapes(Shape{5, 4});
+  ASSERT_EQ(shapes.size(), 3u);
+  EXPECT_EQ(shapes[0], Shape({5, 8}));
+  EXPECT_EQ(shapes[1], Shape({5, 8}));
+  EXPECT_EQ(shapes[2], Shape({5, 3}));
+}
+
+TEST(Sequential, FlopsAreSumOfLayerFlops) {
+  Rng rng(12);
+  auto model = two_layer(rng);
+  const auto total = model.flops(Shape{2, 4});
+  std::uint64_t manual_fwd = 0;
+  Shape s{2, 4};
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    manual_fwd += model.layer(i).flops(s).forward;
+    s = model.layer(i).output_shape(s);
+  }
+  EXPECT_EQ(total.forward, manual_fwd);
+}
+
+TEST(Sequential, StateBytesCountsFloats) {
+  Rng rng(13);
+  auto model = two_layer(rng);
+  EXPECT_EQ(model.state_bytes(), model.parameter_count() * sizeof(float));
+}
+
+TEST(Sequential, SummaryMentionsLayersAndParams) {
+  Rng rng(14);
+  auto model = two_layer(rng);
+  const auto text = model.summary(Shape{1, 4});
+  EXPECT_NE(text.find("dense(4->8)"), std::string::npos);
+  EXPECT_NE(text.find("relu"), std::string::npos);
+  EXPECT_NE(text.find("parameters:"), std::string::npos);
+}
+
+TEST(Sequential, ZeroGradClearsAllLayers) {
+  Rng rng(15);
+  auto model = two_layer(rng);
+  const auto x = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  (void)model.forward(x, true);
+  (void)model.backward(Tensor::ones(Shape{2, 3}));
+  model.zero_grad();
+  for (const auto* g : model.gradients()) {
+    for (const float v : g->data()) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+TEST(Sequential, AddNullLayerThrows) {
+  Sequential model;
+  EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+}
+
+TEST(Sequential, MakeMlpTopology) {
+  Rng rng(16);
+  auto mlp = make_mlp(10, {32, 16}, 4, rng);
+  EXPECT_EQ(mlp.size(), 5u);  // dense relu dense relu dense
+  EXPECT_EQ(mlp.output_shape(Shape{3, 10}), Shape({3, 4}));
+}
+
+}  // namespace

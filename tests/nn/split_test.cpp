@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/loss.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/nn/split.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::CnnConfig;
+using gsfl::nn::make_gtsrb_cnn;
+using gsfl::nn::make_mlp;
+using gsfl::nn::Sequential;
+using gsfl::nn::SplitModel;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+CnnConfig small_cnn_config() {
+  CnnConfig config;
+  config.image_size = 8;
+  config.classes = 4;
+  config.conv1_filters = 4;
+  config.conv2_filters = 6;
+  config.hidden = 16;
+  return config;
+}
+
+TEST(SplitModel, ForwardEqualsUnsplitModelExactly) {
+  Rng rng(1);
+  const auto full = make_gtsrb_cnn(small_cnn_config(), rng);
+  const auto x = Tensor::uniform(Shape{3, 3, 8, 8}, rng, 0, 1);
+
+  auto reference = full;
+  const auto expected = reference.forward(x, false);
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    SplitModel split(full, cut);
+    const auto actual = split.forward(x, false);
+    EXPECT_EQ(actual, expected) << "cut layer " << cut;
+  }
+}
+
+TEST(SplitModel, BackwardGradsMatchUnsplitExactly) {
+  Rng rng(2);
+  const auto full = make_mlp(6, {10, 8}, 3, rng);
+  const auto x = Tensor::uniform(Shape{4, 6}, rng, -1, 1);
+  const std::int32_t labels[] = {0, 1, 2, 1};
+
+  // Reference: full model forward/backward.
+  auto reference = full;
+  reference.zero_grad();
+  const auto logits_ref = reference.forward(x, true);
+  const auto loss_ref = gsfl::nn::softmax_cross_entropy(logits_ref, labels);
+  (void)reference.backward(loss_ref.grad_logits);
+  const auto ref_grads = reference.gradients();
+
+  // Split at layer 2 (dense|relu // dense|dense...).
+  SplitModel split(full, 2);
+  split.zero_grad();
+  const auto smashed = split.client_forward(x, true);
+  const auto logits = split.server_forward(smashed, true);
+  const auto loss = gsfl::nn::softmax_cross_entropy(logits, labels);
+  EXPECT_DOUBLE_EQ(loss.loss, loss_ref.loss);
+  const auto grad_smashed = split.server_backward(loss.grad_logits);
+  split.client_backward(grad_smashed);
+
+  std::vector<Tensor*> split_grads;
+  for (auto* g : split.client().gradients()) split_grads.push_back(g);
+  for (auto* g : split.server().gradients()) split_grads.push_back(g);
+  ASSERT_EQ(split_grads.size(), ref_grads.size());
+  for (std::size_t i = 0; i < split_grads.size(); ++i) {
+    EXPECT_EQ(*split_grads[i], *ref_grads[i]) << "gradient slot " << i;
+  }
+}
+
+TEST(SplitModel, SmashedShapeMatchesClientOutput) {
+  Rng rng(3);
+  const auto full = make_gtsrb_cnn(small_cnn_config(), rng);
+  SplitModel split(full, 3);  // after conv-relu-pool
+  const Shape input{2, 3, 8, 8};
+  EXPECT_EQ(split.smashed_shape(input), Shape({2, 4, 4, 4}));
+  EXPECT_EQ(split.smashed_bytes(input), 2u * 4u * 4u * 4u * sizeof(float));
+}
+
+TEST(SplitModel, StateBytesPartitionTheModel) {
+  Rng rng(4);
+  const auto full = make_gtsrb_cnn(small_cnn_config(), rng);
+  auto full_copy = full;
+  const std::size_t total = full_copy.state_bytes();
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    SplitModel split(full, cut);
+    EXPECT_EQ(split.client_state_bytes() + split.server_state_bytes(), total)
+        << "cut layer " << cut;
+  }
+}
+
+TEST(SplitModel, FlopsPartitionTheModel) {
+  Rng rng(5);
+  const auto full = make_gtsrb_cnn(small_cnn_config(), rng);
+  auto full_copy = full;
+  const Shape input{2, 3, 8, 8};
+  const auto total = full_copy.flops(input);
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    SplitModel split(full, cut);
+    const auto client = split.client_flops(input);
+    const auto server = split.server_flops(input);
+    EXPECT_EQ(client.forward + server.forward, total.forward)
+        << "cut layer " << cut;
+    EXPECT_EQ(client.backward + server.backward, total.backward)
+        << "cut layer " << cut;
+  }
+}
+
+TEST(SplitModel, MergedReassemblesFullModel) {
+  Rng rng(6);
+  const auto full = make_mlp(5, {7}, 3, rng);
+  SplitModel split(full, 1);
+  auto merged = split.merged();
+  auto original = full;
+  const auto x = Tensor::uniform(Shape{2, 5}, rng, -1, 1);
+  EXPECT_EQ(merged.forward(x, false), original.forward(x, false));
+}
+
+TEST(SplitModel, MergedReflectsTrainingUpdates) {
+  Rng rng(7);
+  const auto full = make_mlp(4, {6}, 2, rng);
+  SplitModel split(full, 1);
+  // Nudge a client-side weight; merged() must carry the change.
+  split.client().parameters()[0]->at(0) += 1.0f;
+  auto merged = split.merged();
+  auto original = full;
+  EXPECT_NE(merged.state()[0], original.state()[0]);
+  EXPECT_FLOAT_EQ(merged.state()[0].at(0),
+                  original.state()[0].at(0) + 1.0f);
+}
+
+TEST(SplitModel, CutLayerZeroMeansServerOnly) {
+  Rng rng(8);
+  const auto full = make_mlp(4, {6}, 2, rng);
+  SplitModel split(full, 0);
+  EXPECT_TRUE(split.client().empty());
+  const auto x = Tensor::uniform(Shape{1, 4}, rng, -1, 1);
+  // Smashed data is just the input.
+  EXPECT_EQ(split.client_forward(x, true), x);
+  EXPECT_EQ(split.client_state_bytes(), 0u);
+}
+
+TEST(SplitModel, DirectHalvesConstructor) {
+  Rng rng(9);
+  auto full = make_mlp(4, {6}, 2, rng);
+  auto [head, tail] = full.split(2);
+  SplitModel split(std::move(head), std::move(tail));
+  EXPECT_EQ(split.cut_layer(), 2u);
+  const auto x = Tensor::uniform(Shape{1, 4}, rng, -1, 1);
+  EXPECT_EQ(split.forward(x, false), full.forward(x, false));
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/schemes/aggregate.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::StateDict;
+using gsfl::schemes::aggregation_flops;
+using gsfl::schemes::fedavg_models;
+using gsfl::schemes::fedavg_states;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+StateDict make_state(float value) {
+  StateDict s;
+  s.push_back(Tensor::full(Shape{2, 2}, value));
+  s.push_back(Tensor::full(Shape{3}, value * 10));
+  return s;
+}
+
+TEST(FedAvg, IdenticalReplicasAreFixedPoint) {
+  const std::vector<StateDict> states = {make_state(2.0f), make_state(2.0f),
+                                         make_state(2.0f)};
+  const double weights[] = {1.0, 1.0, 1.0};
+  const auto avg = fedavg_states(states, weights);
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_EQ(avg[0], states[0][0]);
+  EXPECT_EQ(avg[1], states[0][1]);
+}
+
+TEST(FedAvg, EqualWeightsGiveMean) {
+  const std::vector<StateDict> states = {make_state(1.0f), make_state(3.0f)};
+  const double weights[] = {1.0, 1.0};
+  const auto avg = fedavg_states(states, weights);
+  EXPECT_FLOAT_EQ(avg[0].at(0), 2.0f);
+  EXPECT_FLOAT_EQ(avg[1].at(0), 20.0f);
+}
+
+TEST(FedAvg, WeightsNeedNotBeNormalized) {
+  const std::vector<StateDict> states = {make_state(0.0f), make_state(4.0f)};
+  const double weights[] = {30.0, 10.0};  // effective 3/4, 1/4
+  const auto avg = fedavg_states(states, weights);
+  EXPECT_FLOAT_EQ(avg[0].at(0), 1.0f);
+}
+
+TEST(FedAvg, SampleWeightedMeanMatchesHandComputation) {
+  const std::vector<StateDict> states = {make_state(1.0f), make_state(2.0f),
+                                         make_state(6.0f)};
+  const double weights[] = {10.0, 20.0, 10.0};
+  const auto avg = fedavg_states(states, weights);
+  // (10·1 + 20·2 + 10·6) / 40 = 110/40.
+  EXPECT_NEAR(avg[0].at(0), 110.0f / 40.0f, 1e-6);
+}
+
+TEST(FedAvg, ZeroWeightReplicaIgnored) {
+  const std::vector<StateDict> states = {make_state(1.0f),
+                                         make_state(100.0f)};
+  const double weights[] = {1.0, 0.0};
+  const auto avg = fedavg_states(states, weights);
+  EXPECT_FLOAT_EQ(avg[0].at(0), 1.0f);
+}
+
+TEST(FedAvg, Validation) {
+  const std::vector<StateDict> states = {make_state(1.0f)};
+  const double ok[] = {1.0};
+  const double neg[] = {-1.0};
+  const double zero[] = {0.0};
+  const double two[] = {1.0, 1.0};
+  EXPECT_NO_THROW(fedavg_states(states, ok));
+  EXPECT_THROW(fedavg_states(states, neg), std::invalid_argument);
+  EXPECT_THROW(fedavg_states(states, zero), std::invalid_argument);
+  EXPECT_THROW(fedavg_states(states, two), std::invalid_argument);
+  EXPECT_THROW(fedavg_states({}, {}), std::invalid_argument);
+
+  std::vector<StateDict> mismatched = {make_state(1.0f), make_state(2.0f)};
+  mismatched[1].pop_back();
+  EXPECT_THROW(fedavg_states(mismatched, two), std::invalid_argument);
+}
+
+TEST(FedAvg, ModelsOverloadMatchesStates) {
+  Rng rng(1);
+  auto a = gsfl::test::make_tiny_model(rng);
+  auto b = gsfl::test::make_tiny_model(rng);  // different weights
+  const gsfl::nn::Sequential* models[] = {&a, &b};
+  const double weights[] = {1.0, 3.0};
+  const auto via_models = fedavg_models(models, weights);
+  const std::vector<StateDict> states = {a.state(), b.state()};
+  const auto via_states = fedavg_states(states, weights);
+  ASSERT_EQ(via_models.size(), via_states.size());
+  for (std::size_t i = 0; i < via_models.size(); ++i) {
+    EXPECT_EQ(via_models[i], via_states[i]);
+  }
+}
+
+TEST(FedAvg, AggregatedStateLoadsBack) {
+  Rng rng(2);
+  auto a = gsfl::test::make_tiny_model(rng);
+  auto b = gsfl::test::make_tiny_model(rng);
+  const std::vector<StateDict> states = {a.state(), b.state()};
+  const double weights[] = {1.0, 1.0};
+  auto c = gsfl::test::make_tiny_model(rng);
+  EXPECT_NO_THROW(c.load_state(fedavg_states(states, weights)));
+}
+
+TEST(AggregationFlops, TwoFlopsPerScalarPerReplica) {
+  EXPECT_DOUBLE_EQ(aggregation_flops(100, 6), 1200.0);
+  EXPECT_DOUBLE_EQ(aggregation_flops(0, 6), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/metrics/evaluate.hpp"
+#include "gsfl/schemes/centralized.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::schemes::CentralizedTrainer;
+using gsfl::schemes::TrainConfig;
+
+TEST(Centralized, LossDecreasesOverRounds) {
+  const auto network = gsfl::test::make_tiny_network(3);
+  Rng rng(1);
+  TrainConfig config;
+  config.learning_rate = 0.1;
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(3, 16, 1),
+                             gsfl::test::make_tiny_model(rng), config);
+  const double first = trainer.run_round().train_loss;
+  double last = first;
+  for (int i = 0; i < 10; ++i) last = trainer.run_round().train_loss;
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(Centralized, LearnsSeparableTask) {
+  const auto network = gsfl::test::make_tiny_network(3);
+  Rng rng(2);
+  Rng test_rng(55);
+  const auto test_set = gsfl::test::make_separable_dataset(48, test_rng);
+  TrainConfig config;
+  config.learning_rate = 0.2;
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(3, 24, 2),
+                             gsfl::test::make_tiny_model(rng), config);
+  for (int i = 0; i < 30; ++i) (void)trainer.run_round();
+  auto model = trainer.global_model();
+  EXPECT_GT(gsfl::metrics::evaluate(model, test_set).accuracy, 0.9);
+}
+
+TEST(Centralized, RawDataUploadChargedExactlyOnce) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(3);
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(2, 16, 3),
+                             gsfl::test::make_tiny_model(rng), TrainConfig{});
+  const auto first = trainer.run_round().latency;
+  const auto second = trainer.run_round().latency;
+  EXPECT_GT(first.uplink, 0.0);
+  EXPECT_DOUBLE_EQ(second.uplink, 0.0);
+  // Compute cost is identical every round.
+  EXPECT_NEAR(first.server_compute, second.server_compute, 1e-9);
+}
+
+TEST(Centralized, AllComputeOnServer) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(4);
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(2, 16, 4),
+                             gsfl::test::make_tiny_model(rng), TrainConfig{});
+  const auto latency = trainer.run_round().latency;
+  EXPECT_DOUBLE_EQ(latency.client_compute, 0.0);
+  EXPECT_GT(latency.server_compute, 0.0);
+  EXPECT_DOUBLE_EQ(latency.relay, 0.0);
+  EXPECT_DOUBLE_EQ(latency.aggregation, 0.0);
+  EXPECT_DOUBLE_EQ(latency.downlink, 0.0);
+}
+
+TEST(Centralized, GlobalModelIsIndependentCopy) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(5);
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(2, 8, 5),
+                             gsfl::test::make_tiny_model(rng), TrainConfig{});
+  auto snapshot = trainer.global_model();
+  (void)trainer.run_round();
+  auto after = trainer.global_model();
+  EXPECT_FALSE(gsfl::test::states_equal(snapshot, after));
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/metrics/evaluate.hpp"
+#include "gsfl/schemes/centralized.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::schemes::CentralizedTrainer;
+using gsfl::schemes::FedAvgTrainer;
+using gsfl::schemes::TrainConfig;
+
+TEST(FedAvgTrainer, SingleClientOneEpochEqualsCentralized) {
+  // FL with one client and one local epoch is CL on that client's data,
+  // step for step — both use the same sampler stream for client 0.
+  const auto network = gsfl::test::make_tiny_network(1);
+  const auto data = gsfl::test::make_client_datasets(1, 16, 7);
+  Rng rng(7);
+  const auto init = gsfl::test::make_tiny_model(rng);
+  TrainConfig config;
+  config.local_epochs = 1;
+
+  FedAvgTrainer fl(network, data, init, config);
+  CentralizedTrainer cl(network, data, init, config);
+
+  for (int round = 0; round < 4; ++round) {
+    (void)fl.run_round();
+    (void)cl.run_round();
+    EXPECT_TRUE(gsfl::test::states_equal(fl.global_model(),
+                                         cl.global_model()))
+        << "diverged at round " << round;
+  }
+}
+
+TEST(FedAvgTrainer, LossDecreasesAndModelLearns) {
+  const auto network = gsfl::test::make_tiny_network(4);
+  Rng rng(8);
+  Rng test_rng(66);
+  const auto test_set = gsfl::test::make_separable_dataset(48, test_rng);
+  TrainConfig config;
+  config.learning_rate = 0.15;
+  FedAvgTrainer trainer(network, gsfl::test::make_client_datasets(4, 16, 8),
+                        gsfl::test::make_tiny_model(rng), config);
+  const double first = trainer.run_round().train_loss;
+  for (int i = 0; i < 25; ++i) (void)trainer.run_round();
+  auto model = trainer.global_model();
+  EXPECT_GT(gsfl::metrics::evaluate(model, test_set).accuracy, 0.85);
+  EXPECT_LT(trainer.run_round().train_loss, first);
+}
+
+TEST(FedAvgTrainer, LatencyHasAllFlComponents) {
+  const auto network = gsfl::test::make_tiny_network(3);
+  Rng rng(9);
+  FedAvgTrainer trainer(network, gsfl::test::make_client_datasets(3, 8, 9),
+                        gsfl::test::make_tiny_model(rng), TrainConfig{});
+  const auto latency = trainer.run_round().latency;
+  EXPECT_GT(latency.downlink, 0.0);    // model distribution
+  EXPECT_GT(latency.client_compute, 0.0);
+  EXPECT_GT(latency.uplink, 0.0);      // model upload
+  EXPECT_GT(latency.aggregation, 0.0);
+  EXPECT_DOUBLE_EQ(latency.server_compute, 0.0);  // no split training
+  EXPECT_DOUBLE_EQ(latency.relay, 0.0);
+}
+
+TEST(FedAvgTrainer, MoreLocalEpochsMoreComputePerRound) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(10);
+  const auto data = gsfl::test::make_client_datasets(2, 16, 10);
+  const auto init = gsfl::test::make_tiny_model(rng);
+
+  TrainConfig one;
+  one.local_epochs = 1;
+  TrainConfig three;
+  three.local_epochs = 3;
+  FedAvgTrainer fl1(network, data, init, one);
+  FedAvgTrainer fl3(network, data, init, three);
+  const auto l1 = fl1.run_round().latency;
+  const auto l3 = fl3.run_round().latency;
+  EXPECT_NEAR(l3.client_compute / l1.client_compute, 3.0, 0.01);
+  // Communication cost is per-round, not per-epoch.
+  EXPECT_NEAR(l3.uplink, l1.uplink, 1e-9);
+}
+
+TEST(FedAvgTrainer, RoundLatencyIsSlowestClientChain) {
+  // With heterogeneous devices, the round span must exceed what the fastest
+  // client alone would need and match a single-client run of the slowest.
+  gsfl::net::NetworkConfig config;
+  std::vector<gsfl::net::DeviceProfile> devices(2);
+  devices[0].distance_m = 20.0;
+  devices[0].compute_flops = 1e10;  // fast
+  devices[1].distance_m = 20.0;
+  devices[1].compute_flops = 1e8;   // slow
+  const gsfl::net::WirelessNetwork network(config, std::move(devices));
+
+  Rng rng(11);
+  const auto data = gsfl::test::make_client_datasets(2, 16, 11);
+  FedAvgTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                        TrainConfig{});
+  const auto latency = trainer.run_round().latency;
+
+  // The slow client's compute dominates: 100× slower device.
+  EXPECT_GT(latency.client_compute, 0.0);
+  // Attribution follows the critical client, whose compute time is ~100×
+  // the fast one's; verify the magnitude is the slow one's.
+  gsfl::net::NetworkConfig config2;
+  std::vector<gsfl::net::DeviceProfile> only_slow(1);
+  only_slow[0].distance_m = 20.0;
+  only_slow[0].compute_flops = 1e8;
+  const gsfl::net::WirelessNetwork slow_net(config2, std::move(only_slow));
+  FedAvgTrainer slow_only(slow_net,
+                          {gsfl::test::make_client_datasets(2, 16, 11)[1]},
+                          gsfl::test::make_tiny_model(rng), TrainConfig{});
+  const auto slow_latency = slow_only.run_round().latency;
+  EXPECT_NEAR(latency.client_compute, slow_latency.client_compute, 1e-6);
+}
+
+TEST(FedAvgTrainer, AggregationEqualizesIdenticalClients) {
+  // Two clients with identical data and identical sampler streams produce
+  // identical local models; FedAvg of identical models = that model, so
+  // training still progresses (loss decreases).
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(12);
+  auto one_client = gsfl::test::make_client_datasets(1, 16, 12);
+  std::vector<gsfl::data::Dataset> duplicated = {one_client[0], one_client[0]};
+  FedAvgTrainer trainer(network, duplicated, gsfl::test::make_tiny_model(rng),
+                        TrainConfig{});
+  const double first = trainer.run_round().train_loss;
+  double last = first;
+  for (int i = 0; i < 8; ++i) last = trainer.run_round().train_loss;
+  EXPECT_LT(last, first);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/metrics/evaluate.hpp"
+#include "gsfl/schemes/centralized.hpp"
+#include "gsfl/schemes/split_learning.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::schemes::CentralizedTrainer;
+using gsfl::schemes::SplitLearningTrainer;
+using gsfl::schemes::TrainConfig;
+
+TEST(SplitLearning, SingleClientEqualsCentralizedExactly) {
+  // Splitting a model does not change the math: SL with one client performs
+  // the same SGD steps as CL on that client's data.
+  const auto network = gsfl::test::make_tiny_network(1);
+  const auto data = gsfl::test::make_client_datasets(1, 16, 21);
+  Rng rng(21);
+  const auto init = gsfl::test::make_tiny_model(rng);
+  TrainConfig config;
+
+  SplitLearningTrainer sl(network, data, init, gsfl::test::kTinyCut, config);
+  CentralizedTrainer cl(network, data, init, config);
+
+  for (int round = 0; round < 4; ++round) {
+    (void)sl.run_round();
+    (void)cl.run_round();
+    EXPECT_TRUE(gsfl::test::states_equal(sl.global_model(),
+                                         cl.global_model()))
+        << "diverged at round " << round;
+  }
+}
+
+TEST(SplitLearning, MultiClientEqualsCentralizedOnConcatenatedStream) {
+  // Vanilla SL is sequential SGD across clients — per round it visits every
+  // client's local epoch in order, which matches CL only in expectation,
+  // not exactly (different batch interleave). Verify they reach similar
+  // accuracy rather than exact equality.
+  const auto network = gsfl::test::make_tiny_network(3);
+  const auto data = gsfl::test::make_client_datasets(3, 16, 22);
+  Rng rng(22);
+  Rng test_rng(23);
+  const auto test_set = gsfl::test::make_separable_dataset(48, test_rng);
+  const auto init = gsfl::test::make_tiny_model(rng);
+  TrainConfig config;
+  config.learning_rate = 0.15;
+
+  SplitLearningTrainer sl(network, data, init, gsfl::test::kTinyCut, config);
+  for (int i = 0; i < 25; ++i) (void)sl.run_round();
+  auto model = sl.global_model();
+  EXPECT_GT(gsfl::metrics::evaluate(model, test_set).accuracy, 0.85);
+}
+
+TEST(SplitLearning, LatencyShapeSequentialAcrossClients) {
+  const auto network = gsfl::test::make_tiny_network(4);
+  Rng rng(24);
+  SplitLearningTrainer trainer(network,
+                               gsfl::test::make_client_datasets(4, 8, 24),
+                               gsfl::test::make_tiny_model(rng),
+                               gsfl::test::kTinyCut, TrainConfig{});
+  const auto first = trainer.run_round().latency;
+  EXPECT_GT(first.client_compute, 0.0);
+  EXPECT_GT(first.server_compute, 0.0);  // split training touches the server
+  EXPECT_GT(first.uplink, 0.0);          // smashed data
+  EXPECT_GT(first.downlink, 0.0);        // gradients + initial distribution
+  EXPECT_GT(first.relay, 0.0);           // model hand-offs between clients
+  EXPECT_DOUBLE_EQ(first.aggregation, 0.0);  // vanilla SL never aggregates
+
+  // Round 2 has no initial distribution but adds a wrap-around relay.
+  const auto second = trainer.run_round().latency;
+  EXPECT_GT(second.relay, first.relay);
+}
+
+TEST(SplitLearning, RoundLatencyScalesWithClientCount) {
+  Rng rng(25);
+  const auto init = gsfl::test::make_tiny_model(rng);
+  const auto network2 = gsfl::test::make_tiny_network(2);
+  const auto network6 = gsfl::test::make_tiny_network(6);
+
+  SplitLearningTrainer two(network2, gsfl::test::make_client_datasets(2, 8, 25),
+                           init, gsfl::test::kTinyCut, TrainConfig{});
+  SplitLearningTrainer six(network6, gsfl::test::make_client_datasets(6, 8, 25),
+                           init, gsfl::test::kTinyCut, TrainConfig{});
+  const double t2 = two.run_round().latency.total();
+  const double t6 = six.run_round().latency.total();
+  // Sequential training: ~3× the clients ⇒ roughly 3× the round time.
+  EXPECT_GT(t6, 2.0 * t2);
+}
+
+TEST(SplitLearning, ServerSideMustBeTrainable) {
+  const auto network = gsfl::test::make_tiny_network(1);
+  const auto data = gsfl::test::make_client_datasets(1, 8, 26);
+  Rng rng(26);
+  const auto init = gsfl::test::make_tiny_model(rng);
+  // Cut at the full depth leaves an empty (untrainable) server side.
+  EXPECT_THROW(SplitLearningTrainer(network, data, init, init.size(),
+                                    TrainConfig{}),
+               std::invalid_argument);
+}
+
+TEST(SplitLearning, CutLayerZeroStillTrains) {
+  // Degenerate split: everything on the server (privacy-free but legal).
+  const auto network = gsfl::test::make_tiny_network(2);
+  const auto data = gsfl::test::make_client_datasets(2, 8, 27);
+  Rng rng(27);
+  SplitLearningTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                               0, TrainConfig{});
+  const double first = trainer.run_round().train_loss;
+  double last = first;
+  for (int i = 0; i < 6; ++i) last = trainer.run_round().train_loss;
+  EXPECT_LT(last, first);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/schemes/centralized.hpp"
+#include "gsfl/schemes/trainer.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::schemes::CentralizedTrainer;
+using gsfl::schemes::ExperimentOptions;
+using gsfl::schemes::run_experiment;
+using gsfl::schemes::TrainConfig;
+
+TEST(Trainer, ConstructionValidation) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(1);
+  TrainConfig config;
+
+  // No clients.
+  EXPECT_THROW(CentralizedTrainer(network, {}, gsfl::test::make_tiny_model(rng),
+                                  config),
+               std::invalid_argument);
+
+  // More datasets than devices.
+  auto too_many = gsfl::test::make_client_datasets(3, 8, 1);
+  EXPECT_THROW(CentralizedTrainer(network, too_many,
+                                  gsfl::test::make_tiny_model(rng), config),
+               std::invalid_argument);
+
+  // Bad hyperparameters.
+  auto data = gsfl::test::make_client_datasets(2, 8, 1);
+  TrainConfig bad = config;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(
+      CentralizedTrainer(network, data, gsfl::test::make_tiny_model(rng), bad),
+      std::invalid_argument);
+  bad = config;
+  bad.batch_size = 0;
+  EXPECT_THROW(
+      CentralizedTrainer(network, data, gsfl::test::make_tiny_model(rng), bad),
+      std::invalid_argument);
+}
+
+TEST(Trainer, RoundCounterAdvances) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(2);
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(2, 8, 2),
+                             gsfl::test::make_tiny_model(rng), TrainConfig{});
+  EXPECT_EQ(trainer.rounds_completed(), 0u);
+  (void)trainer.run_round();
+  (void)trainer.run_round();
+  EXPECT_EQ(trainer.rounds_completed(), 2u);
+}
+
+TEST(RunExperiment, RecordsRequestedRounds) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(3);
+  Rng test_rng(99);
+  const auto test_set = gsfl::test::make_separable_dataset(16, test_rng);
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(2, 8, 3),
+                             gsfl::test::make_tiny_model(rng), TrainConfig{});
+
+  ExperimentOptions options;
+  options.rounds = 5;
+  const auto recorder = run_experiment(trainer, test_set, options);
+  EXPECT_EQ(recorder.rounds(), 5u);
+  EXPECT_EQ(recorder.records().front().round, 1u);
+  EXPECT_EQ(recorder.records().back().round, 5u);
+  // Simulated time strictly increases.
+  double prev = 0.0;
+  for (const auto& r : recorder.records()) {
+    EXPECT_GT(r.sim_seconds, prev);
+    prev = r.sim_seconds;
+  }
+}
+
+TEST(RunExperiment, EvalEverySkipsIntermediateRounds) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(4);
+  Rng test_rng(98);
+  const auto test_set = gsfl::test::make_separable_dataset(16, test_rng);
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(2, 8, 4),
+                             gsfl::test::make_tiny_model(rng), TrainConfig{});
+
+  ExperimentOptions options;
+  options.rounds = 7;
+  options.eval_every = 3;
+  const auto recorder = run_experiment(trainer, test_set, options);
+  // Evaluated at rounds 3, 6 and the final round 7.
+  ASSERT_EQ(recorder.rounds(), 3u);
+  EXPECT_EQ(recorder.records()[0].round, 3u);
+  EXPECT_EQ(recorder.records()[1].round, 6u);
+  EXPECT_EQ(recorder.records()[2].round, 7u);
+}
+
+TEST(RunExperiment, StopsEarlyAtTargetAccuracy) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(5);
+  Rng test_rng(97);
+  const auto test_set = gsfl::test::make_separable_dataset(32, test_rng);
+  TrainConfig config;
+  config.learning_rate = 0.2;
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(2, 32, 5),
+                             gsfl::test::make_tiny_model(rng), config);
+
+  ExperimentOptions options;
+  options.rounds = 500;
+  options.stop_at_accuracy = 0.9;  // separable task: reached quickly
+  const auto recorder = run_experiment(trainer, test_set, options);
+  EXPECT_LT(recorder.rounds(), 500u);
+  EXPECT_GE(recorder.final_accuracy(), 0.9);
+}
+
+TEST(RunExperiment, StopsAfterSimulatedSecondsBudget) {
+  const auto network = gsfl::test::make_tiny_network(2);
+  Rng rng(6);
+  Rng test_rng(96);
+  const auto test_set = gsfl::test::make_separable_dataset(16, test_rng);
+  CentralizedTrainer probe(network, gsfl::test::make_client_datasets(2, 8, 6),
+                           gsfl::test::make_tiny_model(rng), TrainConfig{});
+  const double one_round_seconds = probe.run_round().latency.total();
+
+  Rng rng2(6);
+  CentralizedTrainer trainer(network,
+                             gsfl::test::make_client_datasets(2, 8, 6),
+                             gsfl::test::make_tiny_model(rng2), TrainConfig{});
+  ExperimentOptions options;
+  options.rounds = 1000;
+  // Budget below the cost of the first round (which includes the one-off
+  // raw-data upload): the driver must stop right after round 1.
+  options.stop_after_seconds = one_round_seconds * 0.5;
+  const auto recorder = run_experiment(trainer, test_set, options);
+  EXPECT_EQ(recorder.rounds(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/sim/breakdown.hpp"
+
+namespace {
+
+using gsfl::sim::critical_branch;
+using gsfl::sim::LatencyBreakdown;
+using gsfl::sim::span_parallel;
+using gsfl::sim::span_sequential;
+
+LatencyBreakdown sample_breakdown() {
+  LatencyBreakdown b;
+  b.client_compute = 1.0;
+  b.server_compute = 2.0;
+  b.uplink = 3.0;
+  b.downlink = 4.0;
+  b.relay = 5.0;
+  b.aggregation = 6.0;
+  return b;
+}
+
+TEST(Breakdown, TotalSumsAllComponents) {
+  EXPECT_DOUBLE_EQ(sample_breakdown().total(), 21.0);
+  EXPECT_DOUBLE_EQ(LatencyBreakdown{}.total(), 0.0);
+}
+
+TEST(Breakdown, PlusAccumulatesComponentWise) {
+  auto a = sample_breakdown();
+  a += sample_breakdown();
+  EXPECT_DOUBLE_EQ(a.client_compute, 2.0);
+  EXPECT_DOUBLE_EQ(a.aggregation, 12.0);
+  EXPECT_DOUBLE_EQ(a.total(), 42.0);
+
+  const auto b = sample_breakdown() + sample_breakdown();
+  EXPECT_DOUBLE_EQ(b.total(), 42.0);
+}
+
+TEST(Breakdown, ScaledMultipliesEverything) {
+  const auto half = sample_breakdown().scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.uplink, 1.5);
+  EXPECT_DOUBLE_EQ(half.total(), 10.5);
+}
+
+TEST(Breakdown, ToStringMentionsComponents) {
+  const auto text = sample_breakdown().to_string();
+  EXPECT_NE(text.find("total=21"), std::string::npos);
+  EXPECT_NE(text.find("relay=5"), std::string::npos);
+}
+
+TEST(Spans, SequentialIsSum) {
+  const double spans[] = {1.0, 2.5, 0.5};
+  EXPECT_DOUBLE_EQ(span_sequential(spans), 4.0);
+  EXPECT_DOUBLE_EQ(span_sequential({}), 0.0);
+}
+
+TEST(Spans, ParallelIsMax) {
+  const double spans[] = {1.0, 7.0, 3.0};
+  EXPECT_DOUBLE_EQ(span_parallel(spans), 7.0);
+  EXPECT_DOUBLE_EQ(span_parallel({}), 0.0);
+}
+
+TEST(Spans, NegativeSpansRejected) {
+  const double bad[] = {1.0, -0.5};
+  EXPECT_THROW((void)span_sequential(bad), std::invalid_argument);
+  EXPECT_THROW((void)span_parallel(bad), std::invalid_argument);
+}
+
+TEST(CriticalBranch, PicksLargestTotal) {
+  LatencyBreakdown small;
+  small.uplink = 1.0;
+  LatencyBreakdown big;
+  big.relay = 10.0;
+  const LatencyBreakdown branches[] = {small, big, small};
+  const auto critical = critical_branch(branches);
+  EXPECT_DOUBLE_EQ(critical.relay, 10.0);
+  EXPECT_DOUBLE_EQ(critical.total(), 10.0);
+}
+
+TEST(CriticalBranch, EmptyRejected) {
+  EXPECT_THROW((void)critical_branch({}), std::invalid_argument);
+}
+
+TEST(CriticalBranch, ParallelInvariant) {
+  // The critical branch's total equals span_parallel over branch totals —
+  // the identity the GSFL round accounting relies on.
+  LatencyBreakdown a;
+  a.client_compute = 3.0;
+  LatencyBreakdown b;
+  b.server_compute = 5.0;
+  LatencyBreakdown c;
+  c.downlink = 4.0;
+  const LatencyBreakdown branches[] = {a, b, c};
+  const double totals[] = {a.total(), b.total(), c.total()};
+  EXPECT_DOUBLE_EQ(critical_branch(branches).total(),
+                   span_parallel(totals));
+}
+
+}  // namespace

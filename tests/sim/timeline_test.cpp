@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "gsfl/sim/timeline.hpp"
+
+namespace {
+
+using gsfl::sim::LatencyBreakdown;
+using gsfl::sim::Timeline;
+
+LatencyBreakdown cost_of(double uplink, double compute) {
+  LatencyBreakdown b;
+  b.uplink = uplink;
+  b.server_compute = compute;
+  return b;
+}
+
+TEST(Timeline, StartsEmptyAtZero) {
+  const Timeline timeline;
+  EXPECT_EQ(timeline.size(), 0u);
+  EXPECT_DOUBLE_EQ(timeline.now_seconds(), 0.0);
+}
+
+TEST(Timeline, AppendAdvancesClock) {
+  Timeline timeline;
+  timeline.append("round 1", cost_of(2.0, 1.0));
+  EXPECT_DOUBLE_EQ(timeline.now_seconds(), 3.0);
+  timeline.append("round 2", cost_of(0.5, 0.5));
+  EXPECT_DOUBLE_EQ(timeline.now_seconds(), 4.0);
+  EXPECT_EQ(timeline.size(), 2u);
+}
+
+TEST(Timeline, EntriesRecordStartAndEnd) {
+  Timeline timeline;
+  timeline.append("a", cost_of(1.0, 0.0));
+  timeline.append("b", cost_of(2.0, 0.0));
+  EXPECT_DOUBLE_EQ(timeline.entry(0).start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.entry(0).end_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.entry(1).start_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(timeline.entry(1).end_seconds(), 3.0);
+  EXPECT_EQ(timeline.entry(1).label, "b");
+  EXPECT_THROW((void)timeline.entry(2), std::invalid_argument);
+}
+
+TEST(Timeline, TotalCostAggregates) {
+  Timeline timeline;
+  timeline.append("a", cost_of(1.0, 2.0));
+  timeline.append("b", cost_of(3.0, 4.0));
+  const auto total = timeline.total_cost();
+  EXPECT_DOUBLE_EQ(total.uplink, 4.0);
+  EXPECT_DOUBLE_EQ(total.server_compute, 6.0);
+  EXPECT_DOUBLE_EQ(total.total(), timeline.now_seconds());
+}
+
+TEST(Timeline, CsvHasHeaderAndRows) {
+  Timeline timeline;
+  timeline.append("round 1", cost_of(1.0, 0.5));
+  std::ostringstream out;
+  timeline.write_csv(out);
+  const auto text = out.str();
+  EXPECT_NE(text.find("label,start_s,end_s"), std::string::npos);
+  EXPECT_NE(text.find("round 1"), std::string::npos);
+  // Header + one row.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+}  // namespace

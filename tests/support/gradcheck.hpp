@@ -1,0 +1,103 @@
+// Numeric gradient checking for layers.
+//
+// Strategy: project the layer output onto a fixed random direction R to get
+// a scalar loss L = Σ forward(x)·R, whose analytic input/parameter gradients
+// come from backward(R). Central finite differences on float32 need care:
+// we use a relative/absolute mixed tolerance and a step sized to the value.
+#pragma once
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/nn/layer.hpp"
+
+namespace gsfl::test {
+
+struct GradCheckOptions {
+  float step = 5e-3f;
+  double rel_tol = 4e-2;
+  double abs_tol = 4e-3;
+};
+
+/// Scalar projection loss and its output-gradient direction.
+inline tensor::Tensor random_direction(const tensor::Shape& shape,
+                                       common::Rng& rng) {
+  return tensor::Tensor::uniform(shape, rng, -1.0f, 1.0f);
+}
+
+inline double projection_loss(nn::Layer& layer, const tensor::Tensor& input,
+                              const tensor::Tensor& direction) {
+  const auto out = layer.forward(input, /*train=*/true);
+  double loss = 0.0;
+  const auto od = out.data();
+  const auto dd = direction.data();
+  for (std::size_t i = 0; i < od.size(); ++i) {
+    loss += static_cast<double>(od[i]) * dd[i];
+  }
+  return loss;
+}
+
+/// Check d(loss)/d(input) for every input element.
+inline void check_input_gradient(nn::Layer& layer, tensor::Tensor input,
+                                 common::Rng& rng,
+                                 GradCheckOptions options = {}) {
+  const auto out_shape = layer.output_shape(input.shape());
+  const auto direction = random_direction(out_shape, rng);
+
+  layer.zero_grad();
+  (void)layer.forward(input, /*train=*/true);
+  const auto analytic = layer.backward(direction);
+
+  auto id = input.data();
+  const auto ad = analytic.data();
+  for (std::size_t i = 0; i < id.size(); ++i) {
+    const float saved = id[i];
+    id[i] = saved + options.step;
+    const double plus = projection_loss(layer, input, direction);
+    id[i] = saved - options.step;
+    const double minus = projection_loss(layer, input, direction);
+    id[i] = saved;
+    const double numeric = (plus - minus) / (2.0 * options.step);
+    const double tolerance =
+        options.abs_tol + options.rel_tol * std::abs(numeric);
+    EXPECT_NEAR(ad[i], numeric, tolerance)
+        << "input gradient mismatch at flat index " << i;
+  }
+}
+
+/// Check d(loss)/d(param) for every scalar of every parameter tensor.
+inline void check_parameter_gradients(nn::Layer& layer, tensor::Tensor input,
+                                      common::Rng& rng,
+                                      GradCheckOptions options = {}) {
+  const auto out_shape = layer.output_shape(input.shape());
+  const auto direction = random_direction(out_shape, rng);
+
+  layer.zero_grad();
+  (void)layer.forward(input, /*train=*/true);
+  (void)layer.backward(direction);
+
+  const auto params = layer.parameters();
+  const auto grads = layer.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    auto pd = params[p]->data();
+    const auto gd = grads[p]->data();
+    for (std::size_t i = 0; i < pd.size(); ++i) {
+      const float saved = pd[i];
+      pd[i] = saved + options.step;
+      const double plus = projection_loss(layer, input, direction);
+      pd[i] = saved - options.step;
+      const double minus = projection_loss(layer, input, direction);
+      pd[i] = saved;
+      const double numeric = (plus - minus) / (2.0 * options.step);
+      const double tolerance =
+          options.abs_tol + options.rel_tol * std::abs(numeric);
+      EXPECT_NEAR(gd[i], numeric, tolerance)
+          << "parameter " << p << " gradient mismatch at flat index " << i;
+    }
+  }
+}
+
+}  // namespace gsfl::test

@@ -1,0 +1,83 @@
+// Shared miniature "world" for scheme-level tests: a linearly separable
+// two-class dataset of 2×2 single-channel images, a four-layer model with a
+// natural cut point, and a small wireless network. Everything is seeded and
+// tiny so scheme tests run in milliseconds.
+#pragma once
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/data/dataset.hpp"
+#include "gsfl/net/network.hpp"
+#include "gsfl/nn/activations.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/flatten.hpp"
+#include "gsfl/nn/sequential.hpp"
+
+namespace gsfl::test {
+
+/// Class = 1 iff the mean pixel is positive; signal + mild noise.
+inline data::Dataset make_separable_dataset(std::size_t n,
+                                            common::Rng& rng) {
+  tensor::Tensor images(tensor::Shape{n, 1, 2, 2});
+  std::vector<std::int32_t> labels(n);
+  auto px = images.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = rng.bernoulli(0.5);
+    labels[i] = positive ? 1 : 0;
+    const float base = positive ? 0.8f : -0.8f;
+    for (std::size_t j = 0; j < 4; ++j) {
+      px[i * 4 + j] =
+          base + static_cast<float>(rng.normal(0.0, 0.3));
+    }
+  }
+  return data::Dataset(std::move(images), std::move(labels), 2);
+}
+
+/// flatten → dense(4,8) → relu → dense(8,2); cut 2 puts {flatten, dense}
+/// on the client and {relu, dense} on the server.
+inline nn::Sequential make_tiny_model(common::Rng& rng) {
+  nn::Sequential model;
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Dense>(4, 8, rng);
+  model.emplace<nn::Relu>();
+  model.emplace<nn::Dense>(8, 2, rng);
+  return model;
+}
+
+inline constexpr std::size_t kTinyCut = 2;
+
+inline net::WirelessNetwork make_tiny_network(std::size_t num_clients) {
+  net::NetworkConfig config;
+  config.total_bandwidth_hz = 10e6;
+  std::vector<net::DeviceProfile> clients(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients[c].distance_m = 30.0 + 10.0 * static_cast<double>(c);
+    clients[c].compute_flops = 1e9;
+  }
+  return net::WirelessNetwork(config, std::move(clients));
+}
+
+/// One dataset per client, all separable, distinct draws.
+inline std::vector<data::Dataset> make_client_datasets(
+    std::size_t num_clients, std::size_t samples_each, std::uint64_t seed) {
+  common::Rng root(seed);
+  std::vector<data::Dataset> out;
+  out.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    auto rng = root.fork(100 + c);
+    out.push_back(make_separable_dataset(samples_each, rng));
+  }
+  return out;
+}
+
+/// Exact equality of two models' full states.
+inline bool states_equal(const nn::Sequential& a, const nn::Sequential& b) {
+  const auto sa = a.state();
+  const auto sb = b.state();
+  if (sa.size() != sb.size()) return false;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i] != sb[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace gsfl::test

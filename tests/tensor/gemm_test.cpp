@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/tensor/gemm.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::matmul;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using gsfl::tensor::Trans;
+using gsfl::tensor::transpose;
+
+/// Triple-loop reference implementation.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.shape()[0];
+  const std::size_t k = a.shape()[1];
+  const std::size_t n = b.shape()[1];
+  Tensor c(Shape{m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += a.at2(i, kk) * b.at2(kk, j);
+      }
+      c.at2(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Gemm, TinyHandComputedCase) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  const auto c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(1);
+  const auto a = Tensor::uniform(Shape{5, 5}, rng, -1, 1);
+  Tensor eye(Shape{5, 5});
+  for (std::size_t i = 0; i < 5; ++i) eye.at2(i, i) = 1.0f;
+  EXPECT_LT(Tensor::max_abs_diff(matmul(a, eye), a), 1e-6);
+  EXPECT_LT(Tensor::max_abs_diff(matmul(eye, a), a), 1e-6);
+}
+
+TEST(Gemm, TransposeOutOfPlace) {
+  const Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const auto t = transpose(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(t.at2(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(t.at2(2, 0), 3.0f);
+}
+
+TEST(Gemm, TransAMatchesExplicitTranspose) {
+  Rng rng(2);
+  const auto a = Tensor::uniform(Shape{7, 4}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{7, 5}, rng, -1, 1);
+  const auto fast = matmul(a, b, Trans::kYes, Trans::kNo);
+  const auto reference = naive_matmul(transpose(a), b);
+  EXPECT_LT(Tensor::max_abs_diff(fast, reference), 1e-4);
+}
+
+TEST(Gemm, TransBMatchesExplicitTranspose) {
+  Rng rng(3);
+  const auto a = Tensor::uniform(Shape{4, 7}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{5, 7}, rng, -1, 1);
+  const auto fast = matmul(a, b, Trans::kNo, Trans::kYes);
+  const auto reference = naive_matmul(a, transpose(b));
+  EXPECT_LT(Tensor::max_abs_diff(fast, reference), 1e-4);
+}
+
+TEST(Gemm, BothTransposed) {
+  Rng rng(4);
+  const auto a = Tensor::uniform(Shape{6, 3}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{5, 6}, rng, -1, 1);
+  const auto fast = matmul(a, b, Trans::kYes, Trans::kYes);
+  const auto reference = naive_matmul(transpose(a), transpose(b));
+  EXPECT_LT(Tensor::max_abs_diff(fast, reference), 1e-4);
+}
+
+TEST(Gemm, AlphaScalesProduct) {
+  Rng rng(5);
+  const auto a = Tensor::uniform(Shape{3, 3}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{3, 3}, rng, -1, 1);
+  Tensor c(Shape{3, 3});
+  gemm(2.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c);
+  const auto reference = naive_matmul(a, b);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(c.at(i), 2.0f * reference.at(i), 1e-4);
+  }
+}
+
+TEST(Gemm, BetaAccumulatesIntoC) {
+  Rng rng(6);
+  const auto a = Tensor::uniform(Shape{3, 3}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{3, 3}, rng, -1, 1);
+  auto c = Tensor::full(Shape{3, 3}, 10.0f);
+  gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 1.0f, c);
+  const auto reference = naive_matmul(a, b);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(c.at(i), 10.0f + reference.at(i), 1e-4);
+  }
+}
+
+TEST(Gemm, BetaHalfScalesExistingC) {
+  const Tensor a(Shape{1, 1}, {0.0f});
+  const Tensor b(Shape{1, 1}, {0.0f});
+  Tensor c(Shape{1, 1}, {8.0f});
+  gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.5f, c);
+  EXPECT_FLOAT_EQ(c.at(0), 4.0f);
+}
+
+TEST(Gemm, ShapeMismatchesThrow) {
+  const Tensor a(Shape{2, 3});
+  const Tensor b(Shape{4, 2});  // inner dims disagree
+  Tensor c(Shape{2, 2});
+  EXPECT_THROW(gemm(1.0f, a, Trans::kNo, b, Trans::kNo, 0.0f, c),
+               std::invalid_argument);
+
+  const Tensor b_ok(Shape{3, 2});
+  Tensor c_bad(Shape{3, 3});
+  EXPECT_THROW(gemm(1.0f, a, Trans::kNo, b_ok, Trans::kNo, 0.0f, c_bad),
+               std::invalid_argument);
+}
+
+TEST(Gemm, NonMatrixRankThrows) {
+  const Tensor a(Shape{2, 3, 4});
+  const Tensor b(Shape{3, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+struct GemmSize {
+  std::size_t m, k, n;
+};
+
+class GemmSizeSweep : public ::testing::TestWithParam<GemmSize> {};
+
+TEST_P(GemmSizeSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(1000 + m * 31 + k * 7 + n);
+  const auto a = Tensor::uniform(Shape{m, k}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{k, n}, rng, -1, 1);
+  const auto fast = matmul(a, b);
+  const auto reference = naive_matmul(a, b);
+  // Accumulation-order differences scale roughly with k.
+  EXPECT_LT(Tensor::max_abs_diff(fast, reference),
+            1e-6 * static_cast<double>(k) + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSizeSweep,
+    ::testing::Values(GemmSize{1, 1, 1}, GemmSize{1, 17, 1},
+                      GemmSize{2, 3, 4}, GemmSize{16, 16, 16},
+                      GemmSize{33, 65, 17},    // crosses block boundaries
+                      GemmSize{64, 128, 256},  // exactly one block each
+                      GemmSize{65, 129, 257},  // one past each block
+                      GemmSize{100, 1, 100}, GemmSize{1, 200, 1}));
+
+}  // namespace

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/tensor/im2col.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::col2im_accumulate;
+using gsfl::tensor::ConvGeometry;
+using gsfl::tensor::im2col;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(ConvGeometry, OutputDims) {
+  const ConvGeometry g{.in_channels = 3, .in_h = 32, .in_w = 32,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  EXPECT_EQ(g.out_h(), 32u);
+  EXPECT_EQ(g.out_w(), 32u);
+  EXPECT_EQ(g.patch_size(), 27u);
+  EXPECT_EQ(g.out_positions(), 1024u);
+}
+
+TEST(ConvGeometry, StrideAndNoPad) {
+  const ConvGeometry g{.in_channels = 1, .in_h = 5, .in_w = 7,
+                       .kernel = 3, .stride = 2, .pad = 0};
+  EXPECT_EQ(g.out_h(), 2u);
+  EXPECT_EQ(g.out_w(), 3u);
+}
+
+TEST(Im2col, IdentityKernelCopiesPixels) {
+  // 1x1 kernel, stride 1, no pad: columns are exactly the image pixels.
+  Tensor image(Shape{1, 2, 3, 3});
+  for (std::size_t i = 0; i < image.numel(); ++i) {
+    image.at(i) = static_cast<float>(i);
+  }
+  const ConvGeometry g{.in_channels = 2, .in_h = 3, .in_w = 3,
+                       .kernel = 1, .stride = 1, .pad = 0};
+  const auto cols = im2col(image, 0, g);
+  EXPECT_EQ(cols.shape(), Shape({2, 9}));
+  for (std::size_t i = 0; i < 18; ++i) {
+    EXPECT_FLOAT_EQ(cols.at(i), static_cast<float>(i));
+  }
+}
+
+TEST(Im2col, HandComputed3x3Patch) {
+  // 3x3 image, 2x2 kernel, stride 1, no pad → 4 positions of 4 values.
+  Tensor image(Shape{1, 1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) image.at(i) = static_cast<float>(i + 1);
+  const ConvGeometry g{.in_channels = 1, .in_h = 3, .in_w = 3,
+                       .kernel = 2, .stride = 1, .pad = 0};
+  const auto cols = im2col(image, 0, g);
+  ASSERT_EQ(cols.shape(), Shape({4, 4}));
+  // Row layout: (ky,kx) pairs in order (0,0),(0,1),(1,0),(1,1);
+  // column layout: output positions row-major.
+  // Position (0,0) covers pixels {1,2,4,5}.
+  EXPECT_FLOAT_EQ(cols.at2(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cols.at2(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(cols.at2(2, 0), 4.0f);
+  EXPECT_FLOAT_EQ(cols.at2(3, 0), 5.0f);
+  // Position (1,1) covers pixels {5,6,8,9}.
+  EXPECT_FLOAT_EQ(cols.at2(0, 3), 5.0f);
+  EXPECT_FLOAT_EQ(cols.at2(3, 3), 9.0f);
+}
+
+TEST(Im2col, PaddingYieldsZeros) {
+  Tensor image = Tensor::ones(Shape{1, 1, 2, 2});
+  const ConvGeometry g{.in_channels = 1, .in_h = 2, .in_w = 2,
+                       .kernel = 3, .stride = 1, .pad = 1};
+  const auto cols = im2col(image, 0, g);
+  ASSERT_EQ(cols.shape(), Shape({9, 4}));
+  // Top-left output position: kernel row 0 entirely in padding.
+  EXPECT_FLOAT_EQ(cols.at2(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(cols.at2(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(cols.at2(2, 0), 0.0f);
+  // Center of the kernel hits the real pixel.
+  EXPECT_FLOAT_EQ(cols.at2(4, 0), 1.0f);
+}
+
+TEST(Im2col, BatchIndexSelectsImage) {
+  Tensor batch(Shape{2, 1, 2, 2});
+  for (std::size_t i = 0; i < 4; ++i) batch.at(i) = 1.0f;       // image 0
+  for (std::size_t i = 4; i < 8; ++i) batch.at(i) = 2.0f;       // image 1
+  const ConvGeometry g{.in_channels = 1, .in_h = 2, .in_w = 2,
+                       .kernel = 2, .stride = 1, .pad = 0};
+  EXPECT_FLOAT_EQ(im2col(batch, 0, g).at(0), 1.0f);
+  EXPECT_FLOAT_EQ(im2col(batch, 1, g).at(0), 2.0f);
+  EXPECT_THROW(im2col(batch, 2, g), std::invalid_argument);
+}
+
+TEST(Col2im, AdjointProperty) {
+  // <im2col(x), Y> == <x, col2im(Y)> for all Y — the defining property of
+  // the adjoint, which is what backward relies on.
+  Rng rng(11);
+  const ConvGeometry g{.in_channels = 2, .in_h = 5, .in_w = 4,
+                       .kernel = 3, .stride = 2, .pad = 1};
+  const auto x = Tensor::uniform(Shape{1, 2, 5, 4}, rng, -1, 1);
+  const auto y = Tensor::uniform(
+      Shape{g.patch_size(), g.out_positions()}, rng, -1, 1);
+
+  const auto cols = im2col(x, 0, g);
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols.at(i)) * y.at(i);
+  }
+
+  Tensor back(Shape{1, 2, 5, 4});
+  col2im_accumulate(y, g, back, 0);
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x.at(i)) * back.at(i);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(Col2im, AccumulatesRatherThanOverwrites) {
+  const ConvGeometry g{.in_channels = 1, .in_h = 2, .in_w = 2,
+                       .kernel = 2, .stride = 1, .pad = 0};
+  const auto ones = Tensor::ones(Shape{4, 1});
+  Tensor grad = Tensor::full(Shape{1, 1, 2, 2}, 5.0f);
+  col2im_accumulate(ones, g, grad, 0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(grad.at(i), 6.0f);
+}
+
+TEST(Col2im, OverlappingWindowsSumContributions) {
+  // 3x1 image, kernel 2, stride 1: middle pixel is covered twice.
+  const ConvGeometry g{.in_channels = 1, .in_h = 3, .in_w = 1,
+                       .kernel = 1, .stride = 1, .pad = 0};
+  // Trivial case first: kernel 1 has no overlap.
+  Tensor grad(Shape{1, 1, 3, 1});
+  col2im_accumulate(Tensor::ones(Shape{1, 3}), g, grad, 0);
+  EXPECT_FLOAT_EQ(grad.at(1), 1.0f);
+
+  const ConvGeometry g2{.in_channels = 1, .in_h = 3, .in_w = 1,
+                        .kernel = 2, .stride = 1, .pad = 0};
+  // kernel height 2... but width is 1 so kernel must be 1 wide; use square
+  // geometry on a 3x3 image instead.
+  const ConvGeometry g3{.in_channels = 1, .in_h = 3, .in_w = 3,
+                        .kernel = 2, .stride = 1, .pad = 0};
+  (void)g2;
+  Tensor grad3(Shape{1, 1, 3, 3});
+  col2im_accumulate(Tensor::ones(Shape{4, 4}), g3, grad3, 0);
+  // Center pixel (1,1) is covered by all four 2x2 windows.
+  EXPECT_FLOAT_EQ(grad3.at4(0, 0, 1, 1), 4.0f);
+  // Corner (0,0) only by one window.
+  EXPECT_FLOAT_EQ(grad3.at4(0, 0, 0, 0), 1.0f);
+  // Edge (0,1) by two windows.
+  EXPECT_FLOAT_EQ(grad3.at4(0, 0, 0, 1), 2.0f);
+}
+
+TEST(Col2im, ShapeValidation) {
+  const ConvGeometry g{.in_channels = 1, .in_h = 3, .in_w = 3,
+                       .kernel = 2, .stride = 1, .pad = 0};
+  Tensor grad(Shape{1, 1, 3, 3});
+  EXPECT_THROW(col2im_accumulate(Tensor(Shape{3, 4}), g, grad, 0),
+               std::invalid_argument);
+  EXPECT_THROW(col2im_accumulate(Tensor(Shape{4, 5}), g, grad, 0),
+               std::invalid_argument);
+}
+
+}  // namespace

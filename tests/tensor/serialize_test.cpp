@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+#include <sstream>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/tensor/serialize.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::read_tensor;
+using gsfl::tensor::serialized_size;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using gsfl::tensor::write_tensor;
+
+TEST(Serialize, RoundTripPreservesExactBits) {
+  Rng rng(1);
+  const auto original = Tensor::normal(Shape{3, 4, 5}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, original);
+  const auto restored = read_tensor(buffer);
+  EXPECT_EQ(original, restored);
+}
+
+TEST(Serialize, RoundTripScalarAndVector) {
+  std::stringstream buffer;
+  write_tensor(buffer, Tensor(Shape{1}, {42.0f}));
+  write_tensor(buffer, Tensor::arange(7));
+  EXPECT_FLOAT_EQ(read_tensor(buffer).at(0), 42.0f);
+  const auto v = read_tensor(buffer);
+  EXPECT_EQ(v.shape(), Shape({7}));
+  EXPECT_FLOAT_EQ(v.at(6), 6.0f);
+}
+
+TEST(Serialize, SerializedSizeMatchesBytesWritten) {
+  Rng rng(2);
+  const auto t = Tensor::uniform(Shape{4, 9}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, t);
+  EXPECT_EQ(buffer.str().size(), serialized_size(t));
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream buffer("XXXXgarbage");
+  EXPECT_THROW(read_tensor(buffer), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedHeaderRejected) {
+  Rng rng(3);
+  const auto t = Tensor::uniform(Shape{2, 2}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, t);
+  const auto full = buffer.str();
+  std::stringstream truncated(full.substr(0, 6));
+  EXPECT_THROW(read_tensor(truncated), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedDataRejected) {
+  Rng rng(4);
+  const auto t = Tensor::uniform(Shape{8, 8}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, t);
+  const auto full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 10));
+  EXPECT_THROW(read_tensor(truncated), std::runtime_error);
+}
+
+TEST(Serialize, ImplausibleShapeRejected) {
+  // Hand-craft a header with rank 1 and a gigantic dimension.
+  std::string payload = "GSFT";
+  const std::uint32_t rank = 1;
+  payload.append(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  const std::uint64_t dim = 1ULL << 60;
+  payload.append(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  std::stringstream buffer(payload);
+  EXPECT_THROW(read_tensor(buffer), std::runtime_error);
+}
+
+TEST(Serialize, MultipleTensorsStreamSequentially) {
+  Rng rng(5);
+  const auto a = Tensor::uniform(Shape{2, 3}, rng);
+  const auto b = Tensor::uniform(Shape{5}, rng);
+  std::stringstream buffer;
+  write_tensor(buffer, a);
+  write_tensor(buffer, b);
+  EXPECT_EQ(read_tensor(buffer), a);
+  EXPECT_EQ(read_tensor(buffer), b);
+}
+
+}  // namespace

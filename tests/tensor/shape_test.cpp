@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "gsfl/tensor/shape.hpp"
+
+namespace {
+
+using gsfl::tensor::Shape;
+
+TEST(Shape, RankAndDims) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s[0], 2u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 4u);
+}
+
+TEST(Shape, NumelProducts) {
+  EXPECT_EQ(Shape({2, 3, 4}).numel(), 24u);
+  EXPECT_EQ(Shape({7}).numel(), 7u);
+  EXPECT_EQ(Shape{}.numel(), 1u);  // scalar convention
+}
+
+TEST(Shape, RowMajorStrides) {
+  const Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12u);
+  EXPECT_EQ(strides[1], 4u);
+  EXPECT_EQ(strides[2], 1u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(Shape, WithDim0) {
+  const Shape s{8, 3, 16, 16};
+  const auto t = s.with_dim0(4);
+  EXPECT_EQ(t, Shape({4, 3, 16, 16}));
+  EXPECT_EQ(s[0], 8u);  // original untouched
+}
+
+TEST(Shape, WithDim0OnRankZeroThrows) {
+  EXPECT_THROW(Shape{}.with_dim0(1), std::invalid_argument);
+}
+
+TEST(Shape, OutOfRangeAxisThrows) {
+  EXPECT_THROW((void)Shape({2, 3}).dim(2), std::invalid_argument);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/tensor/tensor.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+TEST(Tensor, DefaultIsScalarZero) {
+  const Tensor t;
+  EXPECT_EQ(t.numel(), 1u);
+  EXPECT_FLOAT_EQ(t.at(0), 0.0f);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.numel(), 12u);
+  for (const float v : t.data()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ExplicitDataValidated) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, FactoryHelpers) {
+  const auto ones = Tensor::ones(Shape{5});
+  for (const float v : ones.data()) EXPECT_FLOAT_EQ(v, 1.0f);
+  const auto full = Tensor::full(Shape{2}, 2.5f);
+  for (const float v : full.data()) EXPECT_FLOAT_EQ(v, 2.5f);
+  const auto ar = Tensor::arange(4);
+  EXPECT_FLOAT_EQ(ar.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(ar.at(3), 3.0f);
+}
+
+TEST(Tensor, RandomFactoriesRespectDistribution) {
+  Rng rng(3);
+  const auto u = Tensor::uniform(Shape{10000}, rng, -1.0f, 1.0f);
+  EXPECT_GE(u.min(), -1.0f);
+  EXPECT_LT(u.max(), 1.0f);
+  EXPECT_NEAR(u.mean(), 0.0, 0.05);
+
+  const auto n = Tensor::normal(Shape{10000}, rng, 2.0f, 0.5f);
+  EXPECT_NEAR(n.mean(), 2.0, 0.05);
+}
+
+TEST(Tensor, At2And4Indexing) {
+  Tensor t(Shape{2, 3});
+  t.at2(1, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(5), 7.0f);
+
+  Tensor u(Shape{2, 3, 4, 5});
+  u.at4(1, 2, 3, 4) = 9.0f;
+  EXPECT_FLOAT_EQ(u.at(((1 * 3 + 2) * 4 + 3) * 5 + 4), 9.0f);
+}
+
+TEST(Tensor, IndexBoundsChecked) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW((void)t.at(4), std::invalid_argument);
+  EXPECT_THROW((void)t.at2(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)t.at2(0, 2), std::invalid_argument);
+  Tensor s(Shape{3});
+  EXPECT_THROW((void)s.at2(0, 0), std::invalid_argument);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  const Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const auto r = t.reshape(Shape{3, 2});
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_THROW((void)t.reshape(Shape{4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, Slice0CopiesRows) {
+  const Tensor t(Shape{4, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  const auto s = t.slice0(1, 3);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(s.at2(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at2(1, 1), 5.0f);
+  EXPECT_THROW((void)t.slice0(3, 5), std::invalid_argument);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {10, 20, 30});
+  a.add_(b);
+  EXPECT_FLOAT_EQ(a.at(2), 33.0f);
+  a.sub_(b);
+  EXPECT_FLOAT_EQ(a.at(2), 3.0f);
+  a.mul_(b);
+  EXPECT_FLOAT_EQ(a.at(1), 40.0f);
+  a.scale_(0.5f);
+  EXPECT_FLOAT_EQ(a.at(1), 20.0f);
+  a.fill(7.0f);
+  EXPECT_FLOAT_EQ(a.at(0), 7.0f);
+}
+
+TEST(Tensor, AxpyAccumulates) {
+  Tensor y(Shape{2}, {1, 1});
+  const Tensor x(Shape{2}, {2, 4});
+  y.axpy_(0.5f, x);
+  EXPECT_FLOAT_EQ(y.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 3.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  const Tensor b(Shape{4});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.sub_(b), std::invalid_argument);
+  EXPECT_THROW(a.mul_(b), std::invalid_argument);
+  EXPECT_THROW(a.axpy_(1.0f, b), std::invalid_argument);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t(Shape{2, 2}, {1, -2, 3, 4});
+  EXPECT_DOUBLE_EQ(t.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 1.5);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_DOUBLE_EQ(t.squared_norm(), 1.0 + 4.0 + 9.0 + 16.0);
+}
+
+TEST(Tensor, ArgmaxRow) {
+  const Tensor t(Shape{2, 3}, {0.1f, 0.9f, 0.5f, 2.0f, -1.0f, 0.0f});
+  EXPECT_EQ(t.argmax_row(0), 1u);
+  EXPECT_EQ(t.argmax_row(1), 0u);
+  EXPECT_THROW((void)t.argmax_row(2), std::invalid_argument);
+}
+
+TEST(Tensor, EqualityIsExact) {
+  const Tensor a(Shape{2}, {1.0f, 2.0f});
+  Tensor b = a;
+  EXPECT_EQ(a, b);
+  b.at(1) = std::nextafterf(b.at(1), 3.0f);
+  EXPECT_NE(a, b);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  const Tensor a(Shape{2}, {1.0f, 5.0f});
+  const Tensor b(Shape{2}, {1.5f, 3.0f});
+  EXPECT_DOUBLE_EQ(Tensor::max_abs_diff(a, b), 2.0);
+  const Tensor c(Shape{3});
+  EXPECT_THROW((void)Tensor::max_abs_diff(a, c), std::invalid_argument);
+}
+
+TEST(Tensor, OutOfPlaceArithmetic) {
+  const Tensor a(Shape{2}, {1, 2});
+  const Tensor b(Shape{2}, {3, 5});
+  EXPECT_FLOAT_EQ(gsfl::tensor::add(a, b).at(1), 7.0f);
+  EXPECT_FLOAT_EQ(gsfl::tensor::sub(b, a).at(1), 3.0f);
+  EXPECT_FLOAT_EQ(gsfl::tensor::mul(a, b).at(1), 10.0f);
+  EXPECT_FLOAT_EQ(gsfl::tensor::scale(b, 2.0f).at(0), 6.0f);
+}
+
+TEST(Tensor, WeightedSumMatchesHandComputation) {
+  const Tensor a(Shape{2}, {1, 2});
+  const Tensor b(Shape{2}, {3, 4});
+  const Tensor* tensors[] = {&a, &b};
+  const double weights[] = {0.25, 0.75};
+  const auto avg = gsfl::tensor::weighted_sum(tensors, weights);
+  EXPECT_FLOAT_EQ(avg.at(0), 0.25f * 1 + 0.75f * 3);
+  EXPECT_FLOAT_EQ(avg.at(1), 0.25f * 2 + 0.75f * 4);
+}
+
+TEST(Tensor, WeightedSumValidatesInput) {
+  const Tensor a(Shape{2});
+  const Tensor b(Shape{3});
+  {
+    const Tensor* tensors[] = {&a, &b};
+    const double weights[] = {0.5, 0.5};
+    EXPECT_THROW(gsfl::tensor::weighted_sum(tensors, weights),
+                 std::invalid_argument);
+  }
+  {
+    const Tensor* tensors[] = {&a};
+    const double weights[] = {0.5, 0.5};
+    EXPECT_THROW(gsfl::tensor::weighted_sum(tensors, weights),
+                 std::invalid_argument);
+  }
+}
+
+TEST(Tensor, SizeBytes) {
+  EXPECT_EQ(Tensor(Shape{10, 10}).size_bytes(), 400u);
+}
+
+}  // namespace
