@@ -1,0 +1,160 @@
+// Thread-scaling bench for the parallel execution subsystem.
+//
+// Times the three hot layers the runtime threads through — raw GEMM, conv2d
+// forward+backward over a batch, and a full 16-client SplitFed round — at
+// thread counts 1, 2, 4, ... up to --max-threads (default: hardware
+// concurrency, at least 8 so the table is comparable across hosts), then
+// cross-checks that the serial and widest runs produced bitwise-identical
+// global models. Emits BENCH_parallel.json for machine consumption.
+//
+//   $ ./bench_parallel_scaling [--max-threads=N] [--reps=R] [--seed=S]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gsfl/common/cli.hpp"
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/schemes/splitfed.hpp"
+#include "gsfl/tensor/gemm.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-`reps` wall-clock seconds for fn().
+template <typename Fn>
+double time_best(std::size_t reps, const Fn& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+double bench_gemm(std::size_t reps) {
+  Rng rng(1);
+  const auto a = Tensor::uniform(Shape{384, 384}, rng, -1, 1);
+  const auto b = Tensor::uniform(Shape{384, 384}, rng, -1, 1);
+  Tensor c(Shape{384, 384});
+  return time_best(reps, [&] {
+    gsfl::tensor::gemm_raw(384, 384, 384, 1.0f, a.data().data(),
+                           b.data().data(), 0.0f, c.data().data());
+  });
+}
+
+double bench_conv(std::size_t reps) {
+  Rng rng(2);
+  gsfl::nn::Conv2d conv(3, 16, /*kernel=*/3, /*stride=*/1, /*pad=*/1, rng);
+  const auto input = Tensor::uniform(Shape{32, 3, 32, 32}, rng, -1, 1);
+  const auto grad = Tensor::uniform(Shape{32, 16, 32, 32}, rng, -1, 1);
+  return time_best(reps, [&] {
+    (void)conv.forward(input, /*train=*/true);
+    (void)conv.backward(grad);
+  });
+}
+
+struct SflWorld {
+  gsfl::core::Experiment experiment;
+  explicit SflWorld(std::uint64_t seed)
+      : experiment([&] {
+          auto config = gsfl::core::ExperimentConfig::scaled();
+          config.num_clients = 16;
+          config.num_groups = 4;
+          config.dataset.samples_per_class = 24;  // 288 train samples
+          config.test_samples_per_class = 4;
+          config.seed = seed;
+          return config;
+        }()) {}
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gsfl::common::CliArgs args(argc, argv);
+  const auto reps = static_cast<std::size_t>(args.int_or("reps", 3));
+  const std::size_t hw = gsfl::common::resolve_threads(0);
+  const auto requested = args.int_or(
+      "max-threads", static_cast<std::int64_t>(std::max<std::size_t>(hw, 8)));
+  // ≤ 0 falls back to the resolved default, mirroring --threads elsewhere.
+  const std::size_t max_threads =
+      requested > 0 ? static_cast<std::size_t>(requested) : hw;
+  const auto seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+
+  std::vector<std::size_t> lane_counts;
+  for (std::size_t t = 1; t <= max_threads; t *= 2) lane_counts.push_back(t);
+  if (lane_counts.back() != max_threads) lane_counts.push_back(max_threads);
+
+  std::printf("=== parallel scaling (host: %zu hardware threads) ===\n", hw);
+  std::printf("%-24s %8s %12s %9s\n", "section", "threads", "seconds",
+              "speedup");
+
+  const SflWorld world(seed);
+  gsfl::bench::BenchJson json;
+  gsfl::nn::Sequential serial_model;  // threads=1 final state, for the check
+  gsfl::nn::Sequential widest_model;
+
+  struct Section {
+    const char* name;
+    std::function<double(std::size_t threads)> run;
+  };
+  const Section sections[] = {
+      {"gemm_384", [&](std::size_t) { return bench_gemm(reps); }},
+      {"conv2d_fwd_bwd_b32", [&](std::size_t) { return bench_conv(reps); }},
+      {"sfl_round_16_clients", [&](std::size_t threads) {
+         // A round mutates trainer state, so every rep times round 1 of a
+         // fresh trainer — built outside the timed region, like the final
+         // model-state capture, so 'seconds' is the round alone.
+         double best = 1e300;
+         for (std::size_t r = 0; r < reps; ++r) {
+           auto trainer = world.experiment.make_sfl();
+           const auto start = Clock::now();
+           (void)trainer->run_round();
+           const std::chrono::duration<double> elapsed =
+               Clock::now() - start;
+           best = std::min(best, elapsed.count());
+           if (threads == 1) serial_model = trainer->global_model();
+           if (threads == lane_counts.back() || lane_counts.size() == 1) {
+             widest_model = trainer->global_model();
+           }
+         }
+         return best;
+       }},
+  };
+
+  for (const auto& section : sections) {
+    double serial_seconds = 0.0;
+    for (const std::size_t threads : lane_counts) {
+      gsfl::common::set_global_threads(threads);
+      const double seconds = section.run(threads);
+      if (threads == 1) serial_seconds = seconds;
+      const double speedup = serial_seconds / seconds;
+      std::printf("%-24s %8zu %12.4f %8.2fx\n", section.name, threads,
+                  seconds, speedup);
+      json.add(section.name, threads, seconds, speedup);
+    }
+  }
+  gsfl::common::set_global_threads(0);
+
+  const auto sa = serial_model.state();
+  const auto sb = widest_model.state();
+  bool identical = sa.size() == sb.size() && !sa.empty();
+  for (std::size_t i = 0; identical && i < sa.size(); ++i) {
+    identical = sa[i] == sb[i];
+  }
+  std::printf("\ndeterminism: threads=1 vs threads=%zu SFL round states %s\n",
+              lane_counts.back(), identical ? "bitwise identical" : "DIFFER");
+
+  json.write("BENCH_parallel.json");
+  return identical ? 0 : 1;
+}

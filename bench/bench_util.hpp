@@ -8,8 +8,10 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "gsfl/common/cli.hpp"
+#include "gsfl/common/thread_pool.hpp"
 #include "gsfl/core/experiment.hpp"
 #include "gsfl/metrics/recorder.hpp"
 
@@ -20,10 +22,14 @@ namespace gsfl::bench {
 ///   --rounds=N        override the round budget
 ///   --seed=S          override the master seed
 ///   --csv=DIR         also write per-run CSV files into DIR
+///   --threads=N       host-side parallel lanes (default: GSFL_THREADS env,
+///                     then hardware concurrency; results are identical for
+///                     every value)
 struct BenchOptions {
   core::ExperimentConfig config;
   std::size_t rounds;
   std::optional<std::string> csv_dir;
+  std::size_t threads = 0;  ///< 0 ⇒ resolved default
 
   static BenchOptions parse(int argc, char** argv,
                             std::size_t default_rounds,
@@ -37,9 +43,14 @@ struct BenchOptions {
                           args.has_flag("full") ? full_rounds
                                                 : default_rounds))),
         .csv_dir = args.value("csv"),
+        .threads = static_cast<std::size_t>(args.int_or("threads", 0)),
     };
     options.config.seed = static_cast<std::uint64_t>(
         args.int_or("seed", static_cast<std::int64_t>(options.config.seed)));
+    if (options.threads > 0) {
+      common::set_global_threads(options.threads);
+      options.config.train.threads = options.threads;
+    }
     return options;
   }
 };
@@ -86,5 +97,45 @@ inline void maybe_write_csv(const std::optional<std::string>& dir,
   recorder.write_csv(out);
   std::cout << "  [csv] " << *dir << "/" << file << "\n";
 }
+
+/// Machine-readable bench output: a flat JSON array of measurement rows,
+/// one file per bench (e.g. BENCH_parallel.json), so the perf trajectory
+/// across PRs can be diffed by tooling instead of scraped from stdout.
+class BenchJson {
+ public:
+  /// One measurement: `section` names the workload, `threads` the lane
+  /// count, `seconds` the wall-clock, `speedup` the ratio vs. threads=1.
+  void add(const std::string& section, std::size_t threads, double seconds,
+           double speedup) {
+    std::string escaped;
+    for (const char ch : section) {
+      if (ch == '"' || ch == '\\') escaped += '\\';
+      escaped += ch;
+    }
+    char numbers[128];
+    std::snprintf(numbers, sizeof(numbers),
+                  "\"threads\": %zu, \"seconds\": %.6f, \"speedup\": %.3f",
+                  threads, seconds, speedup);
+    rows_.push_back("  {\"section\": \"" + escaped + "\", " + numbers + "}");
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    out.flush();
+    if (out) {
+      std::cout << "  [json] " << path << "\n";
+    } else {
+      std::cerr << "  [json] FAILED to write " << path << "\n";
+    }
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 }  // namespace gsfl::bench

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "gsfl/common/cli.hpp"
+#include "gsfl/common/thread_pool.hpp"
 #include "gsfl/core/experiment.hpp"
 #include "gsfl/schemes/trainer.hpp"
 
@@ -17,6 +18,10 @@ int main(int argc, char** argv) {
 
   // 1. Describe the world: dataset, clients, wireless network, model.
   auto config = core::ExperimentConfig::scaled();
+  // Host-side parallelism (simulated results are identical for any value);
+  // default resolves as GSFL_THREADS env, then hardware concurrency.
+  config.train.threads =
+      static_cast<std::size_t>(args.int_or("threads", 0));
   const core::Experiment experiment(config);
   std::cout << "clients: " << experiment.network().num_clients()
             << ", groups: " << config.num_groups

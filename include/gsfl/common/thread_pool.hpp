@@ -1,0 +1,83 @@
+// Deterministic parallel runtime.
+//
+// A fixed-size pool of persistent worker threads with one primitive:
+// parallel_for(grain, n, fn), which partitions [0, n) into contiguous
+// chunks and runs fn(begin, end) on the pool plus the calling thread.
+//
+// Determinism contract: chunks are contiguous, disjoint, and cover [0, n)
+// exactly once, so any computation whose per-index work is independent (or
+// whose reductions are structured over *fixed* chunk boundaries chosen by
+// the caller) produces bitwise-identical results for every thread count.
+// Which thread executes a chunk is scheduling noise; what each chunk
+// computes is not.
+//
+// Nested calls (fn itself calling parallel_for, directly or through GEMM)
+// execute inline on the calling thread — the outer loop already owns the
+// pool, and inlining keeps nesting deadlock-free and deterministic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace gsfl::common {
+
+class ThreadPool {
+ public:
+  /// Range task: process indices [begin, end).
+  using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// A pool with `lanes` concurrent execution lanes: the calling thread plus
+  /// lanes-1 workers. lanes == 1 means everything runs inline.
+  explicit ThreadPool(std::size_t lanes);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+
+  /// Run fn over [0, n) in contiguous chunks of at least `grain` indices
+  /// (the final chunk may be shorter). Blocks until every chunk finished;
+  /// rethrows the first exception any chunk raised. Concurrent calls from
+  /// distinct external threads are serialized.
+  void parallel_for(std::size_t grain, std::size_t n, const RangeFn& fn);
+
+  /// True while the calling thread is inside a parallel_for chunk (used to
+  /// inline nested parallel sections).
+  [[nodiscard]] static bool in_parallel_region();
+
+ private:
+  struct Job;
+  static void run_chunks(Job& job);
+  void worker_main();
+
+  std::size_t lanes_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Lane-count resolution: explicit request > GSFL_THREADS env var > hardware
+/// concurrency (never less than 1).
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested = 0);
+
+/// The process-wide pool all library hot paths submit to. Created on first
+/// use with resolve_threads(0) lanes.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Reconfigure the global pool (0 ⇒ resolve_threads default). Must not be
+/// called while a parallel_for is in flight; a no-op when the size already
+/// matches.
+void set_global_threads(std::size_t lanes);
+
+/// Lane count of the global pool (creating it if needed).
+[[nodiscard]] std::size_t global_lanes();
+
+/// parallel_for on the global pool — but when the caller is already inside
+/// a parallel region it runs fn(0, n) directly, without touching the pool
+/// or its mutex. Hot nested paths (per-sample GEMMs under a per-client
+/// task) should always submit through this.
+void global_parallel_for(std::size_t grain, std::size_t n,
+                         const ThreadPool::RangeFn& fn);
+
+}  // namespace gsfl::common

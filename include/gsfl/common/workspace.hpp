@@ -1,0 +1,56 @@
+// Per-thread scratch-buffer arena.
+//
+// Hot loops (GEMM panel packing, conv im2col) need large temporary buffers
+// whose sizes repeat every iteration. Workspace hands out grow-only float
+// buffers keyed by a small use-site id and owned by the *calling thread*
+// (thread_local storage), so:
+//   - pool worker threads persist across parallel_for submits and reuse
+//     their buffers round after round with zero allocation in steady state;
+//   - two lanes can never alias each other's scratch, by construction;
+//   - buffer contents are unspecified on entry — every consumer must fully
+//     overwrite (im2col and GEMM packing do).
+//
+// Ownership rules:
+//   - A scratch pointer is valid only until the same thread's next floats()
+//     call with the same key; don't hold one past that.
+//   - Per-lane keys (kConvColumns*, kConvDcols) stay on the thread that
+//     fetched them — never hand them to another thread.
+//   - Caller-owned shared keys (kGemmPack read-only, kConvGradW/kConvGradB
+//     written in disjoint per-chunk slices): the thread *issuing* a
+//     parallel_for fetches the buffer before the region, tasks access it
+//     under the rule in parentheses, and the issuer reads it after the
+//     join. Nothing else may touch that key while the region runs.
+#pragma once
+
+#include <cstddef>
+
+namespace gsfl::common {
+
+class Workspace {
+ public:
+  /// Use-site keys. Library-internal consumers are enumerated here so two
+  /// call sites never thrash one buffer between different steady-state
+  /// sizes; external code should key from kUserBase upward.
+  enum Key : std::size_t {
+    kGemmPack = 0,    ///< packed B panel (caller-owned, read by row tasks)
+    kConvColumns,     ///< im2col matrix (forward and backward)
+    kConvColumnsT,    ///< transposed im2col matrix (dW GEMM operand)
+    kConvDcols,       ///< column-space input gradient
+    kConvGradW,       ///< per-chunk dW accumulators (caller-owned, lane-sliced)
+    kConvGradB,       ///< per-chunk db accumulators (caller-owned, lane-sliced)
+    kUserBase = 16,
+  };
+
+  /// The calling thread's buffer for `key`, grown (never shrunk) to hold at
+  /// least `size` floats. Contents are unspecified.
+  [[nodiscard]] static float* floats(std::size_t key, std::size_t size);
+
+  /// Bytes currently retained by the calling thread's arena (introspection
+  /// for tests and leak tracking).
+  [[nodiscard]] static std::size_t thread_bytes();
+
+  /// Release the calling thread's buffers (tests).
+  static void reset_thread();
+};
+
+}  // namespace gsfl::common

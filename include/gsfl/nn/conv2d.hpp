@@ -40,9 +40,11 @@ class Conv2d final : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
 
-  // Forward caches for backward.
-  Shape cached_input_shape_;
-  std::vector<Tensor> cached_columns_;  ///< one im2col matrix per image
+  // Forward cache for backward: the input itself. The im2col matrices are
+  // recomputed into per-thread scratch during backward — the input is k²×
+  // smaller than the unfolded columns, so this trades a cheap re-unfold for
+  // dropping the per-sample column allocations entirely.
+  Tensor cached_input_;
 };
 
 }  // namespace gsfl::nn

@@ -31,6 +31,11 @@ struct TrainConfig {
   std::size_t batch_size = 16;
   std::size_t local_epochs = 1; ///< FL-style local passes per round
   std::uint64_t seed = 1;       ///< drives batch sampling (per-client forks)
+  /// Host-side parallel lanes for the round's per-client/per-group work
+  /// (simulated latencies are unaffected, and results are bitwise identical
+  /// for any value). 0 ⇒ keep the global default, which resolves as
+  /// --threads / GSFL_THREADS env / hardware concurrency.
+  std::size_t threads = 0;
 };
 
 struct RoundResult {

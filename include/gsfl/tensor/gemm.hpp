@@ -26,7 +26,19 @@ void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
                             Trans trans_a = Trans::kNo,
                             Trans trans_b = Trans::kNo);
 
-/// Out-of-place 2-D transpose.
+/// Raw row-major core: C(m×n) = alpha·A(m×k)·B(k×n) + beta·C, no transposes,
+/// no shape objects. This is the allocation-free entry point the nn layers
+/// drive with scratch buffers. Parallelized over row panels of C on the
+/// global thread pool; results are bitwise identical for any lane count.
+/// A, B, and C must not alias.
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// Out-of-place 2-D transpose (cache-blocked).
 [[nodiscard]] Tensor transpose(const Tensor& a);
+
+/// Raw tiled transpose core: dst(cols×rows) = src(rows×cols)ᵀ.
+void transpose_raw(const float* src, std::size_t rows, std::size_t cols,
+                   float* dst);
 
 }  // namespace gsfl::tensor

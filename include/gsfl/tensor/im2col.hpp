@@ -39,9 +39,20 @@ struct ConvGeometry {
 [[nodiscard]] Tensor im2col(const Tensor& input, std::size_t batch_index,
                             const ConvGeometry& geom);
 
+/// Raw core of im2col: unfold the contiguous C×H×W image at `image` into the
+/// (patch_size × out_positions) buffer at `columns`, fully overwriting it
+/// (padding positions included) — safe to drive with reused scratch.
+void im2col_into(const float* image, const ConvGeometry& geom,
+                 float* columns);
+
 /// Adjoint of im2col: accumulate a (patch_size × out_positions) matrix back
 /// into the C×H×W image at batch index n of `grad_input` (+=, not =).
 void col2im_accumulate(const Tensor& columns, const ConvGeometry& geom,
                        Tensor& grad_input, std::size_t batch_index);
+
+/// Raw core of col2im: accumulate the (patch_size × out_positions) buffer at
+/// `columns` into the contiguous C×H×W image at `image` (+=, not =).
+void col2im_accumulate_into(const float* columns, const ConvGeometry& geom,
+                            float* image);
 
 }  // namespace gsfl::tensor

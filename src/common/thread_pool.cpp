@@ -1,0 +1,231 @@
+#include "gsfl/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::common {
+
+namespace {
+
+// Set while the current thread executes a parallel_for chunk; nested
+// parallel_for calls observe it and run inline.
+thread_local bool tl_in_parallel = false;
+
+// Oversubscription factor: more chunks than lanes lets fast lanes steal the
+// tail of slow ones without changing what any chunk computes.
+constexpr std::size_t kChunksPerLane = 4;
+
+// Sanity ceiling on lane counts: catches negative CLI values wrapped through
+// size_t before they turn into an opaque allocation failure.
+constexpr std::size_t kMaxLanes = 4096;
+
+}  // namespace
+
+struct ThreadPool::Job {
+  const RangeFn* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t chunk = 0;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<bool> abort{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+};
+
+struct ThreadPool::Impl {
+  std::mutex wake_mutex;
+  std::condition_variable wake_cv;
+  std::shared_ptr<Job> current_job;
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::mutex submit_mutex;  ///< serializes external parallel_for callers
+  std::vector<std::thread> workers;
+};
+
+ThreadPool::ThreadPool(std::size_t lanes)
+    : lanes_(std::max<std::size_t>(lanes, 1)),
+      impl_(std::make_unique<Impl>()) {
+  GSFL_EXPECT_MSG(lanes <= kMaxLanes,
+                  "thread count out of range (negative --threads value?)");
+  impl_->workers.reserve(lanes_ - 1);
+  try {
+    for (std::size_t i = 0; i + 1 < lanes_; ++i) {
+      impl_->workers.emplace_back([this] { worker_main(); });
+    }
+  } catch (...) {
+    // Spawn failed partway (thread limits): stop and join the workers that
+    // did start, then surface the error — leaving joinable threads behind
+    // would turn a resource error into std::terminate.
+    {
+      std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+      impl_->stop = true;
+    }
+    impl_->wake_cv.notify_all();
+    for (auto& worker : impl_->workers) worker.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+    impl_->stop = true;
+  }
+  impl_->wake_cv.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+}
+
+bool ThreadPool::in_parallel_region() { return tl_in_parallel; }
+
+void ThreadPool::run_chunks(Job& job) {
+  const bool was_in_parallel = tl_in_parallel;
+  tl_in_parallel = true;
+  for (;;) {
+    const std::size_t index =
+        job.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= job.num_chunks) break;
+    if (!job.abort.load(std::memory_order_relaxed)) {
+      const std::size_t begin = index * job.chunk;
+      const std::size_t end = std::min(begin + job.chunk, job.n);
+      try {
+        (*job.fn)(begin, end);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(job.error_mutex);
+          if (!job.error) job.error = std::current_exception();
+        }
+        job.abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_chunks) {
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      job.done = true;
+      job.done_cv.notify_all();
+    }
+  }
+  tl_in_parallel = was_in_parallel;
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(impl_->wake_mutex);
+      impl_->wake_cv.wait(lock, [&] {
+        return impl_->stop || impl_->generation != seen;
+      });
+      if (impl_->stop) return;
+      seen = impl_->generation;
+      job = impl_->current_job;
+    }
+    // A stale wake-up after the job drained is harmless: every chunk fetch
+    // past num_chunks is a no-op and the shared_ptr keeps the Job alive.
+    if (job) run_chunks(*job);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t grain, std::size_t n,
+                              const RangeFn& fn) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  if (tl_in_parallel || lanes_ == 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk =
+      std::max(grain, (n + lanes_ * kChunksPerLane - 1) /
+                          (lanes_ * kChunksPerLane));
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  if (num_chunks == 1) {
+    fn(0, n);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->chunk = chunk;
+  job->num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+    impl_->current_job = job;
+    ++impl_->generation;
+  }
+  impl_->wake_cv.notify_all();
+
+  run_chunks(*job);  // the calling thread is a lane too
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] { return job->done; });
+  }
+  {
+    // Drop the pool's reference: job->fn points at the caller's stack and
+    // must not outlive this call through impl_->current_job.
+    std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+    if (impl_->current_job == job) impl_->current_job.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("GSFL_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // NOLINT: intentional process singleton
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(resolve_threads(0));
+  return *g_pool;
+}
+
+void set_global_threads(std::size_t lanes) {
+  const std::size_t resolved = resolve_threads(lanes);
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool && g_pool->lanes() == resolved) return;
+  GSFL_EXPECT_MSG(!ThreadPool::in_parallel_region(),
+                  "cannot resize the global pool from inside parallel_for");
+  g_pool = std::make_unique<ThreadPool>(resolved);
+}
+
+std::size_t global_lanes() { return global_pool().lanes(); }
+
+void global_parallel_for(std::size_t grain, std::size_t n,
+                         const ThreadPool::RangeFn& fn) {
+  if (n == 0) return;
+  if (tl_in_parallel) {
+    fn(0, n);
+    return;
+  }
+  global_pool().parallel_for(grain, n, fn);
+}
+
+}  // namespace gsfl::common

@@ -1,0 +1,33 @@
+#include "gsfl/common/workspace.hpp"
+
+#include <vector>
+
+namespace gsfl::common {
+
+namespace {
+
+// One arena per thread: slot index == key. Pool workers live for the whole
+// process, so steady-state training rounds allocate nothing here.
+thread_local std::vector<std::vector<float>> tl_arena;
+
+}  // namespace
+
+float* Workspace::floats(std::size_t key, std::size_t size) {
+  if (tl_arena.size() <= key) tl_arena.resize(key + 1);
+  auto& buffer = tl_arena[key];
+  if (buffer.size() < size) buffer.resize(size);
+  return buffer.data();
+}
+
+std::size_t Workspace::thread_bytes() {
+  std::size_t bytes = 0;
+  for (const auto& buffer : tl_arena) bytes += buffer.capacity() * sizeof(float);
+  return bytes;
+}
+
+void Workspace::reset_thread() {
+  tl_arena.clear();
+  tl_arena.shrink_to_fit();
+}
+
+}  // namespace gsfl::common

@@ -1,12 +1,25 @@
 #include "gsfl/nn/conv2d.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/common/workspace.hpp"
 #include "gsfl/nn/init.hpp"
 #include "gsfl/tensor/gemm.hpp"
 
 namespace gsfl::nn {
 
 using tensor::ConvGeometry;
-using tensor::Trans;
+
+namespace {
+
+// Samples per reduction chunk in backward. Fixed (never derived from the
+// lane count) so the dW/db summation tree has the same shape for every
+// thread count — the bitwise-determinism contract.
+constexpr std::size_t kGradChunk = 4;
+
+}  // namespace
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, std::size_t pad,
@@ -42,70 +55,128 @@ ConvGeometry Conv2d::geometry(const Shape& input) const {
                       .pad = pad_};
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool /*train*/) {
+Tensor Conv2d::forward(const Tensor& input, bool train) {
   const ConvGeometry geom = geometry(input.shape());
   const std::size_t batch = input.shape()[0];
-  const std::size_t oh = geom.out_h();
-  const std::size_t ow = geom.out_w();
+  const std::size_t positions = geom.out_positions();
+  const std::size_t patch = geom.patch_size();
+  const std::size_t chw = in_channels_ * geom.in_h * geom.in_w;
 
-  cached_input_shape_ = input.shape();
-  cached_columns_.clear();
-  cached_columns_.reserve(batch);
+  // Only backward() reads the cache; evaluation passes skip the copy — and
+  // invalidate it, so a backward() issued after an eval forward fails loudly
+  // instead of silently differentiating against a stale training batch.
+  if (train) {
+    cached_input_ = input;
+  } else {
+    cached_input_ = Tensor();
+  }
 
-  Tensor out(Shape{batch, out_channels_, oh, ow});
-  auto od = out.data();
-  const auto bd = bias_.data();
-  const std::size_t positions = oh * ow;
+  Tensor out(Shape{batch, out_channels_, geom.out_h(), geom.out_w()});
+  float* od = out.data().data();
+  const float* in = input.data().data();
+  const float* wd = weight_.data().data();
+  const float* bd = bias_.data().data();
 
-  for (std::size_t n = 0; n < batch; ++n) {
-    cached_columns_.push_back(tensor::im2col(input, n, geom));
-    // (out_c × patch) · (patch × positions) → (out_c × positions)
-    Tensor result = tensor::matmul(weight_, cached_columns_.back());
-    const auto rd = result.data();
-    float* dst = od.data() + n * out_channels_ * positions;
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      const float b = bd[c];
-      for (std::size_t p = 0; p < positions; ++p) {
-        dst[c * positions + p] = rd[c * positions + p] + b;
+  // Samples are independent: each writes its own output slice and unfolds
+  // into its thread's scratch, so the batch parallelizes with no sharing.
+  common::global_parallel_for(1, batch, [&](std::size_t b0,
+                                            std::size_t b1) {
+    float* columns = common::Workspace::floats(
+        common::Workspace::kConvColumns, patch * positions);
+    for (std::size_t n = b0; n < b1; ++n) {
+      tensor::im2col_into(in + n * chw, geom, columns);
+      // (out_c × patch) · (patch × positions) → (out_c × positions)
+      float* dst = od + n * out_channels_ * positions;
+      tensor::gemm_raw(out_channels_, patch, positions, 1.0f, wd, columns,
+                       0.0f, dst);
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        const float b = bd[c];
+        for (std::size_t p = 0; p < positions; ++p) dst[c * positions + p] += b;
       }
     }
-  }
+  });
   return out;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
-  GSFL_EXPECT_MSG(cached_input_shape_.rank() == 4,
+  GSFL_EXPECT_MSG(cached_input_.shape().rank() == 4,
                   "backward() requires a prior forward()");
-  const ConvGeometry geom = geometry(cached_input_shape_);
-  const std::size_t batch = cached_input_shape_[0];
+  const ConvGeometry geom = geometry(cached_input_.shape());
+  const std::size_t batch = cached_input_.shape()[0];
   const std::size_t positions = geom.out_positions();
+  const std::size_t patch = geom.patch_size();
+  const std::size_t chw = in_channels_ * geom.in_h * geom.in_w;
   GSFL_EXPECT(grad_output.shape() ==
               Shape({batch, out_channels_, geom.out_h(), geom.out_w()}));
-  GSFL_EXPECT(cached_columns_.size() == batch);
 
-  Tensor grad_input(cached_input_shape_);
-  const auto gd = grad_output.data();
-  auto gb = grad_bias_.data();
+  Tensor grad_input(cached_input_.shape());
+  const float* gd = grad_output.data().data();
+  const float* in = cached_input_.data().data();
+  float* gi = grad_input.data().data();
 
-  for (std::size_t n = 0; n < batch; ++n) {
-    // View this image's output gradient as an (out_c × positions) matrix.
-    Tensor dy(Shape{out_channels_, positions});
-    auto dyd = dy.data();
-    const float* src = gd.data() + n * out_channels_ * positions;
-    std::copy(src, src + out_channels_ * positions, dyd.begin());
+  // Wᵀ is loop-invariant: materialize it once and share it read-only.
+  const Tensor wt = tensor::transpose(weight_);
+  const float* wtd = wt.data().data();
 
-    // db += row sums of dy.
-    for (std::size_t c = 0; c < out_channels_; ++c) {
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < positions; ++p) acc += dyd[c * positions + p];
-      gb[c] += acc;
+  // dW/db are reductions over the batch. Chunk the batch with a fixed grain,
+  // give each chunk its own accumulator, and fold the chunks in index order
+  // afterwards — identical summation tree for any lane count.
+  const std::size_t num_chunks = (batch + kGradChunk - 1) / kGradChunk;
+  const std::size_t wsize = out_channels_ * patch;
+  // Accumulators live in the *calling* thread's workspace; each chunk owns
+  // a disjoint slice (zeroed by its writer), so lanes never collide and the
+  // call allocates nothing in steady state.
+  float* dw_acc = common::Workspace::floats(common::Workspace::kConvGradW,
+                                            num_chunks * wsize);
+  float* db_acc = common::Workspace::floats(common::Workspace::kConvGradB,
+                                            num_chunks * out_channels_);
+
+  common::global_parallel_for(1, num_chunks, [&](std::size_t c0,
+                                                 std::size_t c1) {
+    float* columns = common::Workspace::floats(
+        common::Workspace::kConvColumns, patch * positions);
+    float* columns_t = common::Workspace::floats(
+        common::Workspace::kConvColumnsT, patch * positions);
+    float* dcols = common::Workspace::floats(common::Workspace::kConvDcols,
+                                             patch * positions);
+    for (std::size_t chunk = c0; chunk < c1; ++chunk) {
+      float* dw = dw_acc + chunk * wsize;
+      float* db = db_acc + chunk * out_channels_;
+      std::fill(dw, dw + wsize, 0.0f);
+      std::fill(db, db + out_channels_, 0.0f);
+      const std::size_t n_end = std::min(batch, (chunk + 1) * kGradChunk);
+      for (std::size_t n = chunk * kGradChunk; n < n_end; ++n) {
+        // This image's output gradient is already an (out_c × positions)
+        // matrix in place — no staging copy needed with the raw GEMM core.
+        const float* dy = gd + n * out_channels_ * positions;
+
+        // db += row sums of dy.
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          float acc = 0.0f;
+          for (std::size_t p = 0; p < positions; ++p)
+            acc += dy[c * positions + p];
+          db[c] += acc;
+        }
+
+        // dW += dy · colsᵀ ; dcols = Wᵀ · dy, scattered back via col2im.
+        tensor::im2col_into(in + n * chw, geom, columns);
+        tensor::transpose_raw(columns, patch, positions, columns_t);
+        tensor::gemm_raw(out_channels_, positions, patch, 1.0f, dy, columns_t,
+                         1.0f, dw);
+        tensor::gemm_raw(patch, out_channels_, positions, 1.0f, wtd, dy, 0.0f,
+                         dcols);
+        tensor::col2im_accumulate_into(dcols, geom, gi + n * chw);
+      }
     }
+  });
 
-    // dW += dy · colsᵀ ; dcols = Wᵀ · dy, scattered back via col2im.
-    tensor::gemm(1.0f, dy, Trans::kNo, cached_columns_[n], Trans::kYes, 1.0f,
-                 grad_weight_);
-    Tensor dcols = tensor::matmul(weight_, dy, Trans::kYes, Trans::kNo);
-    tensor::col2im_accumulate(dcols, geom, grad_input, n);
+  auto gw = grad_weight_.data();
+  auto gb = grad_bias_.data();
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const float* dw = dw_acc + chunk * wsize;
+    const float* db = db_acc + chunk * out_channels_;
+    for (std::size_t i = 0; i < wsize; ++i) gw[i] += dw[i];
+    for (std::size_t c = 0; c < out_channels_; ++c) gb[c] += db[c];
   }
   return grad_input;
 }

@@ -1,5 +1,6 @@
 #include "gsfl/schemes/splitfed.hpp"
 
+#include "gsfl/common/thread_pool.hpp"
 #include "gsfl/schemes/aggregate.hpp"
 #include "gsfl/schemes/split_common.hpp"
 
@@ -38,6 +39,48 @@ RoundResult SplitFedTrainer::do_round() {
       static_cast<double>(global_client_.state_bytes());
   const double share = 1.0 / static_cast<double>(num_clients());
 
+  // Every client trains against its own server-side replica — exactly the
+  // scheme's premise — so the per-client loop runs on the thread pool, one
+  // independent (replica, optimizer, sampler) bundle per client. Outputs
+  // land in index-ordered slots and every reduction below consumes them in
+  // client order, keeping the round bitwise identical for any lane count.
+  struct ClientOutcome {
+    sim::LatencyBreakdown chain;
+    nn::StateDict client_state;
+    nn::StateDict server_state;
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+  };
+  std::vector<ClientOutcome> outcomes(num_clients());
+
+  common::global_pool().parallel_for(1, num_clients(), [&](std::size_t b,
+                                                           std::size_t e) {
+    for (std::size_t c = b; c < e; ++c) {
+      ClientOutcome& out = outcomes[c];
+      // Client-side model download (all clients concurrently).
+      out.chain.downlink +=
+          network().downlink_seconds(c, client_model_bytes, share);
+
+      nn::SplitModel replica(global_client_, global_server_);
+      auto client_opt = attach_optimizer(replica.client(),
+                                         [this] { return make_optimizer(); });
+      auto server_opt = attach_optimizer(replica.server(),
+                                         [this] { return make_optimizer(); });
+
+      const auto epoch =
+          run_split_epoch(replica, client_opt.get(), *server_opt, samplers_[c],
+                          network(), c, share);
+      out.chain += epoch.latency;
+      out.loss_sum = epoch.loss_sum;
+      out.batches = epoch.batches;
+
+      // Client-side model upload for aggregation.
+      out.chain.uplink += network().uplink_seconds(c, client_model_bytes, share);
+      out.client_state = replica.client().state();
+      out.server_state = replica.server().state();
+    }
+  });
+
   std::vector<nn::StateDict> client_states;
   std::vector<nn::StateDict> server_states;
   std::vector<double> weights;
@@ -50,30 +93,12 @@ RoundResult SplitFedTrainer::do_round() {
   sim::LatencyBreakdown slowest;
 
   for (std::size_t c = 0; c < num_clients(); ++c) {
-    sim::LatencyBreakdown chain;
-    // Client-side model download (all clients concurrently).
-    chain.downlink +=
-        network().downlink_seconds(c, client_model_bytes, share);
-
-    nn::SplitModel replica(global_client_, global_server_);
-    auto client_opt = attach_optimizer(replica.client(),
-                                       [this] { return make_optimizer(); });
-    auto server_opt = attach_optimizer(replica.server(),
-                                       [this] { return make_optimizer(); });
-
-    const auto epoch =
-        run_split_epoch(replica, client_opt.get(), *server_opt, samplers_[c],
-                        network(), c, share);
-    chain += epoch.latency;
-    loss_sum += epoch.loss_sum;
-    batches += epoch.batches;
-
-    // Client-side model upload for aggregation.
-    chain.uplink += network().uplink_seconds(c, client_model_bytes, share);
-    if (chain.total() > slowest.total()) slowest = chain;
-
-    client_states.push_back(replica.client().state());
-    server_states.push_back(replica.server().state());
+    ClientOutcome& out = outcomes[c];
+    loss_sum += out.loss_sum;
+    batches += out.batches;
+    if (out.chain.total() > slowest.total()) slowest = out.chain;
+    client_states.push_back(std::move(out.client_state));
+    server_states.push_back(std::move(out.server_state));
     weights.push_back(static_cast<double>(client_dataset(c).size()));
   }
 

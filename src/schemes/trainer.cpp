@@ -2,6 +2,7 @@
 
 #include <iostream>
 
+#include "gsfl/common/thread_pool.hpp"
 #include "gsfl/metrics/evaluate.hpp"
 #include "gsfl/nn/optimizer.hpp"
 
@@ -30,6 +31,7 @@ const data::Dataset& Trainer::client_dataset(std::size_t c) const {
 }
 
 RoundResult Trainer::run_round() {
+  if (config_.threads > 0) common::set_global_threads(config_.threads);
   RoundResult result = do_round();
   ++rounds_;
   return result;

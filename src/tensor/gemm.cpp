@@ -2,18 +2,29 @@
 
 #include <algorithm>
 
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/common/workspace.hpp"
+
 namespace gsfl::tensor {
 
 namespace {
 
-// Block sizes chosen so an (MC×KC) panel of A and a (KC×NC) panel of B fit
-// comfortably in L1/L2 on commodity cores.
-constexpr std::size_t kBlockM = 64;
+// Block sizes chosen so an (MC×KC) panel of A and a packed (KC×NC) panel of
+// B fit comfortably in L1/L2 on commodity cores.
 constexpr std::size_t kBlockK = 128;
 constexpr std::size_t kBlockN = 256;
 
-// C[i,:] += a_ik * B[k,:] over a j-range: the innermost kernel. Written so
-// the compiler auto-vectorizes the contiguous row walk.
+// Row-panel granularity for the parallel split of C, and the multiply-add
+// count below which the submit overhead outweighs going parallel.
+constexpr std::size_t kRowGrain = 8;
+constexpr std::size_t kParallelMacCutoff = 1u << 18;
+
+// Minimum C rows before packing B pays for its extra O(k·n) pass.
+constexpr std::size_t kPackMinRows = 16;
+
+// C[i,:] += a_ik * B[k,:] over a j-range: the innermost kernel. Branch-free
+// so the compiler auto-vectorizes the contiguous row walk and throughput is
+// independent of the data (a zero-skip test here defeats both).
 inline void saxpy_row(float a_ik, const float* b_row, float* c_row,
                       std::size_t n) {
   for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
@@ -21,19 +32,103 @@ inline void saxpy_row(float a_ik, const float* b_row, float* c_row,
 
 }  // namespace
 
+void transpose_raw(const float* src, std::size_t rows, std::size_t cols,
+                   float* dst) {
+  // Cache-blocked: walk src in tiles so both the row-major reads and the
+  // column-major writes stay within a tile's worth of cache lines, instead
+  // of thrashing one line per element on large weight matrices.
+  constexpr std::size_t kTile = 32;
+  for (std::size_t i0 = 0; i0 < rows; i0 += kTile) {
+    const std::size_t i1 = std::min(i0 + kTile, rows);
+    for (std::size_t j0 = 0; j0 < cols; j0 += kTile) {
+      const std::size_t j1 = std::min(j0 + kTile, cols);
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          dst[j * rows + i] = src[i * cols + j];
+        }
+      }
+    }
+  }
+}
+
 Tensor transpose(const Tensor& a) {
   GSFL_EXPECT(a.shape().rank() == 2);
   const std::size_t rows = a.shape()[0];
   const std::size_t cols = a.shape()[1];
   Tensor out(Shape{cols, rows});
-  const auto src = a.data();
-  auto dst = out.data();
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t j = 0; j < cols; ++j) {
-      dst[j * rows + i] = src[i * cols + j];
+  transpose_raw(a.data().data(), rows, cols, out.data().data());
+  return out;
+}
+
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  if (m == 0 || n == 0) return;
+
+  // Pack B once per call into a blocked layout — (k0, j0) panels laid out
+  // contiguously in loop order — so the saxpy sweep reads contiguous rows
+  // instead of n-strided ones. Only worth the extra O(k·n) pass when enough
+  // C rows reuse each panel; below the threshold B is read in place. The
+  // packed copy lives in the calling thread's workspace and is read-only
+  // while row tasks run.
+  const bool pack_b = m >= kPackMinRows;
+  float* pack = nullptr;
+  if (pack_b) {
+    pack = common::Workspace::floats(common::Workspace::kGemmPack, k * n);
+    std::size_t offset = 0;
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t j1 = std::min(j0 + kBlockN, n);
+        const std::size_t jn = j1 - j0;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const float* b_row = b + kk * n + j0;
+          std::copy(b_row, b_row + jn, pack + offset + (kk - k0) * jn);
+        }
+        offset += (k1 - k0) * jn;
+      }
     }
   }
-  return out;
+
+  // Each task owns a contiguous row panel of C: it applies beta to its rows
+  // and accumulates k-blocks in ascending order, so every C row sees the
+  // exact same operation sequence no matter how many lanes execute — the
+  // bitwise-determinism contract of the parallel runtime.
+  const auto process_rows = [&](std::size_t i_begin, std::size_t i_end) {
+    for (std::size_t i = i_begin; i < i_end; ++i) {
+      float* c_row = c + i * n;
+      if (beta == 0.0f) {
+        std::fill(c_row, c_row + n, 0.0f);
+      } else if (beta != 1.0f) {
+        for (std::size_t j = 0; j < n; ++j) c_row[j] *= beta;
+      }
+    }
+    std::size_t offset = 0;
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+        const std::size_t j1 = std::min(j0 + kBlockN, n);
+        const std::size_t jn = j1 - j0;
+        // Same values either way — packing only changes the stride.
+        const float* panel = pack_b ? pack + offset : b + k0 * n + j0;
+        const std::size_t panel_stride = pack_b ? jn : n;
+        offset += (k1 - k0) * jn;
+        for (std::size_t i = i_begin; i < i_end; ++i) {
+          float* c_row = c + i * n + j0;
+          const float* a_row = a + i * k;
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            saxpy_row(alpha * a_row[kk], panel + (kk - k0) * panel_stride,
+                      c_row, jn);
+          }
+        }
+      }
+    }
+  };
+
+  if (m * n * k < kParallelMacCutoff) {
+    process_rows(0, m);
+    return;
+  }
+  common::global_parallel_for(kRowGrain, m, process_rows);
 }
 
 void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
@@ -62,34 +157,8 @@ void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
   GSFL_EXPECT_MSG(c.shape()[0] == m && c.shape()[1] == n,
                   "gemm output shape mismatch");
 
-  auto cd = c.data();
-  if (beta == 0.0f) {
-    std::fill(cd.begin(), cd.end(), 0.0f);
-  } else if (beta != 1.0f) {
-    for (auto& v : cd) v *= beta;
-  }
-
-  const auto ad = pa->data();
-  const auto bd = pb->data();
-
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
-    const std::size_t i1 = std::min(i0 + kBlockM, m);
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k0 + kBlockK, k);
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::size_t j1 = std::min(j0 + kBlockN, n);
-        const std::size_t jn = j1 - j0;
-        for (std::size_t i = i0; i < i1; ++i) {
-          float* c_row = cd.data() + i * n + j0;
-          for (std::size_t kk = k0; kk < k1; ++kk) {
-            const float a_ik = alpha * ad[i * k + kk];
-            if (a_ik == 0.0f) continue;
-            saxpy_row(a_ik, bd.data() + kk * n + j0, c_row, jn);
-          }
-        }
-      }
-    }
-  }
+  gemm_raw(m, k, n, alpha, pa->data().data(), pb->data().data(), beta,
+           c.data().data());
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a,

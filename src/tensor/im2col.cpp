@@ -16,22 +16,15 @@ void check_image(const Tensor& t, std::size_t batch_index,
 
 }  // namespace
 
-Tensor im2col(const Tensor& input, std::size_t batch_index,
-              const ConvGeometry& geom) {
-  check_image(input, batch_index, geom);
+void im2col_into(const float* image, const ConvGeometry& geom,
+                 float* columns) {
   const std::size_t oh = geom.out_h();
   const std::size_t ow = geom.out_w();
-  Tensor columns(Shape{geom.patch_size(), oh * ow});
-  auto dst = columns.data();
-  const auto src = input.data();
-  const std::size_t chw = geom.in_channels * geom.in_h * geom.in_w;
-  const float* image = src.data() + batch_index * chw;
-
   std::size_t row = 0;
   for (std::size_t c = 0; c < geom.in_channels; ++c) {
     for (std::size_t ky = 0; ky < geom.kernel; ++ky) {
       for (std::size_t kx = 0; kx < geom.kernel; ++kx, ++row) {
-        float* out_row = dst.data() + row * oh * ow;
+        float* out_row = columns + row * oh * ow;
         for (std::size_t oy = 0; oy < oh; ++oy) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(oy * geom.stride + ky) -
@@ -53,28 +46,27 @@ Tensor im2col(const Tensor& input, std::size_t batch_index,
       }
     }
   }
+}
+
+Tensor im2col(const Tensor& input, std::size_t batch_index,
+              const ConvGeometry& geom) {
+  check_image(input, batch_index, geom);
+  Tensor columns(Shape{geom.patch_size(), geom.out_positions()});
+  const std::size_t chw = geom.in_channels * geom.in_h * geom.in_w;
+  im2col_into(input.data().data() + batch_index * chw, geom,
+              columns.data().data());
   return columns;
 }
 
-void col2im_accumulate(const Tensor& columns, const ConvGeometry& geom,
-                       Tensor& grad_input, std::size_t batch_index) {
-  check_image(grad_input, batch_index, geom);
+void col2im_accumulate_into(const float* columns, const ConvGeometry& geom,
+                            float* image) {
   const std::size_t oh = geom.out_h();
   const std::size_t ow = geom.out_w();
-  GSFL_EXPECT(columns.shape().rank() == 2);
-  GSFL_EXPECT(columns.shape()[0] == geom.patch_size());
-  GSFL_EXPECT(columns.shape()[1] == oh * ow);
-
-  const auto src = columns.data();
-  auto dst = grad_input.data();
-  const std::size_t chw = geom.in_channels * geom.in_h * geom.in_w;
-  float* image = dst.data() + batch_index * chw;
-
   std::size_t row = 0;
   for (std::size_t c = 0; c < geom.in_channels; ++c) {
     for (std::size_t ky = 0; ky < geom.kernel; ++ky) {
       for (std::size_t kx = 0; kx < geom.kernel; ++kx, ++row) {
-        const float* in_row = src.data() + row * oh * ow;
+        const float* in_row = columns + row * oh * ow;
         for (std::size_t oy = 0; oy < oh; ++oy) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(oy * geom.stride + ky) -
@@ -93,6 +85,17 @@ void col2im_accumulate(const Tensor& columns, const ConvGeometry& geom,
       }
     }
   }
+}
+
+void col2im_accumulate(const Tensor& columns, const ConvGeometry& geom,
+                       Tensor& grad_input, std::size_t batch_index) {
+  check_image(grad_input, batch_index, geom);
+  GSFL_EXPECT(columns.shape().rank() == 2);
+  GSFL_EXPECT(columns.shape()[0] == geom.patch_size());
+  GSFL_EXPECT(columns.shape()[1] == geom.out_positions());
+  const std::size_t chw = geom.in_channels * geom.in_h * geom.in_w;
+  col2im_accumulate_into(columns.data().data(), geom,
+                         grad_input.data().data() + batch_index * chw);
 }
 
 }  // namespace gsfl::tensor

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/common/workspace.hpp"
+
+namespace {
+
+using gsfl::common::ThreadPool;
+using gsfl::common::Workspace;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1, hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RangesAreContiguousDisjointAndRespectGrain) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 137;
+  constexpr std::size_t kGrain = 10;
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_for(kGrain, kN, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t expected_begin = 0;
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const auto [b, e] = ranges[i];
+    EXPECT_EQ(b, expected_begin);   // contiguous, disjoint tiling of [0, n)
+    EXPECT_LT(b, e);
+    if (i + 1 < ranges.size()) EXPECT_GE(e - b, kGrain);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, kN);
+}
+
+TEST(ThreadPool, SmallRangeRunsInOnePiece) {
+  ThreadPool pool(8);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_for(100, 40, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ranges.emplace_back(b, e);
+  });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 40}));
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(1, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1, 100,
+                        [&](std::size_t b, std::size_t) {
+                          if (b >= 50) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterAnException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1, 64,
+                                 [&](std::size_t, std::size_t) {
+                                   throw std::runtime_error("first");
+                                 }),
+               std::runtime_error);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(1, 64, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 64u);
+}
+
+TEST(ThreadPool, ReuseAcrossManySubmits) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<long long> sum{0};
+    pool.parallel_for(8, 256, [&](std::size_t b, std::size_t e) {
+      long long local = 0;
+      for (std::size_t i = b; i < e; ++i) local += static_cast<long long>(i);
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 255LL * 256 / 2);
+  }
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(1, 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      EXPECT_TRUE(ThreadPool::in_parallel_region());
+      // A nested submit must not deadlock; it runs inline on this lane.
+      pool.parallel_for(1, 10, [&](std::size_t ib, std::size_t ie) {
+        inner_total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80u);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, SingleLanePoolRunsEverythingInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.lanes(), 1u);
+  std::size_t sum = 0;  // no atomics needed: provably single-threaded
+  pool.parallel_for(1, 100, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ResolveThreadsPrefersExplicitRequest) {
+  EXPECT_EQ(gsfl::common::resolve_threads(3), 3u);
+  EXPECT_GE(gsfl::common::resolve_threads(0), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolResizes) {
+  gsfl::common::set_global_threads(2);
+  EXPECT_EQ(gsfl::common::global_lanes(), 2u);
+  gsfl::common::set_global_threads(0);  // back to the resolved default
+  EXPECT_GE(gsfl::common::global_lanes(), 1u);
+}
+
+TEST(Workspace, BuffersGrowAndAreReused) {
+  Workspace::reset_thread();
+  float* small = Workspace::floats(Workspace::kUserBase, 16);
+  for (std::size_t i = 0; i < 16; ++i) small[i] = 1.0f;
+  // Same key, same size: steady state must not reallocate.
+  EXPECT_EQ(Workspace::floats(Workspace::kUserBase, 16), small);
+  // Growing may move the buffer but must keep at least the new size.
+  float* big = Workspace::floats(Workspace::kUserBase, 1 << 12);
+  for (std::size_t i = 0; i < (1 << 12); ++i) big[i] = 2.0f;
+  EXPECT_GE(Workspace::thread_bytes(), (1u << 12) * sizeof(float));
+  Workspace::reset_thread();
+  EXPECT_EQ(Workspace::thread_bytes(), 0u);
+}
+
+TEST(Workspace, DistinctKeysNeverAlias) {
+  Workspace::reset_thread();
+  float* a = Workspace::floats(Workspace::kUserBase, 64);
+  float* b = Workspace::floats(Workspace::kUserBase + 1, 64);
+  EXPECT_NE(a, b);
+  Workspace::reset_thread();
+}
+
+TEST(Workspace, LanesNeverShareBuffers) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<float*> pointers;
+  // Each lane stamps its scratch, then we check nobody overwrote anybody:
+  // thread_local arenas make aliasing across lanes impossible.
+  pool.parallel_for(1, 64, [&](std::size_t b, std::size_t e) {
+    float* scratch = Workspace::floats(Workspace::kUserBase + 2, 256);
+    for (std::size_t i = 0; i < 256; ++i) scratch[i] = static_cast<float>(b);
+    for (std::size_t i = 0; i < 256; ++i) {
+      ASSERT_EQ(scratch[i], static_cast<float>(b));
+    }
+    (void)e;
+    std::lock_guard<std::mutex> lock(mutex);
+    pointers.push_back(scratch);
+  });
+  ASSERT_FALSE(pointers.empty());
+}
+
+}  // namespace

@@ -96,7 +96,14 @@ TEST(Resize, ConstantImageStaysConstant) {
 class ImageDirectoryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = "/tmp/gsfl_image_dir_test";
+    // Unique per-test directory: ctest runs each test case as its own
+    // process in parallel, so a shared fixed path would let one case's
+    // TearDown delete the directory under another.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            (std::string("gsfl_image_dir_test_") + info->name()))
+               .string();
     std::filesystem::create_directories(dir_);
     // Render a few synthetic signs to PPM at heterogeneous sizes.
     gsfl::data::SyntheticGtsrbConfig config;

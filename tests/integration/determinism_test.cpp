@@ -1,0 +1,143 @@
+// Thread-count invariance: the parallel runtime's core promise is that a
+// round is *bitwise* identical however many lanes execute it — model states,
+// training losses, and every simulated-latency component. These tests run
+// the same world serially (threads=1) and wide (threads=8, far more lanes
+// than this suite's datasets have clients per chunk) and demand exact
+// equality, not tolerances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/nn/activations.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/flatten.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "gsfl/schemes/splitfed.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::schemes::RoundResult;
+using gsfl::schemes::TrainConfig;
+
+/// conv(1→4,k2) → relu → flatten → dense(4,2): exercises the conv scratch /
+/// chunked-reduction paths, not just dense GEMMs. Cut 2 splits after relu.
+gsfl::nn::Sequential make_conv_model(Rng& rng) {
+  gsfl::nn::Sequential model;
+  model.emplace<gsfl::nn::Conv2d>(1, 4, /*kernel=*/2, /*stride=*/1,
+                                  /*pad=*/0, rng);
+  model.emplace<gsfl::nn::Relu>();
+  model.emplace<gsfl::nn::Flatten>();
+  model.emplace<gsfl::nn::Dense>(4, 2, rng);
+  return model;
+}
+
+constexpr std::size_t kConvCut = 2;
+constexpr std::size_t kClients = 8;
+constexpr std::size_t kRounds = 3;
+
+struct RunOutcome {
+  gsfl::nn::Sequential model;
+  std::vector<RoundResult> rounds;
+};
+
+void expect_identical(const RunOutcome& serial, const RunOutcome& wide) {
+  EXPECT_TRUE(gsfl::test::states_equal(serial.model, wide.model));
+  ASSERT_EQ(serial.rounds.size(), wide.rounds.size());
+  for (std::size_t r = 0; r < serial.rounds.size(); ++r) {
+    const auto& a = serial.rounds[r];
+    const auto& b = wide.rounds[r];
+    EXPECT_EQ(a.train_loss, b.train_loss);
+    EXPECT_EQ(a.latency.client_compute, b.latency.client_compute);
+    EXPECT_EQ(a.latency.server_compute, b.latency.server_compute);
+    EXPECT_EQ(a.latency.uplink, b.latency.uplink);
+    EXPECT_EQ(a.latency.downlink, b.latency.downlink);
+    EXPECT_EQ(a.latency.relay, b.latency.relay);
+    EXPECT_EQ(a.latency.aggregation, b.latency.aggregation);
+  }
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    gsfl::common::set_global_threads(0);  // restore the resolved default
+  }
+
+  template <typename MakeTrainer>
+  RunOutcome run_with_threads(std::size_t threads,
+                              const MakeTrainer& make_trainer) {
+    auto network = gsfl::test::make_tiny_network(kClients);
+    auto data = gsfl::test::make_client_datasets(kClients, 12, 77);
+    Rng rng(77);
+    auto init = make_conv_model(rng);
+    auto trainer = make_trainer(network, std::move(data), std::move(init),
+                                threads);
+    RunOutcome outcome;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      outcome.rounds.push_back(trainer->run_round());
+    }
+    outcome.model = trainer->global_model();
+    return outcome;
+  }
+};
+
+TEST_F(DeterminismTest, SplitFedRoundIsThreadCountInvariant) {
+  const auto make = [](const gsfl::net::WirelessNetwork& network,
+                       std::vector<gsfl::data::Dataset> data,
+                       gsfl::nn::Sequential init, std::size_t threads) {
+    TrainConfig config;
+    config.threads = threads;
+    return std::make_unique<gsfl::schemes::SplitFedTrainer>(
+        network, std::move(data), std::move(init), kConvCut, config);
+  };
+  expect_identical(run_with_threads(1, make), run_with_threads(8, make));
+}
+
+TEST_F(DeterminismTest, FedAvgRoundIsThreadCountInvariant) {
+  const auto make = [](const gsfl::net::WirelessNetwork& network,
+                       std::vector<gsfl::data::Dataset> data,
+                       gsfl::nn::Sequential init, std::size_t threads) {
+    TrainConfig config;
+    config.threads = threads;
+    return std::make_unique<gsfl::schemes::FedAvgTrainer>(
+        network, std::move(data), std::move(init), config);
+  };
+  expect_identical(run_with_threads(1, make), run_with_threads(8, make));
+}
+
+TEST_F(DeterminismTest, GsflRoundIsThreadCountInvariant) {
+  const auto make = [](const gsfl::net::WirelessNetwork& network,
+                       std::vector<gsfl::data::Dataset> data,
+                       gsfl::nn::Sequential init, std::size_t threads) {
+    gsfl::core::GsflConfig config;
+    config.num_groups = 4;
+    config.cut_layer = kConvCut;
+    config.train.threads = threads;
+    return std::make_unique<gsfl::core::GsflTrainer>(
+        network, std::move(data), std::move(init), config);
+  };
+  expect_identical(run_with_threads(1, make), run_with_threads(8, make));
+}
+
+TEST_F(DeterminismTest, GsflWithFailuresIsThreadCountInvariant) {
+  // Failure draws happen before the parallel region; the skip/relay logic
+  // must stay on the same clients for any lane count.
+  const auto make = [](const gsfl::net::WirelessNetwork& network,
+                       std::vector<gsfl::data::Dataset> data,
+                       gsfl::nn::Sequential init, std::size_t threads) {
+    gsfl::core::GsflConfig config;
+    config.num_groups = 4;
+    config.cut_layer = kConvCut;
+    config.client_failure_rate = 0.3;
+    config.train.threads = threads;
+    return std::make_unique<gsfl::core::GsflTrainer>(
+        network, std::move(data), std::move(init), config);
+  };
+  expect_identical(run_with_threads(1, make), run_with_threads(8, make));
+}
+
+}  // namespace
