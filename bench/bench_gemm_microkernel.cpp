@@ -1,0 +1,236 @@
+// Microkernel GEMM bench: the perf trajectory of the compute substrate.
+//
+// Times the register-blocked gemm_raw against the PR-1 saxpy row-sweep
+// kernel (embedded below as the frozen baseline) on the paper model's
+// headline layer shapes, and batched conv2d against the per-sample
+// im2col+GEMM pipeline it replaced. Prints GFLOP/s tables and emits
+// BENCH_gemm.json.
+//
+// JSON conventions (BenchJson rows):
+//   - "... saxpy" rows: the baseline, threads=1, speedup=1.
+//   - "... micro" rows: speedup = saxpy seconds / micro seconds at that
+//     thread count — so the threads=1 micro rows are the pure
+//     single-thread kernel-vs-kernel ratio.
+//   - "conv ... per-sample" / "conv ... batched" rows: speedup = per-sample
+//     seconds / batched seconds.
+//
+//   $ ./bench_gemm_microkernel [--reps=R] [--max-threads=N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gsfl/common/cli.hpp"
+#include "gsfl/common/rng.hpp"
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/tensor/gemm.hpp"
+#include "gsfl/tensor/im2col.hpp"
+#include "gsfl/tensor/microkernel.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-`reps` wall-clock seconds for fn().
+template <typename Fn>
+double time_best(std::size_t reps, const Fn& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+// ---- frozen PR-1 baseline ---------------------------------------------------
+// Verbatim port of the pre-microkernel gemm_raw hot path (panel-packed B +
+// branch-free saxpy row sweep), serial form: the kernel the acceptance
+// criterion measures against. Do not "improve" this — it is the yardstick.
+constexpr std::size_t kBlockK = 128;
+constexpr std::size_t kBlockN = 256;
+
+void saxpy_row(float a_ik, const float* b_row, float* c_row, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+}
+
+void saxpy_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                const float* b, float* c, std::vector<float>& pack) {
+  pack.resize(k * n);
+  std::size_t offset = 0;
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k0 + kBlockK, k);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::size_t j1 = std::min(j0 + kBlockN, n);
+      const std::size_t jn = j1 - j0;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const float* b_row = b + kk * n + j0;
+        std::copy(b_row, b_row + jn, pack.data() + offset + (kk - k0) * jn);
+      }
+      offset += (k1 - k0) * jn;
+    }
+  }
+  std::fill(c, c + m * n, 0.0f);
+  offset = 0;
+  for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k0 + kBlockK, k);
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
+      const std::size_t j1 = std::min(j0 + kBlockN, n);
+      const std::size_t jn = j1 - j0;
+      const float* panel = pack.data() + offset;
+      offset += (k1 - k0) * jn;
+      for (std::size_t i = 0; i < m; ++i) {
+        float* c_row = c + i * n + j0;
+        const float* a_row = a + i * k;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          saxpy_row(a_row[kk], panel + (kk - k0) * jn, c_row, jn);
+        }
+      }
+    }
+  }
+}
+// ---------------------------------------------------------------------------
+
+struct GemmShape {
+  const char* name;  ///< which paper layer this is
+  std::size_t m, k, n;
+};
+
+double gflops(std::size_t m, std::size_t k, std::size_t n, double seconds) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+         static_cast<double>(n) / seconds / 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gsfl::common::CliArgs args(argc, argv, {});
+  const auto reps = static_cast<std::size_t>(args.int_or("reps", 5));
+  const auto max_threads =
+      static_cast<std::size_t>(args.int_or("max-threads", 8));
+  gsfl::bench::BenchJson json;
+
+  std::printf("=== GEMM microkernel bench ===\n");
+  std::printf("register block: %zux%zu (simd width %zu), reps %zu\n\n",
+              gsfl::tensor::micro::kMR, gsfl::tensor::micro::kNR,
+              gsfl::tensor::micro::kSimdWidth, reps);
+
+  // The paper CNN's conv GEMMs as batched shapes (batch 16, 32×32 GTSRB
+  // input: conv1 16@3·3·3 over 1024 positions, conv2 32@16·3·3 over 256
+  // positions) plus the first dense layer — the shapes every training round
+  // spends its FLOPs on.
+  const GemmShape shapes[] = {
+      {"conv1", 16, 27, 16 * 1024},
+      {"conv2", 32, 144, 16 * 256},
+      {"dense1", 16, 2048, 128},
+  };
+
+  for (const auto& shape : shapes) {
+    Rng rng(7);
+    const auto a = Tensor::uniform(Shape{shape.m, shape.k}, rng, -1, 1);
+    const auto b = Tensor::uniform(Shape{shape.k, shape.n}, rng, -1, 1);
+    Tensor c(Shape{shape.m, shape.n});
+    const std::string tag = std::string(shape.name) + " " +
+                            std::to_string(shape.m) + "x" +
+                            std::to_string(shape.k) + "x" +
+                            std::to_string(shape.n);
+
+    std::vector<float> pack;
+    const double saxpy_s = time_best(reps, [&] {
+      saxpy_gemm(shape.m, shape.k, shape.n, a.data().data(), b.data().data(),
+                 c.data().data(), pack);
+    });
+    json.add("gemm " + tag + " saxpy", 1, saxpy_s, 1.0);
+    std::printf("%-24s saxpy   t=1  %8.3f ms  %6.2f GFLOP/s\n", tag.c_str(),
+                saxpy_s * 1e3, gflops(shape.m, shape.k, shape.n, saxpy_s));
+
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      gsfl::common::set_global_threads(threads);
+      const double micro_s = time_best(reps, [&] {
+        gsfl::tensor::gemm_raw(shape.m, shape.k, shape.n, 1.0f,
+                               a.data().data(), b.data().data(), 0.0f,
+                               c.data().data());
+      });
+      json.add("gemm " + tag + " micro", threads, micro_s,
+               saxpy_s / micro_s);
+      std::printf("%-24s micro   t=%zu  %8.3f ms  %6.2f GFLOP/s  %5.2fx\n",
+                  tag.c_str(), threads, micro_s * 1e3,
+                  gflops(shape.m, shape.k, shape.n, micro_s),
+                  saxpy_s / micro_s);
+    }
+    std::printf("\n");
+  }
+
+  // Batched conv vs the per-sample pipelines, on the paper's conv2 block
+  // (the FLOP-heaviest layer). "per-sample saxpy" is the PR-1 conv forward
+  // (one im2col + one saxpy GEMM per sample) — the pipeline the batched
+  // layer replaced and the baseline its speedup is measured against;
+  // "per-sample micro" isolates the batching gain from the kernel gain.
+  gsfl::common::set_global_threads(1);
+  {
+    const std::size_t batch = 16;
+    Rng rng(9);
+    gsfl::nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+    const auto x = Tensor::uniform(Shape{batch, 16, 16, 16}, rng, -1, 1);
+    const gsfl::tensor::ConvGeometry geom{.in_channels = 16,
+                                          .in_h = 16,
+                                          .in_w = 16,
+                                          .kernel = 3,
+                                          .stride = 1,
+                                          .pad = 1};
+    const std::size_t positions = geom.out_positions();
+    const std::size_t patch = geom.patch_size();
+    Tensor y(Shape{batch, 32, 16, 16});
+    Tensor columns(Shape{patch, positions});
+
+    std::vector<float> pack;
+    const double saxpy_s = time_best(reps, [&] {
+      for (std::size_t n = 0; n < batch; ++n) {
+        gsfl::tensor::im2col_into(
+            x.data().data() + n * 16 * 16 * 16, geom, columns.data().data());
+        saxpy_gemm(32, patch, positions, conv.weight().data().data(),
+                   columns.data().data(),
+                   y.data().data() + n * 32 * positions, pack);
+      }
+    });
+    json.add("conv conv2 b16 per-sample saxpy", 1, saxpy_s, 1.0);
+    std::printf("%-24s per-sample saxpy t=1 %8.3f ms\n", "conv2 fwd b16",
+                saxpy_s * 1e3);
+
+    const double micro_s = time_best(reps, [&] {
+      for (std::size_t n = 0; n < batch; ++n) {
+        gsfl::tensor::im2col_into(
+            x.data().data() + n * 16 * 16 * 16, geom, columns.data().data());
+        gsfl::tensor::gemm_raw(32, patch, positions, 1.0f,
+                               conv.weight().data().data(),
+                               columns.data().data(), 0.0f,
+                               y.data().data() + n * 32 * positions);
+      }
+    });
+    json.add("conv conv2 b16 per-sample micro", 1, micro_s,
+             saxpy_s / micro_s);
+    std::printf("%-24s per-sample micro t=1 %8.3f ms  %5.2fx\n",
+                "conv2 fwd b16", micro_s * 1e3, saxpy_s / micro_s);
+
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      gsfl::common::set_global_threads(threads);
+      const double batched_s =
+          time_best(reps, [&] { (void)conv.forward(x, false); });
+      json.add("conv conv2 b16 batched", threads, batched_s,
+               saxpy_s / batched_s);
+      std::printf("%-24s batched          t=%zu %8.3f ms  %5.2fx\n",
+                  "conv2 fwd b16", threads, batched_s * 1e3,
+                  saxpy_s / batched_s);
+    }
+  }
+
+  json.write("BENCH_gemm.json");
+  return 0;
+}

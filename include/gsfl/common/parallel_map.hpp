@@ -1,0 +1,70 @@
+// Deterministic fork-join map.
+//
+// parallel_map(n, fn) evaluates fn(i) for every i in [0, n) on the global
+// pool and returns the results as a vector with slot i holding fn(i) — the
+// "outcome slots + index-ordered merge" pattern every scheme's round loop
+// uses, encoded once. The caller folds the returned vector in index order,
+// which is what makes any reduction over the outcomes bitwise identical for
+// every thread count.
+//
+// Contract (inherits the parallel runtime's rules — see docs/parallelism.md):
+//   - fn is invoked concurrently from multiple lanes: it may freely read
+//     shared state but must write only state owned by its index (its
+//     sampler, its model replica, its outcome).
+//   - fn(i) runs exactly once per index; which lane runs it is scheduling
+//     noise. Any RNG fn consumes must be owned by index i or pre-drawn.
+//   - The result type must be default-constructible and move-assignable.
+//   - Nested calls (fn itself calling parallel_map or parallel_for) run
+//     inline on the calling lane.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "gsfl/common/thread_pool.hpp"
+
+namespace gsfl::common {
+
+template <typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+  using Result = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  // vector<bool> packs slots into shared bytes — adjacent lanes would race.
+  static_assert(!std::is_same_v<Result, bool>,
+                "parallel_map cannot return bool (vector<bool> slots share "
+                "bytes); wrap the flag in a struct");
+  std::vector<Result> out(n);
+  global_parallel_for(1, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+  });
+  return out;
+}
+
+/// Context overload: slot i holds fn(ctx, i), where ctx is built by
+/// make_context() once per *chunk* rather than once per index — for
+/// expensive per-task resources (a model replica, a scratch tensor) that
+/// fn only mutates as scratch. Because chunk boundaries vary with the lane
+/// count, fn(ctx, i) must produce the same result for a freshly made ctx
+/// as for one reused from earlier indices — the context is a resource, not
+/// an accumulator.
+template <typename MakeCtx, typename Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, MakeCtx&& make_context,
+                                Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<
+        Fn&, std::decay_t<std::invoke_result_t<MakeCtx&>>&, std::size_t>>> {
+  using Context = std::decay_t<std::invoke_result_t<MakeCtx&>>;
+  using Result = std::decay_t<
+      std::invoke_result_t<Fn&, Context&, std::size_t>>;
+  static_assert(!std::is_same_v<Result, bool>,
+                "parallel_map cannot return bool (vector<bool> slots share "
+                "bytes); wrap the flag in a struct");
+  std::vector<Result> out(n);
+  global_parallel_for(1, n, [&](std::size_t begin, std::size_t end) {
+    Context context = make_context();
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(context, i);
+  });
+  return out;
+}
+
+}  // namespace gsfl::common

@@ -13,10 +13,11 @@
 // Ownership rules:
 //   - A scratch pointer is valid only until the same thread's next floats()
 //     call with the same key; don't hold one past that.
-//   - Per-lane keys (kConvColumns*, kConvDcols) stay on the thread that
-//     fetched them — never hand them to another thread.
-//   - Caller-owned shared keys (kGemmPack read-only, kConvGradW/kConvGradB
-//     written in disjoint per-chunk slices): the thread *issuing* a
+//   - Per-lane keys (the GEMM panel a task packs for itself) stay on the
+//     thread that fetched them — never hand them to another thread.
+//   - Caller-owned shared keys (a packed GEMM operand read by every panel
+//     task; the batched im2col matrix written in disjoint per-sample column
+//     slices then read by the conv GEMM): the thread *issuing* a
 //     parallel_for fetches the buffer before the region, tasks access it
 //     under the rule in parentheses, and the issuer reads it after the
 //     join. Nothing else may touch that key while the region runs.
@@ -32,12 +33,14 @@ class Workspace {
   /// call sites never thrash one buffer between different steady-state
   /// sizes; external code should key from kUserBase upward.
   enum Key : std::size_t {
-    kGemmPack = 0,    ///< packed B panel (caller-owned, read by row tasks)
-    kConvColumns,     ///< im2col matrix (forward and backward)
-    kConvColumnsT,    ///< transposed im2col matrix (dW GEMM operand)
-    kConvDcols,       ///< column-space input gradient
-    kConvGradW,       ///< per-chunk dW accumulators (caller-owned, lane-sliced)
-    kConvGradB,       ///< per-chunk db accumulators (caller-owned, lane-sliced)
+    kGemmPack = 0,    ///< packed op(B) panel (shared when rows split, per-lane
+                      ///< when columns split)
+    kGemmPackA,       ///< packed op(A) panel (per-lane when rows split,
+                      ///< shared when columns split)
+    kConvColumns,     ///< batched im2col matrix (caller-owned, lane-sliced)
+    kConvDcols,       ///< batched column-space input gradient (caller-owned)
+    kConvStage,       ///< channel-major conv GEMM staging: forward output /
+                      ///< backward dy (caller-owned, lane-sliced)
     kUserBase = 16,
   };
 

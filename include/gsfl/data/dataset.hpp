@@ -35,6 +35,11 @@ class Dataset {
   [[nodiscard]] std::pair<tensor::Tensor, std::vector<std::int32_t>> gather(
       std::span<const std::size_t> indices) const;
 
+  /// Gather the contiguous sample range [begin, end) — one block copy, no
+  /// index vector needed.
+  [[nodiscard]] std::pair<tensor::Tensor, std::vector<std::int32_t>>
+  gather_range(std::size_t begin, std::size_t end) const;
+
   /// New dataset holding copies of the given samples.
   [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
 

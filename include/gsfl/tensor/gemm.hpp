@@ -2,9 +2,11 @@
 //
 // All heavy math in the NN substrate (dense layers, im2col convolutions)
 // funnels through this one routine, so it is the only place that needs
-// cache-aware tuning. The kernel is a register-blocked, panel-packed SGEMM —
-// not BLAS-fast, but within a small factor on the matrix sizes this library
-// uses, and entirely deterministic.
+// cache-aware tuning. The kernel is the register-blocked microkernel of
+// microkernel.hpp driven over packed panels — not BLAS-fast, but within a
+// small factor on the matrix sizes this library uses, and entirely
+// deterministic. Transposed operands are consumed by transposing during
+// panel *packing*, so no variant materializes an intermediate matrix.
 #pragma once
 
 #include "gsfl/tensor/tensor.hpp"
@@ -28,11 +30,19 @@ void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
 
 /// Raw row-major core: C(m×n) = alpha·A(m×k)·B(k×n) + beta·C, no transposes,
 /// no shape objects. This is the allocation-free entry point the nn layers
-/// drive with scratch buffers. Parallelized over row panels of C on the
-/// global thread pool; results are bitwise identical for any lane count.
-/// A, B, and C must not alias.
+/// drive with scratch buffers. Parallelized over row or column panels of C
+/// on the global thread pool; results are bitwise identical for any lane
+/// count. A, B, and C must not alias.
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* a, const float* b, float beta, float* c);
+
+/// General raw core: C(m×n) = alpha·op(A)·op(B) + beta·C. `a` is stored
+/// row-major (m×k) when trans_a is kNo, (k×m) when kYes; likewise `b` is
+/// (k×n) or (n×k). Transposition happens inside panel packing — no operand
+/// copy is ever materialized.
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, Trans trans_a, const float* b, Trans trans_b,
+              float beta, float* c);
 
 /// Out-of-place 2-D transpose (cache-blocked).
 [[nodiscard]] Tensor transpose(const Tensor& a);

@@ -40,8 +40,15 @@ struct ConvGeometry {
                             const ConvGeometry& geom);
 
 /// Raw core of im2col: unfold the contiguous C×H×W image at `image` into the
-/// (patch_size × out_positions) buffer at `columns`, fully overwriting it
-/// (padding positions included) — safe to drive with reused scratch.
+/// (patch_size × out_positions) block at `columns`, whose rows are
+/// `col_stride` floats apart — so one image can be written as a column slice
+/// of a batched (patch_size × batch·out_positions) matrix. Fully overwrites
+/// the block (padding positions included) — safe to drive with reused
+/// scratch. `col_stride` must be ≥ out_positions.
+void im2col_into(const float* image, const ConvGeometry& geom, float* columns,
+                 std::size_t col_stride);
+
+/// Contiguous convenience overload: col_stride == out_positions.
 void im2col_into(const float* image, const ConvGeometry& geom,
                  float* columns);
 
@@ -50,8 +57,13 @@ void im2col_into(const float* image, const ConvGeometry& geom,
 void col2im_accumulate(const Tensor& columns, const ConvGeometry& geom,
                        Tensor& grad_input, std::size_t batch_index);
 
-/// Raw core of col2im: accumulate the (patch_size × out_positions) buffer at
-/// `columns` into the contiguous C×H×W image at `image` (+=, not =).
+/// Raw core of col2im: accumulate the (patch_size × out_positions) block at
+/// `columns` (rows `col_stride` floats apart, mirroring im2col_into) into
+/// the contiguous C×H×W image at `image` (+=, not =).
+void col2im_accumulate_into(const float* columns, const ConvGeometry& geom,
+                            float* image, std::size_t col_stride);
+
+/// Contiguous convenience overload: col_stride == out_positions.
 void col2im_accumulate_into(const float* columns, const ConvGeometry& geom,
                             float* image);
 

@@ -1,0 +1,218 @@
+// Register-blocked GEMM panel kernels.
+//
+// The microkernel computes one MR×NR tile of C = alpha·A·B + beta·C from
+// *packed* operand panels, keeping the whole accumulator tile in registers
+// across the full k loop. Everything here is header-only and free of
+// allocation and threading so the panel logic is testable in isolation;
+// src/tensor/gemm.cpp layers packing-buffer management and the deterministic
+// parallel split on top.
+//
+// Packed layouts (both zero-padded to the register-block multiple):
+//   A panel — MR-row strips, k-major: strip s holds rows [s·MR, s·MR+MR) as
+//     pa[s·MR·k + p·MR + i] = A[s·MR + i, p], so the kernel reads one MR-long
+//     column of the strip per k step, contiguously.
+//   B panel — NR-column strips, k-major: strip s holds columns
+//     [s·NR, s·NR+NR) as pb[s·NR·k + p·NR + j] = B[p, s·NR + j], so the
+//     kernel reads one NR-long row of the strip per k step, contiguously.
+//
+// Determinism: every C element is produced by the same arithmetic sequence —
+// a single accumulator folded over k in ascending order, then one
+// `alpha·acc (+ beta·c)` write — no matter which strip, panel, or thread
+// computes it, and no matter where panel boundaries fall. That is what lets
+// gemm.cpp split work by rows *or* columns at any grain and still return
+// bitwise-identical results for every lane count. Padding lanes accumulate
+// zeros into accumulators that are never written back, so they cannot
+// perturb valid elements.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace gsfl::tensor::micro {
+
+// Register-block geometry, chosen from the SIMD width the compiler targets
+// so the accumulator tile fills (but does not spill) the vector register
+// file: MR×NR/width accumulators + NR/width B lanes + 1 broadcast lane.
+#if defined(__AVX512F__)
+inline constexpr std::size_t kSimdWidth = 16;  ///< floats per vector lane
+#elif defined(__AVX__)
+inline constexpr std::size_t kSimdWidth = 8;
+#else
+inline constexpr std::size_t kSimdWidth = 4;   ///< baseline x86-64 / NEON-ish
+#endif
+
+/// Rows per A strip (accumulator tile height).
+inline constexpr std::size_t kMR = kSimdWidth >= 8 ? 6 : 4;
+/// Columns per B strip (accumulator tile width): two vectors wide.
+inline constexpr std::size_t kNR = 2 * kSimdWidth;
+
+/// x rounded up to a multiple of r.
+[[nodiscard]] inline constexpr std::size_t round_up(std::size_t x,
+                                                    std::size_t r) {
+  return (x + r - 1) / r * r;
+}
+
+/// Floats needed for a packed A panel of `rows` rows × k.
+[[nodiscard]] inline constexpr std::size_t packed_a_floats(std::size_t rows,
+                                                           std::size_t k) {
+  return round_up(rows, kMR) * k;
+}
+
+/// Floats needed for a packed B panel of k × `cols`.
+[[nodiscard]] inline constexpr std::size_t packed_b_floats(std::size_t k,
+                                                           std::size_t cols) {
+  return round_up(cols, kNR) * k;
+}
+
+/// Pack `rows`×k of A into MR strips. `a` points at the panel's first row in
+/// a row-major matrix with leading dimension `lda` (≥ k).
+inline void pack_a(const float* a, std::size_t lda, std::size_t rows,
+                   std::size_t k, float* pa) {
+  for (std::size_t s = 0; s < rows; s += kMR) {
+    const std::size_t mr = std::min(kMR, rows - s);
+    for (std::size_t p = 0; p < k; ++p) {
+      std::size_t i = 0;
+      for (; i < mr; ++i) pa[p * kMR + i] = a[(s + i) * lda + p];
+      for (; i < kMR; ++i) pa[p * kMR + i] = 0.0f;
+    }
+    pa += kMR * k;
+  }
+}
+
+/// Pack `rows`×k of Aᵀ into MR strips: the logical panel is the transpose of
+/// a row-major source, so logical A[i, p] = src[p·lda + i]. `a` points at the
+/// panel's first logical row, i.e. column offset into the source. Reads are
+/// contiguous per k step — transposed A packs cheaper than untransposed.
+inline void pack_a_trans(const float* a, std::size_t lda, std::size_t rows,
+                         std::size_t k, float* pa) {
+  for (std::size_t s = 0; s < rows; s += kMR) {
+    const std::size_t mr = std::min(kMR, rows - s);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* src = a + p * lda + s;
+      std::size_t i = 0;
+      for (; i < mr; ++i) pa[p * kMR + i] = src[i];
+      for (; i < kMR; ++i) pa[p * kMR + i] = 0.0f;
+    }
+    pa += kMR * k;
+  }
+}
+
+/// Pack k×`cols` of B into NR strips. `b` points at the panel's first column
+/// in a row-major matrix with leading dimension `ldb` (≥ cols overall).
+inline void pack_b(const float* b, std::size_t ldb, std::size_t k,
+                   std::size_t cols, float* pb) {
+  for (std::size_t s = 0; s < cols; s += kNR) {
+    const std::size_t nr = std::min(kNR, cols - s);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* src = b + p * ldb + s;
+      std::size_t j = 0;
+      for (; j < nr; ++j) pb[p * kNR + j] = src[j];
+      for (; j < kNR; ++j) pb[p * kNR + j] = 0.0f;
+    }
+    pb += kNR * k;
+  }
+}
+
+/// Pack k×`cols` of Bᵀ into NR strips: logical B[p, j] = src[j·ldb + p],
+/// where the source is row-major (cols_total × k). `b` points at the panel's
+/// first logical column, i.e. row offset into the source.
+inline void pack_b_trans(const float* b, std::size_t ldb, std::size_t k,
+                         std::size_t cols, float* pb) {
+  for (std::size_t s = 0; s < cols; s += kNR) {
+    const std::size_t nr = std::min(kNR, cols - s);
+    for (std::size_t j = 0; j < nr; ++j) {
+      const float* src = b + (s + j) * ldb;
+      for (std::size_t p = 0; p < k; ++p) pb[p * kNR + j] = src[p];
+    }
+    for (std::size_t j = nr; j < kNR; ++j) {
+      for (std::size_t p = 0; p < k; ++p) pb[p * kNR + j] = 0.0f;
+    }
+    pb += kNR * k;
+  }
+}
+
+namespace detail {
+
+/// The register tile: acc[i][j] = Σ_p pa[p·MR+i] · pb[p·NR+j], folded in
+/// ascending p with one accumulator per element. The constant trip counts
+/// let the compiler fully unroll i, vectorize j, and keep acc in registers.
+inline void accumulate(std::size_t kc, const float* pa, const float* pb,
+                       float acc[kMR][kNR]) {
+  for (std::size_t p = 0; p < kc; ++p, pa += kMR, pb += kNR) {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float a = pa[i];
+      for (std::size_t j = 0; j < kNR; ++j) acc[i][j] += a * pb[j];
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Full-tile microkernel: C tile (MR×NR, row stride ldc) =
+/// alpha·(A strip · B strip) + beta·C tile. beta == 0 never reads C.
+inline void kernel_full(std::size_t kc, float alpha, const float* pa,
+                        const float* pb, float beta, float* c,
+                        std::size_t ldc) {
+  float acc[kMR][kNR] = {};
+  detail::accumulate(kc, pa, pb, acc);
+  if (beta == 0.0f) {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) c[i * ldc + j] = alpha * acc[i][j];
+    }
+  } else {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        c[i * ldc + j] = alpha * acc[i][j] + beta * c[i * ldc + j];
+      }
+    }
+  }
+}
+
+/// Edge microkernel: identical accumulation over the zero-padded strips,
+/// write-back masked to the valid mr×nr corner — so edge elements get the
+/// exact same arithmetic as interior ones.
+inline void kernel_edge(std::size_t kc, float alpha, const float* pa,
+                        const float* pb, float beta, float* c, std::size_t ldc,
+                        std::size_t mr, std::size_t nr) {
+  float acc[kMR][kNR] = {};
+  detail::accumulate(kc, pa, pb, acc);
+  if (beta == 0.0f) {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = alpha * acc[i][j];
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        c[i * ldc + j] = alpha * acc[i][j] + beta * c[i * ldc + j];
+      }
+    }
+  }
+}
+
+/// Macrokernel: sweep a packed A panel (`rows` logical rows) against a packed
+/// B panel (`cols` logical columns), writing the rows×cols block of C at `c`
+/// (row stride ldc). Column strips are the outer loop so one B strip (k·NR
+/// floats — L1-resident for the k this library sees) is reused across every
+/// row strip before the next is touched; the whole packed B streams through
+/// cache once per call instead of once per row strip. The order is irrelevant
+/// to the result — tiles are disjoint.
+inline void macrokernel(std::size_t rows, std::size_t cols, std::size_t k,
+                        float alpha, const float* pa, const float* pb,
+                        float beta, float* c, std::size_t ldc) {
+  for (std::size_t jr = 0; jr < cols; jr += kNR) {
+    const std::size_t nr = std::min(kNR, cols - jr);
+    const float* b_strip = pb + jr * k;  // strip index · kNR·k
+    for (std::size_t ir = 0; ir < rows; ir += kMR) {
+      const std::size_t mr = std::min(kMR, rows - ir);
+      const float* a_strip = pa + ir * k;  // strip index · kMR·k
+      float* ct = c + ir * ldc + jr;
+      if (mr == kMR && nr == kNR) {
+        kernel_full(k, alpha, a_strip, b_strip, beta, ct, ldc);
+      } else {
+        kernel_edge(k, alpha, a_strip, b_strip, beta, ct, ldc, mr, nr);
+      }
+    }
+  }
+}
+
+}  // namespace gsfl::tensor::micro

@@ -1,6 +1,6 @@
 #include "gsfl/core/gsfl.hpp"
 
-#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/common/parallel_map.hpp"
 #include "gsfl/schemes/aggregate.hpp"
 #include "gsfl/schemes/split_common.hpp"
 
@@ -96,12 +96,11 @@ schemes::RoundResult GsflTrainer::do_round() {
     }
   }
 
-  // The M groups train concurrently in the scheme — and now in the
-  // simulator: one pool task per group, each owning its replica pair,
+  // The M groups train concurrently in the scheme — and in the simulator:
+  // one parallel_map index per group, each owning its replica pair,
   // optimizers, and its members' samplers (groups partition the clients, so
-  // samplers never cross tasks). Outcomes land in group-indexed slots and
-  // are folded in group order below, keeping the round bitwise identical
-  // for any lane count.
+  // samplers never cross indices). The returned slots are folded in group
+  // order below, keeping the round bitwise identical for any lane count.
   struct GroupOutcome {
     sim::LatencyBreakdown chain;
     bool trained = false;
@@ -111,64 +110,60 @@ schemes::RoundResult GsflTrainer::do_round() {
     std::size_t batches = 0;
     std::size_t samples = 0;
   };
-  std::vector<GroupOutcome> outcomes(groups_.size());
+  auto outcomes = common::parallel_map(groups_.size(), [&](std::size_t g) {
+    GroupOutcome out;
+    const auto& members = groups_[g];
+    // The M groups train concurrently and split the band per the policy.
+    const double share = group_shares_[g];
+    sim::LatencyBreakdown& chain = out.chain;
 
-  common::global_pool().parallel_for(1, groups_.size(), [&](std::size_t gb,
-                                                            std::size_t ge) {
-    for (std::size_t g = gb; g < ge; ++g) {
-      GroupOutcome& out = outcomes[g];
-      const auto& members = groups_[g];
-      // The M groups train concurrently and split the band per the policy.
-      const double share = group_shares_[g];
-      sim::LatencyBreakdown& chain = out.chain;
-
-      std::vector<std::size_t> available;
-      for (const std::size_t c : members) {
-        if (!failed[c]) available.push_back(c);
-      }
-      if (available.empty()) {
-        // The whole group is offline: it trains nothing and is excluded from
-        // aggregation this round (weight 0 would poison fedavg_states, so we
-        // simply skip pushing its states).
-        continue;
-      }
-
-      // Step 1 for this group: fresh replicas of both halves; the client-side
-      // model is downlinked to the group's first *available* client.
-      nn::SplitModel replica(global_client_, global_server_);
-      auto client_opt = schemes::attach_optimizer(
-          replica.client(), [this] { return make_optimizer(); });
-      auto server_opt = schemes::attach_optimizer(
-          replica.server(), [this] { return make_optimizer(); });
-      chain.downlink += network().downlink_seconds(
-          available.front(), client_model_bytes, share);
-
-      // Step 2: sequential split training across the available members, with
-      // AP-relayed client-model hand-offs in between (failed members are
-      // bypassed entirely).
-      for (std::size_t j = 0; j < available.size(); ++j) {
-        const std::size_t c = available[j];
-        if (j > 0) {
-          chain.relay += network().relay_seconds(available[j - 1], c,
-                                                 client_model_bytes, share);
-        }
-        const auto epoch = schemes::run_split_epoch(
-            replica, client_opt.get(), *server_opt, samplers_[c], network(), c,
-            share);
-        chain += epoch.latency;
-        out.loss_sum += epoch.loss_sum;
-        out.batches += epoch.batches;
-        out.samples += epoch.samples;
-      }
-
-      // Last-trained client ships the group's client-side model to the AP.
-      chain.uplink += network().uplink_seconds(available.back(),
-                                               client_model_bytes, share);
-
-      out.trained = true;
-      out.client_state = replica.client().state();
-      out.server_state = replica.server().state();
+    std::vector<std::size_t> available;
+    for (const std::size_t c : members) {
+      if (!failed[c]) available.push_back(c);
     }
+    if (available.empty()) {
+      // The whole group is offline: it trains nothing and is excluded from
+      // aggregation this round (weight 0 would poison fedavg_states, so we
+      // simply skip pushing its states).
+      return out;
+    }
+
+    // Step 1 for this group: fresh replicas of both halves; the client-side
+    // model is downlinked to the group's first *available* client.
+    nn::SplitModel replica(global_client_, global_server_);
+    auto client_opt = schemes::attach_optimizer(
+        replica.client(), [this] { return make_optimizer(); });
+    auto server_opt = schemes::attach_optimizer(
+        replica.server(), [this] { return make_optimizer(); });
+    chain.downlink += network().downlink_seconds(
+        available.front(), client_model_bytes, share);
+
+    // Step 2: sequential split training across the available members, with
+    // AP-relayed client-model hand-offs in between (failed members are
+    // bypassed entirely).
+    for (std::size_t j = 0; j < available.size(); ++j) {
+      const std::size_t c = available[j];
+      if (j > 0) {
+        chain.relay += network().relay_seconds(available[j - 1], c,
+                                               client_model_bytes, share);
+      }
+      const auto epoch = schemes::run_split_epoch(
+          replica, client_opt.get(), *server_opt, samplers_[c], network(), c,
+          share);
+      chain += epoch.latency;
+      out.loss_sum += epoch.loss_sum;
+      out.batches += epoch.batches;
+      out.samples += epoch.samples;
+    }
+
+    // Last-trained client ships the group's client-side model to the AP.
+    chain.uplink += network().uplink_seconds(available.back(),
+                                             client_model_bytes, share);
+
+    out.trained = true;
+    out.client_state = replica.client().state();
+    out.server_state = replica.server().state();
+    return out;
   });
 
   for (std::size_t g = 0; g < groups_.size(); ++g) {

@@ -51,6 +51,20 @@ std::pair<Tensor, std::vector<std::int32_t>> Dataset::gather(
   return {std::move(batch), std::move(batch_labels)};
 }
 
+std::pair<Tensor, std::vector<std::int32_t>> Dataset::gather_range(
+    std::size_t begin, std::size_t end) const {
+  GSFL_EXPECT_MSG(begin < end && end <= size(),
+                  "sample range out of bounds");
+  const std::size_t sample_elems = images_.numel() / size();
+  const std::size_t count = end - begin;
+  Tensor batch(batch_shape(count));
+  std::copy_n(images_.data().data() + begin * sample_elems,
+              count * sample_elems, batch.data().data());
+  return {std::move(batch),
+          std::vector<std::int32_t>(labels_.begin() + begin,
+                                    labels_.begin() + end)};
+}
+
 Dataset Dataset::subset(std::span<const std::size_t> indices) const {
   auto [images, labels] = gather(indices);
   return Dataset(std::move(images), std::move(labels), num_classes_);

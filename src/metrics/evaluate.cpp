@@ -1,7 +1,8 @@
 #include "gsfl/metrics/evaluate.hpp"
 
-#include <numeric>
+#include <algorithm>
 
+#include "gsfl/common/parallel_map.hpp"
 #include "gsfl/nn/loss.hpp"
 
 namespace gsfl::metrics {
@@ -11,24 +12,43 @@ EvalResult evaluate(nn::Sequential& model, const data::Dataset& dataset,
   GSFL_EXPECT(batch_size >= 1);
   GSFL_EXPECT_MSG(!dataset.empty(), "cannot evaluate on an empty dataset");
 
+  // Batches are independent, so evaluation fans out over them: a contiguous
+  // sample range per batch — no index vector, one block gather each. Layers
+  // cache activations even in eval mode, so lanes must not share one model;
+  // the context overload builds one replica per pool chunk (small
+  // evaluations may still see one per batch, which is fine — a state copy
+  // is tiny next to a batch forward). The loss/correct fold below walks the
+  // slots in batch order: bitwise identical to the serial sweep for any
+  // lane count.
+  const std::size_t num_batches =
+      (dataset.size() + batch_size - 1) / batch_size;
+  struct BatchOutcome {
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+  };
+  const auto outcomes = common::parallel_map(
+      num_batches, [&] { return model; },
+      [&](nn::Sequential& local, std::size_t b) {
+        const std::size_t begin = b * batch_size;
+        const std::size_t end = std::min(begin + batch_size, dataset.size());
+        const auto [images, labels] = dataset.gather_range(begin, end);
+        const auto logits = local.forward(images, /*train=*/false);
+        const auto result = nn::softmax_cross_entropy(logits, labels);
+        BatchOutcome out;
+        out.loss_sum = result.loss * static_cast<double>(labels.size());
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          if (logits.argmax_row(i) == static_cast<std::size_t>(labels[i])) {
+            ++out.correct;
+          }
+        }
+        return out;
+      });
+
   double loss_sum = 0.0;
   std::size_t correct = 0;
-  std::vector<std::size_t> indices(dataset.size());
-  std::iota(indices.begin(), indices.end(), 0);
-
-  for (std::size_t begin = 0; begin < dataset.size(); begin += batch_size) {
-    const std::size_t end = std::min(begin + batch_size, dataset.size());
-    const std::span<const std::size_t> window(indices.data() + begin,
-                                              end - begin);
-    auto [images, labels] = dataset.gather(window);
-    const auto logits = model.forward(images, /*train=*/false);
-    const auto result = nn::softmax_cross_entropy(logits, labels);
-    loss_sum += result.loss * static_cast<double>(labels.size());
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      if (logits.argmax_row(i) == static_cast<std::size_t>(labels[i])) {
-        ++correct;
-      }
-    }
+  for (const auto& out : outcomes) {
+    loss_sum += out.loss_sum;
+    correct += out.correct;
   }
   const auto n = static_cast<double>(dataset.size());
   return EvalResult{static_cast<double>(correct) / n, loss_sum / n};

@@ -7,19 +7,13 @@
 #include "gsfl/common/workspace.hpp"
 #include "gsfl/nn/init.hpp"
 #include "gsfl/tensor/gemm.hpp"
+#include "gsfl/tensor/microkernel.hpp"
 
 namespace gsfl::nn {
 
 using tensor::ConvGeometry;
-
-namespace {
-
-// Samples per reduction chunk in backward. Fixed (never derived from the
-// lane count) so the dW/db summation tree has the same shape for every
-// thread count — the bitwise-determinism contract.
-constexpr std::size_t kGradChunk = 4;
-
-}  // namespace
+using tensor::Trans;
+namespace micro = tensor::micro;
 
 Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, std::size_t pad,
@@ -74,25 +68,35 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   Tensor out(Shape{batch, out_channels_, geom.out_h(), geom.out_w()});
   float* od = out.data().data();
   const float* in = input.data().data();
-  const float* wd = weight_.data().data();
   const float* bd = bias_.data().data();
 
-  // Samples are independent: each writes its own output slice and unfolds
-  // into its thread's scratch, so the batch parallelizes with no sharing.
-  common::global_parallel_for(1, batch, [&](std::size_t b0,
-                                            std::size_t b1) {
+  // One batched GEMM over the whole im2col matrix, driven on the raw panel
+  // kernels: the weight panel is packed once per call and shared read-only;
+  // each sample then flows unfold → pack → macrokernel while its columns are
+  // still cache-hot, writing its NCHW output slice directly (the im2col
+  // matrix's per-sample column blocks never need to coexist). Pre-filling
+  // the output with the bias and accumulating with beta=1 folds the bias add
+  // into the GEMM write-back.
+  float* pw = common::Workspace::floats(
+      common::Workspace::kGemmPackA, micro::packed_a_floats(out_channels_,
+                                                            patch));
+  micro::pack_a(weight_.data().data(), patch, out_channels_, patch, pw);
+
+  common::global_parallel_for(1, batch, [&](std::size_t b0, std::size_t b1) {
     float* columns = common::Workspace::floats(
         common::Workspace::kConvColumns, patch * positions);
+    float* pb = common::Workspace::floats(
+        common::Workspace::kGemmPack, micro::packed_b_floats(patch,
+                                                             positions));
     for (std::size_t n = b0; n < b1; ++n) {
       tensor::im2col_into(in + n * chw, geom, columns);
-      // (out_c × patch) · (patch × positions) → (out_c × positions)
+      micro::pack_b(columns, positions, patch, positions, pb);
       float* dst = od + n * out_channels_ * positions;
-      tensor::gemm_raw(out_channels_, patch, positions, 1.0f, wd, columns,
-                       0.0f, dst);
       for (std::size_t c = 0; c < out_channels_; ++c) {
-        const float b = bd[c];
-        for (std::size_t p = 0; p < positions; ++p) dst[c * positions + p] += b;
+        std::fill(dst + c * positions, dst + (c + 1) * positions, bd[c]);
       }
+      micro::macrokernel(out_channels_, positions, patch, 1.0f, pw, pb, 1.0f,
+                         dst, positions);
     }
   });
   return out;
@@ -106,6 +110,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const std::size_t positions = geom.out_positions();
   const std::size_t patch = geom.patch_size();
   const std::size_t chw = in_channels_ * geom.in_h * geom.in_w;
+  const std::size_t batch_pos = batch * positions;
   GSFL_EXPECT(grad_output.shape() ==
               Shape({batch, out_channels_, geom.out_h(), geom.out_w()}));
 
@@ -114,70 +119,69 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   const float* in = cached_input_.data().data();
   float* gi = grad_input.data().data();
 
-  // Wᵀ is loop-invariant: materialize it once and share it read-only.
-  const Tensor wt = tensor::transpose(weight_);
-  const float* wtd = wt.data().data();
+  // dx: dcols_n = Wᵀ · dy_n per sample, fused with the col2im scatter while
+  // the column gradients are cache-hot. Wᵀ is packed once (the transpose is
+  // absorbed into packing) and shared read-only; each sample's dy block is
+  // already an (out_c × positions) matrix in place, so the per-sample B
+  // panel packs straight from the gradient tensor. Samples write disjoint
+  // grad_input slices.
+  float* pwt = common::Workspace::floats(
+      common::Workspace::kGemmPackA, micro::packed_a_floats(patch,
+                                                            out_channels_));
+  micro::pack_a_trans(weight_.data().data(), patch, patch, out_channels_,
+                      pwt);
 
-  // dW/db are reductions over the batch. Chunk the batch with a fixed grain,
-  // give each chunk its own accumulator, and fold the chunks in index order
-  // afterwards — identical summation tree for any lane count.
-  const std::size_t num_chunks = (batch + kGradChunk - 1) / kGradChunk;
-  const std::size_t wsize = out_channels_ * patch;
-  // Accumulators live in the *calling* thread's workspace; each chunk owns
-  // a disjoint slice (zeroed by its writer), so lanes never collide and the
-  // call allocates nothing in steady state.
-  float* dw_acc = common::Workspace::floats(common::Workspace::kConvGradW,
-                                            num_chunks * wsize);
-  float* db_acc = common::Workspace::floats(common::Workspace::kConvGradB,
-                                            num_chunks * out_channels_);
-
-  common::global_parallel_for(1, num_chunks, [&](std::size_t c0,
-                                                 std::size_t c1) {
-    float* columns = common::Workspace::floats(
-        common::Workspace::kConvColumns, patch * positions);
-    float* columns_t = common::Workspace::floats(
-        common::Workspace::kConvColumnsT, patch * positions);
+  common::global_parallel_for(1, batch, [&](std::size_t b0, std::size_t b1) {
+    float* pb = common::Workspace::floats(
+        common::Workspace::kGemmPack, micro::packed_b_floats(out_channels_,
+                                                             positions));
     float* dcols = common::Workspace::floats(common::Workspace::kConvDcols,
                                              patch * positions);
-    for (std::size_t chunk = c0; chunk < c1; ++chunk) {
-      float* dw = dw_acc + chunk * wsize;
-      float* db = db_acc + chunk * out_channels_;
-      std::fill(dw, dw + wsize, 0.0f);
-      std::fill(db, db + out_channels_, 0.0f);
-      const std::size_t n_end = std::min(batch, (chunk + 1) * kGradChunk);
-      for (std::size_t n = chunk * kGradChunk; n < n_end; ++n) {
-        // This image's output gradient is already an (out_c × positions)
-        // matrix in place — no staging copy needed with the raw GEMM core.
-        const float* dy = gd + n * out_channels_ * positions;
-
-        // db += row sums of dy.
-        for (std::size_t c = 0; c < out_channels_; ++c) {
-          float acc = 0.0f;
-          for (std::size_t p = 0; p < positions; ++p)
-            acc += dy[c * positions + p];
-          db[c] += acc;
-        }
-
-        // dW += dy · colsᵀ ; dcols = Wᵀ · dy, scattered back via col2im.
-        tensor::im2col_into(in + n * chw, geom, columns);
-        tensor::transpose_raw(columns, patch, positions, columns_t);
-        tensor::gemm_raw(out_channels_, positions, patch, 1.0f, dy, columns_t,
-                         1.0f, dw);
-        tensor::gemm_raw(patch, out_channels_, positions, 1.0f, wtd, dy, 0.0f,
-                         dcols);
-        tensor::col2im_accumulate_into(dcols, geom, gi + n * chw);
-      }
+    for (std::size_t n = b0; n < b1; ++n) {
+      micro::pack_b(gd + n * out_channels_ * positions, positions,
+                    out_channels_, positions, pb);
+      micro::macrokernel(patch, positions, out_channels_, 1.0f, pwt, pb, 0.0f,
+                         dcols, positions);
+      tensor::col2im_accumulate_into(dcols, geom, gi + n * chw);
     }
   });
 
-  auto gw = grad_weight_.data();
-  auto gb = grad_bias_.data();
-  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
-    const float* dw = dw_acc + chunk * wsize;
-    const float* db = db_acc + chunk * out_channels_;
-    for (std::size_t i = 0; i < wsize; ++i) gw[i] += dw[i];
-    for (std::size_t c = 0; c < out_channels_; ++c) gb[c] += db[c];
-  }
+  // dW and db reduce over the batch. Restage dy to channel-major
+  // (out_c × batch·positions) and rebuild the batched im2col matrix (the
+  // input is k²× smaller than the unfolded columns, so re-unfolding beats
+  // caching), then both reductions become single fixed-order folds: db sums
+  // each channel strip in ascending index order, and dW is one batched GEMM
+  // whose ascending-k accumulation (k = batch·positions) *is* the batch
+  // reduction — the same order for any lane count.
+  float* dy = common::Workspace::floats(common::Workspace::kConvStage,
+                                        out_channels_ * batch_pos);
+  float* columns = common::Workspace::floats(common::Workspace::kConvColumns,
+                                             patch * batch_pos);
+  common::global_parallel_for(1, batch, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t n = b0; n < b1; ++n) {
+      const float* src = gd + n * out_channels_ * positions;
+      for (std::size_t c = 0; c < out_channels_; ++c) {
+        std::copy(src + c * positions, src + (c + 1) * positions,
+                  dy + c * batch_pos + n * positions);
+      }
+      tensor::im2col_into(in + n * chw, geom, columns + n * positions,
+                          batch_pos);
+    }
+  });
+
+  float* gb = grad_bias_.data().data();
+  common::global_parallel_for(1, out_channels_, [&](std::size_t c0,
+                                                    std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      const float* row = dy + c * batch_pos;
+      float acc = 0.0f;
+      for (std::size_t t = 0; t < batch_pos; ++t) acc += row[t];
+      gb[c] += acc;
+    }
+  });
+
+  tensor::gemm_raw(out_channels_, batch_pos, patch, 1.0f, dy, Trans::kNo,
+                   columns, Trans::kYes, 1.0f, grad_weight_.data().data());
   return grad_input;
 }
 

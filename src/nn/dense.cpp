@@ -29,11 +29,15 @@ Tensor Dense::forward(const Tensor& input, bool /*train*/) {
   GSFL_EXPECT_MSG(input.shape()[1] == in_features_,
                   "dense input width mismatch");
   cached_input_ = input;
-  // y = x · Wᵀ, then add bias per row.
-  Tensor out = tensor::matmul(input, weight_, Trans::kNo, Trans::kYes);
+  // y = x · Wᵀ, then add bias per row. The raw path absorbs the transpose
+  // into panel packing — no staging copy of W.
+  const std::size_t batch = input.shape()[0];
+  Tensor out(Shape{batch, out_features_});
+  tensor::gemm_raw(batch, in_features_, out_features_, 1.0f,
+                   input.data().data(), Trans::kNo, weight_.data().data(),
+                   Trans::kYes, 0.0f, out.data().data());
   auto od = out.data();
   const auto bd = bias_.data();
-  const std::size_t batch = input.shape()[0];
   for (std::size_t i = 0; i < batch; ++i) {
     for (std::size_t j = 0; j < out_features_; ++j) {
       od[i * out_features_ + j] += bd[j];
@@ -49,18 +53,26 @@ Tensor Dense::backward(const Tensor& grad_output) {
                   "backward() requires a prior forward()");
   GSFL_EXPECT(grad_output.shape()[0] == cached_input_.shape()[0]);
 
-  // dW += dyᵀ · x ; db += column sums of dy ; dx = dy · W.
-  tensor::gemm(1.0f, grad_output, Trans::kYes, cached_input_, Trans::kNo,
-               1.0f, grad_weight_);
+  // dW += dyᵀ · x ; db += column sums of dy ; dx = dy · W. All three run on
+  // the raw packed path: transposes fold into packing, and the only fresh
+  // tensor is the returned dx.
+  const std::size_t batch = grad_output.shape()[0];
+  tensor::gemm_raw(out_features_, batch, in_features_, 1.0f,
+                   grad_output.data().data(), Trans::kYes,
+                   cached_input_.data().data(), Trans::kNo, 1.0f,
+                   grad_weight_.data().data());
   const auto gd = grad_output.data();
   auto gb = grad_bias_.data();
-  const std::size_t batch = grad_output.shape()[0];
   for (std::size_t i = 0; i < batch; ++i) {
     for (std::size_t j = 0; j < out_features_; ++j) {
       gb[j] += gd[i * out_features_ + j];
     }
   }
-  return tensor::matmul(grad_output, weight_, Trans::kNo, Trans::kNo);
+  Tensor dx(Shape{batch, in_features_});
+  tensor::gemm_raw(batch, out_features_, in_features_, 1.0f,
+                   grad_output.data().data(), Trans::kNo,
+                   weight_.data().data(), Trans::kNo, 0.0f, dx.data().data());
+  return dx;
 }
 
 std::vector<Tensor*> Dense::parameters() { return {&weight_, &bias_}; }

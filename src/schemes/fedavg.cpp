@@ -1,6 +1,6 @@
 #include "gsfl/schemes/fedavg.hpp"
 
-#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/common/parallel_map.hpp"
 #include "gsfl/nn/loss.hpp"
 #include "gsfl/schemes/aggregate.hpp"
 
@@ -23,51 +23,47 @@ RoundResult FedAvgTrainer::do_round() {
   const double model_bytes = static_cast<double>(global_.state_bytes());
   const double share = 1.0 / static_cast<double>(num_clients());
 
-  // Clients train concurrently in FL by definition; the simulation now does
-  // too. Each lane works on its own model copy, optimizer, and sampler, and
-  // the merges below walk the outcome slots in client-index order so the
-  // round is bitwise identical for any lane count.
+  // Clients train concurrently in FL by definition; the simulation does
+  // too. Each index owns its model copy, optimizer, and sampler, and the
+  // merges below walk the returned slots in client-index order — the
+  // determinism contract parallel_map encodes.
   struct ClientOutcome {
     sim::LatencyBreakdown chain;
     nn::StateDict state;
     double loss_sum = 0.0;
     std::size_t batches = 0;
   };
-  std::vector<ClientOutcome> outcomes(num_clients());
+  auto outcomes = common::parallel_map(num_clients(), [&](std::size_t c) {
+    ClientOutcome out;
+    // Global model download (all clients concurrently).
+    out.chain.downlink += network().downlink_seconds(c, model_bytes, share);
 
-  common::global_pool().parallel_for(1, num_clients(), [&](std::size_t cb,
-                                                           std::size_t ce) {
-    for (std::size_t c = cb; c < ce; ++c) {
-      ClientOutcome& out = outcomes[c];
-      // Global model download (all clients concurrently).
-      out.chain.downlink += network().downlink_seconds(c, model_bytes, share);
+    // Local training: full model on the device.
+    nn::Sequential local = global_;
+    auto optimizer = make_optimizer();
+    optimizer->attach(local.parameters(), local.gradients());
 
-      // Local training: full model on the device.
-      nn::Sequential local = global_;
-      auto optimizer = make_optimizer();
-      optimizer->attach(local.parameters(), local.gradients());
-
-      for (std::size_t e = 0; e < config().local_epochs; ++e) {
-        const std::size_t num_batches = samplers_[c].batches_per_epoch();
-        for (std::size_t b = 0; b < num_batches; ++b) {
-          const auto batch = samplers_[c].next();
-          const auto cost = local.flops(batch.images.shape());
-          local.zero_grad();
-          const auto logits = local.forward(batch.images, /*train=*/true);
-          const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
-          (void)local.backward(loss.grad_logits);
-          optimizer->step();
-          out.chain.client_compute += network().client_compute_seconds(
-              c, static_cast<double>(cost.forward + cost.backward));
-          out.loss_sum += loss.loss;
-          ++out.batches;
-        }
+    for (std::size_t e = 0; e < config().local_epochs; ++e) {
+      const std::size_t num_batches = samplers_[c].batches_per_epoch();
+      for (std::size_t b = 0; b < num_batches; ++b) {
+        const auto batch = samplers_[c].next();
+        const auto cost = local.flops(batch.images.shape());
+        local.zero_grad();
+        const auto logits = local.forward(batch.images, /*train=*/true);
+        const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+        (void)local.backward(loss.grad_logits);
+        optimizer->step();
+        out.chain.client_compute += network().client_compute_seconds(
+            c, static_cast<double>(cost.forward + cost.backward));
+        out.loss_sum += loss.loss;
+        ++out.batches;
       }
-
-      // Model upload (all clients concurrently).
-      out.chain.uplink += network().uplink_seconds(c, model_bytes, share);
-      out.state = local.state();
     }
+
+    // Model upload (all clients concurrently).
+    out.chain.uplink += network().uplink_seconds(c, model_bytes, share);
+    out.state = local.state();
+    return out;
   });
 
   std::vector<nn::StateDict> local_states;

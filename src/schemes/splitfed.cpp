@@ -1,6 +1,6 @@
 #include "gsfl/schemes/splitfed.hpp"
 
-#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/common/parallel_map.hpp"
 #include "gsfl/schemes/aggregate.hpp"
 #include "gsfl/schemes/split_common.hpp"
 
@@ -40,10 +40,10 @@ RoundResult SplitFedTrainer::do_round() {
   const double share = 1.0 / static_cast<double>(num_clients());
 
   // Every client trains against its own server-side replica — exactly the
-  // scheme's premise — so the per-client loop runs on the thread pool, one
-  // independent (replica, optimizer, sampler) bundle per client. Outputs
-  // land in index-ordered slots and every reduction below consumes them in
-  // client order, keeping the round bitwise identical for any lane count.
+  // scheme's premise — so the per-client work runs as a parallel_map, one
+  // independent (replica, optimizer, sampler) bundle per client. The merges
+  // below consume the returned slots in client order, keeping the round
+  // bitwise identical for any lane count.
   struct ClientOutcome {
     sim::LatencyBreakdown chain;
     nn::StateDict client_state;
@@ -51,34 +51,30 @@ RoundResult SplitFedTrainer::do_round() {
     double loss_sum = 0.0;
     std::size_t batches = 0;
   };
-  std::vector<ClientOutcome> outcomes(num_clients());
+  auto outcomes = common::parallel_map(num_clients(), [&](std::size_t c) {
+    ClientOutcome out;
+    // Client-side model download (all clients concurrently).
+    out.chain.downlink +=
+        network().downlink_seconds(c, client_model_bytes, share);
 
-  common::global_pool().parallel_for(1, num_clients(), [&](std::size_t b,
-                                                           std::size_t e) {
-    for (std::size_t c = b; c < e; ++c) {
-      ClientOutcome& out = outcomes[c];
-      // Client-side model download (all clients concurrently).
-      out.chain.downlink +=
-          network().downlink_seconds(c, client_model_bytes, share);
+    nn::SplitModel replica(global_client_, global_server_);
+    auto client_opt = attach_optimizer(replica.client(),
+                                       [this] { return make_optimizer(); });
+    auto server_opt = attach_optimizer(replica.server(),
+                                       [this] { return make_optimizer(); });
 
-      nn::SplitModel replica(global_client_, global_server_);
-      auto client_opt = attach_optimizer(replica.client(),
-                                         [this] { return make_optimizer(); });
-      auto server_opt = attach_optimizer(replica.server(),
-                                         [this] { return make_optimizer(); });
+    const auto epoch =
+        run_split_epoch(replica, client_opt.get(), *server_opt, samplers_[c],
+                        network(), c, share);
+    out.chain += epoch.latency;
+    out.loss_sum = epoch.loss_sum;
+    out.batches = epoch.batches;
 
-      const auto epoch =
-          run_split_epoch(replica, client_opt.get(), *server_opt, samplers_[c],
-                          network(), c, share);
-      out.chain += epoch.latency;
-      out.loss_sum = epoch.loss_sum;
-      out.batches = epoch.batches;
-
-      // Client-side model upload for aggregation.
-      out.chain.uplink += network().uplink_seconds(c, client_model_bytes, share);
-      out.client_state = replica.client().state();
-      out.server_state = replica.server().state();
-    }
+    // Client-side model upload for aggregation.
+    out.chain.uplink += network().uplink_seconds(c, client_model_bytes, share);
+    out.client_state = replica.client().state();
+    out.server_state = replica.server().state();
+    return out;
   });
 
   std::vector<nn::StateDict> client_states;

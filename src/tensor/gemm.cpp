@@ -4,30 +4,37 @@
 
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/common/workspace.hpp"
+#include "gsfl/tensor/microkernel.hpp"
 
 namespace gsfl::tensor {
 
 namespace {
 
-// Block sizes chosen so an (MC×KC) panel of A and a packed (KC×NC) panel of
-// B fit comfortably in L1/L2 on commodity cores.
-constexpr std::size_t kBlockK = 128;
-constexpr std::size_t kBlockN = 256;
-
-// Row-panel granularity for the parallel split of C, and the multiply-add
-// count below which the submit overhead outweighs going parallel.
-constexpr std::size_t kRowGrain = 8;
+// Panel granularity for the parallel split of C — rows per chunk when
+// splitting by rows, columns per chunk when splitting by columns — and the
+// multiply-add count below which submit overhead outweighs going parallel.
+constexpr std::size_t kRowGrain = 2 * micro::kMR;
+constexpr std::size_t kColGrain = 2 * micro::kNR;
 constexpr std::size_t kParallelMacCutoff = 1u << 18;
 
-// Minimum C rows before packing B pays for its extra O(k·n) pass.
-constexpr std::size_t kPackMinRows = 16;
+// Pack the panel of op(A) covering logical rows [r0, r1).
+void pack_a_panel(const float* a, Trans trans, std::size_t m, std::size_t k,
+                  std::size_t r0, std::size_t r1, float* pa) {
+  if (trans == Trans::kNo) {
+    micro::pack_a(a + r0 * k, k, r1 - r0, k, pa);
+  } else {
+    micro::pack_a_trans(a + r0, m, r1 - r0, k, pa);
+  }
+}
 
-// C[i,:] += a_ik * B[k,:] over a j-range: the innermost kernel. Branch-free
-// so the compiler auto-vectorizes the contiguous row walk and throughput is
-// independent of the data (a zero-skip test here defeats both).
-inline void saxpy_row(float a_ik, const float* b_row, float* c_row,
-                      std::size_t n) {
-  for (std::size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+// Pack the panel of op(B) covering logical columns [c0, c1).
+void pack_b_panel(const float* b, Trans trans, std::size_t k, std::size_t n,
+                  std::size_t c0, std::size_t c1, float* pb) {
+  if (trans == Trans::kNo) {
+    micro::pack_b(b + c0, n, k, c1 - c0, pb);
+  } else {
+    micro::pack_b_trans(b + c0 * k, k, k, c1 - c0, pb);
+  }
 }
 
 }  // namespace
@@ -61,74 +68,66 @@ Tensor transpose(const Tensor& a) {
 }
 
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
-              const float* a, const float* b, float beta, float* c) {
+              const float* a, Trans trans_a, const float* b, Trans trans_b,
+              float beta, float* c) {
   if (m == 0 || n == 0) return;
-
-  // Pack B once per call into a blocked layout — (k0, j0) panels laid out
-  // contiguously in loop order — so the saxpy sweep reads contiguous rows
-  // instead of n-strided ones. Only worth the extra O(k·n) pass when enough
-  // C rows reuse each panel; below the threshold B is read in place. The
-  // packed copy lives in the calling thread's workspace and is read-only
-  // while row tasks run.
-  const bool pack_b = m >= kPackMinRows;
-  float* pack = nullptr;
-  if (pack_b) {
-    pack = common::Workspace::floats(common::Workspace::kGemmPack, k * n);
-    std::size_t offset = 0;
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k0 + kBlockK, k);
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::size_t j1 = std::min(j0 + kBlockN, n);
-        const std::size_t jn = j1 - j0;
-        for (std::size_t kk = k0; kk < k1; ++kk) {
-          const float* b_row = b + kk * n + j0;
-          std::copy(b_row, b_row + jn, pack + offset + (kk - k0) * jn);
-        }
-        offset += (k1 - k0) * jn;
-      }
+  if (k == 0) {
+    // Empty inner dimension: the product term vanishes, C = beta·C.
+    for (std::size_t i = 0; i < m * n; ++i) {
+      c[i] = beta == 0.0f ? 0.0f : beta * c[i];
     }
-  }
-
-  // Each task owns a contiguous row panel of C: it applies beta to its rows
-  // and accumulates k-blocks in ascending order, so every C row sees the
-  // exact same operation sequence no matter how many lanes execute — the
-  // bitwise-determinism contract of the parallel runtime.
-  const auto process_rows = [&](std::size_t i_begin, std::size_t i_end) {
-    for (std::size_t i = i_begin; i < i_end; ++i) {
-      float* c_row = c + i * n;
-      if (beta == 0.0f) {
-        std::fill(c_row, c_row + n, 0.0f);
-      } else if (beta != 1.0f) {
-        for (std::size_t j = 0; j < n; ++j) c_row[j] *= beta;
-      }
-    }
-    std::size_t offset = 0;
-    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const std::size_t k1 = std::min(k0 + kBlockK, k);
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlockN) {
-        const std::size_t j1 = std::min(j0 + kBlockN, n);
-        const std::size_t jn = j1 - j0;
-        // Same values either way — packing only changes the stride.
-        const float* panel = pack_b ? pack + offset : b + k0 * n + j0;
-        const std::size_t panel_stride = pack_b ? jn : n;
-        offset += (k1 - k0) * jn;
-        for (std::size_t i = i_begin; i < i_end; ++i) {
-          float* c_row = c + i * n + j0;
-          const float* a_row = a + i * k;
-          for (std::size_t kk = k0; kk < k1; ++kk) {
-            saxpy_row(alpha * a_row[kk], panel + (kk - k0) * panel_stride,
-                      c_row, jn);
-          }
-        }
-      }
-    }
-  };
-
-  if (m * n * k < kParallelMacCutoff) {
-    process_rows(0, m);
     return;
   }
-  common::global_parallel_for(kRowGrain, m, process_rows);
+
+  // Split C along whichever axis yields more panels — conv batched GEMMs are
+  // short and very wide (split columns), dense dW GEMMs are closer to square
+  // (split rows). The choice depends only on the problem shape, never on the
+  // lane count, and the microkernel produces each C element with the same
+  // arithmetic under either split, so results are bitwise identical for any
+  // thread count either way.
+  const bool by_columns = (n + kColGrain - 1) / kColGrain >
+                          (m + kRowGrain - 1) / kRowGrain;
+  const bool serial = m * n * k < kParallelMacCutoff;
+
+  if (serial || !by_columns) {
+    // Caller packs all of op(B) once; panel tasks read it concurrently
+    // (caller-owned shared key) and pack only their own row panel of op(A)
+    // into lane-local scratch.
+    float* pb = common::Workspace::floats(common::Workspace::kGemmPack,
+                                          micro::packed_b_floats(k, n));
+    pack_b_panel(b, trans_b, k, n, 0, n, pb);
+    const auto rows_task = [&](std::size_t r0, std::size_t r1) {
+      float* pa = common::Workspace::floats(
+          common::Workspace::kGemmPackA, micro::packed_a_floats(r1 - r0, k));
+      pack_a_panel(a, trans_a, m, k, r0, r1, pa);
+      micro::macrokernel(r1 - r0, n, k, alpha, pa, pb, beta, c + r0 * n, n);
+    };
+    if (serial) {
+      rows_task(0, m);
+    } else {
+      common::global_parallel_for(kRowGrain, m, rows_task);
+    }
+    return;
+  }
+
+  // Column split: op(A) is the small operand — caller packs it once, shared
+  // read-only — and each task packs its own column panel of op(B), which
+  // spreads the dominant O(k·n) packing pass across the lanes.
+  float* pa = common::Workspace::floats(common::Workspace::kGemmPackA,
+                                        micro::packed_a_floats(m, k));
+  pack_a_panel(a, trans_a, m, k, 0, m, pa);
+  common::global_parallel_for(kColGrain, n, [&](std::size_t c0,
+                                                std::size_t c1) {
+    float* pb = common::Workspace::floats(
+        common::Workspace::kGemmPack, micro::packed_b_floats(k, c1 - c0));
+    pack_b_panel(b, trans_b, k, n, c0, c1, pb);
+    micro::macrokernel(m, c1 - c0, k, alpha, pa, pb, beta, c + c0, n);
+  });
+}
+
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  gemm_raw(m, k, n, alpha, a, Trans::kNo, b, Trans::kNo, beta, c);
 }
 
 void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
@@ -136,29 +135,20 @@ void gemm(float alpha, const Tensor& a, Trans trans_a, const Tensor& b,
   GSFL_EXPECT(a.shape().rank() == 2 && b.shape().rank() == 2 &&
               c.shape().rank() == 2);
 
-  // Materialize transposed operands; the copies are small relative to the
-  // O(mnk) work and keep the kernel a single fast row-major path.
-  const Tensor* pa = &a;
-  const Tensor* pb = &b;
-  Tensor at, bt;
-  if (trans_a == Trans::kYes) {
-    at = transpose(a);
-    pa = &at;
-  }
-  if (trans_b == Trans::kYes) {
-    bt = transpose(b);
-    pb = &bt;
-  }
-
-  const std::size_t m = pa->shape()[0];
-  const std::size_t k = pa->shape()[1];
-  GSFL_EXPECT_MSG(pb->shape()[0] == k, "gemm inner dimensions must agree");
-  const std::size_t n = pb->shape()[1];
+  const std::size_t m =
+      trans_a == Trans::kNo ? a.shape()[0] : a.shape()[1];
+  const std::size_t k =
+      trans_a == Trans::kNo ? a.shape()[1] : a.shape()[0];
+  const std::size_t kb =
+      trans_b == Trans::kNo ? b.shape()[0] : b.shape()[1];
+  const std::size_t n =
+      trans_b == Trans::kNo ? b.shape()[1] : b.shape()[0];
+  GSFL_EXPECT_MSG(kb == k, "gemm inner dimensions must agree");
   GSFL_EXPECT_MSG(c.shape()[0] == m && c.shape()[1] == n,
                   "gemm output shape mismatch");
 
-  gemm_raw(m, k, n, alpha, pa->data().data(), pb->data().data(), beta,
-           c.data().data());
+  gemm_raw(m, k, n, alpha, a.data().data(), trans_a, b.data().data(), trans_b,
+           beta, c.data().data());
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b, Trans trans_a,

@@ -16,15 +16,15 @@ void check_image(const Tensor& t, std::size_t batch_index,
 
 }  // namespace
 
-void im2col_into(const float* image, const ConvGeometry& geom,
-                 float* columns) {
+void im2col_into(const float* image, const ConvGeometry& geom, float* columns,
+                 std::size_t col_stride) {
   const std::size_t oh = geom.out_h();
   const std::size_t ow = geom.out_w();
   std::size_t row = 0;
   for (std::size_t c = 0; c < geom.in_channels; ++c) {
     for (std::size_t ky = 0; ky < geom.kernel; ++ky) {
       for (std::size_t kx = 0; kx < geom.kernel; ++kx, ++row) {
-        float* out_row = columns + row * oh * ow;
+        float* out_row = columns + row * col_stride;
         for (std::size_t oy = 0; oy < oh; ++oy) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(oy * geom.stride + ky) -
@@ -48,6 +48,11 @@ void im2col_into(const float* image, const ConvGeometry& geom,
   }
 }
 
+void im2col_into(const float* image, const ConvGeometry& geom,
+                 float* columns) {
+  im2col_into(image, geom, columns, geom.out_positions());
+}
+
 Tensor im2col(const Tensor& input, std::size_t batch_index,
               const ConvGeometry& geom) {
   check_image(input, batch_index, geom);
@@ -59,14 +64,14 @@ Tensor im2col(const Tensor& input, std::size_t batch_index,
 }
 
 void col2im_accumulate_into(const float* columns, const ConvGeometry& geom,
-                            float* image) {
+                            float* image, std::size_t col_stride) {
   const std::size_t oh = geom.out_h();
   const std::size_t ow = geom.out_w();
   std::size_t row = 0;
   for (std::size_t c = 0; c < geom.in_channels; ++c) {
     for (std::size_t ky = 0; ky < geom.kernel; ++ky) {
       for (std::size_t kx = 0; kx < geom.kernel; ++kx, ++row) {
-        const float* in_row = columns + row * oh * ow;
+        const float* in_row = columns + row * col_stride;
         for (std::size_t oy = 0; oy < oh; ++oy) {
           const std::ptrdiff_t iy =
               static_cast<std::ptrdiff_t>(oy * geom.stride + ky) -
@@ -85,6 +90,11 @@ void col2im_accumulate_into(const float* columns, const ConvGeometry& geom,
       }
     }
   }
+}
+
+void col2im_accumulate_into(const float* columns, const ConvGeometry& geom,
+                            float* image) {
+  col2im_accumulate_into(columns, geom, image, geom.out_positions());
 }
 
 void col2im_accumulate(const Tensor& columns, const ConvGeometry& geom,

@@ -1,0 +1,123 @@
+#include "gsfl/common/parallel_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using gsfl::common::parallel_map;
+
+class ParallelMapTest : public ::testing::Test {
+ protected:
+  void TearDown() override { gsfl::common::set_global_threads(0); }
+};
+
+TEST_F(ParallelMapTest, SlotsHoldFnOfIndexInOrder) {
+  const auto out =
+      parallel_map(100, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST_F(ParallelMapTest, ZeroIndicesYieldsEmptyVectorWithoutInvokingFn) {
+  std::atomic<int> calls{0};
+  const auto out = parallel_map(0, [&](std::size_t i) {
+    ++calls;
+    return i;
+  });
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParallelMapTest, EachIndexRunsExactlyOnce) {
+  gsfl::common::set_global_threads(8);
+  std::vector<std::atomic<int>> counts(257);
+  (void)parallel_map(counts.size(), [&](std::size_t i) {
+    counts[i].fetch_add(1);
+    return 0;
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST_F(ParallelMapTest, ResultsAreThreadCountInvariant) {
+  // A float fold whose result depends on evaluation order *within* an index
+  // but not across indices — the helper must return bitwise-equal vectors
+  // for any lane count.
+  const auto run = [](std::size_t threads) {
+    gsfl::common::set_global_threads(threads);
+    return parallel_map(64, [](std::size_t i) {
+      float acc = 0.0f;
+      for (std::size_t t = 0; t < 1000; ++t) {
+        acc += 1.0f / static_cast<float>(i * 1000 + t + 1);
+      }
+      return acc;
+    });
+  };
+  const auto serial = run(1);
+  const auto wide = run(8);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], wide[i]) << "slot " << i;
+  }
+}
+
+TEST_F(ParallelMapTest, MoveOnlyStyleResultsLandInTheirSlots) {
+  const auto out = parallel_map(10, [](std::size_t i) {
+    return std::vector<std::string>(i, std::to_string(i));
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].size(), i);
+    if (i > 0) EXPECT_EQ(out[i].front(), std::to_string(i));
+  }
+}
+
+TEST_F(ParallelMapTest, ContextOverloadBuildsPerChunkAndMapsEveryIndex) {
+  gsfl::common::set_global_threads(4);
+  std::atomic<int> contexts_made{0};
+  const auto out = parallel_map(
+      100,
+      [&] {
+        ++contexts_made;
+        return std::vector<std::size_t>{};  // per-chunk scratch
+      },
+      [](std::vector<std::size_t>& scratch, std::size_t i) {
+        scratch.push_back(i);  // context reuse within a chunk is visible...
+        return i * 2;          // ...but must not affect the result
+      });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 2 * i);
+  // One context per executed chunk — far fewer than one per index.
+  EXPECT_GE(contexts_made.load(), 1);
+  EXPECT_LT(contexts_made.load(), 100);
+}
+
+TEST_F(ParallelMapTest, ExceptionsPropagateToTheCaller) {
+  gsfl::common::set_global_threads(4);
+  EXPECT_THROW(
+      (void)parallel_map(32,
+                         [](std::size_t i) -> int {
+                           if (i == 17) throw std::runtime_error("boom");
+                           return 0;
+                         }),
+      std::runtime_error);
+}
+
+TEST_F(ParallelMapTest, NestedCallsRunInline) {
+  gsfl::common::set_global_threads(4);
+  const auto out = parallel_map(8, [](std::size_t i) {
+    const auto inner =
+        parallel_map(4, [i](std::size_t j) { return i * 10 + j; });
+    std::size_t sum = 0;
+    for (const auto v : inner) sum += v;
+    return sum;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * 40 + 6);
+  }
+}
+
+}  // namespace

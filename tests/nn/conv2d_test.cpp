@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "gsfl/nn/conv2d.hpp"
+#include "gsfl/tensor/gemm.hpp"
 #include "support/gradcheck.hpp"
 
 namespace {
@@ -147,6 +148,89 @@ TEST(Conv2d, CloneProducesIdenticalOutputs) {
   auto clone = layer.clone();
   const auto x = Tensor::uniform(Shape{1, 2, 6, 6}, rng, -1, 1);
   EXPECT_EQ(layer.forward(x, true), clone->forward(x, true));
+}
+
+// The batched layer must reproduce the per-sample im2col + GEMM pipeline it
+// replaced: one GEMM per image over that image's column matrix. Forward is
+// bitwise-equal — the batched GEMM folds k in the same ascending order per
+// output element; gradients agree to accumulation-order tolerance (the
+// batch reduction became the GEMM's k fold).
+TEST(Conv2d, BatchedForwardMatchesPerSampleGemmBitwise) {
+  Rng rng(21);
+  const std::size_t batch = 5;  // not a register-block multiple
+  Conv2d layer(3, 4, 3, 1, 1, rng);
+  const auto x = Tensor::uniform(Shape{batch, 3, 6, 6}, rng, -1, 1);
+  const auto y = layer.forward(x, true);
+
+  const gsfl::tensor::ConvGeometry geom{
+      .in_channels = 3, .in_h = 6, .in_w = 6, .kernel = 3, .stride = 1,
+      .pad = 1};
+  const std::size_t positions = geom.out_positions();
+  for (std::size_t n = 0; n < batch; ++n) {
+    const auto columns = gsfl::tensor::im2col(x, n, geom);
+    Tensor per_sample(Shape{4, positions});
+    gsfl::tensor::gemm_raw(4, geom.patch_size(), positions, 1.0f,
+                           layer.weight().data().data(),
+                           columns.data().data(), 0.0f,
+                           per_sample.data().data());
+    for (std::size_t c = 0; c < 4; ++c) {
+      for (std::size_t p = 0; p < positions; ++p) {
+        const float expected = per_sample.at2(c, p) + layer.bias().at(c);
+        EXPECT_EQ(y.at(n * 4 * positions + c * positions + p), expected)
+            << "n=" << n << " c=" << c << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(Conv2d, BatchedBackwardMatchesPerSampleGemm) {
+  Rng rng(22);
+  const std::size_t batch = 3;
+  Conv2d layer(2, 3, 3, 1, 1, rng);
+  const auto x = Tensor::uniform(Shape{batch, 2, 5, 5}, rng, -1, 1);
+  Rng grng(23);
+  const auto dy = Tensor::uniform(Shape{batch, 3, 5, 5}, grng, -1, 1);
+
+  layer.zero_grad();
+  (void)layer.forward(x, true);
+  const auto dx = layer.backward(dy);
+
+  const gsfl::tensor::ConvGeometry geom{
+      .in_channels = 2, .in_h = 5, .in_w = 5, .kernel = 3, .stride = 1,
+      .pad = 1};
+  const std::size_t positions = geom.out_positions();
+  const std::size_t patch = geom.patch_size();
+  Tensor dw_ref(Shape{3, patch});
+  Tensor db_ref(Shape{3});
+  Tensor dx_ref(x.shape());
+  const auto wt = gsfl::tensor::transpose(layer.weight());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* dyn = dy.data().data() + n * 3 * positions;
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (std::size_t p = 0; p < positions; ++p) {
+        db_ref.at(c) += dyn[c * positions + p];
+      }
+    }
+    const auto columns = gsfl::tensor::im2col(x, n, geom);
+    const auto columns_t =
+        gsfl::tensor::transpose(columns);
+    gsfl::tensor::gemm_raw(3, positions, patch, 1.0f, dyn,
+                           columns_t.data().data(), 1.0f,
+                           dw_ref.data().data());
+    Tensor dcols(Shape{patch, positions});
+    gsfl::tensor::gemm_raw(patch, 3, positions, 1.0f, wt.data().data(), dyn,
+                           0.0f, dcols.data().data());
+    gsfl::tensor::col2im_accumulate(dcols, geom, dx_ref, n);
+  }
+  for (std::size_t i = 0; i < dw_ref.numel(); ++i) {
+    EXPECT_NEAR(layer.gradients()[0]->at(i), dw_ref.at(i), 1e-4);
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(layer.gradients()[1]->at(c), db_ref.at(c), 1e-4);
+  }
+  for (std::size_t i = 0; i < dx_ref.numel(); ++i) {
+    EXPECT_NEAR(dx.at(i), dx_ref.at(i), 1e-4);
+  }
 }
 
 TEST(Conv2d, GradientAccumulationAcrossBatches) {

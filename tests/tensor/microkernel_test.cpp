@@ -1,0 +1,254 @@
+// The microkernel's determinism pitch is that every C element is produced
+// by one accumulator folded over k in ascending order — exactly the naive
+// triple loop. These tests hold it to that *bitwise*, across every edge
+// geometry a panel can end in, and across thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/tensor/gemm.hpp"
+#include "gsfl/tensor/microkernel.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using gsfl::tensor::Trans;
+namespace micro = gsfl::tensor::micro;
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(rows * cols);
+  for (auto& x : data) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return data;
+}
+
+/// One reference multiply-add step. On FMA targets the compiler contracts
+/// the kernel's `acc += a·b` into fused multiply-adds, so the reference
+/// must fold the same way — explicitly, so no auto-vectorized tail of this
+/// loop is left uncontracted. Without FMA hardware the kernel rounds the
+/// product and sum separately, and so does the reference. (A build forcing
+/// -ffp-contract=off on FMA hardware would need the plain variant.)
+float mac_step(float a, float b, float acc) {
+#if defined(__FMA__)
+  return std::fma(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+/// Naive triple loop: acc folded over k ascending, then stored — the
+/// arithmetic sequence the microkernel must reproduce exactly.
+std::vector<float> naive(std::size_t m, std::size_t k, std::size_t n,
+                         const std::vector<float>& a,
+                         const std::vector<float>& b) {
+  std::vector<float> c(m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc = mac_step(a[i * k + p], b[p * n + j], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+std::vector<float> transposed(const std::vector<float>& src, std::size_t rows,
+                              std::size_t cols) {
+  std::vector<float> dst(src.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) dst[j * rows + i] = src[i * cols + j];
+  }
+  return dst;
+}
+
+TEST(Microkernel, BlockConstantsAreSane) {
+  static_assert(micro::kMR >= 4);
+  static_assert(micro::kNR >= 8 && micro::kNR % micro::kSimdWidth == 0);
+  EXPECT_EQ(micro::round_up(1, micro::kMR), micro::kMR);
+  EXPECT_EQ(micro::packed_a_floats(micro::kMR + 1, 3),
+            2 * micro::kMR * 3);
+  EXPECT_EQ(micro::packed_b_floats(3, micro::kNR), micro::kNR * 3);
+}
+
+TEST(Microkernel, PackAPadsTailRowsWithZeros) {
+  const std::size_t rows = micro::kMR + 2;  // one full strip + a 2-row tail
+  const std::size_t k = 5;
+  const auto a = random_matrix(rows, k, 11);
+  std::vector<float> pa(micro::packed_a_floats(rows, k), -1.0f);
+  micro::pack_a(a.data(), k, rows, k, pa.data());
+  // Strip 0, k step p holds rows 0..MR-1 of column p.
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < micro::kMR; ++i) {
+      EXPECT_EQ(pa[p * micro::kMR + i], a[i * k + p]);
+    }
+  }
+  // Strip 1 holds the 2 tail rows then zero padding.
+  const float* strip1 = pa.data() + micro::kMR * k;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < micro::kMR; ++i) {
+      const float expected =
+          i < 2 ? a[(micro::kMR + i) * k + p] : 0.0f;
+      EXPECT_EQ(strip1[p * micro::kMR + i], expected);
+    }
+  }
+}
+
+TEST(Microkernel, PackBPadsTailColumnsWithZeros) {
+  const std::size_t k = 4;
+  const std::size_t cols = micro::kNR + 3;
+  const auto b = random_matrix(k, cols, 12);
+  std::vector<float> pb(micro::packed_b_floats(k, cols), -1.0f);
+  micro::pack_b(b.data(), cols, k, cols, pb.data());
+  const float* strip1 = pb.data() + micro::kNR * k;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < micro::kNR; ++j) {
+      EXPECT_EQ(pb[p * micro::kNR + j], b[p * cols + j]);
+      const float expected = j < 3 ? b[p * cols + micro::kNR + j] : 0.0f;
+      EXPECT_EQ(strip1[p * micro::kNR + j], expected);
+    }
+  }
+}
+
+TEST(Microkernel, TransposedPacksMatchUntransposedOnes) {
+  const std::size_t rows = 2 * micro::kMR + 3;
+  const std::size_t cols = micro::kNR + 5;
+  const std::size_t k = 7;
+  const auto a = random_matrix(rows, k, 13);
+  const auto at = transposed(a, rows, k);
+  std::vector<float> pa(micro::packed_a_floats(rows, k));
+  std::vector<float> pat(pa.size());
+  micro::pack_a(a.data(), k, rows, k, pa.data());
+  micro::pack_a_trans(at.data(), rows, rows, k, pat.data());
+  EXPECT_EQ(pa, pat);
+
+  const auto b = random_matrix(k, cols, 14);
+  const auto bt = transposed(b, k, cols);
+  std::vector<float> pb(micro::packed_b_floats(k, cols));
+  std::vector<float> pbt(pb.size());
+  micro::pack_b(b.data(), cols, k, cols, pb.data());
+  micro::pack_b_trans(bt.data(), k, k, cols, pbt.data());
+  EXPECT_EQ(pb, pbt);
+}
+
+// Every m, n remainder a panel can end in — [1, 2·MR) × [1, 2·NR) — with k
+// remainders on both sides of the register block, checked bitwise against
+// the naive triple loop.
+TEST(Microkernel, EdgeGeometrySweepIsBitwiseExact) {
+  const std::size_t ks[] = {1, 2, micro::kMR - 1, micro::kMR,
+                            2 * micro::kMR + 1, 37};
+  for (std::size_t m = 1; m < 2 * micro::kMR; ++m) {
+    for (std::size_t n = 1; n < 2 * micro::kNR; ++n) {
+      for (const std::size_t k : ks) {
+        const auto a = random_matrix(m, k, 100 + m * 131 + n * 17 + k);
+        const auto b = random_matrix(k, n, 200 + m + n * 29 + k * 7);
+        const auto reference = naive(m, k, n, a, b);
+        std::vector<float> c(m * n, -7.0f);
+        gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
+                               c.data());
+        ASSERT_EQ(c, reference) << "m=" << m << " n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+// Interior geometry (several full strips plus remainders, k past typical
+// unroll factors) stays bitwise-exact too: blocking must never reassociate
+// the k fold.
+TEST(Microkernel, LargeShapesAreBitwiseExact) {
+  struct Case {
+    std::size_t m, k, n;
+  };
+  const Case cases[] = {
+      {4 * micro::kMR + 1, 129, 3 * micro::kNR + 5},
+      {16, 27, 256},   // conv1-like
+      {32, 144, 196},  // conv2-like
+  };
+  for (const auto& [m, k, n] : cases) {
+    const auto a = random_matrix(m, k, 300 + m);
+    const auto b = random_matrix(k, n, 400 + n);
+    const auto reference = naive(m, k, n, a, b);
+    std::vector<float> c(m * n);
+    gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    ASSERT_EQ(c, reference) << "m=" << m << " n=" << n << " k=" << k;
+  }
+}
+
+// The trans variants must equal packing a materialized transpose — bitwise,
+// since packing is the only place the layouts differ.
+TEST(Microkernel, TransVariantsAreBitwiseExact) {
+  const std::size_t m = micro::kMR + 2;
+  const std::size_t k = 33;
+  const std::size_t n = micro::kNR + 9;
+  const auto a = random_matrix(m, k, 21);
+  const auto b = random_matrix(k, n, 22);
+  const auto at = transposed(a, m, k);
+  const auto bt = transposed(b, k, n);
+  const auto reference = naive(m, k, n, a, b);
+
+  std::vector<float> c(m * n);
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, at.data(), Trans::kYes, b.data(),
+                         Trans::kNo, 0.0f, c.data());
+  EXPECT_EQ(c, reference);
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo, bt.data(),
+                         Trans::kYes, 0.0f, c.data());
+  EXPECT_EQ(c, reference);
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, at.data(), Trans::kYes, bt.data(),
+                         Trans::kYes, 0.0f, c.data());
+  EXPECT_EQ(c, reference);
+}
+
+TEST(Microkernel, BetaAccumulatesAndKZeroScales) {
+  const std::size_t m = 3;
+  const std::size_t n = micro::kNR + 1;
+  const auto a = random_matrix(m, 5, 31);
+  const auto b = random_matrix(5, n, 32);
+  const auto product = naive(m, 5, n, a, b);
+  std::vector<float> c(m * n, 2.0f);
+  gsfl::tensor::gemm_raw(m, 5, n, 1.0f, a.data(), b.data(), 1.0f, c.data());
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_EQ(c[i], product[i] + 2.0f * 1.0f);
+  }
+  // k == 0: the product term vanishes, C = beta·C.
+  gsfl::tensor::gemm_raw(m, 0, n, 1.0f, a.data(), b.data(), 0.5f, c.data());
+  for (std::size_t i = 0; i < m * n; ++i) {
+    EXPECT_EQ(c[i], 0.5f * (product[i] + 2.0f));
+  }
+}
+
+// A GEMM big enough to split across lanes (both by rows and by columns)
+// must return bitwise-identical C for any thread count.
+class MicrokernelThreads : public ::testing::Test {
+ protected:
+  void TearDown() override { gsfl::common::set_global_threads(0); }
+};
+
+TEST_F(MicrokernelThreads, GemmIsThreadCountInvariant) {
+  struct Case {
+    std::size_t m, k, n;
+  };
+  // Row-heavy (splits rows) and column-heavy (splits columns).
+  const Case cases[] = {{256, 64, 48}, {24, 64, 2048}};
+  for (const auto& [m, k, n] : cases) {
+    const auto a = random_matrix(m, k, 51);
+    const auto b = random_matrix(k, n, 52);
+    std::vector<float> serial(m * n);
+    std::vector<float> wide(m * n);
+    gsfl::common::set_global_threads(1);
+    gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
+                           serial.data());
+    gsfl::common::set_global_threads(8);
+    gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
+                           wide.data());
+    ASSERT_EQ(serial, wide) << "m=" << m << " n=" << n;
+  }
+}
+
+}  // namespace
