@@ -1,0 +1,126 @@
+// FedAvg aggregation bench: the parallel state-entry reduction.
+//
+// Times schemes::fedavg_states over paper-scale model states (the GTSRB CNN
+// replicated per client) and a deep synthetic state, across thread counts.
+// The per-entry fold is serial within a lane, so the speedup column tracks
+// how well entry-level parallelism covers the aggregation bill the latency
+// model prices with aggregation_flops. Emits BENCH_aggregate.json.
+//
+// JSON conventions (BenchJson rows): threads=1 rows are the serial
+// baseline (speedup=1); threads=N rows report serial/parallel.
+//
+//   $ ./bench_aggregate [--reps=R] [--max-threads=N] [--clients=K]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gsfl/common/cli.hpp"
+#include "gsfl/common/rng.hpp"
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/schemes/aggregate.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::StateDict;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double time_best(std::size_t reps, const Fn& fn) {
+  double best = 1e300;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+std::size_t state_scalars(const StateDict& s) {
+  std::size_t n = 0;
+  for (const auto& t : s) n += t.numel();
+  return n;
+}
+
+void run_case(const std::string& name, const std::vector<StateDict>& states,
+              std::size_t reps, std::size_t max_threads,
+              gsfl::bench::BenchJson& json) {
+  std::vector<double> weights(states.size());
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    weights[k] = static_cast<double>(k % 5 + 1);
+  }
+  const std::size_t scalars = state_scalars(states.front());
+  const double flops =
+      gsfl::schemes::aggregation_flops(scalars, states.size());
+  std::printf("%s: %zu clients x %zu entries x %zu scalars (%.1f MFLOP)\n",
+              name.c_str(), states.size(), states.front().size(), scalars,
+              flops / 1e6);
+
+  double serial_s = 0.0;
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+    gsfl::common::set_global_threads(threads);
+    const double s = time_best(
+        reps, [&] { (void)gsfl::schemes::fedavg_states(states, weights); });
+    if (threads == 1) serial_s = s;
+    json.add("aggregate " + name, threads, s, serial_s / s);
+    std::printf("  t=%zu  %8.3f ms  %6.2f GFLOP/s  %5.2fx\n", threads,
+                s * 1e3, flops / s / 1e9, serial_s / s);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gsfl::common::CliArgs args(argc, argv, {});
+  const auto reps = static_cast<std::size_t>(args.int_or("reps", 5));
+  const auto max_threads =
+      static_cast<std::size_t>(args.int_or("max-threads", 8));
+  const auto clients = static_cast<std::size_t>(args.int_or("clients", 32));
+  gsfl::bench::BenchJson json;
+
+  std::printf("=== FedAvg aggregation bench ===\n\n");
+
+  // The paper's GTSRB CNN, one replica per client — the exact state shape
+  // every GSFL round folds in step 3.
+  {
+    Rng rng(11);
+    gsfl::nn::CnnConfig config;
+    auto model = gsfl::nn::make_gtsrb_cnn(config, rng);
+    std::vector<StateDict> states;
+    states.reserve(clients);
+    for (std::size_t k = 0; k < clients; ++k) {
+      Rng crng(100 + k);
+      auto replica = gsfl::nn::make_gtsrb_cnn(config, crng);
+      states.push_back(replica.state());
+    }
+    run_case("gtsrb-cnn K=" + std::to_string(clients), states, reps,
+             max_threads, json);
+  }
+
+  // A deep synthetic state (many small entries) stresses the entry-level
+  // chunking rather than per-entry bandwidth.
+  {
+    std::vector<StateDict> states;
+    states.reserve(16);
+    for (std::size_t k = 0; k < 16; ++k) {
+      Rng rng(200 + k);
+      StateDict s;
+      for (std::size_t e = 0; e < 96; ++e) {
+        s.push_back(Tensor::uniform(Shape{1024}, rng, -1.0f, 1.0f));
+      }
+      states.push_back(std::move(s));
+    }
+    run_case("deep-state K=16", states, reps, max_threads, json);
+  }
+
+  json.write("BENCH_aggregate.json");
+  return 0;
+}

@@ -1,22 +1,30 @@
 // Microkernel GEMM bench: the perf trajectory of the compute substrate.
 //
-// Times the register-blocked gemm_raw against the PR-1 saxpy row-sweep
-// kernel (embedded below as the frozen baseline) on the paper model's
-// headline layer shapes, and batched conv2d against the per-sample
-// im2col+GEMM pipeline it replaced. Prints GFLOP/s tables and emits
-// BENCH_gemm.json.
+// Times the k-blocked gemm_raw against two frozen baselines embedded below:
+// the PR-1 saxpy row-sweep kernel and the PR-2 register-blocked unblocked
+// sweep (verbatim pack + kernels as PR-2 shipped them, including its
+// allocator-aligned scratch), on the paper model's headline layer shapes;
+// batched conv2d against the per-sample im2col+GEMM pipeline it replaced;
+// and the fused bias+relu epilogue against the unfused GEMM → bias pass →
+// relu pass sequence. Prints GFLOP/s tables and emits BENCH_gemm.json.
 //
 // JSON conventions (BenchJson rows):
-//   - "... saxpy" rows: the baseline, threads=1, speedup=1.
+//   - "... saxpy" rows: the PR-1 baseline, threads=1, speedup=1.
+//   - "... pr2" rows: the frozen PR-2 kernel, threads=1, speedup vs saxpy.
 //   - "... micro" rows: speedup = saxpy seconds / micro seconds at that
 //     thread count — so the threads=1 micro rows are the pure
 //     single-thread kernel-vs-kernel ratio.
+//   - "... kblock-vs-pr2" rows: speedup = pr2 seconds / micro seconds at
+//     threads=1 — the PR-3 acceptance ratio.
+//   - "... fused-bias-relu" rows: speedup = unfused-sequence seconds /
+//     fused-epilogue seconds, threads=1.
 //   - "conv ... per-sample" / "conv ... batched" rows: speedup = per-sample
 //     seconds / batched seconds.
 //
 //   $ ./bench_gemm_microkernel [--reps=R] [--max-threads=N]
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -25,7 +33,9 @@
 #include "gsfl/common/cli.hpp"
 #include "gsfl/common/rng.hpp"
 #include "gsfl/common/thread_pool.hpp"
+#include "gsfl/nn/activations.hpp"
 #include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
 #include "gsfl/tensor/gemm.hpp"
 #include "gsfl/tensor/im2col.hpp"
 #include "gsfl/tensor/microkernel.hpp"
@@ -98,6 +108,140 @@ void saxpy_gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
 }
 // ---------------------------------------------------------------------------
 
+// ---- frozen PR-2 baseline ---------------------------------------------------
+// Verbatim port of the PR-2 gemm hot path: per-strip packing and the
+// always-kMR unblocked macrokernel sweep, serial form, on plain vector
+// scratch (PR-2's Workspace had no cache-line alignment guarantee). This is
+// the yardstick the k-blocked kernel's acceptance ratio measures against.
+// Do not "improve" it.
+namespace pr2 {
+
+namespace micro = gsfl::tensor::micro;
+using micro::kMR;
+using micro::kNR;
+
+void pack_a(const float* a, std::size_t lda, std::size_t rows, std::size_t k,
+            float* pa) {
+  for (std::size_t s = 0; s < rows; s += kMR) {
+    const std::size_t mr = std::min(kMR, rows - s);
+    for (std::size_t p = 0; p < k; ++p) {
+      std::size_t i = 0;
+      for (; i < mr; ++i) pa[p * kMR + i] = a[(s + i) * lda + p];
+      for (; i < kMR; ++i) pa[p * kMR + i] = 0.0f;
+    }
+    pa += kMR * k;
+  }
+}
+
+void pack_b(const float* b, std::size_t ldb, std::size_t k, std::size_t cols,
+            float* pb) {
+  for (std::size_t s = 0; s < cols; s += kNR) {
+    const std::size_t nr = std::min(kNR, cols - s);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* src = b + p * ldb + s;
+      std::size_t j = 0;
+      for (; j < nr; ++j) pb[p * kNR + j] = src[j];
+      for (; j < kNR; ++j) pb[p * kNR + j] = 0.0f;
+    }
+    pb += kNR * k;
+  }
+}
+
+void accumulate(std::size_t kc, const float* pa, const float* pb,
+                float acc[kMR][kNR]) {
+  for (std::size_t p = 0; p < kc; ++p, pa += kMR, pb += kNR) {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      const float a = pa[i];
+      for (std::size_t j = 0; j < kNR; ++j) acc[i][j] += a * pb[j];
+    }
+  }
+}
+
+void kernel_full(std::size_t kc, float alpha, const float* pa,
+                 const float* pb, float beta, float* c, std::size_t ldc) {
+  float acc[kMR][kNR] = {};
+  accumulate(kc, pa, pb, acc);
+  if (beta == 0.0f) {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) c[i * ldc + j] = alpha * acc[i][j];
+    }
+  } else {
+    for (std::size_t i = 0; i < kMR; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        c[i * ldc + j] = alpha * acc[i][j] + beta * c[i * ldc + j];
+      }
+    }
+  }
+}
+
+void kernel_edge(std::size_t kc, float alpha, const float* pa,
+                 const float* pb, float beta, float* c, std::size_t ldc,
+                 std::size_t mr, std::size_t nr) {
+  float acc[kMR][kNR] = {};
+  accumulate(kc, pa, pb, acc);
+  if (beta == 0.0f) {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = alpha * acc[i][j];
+    }
+  } else {
+    for (std::size_t i = 0; i < mr; ++i) {
+      for (std::size_t j = 0; j < nr; ++j) {
+        c[i * ldc + j] = alpha * acc[i][j] + beta * c[i * ldc + j];
+      }
+    }
+  }
+}
+
+void macrokernel(std::size_t rows, std::size_t cols, std::size_t k,
+                 float alpha, const float* pa, const float* pb, float beta,
+                 float* c, std::size_t ldc) {
+  for (std::size_t jr = 0; jr < cols; jr += kNR) {
+    const std::size_t nr = std::min(kNR, cols - jr);
+    const float* b_strip = pb + jr * k;
+    for (std::size_t ir = 0; ir < rows; ir += kMR) {
+      const std::size_t mr = std::min(kMR, rows - ir);
+      const float* a_strip = pa + ir * k;
+      float* ct = c + ir * ldc + jr;
+      if (mr == kMR && nr == kNR) {
+        kernel_full(k, alpha, a_strip, b_strip, beta, ct, ldc);
+      } else {
+        kernel_edge(k, alpha, a_strip, b_strip, beta, ct, ldc, mr, nr);
+      }
+    }
+  }
+}
+
+/// Scratch with PR-2's panel alignment. The PR-2 Workspace stored panels in
+/// std::vector<float>: large allocations come from mmap'd chunks with a
+/// 16-byte malloc header, so its packed panels sat at 16 mod 64 — every
+/// full-width kernel load split a cache line. The frozen baseline must
+/// reproduce that layout, not inherit whatever this binary's allocator
+/// happens to return.
+struct Pr2Scratch {
+  std::vector<float> storage;
+  float* data = nullptr;
+
+  void grow(std::size_t floats) {
+    storage.resize(floats + 32);  // 128 B headroom for the offset below
+    auto addr = reinterpret_cast<std::uintptr_t>(storage.data());
+    const std::uintptr_t aligned = (addr + 63) / 64 * 64;
+    data = reinterpret_cast<float*>(aligned + 16);
+  }
+};
+
+/// The full PR-2 serial gemm: pack both operands, one unblocked sweep.
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c, Pr2Scratch& pa, Pr2Scratch& pb) {
+  pa.grow(micro::packed_a_floats(m, k));
+  pb.grow(micro::packed_b_floats(k, n));
+  pack_a(a, k, m, k, pa.data);
+  pack_b(b, n, k, n, pb.data);
+  macrokernel(m, n, k, 1.0f, pa.data, pb.data, 0.0f, c, n);
+}
+
+}  // namespace pr2
+// ---------------------------------------------------------------------------
+
 struct GemmShape {
   const char* name;  ///< which paper layer this is
   std::size_t m, k, n;
@@ -151,6 +295,17 @@ int main(int argc, char** argv) {
     std::printf("%-24s saxpy   t=1  %8.3f ms  %6.2f GFLOP/s\n", tag.c_str(),
                 saxpy_s * 1e3, gflops(shape.m, shape.k, shape.n, saxpy_s));
 
+    pr2::Pr2Scratch pr2_pa;
+    pr2::Pr2Scratch pr2_pb;
+    const double pr2_s = time_best(reps, [&] {
+      pr2::gemm(shape.m, shape.k, shape.n, a.data().data(), b.data().data(),
+                c.data().data(), pr2_pa, pr2_pb);
+    });
+    json.add("gemm " + tag + " pr2", 1, pr2_s, saxpy_s / pr2_s);
+    std::printf("%-24s pr2     t=1  %8.3f ms  %6.2f GFLOP/s  %5.2fx\n",
+                tag.c_str(), pr2_s * 1e3,
+                gflops(shape.m, shape.k, shape.n, pr2_s), saxpy_s / pr2_s);
+
     for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
       gsfl::common::set_global_threads(threads);
       const double micro_s = time_best(reps, [&] {
@@ -165,7 +320,65 @@ int main(int argc, char** argv) {
                   gflops(shape.m, shape.k, shape.n, micro_s),
                   saxpy_s / micro_s);
     }
+    // The PR-3 acceptance ratio: k-blocked/aligned/sweep-packed path vs the
+    // frozen PR-2 kernel, both single-thread. Measured interleaved (one
+    // rep of each per iteration, best of each) so slow drift on a shared
+    // host biases neither side.
+    gsfl::common::set_global_threads(1);
+    double pr2_best = 1e300;
+    double micro_best = 1e300;
+    for (std::size_t r = 0; r < 2 * reps; ++r) {
+      const double p = time_best(1, [&] {
+        pr2::gemm(shape.m, shape.k, shape.n, a.data().data(),
+                  b.data().data(), c.data().data(), pr2_pa, pr2_pb);
+      });
+      pr2_best = std::min(pr2_best, p);
+      const double q = time_best(1, [&] {
+        gsfl::tensor::gemm_raw(shape.m, shape.k, shape.n, 1.0f,
+                               a.data().data(), b.data().data(), 0.0f,
+                               c.data().data());
+      });
+      micro_best = std::min(micro_best, q);
+    }
+    json.add("gemm " + tag + " kblock-vs-pr2", 1, micro_best,
+             pr2_best / micro_best);
+    std::printf("%-24s kblock-vs-pr2      %8.3f ms  %5.2fx\n", tag.c_str(),
+                micro_best * 1e3, pr2_best / micro_best);
     std::printf("\n");
+  }
+
+  // Layer-level relu fusion: conv→relu and dense→relu pairs as one fused
+  // call vs the unfused layer sequence. The epilogue itself is nearly free;
+  // the win is retiring the standalone Relu layer's three full activation
+  // copies (input cache, fresh output, output cache), single-thread.
+  gsfl::common::set_global_threads(1);
+  {
+    const std::size_t batch = 16;
+    Rng rng(8);
+    gsfl::nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+    gsfl::nn::Relu relu;
+    const auto x = Tensor::uniform(Shape{batch, 16, 16, 16}, rng, -1, 1);
+    const double unfused_s = time_best(reps, [&] {
+      (void)relu.forward(conv.forward(x, true), true);
+    });
+    const double fused_s =
+        time_best(reps, [&] { (void)conv.forward_fused_relu(x, true); });
+    json.add("fused conv2-relu b16 fwd", 1, fused_s, unfused_s / fused_s);
+    std::printf("%-24s fused-bias-relu    %8.3f ms  %5.2fx vs unfused\n",
+                "conv2+relu fwd b16", fused_s * 1e3, unfused_s / fused_s);
+
+    gsfl::nn::Dense dense(2048, 128, rng);
+    const auto xd = Tensor::uniform(Shape{batch, 2048}, rng, -1, 1);
+    const double dense_unfused_s = time_best(reps, [&] {
+      (void)relu.forward(dense.forward(xd, true), true);
+    });
+    const double dense_fused_s =
+        time_best(reps, [&] { (void)dense.forward_fused_relu(xd, true); });
+    json.add("fused dense1-relu b16 fwd", 1, dense_fused_s,
+             dense_unfused_s / dense_fused_s);
+    std::printf("%-24s fused-bias-relu    %8.3f ms  %5.2fx vs unfused\n\n",
+                "dense1+relu fwd b16", dense_fused_s * 1e3,
+                dense_unfused_s / dense_fused_s);
   }
 
   // Batched conv vs the per-sample pipelines, on the paper's conv2 block

@@ -5,6 +5,12 @@
 
 namespace gsfl::nn {
 
+/// dy masked by the relu gate: out[i] = y[i] > 0 ? dy[i] : 0, where y is a
+/// relu *output*. Since y = max(x, 0), y > 0 ⇔ x > 0, so this equals the
+/// standalone Relu layer's derivative bitwise — the backward half of the
+/// fused dense→relu / conv→relu pairs.
+[[nodiscard]] Tensor relu_mask(const Tensor& grad_output, const Tensor& y);
+
 /// Common base for stateless elementwise activations; derived classes
 /// provide the scalar function and its derivative in terms of the cached
 /// forward input/output.

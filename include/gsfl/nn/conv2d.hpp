@@ -16,6 +16,10 @@ class Conv2d final : public Layer {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] bool can_fuse_relu() const override { return true; }
+  [[nodiscard]] Tensor forward_fused_relu(const Tensor& input,
+                                          bool train) override;
+  [[nodiscard]] Tensor backward_fused_relu(const Tensor& grad_output) override;
   [[nodiscard]] std::vector<Tensor*> parameters() override;
   [[nodiscard]] std::vector<Tensor*> gradients() override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
@@ -29,6 +33,10 @@ class Conv2d final : public Layer {
 
  private:
   [[nodiscard]] tensor::ConvGeometry geometry(const Shape& input) const;
+  /// Shared forward core: batched GEMM with the per-channel bias (and
+  /// optionally ReLU) folded into the write-back epilogue.
+  [[nodiscard]] Tensor forward_impl(const Tensor& input, bool train,
+                                    bool fuse_relu);
 
   std::size_t in_channels_;
   std::size_t out_channels_;
@@ -45,6 +53,8 @@ class Conv2d final : public Layer {
   // smaller than the unfolded columns, so this trades a cheap re-unfold for
   // dropping the per-sample column allocations entirely.
   Tensor cached_input_;
+  Tensor cached_fused_output_;  ///< relu output of the last fused forward
+  bool last_forward_fused_ = false;
 };
 
 }  // namespace gsfl::nn

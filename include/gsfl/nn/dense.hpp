@@ -14,6 +14,10 @@ class Dense final : public Layer {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
   [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] bool can_fuse_relu() const override { return true; }
+  [[nodiscard]] Tensor forward_fused_relu(const Tensor& input,
+                                          bool train) override;
+  [[nodiscard]] Tensor backward_fused_relu(const Tensor& grad_output) override;
   [[nodiscard]] std::vector<Tensor*> parameters() override;
   [[nodiscard]] std::vector<Tensor*> gradients() override;
   [[nodiscard]] Shape output_shape(const Shape& input) const override;
@@ -28,6 +32,10 @@ class Dense final : public Layer {
   [[nodiscard]] Tensor& bias() { return bias_; }
 
  private:
+  /// Shared forward core: one GEMM with the bias (and optionally ReLU)
+  /// folded into the write-back epilogue.
+  [[nodiscard]] Tensor forward_impl(const Tensor& input, bool fuse_relu);
+
   std::size_t in_features_;
   std::size_t out_features_;
   Tensor weight_;       ///< (out, in)
@@ -35,6 +43,8 @@ class Dense final : public Layer {
   Tensor grad_weight_;
   Tensor grad_bias_;
   Tensor cached_input_; ///< (batch, in) from the last forward
+  Tensor cached_fused_output_;  ///< relu output of the last fused forward
+  bool last_forward_fused_ = false;
 };
 
 }  // namespace gsfl::nn

@@ -51,6 +51,27 @@ class Layer {
   /// d(loss)/d(input). Must follow a forward() on the same instance.
   [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Fusion peephole support (see docs/compute.md). A layer that can absorb
+  /// an immediately following Relu into its GEMM write-back epilogue
+  /// overrides all three: forward_fused_relu computes relu(layer(x)) in one
+  /// pass, and backward_fused_relu takes d(loss)/d(relu output), applies the
+  /// relu mask from the fused forward, and continues the layer's own
+  /// backward. Sequential pairs the calls; mixing a fused forward with a
+  /// plain backward (or vice versa) on the same instance is a usage error.
+  [[nodiscard]] virtual bool can_fuse_relu() const { return false; }
+  [[nodiscard]] virtual Tensor forward_fused_relu(const Tensor& input,
+                                                  bool train) {
+    (void)input;
+    (void)train;
+    GSFL_EXPECT_MSG(false, name() + " does not support relu fusion");
+    return {};
+  }
+  [[nodiscard]] virtual Tensor backward_fused_relu(const Tensor& grad_output) {
+    (void)grad_output;
+    GSFL_EXPECT_MSG(false, name() + " does not support relu fusion");
+    return {};
+  }
+
   /// Trainable parameters and their gradient buffers, in matching order.
   /// Stateless layers return empty vectors.
   [[nodiscard]] virtual std::vector<Tensor*> parameters() { return {}; }

@@ -39,11 +39,23 @@ class Sequential {
   [[nodiscard]] Layer& layer(std::size_t i);
   [[nodiscard]] const Layer& layer(std::size_t i) const;
 
-  /// Forward through every layer in order.
+  /// Forward through every layer in order. When fusion is enabled (the
+  /// default) a peephole pass pairs each fusable layer (Dense, Conv2d) with
+  /// an immediately following Relu and runs the pair as one fused call —
+  /// the Relu layer stays in the stack (indices, cut points, and state
+  /// dicts are unchanged; it is stateless) but its forward/backward and
+  /// activation copies are skipped. Fused results are bitwise identical to
+  /// the unfused sequence.
   [[nodiscard]] Tensor forward(const Tensor& input, bool train);
 
   /// Backward through every layer in reverse; returns d(loss)/d(input).
+  /// Mirrors the fusion plan of the last forward.
   [[nodiscard]] Tensor backward(const Tensor& grad_output);
+
+  /// Enable/disable the relu-fusion peephole (on by default; tests compare
+  /// both paths).
+  void set_fusion(bool enabled) { fusion_enabled_ = enabled; }
+  [[nodiscard]] bool fusion_enabled() const { return fusion_enabled_; }
 
   void zero_grad();
 
@@ -76,7 +88,14 @@ class Sequential {
                                               const Sequential& tail);
 
  private:
+  /// Recompute fused_: fused_[i] == 1 ⇔ layer i absorbs the Relu at i+1.
+  void refresh_fusion_plan();
+
   std::vector<std::unique_ptr<Layer>> layers_;
+  bool fusion_enabled_ = true;
+  /// Fusion plan of the last forward (backward mirrors it). Not part of the
+  /// model's value: copies rebuild it on their next forward.
+  std::vector<unsigned char> fused_;
 };
 
 }  // namespace gsfl::nn

@@ -1,9 +1,11 @@
 // FedAvg aggregation of model state dicts.
 //
 // Both the FL baseline and GSFL's step-3 aggregation reduce K replicas to a
-// sample-weighted average, tensor by tensor. The FLOP model (2·K·P for K
-// replicas of P scalars) lets the latency simulation price aggregation at
-// the edge server.
+// sample-weighted average, tensor by tensor — a parallel weighted reduction
+// over state entries (bitwise identical for every thread count). The FLOP
+// model (2·K·P + K for K replicas of P scalars, counting the per-replica
+// weight-normalization divide) lets the latency simulation price
+// aggregation at the edge server.
 #pragma once
 
 #include <span>
@@ -15,6 +17,9 @@ namespace gsfl::schemes {
 
 /// Sample-weighted average of state dicts. Weights are normalized
 /// internally; all states must be index-aligned (same architecture).
+/// Entries are folded in parallel on the global pool; each entry's
+/// ascending-replica fold runs on one lane, so results are bitwise
+/// identical for every thread count.
 [[nodiscard]] nn::StateDict fedavg_states(
     std::span<const nn::StateDict> states, std::span<const double> weights);
 
@@ -23,7 +28,9 @@ namespace gsfl::schemes {
     std::span<const nn::Sequential* const> models,
     std::span<const double> weights);
 
-/// FLOPs to average `replicas` state dicts of `scalars` parameters each.
+/// FLOPs to average `replicas` state dicts of `scalars` parameters each:
+/// 2·scalars·replicas for the normalized-weight multiply-adds plus one
+/// normalization divide per replica.
 [[nodiscard]] double aggregation_flops(std::size_t scalars,
                                        std::size_t replicas);
 

@@ -9,6 +9,7 @@
 // panel *packing*, so no variant materializes an intermediate matrix.
 #pragma once
 
+#include "gsfl/tensor/microkernel.hpp"
 #include "gsfl/tensor/tensor.hpp"
 
 namespace gsfl::tensor {
@@ -43,6 +44,17 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* a, Trans trans_a, const float* b, Trans trans_b,
               float beta, float* c);
+
+/// Epilogue variant: additionally applies `epilogue` (bias add and optional
+/// ReLU clamp — see micro::Epilogue) during the C write-back, fusing the
+/// nn layers' bias/activation passes into the GEMM. `epilogue.bias` indexes
+/// the full C: bias[i] over m rows when per_row, bias[j] over n columns
+/// otherwise; the parallel split offsets it per panel internally. With
+/// alpha == 1 the fused write-back is bitwise identical to the unfused
+/// GEMM followed by a bias loop and a ReLU pass.
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, Trans trans_a, const float* b, Trans trans_b,
+              float beta, float* c, const micro::Epilogue& epilogue);
 
 /// Out-of-place 2-D transpose (cache-blocked).
 [[nodiscard]] Tensor transpose(const Tensor& a);

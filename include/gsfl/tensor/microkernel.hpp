@@ -23,6 +23,21 @@
 // bitwise-identical results for every lane count. Padding lanes accumulate
 // zeros into accumulators that are never written back, so they cannot
 // perturb valid elements.
+//
+// KC k-blocking keeps that contract. When k exceeds one cache strip the
+// macrokernel sweeps the panels in KC-length k-slices with the k-block loop
+// outermost, parking each tile's *raw* accumulator in C between slices and
+// reloading it as the next slice's starting value. A float32 store/reload
+// is lossless, so the per-element fold is the identical ascending-k
+// sequence for every block length — results are bitwise invariant in KC,
+// not merely close. β≠0 calls run as a single k block (the raw partials
+// would clobber the accumuland C).
+//
+// Epilogues fold the layer-level write-back (bias add, ReLU clamp) into the
+// tile store of the *final* k block, so dense→relu / conv→relu pairs cost
+// one pass over C instead of three. With α==1 — the only value the nn
+// layers use — the fused sequence `v = acc; v += bias; v = max(v, 0)` is
+// bitwise identical to the unfused store + bias loop + relu pass.
 #pragma once
 
 #include <algorithm>
@@ -45,6 +60,13 @@ inline constexpr std::size_t kSimdWidth = 4;   ///< baseline x86-64 / NEON-ish
 inline constexpr std::size_t kMR = kSimdWidth >= 8 ? 6 : 4;
 /// Columns per B strip (accumulator tile width): two vectors wide.
 inline constexpr std::size_t kNR = 2 * kSimdWidth;
+
+/// k-slice length for cache blocking: an A strip slice (MR·KC floats, ~6 KB)
+/// stays L1-resident across every column strip of a k block, and a B strip
+/// slice (NR·KC floats, ≤32 KB) sits in L2 across every row strip — where
+/// the unblocked sweep streams k·NR floats (256 KB for the dense1 k=2048
+/// shape) through the cache hierarchy once per row strip.
+inline constexpr std::size_t kKC = 256;
 
 /// x rounded up to a multiple of r.
 [[nodiscard]] inline constexpr std::size_t round_up(std::size_t x,
@@ -99,8 +121,38 @@ inline void pack_a_trans(const float* a, std::size_t lda, std::size_t rows,
 
 /// Pack k×`cols` of B into NR strips. `b` points at the panel's first column
 /// in a row-major matrix with leading dimension `ldb` (≥ cols overall).
+///
+/// Two loop orders produce the identical panel; the shape picks the faster:
+/// - Few strips (deep panels like dense1's 2048×128): a single sweep over
+///   the source rows, each read once contiguously and scattered to the
+///   per-strip cursors (every strip's k-major layout advances contiguously
+///   too) — the strip-outer order would re-stream the whole panel from L2
+///   once per kNR columns.
+/// - Many strips (wide conv panels): strip-outer, writing one strip at a
+///   time — the row sweep would fan out to hundreds of write streams, past
+///   what store buffers keep coalesced.
+inline constexpr std::size_t kPackSweepMaxStrips = 16;
+
 inline void pack_b(const float* b, std::size_t ldb, std::size_t k,
                    std::size_t cols, float* pb) {
+  if (cols <= kPackSweepMaxStrips * kNR) {
+    const std::size_t full = cols / kNR * kNR;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* src = b + p * ldb;
+      float* dst = pb + p * kNR;
+      std::size_t s = 0;
+      for (; s < full; s += kNR, dst += kNR * k) {
+        for (std::size_t j = 0; j < kNR; ++j) dst[j] = src[s + j];
+      }
+      if (s < cols) {
+        const std::size_t nr = cols - s;
+        std::size_t j = 0;
+        for (; j < nr; ++j) dst[j] = src[s + j];
+        for (; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    }
+    return;
+  }
   for (std::size_t s = 0; s < cols; s += kNR) {
     const std::size_t nr = std::min(kNR, cols - s);
     for (std::size_t p = 0; p < k; ++p) {
@@ -131,85 +183,198 @@ inline void pack_b_trans(const float* b, std::size_t ldb, std::size_t k,
   }
 }
 
+/// Write-back transform applied when a tile is *finalized* (last k block).
+/// `bias` is indexed relative to the block the macrokernel writes — callers
+/// that hand the macrokernel a sub-block of C offset the pointer themselves.
+struct Epilogue {
+  enum class Kind : unsigned char {
+    kNone,      ///< c = alpha·acc + beta·c
+    kBias,      ///< … + bias[row] or bias[col]
+    kBiasRelu,  ///< … then max(·, 0)
+  };
+  Kind kind = Kind::kNone;
+  bool per_row = true;  ///< bias[i] per C row when true, bias[j] per column
+  const float* bias = nullptr;
+};
+
 namespace detail {
+
+/// Tile height of the reduced register tile used for short edge strips:
+/// a GEMM whose tail strip holds ≤ kSmallMR rows (the paper's batch-16
+/// dense layers end in one) skips the padded rows' FMA issue entirely.
+inline constexpr std::size_t kSmallMR = 4;
 
 /// The register tile: acc[i][j] = Σ_p pa[p·MR+i] · pb[p·NR+j], folded in
 /// ascending p with one accumulator per element. The constant trip counts
 /// let the compiler fully unroll i, vectorize j, and keep acc in registers.
+/// Rows is the accumulator height (kMR, or kSmallMR for short tail strips —
+/// the packed stride stays kMR either way); each element's fold sequence is
+/// identical under both, so the tile height is invisible in the result.
+template <std::size_t Rows>
 inline void accumulate(std::size_t kc, const float* pa, const float* pb,
-                       float acc[kMR][kNR]) {
+                       float acc[Rows][kNR]) {
   for (std::size_t p = 0; p < kc; ++p, pa += kMR, pb += kNR) {
-    for (std::size_t i = 0; i < kMR; ++i) {
+    for (std::size_t i = 0; i < Rows; ++i) {
       const float a = pa[i];
       for (std::size_t j = 0; j < kNR; ++j) acc[i][j] += a * pb[j];
     }
   }
 }
 
-}  // namespace detail
-
-/// Full-tile microkernel: C tile (MR×NR, row stride ldc) =
-/// alpha·(A strip · B strip) + beta·C tile. beta == 0 never reads C.
-inline void kernel_full(std::size_t kc, float alpha, const float* pa,
-                        const float* pb, float beta, float* c,
-                        std::size_t ldc) {
-  float acc[kMR][kNR] = {};
-  detail::accumulate(kc, pa, pb, acc);
-  if (beta == 0.0f) {
-    for (std::size_t i = 0; i < kMR; ++i) {
-      for (std::size_t j = 0; j < kNR; ++j) c[i * ldc + j] = alpha * acc[i][j];
+/// Resume a parked fold: seed the valid mr×nr corner of the accumulator
+/// tile from the raw partial sums a previous k block stored in C. Padding
+/// lanes stay zero (their strips are zero-padded, so they fold zeros).
+/// Interior tiles take the constant-bound loops so the compiler emits
+/// full-width vector moves; edge tiles mask to the valid corner.
+template <std::size_t Rows>
+inline void load_partial(const float* c, std::size_t ldc, std::size_t mr,
+                         std::size_t nr, float acc[Rows][kNR]) {
+  if (mr == Rows && nr == kNR) {
+    for (std::size_t i = 0; i < Rows; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) acc[i][j] = c[i * ldc + j];
     }
-  } else {
-    for (std::size_t i = 0; i < kMR; ++i) {
+    return;
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    for (std::size_t j = 0; j < nr; ++j) acc[i][j] = c[i * ldc + j];
+  }
+}
+
+/// Park the fold: store the raw accumulators (no alpha/beta/epilogue) so the
+/// next k block can continue the exact per-element sequence — a float32
+/// store/reload is lossless.
+template <std::size_t Rows>
+inline void store_partial(const float acc[Rows][kNR], float* c,
+                          std::size_t ldc, std::size_t mr, std::size_t nr) {
+  if (mr == Rows && nr == kNR) {
+    for (std::size_t i = 0; i < Rows; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) c[i * ldc + j] = acc[i][j];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = acc[i][j];
+  }
+}
+
+/// Final write-back element: one `alpha·acc (+ beta·c)`, then the epilogue.
+inline float finalize_element(float acc, float alpha, float beta,
+                              const float* c_elem, const Epilogue& ep,
+                              std::size_t bias_index) {
+  float v = alpha * acc;
+  if (beta != 0.0f) v += beta * *c_elem;
+  if (ep.kind != Epilogue::Kind::kNone) {
+    v += ep.bias[bias_index];
+    if (ep.kind == Epilogue::Kind::kBiasRelu && !(v > 0.0f)) v = 0.0f;
+  }
+  return v;
+}
+
+/// Final write-back for the tile. `row0`/`col0` locate the tile inside the
+/// macrokernel's block for bias indexing. Interior tiles run constant-bound
+/// loops (the beta/epilogue branches are loop-invariant and unswitch).
+template <std::size_t Rows>
+inline void store_final(const float acc[Rows][kNR], float alpha, float beta,
+                        float* c, std::size_t ldc, std::size_t mr,
+                        std::size_t nr, const Epilogue& ep, std::size_t row0,
+                        std::size_t col0) {
+  if (mr == Rows && nr == kNR) {
+    for (std::size_t i = 0; i < Rows; ++i) {
       for (std::size_t j = 0; j < kNR; ++j) {
-        c[i * ldc + j] = alpha * acc[i][j] + beta * c[i * ldc + j];
+        c[i * ldc + j] =
+            finalize_element(acc[i][j], alpha, beta, &c[i * ldc + j], ep,
+                             ep.per_row ? row0 + i : col0 + j);
       }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < mr; ++i) {
+    for (std::size_t j = 0; j < nr; ++j) {
+      c[i * ldc + j] =
+          finalize_element(acc[i][j], alpha, beta, &c[i * ldc + j], ep,
+                           ep.per_row ? row0 + i : col0 + j);
     }
   }
 }
 
-/// Edge microkernel: identical accumulation over the zero-padded strips,
-/// write-back masked to the valid mr×nr corner — so edge elements get the
-/// exact same arithmetic as interior ones.
-inline void kernel_edge(std::size_t kc, float alpha, const float* pa,
-                        const float* pb, float beta, float* c, std::size_t ldc,
-                        std::size_t mr, std::size_t nr) {
-  float acc[kMR][kNR] = {};
-  detail::accumulate(kc, pa, pb, acc);
-  if (beta == 0.0f) {
-    for (std::size_t i = 0; i < mr; ++i) {
-      for (std::size_t j = 0; j < nr; ++j) c[i * ldc + j] = alpha * acc[i][j];
-    }
+template <std::size_t Rows>
+inline void tile_kernel(std::size_t kc, float alpha, const float* pa,
+                        const float* pb, float beta, float* c,
+                        std::size_t ldc, std::size_t mr, std::size_t nr,
+                        bool resume, bool finalize, const Epilogue& ep,
+                        std::size_t row0, std::size_t col0) {
+  float acc[Rows][kNR] = {};
+  if (resume) load_partial<Rows>(c, ldc, mr, nr, acc);
+  accumulate<Rows>(kc, pa, pb, acc);
+  if (finalize) {
+    store_final<Rows>(acc, alpha, beta, c, ldc, mr, nr, ep, row0, col0);
   } else {
-    for (std::size_t i = 0; i < mr; ++i) {
-      for (std::size_t j = 0; j < nr; ++j) {
-        c[i * ldc + j] = alpha * acc[i][j] + beta * c[i * ldc + j];
-      }
-    }
+    store_partial<Rows>(acc, c, ldc, mr, nr);
+  }
+}
+
+}  // namespace detail
+
+/// Microkernel over one k slice of a tile: accumulate kc steps (resuming
+/// from raw partials in C when `resume`), then either park the fold
+/// (`finalize == false`) or apply alpha/beta and the epilogue. Write-back is
+/// masked to the valid mr×nr corner; the accumulation arithmetic is
+/// identical for interior and edge tiles, and a short tail strip (mr ≤
+/// kSmallMR) runs on a reduced accumulator tile — same per-element fold,
+/// no FMA issue spent on padded rows. beta != 0 requires a single-block
+/// sweep (resume == false && finalize == true) — the partial-parking scheme
+/// uses C as scratch and would clobber the accumuland.
+inline void kernel(std::size_t kc, float alpha, const float* pa,
+                   const float* pb, float beta, float* c, std::size_t ldc,
+                   std::size_t mr, std::size_t nr, bool resume, bool finalize,
+                   const Epilogue& ep, std::size_t row0, std::size_t col0) {
+  if (kMR > detail::kSmallMR && mr <= detail::kSmallMR) {
+    detail::tile_kernel<detail::kSmallMR>(kc, alpha, pa, pb, beta, c, ldc,
+                                          mr, nr, resume, finalize, ep, row0,
+                                          col0);
+  } else {
+    detail::tile_kernel<kMR>(kc, alpha, pa, pb, beta, c, ldc, mr, nr, resume,
+                             finalize, ep, row0, col0);
   }
 }
 
 /// Macrokernel: sweep a packed A panel (`rows` logical rows) against a packed
 /// B panel (`cols` logical columns), writing the rows×cols block of C at `c`
-/// (row stride ldc). Column strips are the outer loop so one B strip (k·NR
-/// floats — L1-resident for the k this library sees) is reused across every
-/// row strip before the next is touched; the whole packed B streams through
-/// cache once per call instead of once per row strip. The order is irrelevant
-/// to the result — tiles are disjoint.
+/// (row stride ldc), in KC-length k blocks. The k-block loop is outermost so
+/// one block's A strip slices (MR·kc floats each) stay L1-resident across
+/// every column strip and a B strip slice (NR·kc floats) is reused from L2
+/// across every row strip — the unblocked sweep instead streamed full k·NR
+/// strips per row strip. Within a block, column strips are the outer loop so
+/// one B slice is reused across every row strip before the next is touched.
+///
+/// Tile order is irrelevant to the result (tiles are disjoint) and the block
+/// length is irrelevant too: blocks park raw per-element partials in C and
+/// resume them, reproducing the single ascending-k fold bitwise for every
+/// `kc_block` (sweepable by tests; gemm.cpp always passes the kKC default).
+/// beta != 0 forces a single block — C is the accumuland, not scratch.
 inline void macrokernel(std::size_t rows, std::size_t cols, std::size_t k,
                         float alpha, const float* pa, const float* pb,
-                        float beta, float* c, std::size_t ldc) {
-  for (std::size_t jr = 0; jr < cols; jr += kNR) {
-    const std::size_t nr = std::min(kNR, cols - jr);
-    const float* b_strip = pb + jr * k;  // strip index · kNR·k
-    for (std::size_t ir = 0; ir < rows; ir += kMR) {
-      const std::size_t mr = std::min(kMR, rows - ir);
-      const float* a_strip = pa + ir * k;  // strip index · kMR·k
-      float* ct = c + ir * ldc + jr;
-      if (mr == kMR && nr == kNR) {
-        kernel_full(k, alpha, a_strip, b_strip, beta, ct, ldc);
-      } else {
-        kernel_edge(k, alpha, a_strip, b_strip, beta, ct, ldc, mr, nr);
+                        float beta, float* c, std::size_t ldc,
+                        const Epilogue& ep = {},
+                        std::size_t kc_block = kKC) {
+  const std::size_t kc_eff =
+      (beta != 0.0f || kc_block == 0) ? std::max<std::size_t>(k, 1)
+                                      : kc_block;
+  const std::size_t blocks = k == 0 ? 1 : (k + kc_eff - 1) / kc_eff;
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t p0 = blk * kc_eff;
+    const std::size_t p1 = std::min(p0 + kc_eff, k);
+    const bool resume = blk > 0;
+    const bool finalize = blk + 1 == blocks;
+    for (std::size_t jr = 0; jr < cols; jr += kNR) {
+      const std::size_t nr = std::min(kNR, cols - jr);
+      // Strip index · kNR·k locates the strip; p0·kNR the k slice within it.
+      const float* b_strip = pb + jr * k + p0 * kNR;
+      for (std::size_t ir = 0; ir < rows; ir += kMR) {
+        const std::size_t mr = std::min(kMR, rows - ir);
+        const float* a_strip = pa + ir * k + p0 * kMR;
+        kernel(p1 - p0, alpha, a_strip, b_strip, beta, c + ir * ldc + jr,
+               ldc, mr, nr, resume, finalize, ep, ir, jr);
       }
     }
   }

@@ -1,27 +1,54 @@
 #include "gsfl/common/workspace.hpp"
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 namespace gsfl::common {
 
 namespace {
 
+// Packed GEMM panels are read as full-width vector rows every kernel step;
+// a buffer that straddles cache lines turns every one of those loads into a
+// line-crossing split. Align each arena buffer to the line size.
+constexpr std::size_t kAlignBytes = 64;
+
+struct AlignedBuffer {
+  std::unique_ptr<float[]> storage;
+  float* data = nullptr;
+  std::size_t size = 0;
+
+  void grow(std::size_t floats) {
+    if (size >= floats) return;
+    storage = std::make_unique<float[]>(floats + kAlignBytes / sizeof(float));
+    void* raw = storage.get();
+    std::size_t space = (floats + kAlignBytes / sizeof(float)) * sizeof(float);
+    data = static_cast<float*>(std::align(kAlignBytes, floats * sizeof(float),
+                                          raw, space));
+    size = floats;
+  }
+};
+
 // One arena per thread: slot index == key. Pool workers live for the whole
 // process, so steady-state training rounds allocate nothing here.
-thread_local std::vector<std::vector<float>> tl_arena;
+thread_local std::vector<AlignedBuffer> tl_arena;
 
 }  // namespace
 
 float* Workspace::floats(std::size_t key, std::size_t size) {
   if (tl_arena.size() <= key) tl_arena.resize(key + 1);
   auto& buffer = tl_arena[key];
-  if (buffer.size() < size) buffer.resize(size);
-  return buffer.data();
+  buffer.grow(size);
+  return buffer.data;
 }
 
 std::size_t Workspace::thread_bytes() {
   std::size_t bytes = 0;
-  for (const auto& buffer : tl_arena) bytes += buffer.capacity() * sizeof(float);
+  for (const auto& buffer : tl_arena) {
+    if (buffer.size > 0) {
+      bytes += (buffer.size + kAlignBytes / sizeof(float)) * sizeof(float);
+    }
+  }
   return bytes;
 }
 

@@ -4,6 +4,18 @@
 
 namespace gsfl::nn {
 
+Tensor relu_mask(const Tensor& grad_output, const Tensor& y) {
+  GSFL_EXPECT(grad_output.shape() == y.shape());
+  Tensor masked(grad_output.shape());
+  const auto go = grad_output.data();
+  const auto yd = y.data();
+  auto md = masked.data();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    md[i] = yd[i] > 0.0f ? go[i] : 0.0f;
+  }
+  return masked;
+}
+
 Tensor Activation::forward(const Tensor& input, bool /*train*/) {
   cached_input_ = input;
   Tensor out(input.shape());

@@ -5,6 +5,7 @@
 
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/common/workspace.hpp"
+#include "gsfl/nn/activations.hpp"
 #include "gsfl/nn/init.hpp"
 #include "gsfl/tensor/gemm.hpp"
 #include "gsfl/tensor/microkernel.hpp"
@@ -49,7 +50,8 @@ ConvGeometry Conv2d::geometry(const Shape& input) const {
                       .pad = pad_};
 }
 
-Tensor Conv2d::forward(const Tensor& input, bool train) {
+Tensor Conv2d::forward_impl(const Tensor& input, bool train,
+                            bool fuse_relu) {
   const ConvGeometry geom = geometry(input.shape());
   const std::size_t batch = input.shape()[0];
   const std::size_t positions = geom.out_positions();
@@ -68,19 +70,23 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
   Tensor out(Shape{batch, out_channels_, geom.out_h(), geom.out_w()});
   float* od = out.data().data();
   const float* in = input.data().data();
-  const float* bd = bias_.data().data();
 
   // One batched GEMM over the whole im2col matrix, driven on the raw panel
   // kernels: the weight panel is packed once per call and shared read-only;
   // each sample then flows unfold → pack → macrokernel while its columns are
   // still cache-hot, writing its NCHW output slice directly (the im2col
-  // matrix's per-sample column blocks never need to coexist). Pre-filling
-  // the output with the bias and accumulating with beta=1 folds the bias add
-  // into the GEMM write-back.
+  // matrix's per-sample column blocks never need to coexist). The per-channel
+  // bias — and, when fused, the ReLU clamp — rides the GEMM write-back
+  // epilogue, so no pass pre-fills or post-processes the output.
   float* pw = common::Workspace::floats(
       common::Workspace::kGemmPackA, micro::packed_a_floats(out_channels_,
                                                             patch));
   micro::pack_a(weight_.data().data(), patch, out_channels_, patch, pw);
+  const micro::Epilogue ep{.kind = fuse_relu
+                                       ? micro::Epilogue::Kind::kBiasRelu
+                                       : micro::Epilogue::Kind::kBias,
+                           .per_row = true,
+                           .bias = bias_.data().data()};
 
   common::global_parallel_for(1, batch, [&](std::size_t b0, std::size_t b1) {
     float* columns = common::Workspace::floats(
@@ -91,15 +97,34 @@ Tensor Conv2d::forward(const Tensor& input, bool train) {
     for (std::size_t n = b0; n < b1; ++n) {
       tensor::im2col_into(in + n * chw, geom, columns);
       micro::pack_b(columns, positions, patch, positions, pb);
-      float* dst = od + n * out_channels_ * positions;
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        std::fill(dst + c * positions, dst + (c + 1) * positions, bd[c]);
-      }
-      micro::macrokernel(out_channels_, positions, patch, 1.0f, pw, pb, 1.0f,
-                         dst, positions);
+      micro::macrokernel(out_channels_, positions, patch, 1.0f, pw, pb, 0.0f,
+                         od + n * out_channels_ * positions, positions, ep);
     }
   });
   return out;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+  last_forward_fused_ = false;
+  return forward_impl(input, train, /*fuse_relu=*/false);
+}
+
+Tensor Conv2d::forward_fused_relu(const Tensor& input, bool train) {
+  last_forward_fused_ = true;
+  Tensor out = forward_impl(input, train, /*fuse_relu=*/true);
+  if (train) {
+    cached_fused_output_ = out;
+  } else {
+    cached_fused_output_ = Tensor();
+  }
+  return out;
+}
+
+Tensor Conv2d::backward_fused_relu(const Tensor& grad_output) {
+  GSFL_EXPECT_MSG(last_forward_fused_,
+                  "backward_fused_relu() requires a fused forward");
+  GSFL_EXPECT(grad_output.shape() == cached_fused_output_.shape());
+  return backward(relu_mask(grad_output, cached_fused_output_));
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {

@@ -1,5 +1,6 @@
 #include "gsfl/nn/dense.hpp"
 
+#include "gsfl/nn/activations.hpp"
 #include "gsfl/nn/init.hpp"
 #include "gsfl/tensor/gemm.hpp"
 
@@ -24,26 +25,51 @@ std::string Dense::name() const {
          std::to_string(out_features_) + ")";
 }
 
-Tensor Dense::forward(const Tensor& input, bool /*train*/) {
+Tensor Dense::forward_impl(const Tensor& input, bool fuse_relu) {
   GSFL_EXPECT(input.shape().rank() == 2);
   GSFL_EXPECT_MSG(input.shape()[1] == in_features_,
                   "dense input width mismatch");
   cached_input_ = input;
-  // y = x · Wᵀ, then add bias per row. The raw path absorbs the transpose
-  // into panel packing — no staging copy of W.
+  // y = x · Wᵀ with the per-column bias (and, when fused, the ReLU clamp)
+  // folded into the GEMM write-back epilogue. The raw path absorbs the
+  // transpose into panel packing — no staging copy of W, no separate bias
+  // or activation pass over the output.
   const std::size_t batch = input.shape()[0];
   Tensor out(Shape{batch, out_features_});
+  const tensor::micro::Epilogue ep{
+      .kind = fuse_relu ? tensor::micro::Epilogue::Kind::kBiasRelu
+                        : tensor::micro::Epilogue::Kind::kBias,
+      .per_row = false,
+      .bias = bias_.data().data()};
   tensor::gemm_raw(batch, in_features_, out_features_, 1.0f,
                    input.data().data(), Trans::kNo, weight_.data().data(),
-                   Trans::kYes, 0.0f, out.data().data());
-  auto od = out.data();
-  const auto bd = bias_.data();
-  for (std::size_t i = 0; i < batch; ++i) {
-    for (std::size_t j = 0; j < out_features_; ++j) {
-      od[i * out_features_ + j] += bd[j];
-    }
+                   Trans::kYes, 0.0f, out.data().data(), ep);
+  return out;
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*train*/) {
+  last_forward_fused_ = false;
+  return forward_impl(input, /*fuse_relu=*/false);
+}
+
+Tensor Dense::forward_fused_relu(const Tensor& input, bool train) {
+  last_forward_fused_ = true;
+  Tensor out = forward_impl(input, /*fuse_relu=*/true);
+  // Only backward reads the cache; eval passes skip the copy and
+  // invalidate it, so a backward after an eval forward fails loudly.
+  if (train) {
+    cached_fused_output_ = out;
+  } else {
+    cached_fused_output_ = Tensor();
   }
   return out;
+}
+
+Tensor Dense::backward_fused_relu(const Tensor& grad_output) {
+  GSFL_EXPECT_MSG(last_forward_fused_,
+                  "backward_fused_relu() requires a fused forward");
+  GSFL_EXPECT(grad_output.shape() == cached_fused_output_.shape());
+  return backward(relu_mask(grad_output, cached_fused_output_));
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {

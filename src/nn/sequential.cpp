@@ -2,9 +2,12 @@
 
 #include <sstream>
 
+#include "gsfl/nn/activations.hpp"
+
 namespace gsfl::nn {
 
-Sequential::Sequential(const Sequential& other) {
+Sequential::Sequential(const Sequential& other)
+    : fusion_enabled_(other.fusion_enabled_) {
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
 }
@@ -13,6 +16,8 @@ Sequential& Sequential::operator=(const Sequential& other) {
   if (this == &other) return *this;
   Sequential copy(other);
   layers_ = std::move(copy.layers_);
+  fusion_enabled_ = copy.fusion_enabled_;
+  fused_.clear();
   return *this;
 }
 
@@ -32,16 +37,46 @@ const Layer& Sequential::layer(std::size_t i) const {
   return *layers_[i];
 }
 
+void Sequential::refresh_fusion_plan() {
+  fused_.assign(layers_.size(), 0);
+  if (!fusion_enabled_) return;
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    if (layers_[i]->can_fuse_relu() &&
+        dynamic_cast<const Relu*>(layers_[i + 1].get()) != nullptr) {
+      fused_[i] = 1;
+    }
+  }
+}
+
 Tensor Sequential::forward(const Tensor& input, bool train) {
+  refresh_fusion_plan();
   Tensor x = input;
-  for (auto& l : layers_) x = l->forward(x, train);
+  for (std::size_t i = 0; i < layers_.size();) {
+    if (fused_[i]) {
+      x = layers_[i]->forward_fused_relu(x, train);
+      i += 2;  // the Relu at i+1 was absorbed
+    } else {
+      x = layers_[i]->forward(x, train);
+      i += 1;
+    }
+  }
   return x;
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
+  // Mirror the last forward's fusion plan; a backward with no prior forward
+  // runs unfused and lets the layers raise their own "requires a prior
+  // forward" errors.
+  if (fused_.size() != layers_.size()) fused_.assign(layers_.size(), 0);
   Tensor g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+  for (std::size_t i = layers_.size(); i > 0;) {
+    --i;
+    if (i > 0 && fused_[i - 1]) {
+      g = layers_[i - 1]->backward_fused_relu(g);
+      --i;  // the Relu at i was absorbed
+    } else {
+      g = layers_[i]->backward(g);
+    }
   }
   return g;
 }

@@ -1,6 +1,7 @@
 #include "gsfl/schemes/aggregate.hpp"
 
 #include "gsfl/common/expect.hpp"
+#include "gsfl/common/parallel_map.hpp"
 
 namespace gsfl::schemes {
 
@@ -22,20 +23,23 @@ nn::StateDict fedavg_states(std::span<const nn::StateDict> states,
                     "state dicts disagree on entry count");
   }
 
-  nn::StateDict out;
-  out.reserve(entries);
-  for (std::size_t e = 0; e < entries; ++e) {
-    std::vector<const tensor::Tensor*> tensors;
-    std::vector<double> normalized;
-    tensors.reserve(states.size());
-    normalized.reserve(states.size());
-    for (std::size_t k = 0; k < states.size(); ++k) {
-      tensors.push_back(&states[k][e]);
-      normalized.push_back(weights[k] / weight_sum);
-    }
-    out.push_back(tensor::weighted_sum(tensors, normalized));
+  // Normalize once, outside the parallel region, so every entry multiplies
+  // by the identical double regardless of which lane folds it.
+  std::vector<double> normalized(states.size());
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    normalized[k] = weights[k] / weight_sum;
   }
-  return out;
+
+  // Parallel weighted reduction over state entries: entry e's fold is a
+  // serial ascending-replica weighted_sum computed wholly inside its map
+  // slot, so the result is bitwise identical for every thread count (the
+  // parallel_map contract — chunking never splits an entry's fold).
+  return common::parallel_map(entries, [&](std::size_t e) {
+    std::vector<const tensor::Tensor*> tensors;
+    tensors.reserve(states.size());
+    for (const auto& s : states) tensors.push_back(&s[e]);
+    return tensor::weighted_sum(tensors, normalized);
+  });
 }
 
 nn::StateDict fedavg_models(std::span<const nn::Sequential* const> models,
@@ -50,8 +54,11 @@ nn::StateDict fedavg_models(std::span<const nn::Sequential* const> models,
 }
 
 double aggregation_flops(std::size_t scalars, std::size_t replicas) {
-  // One multiply and one add per scalar per replica.
-  return 2.0 * static_cast<double>(scalars) * static_cast<double>(replicas);
+  // Per replica: one weight-normalization divide (w_k / Σw), then one
+  // multiply and one add per scalar for the normalized-weight fold —
+  // 2·P·K + K total for K replicas of P scalars.
+  return 2.0 * static_cast<double>(scalars) * static_cast<double>(replicas) +
+         static_cast<double>(replicas);
 }
 
 }  // namespace gsfl::schemes

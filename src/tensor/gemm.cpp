@@ -69,13 +69,14 @@ Tensor transpose(const Tensor& a) {
 
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* a, Trans trans_a, const float* b, Trans trans_b,
-              float beta, float* c) {
+              float beta, float* c, const micro::Epilogue& epilogue) {
   if (m == 0 || n == 0) return;
   if (k == 0) {
-    // Empty inner dimension: the product term vanishes, C = beta·C.
-    for (std::size_t i = 0; i < m * n; ++i) {
-      c[i] = beta == 0.0f ? 0.0f : beta * c[i];
-    }
+    // Empty inner dimension: the product term vanishes — run the write-back
+    // (beta scale + epilogue) through a zero-k macrokernel so the epilogue
+    // semantics stay uniform.
+    micro::macrokernel(m, n, 0, alpha, nullptr, nullptr, beta, c, n,
+                       epilogue);
     return;
   }
 
@@ -100,7 +101,12 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
       float* pa = common::Workspace::floats(
           common::Workspace::kGemmPackA, micro::packed_a_floats(r1 - r0, k));
       pack_a_panel(a, trans_a, m, k, r0, r1, pa);
-      micro::macrokernel(r1 - r0, n, k, alpha, pa, pb, beta, c + r0 * n, n);
+      // A per-row bias walks with the panel's row offset; a per-column bias
+      // spans all of n unshifted.
+      micro::Epilogue ep = epilogue;
+      if (ep.bias != nullptr && ep.per_row) ep.bias += r0;
+      micro::macrokernel(r1 - r0, n, k, alpha, pa, pb, beta, c + r0 * n, n,
+                         ep);
     };
     if (serial) {
       rows_task(0, m);
@@ -121,8 +127,17 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
     float* pb = common::Workspace::floats(
         common::Workspace::kGemmPack, micro::packed_b_floats(k, c1 - c0));
     pack_b_panel(b, trans_b, k, n, c0, c1, pb);
-    micro::macrokernel(m, c1 - c0, k, alpha, pa, pb, beta, c + c0, n);
+    micro::Epilogue ep = epilogue;
+    if (ep.bias != nullptr && !ep.per_row) ep.bias += c0;
+    micro::macrokernel(m, c1 - c0, k, alpha, pa, pb, beta, c + c0, n, ep);
   });
+}
+
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, Trans trans_a, const float* b, Trans trans_b,
+              float beta, float* c) {
+  gemm_raw(m, k, n, alpha, a, trans_a, b, trans_b, beta, c,
+           micro::Epilogue{});
 }
 
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,

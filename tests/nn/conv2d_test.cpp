@@ -1,15 +1,20 @@
 #include <gtest/gtest.h>
 
+#include "gsfl/nn/activations.hpp"
 #include "gsfl/nn/conv2d.hpp"
 #include "gsfl/tensor/gemm.hpp"
 #include "support/gradcheck.hpp"
+#include "support/property.hpp"
 
 namespace {
 
 using gsfl::common::Rng;
 using gsfl::nn::Conv2d;
+using gsfl::nn::Relu;
 using gsfl::tensor::Shape;
 using gsfl::tensor::Tensor;
+namespace prop = gsfl::test::prop;
+using FusedConvRelu = prop::FusedRelu<Conv2d>;
 
 /// Direct (non-im2col) reference convolution for one output element.
 float naive_conv_at(const Tensor& x, const Tensor& w, const Tensor& b,
@@ -181,6 +186,87 @@ TEST(Conv2d, BatchedForwardMatchesPerSampleGemmBitwise) {
       }
     }
   }
+}
+
+// The fused forward must be bitwise identical to the unfused conv forward
+// followed by a standalone Relu — at every thread count (the batch loop
+// parallelizes over samples, the relu clamp rides each sample's epilogue).
+TEST(Conv2d, FusedForwardMatchesUnfusedReluBitwise) {
+  Rng rng(24);
+  Conv2d layer(3, 8, 3, 1, 1, rng);
+  const auto x = Tensor::uniform(Shape{6, 3, 8, 8}, rng, -1, 1);
+
+  gsfl::common::set_global_threads(1);
+  Relu relu;
+  const auto unfused = relu.forward(layer.forward(x, true), true);
+  prop::for_each_thread_count([&](std::size_t threads) {
+    const auto fused = layer.forward_fused_relu(x, true);
+    ASSERT_TRUE(prop::bitwise_equal(fused, unfused))
+        << "threads=" << threads;
+  });
+}
+
+// And the fused backward must reproduce the unfused composition's input and
+// parameter gradients bitwise: the y>0 mask equals the Relu derivative.
+TEST(Conv2d, FusedBackwardMatchesUnfusedReluBitwise) {
+  Rng rng(25);
+  Conv2d fused(2, 3, 3, 1, 1, rng);
+  Conv2d unfused = fused;  // identical weights
+  Relu relu;
+  const auto x = Tensor::uniform(Shape{3, 2, 5, 5}, rng, -1, 1);
+  Rng grng(26);
+  const auto dy = Tensor::uniform(Shape{3, 3, 5, 5}, grng, -1, 1);
+
+  unfused.zero_grad();
+  const auto hidden = unfused.forward(x, true);
+  (void)relu.forward(hidden, true);
+  const auto dx_unfused = unfused.backward(relu.backward(dy));
+
+  fused.zero_grad();
+  (void)fused.forward_fused_relu(x, true);
+  const auto dx_fused = fused.backward_fused_relu(dy);
+
+  EXPECT_TRUE(prop::bitwise_equal(dx_fused, dx_unfused));
+  EXPECT_TRUE(
+      prop::bitwise_equal(*fused.gradients()[0], *unfused.gradients()[0]));
+  EXPECT_TRUE(
+      prop::bitwise_equal(*fused.gradients()[1], *unfused.gradients()[1]));
+}
+
+TEST(Conv2d, FusedReluInputGradientCheck) {
+  Rng rng(18);  // seed chosen so every pre-activation clears the kink margin
+  Conv2d layer(2, 2, 3, 1, 1, rng);
+  auto input = Tensor::uniform(Shape{1, 2, 4, 4}, rng, -1, 1);
+  // Gradcheck differentiates across the relu kink, so the pre-activations
+  // must sit clear of 0 relative to the finite-difference step; assert the
+  // margin so a drifting seed fails here and not with a flaky mismatch.
+  const auto preact = layer.forward(input, true);
+  float margin = 1e9f;
+  for (const float v : preact.data()) margin = std::min(margin, std::abs(v));
+  ASSERT_GT(margin, 0.05f) << "pick a different seed";
+  FusedConvRelu fused(layer);
+  gsfl::test::check_input_gradient(fused, input, rng);
+}
+
+TEST(Conv2d, FusedReluParameterGradientCheck) {
+  Rng rng(17);  // seed chosen so every pre-activation clears the kink margin
+  Conv2d layer(1, 2, 3, 1, 0, rng);
+  auto input = Tensor::uniform(Shape{1, 1, 5, 5}, rng, -1, 1);
+  const auto preact = layer.forward(input, true);
+  float margin = 1e9f;
+  for (const float v : preact.data()) margin = std::min(margin, std::abs(v));
+  ASSERT_GT(margin, 0.05f) << "pick a different seed";
+  FusedConvRelu fused(layer);
+  gsfl::test::check_parameter_gradients(fused, input, rng);
+}
+
+TEST(Conv2d, FusedBackwardWithoutFusedForwardThrows) {
+  Rng rng(28);
+  Conv2d layer(1, 1, 3, 1, 1, rng);
+  (void)layer.forward(Tensor::ones(Shape{1, 1, 4, 4}), true);
+  EXPECT_THROW(
+      (void)layer.backward_fused_relu(Tensor::ones(Shape{1, 1, 4, 4})),
+      std::invalid_argument);
 }
 
 TEST(Conv2d, BatchedBackwardMatchesPerSampleGemm) {

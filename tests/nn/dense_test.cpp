@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include "gsfl/nn/activations.hpp"
 #include "gsfl/nn/dense.hpp"
 #include "support/gradcheck.hpp"
+#include "support/property.hpp"
 
 namespace {
 
 using gsfl::common::Rng;
 using gsfl::nn::Dense;
+using gsfl::nn::Relu;
 using gsfl::tensor::Shape;
 using gsfl::tensor::Tensor;
+namespace prop = gsfl::test::prop;
+using FusedDenseRelu = prop::FusedRelu<Dense>;
 
 TEST(Dense, ForwardMatchesHandComputation) {
   Rng rng(1);
@@ -127,6 +132,90 @@ TEST(Dense, CloneIsDeepAndIdentical) {
   clone->parameters()[0]->fill(0.0f);
   const auto y3 = layer.forward(x, true);
   EXPECT_EQ(y1, y3);
+}
+
+// The fused forward must be bitwise identical to the unfused dense forward
+// followed by a standalone Relu — at every thread count.
+TEST(Dense, FusedForwardMatchesUnfusedReluBitwise) {
+  Rng rng(30);
+  Dense layer(64, 48, rng);
+  const auto x = Tensor::uniform(Shape{32, 64}, rng, -1, 1);
+
+  gsfl::common::set_global_threads(1);
+  Relu relu;
+  const auto unfused = relu.forward(layer.forward(x, true), true);
+  prop::for_each_thread_count([&](std::size_t threads) {
+    const auto fused = layer.forward_fused_relu(x, true);
+    ASSERT_TRUE(prop::bitwise_equal(fused, unfused))
+        << "threads=" << threads;
+  });
+}
+
+// And the fused backward must reproduce the unfused composition's input and
+// parameter gradients bitwise: the y>0 mask equals the Relu derivative.
+TEST(Dense, FusedBackwardMatchesUnfusedReluBitwise) {
+  Rng rng(31);
+  Dense fused(16, 12, rng);
+  Dense unfused = fused;  // identical weights
+  Relu relu;
+  const auto x = Tensor::uniform(Shape{8, 16}, rng, -1, 1);
+  Rng grng(32);
+  const auto dy = Tensor::uniform(Shape{8, 12}, grng, -1, 1);
+
+  unfused.zero_grad();
+  const auto hidden = unfused.forward(x, true);
+  (void)relu.forward(hidden, true);
+  const auto dx_unfused = unfused.backward(relu.backward(dy));
+
+  fused.zero_grad();
+  (void)fused.forward_fused_relu(x, true);
+  const auto dx_fused = fused.backward_fused_relu(dy);
+
+  EXPECT_TRUE(prop::bitwise_equal(dx_fused, dx_unfused));
+  EXPECT_TRUE(
+      prop::bitwise_equal(*fused.gradients()[0], *unfused.gradients()[0]));
+  EXPECT_TRUE(
+      prop::bitwise_equal(*fused.gradients()[1], *unfused.gradients()[1]));
+}
+
+TEST(Dense, FusedReluInputGradientCheck) {
+  Rng rng(33);
+  Dense layer(4, 3, rng);
+  auto input = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  // Gradcheck differentiates across the relu kink, so the pre-activations
+  // must sit clear of 0 relative to the finite-difference step; assert the
+  // margin so a drifting seed fails here and not with a flaky mismatch.
+  const auto preact = layer.forward(input, true);
+  float margin = 1e9f;
+  for (const float v : preact.data()) margin = std::min(margin, std::abs(v));
+  ASSERT_GT(margin, 0.05f) << "pick a different seed";
+  FusedDenseRelu fused(layer);
+  gsfl::test::check_input_gradient(fused, input, rng);
+}
+
+TEST(Dense, FusedReluParameterGradientCheck) {
+  Rng rng(36);
+  Dense layer(3, 2, rng);
+  auto input = Tensor::uniform(Shape{3, 3}, rng, -1, 1);
+  const auto preact = layer.forward(input, true);
+  float margin = 1e9f;
+  for (const float v : preact.data()) margin = std::min(margin, std::abs(v));
+  ASSERT_GT(margin, 0.05f) << "pick a different seed";
+  FusedDenseRelu fused(layer);
+  gsfl::test::check_parameter_gradients(fused, input, rng);
+}
+
+TEST(Dense, FusedBackwardWithoutFusedForwardThrows) {
+  Rng rng(37);
+  Dense layer(2, 2, rng);
+  (void)layer.forward(Tensor::ones(Shape{1, 2}), true);
+  EXPECT_THROW((void)layer.backward_fused_relu(Tensor::ones(Shape{1, 2})),
+               std::invalid_argument);
+  // An eval-mode fused forward invalidates the cache: backward fails loudly
+  // instead of differentiating against an eval batch.
+  (void)layer.forward_fused_relu(Tensor::ones(Shape{1, 2}), false);
+  EXPECT_THROW((void)layer.backward_fused_relu(Tensor::ones(Shape{1, 2})),
+               std::invalid_argument);
 }
 
 TEST(Dense, HeInitializationScale) {

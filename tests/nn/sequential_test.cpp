@@ -4,6 +4,7 @@
 #include "gsfl/nn/dense.hpp"
 #include "gsfl/nn/model_zoo.hpp"
 #include "gsfl/nn/sequential.hpp"
+#include "support/property.hpp"
 
 namespace {
 
@@ -191,6 +192,84 @@ TEST(Sequential, ZeroGradClearsAllLayers) {
 TEST(Sequential, AddNullLayerThrows) {
   Sequential model;
   EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+}
+
+// ---- relu-fusion peephole ---------------------------------------------------
+
+TEST(SequentialFusion, PeepholeForwardMatchesUnfusedBitwise) {
+  Rng rng(21);
+  auto fused = two_layer(rng);
+  auto unfused = fused;
+  unfused.set_fusion(false);
+  ASSERT_TRUE(fused.fusion_enabled());
+  ASSERT_FALSE(unfused.fusion_enabled());
+
+  const auto x = Tensor::uniform(Shape{3, 4}, rng, -1, 1);
+  EXPECT_TRUE(gsfl::test::prop::bitwise_equal(fused.forward(x, true),
+                                              unfused.forward(x, true)));
+  // Eval path too (train=false).
+  EXPECT_TRUE(gsfl::test::prop::bitwise_equal(fused.forward(x, false),
+                                              unfused.forward(x, false)));
+}
+
+TEST(SequentialFusion, PeepholeBackwardMatchesUnfusedBitwise) {
+  Rng rng(22);
+  auto fused = two_layer(rng);
+  auto unfused = fused;
+  unfused.set_fusion(false);
+
+  const auto x = Tensor::uniform(Shape{3, 4}, rng, -1, 1);
+  Rng grng(23);
+  const auto dy = Tensor::uniform(Shape{3, 3}, grng, -1, 1);
+
+  fused.zero_grad();
+  (void)fused.forward(x, true);
+  const auto dx_fused = fused.backward(dy);
+  unfused.zero_grad();
+  (void)unfused.forward(x, true);
+  const auto dx_unfused = unfused.backward(dy);
+
+  EXPECT_TRUE(gsfl::test::prop::bitwise_equal(dx_fused, dx_unfused));
+  const auto gf = fused.gradients();
+  const auto gu = unfused.gradients();
+  ASSERT_EQ(gf.size(), gu.size());
+  for (std::size_t i = 0; i < gf.size(); ++i) {
+    EXPECT_TRUE(gsfl::test::prop::bitwise_equal(*gf[i], *gu[i]))
+        << "gradient " << i;
+  }
+}
+
+// The zoo CNN contains both fusable pairs (conv→relu, dense→relu); the
+// whole-model fused pass must match the unfused one bitwise, and the Relu
+// layers must stay in the stack (indices, state dicts, summaries intact).
+TEST(SequentialFusion, ZooCnnFusesWithoutChangingStructure) {
+  Rng rng(24);
+  gsfl::nn::CnnConfig config;
+  config.image_size = 8;
+  config.classes = 4;
+  auto fused = gsfl::nn::make_gtsrb_cnn(config, rng);
+  auto unfused = fused;
+  unfused.set_fusion(false);
+  ASSERT_EQ(fused.size(), unfused.size());
+
+  const auto x = Tensor::uniform(Shape{2, 3, 8, 8}, rng, 0, 1);
+  EXPECT_TRUE(gsfl::test::prop::bitwise_equal(fused.forward(x, true),
+                                              unfused.forward(x, true)));
+  EXPECT_EQ(fused.state().size(), unfused.state().size());
+}
+
+// Splitting between a fusable layer and its relu severs the pair: the head
+// runs the layer unfused, the tail runs the standalone relu — and the
+// composition still matches the fused full model bitwise.
+TEST(SequentialFusion, SplitMidPairStaysBitwiseConsistent) {
+  Rng rng(25);
+  auto model = two_layer(rng);  // dense, relu, dense — split at 1 severs
+  const auto x = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  const auto full = model.forward(x, true);
+
+  auto [head, tail] = model.split(1);
+  const auto composed = tail.forward(head.forward(x, true), true);
+  EXPECT_TRUE(gsfl::test::prop::bitwise_equal(composed, full));
 }
 
 TEST(Sequential, MakeMlpTopology) {

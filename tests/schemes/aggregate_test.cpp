@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "gsfl/common/thread_pool.hpp"
 #include "gsfl/schemes/aggregate.hpp"
+#include "support/property.hpp"
 #include "support/test_world.hpp"
 
 namespace {
@@ -12,6 +14,7 @@ using gsfl::schemes::fedavg_models;
 using gsfl::schemes::fedavg_states;
 using gsfl::tensor::Shape;
 using gsfl::tensor::Tensor;
+namespace prop = gsfl::test::prop;
 
 StateDict make_state(float value) {
   StateDict s;
@@ -104,9 +107,118 @@ TEST(FedAvg, AggregatedStateLoadsBack) {
   EXPECT_NO_THROW(c.load_state(fedavg_states(states, weights)));
 }
 
-TEST(AggregationFlops, TwoFlopsPerScalarPerReplica) {
-  EXPECT_DOUBLE_EQ(aggregation_flops(100, 6), 1200.0);
-  EXPECT_DOUBLE_EQ(aggregation_flops(0, 6), 0.0);
+// ---- property suites --------------------------------------------------------
+
+StateDict random_state(std::uint64_t seed, std::size_t entries = 4,
+                       std::size_t entry_size = 64) {
+  Rng rng(seed);
+  StateDict s;
+  s.reserve(entries);
+  for (std::size_t e = 0; e < entries; ++e) {
+    s.push_back(Tensor::uniform(Shape{entry_size}, rng, -1.0f, 1.0f));
+  }
+  return s;
+}
+
+// A single client is the identity: its normalized weight is exactly 1.0 for
+// any positive raw weight, so the average must equal the input bitwise.
+TEST(FedAvgProperties, SingleClientIsBitwiseIdentity) {
+  const std::vector<StateDict> states = {random_state(91)};
+  for (const double w : {1.0, 0.25, 3750.0}) {
+    const double weights[] = {w};
+    const auto avg = fedavg_states(states, weights);
+    ASSERT_EQ(avg.size(), states[0].size());
+    for (std::size_t e = 0; e < avg.size(); ++e) {
+      // w / w == 1.0 exactly; 1.0f·x + 0 folds back to x bitwise.
+      EXPECT_TRUE(prop::bitwise_equal(avg[e], states[0][e])) << "entry " << e;
+    }
+  }
+}
+
+// Zero-weight clients among positive ones contribute exactly nothing: the
+// result is bitwise the same as aggregating with those replicas' weights
+// removed... up to the fold skipping — here we pin the semantic property
+// that the averaged values match the positive-only hand fold.
+TEST(FedAvgProperties, ZeroWeightClientsAmongPositiveOnesAreIgnored) {
+  const std::vector<StateDict> states = {random_state(92), random_state(93),
+                                         random_state(94)};
+  const double weights[] = {3.0, 0.0, 1.0};
+  const auto avg = fedavg_states(states, weights);
+  for (std::size_t e = 0; e < avg.size(); ++e) {
+    const auto a = states[0][e].data();
+    const auto b = states[2][e].data();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(avg[e].at(i), 0.75f * a[i] + 0.25f * b[i], 1e-6)
+          << "entry " << e << " index " << i;
+    }
+  }
+}
+
+class FedAvgThreads : public ::testing::Test {
+ protected:
+  void TearDown() override { gsfl::common::set_global_threads(0); }
+};
+
+// The parallel entry fold must return bitwise-identical state dicts for
+// every thread count, including lane counts above the entry count.
+TEST_F(FedAvgThreads, AggregationIsThreadCountInvariant) {
+  std::vector<StateDict> states;
+  std::vector<double> weights;
+  for (std::size_t k = 0; k < 7; ++k) {
+    states.push_back(random_state(100 + k, /*entries=*/10, /*entry_size=*/33));
+    weights.push_back(static_cast<double>(k % 3 + 1));
+  }
+  gsfl::common::set_global_threads(1);
+  const auto serial = fedavg_states(states, weights);
+  prop::for_each_thread_count([&](std::size_t threads) {
+    const auto wide = fedavg_states(states, weights);
+    ASSERT_EQ(wide.size(), serial.size());
+    for (std::size_t e = 0; e < wide.size(); ++e) {
+      ASSERT_TRUE(prop::bitwise_equal(wide[e], serial[e]))
+          << "entry " << e << " threads=" << threads;
+    }
+  });
+}
+
+// Large-state stress: paper-scale entry sizes (hundreds of thousands of
+// scalars) across many replicas — exercises the parallel fold on buffers
+// that span many cache lines per lane and pins the weighted mean against a
+// double-precision reference.
+TEST_F(FedAvgThreads, LargeStateStressMatchesDoubleReference) {
+  constexpr std::size_t kClients = 12;
+  constexpr std::size_t kEntries = 6;
+  constexpr std::size_t kEntrySize = 100'000;
+  std::vector<StateDict> states;
+  std::vector<double> weights;
+  states.reserve(kClients);
+  for (std::size_t k = 0; k < kClients; ++k) {
+    states.push_back(random_state(200 + k, kEntries, kEntrySize));
+    weights.push_back(static_cast<double>(2 * k + 1));
+  }
+  gsfl::common::set_global_threads(4);
+  const auto avg = fedavg_states(states, weights);
+
+  double weight_sum = 0.0;
+  for (const double w : weights) weight_sum += w;
+  Rng probe(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto e = static_cast<std::size_t>(probe.uniform_index(kEntries));
+    const auto i = static_cast<std::size_t>(probe.uniform_index(kEntrySize));
+    double expected = 0.0;
+    for (std::size_t k = 0; k < kClients; ++k) {
+      expected += weights[k] / weight_sum * states[k][e].at(i);
+    }
+    EXPECT_NEAR(avg[e].at(i), expected, 1e-5)
+        << "entry " << e << " index " << i;
+  }
+}
+
+// Pinned FLOP model: 2·P·K normalized-weight multiply-adds plus one
+// normalization divide per replica.
+TEST(AggregationFlops, CountsMacsPlusNormalizationDivides) {
+  EXPECT_DOUBLE_EQ(aggregation_flops(100, 6), 1206.0);
+  EXPECT_DOUBLE_EQ(aggregation_flops(0, 6), 6.0);
+  EXPECT_DOUBLE_EQ(aggregation_flops(1, 1), 3.0);
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// Property-test helpers for the determinism contract.
+//
+// The library's central promise — every result bitwise identical for any
+// thread count, any panel split, any k-block length — is machine-checked by
+// sweeping structured input spaces and comparing exactly. This header holds
+// the sweep generators, the exact comparators, and the reference arithmetic
+// those suites share, so each test states its property instead of re-rolling
+// ad-hoc loops.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <ios>
+#include <span>
+#include <vector>
+
+#include "gsfl/common/rng.hpp"
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/nn/layer.hpp"
+#include "gsfl/tensor/microkernel.hpp"
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::test::prop {
+
+namespace micro = gsfl::tensor::micro;
+
+// ---- reference arithmetic --------------------------------------------------
+
+/// One reference multiply-add step. On FMA targets the compiler contracts
+/// the kernel's `acc += a·b` into fused multiply-adds, so the reference
+/// must fold the same way — explicitly, so no auto-vectorized tail of a
+/// reference loop is left uncontracted. Without FMA hardware the kernel
+/// rounds the product and sum separately, and so does the reference. (A
+/// build forcing -ffp-contract=off on FMA hardware would need the plain
+/// variant.)
+inline float mac_step(float a, float b, float acc) {
+#if defined(__FMA__)
+  return std::fma(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+/// Naive triple loop: acc folded over k ascending, then stored — the
+/// arithmetic sequence the microkernel must reproduce exactly.
+inline std::vector<float> naive_gemm(std::size_t m, std::size_t k,
+                                     std::size_t n,
+                                     const std::vector<float>& a,
+                                     const std::vector<float>& b) {
+  std::vector<float> c(m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc = mac_step(a[i * k + p], b[p * n + j], acc);
+      }
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+// ---- input generators ------------------------------------------------------
+
+/// Deterministic random row-major matrix with entries in [-1, 1).
+inline std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
+                                        std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<float> data(rows * cols);
+  for (auto& x : data) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return data;
+}
+
+inline std::vector<float> transposed(const std::vector<float>& src,
+                                     std::size_t rows, std::size_t cols) {
+  std::vector<float> dst(src.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      dst[j * rows + i] = src[i * cols + j];
+    }
+  }
+  return dst;
+}
+
+// ---- shape sweeps ----------------------------------------------------------
+
+struct GemmCase {
+  std::size_t m, k, n;
+};
+
+/// Every m, n remainder a panel can end in — [1, 2·MR) × [1, 2·NR) — with k
+/// remainders on both sides of the register block: the exhaustive edge
+/// geometry sweep.
+inline std::vector<GemmCase> edge_gemm_cases() {
+  const std::size_t ks[] = {1, 2, micro::kMR - 1, micro::kMR,
+                            2 * micro::kMR + 1, 37};
+  std::vector<GemmCase> cases;
+  for (std::size_t m = 1; m < 2 * micro::kMR; ++m) {
+    for (std::size_t n = 1; n < 2 * micro::kNR; ++n) {
+      for (const std::size_t k : ks) cases.push_back({m, k, n});
+    }
+  }
+  return cases;
+}
+
+/// k-block lengths that must all reproduce the unblocked fold bitwise:
+/// degenerate strips, a strip shorter than the register block, off-multiple
+/// strips, the production default, exactly k, and past k.
+inline std::vector<std::size_t> kc_sweep(std::size_t k) {
+  std::vector<std::size_t> kcs = {1, micro::kMR, 37, micro::kKC};
+  kcs.push_back(k);
+  kcs.push_back(k + 5);
+  if (k > 1) kcs.push_back(k - 1);
+  return kcs;
+}
+
+// ---- thread-count matrix ---------------------------------------------------
+
+/// Lane counts the invariance suites sweep: serial, even, odd, oversubscribed.
+inline const std::vector<std::size_t>& thread_matrix() {
+  static const std::vector<std::size_t> counts = {1, 2, 3, 8};
+  return counts;
+}
+
+/// Run fn once per thread-matrix lane count with the global pool resized,
+/// then restore the default pool size. fn receives the lane count.
+template <typename Fn>
+void for_each_thread_count(Fn&& fn) {
+  for (const std::size_t threads : thread_matrix()) {
+    common::set_global_threads(threads);
+    fn(threads);
+  }
+  common::set_global_threads(0);
+}
+
+// ---- fused-pair adapter ----------------------------------------------------
+
+/// Adapter exposing a layer's fused layer→relu pair through the plain Layer
+/// forward/backward contract, so the shared gradcheck helpers drive the
+/// fused code path directly. L is any layer with relu-fusion support
+/// (Dense, Conv2d).
+template <typename L>
+class FusedRelu final : public gsfl::nn::Layer {
+ public:
+  explicit FusedRelu(L layer) : layer_(std::move(layer)) {}
+  [[nodiscard]] std::string name() const override {
+    return "fused(" + layer_.name() + ",relu)";
+  }
+  [[nodiscard]] gsfl::nn::Tensor forward(const gsfl::nn::Tensor& x,
+                                         bool train) override {
+    return layer_.forward_fused_relu(x, train);
+  }
+  [[nodiscard]] gsfl::nn::Tensor backward(
+      const gsfl::nn::Tensor& g) override {
+    return layer_.backward_fused_relu(g);
+  }
+  [[nodiscard]] std::vector<gsfl::nn::Tensor*> parameters() override {
+    return layer_.parameters();
+  }
+  [[nodiscard]] std::vector<gsfl::nn::Tensor*> gradients() override {
+    return layer_.gradients();
+  }
+  [[nodiscard]] gsfl::nn::Shape output_shape(
+      const gsfl::nn::Shape& s) const override {
+    return layer_.output_shape(s);
+  }
+  [[nodiscard]] gsfl::nn::FlopCount flops(
+      const gsfl::nn::Shape& s) const override {
+    return layer_.flops(s);
+  }
+  [[nodiscard]] std::unique_ptr<gsfl::nn::Layer> clone() const override {
+    return std::make_unique<FusedRelu>(*this);
+  }
+
+ private:
+  L layer_;
+};
+
+// ---- exact comparators -----------------------------------------------------
+
+/// Bitwise comparison of two float sequences; reports the first mismatching
+/// index with full-precision values on failure.
+inline ::testing::AssertionResult bitwise_equal(std::span<const float> actual,
+                                                std::span<const float> expected) {
+  if (actual.size() != expected.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << actual.size() << " vs " << expected.size();
+  }
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    // operator== misses the -0.0f/+0.0f distinction and NaN != NaN would
+    // hide a poisoned lane, so compare representations.
+    std::uint32_t lhs = 0;
+    std::uint32_t rhs = 0;
+    static_assert(sizeof(float) == sizeof(std::uint32_t));
+    std::memcpy(&lhs, &actual[i], sizeof lhs);
+    std::memcpy(&rhs, &expected[i], sizeof rhs);
+    if (lhs != rhs) {
+      return ::testing::AssertionFailure()
+             << "first mismatch at flat index " << i << ": "
+             << std::hexfloat << actual[i] << " vs " << expected[i]
+             << std::defaultfloat;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+inline ::testing::AssertionResult bitwise_equal(const tensor::Tensor& actual,
+                                                const tensor::Tensor& expected) {
+  if (!(actual.shape() == expected.shape())) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << actual.shape().to_string() << " vs "
+           << expected.shape().to_string();
+  }
+  return bitwise_equal(actual.data(), expected.data());
+}
+
+}  // namespace gsfl::test::prop

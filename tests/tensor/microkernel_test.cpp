@@ -1,77 +1,30 @@
 // The microkernel's determinism pitch is that every C element is produced
 // by one accumulator folded over k in ascending order — exactly the naive
 // triple loop. These tests hold it to that *bitwise*, across every edge
-// geometry a panel can end in, and across thread counts.
+// geometry a panel can end in, across k-block lengths (blocked sweeps park
+// raw partials in C and resume them — a lossless float32 store/reload, so
+// the fold never reassociates), across write-back epilogues, and across
+// thread counts. Sweep generators, exact comparators, and the naive
+// reference live in tests/support/property.hpp.
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <vector>
 
-#include "gsfl/common/rng.hpp"
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/tensor/gemm.hpp"
 #include "gsfl/tensor/microkernel.hpp"
+#include "support/property.hpp"
 
 namespace {
 
-using gsfl::common::Rng;
-using gsfl::tensor::Shape;
-using gsfl::tensor::Tensor;
 using gsfl::tensor::Trans;
 namespace micro = gsfl::tensor::micro;
-
-std::vector<float> random_matrix(std::size_t rows, std::size_t cols,
-                                 std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<float> data(rows * cols);
-  for (auto& x : data) x = static_cast<float>(rng.uniform(-1.0, 1.0));
-  return data;
-}
-
-/// One reference multiply-add step. On FMA targets the compiler contracts
-/// the kernel's `acc += a·b` into fused multiply-adds, so the reference
-/// must fold the same way — explicitly, so no auto-vectorized tail of this
-/// loop is left uncontracted. Without FMA hardware the kernel rounds the
-/// product and sum separately, and so does the reference. (A build forcing
-/// -ffp-contract=off on FMA hardware would need the plain variant.)
-float mac_step(float a, float b, float acc) {
-#if defined(__FMA__)
-  return std::fma(a, b, acc);
-#else
-  return acc + a * b;
-#endif
-}
-
-/// Naive triple loop: acc folded over k ascending, then stored — the
-/// arithmetic sequence the microkernel must reproduce exactly.
-std::vector<float> naive(std::size_t m, std::size_t k, std::size_t n,
-                         const std::vector<float>& a,
-                         const std::vector<float>& b) {
-  std::vector<float> c(m * n);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) {
-        acc = mac_step(a[i * k + p], b[p * n + j], acc);
-      }
-      c[i * n + j] = acc;
-    }
-  }
-  return c;
-}
-
-std::vector<float> transposed(const std::vector<float>& src, std::size_t rows,
-                              std::size_t cols) {
-  std::vector<float> dst(src.size());
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t j = 0; j < cols; ++j) dst[j * rows + i] = src[i * cols + j];
-  }
-  return dst;
-}
+namespace prop = gsfl::test::prop;
 
 TEST(Microkernel, BlockConstantsAreSane) {
   static_assert(micro::kMR >= 4);
   static_assert(micro::kNR >= 8 && micro::kNR % micro::kSimdWidth == 0);
+  static_assert(micro::kKC >= micro::kNR);
   EXPECT_EQ(micro::round_up(1, micro::kMR), micro::kMR);
   EXPECT_EQ(micro::packed_a_floats(micro::kMR + 1, 3),
             2 * micro::kMR * 3);
@@ -81,7 +34,7 @@ TEST(Microkernel, BlockConstantsAreSane) {
 TEST(Microkernel, PackAPadsTailRowsWithZeros) {
   const std::size_t rows = micro::kMR + 2;  // one full strip + a 2-row tail
   const std::size_t k = 5;
-  const auto a = random_matrix(rows, k, 11);
+  const auto a = prop::random_matrix(rows, k, 11);
   std::vector<float> pa(micro::packed_a_floats(rows, k), -1.0f);
   micro::pack_a(a.data(), k, rows, k, pa.data());
   // Strip 0, k step p holds rows 0..MR-1 of column p.
@@ -104,7 +57,7 @@ TEST(Microkernel, PackAPadsTailRowsWithZeros) {
 TEST(Microkernel, PackBPadsTailColumnsWithZeros) {
   const std::size_t k = 4;
   const std::size_t cols = micro::kNR + 3;
-  const auto b = random_matrix(k, cols, 12);
+  const auto b = prop::random_matrix(k, cols, 12);
   std::vector<float> pb(micro::packed_b_floats(k, cols), -1.0f);
   micro::pack_b(b.data(), cols, k, cols, pb.data());
   const float* strip1 = pb.data() + micro::kNR * k;
@@ -121,16 +74,16 @@ TEST(Microkernel, TransposedPacksMatchUntransposedOnes) {
   const std::size_t rows = 2 * micro::kMR + 3;
   const std::size_t cols = micro::kNR + 5;
   const std::size_t k = 7;
-  const auto a = random_matrix(rows, k, 13);
-  const auto at = transposed(a, rows, k);
+  const auto a = prop::random_matrix(rows, k, 13);
+  const auto at = prop::transposed(a, rows, k);
   std::vector<float> pa(micro::packed_a_floats(rows, k));
   std::vector<float> pat(pa.size());
   micro::pack_a(a.data(), k, rows, k, pa.data());
   micro::pack_a_trans(at.data(), rows, rows, k, pat.data());
   EXPECT_EQ(pa, pat);
 
-  const auto b = random_matrix(k, cols, 14);
-  const auto bt = transposed(b, k, cols);
+  const auto b = prop::random_matrix(k, cols, 14);
+  const auto bt = prop::transposed(b, k, cols);
   std::vector<float> pb(micro::packed_b_floats(k, cols));
   std::vector<float> pbt(pb.size());
   micro::pack_b(b.data(), cols, k, cols, pb.data());
@@ -138,46 +91,40 @@ TEST(Microkernel, TransposedPacksMatchUntransposedOnes) {
   EXPECT_EQ(pb, pbt);
 }
 
-// Every m, n remainder a panel can end in — [1, 2·MR) × [1, 2·NR) — with k
-// remainders on both sides of the register block, checked bitwise against
-// the naive triple loop.
+// Every edge geometry a panel can end in, checked bitwise against the naive
+// triple loop (prop::edge_gemm_cases enumerates the sweep).
 TEST(Microkernel, EdgeGeometrySweepIsBitwiseExact) {
-  const std::size_t ks[] = {1, 2, micro::kMR - 1, micro::kMR,
-                            2 * micro::kMR + 1, 37};
-  for (std::size_t m = 1; m < 2 * micro::kMR; ++m) {
-    for (std::size_t n = 1; n < 2 * micro::kNR; ++n) {
-      for (const std::size_t k : ks) {
-        const auto a = random_matrix(m, k, 100 + m * 131 + n * 17 + k);
-        const auto b = random_matrix(k, n, 200 + m + n * 29 + k * 7);
-        const auto reference = naive(m, k, n, a, b);
-        std::vector<float> c(m * n, -7.0f);
-        gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
-                               c.data());
-        ASSERT_EQ(c, reference) << "m=" << m << " n=" << n << " k=" << k;
-      }
-    }
+  for (const auto& [m, k, n] : prop::edge_gemm_cases()) {
+    const auto a = prop::random_matrix(m, k, 100 + m * 131 + n * 17 + k);
+    const auto b = prop::random_matrix(k, n, 200 + m + n * 29 + k * 7);
+    const auto reference = prop::naive_gemm(m, k, n, a, b);
+    std::vector<float> c(m * n, -7.0f);
+    gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
+                           c.data());
+    ASSERT_TRUE(prop::bitwise_equal(c, reference))
+        << "m=" << m << " n=" << n << " k=" << k;
   }
 }
 
 // Interior geometry (several full strips plus remainders, k past typical
 // unroll factors) stays bitwise-exact too: blocking must never reassociate
-// the k fold.
+// the k fold. The 2048-deep case crosses several KC blocks — the raw
+// partial store/reload must reproduce the naive single fold exactly.
 TEST(Microkernel, LargeShapesAreBitwiseExact) {
-  struct Case {
-    std::size_t m, k, n;
-  };
-  const Case cases[] = {
+  const prop::GemmCase cases[] = {
       {4 * micro::kMR + 1, 129, 3 * micro::kNR + 5},
-      {16, 27, 256},   // conv1-like
-      {32, 144, 196},  // conv2-like
+      {16, 27, 256},    // conv1-like
+      {32, 144, 196},   // conv2-like
+      {16, 2048, 128},  // dense1 — k spans multiple KC blocks
   };
   for (const auto& [m, k, n] : cases) {
-    const auto a = random_matrix(m, k, 300 + m);
-    const auto b = random_matrix(k, n, 400 + n);
-    const auto reference = naive(m, k, n, a, b);
+    const auto a = prop::random_matrix(m, k, 300 + m);
+    const auto b = prop::random_matrix(k, n, 400 + n);
+    const auto reference = prop::naive_gemm(m, k, n, a, b);
     std::vector<float> c(m * n);
     gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
-    ASSERT_EQ(c, reference) << "m=" << m << " n=" << n << " k=" << k;
+    ASSERT_TRUE(prop::bitwise_equal(c, reference))
+        << "m=" << m << " n=" << n << " k=" << k;
   }
 }
 
@@ -187,30 +134,30 @@ TEST(Microkernel, TransVariantsAreBitwiseExact) {
   const std::size_t m = micro::kMR + 2;
   const std::size_t k = 33;
   const std::size_t n = micro::kNR + 9;
-  const auto a = random_matrix(m, k, 21);
-  const auto b = random_matrix(k, n, 22);
-  const auto at = transposed(a, m, k);
-  const auto bt = transposed(b, k, n);
-  const auto reference = naive(m, k, n, a, b);
+  const auto a = prop::random_matrix(m, k, 21);
+  const auto b = prop::random_matrix(k, n, 22);
+  const auto at = prop::transposed(a, m, k);
+  const auto bt = prop::transposed(b, k, n);
+  const auto reference = prop::naive_gemm(m, k, n, a, b);
 
   std::vector<float> c(m * n);
   gsfl::tensor::gemm_raw(m, k, n, 1.0f, at.data(), Trans::kYes, b.data(),
                          Trans::kNo, 0.0f, c.data());
-  EXPECT_EQ(c, reference);
+  EXPECT_TRUE(prop::bitwise_equal(c, reference));
   gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo, bt.data(),
                          Trans::kYes, 0.0f, c.data());
-  EXPECT_EQ(c, reference);
+  EXPECT_TRUE(prop::bitwise_equal(c, reference));
   gsfl::tensor::gemm_raw(m, k, n, 1.0f, at.data(), Trans::kYes, bt.data(),
                          Trans::kYes, 0.0f, c.data());
-  EXPECT_EQ(c, reference);
+  EXPECT_TRUE(prop::bitwise_equal(c, reference));
 }
 
 TEST(Microkernel, BetaAccumulatesAndKZeroScales) {
   const std::size_t m = 3;
   const std::size_t n = micro::kNR + 1;
-  const auto a = random_matrix(m, 5, 31);
-  const auto b = random_matrix(5, n, 32);
-  const auto product = naive(m, 5, n, a, b);
+  const auto a = prop::random_matrix(m, 5, 31);
+  const auto b = prop::random_matrix(5, n, 32);
+  const auto product = prop::naive_gemm(m, 5, n, a, b);
   std::vector<float> c(m * n, 2.0f);
   gsfl::tensor::gemm_raw(m, 5, n, 1.0f, a.data(), b.data(), 1.0f, c.data());
   for (std::size_t i = 0; i < m * n; ++i) {
@@ -223,31 +170,185 @@ TEST(Microkernel, BetaAccumulatesAndKZeroScales) {
   }
 }
 
-// A GEMM big enough to split across lanes (both by rows and by columns)
-// must return bitwise-identical C for any thread count.
+// beta != 0 with k past the KC default exercises the single-block fallback
+// (raw partials may not clobber the accumuland C): still the naive fold
+// plus one beta·c term, bitwise.
+TEST(Microkernel, DeepBetaAccumulationIsBitwiseExact) {
+  const std::size_t m = micro::kMR + 1;
+  const std::size_t k = 2 * micro::kKC + 19;
+  const std::size_t n = micro::kNR + 3;
+  const auto a = prop::random_matrix(m, k, 41);
+  const auto b = prop::random_matrix(k, n, 42);
+  const auto product = prop::naive_gemm(m, k, n, a, b);
+  std::vector<float> c(m * n, 3.0f);
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 1.0f, c.data());
+  for (std::size_t i = 0; i < m * n; ++i) {
+    ASSERT_EQ(c[i], product[i] + 3.0f) << "flat index " << i;
+  }
+}
+
+// ---- k-block invariance -----------------------------------------------------
+// The macrokernel must produce bitwise-identical C for *every* k-block
+// length: blocks park raw per-element partials in C and resume them, so the
+// per-element fold is the same ascending-k sequence whether the sweep runs
+// in 1-step slices, the production kKC, or a single block.
+
+class KBlocking : public ::testing::Test {
+ protected:
+  // Drive the macrokernel directly (serial, pre-packed panels) so the sweep
+  // isolates the blocking logic from the parallel split.
+  static std::vector<float> run(std::size_t m, std::size_t k, std::size_t n,
+                                const std::vector<float>& a,
+                                const std::vector<float>& b,
+                                const micro::Epilogue& ep,
+                                std::size_t kc_block) {
+    std::vector<float> pa(micro::packed_a_floats(m, k));
+    std::vector<float> pb(micro::packed_b_floats(k, n));
+    micro::pack_a(a.data(), k, m, k, pa.data());
+    micro::pack_b(b.data(), n, k, n, pb.data());
+    std::vector<float> c(m * n, -9.0f);
+    micro::macrokernel(m, n, k, 1.0f, pa.data(), pb.data(), 0.0f, c.data(),
+                       n, ep, kc_block);
+    return c;
+  }
+};
+
+TEST_F(KBlocking, SweepIsBitwiseInvariantInBlockLength) {
+  const prop::GemmCase cases[] = {
+      {2 * micro::kMR + 1, micro::kKC + 13, micro::kNR + 5},
+      {micro::kMR, 3 * micro::kKC, 2 * micro::kNR},
+      {5, 777, 2 * micro::kNR + 3},
+  };
+  for (const auto& [m, k, n] : cases) {
+    const auto a = prop::random_matrix(m, k, 500 + k);
+    const auto b = prop::random_matrix(k, n, 600 + k);
+    const auto reference = prop::naive_gemm(m, k, n, a, b);
+    for (const std::size_t kc : prop::kc_sweep(k)) {
+      const auto c = run(m, k, n, a, b, {}, kc);
+      ASSERT_TRUE(prop::bitwise_equal(c, reference))
+          << "m=" << m << " k=" << k << " n=" << n << " kc=" << kc;
+    }
+  }
+}
+
+TEST_F(KBlocking, EpiloguesApplyOnlyOnTheFinalBlock) {
+  const std::size_t m = micro::kMR + 2;
+  const std::size_t k = micro::kKC + 91;  // two blocks at the default KC
+  const std::size_t n = micro::kNR + 7;
+  const auto a = prop::random_matrix(m, k, 71);
+  const auto b = prop::random_matrix(k, n, 72);
+  const auto bias = prop::random_matrix(1, m, 73);
+  const auto product = prop::naive_gemm(m, k, n, a, b);
+
+  const micro::Epilogue ep{.kind = micro::Epilogue::Kind::kBiasRelu,
+                           .per_row = true,
+                           .bias = bias.data()};
+  for (const std::size_t kc : prop::kc_sweep(k)) {
+    const auto c = run(m, k, n, a, b, ep, kc);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        float expected = product[i * n + j] + bias[i];
+        if (!(expected > 0.0f)) expected = 0.0f;
+        ASSERT_EQ(c[i * n + j], expected)
+            << "i=" << i << " j=" << j << " kc=" << kc;
+      }
+    }
+  }
+}
+
+// ---- fused epilogues through gemm_raw ---------------------------------------
+// The fused write-back must be bitwise identical to the unfused GEMM
+// followed by a bias loop and a relu pass — at every thread count, under
+// both split axes, with the bias on either C axis.
+
+class EpilogueFusion : public ::testing::Test {
+ protected:
+  void TearDown() override { gsfl::common::set_global_threads(0); }
+};
+
+TEST_F(EpilogueFusion, FusedBiasReluMatchesUnfusedAtEveryThreadCount) {
+  // Row-heavy (splits rows) and column-heavy (splits columns), both beyond
+  // the serial cutoff; plus a tiny serial case.
+  const prop::GemmCase cases[] = {{256, 64, 48}, {24, 64, 2048}, {5, 7, 9}};
+  for (const auto& [m, k, n] : cases) {
+    const auto a = prop::random_matrix(m, k, 81);
+    const auto b = prop::random_matrix(k, n, 82);
+    const auto row_bias = prop::random_matrix(1, m, 83);
+    const auto col_bias = prop::random_matrix(1, n, 84);
+
+    // Unfused reference: GEMM, then bias, then relu — serial.
+    gsfl::common::set_global_threads(1);
+    std::vector<float> unfused(m * n);
+    gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
+                           unfused.data());
+    auto with_bias = [&](bool per_row, bool relu) {
+      std::vector<float> expected = unfused;
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          float v = expected[i * n + j];
+          v += per_row ? row_bias[i] : col_bias[j];
+          if (relu && !(v > 0.0f)) v = 0.0f;
+          expected[i * n + j] = v;
+        }
+      }
+      return expected;
+    };
+
+    for (const bool per_row : {true, false}) {
+      const micro::Epilogue bias_ep{
+          .kind = micro::Epilogue::Kind::kBias,
+          .per_row = per_row,
+          .bias = per_row ? row_bias.data() : col_bias.data()};
+      const micro::Epilogue relu_ep{
+          .kind = micro::Epilogue::Kind::kBiasRelu,
+          .per_row = per_row,
+          .bias = per_row ? row_bias.data() : col_bias.data()};
+      const auto expect_bias = with_bias(per_row, false);
+      const auto expect_relu = with_bias(per_row, true);
+      prop::for_each_thread_count([&](std::size_t threads) {
+        std::vector<float> c(m * n);
+        gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo, b.data(),
+                               Trans::kNo, 0.0f, c.data(), bias_ep);
+        ASSERT_TRUE(prop::bitwise_equal(c, expect_bias))
+            << "bias per_row=" << per_row << " m=" << m << " n=" << n
+            << " threads=" << threads;
+        gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo, b.data(),
+                               Trans::kNo, 0.0f, c.data(), relu_ep);
+        ASSERT_TRUE(prop::bitwise_equal(c, expect_relu))
+            << "bias+relu per_row=" << per_row << " m=" << m << " n=" << n
+            << " threads=" << threads;
+      });
+    }
+  }
+}
+
+// A GEMM big enough to split across lanes (both by rows and by columns, one
+// deep enough to k-block) must return bitwise-identical C for any thread
+// count.
 class MicrokernelThreads : public ::testing::Test {
  protected:
   void TearDown() override { gsfl::common::set_global_threads(0); }
 };
 
 TEST_F(MicrokernelThreads, GemmIsThreadCountInvariant) {
-  struct Case {
-    std::size_t m, k, n;
-  };
-  // Row-heavy (splits rows) and column-heavy (splits columns).
-  const Case cases[] = {{256, 64, 48}, {24, 64, 2048}};
+  // Row-heavy (splits rows) and column-heavy (splits columns); the second
+  // case k-blocks (k = 2048 > kKC).
+  const prop::GemmCase cases[] = {{256, 64, 48}, {24, 64, 2048},
+                                  {16, 2048, 128}};
   for (const auto& [m, k, n] : cases) {
-    const auto a = random_matrix(m, k, 51);
-    const auto b = random_matrix(k, n, 52);
-    std::vector<float> serial(m * n);
-    std::vector<float> wide(m * n);
+    const auto a = prop::random_matrix(m, k, 51);
+    const auto b = prop::random_matrix(k, n, 52);
     gsfl::common::set_global_threads(1);
+    std::vector<float> serial(m * n);
     gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
                            serial.data());
-    gsfl::common::set_global_threads(8);
-    gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
-                           wide.data());
-    ASSERT_EQ(serial, wide) << "m=" << m << " n=" << n;
+    prop::for_each_thread_count([&](std::size_t threads) {
+      std::vector<float> wide(m * n);
+      gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
+                             wide.data());
+      ASSERT_TRUE(prop::bitwise_equal(wide, serial))
+          << "m=" << m << " n=" << n << " threads=" << threads;
+    });
   }
 }
 
