@@ -16,8 +16,15 @@
 //     single-thread kernel-vs-kernel ratio.
 //   - "... kblock-vs-pr2" rows: speedup = pr2 seconds / micro seconds at
 //     threads=1 — the PR-3 acceptance ratio.
+//   - "... interleaved-vs-pr3" rows: speedup = up-front-packed (PR-3
+//     schedule, forced via PackStrategy::kUpfront) seconds / interleaved
+//     per-k-block-packed seconds, threads=1 — the PR-4 acceptance ratio on
+//     the deep-k dense1 shape.
 //   - "... fused-bias-relu" rows: speedup = unfused-sequence seconds /
 //     fused-epilogue seconds, threads=1.
+//   - "bwd ... bwd-fused-vs-unfused" rows: speedup = (relu_mask pass +
+//     unfused backward) seconds / mask-in-pack fused backward seconds,
+//     threads=1.
 //   - "conv ... per-sample" / "conv ... batched" rows: speedup = per-sample
 //     seconds / batched seconds.
 //
@@ -344,6 +351,36 @@ int main(int argc, char** argv) {
              pr2_best / micro_best);
     std::printf("%-24s kblock-vs-pr2      %8.3f ms  %5.2fx\n", tag.c_str(),
                 micro_best * 1e3, pr2_best / micro_best);
+
+    // The PR-4 acceptance ratio: per-k-block interleaved packing vs the
+    // frozen PR-3 schedule (full up-front pack, forced via the pack-strategy
+    // override), single-thread, measured interleaved like kblock-vs-pr2.
+    // Only the deep-k dense1 shape k-blocks; the conv shapes (k < KC) run
+    // one block either way and report ~1.0.
+    double upfront_best = 1e300;
+    double inter_best = 1e300;
+    for (std::size_t r = 0; r < 2 * reps; ++r) {
+      gsfl::tensor::set_pack_strategy(gsfl::tensor::PackStrategy::kUpfront);
+      const double u = time_best(1, [&] {
+        gsfl::tensor::gemm_raw(shape.m, shape.k, shape.n, 1.0f,
+                               a.data().data(), b.data().data(), 0.0f,
+                               c.data().data());
+      });
+      upfront_best = std::min(upfront_best, u);
+      gsfl::tensor::set_pack_strategy(
+          gsfl::tensor::PackStrategy::kInterleaved);
+      const double v = time_best(1, [&] {
+        gsfl::tensor::gemm_raw(shape.m, shape.k, shape.n, 1.0f,
+                               a.data().data(), b.data().data(), 0.0f,
+                               c.data().data());
+      });
+      inter_best = std::min(inter_best, v);
+    }
+    gsfl::tensor::set_pack_strategy(gsfl::tensor::PackStrategy::kAuto);
+    json.add("gemm " + tag + " interleaved-vs-pr3", 1, inter_best,
+             upfront_best / inter_best);
+    std::printf("%-24s interleaved-vs-pr3 %8.3f ms  %5.2fx\n", tag.c_str(),
+                inter_best * 1e3, upfront_best / inter_best);
     std::printf("\n");
   }
 
@@ -379,6 +416,62 @@ int main(int argc, char** argv) {
     std::printf("%-24s fused-bias-relu    %8.3f ms  %5.2fx vs unfused\n\n",
                 "dense1+relu fwd b16", dense_fused_s * 1e3,
                 dense_unfused_s / dense_fused_s);
+  }
+
+  // Backward relu fusion: the fused backward folds the dy mask into the
+  // dW/dx panel packing (and conv's restage copy), vs the unfused sequence
+  // that materializes relu_mask(dy, y) and runs the plain backward — the
+  // PR-3 implementation of backward_fused_relu. Single-thread, measured
+  // interleaved. Gradients accumulate identically on both sides, so the
+  // timed bodies match FLOP for FLOP except the mask pass and its
+  // temporary.
+  gsfl::common::set_global_threads(1);
+  {
+    const std::size_t batch = 16;
+    Rng rng(10);
+    gsfl::nn::Relu relu;
+
+    gsfl::nn::Dense dense(2048, 128, rng);
+    const auto xd = Tensor::uniform(Shape{batch, 2048}, rng, -1, 1);
+    const auto dyd = Tensor::uniform(Shape{batch, 128}, rng, -1, 1);
+    const auto yd = dense.forward_fused_relu(xd, true);
+    double unf_best = 1e300;
+    double fus_best = 1e300;
+    for (std::size_t r = 0; r < 2 * reps; ++r) {
+      const double u = time_best(1, [&] {
+        (void)dense.backward(gsfl::nn::relu_mask(dyd, yd));
+      });
+      unf_best = std::min(unf_best, u);
+      const double v =
+          time_best(1, [&] { (void)dense.backward_fused_relu(dyd); });
+      fus_best = std::min(fus_best, v);
+    }
+    json.add("bwd dense1-relu b16 unfused", 1, unf_best, 1.0);
+    json.add("bwd dense1-relu b16 bwd-fused-vs-unfused", 1, fus_best,
+             unf_best / fus_best);
+    std::printf("%-24s bwd-fused-vs-unfused %8.3f ms  %5.2fx\n",
+                "dense1+relu bwd b16", fus_best * 1e3, unf_best / fus_best);
+
+    gsfl::nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+    const auto xc = Tensor::uniform(Shape{batch, 16, 16, 16}, rng, -1, 1);
+    const auto yc = conv.forward_fused_relu(xc, true);
+    const auto dyc = Tensor::uniform(Shape{batch, 32, 16, 16}, rng, -1, 1);
+    double cunf_best = 1e300;
+    double cfus_best = 1e300;
+    for (std::size_t r = 0; r < 2 * reps; ++r) {
+      const double u = time_best(1, [&] {
+        (void)conv.backward(gsfl::nn::relu_mask(dyc, yc));
+      });
+      cunf_best = std::min(cunf_best, u);
+      const double v =
+          time_best(1, [&] { (void)conv.backward_fused_relu(dyc); });
+      cfus_best = std::min(cfus_best, v);
+    }
+    json.add("bwd conv2-relu b16 unfused", 1, cunf_best, 1.0);
+    json.add("bwd conv2-relu b16 bwd-fused-vs-unfused", 1, cfus_best,
+             cunf_best / cfus_best);
+    std::printf("%-24s bwd-fused-vs-unfused %8.3f ms  %5.2fx\n\n",
+                "conv2+relu bwd b16", cfus_best * 1e3, cunf_best / cfus_best);
   }
 
   // Batched conv vs the per-sample pipelines, on the paper's conv2 block

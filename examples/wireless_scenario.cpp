@@ -2,8 +2,11 @@
 // the Experiment factory) and inspect where a GSFL round spends its time.
 //
 // Models a small campus deployment: a few phone-class devices near the AP,
-// a mid tier, and two far-away IoT-class stragglers. Prints each group's
-// latency chain and writes a per-round Gantt CSV.
+// a mid tier, and two far-away IoT-class stragglers. The channel applies
+// per-round Rayleigh fading (pass --no-fading for the static channel):
+// fade gains are redrawn once per round from a dedicated stream, outside
+// the trainer's parallel round, so runs stay bitwise reproducible. Prints
+// each group's latency chain and writes a per-round Gantt CSV.
 #include <fstream>
 #include <iostream>
 
@@ -16,8 +19,9 @@
 
 int main(int argc, char** argv) {
   using namespace gsfl;
-  const common::CliArgs args(argc, argv);
+  const common::CliArgs args(argc, argv, {"no-fading"});
   const auto rounds = static_cast<std::size_t>(args.int_or("rounds", 5));
+  const bool fading = !args.has_flag("no-fading");
 
   // --- the fleet: 9 devices in three tiers ---
   std::vector<net::DeviceProfile> devices;
@@ -38,7 +42,8 @@ int main(int argc, char** argv) {
   }
   net::NetworkConfig net_config;
   net_config.total_bandwidth_hz = 20e6;
-  const net::WirelessNetwork network(net_config, devices);
+  net_config.channel.rayleigh_fading = fading;
+  net::WirelessNetwork network(net_config, devices);
 
   // --- data: synthetic GTSRB spread IID over the 9 devices ---
   common::Rng rng(2024);
@@ -66,6 +71,9 @@ int main(int argc, char** argv) {
   gsfl_config.grouping = core::GroupingPolicy::kLabelAware;
   core::GsflTrainer trainer(network, client_data, model, gsfl_config);
 
+  std::cout << "channel: "
+            << (fading ? "rayleigh fading, redrawn per round" : "static")
+            << "\n";
   std::cout << "groups (label-aware):\n";
   for (std::size_t g = 0; g < trainer.groups().size(); ++g) {
     std::cout << "  group " << g << ": clients";
@@ -74,8 +82,13 @@ int main(int argc, char** argv) {
   }
 
   // --- train and narrate the per-group critical path ---
+  // Fades are pre-drawn here, between rounds — outside the trainer's
+  // parallel region — which is what keeps faded latencies bitwise identical
+  // for any thread count.
+  auto fade_rng = rng.fork(4);
   sim::Timeline timeline;
   for (std::size_t round = 1; round <= rounds; ++round) {
+    network.redraw_fades(fade_rng);
     const auto result = trainer.run_round();
     timeline.append("round " + std::to_string(round), result.latency);
     std::cout << "\nround " << round << " (loss " << result.train_loss

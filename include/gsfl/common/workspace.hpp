@@ -41,12 +41,26 @@ class Workspace {
     kConvDcols,       ///< batched column-space input gradient (caller-owned)
     kConvStage,       ///< channel-major conv GEMM staging: forward output /
                       ///< backward dy (caller-owned, lane-sliced)
+    kGemmPackSlice,   ///< interleaved per-k-block B slice (double-buffered,
+                      ///< per-lane — see slice())
     kUserBase = 16,
   };
 
   /// The calling thread's buffer for `key`, grown (never shrunk) to hold at
   /// least `size` floats. Contents are unspecified.
   [[nodiscard]] static float* floats(std::size_t key, std::size_t size);
+
+  /// Double-buffered slice arena: the calling thread's buffer for
+  /// (`key`, `parity & 1`) — two independent grow-only buffers per key, both
+  /// 64-byte aligned. Interleaved GEMM packing alternates parity per k block
+  /// so consecutive packs ping-pong between distinct buffers: the stores of
+  /// block b+1's pack never RFO the lines block b's tail reads still own,
+  /// and the layout leaves the door open for pack-ahead pipelining (pack the
+  /// next slice on the spare buffer while the current one sweeps). Same
+  /// ownership rules as floats(): per-lane, valid until the same thread's
+  /// next slice() call with the same key and parity.
+  [[nodiscard]] static float* slice(std::size_t key, std::size_t size,
+                                    std::size_t parity);
 
   /// Bytes currently retained by the calling thread's arena (introspection
   /// for tests and leak tracking).

@@ -29,6 +29,12 @@ struct ChannelConfig {
   PathLossModel path_loss;
   double noise_figure_db = 7.0;
   double thermal_noise_dbm_per_hz = -174.0;
+  /// Apply per-round Rayleigh fading on top of the path loss: link SNRs are
+  /// multiplied by a power gain |h|² ~ Exp(1) (mean 1, so the no-fading
+  /// rate is the expectation's reference). WirelessNetwork pre-draws one
+  /// gain per client per direction per round — outside any parallel region,
+  /// in fixed client order — so faded runs stay bitwise thread-invariant.
+  bool rayleigh_fading = false;
 };
 
 /// One directional link: transmitter power, distance, bandwidth share.
@@ -43,14 +49,27 @@ class ShannonLink {
   /// Achievable rate (bits/s) over `bandwidth_hz`.
   [[nodiscard]] double rate_bps(double bandwidth_hz) const;
 
-  /// Rate with an explicit Rayleigh fading power draw (mean 1). Used by the
-  /// stochastic latency benches; the deterministic path calls rate_bps().
+  /// Rate with an explicit fading power gain |h|² applied to the SNR.
+  /// `fade_power` = 1 reproduces rate_bps() bitwise (snr·1.0 is exact), so
+  /// the unfaded path and a fade vector of ones are the same arithmetic.
+  [[nodiscard]] double rate_bps(double bandwidth_hz, double fade_power) const;
+
+  /// Rate with a fresh Rayleigh fading power draw (|h|² ~ Exp(1), mean 1).
+  /// Draw-and-apply convenience over rate_bps(bw, fade): callers inside the
+  /// determinism contract pre-draw the fade instead (see
+  /// WirelessNetwork::redraw_fades).
   [[nodiscard]] double faded_rate_bps(double bandwidth_hz,
                                       common::Rng& rng) const;
 
   /// Seconds to move `payload_bytes` over `bandwidth_hz`.
   [[nodiscard]] double transmit_seconds(double payload_bytes,
                                         double bandwidth_hz) const;
+
+  /// transmit_seconds under a fading power gain (1 ⇒ bitwise the unfaded
+  /// time).
+  [[nodiscard]] double transmit_seconds(double payload_bytes,
+                                        double bandwidth_hz,
+                                        double fade_power) const;
 
   [[nodiscard]] double received_power_watts() const {
     return received_power_watts_;

@@ -54,6 +54,25 @@ class WirelessNetwork {
   [[nodiscard]] const DeviceProfile& client(std::size_t index) const;
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
+  /// Redraw this round's Rayleigh fading power gains — one |h|² ~ Exp(1)
+  /// draw per client per direction, consumed in fixed order (client 0's
+  /// uplink, client 0's downlink, client 1's uplink, …) so the stream
+  /// position after a redraw is independent of how the round's work is
+  /// parallelized. Call between rounds, *outside* any parallel region (the
+  /// determinism contract pre-draws all RNG); every rate/latency accessor
+  /// then applies the drawn gains, so faded runs are bitwise identical for
+  /// any thread count. No-op unless config().channel.rayleigh_fading.
+  void redraw_fades(common::Rng& rng);
+
+  /// Reset every fade gain to the no-fading reference (1.0 — bitwise the
+  /// unfaded rates).
+  void clear_fades();
+
+  /// The current fading power gains (1.0 before any redraw / when fading
+  /// is disabled).
+  [[nodiscard]] double uplink_fade(std::size_t index) const;
+  [[nodiscard]] double downlink_fade(std::size_t index) const;
+
   /// Achievable uplink rate (bits/s) for a client granted `bandwidth_share`
   /// ∈ (0, 1] of the band.
   [[nodiscard]] double uplink_rate_bps(std::size_t client,
@@ -84,6 +103,8 @@ class WirelessNetwork {
   std::vector<DeviceProfile> clients_;
   std::vector<ShannonLink> uplinks_;
   std::vector<ShannonLink> downlinks_;
+  std::vector<double> uplink_fades_;    ///< |h|² per client, 1.0 ⇒ unfaded
+  std::vector<double> downlink_fades_;
 };
 
 }  // namespace gsfl::net

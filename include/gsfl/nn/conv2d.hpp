@@ -37,6 +37,12 @@ class Conv2d final : public Layer {
   /// optionally ReLU) folded into the write-back epilogue.
   [[nodiscard]] Tensor forward_impl(const Tensor& input, bool train,
                                     bool fuse_relu);
+  /// Shared backward core. `relu_y` (nullable) is the fused forward's
+  /// output: when set, the Relu derivative masks dy inside the dx panel
+  /// pack and the dW/db restage copy — no masked-dy tensor, no extra dy
+  /// sweep.
+  [[nodiscard]] Tensor backward_impl(const Tensor& grad_output,
+                                     const float* relu_y);
 
   std::size_t in_channels_;
   std::size_t out_channels_;

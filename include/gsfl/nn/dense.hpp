@@ -35,6 +35,11 @@ class Dense final : public Layer {
   /// Shared forward core: one GEMM with the bias (and optionally ReLU)
   /// folded into the write-back epilogue.
   [[nodiscard]] Tensor forward_impl(const Tensor& input, bool fuse_relu);
+  /// Shared backward core. `relu_y` (nullable) is the fused forward's
+  /// output: when set, the Relu derivative masks dy inside the dW/dx panel
+  /// packing and the db fold — no masked-dy tensor, no extra dy sweep.
+  [[nodiscard]] Tensor backward_impl(const Tensor& grad_output,
+                                     const float* relu_y);
 
   std::size_t in_features_;
   std::size_t out_features_;

@@ -17,6 +17,30 @@ namespace gsfl::tensor {
 /// Whether an operand is used as stored or transposed.
 enum class Trans { kNo, kYes };
 
+/// When the B operand's panel is packed relative to the k-block sweep.
+///
+/// - kAuto (production default): pack a KC slice of op(B) immediately
+///   before its k block sweeps — cache-hot interleaved packing — whenever
+///   the sweep k-blocks and the row split runs as a single task (the serial
+///   cutoff, a one-lane pool, or a GEMM nested inside a parallel region:
+///   the steady-state training hot path). Multi-task row splits keep the
+///   shared up-front pack: every panel task reads the same packed B, so
+///   packing it once beats each task re-packing every slice.
+/// - kUpfront: always pack the full panel before the sweep (the PR-3
+///   schedule; the bench freezes this as the interleaved baseline).
+/// - kInterleaved: always pack per slice, even when row tasks then each
+///   pack their own copy — the test matrix uses this to drive the
+///   interleaved path under every thread count.
+///
+/// The packed values are identical under every strategy, and the per-element
+/// fold is the same block sequence, so results are bitwise invariant in the
+/// strategy (machine-checked by the property harness's pack-strategy axis).
+enum class PackStrategy { kAuto, kUpfront, kInterleaved };
+
+/// Process-wide pack-strategy override (tests and benches; thread-safe).
+void set_pack_strategy(PackStrategy strategy);
+[[nodiscard]] PackStrategy pack_strategy();
+
 /// C = alpha * op(A) · op(B) + beta * C.
 ///
 /// A is (m × k) after op, B is (k × n) after op, C is (m × n). All matrices
@@ -55,6 +79,18 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* a, Trans trans_a, const float* b, Trans trans_b,
               float beta, float* c, const micro::Epilogue& epilogue);
+
+/// Masked-A variant: `a_mask` (nullable; same storage layout and leading
+/// dimension as `a`) folds the Relu derivative into op(A)'s panel packing —
+/// element (i, p) enters the GEMM as `a_mask > 0 ? a : 0`. This is the
+/// backward half of relu fusion: the dW / dx GEMMs consume dy masked by the
+/// fused forward's output without materializing a masked copy or making any
+/// extra sweep over dy, and the result is bitwise identical to running the
+/// unmasked GEMM on a relu_mask()-materialized operand.
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, Trans trans_a, const float* a_mask,
+              const float* b, Trans trans_b, float beta, float* c,
+              const micro::Epilogue& epilogue);
 
 /// Out-of-place 2-D transpose (cache-blocked).
 [[nodiscard]] Tensor transpose(const Tensor& a);

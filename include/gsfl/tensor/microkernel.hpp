@@ -38,6 +38,26 @@
 // one pass over C instead of three. With α==1 — the only value the nn
 // layers use — the fused sequence `v = acc; v += bias; v = max(v, 0)` is
 // bitwise identical to the unfused store + bias loop + relu pass.
+//
+// Interleaved (per-k-block) packing. Packing the whole B panel up front
+// streams k·NR-float strips through the cache hierarchy before a single
+// kernel read; by the time the first KC slice sweeps, its lines have been
+// evicted by the pack of the later ones. The per-slice entry points
+// (`pack_b_slice` / `pack_b_trans_slice`) pack one KC-length k slice in
+// slice-major strip layout, and `macrokernel_block` sweeps exactly one k
+// block with independent A/B strip strides — so a driver can pack each B
+// slice immediately before its block sweeps it, cache-hot. The packed
+// *values* are identical under either schedule (a slice of the full panel
+// and a freshly packed slice hold the same floats in the same strip order),
+// and the per-element fold is the block sequence either way, so results are
+// bitwise invariant in the pack strategy.
+//
+// Masked packs. The backward pass of a fused layer→relu pair multiplies dy
+// by the Relu derivative (y > 0). The `*_mask` pack variants fold that mask
+// into the packing read — entries pack as `mask > 0 ? src : 0`, exactly the
+// values a materialized relu_mask() tensor would hold — so the fused
+// backward GEMMs (dW, dx) make zero extra sweeps over dy and stay bitwise
+// identical to the two-pass mask-then-pack sequence.
 #pragma once
 
 #include <algorithm>
@@ -86,19 +106,122 @@ inline constexpr std::size_t kKC = 256;
   return round_up(cols, kNR) * k;
 }
 
-/// Pack `rows`×k of A into MR strips. `a` points at the panel's first row in
-/// a row-major matrix with leading dimension `lda` (≥ k).
-inline void pack_a(const float* a, std::size_t lda, std::size_t rows,
-                   std::size_t k, float* pa) {
+/// Floats needed for one slice-packed B block of kc × `cols` (the layout a
+/// per-k-block interleaved driver hands to macrokernel_block: strip stride
+/// kc·NR instead of the full panel's k·NR).
+[[nodiscard]] inline constexpr std::size_t packed_b_slice_floats(
+    std::size_t kc, std::size_t cols) {
+  return round_up(cols, kNR) * kc;
+}
+
+/// Strip-count bound below which pack_b's single-row-sweep order applies.
+inline constexpr std::size_t kPackSweepMaxStrips = 16;
+
+namespace detail {
+
+/// Element sources for packing, addressed by flat offset into the caller's
+/// row-major storage. MaskedSrc folds the Relu derivative into the read:
+/// `mask > 0` passes the element, else it packs +0.0f — exactly the values a
+/// materialized relu_mask() tensor holds, so masked packs keep every
+/// downstream fold bitwise identical to the mask-pass-then-pack sequence.
+struct PlainSrc {
+  const float* src;
+  float operator()(std::size_t i) const { return src[i]; }
+};
+struct MaskedSrc {
+  const float* src;
+  const float* mask;
+  float operator()(std::size_t i) const {
+    return mask[i] > 0.0f ? src[i] : 0.0f;
+  }
+};
+
+template <typename Src>
+inline void pack_a_impl(Src at, std::size_t lda, std::size_t rows,
+                        std::size_t k, float* pa) {
   for (std::size_t s = 0; s < rows; s += kMR) {
     const std::size_t mr = std::min(kMR, rows - s);
     for (std::size_t p = 0; p < k; ++p) {
       std::size_t i = 0;
-      for (; i < mr; ++i) pa[p * kMR + i] = a[(s + i) * lda + p];
+      for (; i < mr; ++i) pa[p * kMR + i] = at((s + i) * lda + p);
       for (; i < kMR; ++i) pa[p * kMR + i] = 0.0f;
     }
     pa += kMR * k;
   }
+}
+
+template <typename Src>
+inline void pack_a_trans_impl(Src at, std::size_t lda, std::size_t rows,
+                              std::size_t k, float* pa) {
+  for (std::size_t s = 0; s < rows; s += kMR) {
+    const std::size_t mr = std::min(kMR, rows - s);
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::size_t src = p * lda + s;
+      std::size_t i = 0;
+      for (; i < mr; ++i) pa[p * kMR + i] = at(src + i);
+      for (; i < kMR; ++i) pa[p * kMR + i] = 0.0f;
+    }
+    pa += kMR * k;
+  }
+}
+
+template <typename Src>
+inline void pack_b_slice_impl(Src at, std::size_t ldb, std::size_t kc,
+                              std::size_t cols, float* pb) {
+  // Two loop orders produce the identical slice; the shape picks the faster:
+  // - Few strips (deep panels like dense1's 2048×128): a single sweep over
+  //   the source rows, each read once contiguously and scattered to the
+  //   per-strip cursors (every strip's k-major layout advances contiguously
+  //   too) — the strip-outer order would re-stream the whole slice from L2
+  //   once per kNR columns.
+  // - Many strips (wide conv panels): strip-outer, writing one strip at a
+  //   time — the row sweep would fan out to hundreds of write streams, past
+  //   what store buffers keep coalesced.
+  if (cols <= kPackSweepMaxStrips * kNR) {
+    const std::size_t full = cols / kNR * kNR;
+    for (std::size_t p = 0; p < kc; ++p) {
+      const std::size_t src = p * ldb;
+      float* dst = pb + p * kNR;
+      std::size_t s = 0;
+      for (; s < full; s += kNR, dst += kNR * kc) {
+        for (std::size_t j = 0; j < kNR; ++j) dst[j] = at(src + s + j);
+      }
+      if (s < cols) {
+        const std::size_t nr = cols - s;
+        std::size_t j = 0;
+        for (; j < nr; ++j) dst[j] = at(src + s + j);
+        for (; j < kNR; ++j) dst[j] = 0.0f;
+      }
+    }
+    return;
+  }
+  for (std::size_t s = 0; s < cols; s += kNR) {
+    const std::size_t nr = std::min(kNR, cols - s);
+    for (std::size_t p = 0; p < kc; ++p) {
+      const std::size_t src = p * ldb + s;
+      std::size_t j = 0;
+      for (; j < nr; ++j) pb[p * kNR + j] = at(src + j);
+      for (; j < kNR; ++j) pb[p * kNR + j] = 0.0f;
+    }
+    pb += kNR * kc;
+  }
+}
+
+}  // namespace detail
+
+/// Pack `rows`×k of A into MR strips. `a` points at the panel's first row in
+/// a row-major matrix with leading dimension `lda` (≥ k).
+inline void pack_a(const float* a, std::size_t lda, std::size_t rows,
+                   std::size_t k, float* pa) {
+  detail::pack_a_impl(detail::PlainSrc{a}, lda, rows, k, pa);
+}
+
+/// pack_a with the Relu-derivative mask folded in: element (i, p) packs as
+/// `mask[(i, p)] > 0 ? a[(i, p)] : 0`. `mask` shares a's layout and lda
+/// (callers pass the fused forward's y, offset like a).
+inline void pack_a_mask(const float* a, const float* mask, std::size_t lda,
+                        std::size_t rows, std::size_t k, float* pa) {
+  detail::pack_a_impl(detail::MaskedSrc{a, mask}, lda, rows, k, pa);
 }
 
 /// Pack `rows`×k of Aᵀ into MR strips: the logical panel is the transpose of
@@ -107,80 +230,66 @@ inline void pack_a(const float* a, std::size_t lda, std::size_t rows,
 /// contiguous per k step — transposed A packs cheaper than untransposed.
 inline void pack_a_trans(const float* a, std::size_t lda, std::size_t rows,
                          std::size_t k, float* pa) {
-  for (std::size_t s = 0; s < rows; s += kMR) {
-    const std::size_t mr = std::min(kMR, rows - s);
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* src = a + p * lda + s;
-      std::size_t i = 0;
-      for (; i < mr; ++i) pa[p * kMR + i] = src[i];
-      for (; i < kMR; ++i) pa[p * kMR + i] = 0.0f;
-    }
-    pa += kMR * k;
-  }
+  detail::pack_a_trans_impl(detail::PlainSrc{a}, lda, rows, k, pa);
+}
+
+/// pack_a_trans with the Relu-derivative mask folded in (mask shares the
+/// source's layout and lda).
+inline void pack_a_trans_mask(const float* a, const float* mask,
+                              std::size_t lda, std::size_t rows,
+                              std::size_t k, float* pa) {
+  detail::pack_a_trans_impl(detail::MaskedSrc{a, mask}, lda, rows, k, pa);
+}
+
+/// Pack one kc-length k slice of B into NR strips with strip stride kc·NR
+/// (slice-major). `b` points at the slice's first source row — callers
+/// packing rows [p0, p0+kc) of a k×n matrix pass `b + p0·ldb`. With kc == k
+/// this is exactly the full-panel layout, which is how pack_b is defined.
+inline void pack_b_slice(const float* b, std::size_t ldb, std::size_t kc,
+                         std::size_t cols, float* pb) {
+  detail::pack_b_slice_impl(detail::PlainSrc{b}, ldb, kc, cols, pb);
 }
 
 /// Pack k×`cols` of B into NR strips. `b` points at the panel's first column
 /// in a row-major matrix with leading dimension `ldb` (≥ cols overall).
-///
-/// Two loop orders produce the identical panel; the shape picks the faster:
-/// - Few strips (deep panels like dense1's 2048×128): a single sweep over
-///   the source rows, each read once contiguously and scattered to the
-///   per-strip cursors (every strip's k-major layout advances contiguously
-///   too) — the strip-outer order would re-stream the whole panel from L2
-///   once per kNR columns.
-/// - Many strips (wide conv panels): strip-outer, writing one strip at a
-///   time — the row sweep would fan out to hundreds of write streams, past
-///   what store buffers keep coalesced.
-inline constexpr std::size_t kPackSweepMaxStrips = 16;
-
+/// The shape-adaptive loop orders live in the per-slice entry point;
+/// the full panel is the kc == k slice.
 inline void pack_b(const float* b, std::size_t ldb, std::size_t k,
                    std::size_t cols, float* pb) {
-  if (cols <= kPackSweepMaxStrips * kNR) {
-    const std::size_t full = cols / kNR * kNR;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* src = b + p * ldb;
-      float* dst = pb + p * kNR;
-      std::size_t s = 0;
-      for (; s < full; s += kNR, dst += kNR * k) {
-        for (std::size_t j = 0; j < kNR; ++j) dst[j] = src[s + j];
-      }
-      if (s < cols) {
-        const std::size_t nr = cols - s;
-        std::size_t j = 0;
-        for (; j < nr; ++j) dst[j] = src[s + j];
-        for (; j < kNR; ++j) dst[j] = 0.0f;
-      }
-    }
-    return;
-  }
-  for (std::size_t s = 0; s < cols; s += kNR) {
-    const std::size_t nr = std::min(kNR, cols - s);
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* src = b + p * ldb + s;
-      std::size_t j = 0;
-      for (; j < nr; ++j) pb[p * kNR + j] = src[j];
-      for (; j < kNR; ++j) pb[p * kNR + j] = 0.0f;
-    }
-    pb += kNR * k;
-  }
+  pack_b_slice(b, ldb, k, cols, pb);
 }
 
-/// Pack k×`cols` of Bᵀ into NR strips: logical B[p, j] = src[j·ldb + p],
-/// where the source is row-major (cols_total × k). `b` points at the panel's
-/// first logical column, i.e. row offset into the source.
-inline void pack_b_trans(const float* b, std::size_t ldb, std::size_t k,
-                         std::size_t cols, float* pb) {
+/// pack_b with the Relu-derivative mask folded in (mask shares the source's
+/// layout and ldb). Conv's fused backward packs each sample's dy block with
+/// this — the dx GEMM consumes masked dy without a separate mask pass.
+inline void pack_b_mask(const float* b, const float* mask, std::size_t ldb,
+                        std::size_t k, std::size_t cols, float* pb) {
+  detail::pack_b_slice_impl(detail::MaskedSrc{b, mask}, ldb, k, cols, pb);
+}
+
+/// Pack one kc-length k slice of Bᵀ into NR strips with strip stride kc·NR:
+/// logical B[p, j] = src[j·ldb + p], source row-major (cols_total × k).
+/// `b` points at the slice's first logical element — callers packing logical
+/// rows [p0, p0+kc) of columns [c0, …) pass `b + c0·ldb + p0`.
+inline void pack_b_trans_slice(const float* b, std::size_t ldb,
+                               std::size_t kc, std::size_t cols, float* pb) {
   for (std::size_t s = 0; s < cols; s += kNR) {
     const std::size_t nr = std::min(kNR, cols - s);
     for (std::size_t j = 0; j < nr; ++j) {
       const float* src = b + (s + j) * ldb;
-      for (std::size_t p = 0; p < k; ++p) pb[p * kNR + j] = src[p];
+      for (std::size_t p = 0; p < kc; ++p) pb[p * kNR + j] = src[p];
     }
     for (std::size_t j = nr; j < kNR; ++j) {
-      for (std::size_t p = 0; p < k; ++p) pb[p * kNR + j] = 0.0f;
+      for (std::size_t p = 0; p < kc; ++p) pb[p * kNR + j] = 0.0f;
     }
-    pb += kNR * k;
+    pb += kNR * kc;
   }
+}
+
+/// Pack k×`cols` of Bᵀ into NR strips: the full panel is the kc == k slice.
+inline void pack_b_trans(const float* b, std::size_t ldb, std::size_t k,
+                         std::size_t cols, float* pb) {
+  pack_b_trans_slice(b, ldb, k, cols, pb);
 }
 
 /// Write-back transform applied when a tile is *finalized* (last k block).
@@ -338,20 +447,50 @@ inline void kernel(std::size_t kc, float alpha, const float* pa,
   }
 }
 
+/// One k block of the macrokernel sweep: kc accumulation steps over every
+/// tile of the rows×cols C block, with independent A/B strip strides so the
+/// operands may be full panels *or* freshly packed slices. `pa` points at
+/// strip 0's first element of this slice (a full-panel caller passes
+/// `pa_full + p0·kMR`); strip s sits at `pa + s·kMR·a_stride`, so a full
+/// panel passes a_stride = k and a slice-packed operand a_stride = kc.
+/// Likewise `pb` / `b_stride` with kNR strips. Within the block, column
+/// strips are the outer loop so one B strip slice is reused across every row
+/// strip before the next is touched. resume/finalize park or finalize the
+/// per-tile fold exactly as in kernel(); beta != 0 requires the single-block
+/// form (resume == false && finalize == true).
+inline void macrokernel_block(std::size_t rows, std::size_t cols,
+                              std::size_t kc, float alpha, const float* pa,
+                              std::size_t a_stride, const float* pb,
+                              std::size_t b_stride, float beta, float* c,
+                              std::size_t ldc, bool resume, bool finalize,
+                              const Epilogue& ep = {}) {
+  for (std::size_t jr = 0; jr < cols; jr += kNR) {
+    const std::size_t nr = std::min(kNR, cols - jr);
+    const float* b_strip = pb + jr * b_stride;
+    for (std::size_t ir = 0; ir < rows; ir += kMR) {
+      const std::size_t mr = std::min(kMR, rows - ir);
+      const float* a_strip = pa + ir * a_stride;
+      kernel(kc, alpha, a_strip, b_strip, beta, c + ir * ldc + jr, ldc, mr,
+             nr, resume, finalize, ep, ir, jr);
+    }
+  }
+}
+
 /// Macrokernel: sweep a packed A panel (`rows` logical rows) against a packed
 /// B panel (`cols` logical columns), writing the rows×cols block of C at `c`
 /// (row stride ldc), in KC-length k blocks. The k-block loop is outermost so
 /// one block's A strip slices (MR·kc floats each) stay L1-resident across
 /// every column strip and a B strip slice (NR·kc floats) is reused from L2
 /// across every row strip — the unblocked sweep instead streamed full k·NR
-/// strips per row strip. Within a block, column strips are the outer loop so
-/// one B slice is reused across every row strip before the next is touched.
+/// strips per row strip.
 ///
 /// Tile order is irrelevant to the result (tiles are disjoint) and the block
 /// length is irrelevant too: blocks park raw per-element partials in C and
 /// resume them, reproducing the single ascending-k fold bitwise for every
 /// `kc_block` (sweepable by tests; gemm.cpp always passes the kKC default).
 /// beta != 0 forces a single block — C is the accumuland, not scratch.
+/// Interleaved drivers instead call macrokernel_block per slice, packing
+/// each B slice just before its sweep — same fold, bitwise-equal result.
 inline void macrokernel(std::size_t rows, std::size_t cols, std::size_t k,
                         float alpha, const float* pa, const float* pb,
                         float beta, float* c, std::size_t ldc,
@@ -364,19 +503,10 @@ inline void macrokernel(std::size_t rows, std::size_t cols, std::size_t k,
   for (std::size_t blk = 0; blk < blocks; ++blk) {
     const std::size_t p0 = blk * kc_eff;
     const std::size_t p1 = std::min(p0 + kc_eff, k);
-    const bool resume = blk > 0;
-    const bool finalize = blk + 1 == blocks;
-    for (std::size_t jr = 0; jr < cols; jr += kNR) {
-      const std::size_t nr = std::min(kNR, cols - jr);
-      // Strip index · kNR·k locates the strip; p0·kNR the k slice within it.
-      const float* b_strip = pb + jr * k + p0 * kNR;
-      for (std::size_t ir = 0; ir < rows; ir += kMR) {
-        const std::size_t mr = std::min(kMR, rows - ir);
-        const float* a_strip = pa + ir * k + p0 * kMR;
-        kernel(p1 - p0, alpha, a_strip, b_strip, beta, c + ir * ldc + jr,
-               ldc, mr, nr, resume, finalize, ep, ir, jr);
-      }
-    }
+    // Strip index · kNR·k locates a strip; p0·kNR the k slice within it.
+    macrokernel_block(rows, cols, p1 - p0, alpha, pa + p0 * kMR, k,
+                      pb + p0 * kNR, k, beta, c, ldc, blk > 0,
+                      blk + 1 == blocks, ep);
   }
 }
 

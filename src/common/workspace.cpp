@@ -33,6 +33,22 @@ struct AlignedBuffer {
 // process, so steady-state training rounds allocate nothing here.
 thread_local std::vector<AlignedBuffer> tl_arena;
 
+// Double-buffered slice arena: slot index == key·2 + parity. Kept separate
+// from the flat arena so a slice key never collides with a plain key, and
+// both parities of a key grow independently (interleaved packing alternates
+// them per k block).
+thread_local std::vector<AlignedBuffer> tl_slice_arena;
+
+std::size_t arena_bytes(const std::vector<AlignedBuffer>& arena) {
+  std::size_t bytes = 0;
+  for (const auto& buffer : arena) {
+    if (buffer.size > 0) {
+      bytes += (buffer.size + kAlignBytes / sizeof(float)) * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 float* Workspace::floats(std::size_t key, std::size_t size) {
@@ -42,19 +58,24 @@ float* Workspace::floats(std::size_t key, std::size_t size) {
   return buffer.data;
 }
 
+float* Workspace::slice(std::size_t key, std::size_t size,
+                        std::size_t parity) {
+  const std::size_t slot = key * 2 + (parity & 1);
+  if (tl_slice_arena.size() <= slot) tl_slice_arena.resize(slot + 1);
+  auto& buffer = tl_slice_arena[slot];
+  buffer.grow(size);
+  return buffer.data;
+}
+
 std::size_t Workspace::thread_bytes() {
-  std::size_t bytes = 0;
-  for (const auto& buffer : tl_arena) {
-    if (buffer.size > 0) {
-      bytes += (buffer.size + kAlignBytes / sizeof(float)) * sizeof(float);
-    }
-  }
-  return bytes;
+  return arena_bytes(tl_arena) + arena_bytes(tl_slice_arena);
 }
 
 void Workspace::reset_thread() {
   tl_arena.clear();
   tl_arena.shrink_to_fit();
+  tl_slice_arena.clear();
+  tl_slice_arena.shrink_to_fit();
 }
 
 }  // namespace gsfl::common

@@ -216,13 +216,51 @@ void GsflTrainer::rebalance_shares() {
   }
   if (total <= 0.0) return;  // nothing transmitted: keep current shares
   // Floor each share so no group starves (Shannon rate → 0 as share → 0).
-  const double floor = 0.05 / static_cast<double>(group_shares_.size());
-  double sum = 0.0;
-  for (std::size_t g = 0; g < group_shares_.size(); ++g) {
-    group_shares_[g] = std::max(work[g] / total, floor);
-    sum += group_shares_[g];
+  // Clamp-and-renormalize: clamping before a global renormalize would push
+  // the floored shares back *below* the floor whenever the clamps add mass
+  // (one group carrying ~all the work with M = 10 leaves the other nine at
+  // floor/1.045 < floor). Instead, pin floored groups exactly at the floor
+  // and split only the remaining mass over the rest ∝ work; since that
+  // redistribution can push further groups under the floor, iterate until
+  // the clamped set is stable — it only grows, so ≤ M passes. M·floor =
+  // 0.05 < 1 guarantees the unclamped mass stays positive and at least one
+  // group stays unclamped.
+  const std::size_t m = group_shares_.size();
+  const double floor = 0.05 / static_cast<double>(m);
+  std::vector<bool> clamped(m, false);
+  for (bool changed = true; changed;) {
+    changed = false;
+    double remaining = 1.0;   // mass left for the unclamped groups
+    double free_work = 0.0;   // their total work
+    std::size_t unclamped = 0;
+    for (std::size_t g = 0; g < m; ++g) {
+      if (clamped[g]) {
+        remaining -= floor;
+      } else {
+        free_work += work[g];
+        ++unclamped;
+      }
+    }
+    // Assign as we detect: a pass that clamps anything re-runs and
+    // overwrites every share, so the stable final pass is the one whose
+    // assignments stand — one copy of the redistribution formula.
+    for (std::size_t g = 0; g < m; ++g) {
+      if (clamped[g]) {
+        group_shares_[g] = floor;
+        continue;
+      }
+      const double share =
+          free_work > 0.0
+              ? remaining * (work[g] / free_work)
+              : remaining / static_cast<double>(unclamped);
+      if (share < floor) {
+        clamped[g] = true;
+        changed = true;
+      } else {
+        group_shares_[g] = share;
+      }
+    }
   }
-  for (auto& s : group_shares_) s /= sum;
 }
 
 }  // namespace gsfl::core

@@ -33,14 +33,17 @@ double ShannonLink::rate_bps(double bandwidth_hz) const {
   return bandwidth_hz * std::log2(1.0 + snr(bandwidth_hz));
 }
 
+double ShannonLink::rate_bps(double bandwidth_hz, double fade_power) const {
+  GSFL_EXPECT(fade_power >= 0.0);
+  const double faded_snr = snr(bandwidth_hz) * fade_power;
+  return bandwidth_hz * std::log2(1.0 + faded_snr);
+}
+
 double ShannonLink::faded_rate_bps(double bandwidth_hz,
                                    common::Rng& rng) const {
   // Rayleigh fading: |h|² is Exp(1), so E[|h|²] = 1 and the deterministic
   // rate is the no-fading reference.
-  const double fade = rng.exponential(1.0);
-  GSFL_EXPECT(bandwidth_hz > 0.0);
-  const double faded_snr = snr(bandwidth_hz) * fade;
-  return bandwidth_hz * std::log2(1.0 + faded_snr);
+  return rate_bps(bandwidth_hz, rng.exponential(1.0));
 }
 
 double ShannonLink::transmit_seconds(double payload_bytes,
@@ -49,6 +52,16 @@ double ShannonLink::transmit_seconds(double payload_bytes,
   if (payload_bytes == 0.0) return 0.0;
   const double rate = rate_bps(bandwidth_hz);
   GSFL_ENSURE_MSG(rate > 0.0, "link rate collapsed to zero");
+  return common::transmit_seconds(payload_bytes, rate);
+}
+
+double ShannonLink::transmit_seconds(double payload_bytes,
+                                     double bandwidth_hz,
+                                     double fade_power) const {
+  GSFL_EXPECT(payload_bytes >= 0.0);
+  if (payload_bytes == 0.0) return 0.0;
+  const double rate = rate_bps(bandwidth_hz, fade_power);
+  GSFL_ENSURE_MSG(rate > 0.0, "link rate collapsed to zero (deep fade?)");
   return common::transmit_seconds(payload_bytes, rate);
 }
 

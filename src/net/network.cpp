@@ -18,6 +18,33 @@ WirelessNetwork::WirelessNetwork(NetworkConfig config,
                             c.distance_m);
   }
   GSFL_EXPECT(config_.ap.compute_flops > 0.0);
+  uplink_fades_.assign(clients_.size(), 1.0);
+  downlink_fades_.assign(clients_.size(), 1.0);
+}
+
+void WirelessNetwork::redraw_fades(common::Rng& rng) {
+  if (!config_.channel.rayleigh_fading) return;
+  // Fixed draw order per client (uplink then downlink) keeps the stream
+  // position a pure function of the round count.
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    uplink_fades_[c] = rng.exponential(1.0);
+    downlink_fades_[c] = rng.exponential(1.0);
+  }
+}
+
+void WirelessNetwork::clear_fades() {
+  uplink_fades_.assign(clients_.size(), 1.0);
+  downlink_fades_.assign(clients_.size(), 1.0);
+}
+
+double WirelessNetwork::uplink_fade(std::size_t index) const {
+  GSFL_EXPECT(index < clients_.size());
+  return uplink_fades_[index];
+}
+
+double WirelessNetwork::downlink_fade(std::size_t index) const {
+  GSFL_EXPECT(index < clients_.size());
+  return downlink_fades_[index];
 }
 
 WirelessNetwork WirelessNetwork::make_uniform_random(
@@ -47,16 +74,18 @@ double WirelessNetwork::uplink_rate_bps(std::size_t client,
                                         double bandwidth_share) const {
   GSFL_EXPECT(client < clients_.size());
   GSFL_EXPECT(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
-  return uplinks_[client].rate_bps(config_.total_bandwidth_hz *
-                                   bandwidth_share);
+  // Fade gain 1.0 (the unfaded / disabled state) reproduces the plain rate
+  // bitwise — snr·1.0 is exact — so one code path serves both modes.
+  return uplinks_[client].rate_bps(
+      config_.total_bandwidth_hz * bandwidth_share, uplink_fades_[client]);
 }
 
 double WirelessNetwork::downlink_rate_bps(std::size_t client,
                                           double bandwidth_share) const {
   GSFL_EXPECT(client < clients_.size());
   GSFL_EXPECT(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
-  return downlinks_[client].rate_bps(config_.total_bandwidth_hz *
-                                     bandwidth_share);
+  return downlinks_[client].rate_bps(
+      config_.total_bandwidth_hz * bandwidth_share, downlink_fades_[client]);
 }
 
 double WirelessNetwork::uplink_seconds(std::size_t client,
@@ -65,7 +94,8 @@ double WirelessNetwork::uplink_seconds(std::size_t client,
   GSFL_EXPECT(client < clients_.size());
   GSFL_EXPECT(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
   return uplinks_[client].transmit_seconds(
-      payload_bytes, config_.total_bandwidth_hz * bandwidth_share);
+      payload_bytes, config_.total_bandwidth_hz * bandwidth_share,
+      uplink_fades_[client]);
 }
 
 double WirelessNetwork::downlink_seconds(std::size_t client,
@@ -74,7 +104,8 @@ double WirelessNetwork::downlink_seconds(std::size_t client,
   GSFL_EXPECT(client < clients_.size());
   GSFL_EXPECT(bandwidth_share > 0.0 && bandwidth_share <= 1.0);
   return downlinks_[client].transmit_seconds(
-      payload_bytes, config_.total_bandwidth_hz * bandwidth_share);
+      payload_bytes, config_.total_bandwidth_hz * bandwidth_share,
+      downlink_fades_[client]);
 }
 
 double WirelessNetwork::client_compute_seconds(std::size_t client,
@@ -92,6 +123,11 @@ double WirelessNetwork::server_compute_seconds(double flops) const {
 double WirelessNetwork::relay_seconds(std::size_t from, std::size_t to,
                                       double payload_bytes,
                                       double bandwidth_share) const {
+  // Check both indices up front: the delegated calls would each catch their
+  // own, but this way a bad `to` fails before any work and the failure
+  // names this accessor's precondition, not a callee's.
+  GSFL_EXPECT(from < clients_.size());
+  GSFL_EXPECT(to < clients_.size());
   return uplink_seconds(from, payload_bytes, bandwidth_share) +
          downlink_seconds(to, payload_bytes, bandwidth_share);
 }

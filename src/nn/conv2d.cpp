@@ -5,7 +5,6 @@
 
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/common/workspace.hpp"
-#include "gsfl/nn/activations.hpp"
 #include "gsfl/nn/init.hpp"
 #include "gsfl/tensor/gemm.hpp"
 #include "gsfl/tensor/microkernel.hpp"
@@ -124,10 +123,18 @@ Tensor Conv2d::backward_fused_relu(const Tensor& grad_output) {
   GSFL_EXPECT_MSG(last_forward_fused_,
                   "backward_fused_relu() requires a fused forward");
   GSFL_EXPECT(grad_output.shape() == cached_fused_output_.shape());
-  return backward(relu_mask(grad_output, cached_fused_output_));
+  // The Relu derivative (y > 0) rides the dx pack of dy and the dW/db
+  // restage copy — no masked-dy tensor is materialized and dy is swept zero
+  // extra times. Bitwise identical to relu_mask() + backward(): masked
+  // entries enter every fold as the same +0.0f.
+  return backward_impl(grad_output, cached_fused_output_.data().data());
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  return backward_impl(grad_output, nullptr);
+}
+
+Tensor Conv2d::backward_impl(const Tensor& grad_output, const float* relu_y) {
   GSFL_EXPECT_MSG(cached_input_.shape().rank() == 4,
                   "backward() requires a prior forward()");
   const ConvGeometry geom = geometry(cached_input_.shape());
@@ -163,8 +170,13 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     float* dcols = common::Workspace::floats(common::Workspace::kConvDcols,
                                              patch * positions);
     for (std::size_t n = b0; n < b1; ++n) {
-      micro::pack_b(gd + n * out_channels_ * positions, positions,
-                    out_channels_, positions, pb);
+      const std::size_t off = n * out_channels_ * positions;
+      if (relu_y == nullptr) {
+        micro::pack_b(gd + off, positions, out_channels_, positions, pb);
+      } else {
+        micro::pack_b_mask(gd + off, relu_y + off, positions, out_channels_,
+                           positions, pb);
+      }
       micro::macrokernel(patch, positions, out_channels_, 1.0f, pwt, pb, 0.0f,
                          dcols, positions);
       tensor::col2im_accumulate_into(dcols, geom, gi + n * chw);
@@ -172,12 +184,14 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   });
 
   // dW and db reduce over the batch. Restage dy to channel-major
-  // (out_c × batch·positions) and rebuild the batched im2col matrix (the
-  // input is k²× smaller than the unfolded columns, so re-unfolding beats
-  // caching), then both reductions become single fixed-order folds: db sums
-  // each channel strip in ascending index order, and dW is one batched GEMM
-  // whose ascending-k accumulation (k = batch·positions) *is* the batch
-  // reduction — the same order for any lane count.
+  // (out_c × batch·positions) — the fused path folds the Relu mask into
+  // this copy, so the staged dy is already masked — and rebuild the batched
+  // im2col matrix (the input is k²× smaller than the unfolded columns, so
+  // re-unfolding beats caching), then both reductions become single
+  // fixed-order folds: db sums each channel strip in ascending index order,
+  // and dW is one batched GEMM whose ascending-k accumulation
+  // (k = batch·positions) *is* the batch reduction — the same order for any
+  // lane count.
   float* dy = common::Workspace::floats(common::Workspace::kConvStage,
                                         out_channels_ * batch_pos);
   float* columns = common::Workspace::floats(common::Workspace::kConvColumns,
@@ -185,9 +199,20 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
   common::global_parallel_for(1, batch, [&](std::size_t b0, std::size_t b1) {
     for (std::size_t n = b0; n < b1; ++n) {
       const float* src = gd + n * out_channels_ * positions;
-      for (std::size_t c = 0; c < out_channels_; ++c) {
-        std::copy(src + c * positions, src + (c + 1) * positions,
-                  dy + c * batch_pos + n * positions);
+      if (relu_y == nullptr) {
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          std::copy(src + c * positions, src + (c + 1) * positions,
+                    dy + c * batch_pos + n * positions);
+        }
+      } else {
+        const float* y = relu_y + n * out_channels_ * positions;
+        for (std::size_t c = 0; c < out_channels_; ++c) {
+          float* dst = dy + c * batch_pos + n * positions;
+          for (std::size_t t = 0; t < positions; ++t) {
+            const std::size_t idx = c * positions + t;
+            dst[t] = y[idx] > 0.0f ? src[idx] : 0.0f;
+          }
+        }
       }
       tensor::im2col_into(in + n * chw, geom, columns + n * positions,
                           batch_pos);

@@ -1,6 +1,5 @@
 #include "gsfl/nn/dense.hpp"
 
-#include "gsfl/nn/activations.hpp"
 #include "gsfl/nn/init.hpp"
 #include "gsfl/tensor/gemm.hpp"
 
@@ -69,10 +68,18 @@ Tensor Dense::backward_fused_relu(const Tensor& grad_output) {
   GSFL_EXPECT_MSG(last_forward_fused_,
                   "backward_fused_relu() requires a fused forward");
   GSFL_EXPECT(grad_output.shape() == cached_fused_output_.shape());
-  return backward(relu_mask(grad_output, cached_fused_output_));
+  // The Relu derivative (y > 0) rides the dW/dx packing pass and the db
+  // fold — no masked-dy tensor is materialized and dy is swept zero extra
+  // times. Bitwise identical to relu_mask() + backward(): masked entries
+  // enter every fold as the same +0.0f.
+  return backward_impl(grad_output, cached_fused_output_.data().data());
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
+  return backward_impl(grad_output, nullptr);
+}
+
+Tensor Dense::backward_impl(const Tensor& grad_output, const float* relu_y) {
   GSFL_EXPECT(grad_output.shape().rank() == 2);
   GSFL_EXPECT(grad_output.shape()[1] == out_features_);
   GSFL_EXPECT_MSG(cached_input_.shape().rank() == 2,
@@ -80,24 +87,34 @@ Tensor Dense::backward(const Tensor& grad_output) {
   GSFL_EXPECT(grad_output.shape()[0] == cached_input_.shape()[0]);
 
   // dW += dyᵀ · x ; db += column sums of dy ; dx = dy · W. All three run on
-  // the raw packed path: transposes fold into packing, and the only fresh
-  // tensor is the returned dx.
+  // the raw packed path: transposes — and, when fused, the dy relu-mask —
+  // fold into packing, and the only fresh tensor is the returned dx.
   const std::size_t batch = grad_output.shape()[0];
   tensor::gemm_raw(out_features_, batch, in_features_, 1.0f,
-                   grad_output.data().data(), Trans::kYes,
+                   grad_output.data().data(), Trans::kYes, relu_y,
                    cached_input_.data().data(), Trans::kNo, 1.0f,
-                   grad_weight_.data().data());
+                   grad_weight_.data().data(), {});
   const auto gd = grad_output.data();
   auto gb = grad_bias_.data();
-  for (std::size_t i = 0; i < batch; ++i) {
-    for (std::size_t j = 0; j < out_features_; ++j) {
-      gb[j] += gd[i * out_features_ + j];
+  if (relu_y == nullptr) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t j = 0; j < out_features_; ++j) {
+        gb[j] += gd[i * out_features_ + j];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t j = 0; j < out_features_; ++j) {
+        const std::size_t t = i * out_features_ + j;
+        gb[j] += relu_y[t] > 0.0f ? gd[t] : 0.0f;
+      }
     }
   }
   Tensor dx(Shape{batch, in_features_});
   tensor::gemm_raw(batch, out_features_, in_features_, 1.0f,
-                   grad_output.data().data(), Trans::kNo,
-                   weight_.data().data(), Trans::kNo, 0.0f, dx.data().data());
+                   grad_output.data().data(), Trans::kNo, relu_y,
+                   weight_.data().data(), Trans::kNo, 0.0f, dx.data().data(),
+                   {});
   return dx;
 }
 

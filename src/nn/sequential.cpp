@@ -66,7 +66,9 @@ Tensor Sequential::forward(const Tensor& input, bool train) {
 Tensor Sequential::backward(const Tensor& grad_output) {
   // Mirror the last forward's fusion plan; a backward with no prior forward
   // runs unfused and lets the layers raise their own "requires a prior
-  // forward" errors.
+  // forward" errors. A fused pair's backward masks dy inside the layer's
+  // gradient packing (no masked-dy temporary is materialized anywhere in
+  // the stack).
   if (fused_.size() != layers_.size()) fused_.assign(layers_.size(), 0);
   Tensor g = grad_output;
   for (std::size_t i = layers_.size(); i > 0;) {

@@ -1,6 +1,7 @@
 #include "gsfl/tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/common/workspace.hpp"
@@ -17,17 +18,29 @@ constexpr std::size_t kRowGrain = 2 * micro::kMR;
 constexpr std::size_t kColGrain = 2 * micro::kNR;
 constexpr std::size_t kParallelMacCutoff = 1u << 18;
 
-// Pack the panel of op(A) covering logical rows [r0, r1).
-void pack_a_panel(const float* a, Trans trans, std::size_t m, std::size_t k,
-                  std::size_t r0, std::size_t r1, float* pa) {
+std::atomic<PackStrategy> g_pack_strategy{PackStrategy::kAuto};
+
+// Pack the panel of op(A) covering logical rows [r0, r1), optionally with
+// the Relu-derivative mask (same layout as a) folded into the read.
+void pack_a_panel(const float* a, const float* a_mask, Trans trans,
+                  std::size_t m, std::size_t k, std::size_t r0,
+                  std::size_t r1, float* pa) {
   if (trans == Trans::kNo) {
-    micro::pack_a(a + r0 * k, k, r1 - r0, k, pa);
+    if (a_mask == nullptr) {
+      micro::pack_a(a + r0 * k, k, r1 - r0, k, pa);
+    } else {
+      micro::pack_a_mask(a + r0 * k, a_mask + r0 * k, k, r1 - r0, k, pa);
+    }
   } else {
-    micro::pack_a_trans(a + r0, m, r1 - r0, k, pa);
+    if (a_mask == nullptr) {
+      micro::pack_a_trans(a + r0, m, r1 - r0, k, pa);
+    } else {
+      micro::pack_a_trans_mask(a + r0, a_mask + r0, m, r1 - r0, k, pa);
+    }
   }
 }
 
-// Pack the panel of op(B) covering logical columns [c0, c1).
+// Pack the full-k panel of op(B) covering logical columns [c0, c1).
 void pack_b_panel(const float* b, Trans trans, std::size_t k, std::size_t n,
                   std::size_t c0, std::size_t c1, float* pb) {
   if (trans == Trans::kNo) {
@@ -37,7 +50,56 @@ void pack_b_panel(const float* b, Trans trans, std::size_t k, std::size_t n,
   }
 }
 
+// Pack the k slice [p0, p1) of op(B)'s columns [c0, c1) in slice-major strip
+// layout (strip stride (p1-p0)·kNR — what macrokernel_block consumes with
+// b_stride = p1-p0).
+void pack_b_slice_panel(const float* b, Trans trans, std::size_t k,
+                        std::size_t n, std::size_t p0, std::size_t p1,
+                        std::size_t c0, std::size_t c1, float* pb) {
+  if (trans == Trans::kNo) {
+    micro::pack_b_slice(b + p0 * n + c0, n, p1 - p0, c1 - c0, pb);
+  } else {
+    micro::pack_b_trans_slice(b + c0 * k + p0, k, p1 - p0, c1 - c0, pb);
+  }
+}
+
+// Sweep a rows×cols C block in KC k blocks, packing each B slice into the
+// double-buffered slice arena immediately before its block runs — the
+// interleaved schedule. The A panel (`pa`, strips of stride k) is packed by
+// the caller; the per-element fold is the exact block sequence of
+// micro::macrokernel, so the result is bitwise identical to the up-front
+// schedule. beta != 0 runs as one block (C is the accumuland, not scratch),
+// which degenerates to packing the full panel once.
+void interleaved_sweep(std::size_t rows, std::size_t cols, std::size_t k,
+                       float alpha, const float* pa, const float* b,
+                       Trans trans_b, std::size_t n, std::size_t c0,
+                       float beta, float* c, std::size_t ldc,
+                       const micro::Epilogue& ep) {
+  const std::size_t kc_len = beta != 0.0f ? k : micro::kKC;
+  const std::size_t blocks = (k + kc_len - 1) / kc_len;
+  const std::size_t slice_floats =
+      micro::packed_b_slice_floats(std::min(kc_len, k), cols);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    const std::size_t p0 = blk * kc_len;
+    const std::size_t p1 = std::min(p0 + kc_len, k);
+    float* pb = common::Workspace::slice(common::Workspace::kGemmPackSlice,
+                                         slice_floats, blk);
+    pack_b_slice_panel(b, trans_b, k, n, p0, p1, c0, c0 + cols, pb);
+    micro::macrokernel_block(rows, cols, p1 - p0, alpha,
+                             pa + p0 * micro::kMR, k, pb, p1 - p0, beta, c,
+                             ldc, blk > 0, blk + 1 == blocks, ep);
+  }
+}
+
 }  // namespace
+
+void set_pack_strategy(PackStrategy strategy) {
+  g_pack_strategy.store(strategy, std::memory_order_relaxed);
+}
+
+PackStrategy pack_strategy() {
+  return g_pack_strategy.load(std::memory_order_relaxed);
+}
 
 void transpose_raw(const float* src, std::size_t rows, std::size_t cols,
                    float* dst) {
@@ -68,8 +130,9 @@ Tensor transpose(const Tensor& a) {
 }
 
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
-              const float* a, Trans trans_a, const float* b, Trans trans_b,
-              float beta, float* c, const micro::Epilogue& epilogue) {
+              const float* a, Trans trans_a, const float* a_mask,
+              const float* b, Trans trans_b, float beta, float* c,
+              const micro::Epilogue& epilogue) {
   if (m == 0 || n == 0) return;
   if (k == 0) {
     // Empty inner dimension: the product term vanishes — run the write-back
@@ -90,23 +153,50 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
                           (m + kRowGrain - 1) / kRowGrain;
   const bool serial = m * n * k < kParallelMacCutoff;
 
+  // Interleaved packing (see PackStrategy): under kAuto, the row path
+  // interleaves only when it runs as a single task — the serial cutoff, a
+  // one-lane pool, or a GEMM nested inside a parallel region (where
+  // global_parallel_for runs fn(0, m) inline: the per-client training hot
+  // path). A multi-task row split shares one packed B across its tasks, so
+  // up-front packing does the O(k·n) work once where interleaving would
+  // repeat it per task. The column path packs per task either way, so it
+  // interleaves whenever the sweep k-blocks.
+  const PackStrategy strategy = pack_strategy();
+  const bool multi_block = beta == 0.0f && k > micro::kKC;
+  const bool row_single_task = serial || common::global_lanes() == 1 ||
+                               common::ThreadPool::in_parallel_region();
+
   if (serial || !by_columns) {
-    // Caller packs all of op(B) once; panel tasks read it concurrently
-    // (caller-owned shared key) and pack only their own row panel of op(A)
-    // into lane-local scratch.
-    float* pb = common::Workspace::floats(common::Workspace::kGemmPack,
-                                          micro::packed_b_floats(k, n));
-    pack_b_panel(b, trans_b, k, n, 0, n, pb);
+    const bool interleave =
+        strategy == PackStrategy::kInterleaved ||
+        (strategy == PackStrategy::kAuto && multi_block && row_single_task);
+    float* pb = nullptr;
+    if (!interleave) {
+      // Caller packs all of op(B) once; panel tasks read it concurrently
+      // (caller-owned shared key) and pack only their own row panel of
+      // op(A) into lane-local scratch.
+      pb = common::Workspace::floats(common::Workspace::kGemmPack,
+                                     micro::packed_b_floats(k, n));
+      pack_b_panel(b, trans_b, k, n, 0, n, pb);
+    }
     const auto rows_task = [&](std::size_t r0, std::size_t r1) {
       float* pa = common::Workspace::floats(
           common::Workspace::kGemmPackA, micro::packed_a_floats(r1 - r0, k));
-      pack_a_panel(a, trans_a, m, k, r0, r1, pa);
+      pack_a_panel(a, a_mask, trans_a, m, k, r0, r1, pa);
       // A per-row bias walks with the panel's row offset; a per-column bias
       // spans all of n unshifted.
       micro::Epilogue ep = epilogue;
       if (ep.bias != nullptr && ep.per_row) ep.bias += r0;
-      micro::macrokernel(r1 - r0, n, k, alpha, pa, pb, beta, c + r0 * n, n,
-                         ep);
+      if (interleave) {
+        // Each task packs its own B slices (one task in the kAuto hot path;
+        // forced kInterleaved accepts the per-task repack to exercise the
+        // schedule under every split).
+        interleaved_sweep(r1 - r0, n, k, alpha, pa, b, trans_b, n, 0, beta,
+                          c + r0 * n, n, ep);
+      } else {
+        micro::macrokernel(r1 - r0, n, k, alpha, pa, pb, beta, c + r0 * n,
+                           n, ep);
+      }
     };
     if (serial) {
       rows_task(0, m);
@@ -119,18 +209,33 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
   // Column split: op(A) is the small operand — caller packs it once, shared
   // read-only — and each task packs its own column panel of op(B), which
   // spreads the dominant O(k·n) packing pass across the lanes.
+  const bool interleave_cols =
+      strategy == PackStrategy::kInterleaved ||
+      (strategy == PackStrategy::kAuto && multi_block);
   float* pa = common::Workspace::floats(common::Workspace::kGemmPackA,
                                         micro::packed_a_floats(m, k));
-  pack_a_panel(a, trans_a, m, k, 0, m, pa);
+  pack_a_panel(a, a_mask, trans_a, m, k, 0, m, pa);
   common::global_parallel_for(kColGrain, n, [&](std::size_t c0,
                                                 std::size_t c1) {
+    micro::Epilogue ep = epilogue;
+    if (ep.bias != nullptr && !ep.per_row) ep.bias += c0;
+    if (interleave_cols) {
+      interleaved_sweep(m, c1 - c0, k, alpha, pa, b, trans_b, n, c0, beta,
+                        c + c0, n, ep);
+      return;
+    }
     float* pb = common::Workspace::floats(
         common::Workspace::kGemmPack, micro::packed_b_floats(k, c1 - c0));
     pack_b_panel(b, trans_b, k, n, c0, c1, pb);
-    micro::Epilogue ep = epilogue;
-    if (ep.bias != nullptr && !ep.per_row) ep.bias += c0;
     micro::macrokernel(m, c1 - c0, k, alpha, pa, pb, beta, c + c0, n, ep);
   });
+}
+
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, Trans trans_a, const float* b, Trans trans_b,
+              float beta, float* c, const micro::Epilogue& epilogue) {
+  gemm_raw(m, k, n, alpha, a, trans_a, nullptr, b, trans_b, beta, c,
+           epilogue);
 }
 
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,

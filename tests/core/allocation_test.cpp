@@ -120,6 +120,53 @@ TEST(Allocation, AdaptiveDoesNotChangeModelTrajectory) {
                                        adaptive.global_model()));
 }
 
+// Extreme skew: ten singleton groups, one of which (a far, weak-radio
+// client) carries essentially all the radio work. The floor must hold
+// *after* normalization — the old clamp-before-renormalize dropped the nine
+// starved groups to floor/1.045 < floor — and the dominant group keeps the
+// rest of the band.
+TEST(Allocation, ExtremeSkewRespectsTheShareFloorPostNormalization) {
+  gsfl::net::NetworkConfig net_config;
+  net_config.total_bandwidth_hz = 10e6;
+  std::vector<gsfl::net::DeviceProfile> devices(10);
+  for (int i = 0; i < 9; ++i) {
+    devices[i].distance_m = 1.0;      // wire-grade links: ~zero radio time
+    devices[i].tx_power_dbm = 23.0;
+    devices[i].compute_flops = 1e9;
+  }
+  devices[9].distance_m = 1000.0;     // the straggler carrying ~all the work
+  devices[9].tx_power_dbm = 10.0;     // sub-0-dB SNR: a few bit/s/Hz vs ~30
+  devices[9].compute_flops = 1e9;
+  const gsfl::net::WirelessNetwork network(net_config, std::move(devices));
+
+  const auto data = gsfl::test::make_client_datasets(10, 8, 77);
+  Rng rng(77);
+  GsflConfig config;
+  config.num_groups = 10;  // contiguous singletons
+  config.cut_layer = gsfl::test::kTinyCut;
+  config.grouping = GroupingPolicy::kContiguous;
+  config.bandwidth = BandwidthPolicy::kAdaptive;
+  GsflTrainer trainer(network, data, gsfl::test::make_tiny_model(rng),
+                      config);
+
+  const double floor = 0.05 / 10.0;
+  for (int round = 0; round < 3; ++round) {
+    (void)trainer.run_round();
+    const auto& shares = trainer.group_shares();
+    ASSERT_EQ(shares.size(), 10u);
+    const double sum = std::accumulate(shares.begin(), shares.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    for (const double s : shares) {
+      EXPECT_GE(s, floor) << "round " << round;
+    }
+  }
+  // The nine idle groups sit exactly at the floor; the straggler's group
+  // gets everything else.
+  const auto& shares = trainer.group_shares();
+  for (int g = 0; g < 9; ++g) EXPECT_DOUBLE_EQ(shares[g], floor);
+  EXPECT_NEAR(shares[9], 1.0 - 9.0 * floor, 1e-6);
+}
+
 TEST(Allocation, SingleGroupAdaptiveIsFullBand) {
   const auto network = gsfl::test::make_tiny_network(3);
   const auto data = gsfl::test::make_client_datasets(3, 8, 76);

@@ -123,6 +123,42 @@ TEST_F(DeterminismTest, GsflRoundIsThreadCountInvariant) {
   expect_identical(run_with_threads(1, make), run_with_threads(8, make));
 }
 
+TEST_F(DeterminismTest, GsflWithRayleighFadingIsThreadCountInvariant) {
+  // Fade gains are pre-drawn between rounds, outside the parallel region,
+  // in fixed client order — so a faded run's latencies (which every group
+  // task reads concurrently) are bitwise identical for any lane count.
+  const auto run = [](std::size_t threads) {
+    gsfl::net::NetworkConfig net_config;
+    net_config.total_bandwidth_hz = 10e6;
+    net_config.channel.rayleigh_fading = true;
+    std::vector<gsfl::net::DeviceProfile> clients(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients[c].distance_m = 30.0 + 10.0 * static_cast<double>(c);
+    }
+    gsfl::net::WirelessNetwork network(net_config, clients);
+    auto data = gsfl::test::make_client_datasets(kClients, 12, 78);
+    Rng rng(78);
+    auto init = make_conv_model(rng);
+    gsfl::core::GsflConfig config;
+    config.num_groups = 4;
+    config.cut_layer = kConvCut;
+    config.train.threads = threads;
+    gsfl::core::GsflTrainer trainer(network, std::move(data),
+                                    std::move(init), config);
+    Rng fade_rng(123);
+    RunOutcome outcome;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      network.redraw_fades(fade_rng);
+      outcome.rounds.push_back(trainer.run_round());
+    }
+    // The fades must actually be in play, not silently disabled.
+    EXPECT_NE(network.uplink_fade(0), 1.0);
+    outcome.model = trainer.global_model();
+    return outcome;
+  };
+  expect_identical(run(1), run(8));
+}
+
 TEST_F(DeterminismTest, GsflWithFailuresIsThreadCountInvariant) {
   // Failure draws happen before the parallel region; the skip/relay logic
   // must stay on the same clients for any lane count.

@@ -94,6 +94,26 @@ TEST(ShannonLink, TransmitTimeInverseInRate) {
   EXPECT_DOUBLE_EQ(link.transmit_seconds(0.0, 1e6), 0.0);
 }
 
+// The explicit fade-power overload is the building block WirelessNetwork's
+// pre-drawn per-round fades apply; unit gain must reproduce the unfaded
+// rate bitwise (snr·1.0 is exact), and the gain must scale the SNR, not the
+// rate.
+TEST(ShannonLink, ExplicitFadePowerScalesTheSnr) {
+  const auto config = default_channel();
+  const ShannonLink link(config, 20.0, 50.0);
+  const double bw = 1e6;
+  EXPECT_EQ(link.rate_bps(bw, 1.0), link.rate_bps(bw));
+  EXPECT_EQ(link.transmit_seconds(1e6, bw, 1.0),
+            link.transmit_seconds(1e6, bw));
+  const double expected_half = bw * std::log2(1.0 + 0.5 * link.snr(bw));
+  EXPECT_NEAR(link.rate_bps(bw, 0.5), expected_half, 1e-6 * expected_half);
+  EXPECT_LT(link.rate_bps(bw, 0.25), link.rate_bps(bw, 4.0));
+  // Total outage: zero gain zeroes the rate, and transfers reject it.
+  EXPECT_DOUBLE_EQ(link.rate_bps(bw, 0.0), 0.0);
+  EXPECT_THROW((void)link.transmit_seconds(1e6, bw, 0.0), std::logic_error);
+  EXPECT_THROW((void)link.rate_bps(bw, -0.5), std::invalid_argument);
+}
+
 TEST(ShannonLink, FadedRateAveragesNearDeterministic) {
   const auto config = default_channel();
   const ShannonLink link(config, 20.0, 50.0);

@@ -123,4 +123,93 @@ TEST(Network, ValidationOfArguments) {
                std::invalid_argument);
 }
 
+// relay_seconds guards both of its client indices itself — a bad `to` must
+// throw before any latency is computed, same as every other accessor.
+TEST(Network, RelaySecondsRejectsOutOfRangeClients) {
+  const auto net = make_two_client_network();
+  EXPECT_THROW((void)net.relay_seconds(2, 0, 1e6, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)net.relay_seconds(0, 2, 1e6, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)net.relay_seconds(7, 9, 1e6, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)net.uplink_fade(2), std::invalid_argument);
+  EXPECT_THROW((void)net.downlink_fade(2), std::invalid_argument);
+}
+
+WirelessNetwork make_fading_network() {
+  NetworkConfig config;
+  config.total_bandwidth_hz = 10e6;
+  config.channel.rayleigh_fading = true;
+  std::vector<DeviceProfile> clients(2);
+  clients[0].distance_m = 20.0;
+  clients[1].distance_m = 120.0;
+  return WirelessNetwork(config, std::move(clients));
+}
+
+TEST(Network, FadesDefaultToUnityAndMatchTheStaticChannel) {
+  const auto faded = make_fading_network();
+  const auto static_net = make_two_client_network();
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_DOUBLE_EQ(faded.uplink_fade(c), 1.0);
+    EXPECT_DOUBLE_EQ(faded.downlink_fade(c), 1.0);
+    // fade = 1 is bitwise the unfaded arithmetic (snr·1.0 is exact).
+    EXPECT_EQ(faded.uplink_rate_bps(c, 0.5),
+              static_net.uplink_rate_bps(c, 0.5));
+    EXPECT_EQ(faded.downlink_seconds(c, 1e6, 0.5),
+              static_net.downlink_seconds(c, 1e6, 0.5));
+  }
+}
+
+TEST(Network, RedrawFadesIsANoOpWhenFadingDisabled) {
+  auto net = make_two_client_network();  // rayleigh_fading = false
+  Rng rng(5);
+  net.redraw_fades(rng);
+  EXPECT_DOUBLE_EQ(net.uplink_fade(0), 1.0);
+  EXPECT_DOUBLE_EQ(net.downlink_fade(1), 1.0);
+}
+
+TEST(Network, RedrawFadesIsDeterministicAndClears) {
+  auto a = make_fading_network();
+  auto b = make_fading_network();
+  Rng rng_a(42);
+  Rng rng_b(42);
+  a.redraw_fades(rng_a);
+  b.redraw_fades(rng_b);
+  for (std::size_t c = 0; c < 2; ++c) {
+    // Same seed ⇒ identical draws (fixed per-client order), so faded rates
+    // are bitwise reproducible.
+    EXPECT_EQ(a.uplink_fade(c), b.uplink_fade(c));
+    EXPECT_EQ(a.downlink_fade(c), b.downlink_fade(c));
+    EXPECT_EQ(a.uplink_rate_bps(c, 1.0), b.uplink_rate_bps(c, 1.0));
+    EXPECT_GT(a.uplink_fade(c), 0.0);
+    EXPECT_NE(a.uplink_fade(c), 1.0);
+  }
+  // Distinct draws per client and per direction.
+  EXPECT_NE(a.uplink_fade(0), a.uplink_fade(1));
+  EXPECT_NE(a.uplink_fade(0), a.downlink_fade(0));
+
+  a.clear_fades();
+  EXPECT_DOUBLE_EQ(a.uplink_fade(0), 1.0);
+  EXPECT_EQ(a.uplink_rate_bps(0, 1.0),
+            make_two_client_network().uplink_rate_bps(0, 1.0));
+}
+
+TEST(Network, FadeScalesRatesInTheRightDirection) {
+  auto net = make_fading_network();
+  const double base = net.uplink_rate_bps(0, 1.0);
+  Rng rng(9);
+  net.redraw_fades(rng);
+  const double fade = net.uplink_fade(0);
+  const double faded = net.uplink_rate_bps(0, 1.0);
+  if (fade < 1.0) {
+    EXPECT_LT(faded, base);
+  } else {
+    EXPECT_GT(faded, base);
+  }
+  // Faded transfers stay consistent with the faded rate.
+  const double seconds = net.uplink_seconds(0, 1e6, 1.0);
+  EXPECT_NEAR(seconds, 8.0 * 1e6 / faded, 1e-9 * seconds);
+}
+
 }  // namespace

@@ -233,6 +233,45 @@ TEST(Conv2d, FusedBackwardMatchesUnfusedReluBitwise) {
       prop::bitwise_equal(*fused.gradients()[1], *unfused.gradients()[1]));
 }
 
+// The fused backward folds the dy relu-mask into the per-sample dx pack and
+// the dW/db restage copy (no masked-dy tensor). Bitwise equal to the
+// standalone Relu-derivative sequence across the thread × pack-strategy
+// matrix; prop::bitwise_equal reports mismatches in hexfloat.
+TEST(Conv2d, FusedBackwardSweepAcrossThreadsAndPackStrategies) {
+  Rng rng(27);
+  Conv2d fused(3, 5, 3, 1, 1, rng);
+  Conv2d unfused = fused;  // identical weights
+  Relu relu;
+  const auto x = Tensor::uniform(Shape{4, 3, 6, 6}, rng, -1, 1);
+  Rng grng(28);
+  const auto dy = Tensor::uniform(Shape{4, 5, 6, 6}, grng, -1, 1);
+
+  gsfl::common::set_global_threads(1);
+  unfused.zero_grad();
+  const auto hidden = unfused.forward(x, true);
+  (void)relu.forward(hidden, true);
+  const auto dx_ref = unfused.backward(relu.backward(dy));
+  const auto dw_ref = *unfused.gradients()[0];
+  const auto db_ref = *unfused.gradients()[1];
+
+  prop::for_each_pack_strategy([&](gsfl::tensor::PackStrategy strategy) {
+    prop::for_each_thread_count([&](std::size_t threads) {
+      fused.zero_grad();
+      (void)fused.forward_fused_relu(x, true);
+      const auto dx = fused.backward_fused_relu(dy);
+      ASSERT_TRUE(prop::bitwise_equal(dx, dx_ref))
+          << "dx strategy=" << prop::pack_strategy_name(strategy)
+          << " threads=" << threads;
+      ASSERT_TRUE(prop::bitwise_equal(*fused.gradients()[0], dw_ref))
+          << "dW strategy=" << prop::pack_strategy_name(strategy)
+          << " threads=" << threads;
+      ASSERT_TRUE(prop::bitwise_equal(*fused.gradients()[1], db_ref))
+          << "db strategy=" << prop::pack_strategy_name(strategy)
+          << " threads=" << threads;
+    });
+  });
+}
+
 TEST(Conv2d, FusedReluInputGradientCheck) {
   Rng rng(18);  // seed chosen so every pre-activation clears the kink margin
   Conv2d layer(2, 2, 3, 1, 1, rng);

@@ -178,6 +178,47 @@ TEST(Dense, FusedBackwardMatchesUnfusedReluBitwise) {
       prop::bitwise_equal(*fused.gradients()[1], *unfused.gradients()[1]));
 }
 
+// The fused backward folds the dy relu-mask into the dW/dx panel packing
+// and the db fold (no masked-dy tensor). It must stay bitwise equal to the
+// standalone Relu-derivative sequence across the whole thread × pack
+// strategy matrix — the dx GEMM here k-blocks (out = 300 > KC), so the
+// masked pack is exercised under both the up-front and interleaved
+// schedules. prop::bitwise_equal reports mismatches in hexfloat.
+TEST(Dense, FusedBackwardSweepAcrossThreadsAndPackStrategies) {
+  Rng rng(38);
+  Dense fused(64, 300, rng);
+  Dense unfused = fused;  // identical weights
+  Relu relu;
+  const auto x = Tensor::uniform(Shape{24, 64}, rng, -1, 1);
+  Rng grng(39);
+  const auto dy = Tensor::uniform(Shape{24, 300}, grng, -1, 1);
+
+  gsfl::common::set_global_threads(1);
+  unfused.zero_grad();
+  const auto hidden = unfused.forward(x, true);
+  (void)relu.forward(hidden, true);
+  const auto dx_ref = unfused.backward(relu.backward(dy));
+  const auto dw_ref = *unfused.gradients()[0];
+  const auto db_ref = *unfused.gradients()[1];
+
+  prop::for_each_pack_strategy([&](gsfl::tensor::PackStrategy strategy) {
+    prop::for_each_thread_count([&](std::size_t threads) {
+      fused.zero_grad();
+      (void)fused.forward_fused_relu(x, true);
+      const auto dx = fused.backward_fused_relu(dy);
+      ASSERT_TRUE(prop::bitwise_equal(dx, dx_ref))
+          << "dx strategy=" << prop::pack_strategy_name(strategy)
+          << " threads=" << threads;
+      ASSERT_TRUE(prop::bitwise_equal(*fused.gradients()[0], dw_ref))
+          << "dW strategy=" << prop::pack_strategy_name(strategy)
+          << " threads=" << threads;
+      ASSERT_TRUE(prop::bitwise_equal(*fused.gradients()[1], db_ref))
+          << "db strategy=" << prop::pack_strategy_name(strategy)
+          << " threads=" << threads;
+    });
+  });
+}
+
 TEST(Dense, FusedReluInputGradientCheck) {
   Rng rng(33);
   Dense layer(4, 3, rng);

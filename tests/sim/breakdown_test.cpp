@@ -81,6 +81,48 @@ TEST(CriticalBranch, EmptyRejected) {
   EXPECT_THROW((void)critical_branch({}), std::invalid_argument);
 }
 
+// Equal totals must tie-break deterministically to the *first* branch
+// (strict > comparison): attribution of the round's span cannot depend on
+// branch enumeration order beyond "first wins", or two runs of the same
+// simulation could narrate different critical paths.
+TEST(CriticalBranch, EqualTotalsTieBreakToTheFirstBranch) {
+  LatencyBreakdown radio;
+  radio.uplink = 4.0;
+  radio.downlink = 2.0;
+  LatencyBreakdown compute;
+  compute.client_compute = 6.0;  // same total, different composition
+  ASSERT_DOUBLE_EQ(radio.total(), compute.total());
+
+  const LatencyBreakdown order_a[] = {radio, compute};
+  const auto first = critical_branch(order_a);
+  EXPECT_DOUBLE_EQ(first.uplink, 4.0);
+  EXPECT_DOUBLE_EQ(first.client_compute, 0.0);
+
+  const LatencyBreakdown order_b[] = {compute, radio};
+  const auto second = critical_branch(order_b);
+  EXPECT_DOUBLE_EQ(second.client_compute, 6.0);
+  EXPECT_DOUBLE_EQ(second.uplink, 0.0);
+}
+
+// scaled() multiplies every component by the factor, so scaling by f then
+// 1/f round-trips exactly for power-of-two factors (both multiplies are
+// exact in binary) — the identity the ablation benches rely on when they
+// rescale recorded chains.
+TEST(Breakdown, ScaledRoundTripsExactlyForPowerOfTwoFactors) {
+  const auto original = sample_breakdown();
+  const auto round_trip = original.scaled(4.0).scaled(0.25);
+  EXPECT_DOUBLE_EQ(round_trip.client_compute, original.client_compute);
+  EXPECT_DOUBLE_EQ(round_trip.server_compute, original.server_compute);
+  EXPECT_DOUBLE_EQ(round_trip.uplink, original.uplink);
+  EXPECT_DOUBLE_EQ(round_trip.downlink, original.downlink);
+  EXPECT_DOUBLE_EQ(round_trip.relay, original.relay);
+  EXPECT_DOUBLE_EQ(round_trip.aggregation, original.aggregation);
+  EXPECT_DOUBLE_EQ(round_trip.total(), original.total());
+
+  const auto zero = original.scaled(0.0);
+  EXPECT_DOUBLE_EQ(zero.total(), 0.0);
+}
+
 TEST(CriticalBranch, ParallelInvariant) {
   // The critical branch's total equals span_parallel over branch totals —
   // the identity the GSFL round accounting relies on.

@@ -52,6 +52,30 @@ TEST(Timeline, TotalCostAggregates) {
   EXPECT_DOUBLE_EQ(total.total(), timeline.now_seconds());
 }
 
+// Golden CSV: the exact bytes write_csv emits for a known timeline. All
+// components are dyadic rationals, so the setprecision(10) default format
+// prints them exactly and the golden string is stable across platforms.
+TEST(Timeline, CsvGoldenRow) {
+  Timeline timeline;
+  LatencyBreakdown cost;
+  cost.client_compute = 0.5;
+  cost.server_compute = 0.25;
+  cost.uplink = 1.5;
+  cost.downlink = 2.0;
+  cost.relay = 0.125;
+  cost.aggregation = 4.0;  // total 8.375
+  timeline.append("round 1", cost);
+  timeline.append("round 2", cost.scaled(2.0));
+
+  std::ostringstream out;
+  timeline.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "label,start_s,end_s,total_s,client_compute_s,server_compute_s,"
+            "uplink_s,downlink_s,relay_s,aggregation_s\n"
+            "round 1,0,8.375,8.375,0.5,0.25,1.5,2,0.125,4\n"
+            "round 2,8.375,25.125,16.75,1,0.5,3,4,0.25,8\n");
+}
+
 TEST(Timeline, CsvHasHeaderAndRows) {
   Timeline timeline;
   timeline.append("round 1", cost_of(1.0, 0.5));

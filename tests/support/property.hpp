@@ -20,6 +20,7 @@
 #include "gsfl/common/rng.hpp"
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/nn/layer.hpp"
+#include "gsfl/tensor/gemm.hpp"
 #include "gsfl/tensor/microkernel.hpp"
 #include "gsfl/tensor/tensor.hpp"
 
@@ -134,6 +135,41 @@ void for_each_thread_count(Fn&& fn) {
     fn(threads);
   }
   common::set_global_threads(0);
+}
+
+// ---- pack-strategy axis ----------------------------------------------------
+
+/// B-packing schedules the invariance suites sweep: the production
+/// heuristic, the forced up-front full-panel pack, and the forced
+/// per-k-block interleaved pack. Results must be bitwise identical across
+/// all three (the packed values and the per-element fold are the same under
+/// every schedule).
+inline const std::vector<tensor::PackStrategy>& pack_strategy_matrix() {
+  static const std::vector<tensor::PackStrategy> strategies = {
+      tensor::PackStrategy::kAuto, tensor::PackStrategy::kUpfront,
+      tensor::PackStrategy::kInterleaved};
+  return strategies;
+}
+
+/// Run fn once per pack strategy with the global override set, then restore
+/// the production default. fn receives the strategy.
+template <typename Fn>
+void for_each_pack_strategy(Fn&& fn) {
+  for (const tensor::PackStrategy strategy : pack_strategy_matrix()) {
+    tensor::set_pack_strategy(strategy);
+    fn(strategy);
+  }
+  tensor::set_pack_strategy(tensor::PackStrategy::kAuto);
+}
+
+/// Human-readable strategy name for failure messages.
+inline const char* pack_strategy_name(tensor::PackStrategy strategy) {
+  switch (strategy) {
+    case tensor::PackStrategy::kAuto: return "auto";
+    case tensor::PackStrategy::kUpfront: return "upfront";
+    case tensor::PackStrategy::kInterleaved: return "interleaved";
+  }
+  return "?";
 }
 
 // ---- fused-pair adapter ----------------------------------------------------

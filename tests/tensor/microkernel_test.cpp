@@ -187,6 +187,223 @@ TEST(Microkernel, DeepBetaAccumulationIsBitwiseExact) {
   }
 }
 
+// ---- per-slice packing ------------------------------------------------------
+// pack_b_slice must assemble, slice by slice, exactly the panel pack_b
+// builds in one pass — same floats, same strip order — for every slice
+// length, on both source layouts. That identity is what makes interleaved
+// packing bitwise invisible.
+
+TEST(Microkernel, PackBSliceAssemblesTheFullPanelSliceBySlice) {
+  const std::size_t cols_cases[] = {micro::kNR - 3, micro::kNR + 5,
+                                    (micro::kPackSweepMaxStrips + 2) *
+                                        micro::kNR};
+  const std::size_t k = 2 * micro::kKC + 37;
+  for (const std::size_t cols : cols_cases) {
+    const auto b = prop::random_matrix(k, cols, 900 + cols);
+    std::vector<float> full(micro::packed_b_floats(k, cols));
+    micro::pack_b(b.data(), cols, k, cols, full.data());
+    for (const std::size_t kc : prop::kc_sweep(k)) {
+      std::vector<float> slice(
+          micro::packed_b_slice_floats(std::min(kc, k), cols), -3.0f);
+      for (std::size_t p0 = 0; p0 < k; p0 += kc) {
+        const std::size_t p1 = std::min(p0 + kc, k);
+        const std::size_t len = p1 - p0;
+        micro::pack_b_slice(b.data() + p0 * cols, cols, len, cols,
+                            slice.data());
+        // Strip s of the slice vs rows [p0, p1) of strip s in the panel.
+        for (std::size_t s = 0; s * micro::kNR < cols; ++s) {
+          const float* strip_full =
+              full.data() + s * micro::kNR * k + p0 * micro::kNR;
+          const float* strip_slice = slice.data() + s * micro::kNR * len;
+          ASSERT_TRUE(prop::bitwise_equal(
+              std::span<const float>(strip_slice, len * micro::kNR),
+              std::span<const float>(strip_full, len * micro::kNR)))
+              << "cols=" << cols << " kc=" << kc << " p0=" << p0
+              << " strip=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(Microkernel, PackBTransSliceAssemblesTheFullPanelSliceBySlice) {
+  const std::size_t cols = micro::kNR + 7;
+  const std::size_t k = micro::kKC + 41;
+  const auto b = prop::random_matrix(k, cols, 950);
+  const auto bt = prop::transposed(b, k, cols);  // (cols × k) row-major
+  std::vector<float> full(micro::packed_b_floats(k, cols));
+  micro::pack_b_trans(bt.data(), k, k, cols, full.data());
+  for (const std::size_t kc : prop::kc_sweep(k)) {
+    std::vector<float> slice(
+        micro::packed_b_slice_floats(std::min(kc, k), cols), -3.0f);
+    for (std::size_t p0 = 0; p0 < k; p0 += kc) {
+      const std::size_t p1 = std::min(p0 + kc, k);
+      const std::size_t len = p1 - p0;
+      micro::pack_b_trans_slice(bt.data() + p0, k, len, cols, slice.data());
+      for (std::size_t s = 0; s * micro::kNR < cols; ++s) {
+        const float* strip_full =
+            full.data() + s * micro::kNR * k + p0 * micro::kNR;
+        const float* strip_slice = slice.data() + s * micro::kNR * len;
+        ASSERT_TRUE(prop::bitwise_equal(
+            std::span<const float>(strip_slice, len * micro::kNR),
+            std::span<const float>(strip_full, len * micro::kNR)))
+            << "kc=" << kc << " p0=" << p0 << " strip=" << s;
+      }
+    }
+  }
+}
+
+// Driving macrokernel_block over freshly packed slices must reproduce the
+// naive fold bitwise for every slice length — the interleaved schedule is
+// just a different time to pack the same floats.
+TEST(Microkernel, InterleavedBlockSweepIsBitwiseExact) {
+  const prop::GemmCase cases[] = {
+      {2 * micro::kMR + 1, micro::kKC + 13, micro::kNR + 5},
+      {16, 2048, 128},
+  };
+  for (const auto& [m, k, n] : cases) {
+    const auto a = prop::random_matrix(m, k, 700 + k);
+    const auto b = prop::random_matrix(k, n, 800 + k);
+    const auto reference = prop::naive_gemm(m, k, n, a, b);
+    std::vector<float> pa(micro::packed_a_floats(m, k));
+    micro::pack_a(a.data(), k, m, k, pa.data());
+    for (const std::size_t kc : prop::kc_sweep(k)) {
+      std::vector<float> c(m * n, -5.0f);
+      std::vector<float> pb(
+          micro::packed_b_slice_floats(std::min(kc, k), n));
+      const std::size_t blocks = (k + kc - 1) / kc;
+      for (std::size_t blk = 0; blk < blocks; ++blk) {
+        const std::size_t p0 = blk * kc;
+        const std::size_t p1 = std::min(p0 + kc, k);
+        micro::pack_b_slice(b.data() + p0 * n, n, p1 - p0, n, pb.data());
+        micro::macrokernel_block(m, n, p1 - p0, 1.0f,
+                                 pa.data() + p0 * micro::kMR, k, pb.data(),
+                                 p1 - p0, 0.0f, c.data(), n, blk > 0,
+                                 blk + 1 == blocks, {});
+      }
+      ASSERT_TRUE(prop::bitwise_equal(c, reference))
+          << "m=" << m << " k=" << k << " n=" << n << " kc=" << kc;
+    }
+  }
+}
+
+// gemm_raw must return bitwise-identical C under every pack strategy ×
+// thread count — the pack-strategy axis of the determinism contract.
+// Shapes cover the row split (shallow and k-blocked deep), the column
+// split, and the serial cutoff.
+TEST(Microkernel, PackStrategyIsBitwiseInvariant) {
+  const prop::GemmCase cases[] = {{256, 64, 48},
+                                  {16, 2048, 128},
+                                  {24, 640, 2048},
+                                  {5, 7, 9}};
+  for (const auto& [m, k, n] : cases) {
+    const auto a = prop::random_matrix(m, k, 61);
+    const auto b = prop::random_matrix(k, n, 62);
+    gsfl::common::set_global_threads(1);
+    gsfl::tensor::set_pack_strategy(gsfl::tensor::PackStrategy::kUpfront);
+    std::vector<float> reference(m * n);
+    gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
+                           reference.data());
+    prop::for_each_pack_strategy([&](gsfl::tensor::PackStrategy strategy) {
+      prop::for_each_thread_count([&](std::size_t threads) {
+        std::vector<float> c(m * n);
+        gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), b.data(), 0.0f,
+                               c.data());
+        ASSERT_TRUE(prop::bitwise_equal(c, reference))
+            << "m=" << m << " k=" << k << " n=" << n
+            << " strategy=" << prop::pack_strategy_name(strategy)
+            << " threads=" << threads;
+      });
+    });
+    gsfl::tensor::set_pack_strategy(gsfl::tensor::PackStrategy::kAuto);
+    gsfl::common::set_global_threads(0);
+  }
+}
+
+// ---- masked packs -----------------------------------------------------------
+// The *_mask variants must pack exactly the floats a materialized
+// relu_mask() matrix holds: mask > 0 passes the element, anything else
+// (zero, negative, -0.0f) packs +0.0f.
+
+TEST(Microkernel, MaskedPacksMatchPackingAMaskedMatrix) {
+  const std::size_t rows = 2 * micro::kMR + 3;
+  const std::size_t k = micro::kKC + 29;
+  const auto src = prop::random_matrix(rows, k, 1000);
+  const auto mask = prop::random_matrix(rows, k, 1001);  // ~half negative
+  std::vector<float> masked(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    masked[i] = mask[i] > 0.0f ? src[i] : 0.0f;
+  }
+
+  std::vector<float> expected(micro::packed_a_floats(rows, k));
+  std::vector<float> actual(expected.size());
+  micro::pack_a(masked.data(), k, rows, k, expected.data());
+  micro::pack_a_mask(src.data(), mask.data(), k, rows, k, actual.data());
+  EXPECT_TRUE(prop::bitwise_equal(actual, expected));
+
+  const auto srct = prop::transposed(src, rows, k);
+  const auto maskt = prop::transposed(mask, rows, k);
+  const auto maskedt = prop::transposed(masked, rows, k);
+  micro::pack_a_trans(maskedt.data(), rows, rows, k, expected.data());
+  micro::pack_a_trans_mask(srct.data(), maskt.data(), rows, rows, k,
+                           actual.data());
+  EXPECT_TRUE(prop::bitwise_equal(actual, expected));
+
+  const std::size_t cols = micro::kNR + 11;
+  const auto bsrc = prop::random_matrix(k, cols, 1002);
+  const auto bmask = prop::random_matrix(k, cols, 1003);
+  std::vector<float> bmasked(bsrc.size());
+  for (std::size_t i = 0; i < bsrc.size(); ++i) {
+    bmasked[i] = bmask[i] > 0.0f ? bsrc[i] : 0.0f;
+  }
+  std::vector<float> bexpected(micro::packed_b_floats(k, cols));
+  std::vector<float> bactual(bexpected.size());
+  micro::pack_b(bmasked.data(), cols, k, cols, bexpected.data());
+  micro::pack_b_mask(bsrc.data(), bmask.data(), cols, k, cols,
+                     bactual.data());
+  EXPECT_TRUE(prop::bitwise_equal(bactual, bexpected));
+}
+
+// The masked-A gemm_raw overload vs the unmasked GEMM on a materialized
+// masked operand — bitwise, across pack strategies and thread counts, for
+// both A orientations (the dense backward uses both: dW packs dyᵀ, dx
+// packs dy).
+TEST(Microkernel, MaskedGemmMatchesGemmOnMaskedOperand) {
+  const std::size_t m = 16;
+  const std::size_t k = micro::kKC + 77;
+  const std::size_t n = 2 * micro::kNR + 9;
+  const auto a = prop::random_matrix(m, k, 1100);
+  const auto mask = prop::random_matrix(m, k, 1101);
+  const auto b = prop::random_matrix(k, n, 1102);
+  std::vector<float> masked(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    masked[i] = mask[i] > 0.0f ? a[i] : 0.0f;
+  }
+  gsfl::common::set_global_threads(1);
+  std::vector<float> reference(m * n);
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, masked.data(), b.data(), 0.0f,
+                         reference.data());
+  const auto at = prop::transposed(a, m, k);
+  const auto maskt = prop::transposed(mask, m, k);
+  prop::for_each_pack_strategy([&](gsfl::tensor::PackStrategy strategy) {
+    prop::for_each_thread_count([&](std::size_t threads) {
+      std::vector<float> c(m * n);
+      gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo,
+                             mask.data(), b.data(), Trans::kNo, 0.0f,
+                             c.data(), {});
+      ASSERT_TRUE(prop::bitwise_equal(c, reference))
+          << "no-trans strategy=" << prop::pack_strategy_name(strategy)
+          << " threads=" << threads;
+      gsfl::tensor::gemm_raw(m, k, n, 1.0f, at.data(), Trans::kYes,
+                             maskt.data(), b.data(), Trans::kNo, 0.0f,
+                             c.data(), {});
+      ASSERT_TRUE(prop::bitwise_equal(c, reference))
+          << "trans strategy=" << prop::pack_strategy_name(strategy)
+          << " threads=" << threads;
+    });
+  });
+}
+
 // ---- k-block invariance -----------------------------------------------------
 // The macrokernel must produce bitwise-identical C for *every* k-block
 // length: blocks park raw per-element partials in C and resume them, so the
