@@ -5,7 +5,13 @@
 // thread counts 1, 2, 4, ... up to --max-threads (default: hardware
 // concurrency, at least 8 so the table is comparable across hosts), then
 // cross-checks that the serial and widest runs produced bitwise-identical
-// global models. Emits BENCH_parallel.json for machine consumption.
+// global models. A fourth section rates the pipelined round path on a
+// straggler scenario (one client with far more data than the rest, a
+// dense-heavy model so aggregation is a real fraction of the round):
+// barriered run_round vs submit_round/collect_round, whose eager ordered
+// fold overlaps FedAvg with the straggler's compute. The
+// "sfl_round_straggler pipelined-vs-barriered" row is floor-guarded in CI
+// (bench/bench_floors.json). Emits BENCH_parallel.json.
 //
 //   $ ./bench_parallel_scaling [--max-threads=N] [--reps=R] [--seed=S]
 #include <algorithm>
@@ -13,12 +19,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "gsfl/common/cli.hpp"
 #include "gsfl/common/thread_pool.hpp"
+#include "gsfl/nn/activations.hpp"
 #include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/flatten.hpp"
 #include "gsfl/schemes/splitfed.hpp"
 #include "gsfl/tensor/gemm.hpp"
 
@@ -76,6 +86,67 @@ struct SflWorld {
           config.seed = seed;
           return config;
         }()) {}
+};
+
+// --- straggler scenario for the pipelined round path ------------------------
+
+gsfl::data::Dataset random_dataset(std::size_t samples, Rng& rng) {
+  Tensor images = Tensor::uniform(Shape{samples, 3, 16, 16}, rng, -1, 1);
+  std::vector<std::int32_t> labels(samples);
+  for (auto& l : labels) l = static_cast<std::int32_t>(rng.uniform_index(8));
+  return gsfl::data::Dataset(std::move(images), std::move(labels), 8);
+}
+
+// Dense-heavy split model (~1.9M parameters, cheap per-sample FLOPs):
+// aggregation cost scales with parameters × clients while compute scales
+// with samples, which is exactly the regime where the barriered round pays
+// a visible post-join FedAvg tail.
+gsfl::nn::Sequential straggler_model(Rng& rng) {
+  gsfl::nn::Sequential model;
+  model.emplace<gsfl::nn::Flatten>();
+  model.emplace<gsfl::nn::Dense>(3 * 16 * 16, 1024, rng);
+  model.emplace<gsfl::nn::Relu>();
+  model.emplace<gsfl::nn::Dense>(1024, 1024, rng);
+  model.emplace<gsfl::nn::Relu>();
+  model.emplace<gsfl::nn::Dense>(1024, 8, rng);
+  return model;
+}
+
+struct StragglerWorld {
+  static constexpr std::size_t kClients = 24;
+  gsfl::net::WirelessNetwork network;
+  std::vector<gsfl::data::Dataset> datasets;
+  gsfl::nn::Sequential model;
+
+  explicit StragglerWorld(std::uint64_t seed)
+      : network([] {
+          gsfl::net::NetworkConfig config;
+          std::vector<gsfl::net::DeviceProfile> devices(kClients);
+          for (auto& d : devices) {
+            d.distance_m = 50.0;
+            d.compute_flops = 1e9;
+          }
+          return gsfl::net::WirelessNetwork(config, std::move(devices));
+        }()) {
+    Rng rng(seed);
+    datasets.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      // 23 quick clients (one batch each) and one straggler carrying ~16×
+      // their data — its forward/backward is the span the eager fold hides
+      // the other clients' aggregation under.
+      const std::size_t samples = c + 1 == kClients ? 128 : 8;
+      datasets.push_back(random_dataset(samples, rng));
+    }
+    auto model_rng = rng.fork(1);
+    model = straggler_model(model_rng);
+  }
+
+  [[nodiscard]] std::unique_ptr<gsfl::schemes::SplitFedTrainer> make() const {
+    gsfl::schemes::TrainConfig config;
+    config.batch_size = 8;
+    return std::make_unique<gsfl::schemes::SplitFedTrainer>(
+        network, datasets, model, /*cut_layer=*/2, config);
+  }
 };
 
 }  // namespace
@@ -143,6 +214,63 @@ int main(int argc, char** argv) {
                   seconds, speedup);
       json.add(section.name, threads, seconds, speedup);
     }
+  }
+
+  // --- pipelined rounds on the straggler scenario ---------------------------
+  // Same round, two schedules, at the widest thread count: the barriered
+  // run_round (parallel_map + post-join FedAvg) vs the async-lane pipeline
+  // (submit/collect — finished clients fold while the straggler computes).
+  // Results must be bitwise identical; only the schedule differs.
+  {
+    const std::size_t threads = lane_counts.back();
+    gsfl::common::set_global_threads(threads);
+    const StragglerWorld straggler(seed + 1);
+    {
+      // Warm-up: spins up the async lane's workers and faults in both
+      // paths' scratch before anything is timed.
+      auto trainer = straggler.make();
+      auto ticket = trainer->submit_round();
+      (void)trainer->collect_round(ticket);
+    }
+    double barriered = 1e300;
+    double pipelined = 1e300;
+    gsfl::nn::Sequential barriered_model;
+    gsfl::nn::Sequential pipelined_model;
+    for (std::size_t r = 0; r < reps; ++r) {
+      {
+        auto trainer = straggler.make();
+        const auto start = Clock::now();
+        (void)trainer->run_round();
+        const std::chrono::duration<double> elapsed = Clock::now() - start;
+        barriered = std::min(barriered, elapsed.count());
+        barriered_model = trainer->global_model();
+      }
+      {
+        auto trainer = straggler.make();
+        const auto start = Clock::now();
+        auto ticket = trainer->submit_round();
+        (void)trainer->collect_round(ticket);
+        const std::chrono::duration<double> elapsed = Clock::now() - start;
+        pipelined = std::min(pipelined, elapsed.count());
+        pipelined_model = trainer->global_model();
+      }
+    }
+    const double ratio = barriered / pipelined;
+    std::printf("%-24s %8zu %12.4f %8.2fx\n", "sfl_straggler barriered",
+                threads, barriered, 1.0);
+    std::printf("%-24s %8zu %12.4f %8.2fx\n", "sfl_straggler pipelined",
+                threads, pipelined, ratio);
+    json.add("sfl_round_straggler barriered", threads, barriered, 1.0);
+    json.add("sfl_round_straggler pipelined-vs-barriered", threads,
+             pipelined, ratio);
+
+    const auto sb = barriered_model.state();
+    const auto sp = pipelined_model.state();
+    bool same = sb.size() == sp.size() && !sb.empty();
+    for (std::size_t i = 0; same && i < sb.size(); ++i) same = sb[i] == sp[i];
+    std::printf("determinism: straggler barriered vs pipelined states %s\n",
+                same ? "bitwise identical" : "DIFFER");
+    if (!same) return 1;
   }
   gsfl::common::set_global_threads(0);
 

@@ -1,0 +1,254 @@
+// Deterministic async task-graph lane.
+//
+// AsyncLane runs individually submitted tasks on a small pool of persistent
+// workers, with explicit dependency edges between tasks — the execution
+// substrate for work that *overlaps* instead of fork-joining: pack-ahead
+// GEMM packing (pack k slice b+1 while block b sweeps) and pipelined
+// federated rounds (fold finished replicas while stragglers still compute).
+//
+// Determinism contract (the async mirror of parallel_map's outcome slots):
+//   - Every task gets a fixed id at submission; ids are assigned in
+//     submission order, which is program order — never completion order.
+//   - A task writes only state it owns (its future's value, outcome slots
+//     owned by its index); anything order-sensitive is merged by a
+//     *downstream* task whose dependency edges pin the order, or by
+//     when_all, which collects values in submission order. Which worker
+//     runs a task, and when, is scheduling noise.
+//   - Dependencies only gate *scheduling*. A task body must compute the
+//     same value no matter how late it runs.
+//
+// Help-on-wait: TaskFuture::wait() on a task that is queued but unclaimed
+// executes it inline on the waiting thread. Two consequences: waiting can
+// never deadlock on a saturated lane (the waiter becomes the worker), and
+// submitting from inside a task is always safe.
+//
+// Lifetime: wait every future (or keep the lane alive) before destroying a
+// lane — destruction drains the queue but cannot run tasks whose
+// dependencies never completed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::common {
+
+class AsyncLane;
+
+namespace lane_detail {
+
+/// Type-erased task record shared by the queue, dependency edges, and
+/// futures. Stage transitions: kBlocked (deps pending) → kReady (queued)
+/// → kClaimed (some thread is executing it) → kDone.
+struct TaskCore {
+  enum class Stage { kBlocked, kReady, kClaimed, kDone };
+
+  std::uint64_t id = 0;
+  AsyncLane* lane = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  Stage stage = Stage::kBlocked;
+  std::size_t pending_deps = 0;
+  std::function<void()> run;          ///< moved out at claim time
+  std::exception_ptr dep_error;       ///< first failed dependency's error
+  std::exception_ptr error;           ///< this task's outcome error
+  std::vector<std::function<void(const std::exception_ptr&)>> continuations;
+
+  /// Mark done with `err` (nullptr = success), wake waiters, fire
+  /// continuations (outside the lock).
+  void complete(std::exception_ptr err);
+  /// Register fn to run at completion (immediately if already done).
+  void on_complete(std::function<void(const std::exception_ptr&)> fn);
+  /// Claim and execute if kReady; no-op otherwise (shared by workers and
+  /// helping waiters).
+  static void run_if_ready(const std::shared_ptr<TaskCore>& core);
+  /// Block until done; rethrow the task's error.
+  void wait_done();
+};
+
+template <typename T>
+struct TaskState : TaskCore {
+  std::optional<T> value;
+};
+
+template <>
+struct TaskState<void> : TaskCore {};
+
+}  // namespace lane_detail
+
+/// Type-erased completion handle — a dependency edge. Default-constructed
+/// handles are "no dependency" and are skipped by submit_after.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  [[nodiscard]] bool valid() const { return core_ != nullptr; }
+  /// Submission-order task id (0 for an invalid handle).
+  [[nodiscard]] std::uint64_t id() const { return core_ ? core_->id : 0; }
+
+ private:
+  friend class AsyncLane;
+  template <typename T>
+  friend class TaskFuture;
+  explicit TaskHandle(std::shared_ptr<lane_detail::TaskCore> core)
+      : core_(std::move(core)) {}
+  std::shared_ptr<lane_detail::TaskCore> core_;
+};
+
+/// Typed handle to a submitted task's eventual value.
+template <typename T>
+class TaskFuture {
+ public:
+  TaskFuture() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const { return state_ ? state_->id : 0; }
+  [[nodiscard]] TaskHandle handle() const { return TaskHandle(state_); }
+
+  /// True once the task completed (successfully or with an error).
+  [[nodiscard]] bool ready() const {
+    GSFL_EXPECT(state_ != nullptr);
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->stage == lane_detail::TaskCore::Stage::kDone;
+  }
+
+  /// Block until the task completed; rethrows its exception. If the task is
+  /// queued but unclaimed, the waiting thread executes it inline.
+  std::add_lvalue_reference_t<T> wait() {
+    GSFL_EXPECT(state_ != nullptr);
+    lane_detail::TaskCore::run_if_ready(state_);
+    state_->wait_done();
+    if constexpr (!std::is_void_v<T>) return *state_->value;
+  }
+
+ private:
+  friend class AsyncLane;
+  explicit TaskFuture(std::shared_ptr<lane_detail::TaskState<T>> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<lane_detail::TaskState<T>> state_;
+};
+
+class AsyncLane {
+ public:
+  /// A lane with `workers` persistent worker threads (at least 1).
+  explicit AsyncLane(std::size_t workers);
+  ~AsyncLane();
+
+  AsyncLane(const AsyncLane&) = delete;
+  AsyncLane& operator=(const AsyncLane&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Submit fn() with no dependencies; runs as soon as a worker (or a
+  /// helping waiter) picks it up.
+  template <typename Fn>
+  auto submit(Fn fn) -> TaskFuture<std::invoke_result_t<Fn&>> {
+    return submit_after(std::move(fn), {});
+  }
+
+  /// Submit fn() gated on every valid handle in `deps`: it becomes runnable
+  /// only after all of them completed. If any dependency failed, fn is
+  /// skipped and the task completes with that error.
+  template <typename Fn>
+  auto submit_after(Fn fn, std::span<const TaskHandle> deps)
+      -> TaskFuture<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    auto state = std::make_shared<lane_detail::TaskState<R>>();
+    state->id = next_id();
+    state->lane = this;
+    state->run = [state, fn = std::move(fn)]() mutable {
+      std::exception_ptr err;
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        err = state->dep_error;
+      }
+      if (!err) {
+        try {
+          if constexpr (std::is_void_v<R>) {
+            fn();
+          } else {
+            state->value.emplace(fn());
+          }
+        } catch (...) {
+          err = std::current_exception();
+        }
+      }
+      state->complete(err);
+    };
+    attach(state, deps);
+    return TaskFuture<R>(std::move(state));
+  }
+
+  template <typename Fn>
+  auto submit_after(Fn fn, std::initializer_list<TaskHandle> deps)
+      -> TaskFuture<std::invoke_result_t<Fn&>> {
+    return submit_after(std::move(fn),
+                        std::span<const TaskHandle>(deps.begin(), deps.size()));
+  }
+
+  /// Continuation sugar: run fn(dep's value) after dep completes (fn() for
+  /// a void dependency).
+  template <typename T, typename Fn>
+  auto then(TaskFuture<T> dep, Fn fn) {
+    GSFL_EXPECT(dep.valid());
+    const TaskHandle handle = dep.handle();
+    if constexpr (std::is_void_v<T>) {
+      return submit_after([fn = std::move(fn)]() mutable { return fn(); },
+                          {handle});
+    } else {
+      return submit_after(
+          [dep = std::move(dep), fn = std::move(fn)]() mutable {
+            return fn(*dep.state_->value);
+          },
+          {handle});
+    }
+  }
+
+  /// The ordered merge: wait every future and collect the values in
+  /// submission (index) order, independent of completion order — the async
+  /// mirror of parallel_map's outcome slots. Values are moved out.
+  template <typename T>
+  static std::vector<T> when_all(std::vector<TaskFuture<T>>& futures) {
+    std::vector<T> out;
+    out.reserve(futures.size());
+    for (auto& f : futures) out.push_back(std::move(f.wait()));
+    return out;
+  }
+
+  static void when_all(std::vector<TaskFuture<void>>& futures) {
+    for (auto& f : futures) f.wait();
+  }
+
+ private:
+  friend struct lane_detail::TaskCore;
+
+  void attach(const std::shared_ptr<lane_detail::TaskCore>& core,
+              std::span<const TaskHandle> deps);
+  void enqueue(const std::shared_ptr<lane_detail::TaskCore>& core);
+  std::uint64_t next_id();
+  void worker_main();
+
+  std::size_t workers_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The process-wide lane the library's pipelined paths submit to. Created on
+/// first use with resolve_threads(0) workers — sized like the global pool,
+/// so a pipelined round has one lane worker per hardware lane while the pool
+/// serves the fork-join regions the lane tasks issue.
+[[nodiscard]] AsyncLane& global_lane();
+
+}  // namespace gsfl::common

@@ -80,4 +80,22 @@ void set_global_threads(std::size_t lanes);
 void global_parallel_for(std::size_t grain, std::size_t n,
                          const ThreadPool::RangeFn& fn);
 
+/// RAII: marks the calling thread as inside a parallel region for the
+/// guard's lifetime, so every nested global_parallel_for / parallel_map
+/// runs inline on this thread. Async-lane *compute* tasks (one concurrent
+/// client or group each) open one so scheme-level tasks never re-enter the
+/// pool — the same inlining a pool chunk gets implicitly. Aggregate-stage
+/// tasks deliberately don't, so their entry folds can use the (otherwise
+/// idle) pool while compute occupies the lane.
+class InlineRegionGuard {
+ public:
+  InlineRegionGuard();
+  ~InlineRegionGuard();
+  InlineRegionGuard(const InlineRegionGuard&) = delete;
+  InlineRegionGuard& operator=(const InlineRegionGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 }  // namespace gsfl::common

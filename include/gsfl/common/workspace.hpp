@@ -54,11 +54,13 @@ class Workspace {
   /// (`key`, `parity & 1`) — two independent grow-only buffers per key, both
   /// 64-byte aligned. Interleaved GEMM packing alternates parity per k block
   /// so consecutive packs ping-pong between distinct buffers: the stores of
-  /// block b+1's pack never RFO the lines block b's tail reads still own,
-  /// and the layout leaves the door open for pack-ahead pipelining (pack the
-  /// next slice on the spare buffer while the current one sweeps). Same
-  /// ownership rules as floats(): per-lane, valid until the same thread's
-  /// next slice() call with the same key and parity.
+  /// block b+1's pack never RFO the lines block b's tail reads still own.
+  /// Pack-ahead pipelining builds on the same layout under the caller-owned
+  /// handoff rule: the *sweeping* thread fetches both parities up front,
+  /// hands one to an async-lane pack task (the only writer), and reads it
+  /// only after that task's future resolved. Same validity rule as
+  /// floats(): a pointer lives until the fetching thread's next slice()
+  /// call with the same key and parity.
   [[nodiscard]] static float* slice(std::size_t key, std::size_t size,
                                     std::size_t parity);
 

@@ -97,6 +97,9 @@ class GsflTrainer final : public schemes::Trainer {
 
  protected:
   schemes::RoundResult do_round() override;
+  [[nodiscard]] common::TaskFuture<schemes::RoundResult> do_submit_round(
+      const common::TaskHandle& start,
+      const common::TaskHandle& release) override;
 
  private:
   GsflConfig gsfl_config_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "gsfl/common/rng.hpp"
@@ -32,6 +33,19 @@ class BatchSampler {
   /// Next batch, reshuffling at epoch boundaries.
   [[nodiscard]] Batch next();
 
+  /// The next batch's sample indices — advances the shuffle/cursor stream
+  /// exactly like next(), without gathering the tensors. next() is
+  /// next_indices() + dataset().gather(), so interleaving the two forms
+  /// draws one identical stream.
+  [[nodiscard]] std::vector<std::size_t> next_indices();
+
+  /// Pre-draw one epoch of index batches: batches_per_epoch() consecutive
+  /// next_indices() calls. This is the pipelined rounds' RNG pre-draw — the
+  /// coordinator drains the stream for a round *at submission*, in round
+  /// order, so in-flight rounds never touch the sampler concurrently; the
+  /// compute task gathers and trains from the plan.
+  [[nodiscard]] std::vector<std::vector<std::size_t>> plan_epoch();
+
   /// All batches of one fresh epoch, in order.
   [[nodiscard]] std::vector<Batch> epoch();
 
@@ -43,6 +57,10 @@ class BatchSampler {
 
  private:
   void reshuffle();
+  /// Advance the stream by one batch; the returned view into order_ is
+  /// valid until the next advance (next() gathers from it zero-copy,
+  /// next_indices() copies it out for the pre-draw path).
+  [[nodiscard]] std::span<const std::size_t> advance();
 
   const Dataset* dataset_;  ///< non-owning; caller keeps the dataset alive
   std::size_t batch_size_;

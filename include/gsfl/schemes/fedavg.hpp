@@ -26,6 +26,9 @@ class FedAvgTrainer final : public Trainer {
 
  protected:
   RoundResult do_round() override;
+  [[nodiscard]] common::TaskFuture<RoundResult> do_submit_round(
+      const common::TaskHandle& start,
+      const common::TaskHandle& release) override;
 
  private:
   nn::Sequential global_;

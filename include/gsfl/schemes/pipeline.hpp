@@ -1,0 +1,136 @@
+// Pipelined round execution: the submit/aggregate stage split on the async
+// lane.
+//
+// A barriered round is parallel_map(compute) → join → aggregate. The
+// pipelined round wires the same work as a task graph instead:
+//
+//   start ──► compute(0) ─┬─► fold(0) ─► fold(2) ─► … ─► publish ─► result
+//       ├──► compute(1) ─┤   (ascending over contributing indices,
+//       ├──► compute(2) ─┘    each gated on its compute + the previous fold)
+//       └──► …                publish additionally waits every compute and
+//                             the optional `release` gate
+//
+// so aggregation of finished replicas overlaps the stragglers' forward /
+// backward instead of idling behind a barrier, and — because `start` is the
+// previous round's publish — a driver can keep several rounds' graphs in
+// flight (the next round's compute fires the instant the model lands).
+//
+// Determinism: compute(i) writes only outcome slot i; folds run in ascending
+// index order enforced by dependency edges (never completion order); publish
+// walks the slots in index order. Together with OrderedStateFold reusing
+// fedavg's exact per-replica arithmetic, a pipelined round is bitwise
+// identical to its barriered form for any thread count, lane width, or
+// pipeline depth — machine-checked by tests/schemes/pipeline_test.cpp over
+// the property harness's thread × depth matrix.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gsfl/common/async_lane.hpp"
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/nn/sequential.hpp"
+#include "gsfl/schemes/trainer.hpp"
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::schemes {
+
+/// Incremental FedAvg: the eager counterpart of fedavg_states. Weights for
+/// *all* contributing replicas are fixed at construction (normalized once,
+/// with fedavg_states' formula); replicas are then folded one at a time in
+/// ascending order as they finish. Every step runs through
+/// tensor::weighted_accumulate — the same routine fedavg_states' fold uses —
+/// so take() is bitwise identical to fedavg_states over the full list.
+class OrderedStateFold {
+ public:
+  explicit OrderedStateFold(const std::vector<double>& weights) {
+    GSFL_EXPECT(!weights.empty());
+    double sum = 0.0;
+    for (const double w : weights) {
+      GSFL_EXPECT_MSG(w >= 0.0, "aggregation weights must be non-negative");
+      sum += w;
+    }
+    GSFL_EXPECT_MSG(sum > 0.0, "aggregation weights sum to zero");
+    normalized_.reserve(weights.size());
+    for (const double w : weights) normalized_.push_back(w / sum);
+  }
+
+  /// Fold the next replica (callers must fold in ascending replica order —
+  /// the pipeline's fold chain enforces this with dependency edges).
+  void fold(const nn::StateDict& state) {
+    GSFL_EXPECT_MSG(next_ < normalized_.size(),
+                    "more folds than declared weights");
+    if (next_ == 0) {
+      acc_.reserve(state.size());
+      for (const auto& t : state) acc_.emplace_back(t.shape());  // zeros
+    }
+    GSFL_EXPECT_MSG(state.size() == acc_.size(),
+                    "state dicts disagree on entry count");
+    for (std::size_t e = 0; e < state.size(); ++e) {
+      tensor::weighted_accumulate(acc_[e], state[e], normalized_[next_]);
+    }
+    ++next_;
+  }
+
+  /// The folded average; valid once every declared replica was folded.
+  [[nodiscard]] nn::StateDict take() {
+    GSFL_EXPECT_MSG(next_ == normalized_.size(),
+                    "take() before every replica folded");
+    return std::move(acc_);
+  }
+
+ private:
+  std::vector<double> normalized_;
+  std::size_t next_ = 0;
+  nn::StateDict acc_;
+};
+
+/// Wire one round's submit/aggregate stages onto `lane` and return the
+/// publish task's future.
+///
+///   - compute(i) runs for every i in [0, n), gated on `start`, inside an
+///     InlineRegionGuard (one concurrent client/group per task, nested
+///     library parallelism inlined — exactly a parallel_map chunk's view);
+///     its return value lands in outcome slot i.
+///   - fold(i, outcome_i) runs for each i with contributes[i] != 0, in
+///     ascending i order, as soon as slot i and all earlier contributors
+///     folded — the eager aggregation. Folds do *not* take the guard, so
+///     their entry loops may use the pool the computes vacated.
+///   - publish(outcomes) runs once after every compute, the last fold, and
+///     the optional `release` handle (a reader of the previous model that
+///     must finish before this round overwrites it); its return value is
+///     the round's result.
+template <typename Outcome, typename Compute, typename Fold, typename Publish>
+[[nodiscard]] common::TaskFuture<RoundResult> submit_round_graph(
+    common::AsyncLane& lane, std::size_t n, std::vector<char> contributes,
+    const common::TaskHandle& start, const common::TaskHandle& release,
+    Compute compute, Fold fold, Publish publish) {
+  GSFL_EXPECT(contributes.size() == n);
+  auto slots = std::make_shared<std::vector<Outcome>>(n);
+  std::vector<common::TaskHandle> publish_deps;
+  publish_deps.reserve(n + 2);
+  common::TaskHandle prev_fold;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto computed = lane.submit_after(
+        [slots, compute, i] {
+          common::InlineRegionGuard guard;
+          (*slots)[i] = compute(i);
+        },
+        {start});
+    if (contributes[i] != 0) {
+      auto folded = lane.submit_after(
+          [slots, fold, i] { fold(i, (*slots)[i]); },
+          {computed.handle(), prev_fold});
+      prev_fold = folded.handle();
+    }
+    publish_deps.push_back(computed.handle());
+  }
+  publish_deps.push_back(prev_fold);
+  publish_deps.push_back(release);
+  return lane.submit_after(
+      [slots, publish]() -> RoundResult { return publish(*slots); },
+      std::span<const common::TaskHandle>(publish_deps));
+}
+
+}  // namespace gsfl::schemes

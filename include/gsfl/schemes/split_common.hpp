@@ -11,6 +11,8 @@
 
 #include <functional>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "gsfl/data/sampler.hpp"
 #include "gsfl/net/network.hpp"
@@ -36,6 +38,18 @@ struct SplitEpochResult {
 [[nodiscard]] SplitEpochResult run_split_epoch(
     nn::SplitModel& model, nn::Optimizer* client_optimizer,
     nn::Optimizer& server_optimizer, data::BatchSampler& sampler,
+    const net::WirelessNetwork& network, std::size_t client_id,
+    double bandwidth_share);
+
+/// Plan-driven variant for the pipelined rounds: the batch indices were
+/// pre-drawn on the coordinator (BatchSampler::plan_epoch) and the compute
+/// task gathers each batch from `dataset` as it trains. Bitwise identical
+/// to run_split_epoch over a sampler whose next() calls would return the
+/// same index batches — both drive the one shared epoch loop.
+[[nodiscard]] SplitEpochResult run_split_epoch_planned(
+    nn::SplitModel& model, nn::Optimizer* client_optimizer,
+    nn::Optimizer& server_optimizer, const data::Dataset& dataset,
+    std::span<const std::vector<std::size_t>> plan,
     const net::WirelessNetwork& network, std::size_t client_id,
     double bandwidth_share);
 

@@ -29,6 +29,9 @@ class SplitFedTrainer final : public Trainer {
 
  protected:
   RoundResult do_round() override;
+  [[nodiscard]] common::TaskFuture<RoundResult> do_submit_round(
+      const common::TaskHandle& start,
+      const common::TaskHandle& release) override;
 
  private:
   std::size_t cut_layer_;

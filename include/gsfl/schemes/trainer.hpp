@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "gsfl/common/async_lane.hpp"
 #include "gsfl/common/rng.hpp"
 #include "gsfl/data/dataset.hpp"
 #include "gsfl/metrics/recorder.hpp"
@@ -43,6 +44,14 @@ struct RoundResult {
   sim::LatencyBreakdown latency;    ///< simulated cost of the round
 };
 
+/// A round in flight on the async lane (see Trainer::submit_round). The
+/// `done` future resolves — to the same RoundResult the barriered loop
+/// would produce — once the round is fully computed, aggregated, and
+/// published into the trainer's global model.
+struct RoundTicket {
+  common::TaskFuture<RoundResult> done;
+};
+
 class Trainer {
  public:
   Trainer(std::string name, const net::WirelessNetwork& network,
@@ -64,8 +73,36 @@ class Trainer {
   /// Completed global rounds.
   [[nodiscard]] std::size_t rounds_completed() const { return rounds_; }
 
-  /// Execute the next global round.
+  /// Execute the next global round (barriered: returns when the round is
+  /// fully aggregated). Must not be mixed with rounds still in flight from
+  /// submit_round.
   RoundResult run_round();
+
+  /// Pipelined rounds API (see docs/parallelism.md): enqueue the next
+  /// round's submit/aggregate stages on the global async lane and return
+  /// immediately. All of the round's RNG — failure draws, batch index
+  /// plans — is drawn *here*, on the calling thread, in round order, which
+  /// is what lets several rounds be in flight at once without any task ever
+  /// touching a sampler concurrently. The round's compute is gated on the
+  /// previous submitted round's publish, so results are bitwise identical
+  /// to calling run_round in a loop for any thread count or depth.
+  ///
+  /// `model_release`: optional handle to a task still *reading* the current
+  /// global model (e.g. an overlapped evaluation); this round's publish
+  /// stage will not overwrite the model before it completes.
+  ///
+  /// The trainer must stay alive, and every ticket must be collected,
+  /// before it is destroyed or run_round is called again.
+  [[nodiscard]] RoundTicket submit_round(
+      const common::TaskHandle& model_release = {});
+
+  /// Block until `ticket`'s round published; returns its result (rethrows
+  /// the first error any of its stages raised). Tickets must be collected
+  /// in submission order.
+  RoundResult collect_round(RoundTicket& ticket);
+
+  /// Rounds submitted but not yet collected.
+  [[nodiscard]] std::size_t rounds_in_flight() const { return in_flight_; }
 
   /// Snapshot of the current global model (for evaluation).
   [[nodiscard]] virtual nn::Sequential global_model() const = 0;
@@ -73,6 +110,15 @@ class Trainer {
  protected:
   /// Scheme-specific round body.
   virtual RoundResult do_round() = 0;
+
+  /// Scheme-specific pipelined round graph: submit this round's stages,
+  /// gating compute on `start` (the previous round's publish; invalid for
+  /// the first round) and the publish stage additionally on `release`.
+  /// The default wraps do_round() in a single aggregate-stage task — every
+  /// scheme pipelines correctly, schemes with a real submit/aggregate
+  /// decomposition (SFL, FL, GSFL) override for intra-round overlap.
+  [[nodiscard]] virtual common::TaskFuture<RoundResult> do_submit_round(
+      const common::TaskHandle& start, const common::TaskHandle& release);
 
   /// The canonical per-client sampling stream: every scheme that touches
   /// client c's data in round-robin fashion uses this stream, which is what
@@ -97,6 +143,8 @@ class Trainer {
 
  private:
   std::size_t rounds_ = 0;
+  std::size_t in_flight_ = 0;         ///< submitted, not yet collected
+  common::TaskHandle last_publish_;   ///< gate for the next submission
 };
 
 /// Options for the round-loop driver.
@@ -107,6 +155,12 @@ struct ExperimentOptions {
   std::optional<double> stop_at_accuracy;    ///< early stop once reached
   std::optional<double> stop_after_seconds;  ///< simulated-time budget
   bool verbose = false;                  ///< per-eval stdout progress line
+  /// Rounds kept in flight on the async lane. 1 (default) is the barriered
+  /// loop. ≥ 2 pipelines: round r's evaluation and aggregation tail overlap
+  /// round r+1's client compute; records and final model are bitwise
+  /// identical to depth 1. Early stopping is inherently a per-round barrier,
+  /// so when either stop option is set the driver runs at depth 1.
+  std::size_t pipeline_depth = 1;
 };
 
 /// Run `trainer` for up to `options.rounds` rounds, evaluating on `test_set`,
@@ -114,5 +168,11 @@ struct ExperimentOptions {
 [[nodiscard]] metrics::RunRecorder run_experiment(
     Trainer& trainer, const data::Dataset& test_set,
     const ExperimentOptions& options);
+
+/// Drive `rounds` rounds with up to `depth` rounds in flight (depth 1 ⇒ a
+/// plain run_round loop) and return every round's result, in order. The
+/// test harness's pipeline-depth axis drives this.
+[[nodiscard]] std::vector<RoundResult> run_rounds_pipelined(
+    Trainer& trainer, std::size_t rounds, std::size_t depth);
 
 }  // namespace gsfl::schemes

@@ -31,11 +31,19 @@ enum class Trans { kNo, kYes };
 /// - kInterleaved: always pack per slice, even when row tasks then each
 ///   pack their own copy — the test matrix uses this to drive the
 ///   interleaved path under every thread count.
+/// - kPackAhead: interleaved, but slice b+1 is packed on the async lane
+///   (common::global_lane) *while* block b sweeps, ping-ponging the two
+///   halves of the double-buffered slice arena. Packing is a pure read of B
+///   into a buffer the sweep only consumes after the pack's future resolves,
+///   so which thread packs is scheduling noise. When every lane worker is
+///   busy (the saturated per-client hot path) the sweep's wait executes the
+///   pack inline — help-on-wait — and the schedule degenerates to plain
+///   interleaving.
 ///
 /// The packed values are identical under every strategy, and the per-element
 /// fold is the same block sequence, so results are bitwise invariant in the
 /// strategy (machine-checked by the property harness's pack-strategy axis).
-enum class PackStrategy { kAuto, kUpfront, kInterleaved };
+enum class PackStrategy { kAuto, kUpfront, kInterleaved, kPackAhead };
 
 /// Process-wide pack-strategy override (tests and benches; thread-safe).
 void set_pack_strategy(PackStrategy strategy);

@@ -111,4 +111,11 @@ class Tensor {
 [[nodiscard]] Tensor weighted_sum(std::span<const Tensor* const> tensors,
                                   std::span<const double> weights);
 
+/// One replica step of weighted_sum's ascending fold: acc += w · src,
+/// elementwise. Exported (and shared by weighted_sum itself) so incremental
+/// aggregation — the pipelined rounds' eager fold, which consumes replicas
+/// one at a time as they finish — runs the exact same machine arithmetic as
+/// the all-at-once fold and stays bitwise identical to it.
+void weighted_accumulate(Tensor& acc, const Tensor& src, double weight);
+
 }  // namespace gsfl::tensor

@@ -1,0 +1,172 @@
+#include "gsfl/common/async_lane.hpp"
+
+#include <deque>
+#include <thread>
+
+#include "gsfl/common/thread_pool.hpp"
+
+namespace gsfl::common {
+
+namespace lane_detail {
+
+void TaskCore::complete(std::exception_ptr err) {
+  std::vector<std::function<void(const std::exception_ptr&)>> fire;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    stage = Stage::kDone;
+    error = err;
+    fire = std::move(continuations);
+    continuations.clear();
+  }
+  cv.notify_all();
+  // Continuations run outside the lock: they typically decrement a
+  // dependent task's counter and enqueue it, which takes other locks.
+  for (auto& fn : fire) fn(err);
+}
+
+void TaskCore::on_complete(std::function<void(const std::exception_ptr&)> fn) {
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (stage != Stage::kDone) {
+      continuations.push_back(std::move(fn));
+      return;
+    }
+    err = error;
+  }
+  fn(err);
+}
+
+void TaskCore::run_if_ready(const std::shared_ptr<TaskCore>& core) {
+  std::function<void()> local;
+  {
+    std::lock_guard<std::mutex> lock(core->mutex);
+    if (core->stage != Stage::kReady) return;
+    core->stage = Stage::kClaimed;
+    // Moving the closure out breaks the state→run→state ownership cycle
+    // and lets it destroy cleanly after execution.
+    local = std::move(core->run);
+    core->run = nullptr;
+  }
+  local();
+}
+
+void TaskCore::wait_done() {
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return stage == Stage::kDone; });
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace lane_detail
+
+struct AsyncLane::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<lane_detail::TaskCore>> queue;
+  std::uint64_t next_id = 1;
+  bool stop = false;
+  std::vector<std::thread> threads;
+};
+
+AsyncLane::AsyncLane(std::size_t workers)
+    : workers_(std::max<std::size_t>(workers, 1)),
+      impl_(std::make_unique<Impl>()) {
+  impl_->threads.reserve(workers_);
+  try {
+    for (std::size_t i = 0; i < workers_; ++i) {
+      impl_->threads.emplace_back([this] { worker_main(); });
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(impl_->mutex);
+      impl_->stop = true;
+    }
+    impl_->cv.notify_all();
+    for (auto& t : impl_->threads) t.join();
+    throw;
+  }
+}
+
+AsyncLane::~AsyncLane() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  // Workers drain the queue before exiting; tasks still blocked on
+  // never-completing dependencies are the caller's bug (see header).
+  for (auto& t : impl_->threads) t.join();
+}
+
+std::uint64_t AsyncLane::next_id() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->next_id++;
+}
+
+void AsyncLane::attach(const std::shared_ptr<lane_detail::TaskCore>& core,
+                       std::span<const TaskHandle> deps) {
+  std::size_t real = 0;
+  for (const auto& dep : deps) real += dep.valid() ? 1 : 0;
+  if (real == 0) {
+    {
+      std::lock_guard<std::mutex> lock(core->mutex);
+      core->stage = lane_detail::TaskCore::Stage::kReady;
+    }
+    enqueue(core);
+    return;
+  }
+  core->pending_deps = real;
+  for (const auto& dep : deps) {
+    if (!dep.valid()) continue;
+    dep.core_->on_complete([core](const std::exception_ptr& err) {
+      bool ready = false;
+      {
+        std::lock_guard<std::mutex> lock(core->mutex);
+        if (err && !core->dep_error) core->dep_error = err;
+        ready = --core->pending_deps == 0;
+        if (ready) core->stage = lane_detail::TaskCore::Stage::kReady;
+      }
+      if (ready) core->lane->enqueue(core);
+    });
+  }
+}
+
+void AsyncLane::enqueue(const std::shared_ptr<lane_detail::TaskCore>& core) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(core);
+  }
+  impl_->cv.notify_one();
+}
+
+void AsyncLane::worker_main() {
+  for (;;) {
+    std::shared_ptr<lane_detail::TaskCore> core;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->cv.wait(lock,
+                     [&] { return impl_->stop || !impl_->queue.empty(); });
+      if (impl_->queue.empty()) return;  // stop && drained
+      core = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+    lane_detail::TaskCore::run_if_ready(core);
+  }
+}
+
+namespace {
+
+std::mutex g_lane_mutex;
+std::unique_ptr<AsyncLane> g_lane;  // NOLINT: intentional process singleton
+
+}  // namespace
+
+AsyncLane& global_lane() {
+  std::lock_guard<std::mutex> lock(g_lane_mutex);
+  if (!g_lane) g_lane = std::make_unique<AsyncLane>(resolve_threads(0));
+  return *g_lane;
+}
+
+}  // namespace gsfl::common

@@ -90,6 +90,12 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::in_parallel_region() { return tl_in_parallel; }
 
+InlineRegionGuard::InlineRegionGuard() : previous_(tl_in_parallel) {
+  tl_in_parallel = true;
+}
+
+InlineRegionGuard::~InlineRegionGuard() { tl_in_parallel = previous_; }
+
 void ThreadPool::run_chunks(Job& job) {
   const bool was_in_parallel = tl_in_parallel;
   tl_in_parallel = true;

@@ -1,12 +1,27 @@
 #include "gsfl/core/gsfl.hpp"
 
+#include <optional>
+
 #include "gsfl/common/parallel_map.hpp"
 #include "gsfl/schemes/aggregate.hpp"
+#include "gsfl/schemes/pipeline.hpp"
 #include "gsfl/schemes/split_common.hpp"
 
 namespace gsfl::core {
 
 namespace {
+
+// One group's round contribution; slot g of both the barriered parallel_map
+// and the pipelined round graph.
+struct GroupOutcome {
+  sim::LatencyBreakdown chain;
+  bool trained = false;
+  nn::StateDict client_state;
+  nn::StateDict server_state;
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  std::size_t samples = 0;
+};
 
 GroupAssignment build_groups(const GsflConfig& config,
                              const std::vector<data::Dataset>& client_data) {
@@ -101,15 +116,6 @@ schemes::RoundResult GsflTrainer::do_round() {
   // optimizers, and its members' samplers (groups partition the clients, so
   // samplers never cross indices). The returned slots are folded in group
   // order below, keeping the round bitwise identical for any lane count.
-  struct GroupOutcome {
-    sim::LatencyBreakdown chain;
-    bool trained = false;
-    nn::StateDict client_state;
-    nn::StateDict server_state;
-    double loss_sum = 0.0;
-    std::size_t batches = 0;
-    std::size_t samples = 0;
-  };
   auto outcomes = common::parallel_map(groups_.size(), [&](std::size_t g) {
     GroupOutcome out;
     const auto& members = groups_[g];
@@ -197,6 +203,144 @@ schemes::RoundResult GsflTrainer::do_round() {
     rebalance_shares();
   }
   return result;
+}
+
+common::TaskFuture<schemes::RoundResult> GsflTrainer::do_submit_round(
+    const common::TaskHandle& start, const common::TaskHandle& release) {
+  const std::size_t m = groups_.size();
+  const double client_model_bytes =
+      static_cast<double>(global_client_.state_bytes());
+
+  // Submit stage (this thread, round order): the round's entire RNG — the
+  // failure draws and every available member's batch plan — is drained
+  // here, exactly as the barriered round would consume it, so in-flight
+  // rounds never touch failure_rng_ or a sampler concurrently. Group
+  // weights (= the round's trained sample counts) follow from the plans, so
+  // the eager fold can normalize before any group finishes computing.
+  struct Prep {
+    std::vector<std::vector<std::size_t>> available;  ///< per group
+    std::vector<std::vector<std::vector<std::size_t>>> plans;  ///< per client
+    std::optional<schemes::OrderedStateFold> client_fold;
+    std::optional<schemes::OrderedStateFold> server_fold;
+  };
+  auto prep = std::make_shared<Prep>();
+  prep->plans.resize(client_data_.size());
+
+  last_round_failures_.clear();
+  std::vector<bool> failed(client_data_.size(), false);
+  if (gsfl_config_.client_failure_rate > 0.0) {
+    for (std::size_t c = 0; c < client_data_.size(); ++c) {
+      if (failure_rng_.bernoulli(gsfl_config_.client_failure_rate)) {
+        failed[c] = true;
+        last_round_failures_.push_back(c);
+      }
+    }
+  }
+
+  std::vector<char> contributes(m, 0);
+  std::vector<double> weights;  // one entry per *trained* group, in order
+  prep->available.resize(m);
+  for (std::size_t g = 0; g < m; ++g) {
+    for (const std::size_t c : groups_[g]) {
+      if (!failed[c]) prep->available[g].push_back(c);
+    }
+    if (prep->available[g].empty()) continue;
+    contributes[g] = 1;
+    double samples = 0.0;
+    for (const std::size_t c : prep->available[g]) {
+      prep->plans[c] = samplers_[c].plan_epoch();
+      for (const auto& batch : prep->plans[c]) {
+        samples += static_cast<double>(batch.size());
+      }
+    }
+    weights.push_back(samples);
+  }
+  if (!weights.empty()) {
+    prep->client_fold.emplace(weights);
+    prep->server_fold.emplace(weights);
+  }
+
+  // Compute stage: one task per group, identical arithmetic to do_round's
+  // parallel_map body with the plan-driven epoch.
+  auto compute = [this, prep,
+                  client_model_bytes](std::size_t g) -> GroupOutcome {
+    GroupOutcome out;
+    const double share = group_shares_[g];
+    sim::LatencyBreakdown& chain = out.chain;
+    const auto& available = prep->available[g];
+    if (available.empty()) return out;
+
+    nn::SplitModel replica(global_client_, global_server_);
+    auto client_opt = schemes::attach_optimizer(
+        replica.client(), [this] { return make_optimizer(); });
+    auto server_opt = schemes::attach_optimizer(
+        replica.server(), [this] { return make_optimizer(); });
+    chain.downlink += network().downlink_seconds(
+        available.front(), client_model_bytes, share);
+
+    for (std::size_t j = 0; j < available.size(); ++j) {
+      const std::size_t c = available[j];
+      if (j > 0) {
+        chain.relay += network().relay_seconds(available[j - 1], c,
+                                               client_model_bytes, share);
+      }
+      const auto epoch = schemes::run_split_epoch_planned(
+          replica, client_opt.get(), *server_opt, client_dataset(c),
+          prep->plans[c], network(), c, share);
+      chain += epoch.latency;
+      out.loss_sum += epoch.loss_sum;
+      out.batches += epoch.batches;
+      out.samples += epoch.samples;
+    }
+
+    chain.uplink += network().uplink_seconds(available.back(),
+                                             client_model_bytes, share);
+    out.trained = true;
+    out.client_state = replica.client().state();
+    out.server_state = replica.server().state();
+    return out;
+  };
+
+  // Aggregate stage: trained groups fold eagerly in group order while
+  // stragglers still compute; publish reproduces the barriered merge tail.
+  auto fold = [prep](std::size_t, GroupOutcome& out) {
+    prep->client_fold->fold(out.client_state);
+    prep->server_fold->fold(out.server_state);
+  };
+  auto publish = [this,
+                  prep](std::vector<GroupOutcome>& outcomes) -> schemes::RoundResult {
+    schemes::RoundResult result;
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    std::size_t trained_groups = 0;
+    last_group_chains_.assign(groups_.size(), {});
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      GroupOutcome& out = outcomes[g];
+      last_group_chains_[g] = out.chain;
+      loss_sum += out.loss_sum;
+      batches += out.batches;
+      if (out.trained) ++trained_groups;
+    }
+    result.latency = sim::critical_branch(last_group_chains_);
+    if (trained_groups > 0) {
+      global_client_.load_state(prep->client_fold->take());
+      global_server_.load_state(prep->server_fold->take());
+      result.latency.aggregation += network().server_compute_seconds(
+          schemes::aggregation_flops(global_client_.parameter_count() +
+                                         global_server_.parameter_count(),
+                                     trained_groups));
+    }
+    result.train_loss =
+        batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    if (gsfl_config_.bandwidth == BandwidthPolicy::kAdaptive) {
+      rebalance_shares();
+    }
+    return result;
+  };
+
+  return schemes::submit_round_graph<GroupOutcome>(
+      common::global_lane(), m, std::move(contributes), start, release,
+      std::move(compute), std::move(fold), std::move(publish));
 }
 
 void GsflTrainer::rebalance_shares() {

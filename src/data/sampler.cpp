@@ -27,7 +27,7 @@ std::size_t BatchSampler::batches_per_epoch() const {
                     : (n + batch_size_ - 1) / batch_size_;
 }
 
-Batch BatchSampler::next() {
+std::span<const std::size_t> BatchSampler::advance() {
   const std::size_t n = dataset_->size();
   if (cursor_ >= n) reshuffle();
 
@@ -39,7 +39,24 @@ Batch BatchSampler::next() {
   }
   const std::span<const std::size_t> indices(order_.data() + cursor_, take);
   cursor_ += take;
-  auto [images, labels] = dataset_->gather(indices);
+  return indices;
+}
+
+std::vector<std::size_t> BatchSampler::next_indices() {
+  const auto indices = advance();
+  return {indices.begin(), indices.end()};
+}
+
+std::vector<std::vector<std::size_t>> BatchSampler::plan_epoch() {
+  const std::size_t count = batches_per_epoch();
+  std::vector<std::vector<std::size_t>> plan;
+  plan.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) plan.push_back(next_indices());
+  return plan;
+}
+
+Batch BatchSampler::next() {
+  auto [images, labels] = dataset_->gather(advance());
   return Batch{std::move(images), std::move(labels)};
 }
 

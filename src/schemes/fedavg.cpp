@@ -3,8 +3,40 @@
 #include "gsfl/common/parallel_map.hpp"
 #include "gsfl/nn/loss.hpp"
 #include "gsfl/schemes/aggregate.hpp"
+#include "gsfl/schemes/pipeline.hpp"
 
 namespace gsfl::schemes {
+
+namespace {
+
+// One client's round contribution; slot c of both the barriered
+// parallel_map and the pipelined round graph.
+struct FlClientOutcome {
+  sim::LatencyBreakdown chain;
+  nn::StateDict state;
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+};
+
+// The local-training pass both round forms share: one batch's forward /
+// backward / step plus its latency and loss accounting.
+void fl_train_batch(nn::Sequential& local, nn::Optimizer& optimizer,
+                    const data::Batch& batch,
+                    const net::WirelessNetwork& network, std::size_t c,
+                    FlClientOutcome& out) {
+  const auto cost = local.flops(batch.images.shape());
+  local.zero_grad();
+  const auto logits = local.forward(batch.images, /*train=*/true);
+  const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
+  (void)local.backward(loss.grad_logits);
+  optimizer.step();
+  out.chain.client_compute += network.client_compute_seconds(
+      c, static_cast<double>(cost.forward + cost.backward));
+  out.loss_sum += loss.loss;
+  ++out.batches;
+}
+
+}  // namespace
 
 FedAvgTrainer::FedAvgTrainer(const net::WirelessNetwork& network,
                              std::vector<data::Dataset> client_data,
@@ -27,12 +59,7 @@ RoundResult FedAvgTrainer::do_round() {
   // too. Each index owns its model copy, optimizer, and sampler, and the
   // merges below walk the returned slots in client-index order — the
   // determinism contract parallel_map encodes.
-  struct ClientOutcome {
-    sim::LatencyBreakdown chain;
-    nn::StateDict state;
-    double loss_sum = 0.0;
-    std::size_t batches = 0;
-  };
+  using ClientOutcome = FlClientOutcome;
   auto outcomes = common::parallel_map(num_clients(), [&](std::size_t c) {
     ClientOutcome out;
     // Global model download (all clients concurrently).
@@ -47,16 +74,7 @@ RoundResult FedAvgTrainer::do_round() {
       const std::size_t num_batches = samplers_[c].batches_per_epoch();
       for (std::size_t b = 0; b < num_batches; ++b) {
         const auto batch = samplers_[c].next();
-        const auto cost = local.flops(batch.images.shape());
-        local.zero_grad();
-        const auto logits = local.forward(batch.images, /*train=*/true);
-        const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
-        (void)local.backward(loss.grad_logits);
-        optimizer->step();
-        out.chain.client_compute += network().client_compute_seconds(
-            c, static_cast<double>(cost.forward + cost.backward));
-        out.loss_sum += loss.loss;
-        ++out.batches;
+        fl_train_batch(local, *optimizer, batch, network(), c, out);
       }
     }
 
@@ -96,6 +114,83 @@ RoundResult FedAvgTrainer::do_round() {
 
   result.train_loss = loss_sum / static_cast<double>(loss_batches);
   return result;
+}
+
+common::TaskFuture<RoundResult> FedAvgTrainer::do_submit_round(
+    const common::TaskHandle& start, const common::TaskHandle& release) {
+  const std::size_t n = num_clients();
+  const double model_bytes = static_cast<double>(global_.state_bytes());
+  const double share = 1.0 / static_cast<double>(n);
+
+  // Submit stage: pre-draw local_epochs epochs of batch indices per client
+  // (the round's only RNG) and fix the sample-count weights.
+  struct Prep {
+    explicit Prep(const std::vector<double>& weights) : fold(weights) {}
+    /// plans[c][e] is client c's epoch-e batch plan.
+    std::vector<std::vector<std::vector<std::vector<std::size_t>>>> plans;
+    OrderedStateFold fold;
+  };
+  std::vector<double> weights;
+  weights.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    weights.push_back(static_cast<double>(client_dataset(c).size()));
+  }
+  auto prep = std::make_shared<Prep>(weights);
+  prep->plans.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    prep->plans[c].reserve(config().local_epochs);
+    for (std::size_t e = 0; e < config().local_epochs; ++e) {
+      prep->plans[c].push_back(samplers_[c].plan_epoch());
+    }
+  }
+
+  auto compute = [this, prep, model_bytes,
+                  share](std::size_t c) -> FlClientOutcome {
+    FlClientOutcome out;
+    out.chain.downlink += network().downlink_seconds(c, model_bytes, share);
+
+    nn::Sequential local = global_;
+    auto optimizer = make_optimizer();
+    optimizer->attach(local.parameters(), local.gradients());
+
+    for (const auto& epoch : prep->plans[c]) {
+      for (const auto& indices : epoch) {
+        auto [images, labels] = client_dataset(c).gather(indices);
+        const data::Batch batch{std::move(images), std::move(labels)};
+        fl_train_batch(local, *optimizer, batch, network(), c, out);
+      }
+    }
+
+    out.chain.uplink += network().uplink_seconds(c, model_bytes, share);
+    out.state = local.state();
+    return out;
+  };
+
+  auto fold = [prep](std::size_t, FlClientOutcome& out) {
+    prep->fold.fold(out.state);
+  };
+  auto publish =
+      [this, prep](std::vector<FlClientOutcome>& outcomes) -> RoundResult {
+    RoundResult result;
+    double loss_sum = 0.0;
+    std::size_t loss_batches = 0;
+    sim::LatencyBreakdown slowest;
+    for (auto& out : outcomes) {
+      loss_sum += out.loss_sum;
+      loss_batches += out.batches;
+      if (out.chain.total() > slowest.total()) slowest = out.chain;
+    }
+    result.latency = slowest;
+    global_.load_state(prep->fold.take());
+    result.latency.aggregation += network().server_compute_seconds(
+        aggregation_flops(global_.parameter_count(), num_clients()));
+    result.train_loss = loss_sum / static_cast<double>(loss_batches);
+    return result;
+  };
+
+  return submit_round_graph<FlClientOutcome>(
+      common::global_lane(), n, std::vector<char>(n, 1), start, release,
+      std::move(compute), std::move(fold), std::move(publish));
 }
 
 }  // namespace gsfl::schemes

@@ -14,18 +14,24 @@ std::unique_ptr<nn::Optimizer> attach_optimizer(
   return optimizer;
 }
 
-SplitEpochResult run_split_epoch(nn::SplitModel& model,
-                                 nn::Optimizer* client_optimizer,
-                                 nn::Optimizer& server_optimizer,
-                                 data::BatchSampler& sampler,
-                                 const net::WirelessNetwork& network,
-                                 std::size_t client_id,
-                                 double bandwidth_share) {
+namespace {
+
+// The one split epoch loop both entry points drive: `next_batch(b)` yields
+// batch b. Keeping a single body is what makes the sampler-driven and
+// plan-driven forms bitwise identical.
+template <typename NextBatch>
+SplitEpochResult split_epoch_loop(nn::SplitModel& model,
+                                  nn::Optimizer* client_optimizer,
+                                  nn::Optimizer& server_optimizer,
+                                  std::size_t num_batches,
+                                  const NextBatch& next_batch,
+                                  const net::WirelessNetwork& network,
+                                  std::size_t client_id,
+                                  double bandwidth_share) {
   SplitEpochResult result;
-  const std::size_t num_batches = sampler.batches_per_epoch();
 
   for (std::size_t b = 0; b < num_batches; ++b) {
-    const auto batch = sampler.next();
+    const auto batch = next_batch(b);
     const auto batch_shape = batch.images.shape();
     const auto client_cost = model.client_flops(batch_shape);
     const auto server_cost = model.server_flops(batch_shape);
@@ -69,6 +75,36 @@ SplitEpochResult run_split_epoch(nn::SplitModel& model,
     ++result.batches;
   }
   return result;
+}
+
+}  // namespace
+
+SplitEpochResult run_split_epoch(nn::SplitModel& model,
+                                 nn::Optimizer* client_optimizer,
+                                 nn::Optimizer& server_optimizer,
+                                 data::BatchSampler& sampler,
+                                 const net::WirelessNetwork& network,
+                                 std::size_t client_id,
+                                 double bandwidth_share) {
+  return split_epoch_loop(
+      model, client_optimizer, server_optimizer, sampler.batches_per_epoch(),
+      [&](std::size_t) { return sampler.next(); }, network, client_id,
+      bandwidth_share);
+}
+
+SplitEpochResult run_split_epoch_planned(
+    nn::SplitModel& model, nn::Optimizer* client_optimizer,
+    nn::Optimizer& server_optimizer, const data::Dataset& dataset,
+    std::span<const std::vector<std::size_t>> plan,
+    const net::WirelessNetwork& network, std::size_t client_id,
+    double bandwidth_share) {
+  return split_epoch_loop(
+      model, client_optimizer, server_optimizer, plan.size(),
+      [&](std::size_t b) {
+        auto [images, labels] = dataset.gather(plan[b]);
+        return data::Batch{std::move(images), std::move(labels)};
+      },
+      network, client_id, bandwidth_share);
 }
 
 }  // namespace gsfl::schemes

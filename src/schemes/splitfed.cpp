@@ -2,9 +2,24 @@
 
 #include "gsfl/common/parallel_map.hpp"
 #include "gsfl/schemes/aggregate.hpp"
+#include "gsfl/schemes/pipeline.hpp"
 #include "gsfl/schemes/split_common.hpp"
 
 namespace gsfl::schemes {
+
+namespace {
+
+// One client's round contribution; slot c of both the barriered
+// parallel_map and the pipelined round graph.
+struct SflClientOutcome {
+  sim::LatencyBreakdown chain;
+  nn::StateDict client_state;
+  nn::StateDict server_state;
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+};
+
+}  // namespace
 
 SplitFedTrainer::SplitFedTrainer(const net::WirelessNetwork& network,
                                  std::vector<data::Dataset> client_data,
@@ -44,13 +59,7 @@ RoundResult SplitFedTrainer::do_round() {
   // independent (replica, optimizer, sampler) bundle per client. The merges
   // below consume the returned slots in client order, keeping the round
   // bitwise identical for any lane count.
-  struct ClientOutcome {
-    sim::LatencyBreakdown chain;
-    nn::StateDict client_state;
-    nn::StateDict server_state;
-    double loss_sum = 0.0;
-    std::size_t batches = 0;
-  };
+  using ClientOutcome = SflClientOutcome;
   auto outcomes = common::parallel_map(num_clients(), [&](std::size_t c) {
     ClientOutcome out;
     // Client-side model download (all clients concurrently).
@@ -109,6 +118,99 @@ RoundResult SplitFedTrainer::do_round() {
 
   result.train_loss = loss_sum / static_cast<double>(batches);
   return result;
+}
+
+common::TaskFuture<RoundResult> SplitFedTrainer::do_submit_round(
+    const common::TaskHandle& start, const common::TaskHandle& release) {
+  const std::size_t n = num_clients();
+  const double client_model_bytes =
+      static_cast<double>(global_client_.state_bytes());
+  const double share = 1.0 / static_cast<double>(n);
+
+  // Submit stage (this thread, round order): pre-draw every client's batch
+  // plan — the only RNG the round consumes — and fix the aggregation
+  // weights, which depend only on dataset sizes. With the streams drained
+  // here, several rounds can be in flight without a task ever touching a
+  // sampler.
+  struct Prep {
+    explicit Prep(const std::vector<double>& weights)
+        : client_fold(weights), server_fold(weights) {}
+    std::vector<std::vector<std::vector<std::size_t>>> plans;
+    OrderedStateFold client_fold;
+    OrderedStateFold server_fold;
+  };
+  std::vector<double> weights;
+  weights.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    weights.push_back(static_cast<double>(client_dataset(c).size()));
+  }
+  auto prep = std::make_shared<Prep>(weights);
+  prep->plans.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    prep->plans.push_back(samplers_[c].plan_epoch());
+  }
+
+  // Compute stage: identical arithmetic to do_round's parallel_map body,
+  // batches gathered from the pre-drawn plan.
+  auto compute = [this, prep, client_model_bytes,
+                  share](std::size_t c) -> SflClientOutcome {
+    SflClientOutcome out;
+    out.chain.downlink +=
+        network().downlink_seconds(c, client_model_bytes, share);
+
+    nn::SplitModel replica(global_client_, global_server_);
+    auto client_opt = attach_optimizer(replica.client(),
+                                       [this] { return make_optimizer(); });
+    auto server_opt = attach_optimizer(replica.server(),
+                                       [this] { return make_optimizer(); });
+
+    const auto epoch = run_split_epoch_planned(
+        replica, client_opt.get(), *server_opt, client_dataset(c),
+        prep->plans[c], network(), c, share);
+    out.chain += epoch.latency;
+    out.loss_sum = epoch.loss_sum;
+    out.batches = epoch.batches;
+
+    out.chain.uplink +=
+        network().uplink_seconds(c, client_model_bytes, share);
+    out.client_state = replica.client().state();
+    out.server_state = replica.server().state();
+    return out;
+  };
+
+  // Aggregate stage, eagerly: client c's states fold the moment c and all
+  // earlier clients finished — overlapping FedAvg with the stragglers'
+  // forward/backward — and publish does the cheap in-order merges plus the
+  // model swap.
+  auto fold = [prep](std::size_t, SflClientOutcome& out) {
+    prep->client_fold.fold(out.client_state);
+    prep->server_fold.fold(out.server_state);
+  };
+  auto publish =
+      [this, prep](std::vector<SflClientOutcome>& outcomes) -> RoundResult {
+    RoundResult result;
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    sim::LatencyBreakdown slowest;
+    for (auto& out : outcomes) {
+      loss_sum += out.loss_sum;
+      batches += out.batches;
+      if (out.chain.total() > slowest.total()) slowest = out.chain;
+    }
+    result.latency = slowest;
+    global_client_.load_state(prep->client_fold.take());
+    global_server_.load_state(prep->server_fold.take());
+    result.latency.aggregation += network().server_compute_seconds(
+        aggregation_flops(global_client_.parameter_count() +
+                              global_server_.parameter_count(),
+                          num_clients()));
+    result.train_loss = loss_sum / static_cast<double>(batches);
+    return result;
+  };
+
+  return submit_round_graph<SflClientOutcome>(
+      common::global_lane(), n, std::vector<char>(n, 1), start, release,
+      std::move(compute), std::move(fold), std::move(publish));
 }
 
 }  // namespace gsfl::schemes

@@ -1,7 +1,10 @@
 #include "gsfl/schemes/trainer.hpp"
 
+#include <algorithm>
+#include <deque>
 #include <iostream>
 
+#include "gsfl/common/async_lane.hpp"
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/metrics/evaluate.hpp"
 #include "gsfl/nn/optimizer.hpp"
@@ -31,10 +34,53 @@ const data::Dataset& Trainer::client_dataset(std::size_t c) const {
 }
 
 RoundResult Trainer::run_round() {
+  GSFL_EXPECT_MSG(in_flight_ == 0,
+                  "run_round while submitted rounds are in flight — collect "
+                  "every ticket first");
   if (config_.threads > 0) common::set_global_threads(config_.threads);
   RoundResult result = do_round();
   ++rounds_;
   return result;
+}
+
+RoundTicket Trainer::submit_round(const common::TaskHandle& model_release) {
+  // Resizing the pool while an in-flight round's aggregate stage may be on
+  // it would pull the workers out from under a running parallel_for, so the
+  // thread preference only applies between pipeline flushes (it is constant
+  // across rounds anyway).
+  if (config_.threads > 0 && in_flight_ == 0) {
+    common::set_global_threads(config_.threads);
+  }
+  RoundTicket ticket{do_submit_round(last_publish_, model_release)};
+  last_publish_ = ticket.done.handle();
+  ++in_flight_;
+  return ticket;
+}
+
+RoundResult Trainer::collect_round(RoundTicket& ticket) {
+  GSFL_EXPECT_MSG(in_flight_ > 0, "collect_round without a submitted round");
+  --in_flight_;  // even if the round errored: the stages have all resolved
+  try {
+    RoundResult result = ticket.done.wait();
+    ++rounds_;
+    return result;
+  } catch (...) {
+    // A failed publish poisons every round gated on it (dependents inherit
+    // the error without running). Once the window is drained, clear the
+    // gate so the next submission starts fresh from the last successfully
+    // published model instead of rethrowing the old error forever.
+    if (in_flight_ == 0) last_publish_ = {};
+    throw;
+  }
+}
+
+common::TaskFuture<RoundResult> Trainer::do_submit_round(
+    const common::TaskHandle& start, const common::TaskHandle& release) {
+  // Fallback for schemes without a submit/aggregate decomposition: the
+  // whole barriered round runs as one aggregate-stage task. No intra-round
+  // overlap, but the pipelined API (and its gating) behaves uniformly.
+  return common::global_lane().submit_after([this] { return do_round(); },
+                                            {start, release});
 }
 
 std::unique_ptr<nn::Optimizer> Trainer::make_optimizer() const {
@@ -52,11 +98,116 @@ std::size_t Trainer::total_samples() const {
   return n;
 }
 
+namespace {
+
+// The one record/print step both experiment drivers share, so their output
+// cannot diverge (pipeline_test pins record-for-record equality).
+void record_round(metrics::RunRecorder& recorder, const Trainer& trainer,
+                  std::size_t round, double sim_seconds,
+                  const RoundResult& result, const metrics::EvalResult& eval,
+                  bool verbose) {
+  recorder.record(metrics::RoundRecord{
+      .round = round,
+      .sim_seconds = sim_seconds,
+      .train_loss = result.train_loss,
+      .eval_accuracy = eval.accuracy,
+  });
+  if (verbose) {
+    std::cout << trainer.name() << " round " << round << ": acc "
+              << eval.accuracy * 100.0 << "% loss " << result.train_loss
+              << " t " << sim_seconds << "s\n";
+  }
+}
+
+// Pipelined driver body: up to `depth` rounds in flight; round r's
+// evaluation runs as a lane task that overlaps round r+1's client compute
+// (the next publish is gated on it via submit_round's model_release, so the
+// evaluation always reads round r's model). Records are identical to the
+// barriered loop: collection, recording, and printing all happen in round
+// order on this thread.
+metrics::RunRecorder run_experiment_pipelined(
+    Trainer& trainer, const data::Dataset& test_set,
+    const ExperimentOptions& options, std::size_t depth) {
+  metrics::RunRecorder recorder(trainer.name());
+  double sim_seconds = 0.0;
+
+  struct InFlight {
+    std::size_t round = 0;
+    RoundTicket ticket;
+    std::optional<common::TaskFuture<metrics::EvalResult>> eval;
+  };
+  std::deque<InFlight> window;
+
+  const auto drain_front = [&] {
+    InFlight flight = std::move(window.front());
+    window.pop_front();
+    const RoundResult result = trainer.collect_round(flight.ticket);
+    sim_seconds += result.latency.total();
+    if (!flight.eval) return;
+    const metrics::EvalResult eval = flight.eval->wait();
+    record_round(recorder, trainer, flight.round, sim_seconds, result, eval,
+                 options.verbose);
+  };
+
+  try {
+    common::TaskHandle model_release;  // last scheduled evaluation
+    for (std::size_t round = 1; round <= options.rounds; ++round) {
+      InFlight flight;
+      flight.round = round;
+      flight.ticket = trainer.submit_round(model_release);
+      model_release = {};
+      if (round % options.eval_every == 0 || round == options.rounds) {
+        flight.eval = common::global_lane().submit_after(
+            [&trainer, &test_set, batch = options.eval_batch_size] {
+              auto model = trainer.global_model();
+              return metrics::evaluate(model, test_set, batch);
+            },
+            {flight.ticket.done.handle()});
+        model_release = flight.eval->handle();
+      }
+      window.push_back(std::move(flight));
+      if (window.size() >= depth) drain_front();
+    }
+    while (!window.empty()) drain_front();
+  } catch (...) {
+    // A failed round must not abandon in-flight work: lane tasks reference
+    // this trainer and test_set, and uncollected tickets would wedge the
+    // trainer past our unwind. Drain everything, then surface the error.
+    while (!window.empty()) {
+      try {
+        (void)trainer.collect_round(window.front().ticket);
+      } catch (...) {  // the original error is the one to report
+      }
+      if (window.front().eval) {
+        try {
+          (void)window.front().eval->wait();
+        } catch (...) {
+        }
+      }
+      window.pop_front();
+    }
+    throw;
+  }
+  return recorder;
+}
+
+}  // namespace
+
 metrics::RunRecorder run_experiment(Trainer& trainer,
                                     const data::Dataset& test_set,
                                     const ExperimentOptions& options) {
   GSFL_EXPECT(options.rounds >= 1);
   GSFL_EXPECT(options.eval_every >= 1);
+
+  // Early stopping decides whether round r+1 runs from round r's
+  // evaluation — an inherent barrier — so the pipelined driver only takes
+  // over when no stop option asks for that decision.
+  if (options.pipeline_depth > 1 && !options.stop_at_accuracy &&
+      !options.stop_after_seconds) {
+    return run_experiment_pipelined(trainer, test_set, options,
+                                    options.pipeline_depth);
+  }
+
   metrics::RunRecorder recorder(trainer.name());
   double sim_seconds = 0.0;
 
@@ -70,17 +221,8 @@ metrics::RunRecorder run_experiment(Trainer& trainer,
     auto model = trainer.global_model();
     const auto eval =
         metrics::evaluate(model, test_set, options.eval_batch_size);
-    recorder.record(metrics::RoundRecord{
-        .round = round,
-        .sim_seconds = sim_seconds,
-        .train_loss = result.train_loss,
-        .eval_accuracy = eval.accuracy,
-    });
-    if (options.verbose) {
-      std::cout << trainer.name() << " round " << round << ": acc "
-                << eval.accuracy * 100.0 << "% loss " << result.train_loss
-                << " t " << sim_seconds << "s\n";
-    }
+    record_round(recorder, trainer, round, sim_seconds, result, eval,
+                 options.verbose);
     if (options.stop_at_accuracy && eval.accuracy >= *options.stop_at_accuracy) {
       break;
     }
@@ -89,6 +231,47 @@ metrics::RunRecorder run_experiment(Trainer& trainer,
     }
   }
   return recorder;
+}
+
+std::vector<RoundResult> run_rounds_pipelined(Trainer& trainer,
+                                              std::size_t rounds,
+                                              std::size_t depth) {
+  depth = std::max<std::size_t>(depth, 1);
+  std::vector<RoundResult> results;
+  results.reserve(rounds);
+  if (depth == 1) {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      results.push_back(trainer.run_round());
+    }
+    return results;
+  }
+  std::deque<RoundTicket> window;
+  try {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      window.push_back(trainer.submit_round());
+      if (window.size() >= depth) {
+        results.push_back(trainer.collect_round(window.front()));
+        window.pop_front();
+      }
+    }
+    while (!window.empty()) {
+      results.push_back(trainer.collect_round(window.front()));
+      window.pop_front();
+    }
+  } catch (...) {
+    // Drain the remaining in-flight rounds before unwinding: their lane
+    // tasks reference this trainer, and abandoned tickets would leave it
+    // wedged (rounds_in_flight never returns to zero).
+    while (!window.empty()) {
+      try {
+        (void)trainer.collect_round(window.front());
+      } catch (...) {  // the first error is the one to report
+      }
+      window.pop_front();
+    }
+    throw;
+  }
+  return results;
 }
 
 }  // namespace gsfl::schemes

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "gsfl/common/async_lane.hpp"
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/common/workspace.hpp"
 #include "gsfl/tensor/microkernel.hpp"
@@ -91,6 +92,69 @@ void interleaved_sweep(std::size_t rows, std::size_t cols, std::size_t k,
   }
 }
 
+// interleaved_sweep with the pack moved one block ahead onto the async
+// lane: while block b sweeps on this thread, a lane worker packs slice b+1
+// into the *other* parity of the slice arena. Both parity buffers are
+// fetched up front by this (the sweeping) thread and handed to the pack
+// tasks — the caller-owned handoff of the Workspace rules: the lane worker
+// writes a buffer it was given, and this thread reads it only after the
+// pack future resolves. Packing is a pure read of B, so the packed bytes —
+// and therefore the fold — are bitwise identical to the interleaved
+// schedule no matter which thread packs.
+void pack_ahead_sweep(std::size_t rows, std::size_t cols, std::size_t k,
+                      float alpha, const float* pa, const float* b,
+                      Trans trans_b, std::size_t n, std::size_t c0,
+                      float beta, float* c, std::size_t ldc,
+                      const micro::Epilogue& ep) {
+  const std::size_t kc_len = beta != 0.0f ? k : micro::kKC;
+  const std::size_t blocks = (k + kc_len - 1) / kc_len;
+  if (blocks == 1) {
+    interleaved_sweep(rows, cols, k, alpha, pa, b, trans_b, n, c0, beta, c,
+                      ldc, ep);
+    return;
+  }
+  const std::size_t slice_floats =
+      micro::packed_b_slice_floats(std::min(kc_len, k), cols);
+  float* const pb[2] = {
+      common::Workspace::slice(common::Workspace::kGemmPackSlice,
+                               slice_floats, 0),
+      common::Workspace::slice(common::Workspace::kGemmPackSlice,
+                               slice_floats, 1)};
+  const auto pack_block = [&](std::size_t blk) {
+    const std::size_t p0 = blk * kc_len;
+    const std::size_t p1 = std::min(p0 + kc_len, k);
+    pack_b_slice_panel(b, trans_b, k, n, p0, p1, c0, c0 + cols, pb[blk & 1]);
+  };
+  pack_block(0);
+  common::TaskFuture<void> pending;
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    if (blk > 0) pending.wait();  // slice blk packed (maybe ahead, maybe now)
+    if (blk + 1 < blocks) {
+      pending = common::global_lane().submit(
+          [&pack_block, next = blk + 1] { pack_block(next); });
+    }
+    const std::size_t p0 = blk * kc_len;
+    const std::size_t p1 = std::min(p0 + kc_len, k);
+    micro::macrokernel_block(rows, cols, p1 - p0, alpha,
+                             pa + p0 * micro::kMR, k, pb[blk & 1], p1 - p0,
+                             beta, c, ldc, blk > 0, blk + 1 == blocks, ep);
+  }
+}
+
+// Dispatch between the two per-slice schedules.
+void sliced_sweep(PackStrategy strategy, std::size_t rows, std::size_t cols,
+                  std::size_t k, float alpha, const float* pa, const float* b,
+                  Trans trans_b, std::size_t n, std::size_t c0, float beta,
+                  float* c, std::size_t ldc, const micro::Epilogue& ep) {
+  if (strategy == PackStrategy::kPackAhead) {
+    pack_ahead_sweep(rows, cols, k, alpha, pa, b, trans_b, n, c0, beta, c,
+                     ldc, ep);
+  } else {
+    interleaved_sweep(rows, cols, k, alpha, pa, b, trans_b, n, c0, beta, c,
+                      ldc, ep);
+  }
+}
+
 }  // namespace
 
 void set_pack_strategy(PackStrategy strategy) {
@@ -169,6 +233,7 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
   if (serial || !by_columns) {
     const bool interleave =
         strategy == PackStrategy::kInterleaved ||
+        strategy == PackStrategy::kPackAhead ||
         (strategy == PackStrategy::kAuto && multi_block && row_single_task);
     float* pb = nullptr;
     if (!interleave) {
@@ -191,8 +256,8 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
         // Each task packs its own B slices (one task in the kAuto hot path;
         // forced kInterleaved accepts the per-task repack to exercise the
         // schedule under every split).
-        interleaved_sweep(r1 - r0, n, k, alpha, pa, b, trans_b, n, 0, beta,
-                          c + r0 * n, n, ep);
+        sliced_sweep(strategy, r1 - r0, n, k, alpha, pa, b, trans_b, n, 0,
+                     beta, c + r0 * n, n, ep);
       } else {
         micro::macrokernel(r1 - r0, n, k, alpha, pa, pb, beta, c + r0 * n,
                            n, ep);
@@ -211,6 +276,7 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
   // spreads the dominant O(k·n) packing pass across the lanes.
   const bool interleave_cols =
       strategy == PackStrategy::kInterleaved ||
+      strategy == PackStrategy::kPackAhead ||
       (strategy == PackStrategy::kAuto && multi_block);
   float* pa = common::Workspace::floats(common::Workspace::kGemmPackA,
                                         micro::packed_a_floats(m, k));
@@ -220,8 +286,8 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
     micro::Epilogue ep = epilogue;
     if (ep.bias != nullptr && !ep.per_row) ep.bias += c0;
     if (interleave_cols) {
-      interleaved_sweep(m, c1 - c0, k, alpha, pa, b, trans_b, n, c0, beta,
-                        c + c0, n, ep);
+      sliced_sweep(strategy, m, c1 - c0, k, alpha, pa, b, trans_b, n, c0,
+                   beta, c + c0, n, ep);
       return;
     }
     float* pb = common::Workspace::floats(

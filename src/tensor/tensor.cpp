@@ -195,20 +195,27 @@ Tensor scale(const Tensor& a, float factor) {
   return out;
 }
 
+void weighted_accumulate(Tensor& acc, const Tensor& src, double weight) {
+  GSFL_EXPECT_MSG(src.shape() == acc.shape(),
+                  "weighted_accumulate requires identical shapes");
+  auto acc_data = acc.data();
+  const auto w = static_cast<float>(weight);
+  const auto src_data = src.data();
+  for (std::size_t i = 0; i < acc_data.size(); ++i) {
+    acc_data[i] += w * src_data[i];
+  }
+}
+
 Tensor weighted_sum(std::span<const Tensor* const> tensors,
                     std::span<const double> weights) {
   GSFL_EXPECT(!tensors.empty());
   GSFL_EXPECT(tensors.size() == weights.size());
+  // Each replica's step runs through the one exported accumulate routine,
+  // so the incremental (eager, pipelined) fold and this all-at-once fold
+  // execute identical code — bitwise-equal results by construction.
   Tensor out(tensors.front()->shape());
-  auto out_data = out.data();
   for (std::size_t t = 0; t < tensors.size(); ++t) {
-    GSFL_EXPECT_MSG(tensors[t]->shape() == out.shape(),
-                    "weighted_sum requires identical shapes");
-    const auto w = static_cast<float>(weights[t]);
-    const auto src = tensors[t]->data();
-    for (std::size_t i = 0; i < out_data.size(); ++i) {
-      out_data[i] += w * src[i];
-    }
+    weighted_accumulate(out, *tensors[t], weights[t]);
   }
   return out;
 }

@@ -1,0 +1,211 @@
+// AsyncLane: the futures-based task-graph layer. The properties under test
+// are the ones the pipelined paths lean on — submission-order ids, the
+// when_all ordered merge, dependency gating, error propagation through
+// graphs, and help-on-wait (a waiter executes an unclaimed ready task
+// inline, so waiting on a saturated lane cannot deadlock).
+#include "gsfl/common/async_lane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "gsfl/common/thread_pool.hpp"
+
+namespace {
+
+using gsfl::common::AsyncLane;
+using gsfl::common::TaskFuture;
+using gsfl::common::TaskHandle;
+
+TEST(AsyncLane, SubmitRunsAndReturnsValue) {
+  AsyncLane lane(2);
+  auto f = lane.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.wait(), 42);
+  EXPECT_TRUE(f.ready());
+}
+
+TEST(AsyncLane, VoidTasksComplete) {
+  AsyncLane lane(1);
+  std::atomic<int> hits{0};
+  auto f = lane.submit([&] { ++hits; });
+  f.wait();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(AsyncLane, IdsFollowSubmissionOrder) {
+  AsyncLane lane(2);
+  auto a = lane.submit([] { return 1; });
+  auto b = lane.submit([] { return 2; });
+  auto c = lane.submit([] { return 3; });
+  EXPECT_LT(a.id(), b.id());
+  EXPECT_LT(b.id(), c.id());
+  a.wait();
+  b.wait();
+  c.wait();
+}
+
+TEST(AsyncLane, WhenAllCollectsInSubmissionOrder) {
+  AsyncLane lane(4);
+  // Later submissions finish first (earlier ones sleep longer); the merge
+  // must still be slot-ordered, not completion-ordered.
+  std::vector<TaskFuture<std::size_t>> futures;
+  for (std::size_t i = 0; i < 8; ++i) {
+    futures.push_back(lane.submit([i] {
+      std::this_thread::sleep_for(std::chrono::microseconds((8 - i) * 100));
+      return i;
+    }));
+  }
+  const auto values = AsyncLane::when_all(futures);
+  ASSERT_EQ(values.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST(AsyncLane, ThenChainsThroughValue) {
+  AsyncLane lane(2);
+  auto a = lane.submit([] { return 10; });
+  auto b = lane.then(a, [](int& v) { return v * 2; });
+  EXPECT_EQ(b.wait(), 20);
+}
+
+TEST(AsyncLane, SubmitAfterWaitsEveryDependency) {
+  AsyncLane lane(4);
+  std::atomic<int> done{0};
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto a = lane.submit([&] { gate.wait(); ++done; });
+  auto b = lane.submit([&] { gate.wait(); ++done; });
+  auto c = lane.submit_after([&] { return done.load(); },
+                             {a.handle(), b.handle()});
+  EXPECT_FALSE(c.ready());
+  release.set_value();
+  // Both dependencies must have completed before c ran.
+  EXPECT_EQ(c.wait(), 2);
+}
+
+TEST(AsyncLane, DependencyOnCompletedTaskFiresImmediately) {
+  AsyncLane lane(1);
+  auto a = lane.submit([] { return 5; });
+  a.wait();
+  auto b = lane.submit_after([] { return 7; }, {a.handle()});
+  EXPECT_EQ(b.wait(), 7);
+}
+
+TEST(AsyncLane, InvalidHandlesAreSkippedAsDependencies) {
+  AsyncLane lane(1);
+  const TaskHandle none;
+  EXPECT_FALSE(none.valid());
+  auto f = lane.submit_after([] { return 3; }, {none, TaskHandle{}});
+  EXPECT_EQ(f.wait(), 3);
+}
+
+TEST(AsyncLane, ErrorsRethrowAtWait) {
+  AsyncLane lane(2);
+  auto f = lane.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.wait(), std::runtime_error);
+  // The lane survives a failed task.
+  auto g = lane.submit([] { return 1; });
+  EXPECT_EQ(g.wait(), 1);
+}
+
+TEST(AsyncLane, ErrorsPropagateThroughDependencyChains) {
+  AsyncLane lane(2);
+  auto a = lane.submit([]() -> int { throw std::runtime_error("root"); });
+  std::atomic<bool> ran{false};
+  auto b = lane.submit_after(
+      [&] {
+        ran = true;
+        return 1;
+      },
+      {a.handle()});
+  auto c = lane.submit_after([&] { return 2; }, {b.handle()});
+  EXPECT_THROW(c.wait(), std::runtime_error);
+  // The dependent bodies were skipped, not run against poisoned inputs.
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(AsyncLane, HelpOnWaitRunsUnclaimedTaskInline) {
+  AsyncLane lane(1);
+  // Occupy the only worker until after the waiter has finished helping.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  auto blocker = lane.submit([gate, &started] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();  // the worker is definitely inside blocker
+  const auto self = std::this_thread::get_id();
+  auto helped = lane.submit([self] {
+    // With the worker blocked, only the waiting thread can be running this.
+    return std::this_thread::get_id() == self;
+  });
+  EXPECT_TRUE(helped.wait());
+  release.set_value();
+  blocker.wait();
+}
+
+TEST(AsyncLane, SubmittingFromInsideATaskIsSafe) {
+  AsyncLane lane(2);
+  auto outer = lane.submit([&] {
+    auto inner = lane.submit([] { return 21; });
+    return inner.wait() * 2;  // helps inline if both workers are busy
+  });
+  EXPECT_EQ(outer.wait(), 42);
+}
+
+TEST(AsyncLane, ManyTasksStress) {
+  AsyncLane lane(4);
+  constexpr std::size_t kTasks = 500;
+  std::vector<TaskFuture<std::size_t>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(lane.submit([i] { return i * i; }));
+  }
+  const auto values = AsyncLane::when_all(futures);
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(values[i], i * i);
+}
+
+TEST(AsyncLane, LongDependencyChainCompletesInOrder) {
+  AsyncLane lane(3);
+  auto counter = std::make_shared<std::vector<int>>();
+  TaskHandle prev;
+  std::vector<TaskFuture<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    auto f = lane.submit_after([counter, i] { counter->push_back(i); },
+                               {prev});
+    prev = f.handle();
+    futures.push_back(std::move(f));
+  }
+  AsyncLane::when_all(futures);
+  ASSERT_EQ(counter->size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ((*counter)[i], i);
+}
+
+TEST(AsyncLane, InlineRegionGuardInlinesNestedParallelism) {
+  EXPECT_FALSE(gsfl::common::ThreadPool::in_parallel_region());
+  {
+    gsfl::common::InlineRegionGuard guard;
+    EXPECT_TRUE(gsfl::common::ThreadPool::in_parallel_region());
+    {
+      gsfl::common::InlineRegionGuard nested;
+      EXPECT_TRUE(gsfl::common::ThreadPool::in_parallel_region());
+    }
+    EXPECT_TRUE(gsfl::common::ThreadPool::in_parallel_region());
+  }
+  EXPECT_FALSE(gsfl::common::ThreadPool::in_parallel_region());
+}
+
+TEST(AsyncLane, GlobalLaneIsSharedAndSized) {
+  auto& lane = gsfl::common::global_lane();
+  EXPECT_GE(lane.workers(), 1u);
+  EXPECT_EQ(&lane, &gsfl::common::global_lane());
+  auto f = lane.submit([] { return 9; });
+  EXPECT_EQ(f.wait(), 9);
+}
+
+}  // namespace

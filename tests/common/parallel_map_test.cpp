@@ -106,6 +106,70 @@ TEST_F(ParallelMapTest, ExceptionsPropagateToTheCaller) {
       std::runtime_error);
 }
 
+TEST_F(ParallelMapTest, UsableAfterAMidMapThrow) {
+  // A task throwing mid-map must not poison the pool or leak the abort
+  // flag: the next map over the same pool runs every index normally.
+  gsfl::common::set_global_threads(4);
+  EXPECT_THROW(
+      (void)parallel_map(64,
+                         [](std::size_t i) -> int {
+                           if (i == 31) throw std::runtime_error("mid-map");
+                           return static_cast<int>(i);
+                         }),
+      std::runtime_error);
+  const auto out = parallel_map(64, [](std::size_t i) { return i + 1; });
+  ASSERT_EQ(out.size(), 64u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i + 1);
+}
+
+TEST_F(ParallelMapTest, FirstOfSeveralThrowsIsReported) {
+  // Several indices throw; exactly one exception reaches the caller and it
+  // is one of the thrown ones (the runtime keeps the first and swallows the
+  // rest — no terminate, no double-throw).
+  gsfl::common::set_global_threads(4);
+  try {
+    (void)parallel_map(64, [](std::size_t i) -> int {
+      if (i % 7 == 3) throw std::runtime_error("task " + std::to_string(i));
+      return 0;
+    });
+    FAIL() << "expected a propagated task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u);
+  }
+}
+
+TEST_F(ParallelMapTest, ContextOverloadPropagatesTaskThrow) {
+  gsfl::common::set_global_threads(3);
+  EXPECT_THROW(
+      (void)parallel_map(
+          16, [] { return std::string("ctx"); },
+          [](std::string&, std::size_t i) -> int {
+            if (i == 9) throw std::runtime_error("ctx task");
+            return 0;
+          }),
+      std::runtime_error);
+  // And the pool is reusable afterwards.
+  const auto out = parallel_map(8, [](std::size_t i) { return i; });
+  ASSERT_EQ(out.size(), 8u);
+}
+
+TEST_F(ParallelMapTest, SerialPoolPropagatesThrowFromExactIndex) {
+  // threads=1 runs inline: the throw surfaces immediately at index 5 and
+  // indices past it never run.
+  gsfl::common::set_global_threads(1);
+  std::vector<int> ran(16, 0);
+  EXPECT_THROW((void)parallel_map(16,
+                                  [&](std::size_t i) -> int {
+                                    ran[i] = 1;
+                                    if (i == 5)
+                                      throw std::runtime_error("inline");
+                                    return 0;
+                                  }),
+               std::runtime_error);
+  for (std::size_t i = 0; i <= 5; ++i) EXPECT_EQ(ran[i], 1) << i;
+  for (std::size_t i = 6; i < 16; ++i) EXPECT_EQ(ran[i], 0) << i;
+}
+
 TEST_F(ParallelMapTest, NestedCallsRunInline) {
   gsfl::common::set_global_threads(4);
   const auto out = parallel_map(8, [](std::size_t i) {

@@ -181,4 +181,71 @@ TEST(Workspace, LanesNeverShareBuffers) {
   ASSERT_FALSE(pointers.empty());
 }
 
+TEST(Workspace, SliceParitiesAreIndependentBuffers) {
+  Workspace::reset_thread();
+  float* even = Workspace::slice(Workspace::kUserBase, 128, 0);
+  float* odd = Workspace::slice(Workspace::kUserBase, 128, 1);
+  EXPECT_NE(even, odd);
+  for (std::size_t i = 0; i < 128; ++i) {
+    even[i] = 1.0f;
+    odd[i] = 2.0f;
+  }
+  // Writes through one parity never leak into the other.
+  for (std::size_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(even[i], 1.0f);
+    EXPECT_EQ(odd[i], 2.0f);
+  }
+  // Parity wraps modulo 2: the ping-pong schedule's `blk` indexes directly.
+  EXPECT_EQ(Workspace::slice(Workspace::kUserBase, 128, 2), even);
+  EXPECT_EQ(Workspace::slice(Workspace::kUserBase, 128, 3), odd);
+  Workspace::reset_thread();
+}
+
+TEST(Workspace, SliceParityReuseAcrossNestedCalls) {
+  // The interleaved sweep refetches (key, parity) once per k block, often
+  // from nested call frames. Steady state must hand back the *same* buffer
+  // (that is the documented ownership hazard — and the reuse guarantee),
+  // grow only parities that are asked to grow, and keep slice keys fully
+  // disjoint from the flat floats() arena.
+  Workspace::reset_thread();
+  float* flat = Workspace::floats(Workspace::kUserBase, 64);
+  float* s0 = Workspace::slice(Workspace::kUserBase, 64, 0);
+  float* s1 = Workspace::slice(Workspace::kUserBase, 64, 1);
+  EXPECT_NE(flat, s0);
+  EXPECT_NE(flat, s1);
+  s0[0] = 7.0f;
+
+  const auto nested = [&] {
+    // A nested consumer of the same key and size sees the same buffer…
+    EXPECT_EQ(Workspace::slice(Workspace::kUserBase, 64, 0), s0);
+    EXPECT_EQ(Workspace::slice(Workspace::kUserBase, 64, 1), s1);
+    // …and growing one parity moves only that parity.
+    float* grown = Workspace::slice(Workspace::kUserBase, 1 << 12, 1);
+    for (std::size_t i = 0; i < (1 << 12); ++i) grown[i] = 3.0f;
+    return grown;
+  };
+  float* grown = nested();
+  EXPECT_EQ(Workspace::slice(Workspace::kUserBase, 64, 0), s0);
+  EXPECT_EQ(s0[0], 7.0f);  // parity 0 untouched by parity 1's growth
+  EXPECT_EQ(Workspace::slice(Workspace::kUserBase, 64, 1), grown);
+  Workspace::reset_thread();
+}
+
+TEST(Workspace, SliceBuffersArePerLane) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<float*> pointers;
+  pool.parallel_for(1, 32, [&](std::size_t b, std::size_t e) {
+    (void)e;
+    float* scratch = Workspace::slice(Workspace::kUserBase + 3, 128, b);
+    for (std::size_t i = 0; i < 128; ++i) scratch[i] = static_cast<float>(b);
+    for (std::size_t i = 0; i < 128; ++i) {
+      ASSERT_EQ(scratch[i], static_cast<float>(b));
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    pointers.push_back(scratch);
+  });
+  ASSERT_FALSE(pointers.empty());
+}
+
 }  // namespace

@@ -140,14 +140,14 @@ void for_each_thread_count(Fn&& fn) {
 // ---- pack-strategy axis ----------------------------------------------------
 
 /// B-packing schedules the invariance suites sweep: the production
-/// heuristic, the forced up-front full-panel pack, and the forced
-/// per-k-block interleaved pack. Results must be bitwise identical across
-/// all three (the packed values and the per-element fold are the same under
-/// every schedule).
+/// heuristic, the forced up-front full-panel pack, the forced per-k-block
+/// interleaved pack, and the async-lane pack-ahead schedule. Results must
+/// be bitwise identical across all four (the packed values and the
+/// per-element fold are the same under every schedule).
 inline const std::vector<tensor::PackStrategy>& pack_strategy_matrix() {
   static const std::vector<tensor::PackStrategy> strategies = {
       tensor::PackStrategy::kAuto, tensor::PackStrategy::kUpfront,
-      tensor::PackStrategy::kInterleaved};
+      tensor::PackStrategy::kInterleaved, tensor::PackStrategy::kPackAhead};
   return strategies;
 }
 
@@ -168,8 +168,29 @@ inline const char* pack_strategy_name(tensor::PackStrategy strategy) {
     case tensor::PackStrategy::kAuto: return "auto";
     case tensor::PackStrategy::kUpfront: return "upfront";
     case tensor::PackStrategy::kInterleaved: return "interleaved";
+    case tensor::PackStrategy::kPackAhead: return "pack-ahead";
   }
   return "?";
+}
+
+// ---- pipeline-depth axis ---------------------------------------------------
+
+/// Round-pipeline depths the scheme invariance suites sweep: 1 is the
+/// barriered run_round loop, 2 the steady-state pipeline (round r+1
+/// submitted while round r drains), 3 a deeper in-flight window. Training
+/// results must be bitwise identical across every depth (and every thread
+/// count — the suites nest this axis inside for_each_thread_count).
+inline const std::vector<std::size_t>& pipeline_depth_matrix() {
+  static const std::vector<std::size_t> depths = {1, 2, 3};
+  return depths;
+}
+
+/// Run fn once per pipeline depth. fn receives the depth; it is expected to
+/// build a fresh trainer and drive it with schemes::run_rounds_pipelined
+/// (or run_experiment with pipeline_depth) at that depth.
+template <typename Fn>
+void for_each_pipeline_depth(Fn&& fn) {
+  for (const std::size_t depth : pipeline_depth_matrix()) fn(depth);
 }
 
 // ---- fused-pair adapter ----------------------------------------------------

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Usage: check_links.py [file-or-dir ...]   (default: README.md docs/)
+
+Scans markdown files for inline links [text](target) and validates every
+*relative* target:
+  - a path must exist on disk (resolved against the linking file's dir);
+  - a #fragment must match a heading's GitHub-style anchor slug in the
+    target file (or the same file for bare #fragment links).
+External schemes (http/https/mailto) are not fetched — CI must not depend
+on the network — only relative cross-links are guarded, which is what rots
+when files move. Exits 1 listing every broken link.
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_anchor(text: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces->dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", text.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def md_anchors(path: str) -> set:
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(heading_anchor(m.group(1)))
+    return anchors
+
+
+def md_links(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for number, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield number, m.group(1)
+
+
+def collect_files(args):
+    targets = args or ["README.md", "docs"]
+    files = []
+    for t in targets:
+        if os.path.isdir(t):
+            for root, _, names in os.walk(t):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        elif t.endswith(".md"):
+            files.append(t)
+    return sorted(set(files))
+
+
+def main() -> int:
+    errors = []
+    for md in collect_files(sys.argv[1:]):
+        base = os.path.dirname(md)
+        for line, target in md_links(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # external scheme
+                continue
+            path, _, fragment = target.partition("#")
+            resolved = os.path.normpath(os.path.join(base, path)) if path else md
+            if not os.path.exists(resolved):
+                errors.append(f"{md}:{line}: missing file: {target}")
+                continue
+            if fragment and resolved.endswith(".md"):
+                if heading_anchor(fragment) not in md_anchors(resolved):
+                    errors.append(f"{md}:{line}: missing anchor: {target}")
+    for e in errors:
+        print(f"FAIL {e}")
+    if not errors:
+        print("ok   all relative markdown links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
