@@ -272,6 +272,43 @@ int main(int argc, char** argv) {
                 same ? "bitwise identical" : "DIFFER");
     if (!same) return 1;
   }
+  // --- quorum close on a faulty straggler world -----------------------------
+  // Same world, simulated clock instead of wall clock: a 0.67 quorum lets
+  // the AP aggregate without waiting for the straggler (who carries ~16×
+  // the data and is occasionally slowed further by fault injection). The
+  // ratio full-barrier-span / quorum-span is pure simulated arithmetic —
+  // deterministic for a fixed seed — so the CI floor guards the scheduling
+  // semantics (quorum close + survivor renormalization), not host noise.
+  {
+    const StragglerWorld straggler(seed + 2);
+    const auto simulated_span = [&](double quorum) {
+      gsfl::schemes::TrainConfig config;
+      config.batch_size = 8;
+      config.faults.straggler_rate = 0.3;
+      config.faults.straggler_slowdown_min = 2.0;
+      config.faults.straggler_slowdown_max = 4.0;
+      config.faults.seed = 0xF417;
+      config.round_policy.quorum_fraction = quorum;
+      gsfl::schemes::SplitFedTrainer trainer(straggler.network,
+                                             straggler.datasets,
+                                             straggler.model,
+                                             /*cut_layer=*/2, config);
+      double span = 0.0;
+      for (std::size_t round = 0; round < 3; ++round) {
+        span += trainer.run_round().latency.total();
+      }
+      return span;
+    };
+    const double full_span = simulated_span(1.0);
+    const double quorum_span = simulated_span(0.67);
+    const double ratio = full_span / quorum_span;
+    std::printf("%-24s %8s %12.4f %8.2fx\n", "sfl_straggler full-barrier",
+                "(sim)", full_span, 1.0);
+    std::printf("%-24s %8s %12.4f %8.2fx\n", "sfl_straggler quorum-0.67",
+                "(sim)", quorum_span, ratio);
+    json.add("sfl_round_straggler quorum-vs-barrier-sim",
+             lane_counts.back(), quorum_span, ratio);
+  }
   gsfl::common::set_global_threads(0);
 
   const auto sa = serial_model.state();

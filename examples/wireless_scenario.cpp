@@ -9,8 +9,10 @@
 // each group's latency chain and writes a per-round Gantt CSV.
 #include <fstream>
 #include <iostream>
+#include <limits>
 
 #include "gsfl/common/cli.hpp"
+#include "gsfl/core/checkpoint.hpp"
 #include "gsfl/core/gsfl.hpp"
 #include "gsfl/data/partition.hpp"
 #include "gsfl/data/synthetic_gtsrb.hpp"
@@ -34,6 +36,16 @@ int main(int argc, char** argv) {
         << "                 wireless_timeline.csv)\n"
         << "  --no-fading    static channel: skip the per-round Rayleigh\n"
         << "                 fade redraw\n"
+        << "  --fault-rate=P per-round probability each device crashes\n"
+        << "                 before computing (default 0; deterministic\n"
+        << "                 round-keyed fault plans, see docs/robustness.md)\n"
+        << "  --deadline=S   simulated seconds after which the AP aggregates\n"
+        << "                 whatever has arrived (default: wait for all)\n"
+        << "  --quorum=Q     fraction of groups whose report closes the\n"
+        << "                 round, in (0,1] (default 1.0 = full barrier)\n"
+        << "  --checkpoint-dir=DIR\n"
+        << "                 write a resumable experiment checkpoint\n"
+        << "                 (<scheme>_round_<r>.gsflx) after every round\n"
         << "  --threads=N    host-side parallel lanes (default: GSFL_THREADS\n"
         << "                 env, then hardware concurrency; simulated\n"
         << "                 results are identical for every value)\n"
@@ -42,6 +54,11 @@ int main(int argc, char** argv) {
   }
   const auto rounds = static_cast<std::size_t>(args.int_or("rounds", 5));
   const bool fading = !args.has_flag("no-fading");
+  const double fault_rate = args.double_or("fault-rate", 0.0);
+  const double deadline =
+      args.double_or("deadline", std::numeric_limits<double>::infinity());
+  const double quorum = args.double_or("quorum", 1.0);
+  const std::string checkpoint_dir = args.value_or("checkpoint-dir", "");
 
   // --- the fleet: 9 devices in three tiers ---
   std::vector<net::DeviceProfile> devices;
@@ -91,11 +108,20 @@ int main(int argc, char** argv) {
   gsfl_config.grouping = core::GroupingPolicy::kLabelAware;
   gsfl_config.train.threads =
       static_cast<std::size_t>(args.int_or("threads", 0));
+  gsfl_config.train.faults.crash_before_rate = fault_rate;
+  gsfl_config.train.faults.seed = 0xFA171;
+  gsfl_config.train.round_policy.deadline_seconds = deadline;
+  gsfl_config.train.round_policy.quorum_fraction = quorum;
   core::GsflTrainer trainer(network, client_data, model, gsfl_config);
 
   std::cout << "channel: "
             << (fading ? "rayleigh fading, redrawn per round" : "static")
             << "\n";
+  if (gsfl_config.train.faults.active() ||
+      gsfl_config.train.round_policy.active()) {
+    std::cout << "robustness: fault-rate " << fault_rate << ", deadline "
+              << deadline << "s, quorum " << quorum << "\n";
+  }
   std::cout << "groups (label-aware):\n";
   for (std::size_t g = 0; g < trainer.groups().size(); ++g) {
     std::cout << "  group " << g << ": clients";
@@ -115,6 +141,16 @@ int main(int argc, char** argv) {
     timeline.append("round " + std::to_string(round), result.latency);
     std::cout << "\nround " << round << " (loss " << result.train_loss
               << "): " << result.latency.to_string() << '\n';
+    for (const auto& record : result.participation) {
+      if (record.fault == sim::FaultKind::kNone) continue;
+      std::cout << "  client " << record.client << ": "
+                << to_string(record.fault) << '\n';
+    }
+    if (!checkpoint_dir.empty()) {
+      core::save_experiment_checkpoint_file(
+          core::checkpoint_path(checkpoint_dir, trainer.name(), round),
+          trainer, {}, timeline.now_seconds());
+    }
     for (std::size_t g = 0; g < trainer.last_group_chains().size(); ++g) {
       const auto& chain = trainer.last_group_chains()[g];
       std::cout << "  group " << g << " chain: " << chain.total() << "s"

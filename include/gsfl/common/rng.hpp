@@ -130,6 +130,13 @@ class Rng {
   /// A random permutation of [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
 
+  /// The raw engine state, for experiment checkpointing: set_state(state())
+  /// resumes the stream at exactly this position.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

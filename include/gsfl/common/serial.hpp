@@ -1,0 +1,78 @@
+// Bounds-checked little binary IO shared by every checkpoint writer/reader.
+//
+// Readers fail loudly: each primitive read captures the stream offset first
+// and throws std::runtime_error naming the field and the byte offset on a
+// short or failed read, so a truncated or corrupt checkpoint reports *where*
+// it broke instead of silently yielding zeros. (The library only targets
+// little-endian hosts; the serialized tensors already bake that in.)
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace gsfl::common::serial {
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Read one POD value; `what` names the field in the error message.
+template <typename T>
+[[nodiscard]] T read_pod(std::istream& in, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto offset = in.tellg();
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error(std::string("truncated read of ") + what +
+                             " at offset " +
+                             std::to_string(static_cast<long long>(offset)));
+  }
+  return value;
+}
+
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  write_pod(out, v);
+}
+[[nodiscard]] inline std::uint64_t read_u64(std::istream& in,
+                                            const char* what) {
+  return read_pod<std::uint64_t>(in, what);
+}
+
+inline void write_f64(std::ostream& out, double v) { write_pod(out, v); }
+[[nodiscard]] inline double read_f64(std::istream& in, const char* what) {
+  return read_pod<double>(in, what);
+}
+
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Read a length-prefixed string; lengths above `max_len` are treated as
+/// corruption (no checkpoint field is remotely that long).
+[[nodiscard]] inline std::string read_string(std::istream& in,
+                                             const char* what,
+                                             std::size_t max_len = 4096) {
+  const auto len = read_u64(in, what);
+  if (len > max_len) {
+    throw std::runtime_error(std::string("implausible length for ") + what +
+                             ": " + std::to_string(len));
+  }
+  std::string s(static_cast<std::size_t>(len), '\0');
+  const auto offset = in.tellg();
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) {
+    throw std::runtime_error(std::string("truncated read of ") + what +
+                             " at offset " +
+                             std::to_string(static_cast<long long>(offset)));
+  }
+  return s;
+}
+
+}  // namespace gsfl::common::serial

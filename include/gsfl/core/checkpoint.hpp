@@ -1,0 +1,55 @@
+// Experiment checkpointing: crash-recoverable training runs.
+//
+// Format "GSFX": magic | u32 version | scheme name | u64 completed rounds |
+// f64 cumulative simulated seconds | recorded rounds | the trainer's own
+// state blob (round counter, models, sampler streams, auxiliary RNG).
+//
+// The recovery contract (pinned by the Resume* tests): a fresh trainer built
+// from the same config/network/data, restored from a checkpoint taken after
+// round r, continues **bitwise identically** to the uninterrupted run — same
+// models, same batches, same fault plans (those are round-keyed, so they
+// need no saved state at all). See docs/robustness.md.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gsfl/metrics/recorder.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+namespace gsfl::core {
+
+/// What a checkpoint restores besides the trainer itself: where the run was
+/// and everything it had recorded, so the driver can splice the remaining
+/// rounds onto the same recorder and clock.
+struct ExperimentCheckpoint {
+  std::size_t round = 0;        ///< completed rounds at save time
+  double sim_seconds = 0.0;     ///< cumulative simulated latency
+  std::vector<metrics::RoundRecord> records;
+};
+
+/// Snapshot `trainer` (no rounds in flight) plus the run's recorded history.
+void save_experiment_checkpoint(std::ostream& out,
+                                const schemes::Trainer& trainer,
+                                std::span<const metrics::RoundRecord> records,
+                                double sim_seconds);
+void save_experiment_checkpoint_file(
+    const std::string& path, const schemes::Trainer& trainer,
+    std::span<const metrics::RoundRecord> records, double sim_seconds);
+
+/// Restore `trainer` from a checkpoint and return the run context. Throws
+/// std::runtime_error on malformed input, on a scheme-name mismatch, or when
+/// the stream has trailing garbage.
+ExperimentCheckpoint load_experiment_checkpoint(std::istream& in,
+                                                schemes::Trainer& trainer);
+ExperimentCheckpoint load_experiment_checkpoint_file(const std::string& path,
+                                                     schemes::Trainer& trainer);
+
+/// The canonical snapshot filename: <scheme>_round_<r>.gsflx in `dir`.
+[[nodiscard]] std::string checkpoint_path(const std::string& dir,
+                                          const std::string& scheme,
+                                          std::size_t round);
+
+}  // namespace gsfl::core

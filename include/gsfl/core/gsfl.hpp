@@ -100,8 +100,17 @@ class GsflTrainer final : public schemes::Trainer {
   [[nodiscard]] common::TaskFuture<schemes::RoundResult> do_submit_round(
       const common::TaskHandle& start,
       const common::TaskHandle& release) override;
+  void do_save_state(std::ostream& out) const override;
+  void do_load_state(std::istream& in) override;
 
  private:
+  /// The fault-injected / policy-closed round graph (see docs/robustness.md).
+  /// Faults are per client; a broken link anywhere in a group's sequential
+  /// relay chain takes the whole group out for the round (kCascade for the
+  /// other members), and the deadline/quorum close runs over the M groups.
+  [[nodiscard]] common::TaskFuture<schemes::RoundResult> submit_round_faulty(
+      const common::TaskHandle& start, const common::TaskHandle& release);
+
   GsflConfig gsfl_config_;
   GroupAssignment groups_;
   nn::Sequential global_client_;

@@ -6,6 +6,7 @@
 // the library's scheme-equivalence tests.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <span>
 #include <vector>
@@ -54,6 +55,16 @@ class BatchSampler {
 
   [[nodiscard]] std::size_t batch_size() const { return batch_size_; }
   [[nodiscard]] const Dataset& dataset() const { return *dataset_; }
+
+  /// Persist the sampling stream (RNG state, shuffle order, cursor) so a
+  /// restored sampler yields the exact batch sequence the saved one would
+  /// have — the piece of crash recovery that keeps resumed runs bitwise
+  /// identical to uninterrupted ones.
+  void save_state(std::ostream& out) const;
+  /// Restore a stream saved by save_state; the sampler must wrap a dataset
+  /// of the same size. Throws std::runtime_error on truncated or corrupt
+  /// input.
+  void restore_state(std::istream& in);
 
  private:
   void reshuffle();

@@ -25,10 +25,23 @@ struct PathLossModel {
   [[nodiscard]] double loss_db(double distance_m) const;
 };
 
+/// Link-layer retransmission accounting for lossy transfers (the fault
+/// engine — sim::FaultPlan — draws *which* attempt succeeds; this policy
+/// prices the failed ones). Every failed attempt costs one full payload
+/// airtime at the link's Shannon rate, and attempt k+1 waits k·backoff
+/// before transmitting (linear backoff). A transfer that fails all
+/// `max_attempts` attempts never lands: the schemes mark the client failed
+/// for the round.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;   ///< transmissions before giving up (≥ 1)
+  double backoff_seconds = 0.0;   ///< linear backoff unit between attempts
+};
+
 struct ChannelConfig {
   PathLossModel path_loss;
   double noise_figure_db = 7.0;
   double thermal_noise_dbm_per_hz = -174.0;
+  RetryPolicy retry;              ///< retransmission cost model
   /// Apply per-round Rayleigh fading on top of the path loss: link SNRs are
   /// multiplied by a power gain |h|² ~ Exp(1) (mean 1, so the no-fading
   /// rate is the expectation's reference). WirelessNetwork pre-draws one

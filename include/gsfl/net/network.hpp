@@ -87,6 +87,24 @@ class WirelessNetwork {
                                         double payload_bytes,
                                         double bandwidth_share) const;
 
+  /// Transfer latencies with retransmissions: `attempts` transmissions of
+  /// the full payload (the first `attempts - 1` were lost) plus the linear
+  /// backoff waits between them, per config().channel.retry. attempts = 1
+  /// is bitwise the plain transfer (no backoff, one airtime). The fault
+  /// engine draws the attempt count; an exhausted transfer (FaultPlan
+  /// attempts = 0) is priced by the caller at the full retry cap.
+  [[nodiscard]] double uplink_seconds(std::size_t client, double payload_bytes,
+                                      double bandwidth_share,
+                                      std::size_t attempts) const;
+  [[nodiscard]] double downlink_seconds(std::size_t client,
+                                        double payload_bytes,
+                                        double bandwidth_share,
+                                        std::size_t attempts) const;
+
+  /// Total backoff wait before the `attempts`-th transmission lands:
+  /// Σ_{k=1}^{attempts-1} k · backoff_seconds.
+  [[nodiscard]] double retry_backoff_seconds(std::size_t attempts) const;
+
   /// Compute latencies in seconds.
   [[nodiscard]] double client_compute_seconds(std::size_t client,
                                               double flops) const;

@@ -25,4 +25,10 @@ void load_checkpoint_file(const std::string& path, Sequential& model);
 /// Read a checkpoint's raw state without a model (for inspection/averaging).
 [[nodiscard]] StateDict read_checkpoint_state(std::istream& in);
 
+/// Bare state-dict block (u64 entry count | serialized tensors), without the
+/// file magic/version — the building block experiment checkpoints embed once
+/// per model half. Errors carry the entry index and byte offset.
+void write_state_dict(std::ostream& out, const StateDict& state);
+[[nodiscard]] StateDict read_state_dict(std::istream& in);
+
 }  // namespace gsfl::nn

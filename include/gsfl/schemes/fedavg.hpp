@@ -29,8 +29,14 @@ class FedAvgTrainer final : public Trainer {
   [[nodiscard]] common::TaskFuture<RoundResult> do_submit_round(
       const common::TaskHandle& start,
       const common::TaskHandle& release) override;
+  void do_save_state(std::ostream& out) const override;
+  void do_load_state(std::istream& in) override;
 
  private:
+  /// The fault-injected / policy-closed round graph (see docs/robustness.md).
+  [[nodiscard]] common::TaskFuture<RoundResult> submit_round_faulty(
+      const common::TaskHandle& start, const common::TaskHandle& release);
+
   nn::Sequential global_;
   std::vector<data::BatchSampler> samplers_;  ///< one per client, persistent
 };

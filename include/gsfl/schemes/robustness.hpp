@@ -1,0 +1,56 @@
+// Shared robustness plumbing for the schemes' fault-injected rounds:
+// classifying a client's scripted faults into a round disposition, and
+// closing a round under a RoundPolicy (deadline / quorum).
+//
+// Everything here is plain index-ordered arithmetic on data the submission
+// stage fixed — no RNG, no shared mutable state — so the schemes can call it
+// from a publish task and stay inside the bitwise determinism contract.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gsfl/schemes/trainer.hpp"
+#include "gsfl/sim/fault.hpp"
+
+namespace gsfl::schemes {
+
+/// What a client's ClientFault means for the round, decided entirely at
+/// submission time (every fault except lateness is scripted in the plan).
+struct ClientDisposition {
+  bool computes = false;  ///< local training happens (sampler stream advances)
+  bool reports = false;   ///< its result reaches the AP
+  sim::FaultKind fault = sim::FaultKind::kNone;  ///< kNone/kLate resolve later
+};
+
+/// crash-before and downlink exhaustion stop compute; crash-after and uplink
+/// exhaustion let the device train but lose the result.
+[[nodiscard]] ClientDisposition classify(const sim::ClientFault& fault);
+
+/// A closed round: which reporters made the cut, and when the AP stopped
+/// waiting.
+struct RoundClose {
+  /// Simulated time the AP closes the round and starts aggregating: the
+  /// quorum-filling report, the deadline, or (policy inactive / quorum
+  /// unreachable) the last report. 0 when nobody ever reports.
+  double close_seconds = 0.0;
+  /// included[i] ⇒ cohort unit i reported at or before close_seconds and
+  /// folds into the aggregate. Aligned with `reported`.
+  std::vector<char> included;
+};
+
+/// Close a round over a cohort of `reported.size()` units (clients for
+/// FL/SFL, groups for GSFL). `reported[i]` says unit i's result reaches the
+/// AP at `report_seconds[i]`. Deterministic: pure index-ordered arithmetic,
+/// ties broken by including every reporter at exactly the close time.
+///
+/// Policy resolution: quorum K = ⌈quorum_fraction · cohort⌉ (clamped to
+/// [1, cohort]). The round closes at the K-th earliest report within the
+/// deadline; if fewer than K reports land by a finite deadline it closes at
+/// the deadline with whoever made it; if the quorum is unreachable with no
+/// deadline it closes at the last report.
+[[nodiscard]] RoundClose close_round(const RoundPolicy& policy,
+                                     std::span<const char> reported,
+                                     std::span<const double> report_seconds);
+
+}  // namespace gsfl::schemes

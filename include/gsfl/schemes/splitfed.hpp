@@ -32,8 +32,14 @@ class SplitFedTrainer final : public Trainer {
   [[nodiscard]] common::TaskFuture<RoundResult> do_submit_round(
       const common::TaskHandle& start,
       const common::TaskHandle& release) override;
+  void do_save_state(std::ostream& out) const override;
+  void do_load_state(std::istream& in) override;
 
  private:
+  /// The fault-injected / policy-closed round graph (see docs/robustness.md).
+  [[nodiscard]] common::TaskFuture<RoundResult> submit_round_faulty(
+      const common::TaskHandle& start, const common::TaskHandle& release);
+
   std::size_t cut_layer_;
   nn::Sequential global_client_;  ///< aggregated client-side model
   nn::Sequential global_server_;  ///< aggregated server-side model

@@ -7,6 +7,9 @@
 // per scheme — from which every figure in the paper is plotted.
 #pragma once
 
+#include <cmath>
+#include <iosfwd>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,9 +23,28 @@
 #include "gsfl/nn/optimizer.hpp"
 #include "gsfl/nn/sequential.hpp"
 #include "gsfl/sim/breakdown.hpp"
+#include "gsfl/sim/fault.hpp"
 #include "gsfl/sim/timeline.hpp"
 
 namespace gsfl::schemes {
+
+/// Round-completion policy: when does the AP stop waiting and aggregate?
+/// The default — infinite deadline, full quorum — reproduces the classic
+/// barrier (every reporter folds). A quorum_fraction q < 1 closes the round
+/// the moment ⌈q·cohort⌉ cohort units have reported (cohort = clients for
+/// FL/SFL, groups for GSFL); a finite deadline closes it at that simulated
+/// time regardless. Reporters that miss the close are excluded from the
+/// FedAvg fold (FaultKind::kLate) and the surviving weights are
+/// renormalized — deterministically, in index order, for any thread count
+/// or pipeline depth.
+struct RoundPolicy {
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  double quorum_fraction = 1.0;  ///< in (0, 1]
+
+  [[nodiscard]] bool active() const {
+    return std::isfinite(deadline_seconds) || quorum_fraction < 1.0;
+  }
+};
 
 /// Hyperparameters shared by all schemes.
 struct TrainConfig {
@@ -37,11 +59,31 @@ struct TrainConfig {
   /// for any value). 0 ⇒ keep the global default, which resolves as
   /// --threads / GSFL_THREADS env / hardware concurrency.
   std::size_t threads = 0;
+  /// Deterministic per-round fault injection (crashes, lost transmissions,
+  /// stragglers); all-zero rates ⇒ off. Plans are keyed by round index, so
+  /// fault-injected rounds stay bitwise identical across the thread ×
+  /// pipeline-depth × pack-strategy matrix and across crash-resume.
+  sim::FaultConfig faults;
+  /// Deadline / quorum round completion; default = classic full barrier.
+  RoundPolicy round_policy;
+};
+
+/// One client's fate in a round, for RoundResult::participation.
+struct ParticipationRecord {
+  std::size_t client = 0;
+  /// kNone ⇒ this client's contribution was folded into the aggregate.
+  sim::FaultKind fault = sim::FaultKind::kNone;
+  /// Simulated time its result reached the AP (0 if it never did).
+  double report_seconds = 0.0;
 };
 
 struct RoundResult {
   double train_loss = 0.0;          ///< sample-weighted mean over the round
   sim::LatencyBreakdown latency;    ///< simulated cost of the round
+  /// Who participated, who failed, and why — one record per client, in
+  /// client order. Populated when fault injection or a round policy is
+  /// configured; empty on the untouched fault-free paths.
+  std::vector<ParticipationRecord> participation;
 };
 
 /// A round in flight on the async lane (see Trainer::submit_round). The
@@ -107,6 +149,15 @@ class Trainer {
   /// Snapshot of the current global model (for evaluation).
   [[nodiscard]] virtual nn::Sequential global_model() const = 0;
 
+  /// Serialize every piece of mutable training state — the round counter
+  /// plus the scheme's models, sampler streams, and auxiliary RNG — such
+  /// that a fresh trainer built from the *same* config/network/data,
+  /// restored with load_state, continues bitwise identically to this one.
+  /// Must not be called with rounds in flight. Schemes without a
+  /// do_save_state override throw std::logic_error.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+
  protected:
   /// Scheme-specific round body.
   virtual RoundResult do_round() = 0;
@@ -132,6 +183,25 @@ class Trainer {
   [[nodiscard]] std::unique_ptr<nn::Optimizer> make_optimizer() const;
 
   [[nodiscard]] std::size_t total_samples() const;
+
+  /// True when fault injection or a non-default round policy is configured —
+  /// the schemes' robustness paths key off this.
+  [[nodiscard]] bool robustness_active() const {
+    return config_.faults.active() || config_.round_policy.active();
+  }
+
+  /// The 0-based index of the round being submitted/run right now: completed
+  /// rounds plus rounds already in flight. This is the fault plan's round
+  /// key; a failed (collected-with-error) round does not advance it, so a
+  /// retry replays the same plan.
+  [[nodiscard]] std::size_t next_round_index() const {
+    return rounds_ + in_flight_;
+  }
+
+  /// Scheme-specific checkpoint payload; the base save_state/load_state
+  /// frame the round counter around these. Default: unsupported.
+  virtual void do_save_state(std::ostream& out) const;
+  virtual void do_load_state(std::istream& in);
 
  private:
   std::string name_;
@@ -159,8 +229,18 @@ struct ExperimentOptions {
   /// loop. ≥ 2 pipelines: round r's evaluation and aggregation tail overlap
   /// round r+1's client compute; records and final model are bitwise
   /// identical to depth 1. Early stopping is inherently a per-round barrier,
-  /// so when either stop option is set the driver runs at depth 1.
+  /// so when either stop option is set the driver runs at depth 1 — as does
+  /// checkpoint_every (a snapshot must capture a fully published round).
   std::size_t pipeline_depth = 1;
+  /// Crash recovery: save a core::ExperimentCheckpoint every k rounds
+  /// (0 ⇒ off) into checkpoint_dir, named <scheme>_round_<r>.gsflx.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_dir = ".";
+  /// Restore trainer + recorder + simulated clock from this checkpoint
+  /// before the first round; the run then continues bitwise identically to
+  /// the uninterrupted run from that round. The trainer must be freshly
+  /// constructed from the same config/network/data as the saved one.
+  std::optional<std::string> resume_from;
 };
 
 /// Run `trainer` for up to `options.rounds` rounds, evaluating on `test_set`,

@@ -1,0 +1,99 @@
+// Deterministic fault injection: the per-round script of everything that
+// goes wrong.
+//
+// The paper's setting — resource-limited wireless networks — makes client
+// failure the rule, not the exception: devices die mid-round (battery,
+// mobility), transmissions drop, and stragglers stretch the round. This
+// module turns those events into a *plan*: a FaultPlan is drawn from a
+// round-keyed RNG stream (`Rng(seed).fork(round_index + 1)`), so the plan is
+// a pure function of (seed, round index) — independent of thread count,
+// pipeline depth, pack strategy, and of whether the round is drawn at
+// submission (pipelined) or execution (barriered). That is what lets
+// fault-injected rounds stay inside the library's bitwise determinism
+// contract, and what lets a crash-resumed experiment replay the exact same
+// faults without persisting any fault-RNG state.
+//
+// Taxonomy (see docs/robustness.md):
+//   crash-before-compute  the device never comes up this round
+//   downlink failure      the model never reaches the device (capped retries)
+//   crash-after-compute   local training finishes, the device dies before
+//                         reporting
+//   uplink failure        the result never reaches the AP (capped retries)
+//   straggler slowdown    device compute stretched by a drawn factor ≥ 1
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gsfl::sim {
+
+/// Per-round fault probabilities. All rates are per-client (loss rates are
+/// per *attempt*; the retry cap comes from net::RetryPolicy). Every rate at
+/// its zero default ⇒ inactive() and the schemes run their fault-free paths
+/// untouched.
+struct FaultConfig {
+  double crash_before_rate = 0.0;  ///< P(device never starts the round)
+  double crash_after_rate = 0.0;   ///< P(device dies after local compute)
+  double downlink_loss_rate = 0.0; ///< per-attempt P(model download lost)
+  double uplink_loss_rate = 0.0;   ///< per-attempt P(result upload lost)
+  double straggler_rate = 0.0;     ///< P(device is a straggler this round)
+  /// Straggler compute-stretch factor, drawn uniform in [min, max].
+  double straggler_slowdown_min = 2.0;
+  double straggler_slowdown_max = 8.0;
+  std::uint64_t seed = 0xFA017;    ///< root of the round-keyed plan stream
+
+  [[nodiscard]] bool active() const {
+    return crash_before_rate > 0.0 || crash_after_rate > 0.0 ||
+           downlink_loss_rate > 0.0 || uplink_loss_rate > 0.0 ||
+           straggler_rate > 0.0;
+  }
+};
+
+/// Why a client's contribution was excluded from (or included in) a round.
+enum class FaultKind : std::uint8_t {
+  kNone,               ///< participated; folded into the aggregate
+  kCrashBeforeCompute, ///< never started the round
+  kDownlinkFailed,     ///< model download lost after the retry cap
+  kCrashAfterCompute,  ///< trained, died before reporting
+  kUplinkFailed,       ///< result upload lost after the retry cap
+  kLate,               ///< reported after the round closed (deadline/quorum)
+  kCascade,            ///< excluded because its group's chain broke elsewhere
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One client's scripted faults for one round. `*_attempts` counts the
+/// transmissions until the first success, 1 ⇒ clean first try; 0 ⇒ every
+/// attempt up to the cap failed and the transfer never lands.
+struct ClientFault {
+  bool crash_before = false;
+  bool crash_after = false;
+  double slowdown = 1.0;                ///< compute stretch, ≥ 1
+  std::uint32_t downlink_attempts = 1;
+  std::uint32_t uplink_attempts = 1;
+};
+
+/// The round's full script: one ClientFault per client, drawn in ascending
+/// client order from the round-keyed stream.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Draw round `round_index`'s plan (0-based). `max_attempts` is the retry
+  /// cap per transmission (net::RetryPolicy::max_attempts). Deterministic:
+  /// the same (config, max_attempts, round_index, num_clients) always
+  /// yields the same plan, on any thread, at any time.
+  [[nodiscard]] static FaultPlan draw(const FaultConfig& config,
+                                      std::size_t max_attempts,
+                                      std::uint64_t round_index,
+                                      std::size_t num_clients);
+
+  [[nodiscard]] std::size_t size() const { return clients_.size(); }
+  [[nodiscard]] const ClientFault& client(std::size_t c) const;
+
+ private:
+  std::vector<ClientFault> clients_;
+};
+
+}  // namespace gsfl::sim

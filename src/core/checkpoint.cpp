@@ -1,0 +1,114 @@
+#include "gsfl/core/checkpoint.hpp"
+
+#include <array>
+#include <fstream>
+#include <stdexcept>
+
+#include "gsfl/common/serial.hpp"
+
+namespace gsfl::core {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'G', 'S', 'F', 'X'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void save_experiment_checkpoint(std::ostream& out,
+                                const schemes::Trainer& trainer,
+                                std::span<const metrics::RoundRecord> records,
+                                double sim_seconds) {
+  namespace serial = common::serial;
+  out.write(kMagic.data(), kMagic.size());
+  serial::write_pod(out, kVersion);
+  serial::write_string(out, trainer.name());
+  serial::write_u64(out, trainer.rounds_completed());
+  serial::write_f64(out, sim_seconds);
+  serial::write_u64(out, records.size());
+  for (const auto& record : records) {
+    serial::write_u64(out, record.round);
+    serial::write_f64(out, record.sim_seconds);
+    serial::write_f64(out, record.train_loss);
+    serial::write_f64(out, record.eval_accuracy);
+  }
+  trainer.save_state(out);
+  if (!out) throw std::runtime_error("experiment checkpoint write failed");
+}
+
+void save_experiment_checkpoint_file(
+    const std::string& path, const schemes::Trainer& trainer,
+    std::span<const metrics::RoundRecord> records, double sim_seconds) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open experiment checkpoint file: " + path);
+  }
+  save_experiment_checkpoint(out, trainer, records, sim_seconds);
+}
+
+ExperimentCheckpoint load_experiment_checkpoint(std::istream& in,
+                                                schemes::Trainer& trainer) {
+  namespace serial = common::serial;
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("experiment checkpoint: bad magic");
+  }
+  const auto version = serial::read_pod<std::uint32_t>(in, "version");
+  if (version != kVersion) {
+    throw std::runtime_error("experiment checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  const std::string scheme = serial::read_string(in, "scheme name");
+  if (scheme != trainer.name()) {
+    throw std::runtime_error("experiment checkpoint is for scheme '" + scheme +
+                             "', trainer is '" + trainer.name() + "'");
+  }
+
+  ExperimentCheckpoint ckpt;
+  ckpt.round = serial::read_u64(in, "completed rounds");
+  ckpt.sim_seconds = serial::read_f64(in, "simulated seconds");
+  const std::uint64_t count = serial::read_u64(in, "record count");
+  if (count > (1ULL << 32)) {
+    throw std::runtime_error("experiment checkpoint: implausible record count");
+  }
+  ckpt.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    metrics::RoundRecord record;
+    record.round = serial::read_u64(in, "record round");
+    record.sim_seconds = serial::read_f64(in, "record sim seconds");
+    record.train_loss = serial::read_f64(in, "record train loss");
+    record.eval_accuracy = serial::read_f64(in, "record eval accuracy");
+    ckpt.records.push_back(record);
+  }
+
+  trainer.load_state(in);
+  if (trainer.rounds_completed() != ckpt.round) {
+    throw std::runtime_error(
+        "experiment checkpoint: round header says " +
+        std::to_string(ckpt.round) + " but trainer state holds " +
+        std::to_string(trainer.rounds_completed()));
+  }
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw std::runtime_error(
+        "experiment checkpoint: trailing garbage at offset " +
+        std::to_string(static_cast<long long>(in.tellg())));
+  }
+  return ckpt;
+}
+
+ExperimentCheckpoint load_experiment_checkpoint_file(const std::string& path,
+                                                     schemes::Trainer& trainer) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open experiment checkpoint file: " + path);
+  }
+  return load_experiment_checkpoint(in, trainer);
+}
+
+std::string checkpoint_path(const std::string& dir, const std::string& scheme,
+                            std::size_t round) {
+  return dir + "/" + scheme + "_round_" + std::to_string(round) + ".gsflx";
+}
+
+}  // namespace gsfl::core

@@ -1,10 +1,15 @@
 #include "gsfl/core/gsfl.hpp"
 
+#include <array>
 #include <optional>
+#include <stdexcept>
 
 #include "gsfl/common/parallel_map.hpp"
+#include "gsfl/common/serial.hpp"
+#include "gsfl/nn/checkpoint.hpp"
 #include "gsfl/schemes/aggregate.hpp"
 #include "gsfl/schemes/pipeline.hpp"
+#include "gsfl/schemes/robustness.hpp"
 #include "gsfl/schemes/split_common.hpp"
 
 namespace gsfl::core {
@@ -83,6 +88,13 @@ std::size_t GsflTrainer::client_model_bytes() const {
 }
 
 schemes::RoundResult GsflTrainer::do_round() {
+  if (robustness_active()) {
+    // The barriered fault/quorum round is the pipelined graph submitted
+    // ungated and waited inline — one implementation, bitwise equal across
+    // depths by construction.
+    auto done = submit_round_faulty({}, {});
+    return done.wait();
+  }
   schemes::RoundResult result;
   const double client_model_bytes =
       static_cast<double>(global_client_.state_bytes());
@@ -207,6 +219,7 @@ schemes::RoundResult GsflTrainer::do_round() {
 
 common::TaskFuture<schemes::RoundResult> GsflTrainer::do_submit_round(
     const common::TaskHandle& start, const common::TaskHandle& release) {
+  if (robustness_active()) return submit_round_faulty(start, release);
   const std::size_t m = groups_.size();
   const double client_model_bytes =
       static_cast<double>(global_client_.state_bytes());
@@ -341,6 +354,261 @@ common::TaskFuture<schemes::RoundResult> GsflTrainer::do_submit_round(
   return schemes::submit_round_graph<GroupOutcome>(
       common::global_lane(), m, std::move(contributes), start, release,
       std::move(compute), std::move(fold), std::move(publish));
+}
+
+common::TaskFuture<schemes::RoundResult> GsflTrainer::submit_round_faulty(
+    const common::TaskHandle& start, const common::TaskHandle& release) {
+  const std::size_t m = groups_.size();
+  const std::size_t n = client_data_.size();
+  const double client_model_bytes =
+      static_cast<double>(global_client_.state_bytes());
+  const std::size_t retry_cap = network().config().channel.retry.max_attempts;
+
+  // Submit stage: the round's entire RNG — legacy failure draws, the fault
+  // plan, and every training member's batch plan — drains here in round
+  // order. A group's relay chain is sequential, so one broken link breaks
+  // the whole group: whether each group reports is decidable now, before
+  // any compute runs. Survivor weights renormalize at publish (lateness is
+  // only known from the simulated chains), so the eager fold stays off.
+  struct Prep {
+    sim::FaultPlan plan;
+    std::vector<std::vector<std::size_t>> available;           ///< per group
+    std::vector<char> reports;                                 ///< per group
+    std::vector<sim::FaultKind> client_fault;                  ///< per client
+    std::vector<std::size_t> group_of;                         ///< per client
+    std::vector<std::vector<std::vector<std::size_t>>> plans;  ///< per client
+  };
+  auto prep = std::make_shared<Prep>();
+  prep->plan =
+      sim::FaultPlan::draw(config().faults, retry_cap, next_round_index(), n);
+  prep->available.resize(m);
+  prep->reports.assign(m, 0);
+  prep->client_fault.assign(n, sim::FaultKind::kNone);
+  prep->group_of.assign(n, 0);
+  prep->plans.resize(n);
+
+  // Legacy GSFL failure injection composes with the fault engine: both are
+  // crash-before-compute, and both draw here in client order.
+  last_round_failures_.clear();
+  std::vector<bool> down(n, false);
+  if (gsfl_config_.client_failure_rate > 0.0) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (failure_rng_.bernoulli(gsfl_config_.client_failure_rate)) {
+        down[c] = true;
+      }
+    }
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    if (prep->plan.client(c).crash_before) down[c] = true;
+    if (down[c]) {
+      prep->client_fault[c] = sim::FaultKind::kCrashBeforeCompute;
+      last_round_failures_.push_back(c);
+    }
+  }
+
+  for (std::size_t g = 0; g < m; ++g) {
+    auto& avail = prep->available[g];
+    for (const std::size_t c : groups_[g]) {
+      prep->group_of[c] = g;
+      if (!down[c]) avail.push_back(c);
+    }
+    if (avail.empty()) continue;  // whole group offline this round
+    if (prep->plan.client(avail.front()).downlink_attempts == 0) {
+      // The model never reaches the group's entry point: nobody trains.
+      prep->client_fault[avail.front()] = sim::FaultKind::kDownlinkFailed;
+      for (std::size_t j = 1; j < avail.size(); ++j) {
+        prep->client_fault[avail[j]] = sim::FaultKind::kCascade;
+      }
+      continue;
+    }
+    // Members train in relay order until (and including) the first
+    // crash-after member; only those members' sampler streams advance.
+    bool crashed = false;
+    for (const std::size_t c : avail) {
+      prep->plans[c] = samplers_[c].plan_epoch();
+      if (prep->plan.client(c).crash_after) {
+        prep->client_fault[c] = sim::FaultKind::kCrashAfterCompute;
+        crashed = true;
+        break;
+      }
+    }
+    if (crashed) {
+      for (const std::size_t c : avail) {
+        if (prep->client_fault[c] == sim::FaultKind::kNone) {
+          prep->client_fault[c] = sim::FaultKind::kCascade;
+        }
+      }
+      continue;
+    }
+    if (prep->plan.client(avail.back()).uplink_attempts == 0) {
+      prep->client_fault[avail.back()] = sim::FaultKind::kUplinkFailed;
+      for (std::size_t j = 0; j + 1 < avail.size(); ++j) {
+        prep->client_fault[avail[j]] = sim::FaultKind::kCascade;
+      }
+      continue;
+    }
+    prep->reports[g] = 1;
+  }
+
+  // Compute stage: reporting groups run the full relay chain (retry-priced
+  // entry downlink and exit uplink; AP-local relays carry no retry model);
+  // non-reporting groups only charge the airtime that was actually spent
+  // before the chain broke — their training result is unobservable at the
+  // AP, so the host skips it.
+  auto compute = [this, prep, client_model_bytes,
+                  retry_cap](std::size_t g) -> GroupOutcome {
+    GroupOutcome out;
+    const auto& avail = prep->available[g];
+    if (avail.empty()) return out;
+    // Read the live share, not a submission-time snapshot: compute is gated
+    // on the previous round's publish, so under kAdaptive this sees that
+    // round's rebalanced value — exactly what the barriered round reads.
+    const double share = group_shares_[g];
+    sim::LatencyBreakdown& chain = out.chain;
+
+    const auto& first = prep->plan.client(avail.front());
+    const std::size_t dl =
+        first.downlink_attempts > 0 ? first.downlink_attempts : retry_cap;
+    chain.downlink += network().downlink_seconds(avail.front(),
+                                                 client_model_bytes, share, dl);
+    if (prep->reports[g] == 0) return out;
+
+    nn::SplitModel replica(global_client_, global_server_);
+    auto client_opt = schemes::attach_optimizer(
+        replica.client(), [this] { return make_optimizer(); });
+    auto server_opt = schemes::attach_optimizer(
+        replica.server(), [this] { return make_optimizer(); });
+
+    for (std::size_t j = 0; j < avail.size(); ++j) {
+      const std::size_t c = avail[j];
+      if (j > 0) {
+        chain.relay += network().relay_seconds(avail[j - 1], c,
+                                               client_model_bytes, share);
+      }
+      const auto epoch = schemes::run_split_epoch_planned(
+          replica, client_opt.get(), *server_opt, client_dataset(c),
+          prep->plans[c], network(), c, share);
+      auto latency = epoch.latency;
+      latency.client_compute *= prep->plan.client(c).slowdown;
+      chain += latency;
+      out.loss_sum += epoch.loss_sum;
+      out.batches += epoch.batches;
+      out.samples += epoch.samples;
+    }
+
+    chain.uplink +=
+        network().uplink_seconds(avail.back(), client_model_bytes, share,
+                                 prep->plan.client(avail.back()).uplink_attempts);
+    out.trained = true;
+    out.client_state = replica.client().state();
+    out.server_state = replica.server().state();
+    return out;
+  };
+
+  auto fold = [](std::size_t, GroupOutcome&) {};
+  auto publish = [this, prep](
+                     std::vector<GroupOutcome>& outcomes) -> schemes::RoundResult {
+    const std::size_t m = outcomes.size();
+    std::vector<char> reported(m, 0);
+    std::vector<double> times(m, 0.0);
+    for (std::size_t g = 0; g < m; ++g) {
+      if (prep->reports[g] == 0) continue;
+      reported[g] = 1;
+      times[g] = outcomes[g].chain.total();
+    }
+    const schemes::RoundClose close =
+        schemes::close_round(config().round_policy, reported, times);
+
+    schemes::RoundResult result;
+    for (std::size_t c = 0; c < prep->client_fault.size(); ++c) {
+      const std::size_t g = prep->group_of[c];
+      auto& record = result.participation.emplace_back();
+      record.client = c;
+      record.fault = prep->client_fault[c];
+      record.report_seconds = reported[g] != 0 ? times[g] : 0.0;
+      if (reported[g] != 0 && close.included[g] == 0 &&
+          record.fault == sim::FaultKind::kNone) {
+        record.fault = sim::FaultKind::kLate;
+      }
+    }
+
+    std::vector<nn::StateDict> client_states;
+    std::vector<nn::StateDict> server_states;
+    std::vector<double> weights;
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    sim::LatencyBreakdown critical;
+    last_group_chains_.assign(m, {});
+    for (std::size_t g = 0; g < m; ++g) {
+      GroupOutcome& out = outcomes[g];
+      last_group_chains_[g] = out.chain;
+      if (close.included[g] == 0) continue;
+      loss_sum += out.loss_sum;
+      batches += out.batches;
+      if (out.chain.total() > critical.total()) critical = out.chain;
+      client_states.push_back(std::move(out.client_state));
+      server_states.push_back(std::move(out.server_state));
+      weights.push_back(static_cast<double>(out.samples));
+    }
+    result.latency = critical;
+    if (close.close_seconds > result.latency.total()) {
+      // Deadline idle time at the AP, charged to aggregation.
+      result.latency.aggregation +=
+          close.close_seconds - result.latency.total();
+    }
+    if (!client_states.empty()) {
+      global_client_.load_state(schemes::fedavg_states(client_states, weights));
+      global_server_.load_state(schemes::fedavg_states(server_states, weights));
+      result.latency.aggregation += network().server_compute_seconds(
+          schemes::aggregation_flops(global_client_.parameter_count() +
+                                         global_server_.parameter_count(),
+                                     client_states.size()));
+    }
+    result.train_loss =
+        batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    if (gsfl_config_.bandwidth == BandwidthPolicy::kAdaptive) {
+      rebalance_shares();
+    }
+    return result;
+  };
+
+  return schemes::submit_round_graph<GroupOutcome>(
+      common::global_lane(), m, std::vector<char>(m, 0), start, release,
+      std::move(compute), std::move(fold), std::move(publish));
+}
+
+void GsflTrainer::do_save_state(std::ostream& out) const {
+  nn::write_state_dict(out, global_client_.state());
+  nn::write_state_dict(out, global_server_.state());
+  for (const auto& sampler : samplers_) sampler.save_state(out);
+  for (const std::uint64_t word : failure_rng_.state()) {
+    common::serial::write_pod(out, word);
+  }
+  common::serial::write_u64(out, group_shares_.size());
+  for (const double share : group_shares_) {
+    common::serial::write_f64(out, share);
+  }
+}
+
+void GsflTrainer::do_load_state(std::istream& in) {
+  global_client_.load_state(nn::read_state_dict(in));
+  global_server_.load_state(nn::read_state_dict(in));
+  for (auto& sampler : samplers_) sampler.restore_state(in);
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& word : rng_state) {
+    word = common::serial::read_pod<std::uint64_t>(in, "failure rng word");
+  }
+  failure_rng_.set_state(rng_state);
+  const std::uint64_t count = common::serial::read_u64(in, "group share count");
+  if (count != group_shares_.size()) {
+    throw std::runtime_error(
+        "experiment checkpoint group count mismatch: checkpoint has " +
+        std::to_string(count) + ", trainer has " +
+        std::to_string(group_shares_.size()));
+  }
+  for (auto& share : group_shares_) {
+    share = common::serial::read_f64(in, "group share");
+  }
 }
 
 void GsflTrainer::rebalance_shares() {

@@ -1,6 +1,11 @@
 #include "gsfl/data/sampler.hpp"
 
 #include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+
+#include "gsfl/common/serial.hpp"
 
 namespace gsfl::data {
 
@@ -58,6 +63,51 @@ std::vector<std::vector<std::size_t>> BatchSampler::plan_epoch() {
 Batch BatchSampler::next() {
   auto [images, labels] = dataset_->gather(advance());
   return Batch{std::move(images), std::move(labels)};
+}
+
+void BatchSampler::save_state(std::ostream& out) const {
+  for (const std::uint64_t word : rng_.state()) {
+    common::serial::write_pod(out, word);
+  }
+  common::serial::write_u64(out, cursor_);
+  common::serial::write_u64(out, order_.size());
+  for (const std::size_t index : order_) {
+    common::serial::write_u64(out, index);
+  }
+}
+
+void BatchSampler::restore_state(std::istream& in) {
+  namespace serial = common::serial;
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& word : rng_state) {
+    word = serial::read_pod<std::uint64_t>(in, "sampler rng word");
+  }
+  const std::uint64_t cursor = serial::read_u64(in, "sampler cursor");
+  const std::uint64_t size = serial::read_u64(in, "sampler order size");
+  const std::size_t n = dataset_->size();
+  if (size != n) {
+    throw std::runtime_error("sampler state is for a dataset of " +
+                             std::to_string(size) + " samples, not " +
+                             std::to_string(n));
+  }
+  if (cursor > size) {
+    throw std::runtime_error("sampler cursor " + std::to_string(cursor) +
+                             " past dataset size " + std::to_string(size));
+  }
+  std::vector<std::size_t> order;
+  order.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    const std::uint64_t index = serial::read_u64(in, "sampler order entry");
+    if (index >= n) {
+      throw std::runtime_error("sampler order entry " + std::to_string(index) +
+                               " out of range for dataset of " +
+                               std::to_string(n) + " samples");
+    }
+    order.push_back(static_cast<std::size_t>(index));
+  }
+  rng_.set_state(rng_state);
+  cursor_ = static_cast<std::size_t>(cursor);
+  order_ = std::move(order);
 }
 
 std::vector<Batch> BatchSampler::epoch() {

@@ -108,6 +108,34 @@ double WirelessNetwork::downlink_seconds(std::size_t client,
       downlink_fades_[client]);
 }
 
+double WirelessNetwork::uplink_seconds(std::size_t client,
+                                       double payload_bytes,
+                                       double bandwidth_share,
+                                       std::size_t attempts) const {
+  GSFL_EXPECT_MSG(attempts >= 1, "a landed transfer took at least one attempt");
+  return static_cast<double>(attempts) *
+             uplink_seconds(client, payload_bytes, bandwidth_share) +
+         retry_backoff_seconds(attempts);
+}
+
+double WirelessNetwork::downlink_seconds(std::size_t client,
+                                         double payload_bytes,
+                                         double bandwidth_share,
+                                         std::size_t attempts) const {
+  GSFL_EXPECT_MSG(attempts >= 1, "a landed transfer took at least one attempt");
+  return static_cast<double>(attempts) *
+             downlink_seconds(client, payload_bytes, bandwidth_share) +
+         retry_backoff_seconds(attempts);
+}
+
+double WirelessNetwork::retry_backoff_seconds(std::size_t attempts) const {
+  if (attempts <= 1) return 0.0;
+  // Linear backoff: wait k·backoff before attempt k+1, so attempts n waits
+  // backoff · (1 + 2 + … + (n-1)).
+  const double n = static_cast<double>(attempts - 1);
+  return config_.channel.retry.backoff_seconds * n * (n + 1.0) * 0.5;
+}
+
 double WirelessNetwork::client_compute_seconds(std::size_t client,
                                                double flops) const {
   GSFL_EXPECT(client < clients_.size());

@@ -3,6 +3,7 @@
 #include <array>
 #include <fstream>
 
+#include "gsfl/common/serial.hpp"
 #include "gsfl/tensor/serialize.hpp"
 
 namespace gsfl::nn {
@@ -12,17 +13,52 @@ namespace {
 constexpr std::array<char, 4> kMagic = {'G', 'S', 'F', 'C'};
 constexpr std::uint32_t kVersion = 1;
 
+// Read one serialized tensor, rewrapping any deserialization error with the
+// entry index and the byte offset where the entry started — a corrupt
+// checkpoint then reports *which* tensor broke and where, not just that
+// something did.
+tensor::Tensor read_entry(std::istream& in, std::uint64_t index,
+                          std::uint64_t count) {
+  const auto offset = in.tellg();
+  try {
+    return tensor::read_tensor(in);
+  } catch (const std::runtime_error& error) {
+    throw std::runtime_error(
+        std::string(error.what()) + " (state entry " + std::to_string(index) +
+        " of " + std::to_string(count) + ", starting at offset " +
+        std::to_string(static_cast<long long>(offset)) + ")");
+  }
+}
+
 }  // namespace
 
-void save_checkpoint(std::ostream& out, const Sequential& model) {
-  const auto state = model.state();
-  out.write(kMagic.data(), kMagic.size());
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-  const std::uint64_t count = state.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+void write_state_dict(std::ostream& out, const StateDict& state) {
+  common::serial::write_u64(out, state.size());
   for (const auto& tensor : state) {
     tensor::write_tensor(out, tensor);
   }
+  if (!out) throw std::runtime_error("state dict write failed");
+}
+
+StateDict read_state_dict(std::istream& in) {
+  const std::uint64_t count =
+      common::serial::read_u64(in, "state dict entry count");
+  if (count > (1ULL << 24)) {
+    throw std::runtime_error("implausible state dict entry count: " +
+                             std::to_string(count));
+  }
+  StateDict state;
+  state.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    state.push_back(read_entry(in, i, count));
+  }
+  return state;
+}
+
+void save_checkpoint(std::ostream& out, const Sequential& model) {
+  out.write(kMagic.data(), kMagic.size());
+  common::serial::write_pod(out, kVersion);
+  write_state_dict(out, model.state());
   if (!out) throw std::runtime_error("checkpoint write failed");
 }
 
@@ -34,30 +70,31 @@ void save_checkpoint_file(const std::string& path, const Sequential& model) {
 
 StateDict read_checkpoint_state(std::istream& in) {
   std::array<char, 4> magic{};
+  const auto offset = in.tellg();
   in.read(magic.data(), magic.size());
   if (!in || magic != kMagic) {
-    throw std::runtime_error("checkpoint: bad magic");
+    throw std::runtime_error(
+        "checkpoint: bad magic at offset " +
+        std::to_string(static_cast<long long>(offset)));
   }
-  std::uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion) {
-    throw std::runtime_error("checkpoint: unsupported version");
+  const auto version =
+      common::serial::read_pod<std::uint32_t>(in, "checkpoint version");
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
   }
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || count > (1ULL << 24)) {
-    throw std::runtime_error("checkpoint: implausible entry count");
-  }
-  StateDict state;
-  state.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    state.push_back(tensor::read_tensor(in));
-  }
-  return state;
+  return read_state_dict(in);
 }
 
 void load_checkpoint(std::istream& in, Sequential& model) {
   model.load_state(read_checkpoint_state(in));
+  // A well-formed checkpoint is the whole stream; bytes past the last
+  // tensor mean the file was not written by save_checkpoint.
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw std::runtime_error(
+        "checkpoint: trailing garbage after the last tensor (offset " +
+        std::to_string(static_cast<long long>(in.tellg())) + ")");
+  }
 }
 
 void load_checkpoint_file(const std::string& path, Sequential& model) {

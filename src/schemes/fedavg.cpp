@@ -1,9 +1,11 @@
 #include "gsfl/schemes/fedavg.hpp"
 
 #include "gsfl/common/parallel_map.hpp"
+#include "gsfl/nn/checkpoint.hpp"
 #include "gsfl/nn/loss.hpp"
 #include "gsfl/schemes/aggregate.hpp"
 #include "gsfl/schemes/pipeline.hpp"
+#include "gsfl/schemes/robustness.hpp"
 
 namespace gsfl::schemes {
 
@@ -51,6 +53,14 @@ FedAvgTrainer::FedAvgTrainer(const net::WirelessNetwork& network,
 }
 
 RoundResult FedAvgTrainer::do_round() {
+  if (robustness_active()) {
+    // One implementation of the fault/quorum round serves both forms: the
+    // barriered round *is* the pipelined graph, submitted ungated and waited
+    // inline (help-on-wait executes it on this thread and the lane workers).
+    // Bitwise equality across depths holds by construction.
+    auto done = submit_round_faulty({}, {});
+    return done.wait();
+  }
   RoundResult result;
   const double model_bytes = static_cast<double>(global_.state_bytes());
   const double share = 1.0 / static_cast<double>(num_clients());
@@ -118,6 +128,7 @@ RoundResult FedAvgTrainer::do_round() {
 
 common::TaskFuture<RoundResult> FedAvgTrainer::do_submit_round(
     const common::TaskHandle& start, const common::TaskHandle& release) {
+  if (robustness_active()) return submit_round_faulty(start, release);
   const std::size_t n = num_clients();
   const double model_bytes = static_cast<double>(global_.state_bytes());
   const double share = 1.0 / static_cast<double>(n);
@@ -191,6 +202,144 @@ common::TaskFuture<RoundResult> FedAvgTrainer::do_submit_round(
   return submit_round_graph<FlClientOutcome>(
       common::global_lane(), n, std::vector<char>(n, 1), start, release,
       std::move(compute), std::move(fold), std::move(publish));
+}
+
+common::TaskFuture<RoundResult> FedAvgTrainer::submit_round_faulty(
+    const common::TaskHandle& start, const common::TaskHandle& release) {
+  const std::size_t n = num_clients();
+  const double model_bytes = static_cast<double>(global_.state_bytes());
+  const double share = 1.0 / static_cast<double>(n);
+  const std::size_t retry_cap = network().config().channel.retry.max_attempts;
+
+  // Submit stage: the round-keyed fault plan plus the batch plans of every
+  // client whose device actually trains. Which clients report is fully
+  // scripted here; only *lateness* (a policy exclusion) waits for the
+  // simulated chains, so the survivor weights are renormalized at publish —
+  // the eager fold path needs weights fixed at submission and stays off.
+  struct Prep {
+    sim::FaultPlan plan;
+    std::vector<ClientDisposition> dispo;
+    /// plans[c][e] is client c's epoch-e batch plan (empty for non-computers).
+    std::vector<std::vector<std::vector<std::vector<std::size_t>>>> plans;
+  };
+  auto prep = std::make_shared<Prep>();
+  prep->plan =
+      sim::FaultPlan::draw(config().faults, retry_cap, next_round_index(), n);
+  prep->dispo.resize(n);
+  prep->plans.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    prep->dispo[c] = classify(prep->plan.client(c));
+    if (!prep->dispo[c].computes) continue;
+    // The device trains even when its result never reports (crash-after,
+    // exhausted uplink): its sampler stream advances either way.
+    prep->plans[c].reserve(config().local_epochs);
+    for (std::size_t e = 0; e < config().local_epochs; ++e) {
+      prep->plans[c].push_back(samplers_[c].plan_epoch());
+    }
+  }
+
+  auto compute = [this, prep, model_bytes, share,
+                  retry_cap](std::size_t c) -> FlClientOutcome {
+    FlClientOutcome out;
+    const auto& fault = prep->plan.client(c);
+    const auto& dispo = prep->dispo[c];
+    if (fault.crash_before) return out;  // never heard from this round
+
+    // Download airtime: the successful attempt count, or the whole
+    // exhausted retry budget when the model never lands.
+    const std::size_t dl =
+        fault.downlink_attempts > 0 ? fault.downlink_attempts : retry_cap;
+    out.chain.downlink += network().downlink_seconds(c, model_bytes, share, dl);
+    if (!dispo.reports) {
+      // Crash-after / lost uplink / lost downlink: the host needn't train a
+      // replica nobody will fold — the on-device work is unobservable.
+      return out;
+    }
+
+    nn::Sequential local = global_;
+    auto optimizer = make_optimizer();
+    optimizer->attach(local.parameters(), local.gradients());
+    for (const auto& epoch : prep->plans[c]) {
+      for (const auto& indices : epoch) {
+        auto [images, labels] = client_dataset(c).gather(indices);
+        const data::Batch batch{std::move(images), std::move(labels)};
+        fl_train_batch(local, *optimizer, batch, network(), c, out);
+      }
+    }
+    out.chain.client_compute *= fault.slowdown;
+    out.chain.uplink += network().uplink_seconds(c, model_bytes, share,
+                                                 fault.uplink_attempts);
+    out.state = local.state();
+    return out;
+  };
+
+  auto fold = [](std::size_t, FlClientOutcome&) {};
+  auto publish =
+      [this, prep](std::vector<FlClientOutcome>& outcomes) -> RoundResult {
+    const std::size_t n = outcomes.size();
+    std::vector<char> reported(n, 0);
+    std::vector<double> times(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!prep->dispo[c].reports) continue;
+      reported[c] = 1;
+      times[c] = outcomes[c].chain.total();
+    }
+    const RoundClose close = close_round(config().round_policy, reported, times);
+
+    RoundResult result;
+    std::vector<nn::StateDict> states;
+    std::vector<double> weights;
+    double loss_sum = 0.0;
+    std::size_t loss_batches = 0;
+    sim::LatencyBreakdown critical;
+    for (std::size_t c = 0; c < n; ++c) {
+      auto& record = result.participation.emplace_back();
+      record.client = c;
+      record.fault = prep->dispo[c].fault;
+      record.report_seconds = reported[c] != 0 ? times[c] : 0.0;
+      if (reported[c] != 0 && close.included[c] == 0) {
+        record.fault = sim::FaultKind::kLate;
+      }
+      if (close.included[c] == 0) continue;
+      loss_sum += outcomes[c].loss_sum;
+      loss_batches += outcomes[c].batches;
+      if (outcomes[c].chain.total() > critical.total()) {
+        critical = outcomes[c].chain;
+      }
+      states.push_back(std::move(outcomes[c].state));
+      weights.push_back(static_cast<double>(client_dataset(c).size()));
+    }
+    result.latency = critical;
+    if (close.close_seconds > result.latency.total()) {
+      // The AP idled until the deadline before folding; charge the wait to
+      // the aggregation bucket (server-side waiting, not radio or compute).
+      result.latency.aggregation += close.close_seconds - result.latency.total();
+    }
+    if (!states.empty()) {
+      // Survivor-only FedAvg: weights renormalize over exactly the included
+      // set, in client-index order.
+      global_.load_state(fedavg_states(states, weights));
+      result.latency.aggregation += network().server_compute_seconds(
+          aggregation_flops(global_.parameter_count(), states.size()));
+    }
+    result.train_loss =
+        loss_batches > 0 ? loss_sum / static_cast<double>(loss_batches) : 0.0;
+    return result;
+  };
+
+  return submit_round_graph<FlClientOutcome>(
+      common::global_lane(), n, std::vector<char>(n, 0), start, release,
+      std::move(compute), std::move(fold), std::move(publish));
+}
+
+void FedAvgTrainer::do_save_state(std::ostream& out) const {
+  nn::write_state_dict(out, global_.state());
+  for (const auto& sampler : samplers_) sampler.save_state(out);
+}
+
+void FedAvgTrainer::do_load_state(std::istream& in) {
+  global_.load_state(nn::read_state_dict(in));
+  for (auto& sampler : samplers_) sampler.restore_state(in);
 }
 
 }  // namespace gsfl::schemes

@@ -1,0 +1,94 @@
+#include "gsfl/schemes/robustness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gsfl/common/expect.hpp"
+
+namespace gsfl::schemes {
+
+ClientDisposition classify(const sim::ClientFault& fault) {
+  ClientDisposition d;
+  if (fault.crash_before) {
+    d.fault = sim::FaultKind::kCrashBeforeCompute;
+    return d;
+  }
+  if (fault.downlink_attempts == 0) {
+    d.fault = sim::FaultKind::kDownlinkFailed;
+    return d;
+  }
+  d.computes = true;
+  if (fault.crash_after) {
+    d.fault = sim::FaultKind::kCrashAfterCompute;
+    return d;
+  }
+  if (fault.uplink_attempts == 0) {
+    d.fault = sim::FaultKind::kUplinkFailed;
+    return d;
+  }
+  d.reports = true;
+  return d;
+}
+
+RoundClose close_round(const RoundPolicy& policy,
+                       std::span<const char> reported,
+                       std::span<const double> report_seconds) {
+  GSFL_EXPECT(reported.size() == report_seconds.size());
+  GSFL_EXPECT(policy.quorum_fraction > 0.0 && policy.quorum_fraction <= 1.0);
+  GSFL_EXPECT(policy.deadline_seconds > 0.0);
+  const std::size_t n = reported.size();
+
+  RoundClose close;
+  close.included.assign(n, 0);
+
+  std::vector<double> times;
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reported[i] != 0) times.push_back(report_seconds[i]);
+  }
+  if (times.empty()) {
+    // Nobody ever reports. With a finite deadline the AP still waits it out.
+    close.close_seconds =
+        std::isfinite(policy.deadline_seconds) ? policy.deadline_seconds : 0.0;
+    return close;
+  }
+
+  if (!policy.active()) {
+    close.close_seconds = *std::max_element(times.begin(), times.end());
+    for (std::size_t i = 0; i < n; ++i) close.included[i] = reported[i];
+    return close;
+  }
+
+  const double deadline = policy.deadline_seconds;  // may be +inf
+  const std::size_t quorum = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::ceil(policy.quorum_fraction * static_cast<double>(n))),
+      1, n);
+
+  // Reports that beat the deadline, ascending. (Exact double comparisons
+  // throughout: every chain total is itself a deterministic fold.)
+  std::vector<double> eligible;
+  eligible.reserve(times.size());
+  for (const double t : times) {
+    if (t <= deadline) eligible.push_back(t);
+  }
+  std::sort(eligible.begin(), eligible.end());
+
+  if (eligible.size() >= quorum) {
+    close.close_seconds = eligible[quorum - 1];
+  } else if (std::isfinite(deadline)) {
+    close.close_seconds = deadline;
+  } else {
+    // Quorum unreachable and no deadline: the AP takes everyone who ever
+    // reports rather than waiting forever.
+    close.close_seconds = *std::max_element(times.begin(), times.end());
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    close.included[i] =
+        (reported[i] != 0 && report_seconds[i] <= close.close_seconds) ? 1 : 0;
+  }
+  return close;
+}
+
+}  // namespace gsfl::schemes

@@ -1,8 +1,10 @@
 #include "gsfl/schemes/splitfed.hpp"
 
 #include "gsfl/common/parallel_map.hpp"
+#include "gsfl/nn/checkpoint.hpp"
 #include "gsfl/schemes/aggregate.hpp"
 #include "gsfl/schemes/pipeline.hpp"
+#include "gsfl/schemes/robustness.hpp"
 #include "gsfl/schemes/split_common.hpp"
 
 namespace gsfl::schemes {
@@ -49,6 +51,13 @@ std::size_t SplitFedTrainer::server_storage_bytes() const {
 }
 
 RoundResult SplitFedTrainer::do_round() {
+  if (robustness_active()) {
+    // The barriered fault/quorum round is the pipelined graph submitted
+    // ungated and waited inline — one implementation, bitwise equal across
+    // depths by construction.
+    auto done = submit_round_faulty({}, {});
+    return done.wait();
+  }
   RoundResult result;
   const double client_model_bytes =
       static_cast<double>(global_client_.state_bytes());
@@ -122,6 +131,7 @@ RoundResult SplitFedTrainer::do_round() {
 
 common::TaskFuture<RoundResult> SplitFedTrainer::do_submit_round(
     const common::TaskHandle& start, const common::TaskHandle& release) {
+  if (robustness_active()) return submit_round_faulty(start, release);
   const std::size_t n = num_clients();
   const double client_model_bytes =
       static_cast<double>(global_client_.state_bytes());
@@ -211,6 +221,139 @@ common::TaskFuture<RoundResult> SplitFedTrainer::do_submit_round(
   return submit_round_graph<SflClientOutcome>(
       common::global_lane(), n, std::vector<char>(n, 1), start, release,
       std::move(compute), std::move(fold), std::move(publish));
+}
+
+common::TaskFuture<RoundResult> SplitFedTrainer::submit_round_faulty(
+    const common::TaskHandle& start, const common::TaskHandle& release) {
+  const std::size_t n = num_clients();
+  const double client_model_bytes =
+      static_cast<double>(global_client_.state_bytes());
+  const double share = 1.0 / static_cast<double>(n);
+  const std::size_t retry_cap = network().config().channel.retry.max_attempts;
+
+  // Submit stage: round-keyed fault plan + batch plans for every computing
+  // client. Survivor weights renormalize at publish (lateness is only known
+  // from the simulated chains), so the eager fold stays off.
+  struct Prep {
+    sim::FaultPlan plan;
+    std::vector<ClientDisposition> dispo;
+    std::vector<std::vector<std::vector<std::size_t>>> plans;
+  };
+  auto prep = std::make_shared<Prep>();
+  prep->plan =
+      sim::FaultPlan::draw(config().faults, retry_cap, next_round_index(), n);
+  prep->dispo.resize(n);
+  prep->plans.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    prep->dispo[c] = classify(prep->plan.client(c));
+    if (prep->dispo[c].computes) prep->plans[c] = samplers_[c].plan_epoch();
+  }
+
+  auto compute = [this, prep, client_model_bytes, share,
+                  retry_cap](std::size_t c) -> SflClientOutcome {
+    SflClientOutcome out;
+    const auto& fault = prep->plan.client(c);
+    const auto& dispo = prep->dispo[c];
+    if (fault.crash_before) return out;
+
+    const std::size_t dl =
+        fault.downlink_attempts > 0 ? fault.downlink_attempts : retry_cap;
+    out.chain.downlink +=
+        network().downlink_seconds(c, client_model_bytes, share, dl);
+    if (!dispo.reports) return out;  // result unobservable: skip host work
+
+    nn::SplitModel replica(global_client_, global_server_);
+    auto client_opt = attach_optimizer(replica.client(),
+                                       [this] { return make_optimizer(); });
+    auto server_opt = attach_optimizer(replica.server(),
+                                       [this] { return make_optimizer(); });
+    const auto epoch = run_split_epoch_planned(
+        replica, client_opt.get(), *server_opt, client_dataset(c),
+        prep->plans[c], network(), c, share);
+    auto latency = epoch.latency;
+    latency.client_compute *= fault.slowdown;
+    out.chain += latency;
+    out.loss_sum = epoch.loss_sum;
+    out.batches = epoch.batches;
+
+    out.chain.uplink += network().uplink_seconds(c, client_model_bytes, share,
+                                                 fault.uplink_attempts);
+    out.client_state = replica.client().state();
+    out.server_state = replica.server().state();
+    return out;
+  };
+
+  auto fold = [](std::size_t, SflClientOutcome&) {};
+  auto publish =
+      [this, prep](std::vector<SflClientOutcome>& outcomes) -> RoundResult {
+    const std::size_t n = outcomes.size();
+    std::vector<char> reported(n, 0);
+    std::vector<double> times(n, 0.0);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!prep->dispo[c].reports) continue;
+      reported[c] = 1;
+      times[c] = outcomes[c].chain.total();
+    }
+    const RoundClose close = close_round(config().round_policy, reported, times);
+
+    RoundResult result;
+    std::vector<nn::StateDict> client_states;
+    std::vector<nn::StateDict> server_states;
+    std::vector<double> weights;
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    sim::LatencyBreakdown critical;
+    for (std::size_t c = 0; c < n; ++c) {
+      auto& record = result.participation.emplace_back();
+      record.client = c;
+      record.fault = prep->dispo[c].fault;
+      record.report_seconds = reported[c] != 0 ? times[c] : 0.0;
+      if (reported[c] != 0 && close.included[c] == 0) {
+        record.fault = sim::FaultKind::kLate;
+      }
+      if (close.included[c] == 0) continue;
+      loss_sum += outcomes[c].loss_sum;
+      batches += outcomes[c].batches;
+      if (outcomes[c].chain.total() > critical.total()) {
+        critical = outcomes[c].chain;
+      }
+      client_states.push_back(std::move(outcomes[c].client_state));
+      server_states.push_back(std::move(outcomes[c].server_state));
+      weights.push_back(static_cast<double>(client_dataset(c).size()));
+    }
+    result.latency = critical;
+    if (close.close_seconds > result.latency.total()) {
+      // Deadline idle time at the AP, charged to aggregation.
+      result.latency.aggregation += close.close_seconds - result.latency.total();
+    }
+    if (!client_states.empty()) {
+      global_client_.load_state(fedavg_states(client_states, weights));
+      global_server_.load_state(fedavg_states(server_states, weights));
+      result.latency.aggregation += network().server_compute_seconds(
+          aggregation_flops(global_client_.parameter_count() +
+                                global_server_.parameter_count(),
+                            client_states.size()));
+    }
+    result.train_loss =
+        batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    return result;
+  };
+
+  return submit_round_graph<SflClientOutcome>(
+      common::global_lane(), n, std::vector<char>(n, 0), start, release,
+      std::move(compute), std::move(fold), std::move(publish));
+}
+
+void SplitFedTrainer::do_save_state(std::ostream& out) const {
+  nn::write_state_dict(out, global_client_.state());
+  nn::write_state_dict(out, global_server_.state());
+  for (const auto& sampler : samplers_) sampler.save_state(out);
+}
+
+void SplitFedTrainer::do_load_state(std::istream& in) {
+  global_client_.load_state(nn::read_state_dict(in));
+  global_server_.load_state(nn::read_state_dict(in));
+  for (auto& sampler : samplers_) sampler.restore_state(in);
 }
 
 }  // namespace gsfl::schemes

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <deque>
 #include <iostream>
+#include <stdexcept>
 
 #include "gsfl/common/async_lane.hpp"
+#include "gsfl/common/serial.hpp"
 #include "gsfl/common/thread_pool.hpp"
+#include "gsfl/core/checkpoint.hpp"
 #include "gsfl/metrics/evaluate.hpp"
 #include "gsfl/nn/optimizer.hpp"
 
@@ -83,6 +86,29 @@ common::TaskFuture<RoundResult> Trainer::do_submit_round(
                                             {start, release});
 }
 
+void Trainer::save_state(std::ostream& out) const {
+  GSFL_EXPECT_MSG(in_flight_ == 0,
+                  "save_state with rounds in flight — collect every ticket "
+                  "first");
+  common::serial::write_u64(out, rounds_);
+  do_save_state(out);
+}
+
+void Trainer::load_state(std::istream& in) {
+  GSFL_EXPECT_MSG(in_flight_ == 0, "load_state with rounds in flight");
+  rounds_ = static_cast<std::size_t>(
+      common::serial::read_u64(in, "trainer round counter"));
+  do_load_state(in);
+}
+
+void Trainer::do_save_state(std::ostream&) const {
+  throw std::logic_error(name_ + ": checkpointing not supported");
+}
+
+void Trainer::do_load_state(std::istream&) {
+  throw std::logic_error(name_ + ": checkpointing not supported");
+}
+
 std::unique_ptr<nn::Optimizer> Trainer::make_optimizer() const {
   if (config_.momentum > 0.0) {
     return std::make_unique<nn::MomentumSgd>(
@@ -127,10 +153,9 @@ void record_round(metrics::RunRecorder& recorder, const Trainer& trainer,
 // order on this thread.
 metrics::RunRecorder run_experiment_pipelined(
     Trainer& trainer, const data::Dataset& test_set,
-    const ExperimentOptions& options, std::size_t depth) {
-  metrics::RunRecorder recorder(trainer.name());
-  double sim_seconds = 0.0;
-
+    const ExperimentOptions& options, std::size_t depth,
+    metrics::RunRecorder recorder, double sim_seconds,
+    std::size_t first_round) {
   struct InFlight {
     std::size_t round = 0;
     RoundTicket ticket;
@@ -151,7 +176,7 @@ metrics::RunRecorder run_experiment_pipelined(
 
   try {
     common::TaskHandle model_release;  // last scheduled evaluation
-    for (std::size_t round = 1; round <= options.rounds; ++round) {
+    for (std::size_t round = first_round; round <= options.rounds; ++round) {
       InFlight flight;
       flight.round = round;
       flight.ticket = trainer.submit_round(model_release);
@@ -199,36 +224,57 @@ metrics::RunRecorder run_experiment(Trainer& trainer,
   GSFL_EXPECT(options.rounds >= 1);
   GSFL_EXPECT(options.eval_every >= 1);
 
-  // Early stopping decides whether round r+1 runs from round r's
-  // evaluation — an inherent barrier — so the pipelined driver only takes
-  // over when no stop option asks for that decision.
-  if (options.pipeline_depth > 1 && !options.stop_at_accuracy &&
-      !options.stop_after_seconds) {
-    return run_experiment_pipelined(trainer, test_set, options,
-                                    options.pipeline_depth);
-  }
-
+  // Crash recovery: restore trainer + history + clock before any round
+  // runs; the remaining rounds then continue bitwise identically to the
+  // uninterrupted run (the Resume* tests pin this record-for-record).
   metrics::RunRecorder recorder(trainer.name());
   double sim_seconds = 0.0;
+  std::size_t first_round = 1;
+  if (options.resume_from) {
+    const core::ExperimentCheckpoint ckpt =
+        core::load_experiment_checkpoint_file(*options.resume_from, trainer);
+    for (const auto& record : ckpt.records) recorder.record(record);
+    sim_seconds = ckpt.sim_seconds;
+    first_round = ckpt.round + 1;
+  }
 
-  for (std::size_t round = 1; round <= options.rounds; ++round) {
+  // Early stopping decides whether round r+1 runs from round r's
+  // evaluation — an inherent barrier — so the pipelined driver only takes
+  // over when no stop option asks for that decision. Checkpointing is a
+  // barrier too: a snapshot must capture a fully published round.
+  if (options.pipeline_depth > 1 && !options.stop_at_accuracy &&
+      !options.stop_after_seconds && options.checkpoint_every == 0) {
+    return run_experiment_pipelined(trainer, test_set, options,
+                                    options.pipeline_depth,
+                                    std::move(recorder), sim_seconds,
+                                    first_round);
+  }
+
+  for (std::size_t round = first_round; round <= options.rounds; ++round) {
     const RoundResult result = trainer.run_round();
     sim_seconds += result.latency.total();
 
-    if (round % options.eval_every != 0 && round != options.rounds) {
-      continue;
+    const bool evaluate =
+        round % options.eval_every == 0 || round == options.rounds;
+    bool stop = false;
+    if (evaluate) {
+      auto model = trainer.global_model();
+      const auto eval =
+          metrics::evaluate(model, test_set, options.eval_batch_size);
+      record_round(recorder, trainer, round, sim_seconds, result, eval,
+                   options.verbose);
+      stop = (options.stop_at_accuracy &&
+              eval.accuracy >= *options.stop_at_accuracy) ||
+             (options.stop_after_seconds &&
+              sim_seconds >= *options.stop_after_seconds);
     }
-    auto model = trainer.global_model();
-    const auto eval =
-        metrics::evaluate(model, test_set, options.eval_batch_size);
-    record_round(recorder, trainer, round, sim_seconds, result, eval,
-                 options.verbose);
-    if (options.stop_at_accuracy && eval.accuracy >= *options.stop_at_accuracy) {
-      break;
+    if (options.checkpoint_every != 0 &&
+        round % options.checkpoint_every == 0) {
+      core::save_experiment_checkpoint_file(
+          core::checkpoint_path(options.checkpoint_dir, trainer.name(), round),
+          trainer, recorder.records(), sim_seconds);
     }
-    if (options.stop_after_seconds && sim_seconds >= *options.stop_after_seconds) {
-      break;
-    }
+    if (stop) break;
   }
   return recorder;
 }

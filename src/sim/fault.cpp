@@ -1,0 +1,85 @@
+#include "gsfl/sim/fault.hpp"
+
+#include "gsfl/common/expect.hpp"
+#include "gsfl/common/rng.hpp"
+
+namespace gsfl::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kCrashBeforeCompute: return "crash-before-compute";
+    case FaultKind::kDownlinkFailed: return "downlink-failed";
+    case FaultKind::kCrashAfterCompute: return "crash-after-compute";
+    case FaultKind::kUplinkFailed: return "uplink-failed";
+    case FaultKind::kLate: return "late";
+    case FaultKind::kCascade: return "cascade";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Attempts until the first success under per-attempt loss rate `p`, capped
+/// at `max_attempts`; 0 ⇒ the cap was exhausted. Rate 0 draws nothing (a
+/// clean link consumes no stream), everything else draws one bernoulli per
+/// attempt — variable-length but deterministic, since the count depends only
+/// on the draws themselves.
+std::uint32_t draw_attempts(common::Rng& rng, double p,
+                            std::size_t max_attempts) {
+  if (p <= 0.0) return 1;
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (!rng.bernoulli(p)) return static_cast<std::uint32_t>(attempt);
+  }
+  return 0;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::draw(const FaultConfig& config, std::size_t max_attempts,
+                          std::uint64_t round_index, std::size_t num_clients) {
+  GSFL_EXPECT_MSG(max_attempts >= 1, "retry cap must allow one attempt");
+  GSFL_EXPECT(config.crash_before_rate >= 0.0 &&
+              config.crash_before_rate < 1.0);
+  GSFL_EXPECT(config.crash_after_rate >= 0.0 && config.crash_after_rate < 1.0);
+  GSFL_EXPECT(config.downlink_loss_rate >= 0.0 &&
+              config.downlink_loss_rate < 1.0);
+  GSFL_EXPECT(config.uplink_loss_rate >= 0.0 && config.uplink_loss_rate < 1.0);
+  GSFL_EXPECT(config.straggler_rate >= 0.0 && config.straggler_rate <= 1.0);
+  GSFL_EXPECT(config.straggler_slowdown_min >= 1.0 &&
+              config.straggler_slowdown_min <= config.straggler_slowdown_max);
+
+  // The round key: forking the root by (round + 1) gives every round an
+  // independent stream whose position never depends on how many draws
+  // earlier rounds consumed — the property crash-resume and pipelined
+  // submission both rely on.
+  common::Rng root(config.seed);
+  common::Rng rng = root.fork(round_index + 1);
+
+  FaultPlan plan;
+  plan.clients_.resize(num_clients);
+  for (auto& fault : plan.clients_) {
+    // Fixed per-client draw order, chronological in the round: crash-before,
+    // downlink, (compute, straggler factor), crash-after, uplink.
+    fault.crash_before =
+        config.crash_before_rate > 0.0 && rng.bernoulli(config.crash_before_rate);
+    fault.downlink_attempts =
+        draw_attempts(rng, config.downlink_loss_rate, max_attempts);
+    if (config.straggler_rate > 0.0 && rng.bernoulli(config.straggler_rate)) {
+      fault.slowdown = rng.uniform(config.straggler_slowdown_min,
+                                   config.straggler_slowdown_max);
+    }
+    fault.crash_after =
+        config.crash_after_rate > 0.0 && rng.bernoulli(config.crash_after_rate);
+    fault.uplink_attempts =
+        draw_attempts(rng, config.uplink_loss_rate, max_attempts);
+  }
+  return plan;
+}
+
+const ClientFault& FaultPlan::client(std::size_t c) const {
+  GSFL_EXPECT(c < clients_.size());
+  return clients_[c];
+}
+
+}  // namespace gsfl::sim

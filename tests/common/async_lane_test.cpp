@@ -208,4 +208,84 @@ TEST(AsyncLane, GlobalLaneIsSharedAndSized) {
   EXPECT_EQ(f.wait(), 9);
 }
 
+// ---- error-path hardening ---------------------------------------------------
+
+TEST(AsyncLane, ThrowingTaskMidGraphFailsOnlyItsDescendants) {
+  // A diamond with one poisoned arm: the failure must flow to the join, the
+  // healthy arm must still run, and an unrelated task must be untouched.
+  AsyncLane lane(2);
+  auto ok_arm = lane.submit([] { return 1; });
+  auto bad_arm = lane.submit([]() -> int {
+    throw std::runtime_error("mid-graph");
+  });
+  std::atomic<bool> join_ran{false};
+  auto join = lane.submit_after(
+      [&] {
+        join_ran = true;
+        return 3;
+      },
+      {ok_arm.handle(), bad_arm.handle()});
+  auto unrelated = lane.submit([] { return 4; });
+
+  EXPECT_EQ(ok_arm.wait(), 1);
+  EXPECT_THROW(join.wait(), std::runtime_error);
+  EXPECT_FALSE(join_ran.load());
+  EXPECT_EQ(unrelated.wait(), 4);
+}
+
+TEST(AsyncLane, WhenAllOverAFailedTaskThrowsAfterOthersComplete) {
+  AsyncLane lane(2);
+  std::vector<TaskFuture<int>> futures;
+  futures.push_back(lane.submit([] { return 0; }));
+  futures.push_back(lane.submit([]() -> int {
+    throw std::runtime_error("slot 1");
+  }));
+  futures.push_back(lane.submit([] { return 2; }));
+  EXPECT_THROW((void)AsyncLane::when_all(futures), std::runtime_error);
+  // The healthy slots did complete; only the merge aborted.
+  EXPECT_EQ(futures[0].ready(), true);
+  EXPECT_EQ(futures[2].wait(), 2);
+}
+
+TEST(AsyncLane, HelpOnWaitSurfacesTheHelpedTasksError) {
+  // The waiter executes the throwing task inline; the error must come out
+  // of wait() exactly as if a worker had run it, and the lane must stay
+  // usable for both the blocked worker and later submissions.
+  AsyncLane lane(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  auto blocker = lane.submit([gate, &started] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();
+  auto helped = lane.submit([]() -> int {
+    throw std::runtime_error("helped and failed");
+  });
+  EXPECT_THROW(helped.wait(), std::runtime_error);
+  release.set_value();
+  blocker.wait();
+  auto after = lane.submit([] { return 5; });
+  EXPECT_EQ(after.wait(), 5);
+}
+
+TEST(AsyncLane, LaneIsReusableAfterAFullyFailedGraph) {
+  AsyncLane lane(2);
+  for (int graph = 0; graph < 3; ++graph) {
+    auto root = lane.submit([]() -> int {
+      throw std::runtime_error("graph root");
+    });
+    std::vector<TaskFuture<int>> layer;
+    for (int i = 0; i < 4; ++i) {
+      layer.push_back(lane.submit_after([i] { return i; }, {root.handle()}));
+    }
+    for (auto& f : layer) EXPECT_THROW((void)f.wait(), std::runtime_error);
+  }
+  // Three poisoned graphs later, a clean graph runs to completion.
+  auto a = lane.submit([] { return 20; });
+  auto b = lane.then(a, [](int& v) { return v + 2; });
+  EXPECT_EQ(b.wait(), 22);
+}
+
 }  // namespace

@@ -1,0 +1,290 @@
+// Crash recovery: a trainer restored from a checkpoint continues bitwise
+// identically to the uninterrupted run. The state blob carries everything
+// mutable — models, sampler streams, auxiliary RNG, adaptive bandwidth
+// shares — and the fault engine needs nothing saved at all, because its
+// plans are keyed by round index. The suite pins the contract for every
+// checkpointable scheme, for the run_experiment driver's
+// checkpoint_every/resume_from options, and for the failure modes (scheme
+// mismatch, truncation, trainers without checkpoint support).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gsfl/core/checkpoint.hpp"
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/schemes/centralized.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "gsfl/schemes/splitfed.hpp"
+#include "gsfl/schemes/trainer.hpp"
+#include "support/property.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using namespace gsfl;
+using test::prop::bitwise_equal;
+
+sim::FaultConfig lively_faults() {
+  sim::FaultConfig faults;
+  faults.crash_before_rate = 0.15;
+  faults.downlink_loss_rate = 0.2;
+  faults.straggler_rate = 0.3;
+  faults.seed = 0xD1CE;
+  return faults;
+}
+
+void expect_states_equal(const nn::StateDict& actual,
+                         const nn::StateDict& expected, const char* label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t e = 0; e < actual.size(); ++e) {
+    EXPECT_TRUE(bitwise_equal(actual[e], expected[e]))
+        << label << " entry " << e;
+  }
+}
+
+void expect_results_equal(const std::vector<schemes::RoundResult>& actual,
+                          const std::vector<schemes::RoundResult>& expected,
+                          const char* label) {
+  ASSERT_EQ(actual.size(), expected.size()) << label;
+  for (std::size_t r = 0; r < actual.size(); ++r) {
+    EXPECT_EQ(actual[r].train_loss, expected[r].train_loss)
+        << label << " round " << r;
+    EXPECT_EQ(actual[r].latency.total(), expected[r].latency.total())
+        << label << " round " << r;
+  }
+}
+
+// Run `factory()`'s trainer straight for total_rounds; then re-run as
+// split_at rounds + save_state + a fresh trainer restored with load_state
+// driving the remainder. Both tails must match bitwise.
+template <typename Factory>
+void check_save_restore_bitwise(Factory factory, std::size_t total_rounds,
+                                std::size_t split_at, const char* label) {
+  auto straight = factory();
+  const auto straight_results =
+      schemes::run_rounds_pipelined(*straight, total_rounds, 1);
+  const auto straight_state = straight->global_model().state();
+
+  auto first = factory();
+  (void)schemes::run_rounds_pipelined(*first, split_at, 1);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  first->save_state(blob);
+
+  auto resumed = factory();
+  resumed->load_state(blob);
+  EXPECT_EQ(resumed->rounds_completed(), split_at) << label;
+  const auto tail_results =
+      schemes::run_rounds_pipelined(*resumed, total_rounds - split_at, 1);
+
+  expect_states_equal(resumed->global_model().state(), straight_state, label);
+  const std::vector<schemes::RoundResult> straight_tail(
+      straight_results.begin() + static_cast<std::ptrdiff_t>(split_at),
+      straight_results.end());
+  expect_results_equal(tail_results, straight_tail, label);
+}
+
+TEST(Resume, SflSaveRestoreContinuesBitwise) {
+  const auto factory = [] {
+    auto network = std::make_shared<net::WirelessNetwork>(
+        test::make_tiny_network(4));
+    auto datasets = test::make_client_datasets(4, 10, 71);
+    common::Rng model_rng(73);
+    auto model = test::make_tiny_model(model_rng);
+    schemes::TrainConfig config;
+    config.batch_size = 4;
+    struct Holder {
+      std::shared_ptr<net::WirelessNetwork> network;
+      schemes::SplitFedTrainer trainer;
+      schemes::Trainer& operator*() { return trainer; }
+      schemes::Trainer* operator->() { return &trainer; }
+    };
+    return Holder{network,
+                  schemes::SplitFedTrainer(*network, std::move(datasets),
+                                           std::move(model), test::kTinyCut,
+                                           config)};
+  };
+  check_save_restore_bitwise(factory, 6, 3, "sfl");
+}
+
+TEST(Resume, FlWithFaultsAndQuorumSaveRestoreContinuesBitwise) {
+  // Fault plans are round-keyed: the resumed run replays rounds 4–6's
+  // exact faults without any fault-RNG state in the blob.
+  const auto factory = [] {
+    auto network = std::make_shared<net::WirelessNetwork>(
+        test::make_tiny_network(5));
+    auto datasets = test::make_client_datasets(5, 10, 81);
+    common::Rng model_rng(83);
+    auto model = test::make_tiny_model(model_rng);
+    schemes::TrainConfig config;
+    config.batch_size = 4;
+    config.faults = lively_faults();
+    config.round_policy.quorum_fraction = 0.6;
+    struct Holder {
+      std::shared_ptr<net::WirelessNetwork> network;
+      schemes::FedAvgTrainer trainer;
+      schemes::Trainer& operator*() { return trainer; }
+      schemes::Trainer* operator->() { return &trainer; }
+    };
+    return Holder{network, schemes::FedAvgTrainer(*network, std::move(datasets),
+                                                  std::move(model), config)};
+  };
+  check_save_restore_bitwise(factory, 6, 3, "fl-faulty");
+}
+
+TEST(Resume, GsflAdaptiveWithFaultsSaveRestoreContinuesBitwise) {
+  // The deepest blob: both model halves, all samplers, the legacy failure
+  // RNG mid-stream, and the adaptive bandwidth shares.
+  const auto factory = [] {
+    auto network = std::make_shared<net::WirelessNetwork>(
+        test::make_tiny_network(6));
+    auto datasets = test::make_client_datasets(6, 10, 91);
+    common::Rng model_rng(93);
+    auto model = test::make_tiny_model(model_rng);
+    core::GsflConfig config;
+    config.num_groups = 3;
+    config.cut_layer = test::kTinyCut;
+    config.grouping = core::GroupingPolicy::kContiguous;
+    config.bandwidth = core::BandwidthPolicy::kAdaptive;
+    config.client_failure_rate = 0.2;
+    config.train.batch_size = 4;
+    config.train.faults = lively_faults();
+    struct Holder {
+      std::shared_ptr<net::WirelessNetwork> network;
+      core::GsflTrainer trainer;
+      schemes::Trainer& operator*() { return trainer; }
+      schemes::Trainer* operator->() { return &trainer; }
+    };
+    return Holder{network, core::GsflTrainer(*network, std::move(datasets),
+                                             std::move(model), config)};
+  };
+  check_save_restore_bitwise(factory, 6, 3, "gsfl-adaptive-faulty");
+}
+
+// ---- run_experiment driver -------------------------------------------------
+
+TEST(Resume, RunExperimentResumesRecordForRecord) {
+  const std::string dir = ::testing::TempDir();
+  const auto make_trainer = [](auto& network) {
+    auto datasets = test::make_client_datasets(4, 10, 101);
+    common::Rng model_rng(103);
+    auto model = test::make_tiny_model(model_rng);
+    schemes::TrainConfig config;
+    config.batch_size = 4;
+    config.faults = lively_faults();
+    return schemes::FedAvgTrainer(network, std::move(datasets),
+                                  std::move(model), config);
+  };
+  common::Rng data_rng(105);
+  const auto test_set = test::make_separable_dataset(24, data_rng);
+
+  auto network = test::make_tiny_network(4);
+  auto full = make_trainer(network);
+  schemes::ExperimentOptions options;
+  options.rounds = 6;
+  options.eval_every = 1;
+  options.checkpoint_every = 2;
+  options.checkpoint_dir = dir;
+  const auto reference = schemes::run_experiment(full, test_set, options);
+
+  auto resumed = make_trainer(network);
+  schemes::ExperimentOptions resume_options;
+  resume_options.rounds = 6;
+  resume_options.eval_every = 1;
+  resume_options.resume_from = core::checkpoint_path(dir, "FL", 4);
+  const auto rerun = schemes::run_experiment(resumed, test_set, resume_options);
+
+  ASSERT_EQ(rerun.rounds(), reference.rounds());
+  for (std::size_t i = 0; i < rerun.records().size(); ++i) {
+    const auto& a = rerun.records()[i];
+    const auto& e = reference.records()[i];
+    EXPECT_EQ(a.round, e.round) << "record " << i;
+    EXPECT_EQ(a.sim_seconds, e.sim_seconds) << "record " << i;
+    EXPECT_EQ(a.train_loss, e.train_loss) << "record " << i;
+    EXPECT_EQ(a.eval_accuracy, e.eval_accuracy) << "record " << i;
+  }
+  expect_states_equal(resumed.global_model().state(),
+                      full.global_model().state(), "run_experiment resume");
+}
+
+// ---- failure modes ---------------------------------------------------------
+
+TEST(Resume, ExperimentCheckpointRejectsSchemeMismatch) {
+  auto network = test::make_tiny_network(2);
+  auto datasets = test::make_client_datasets(2, 8, 111);
+  common::Rng model_rng(113);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  schemes::FedAvgTrainer fl(network, test::make_client_datasets(2, 8, 111),
+                            test::make_tiny_model(model_rng), config);
+  (void)fl.run_round();
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  core::save_experiment_checkpoint(blob, fl, {}, 1.0);
+
+  common::Rng other_rng(115);
+  schemes::SplitFedTrainer sfl(network, std::move(datasets),
+                               test::make_tiny_model(other_rng),
+                               test::kTinyCut, config);
+  EXPECT_THROW((void)core::load_experiment_checkpoint(blob, sfl),
+               std::runtime_error);
+}
+
+TEST(Resume, TruncatedExperimentCheckpointReportsTheBreak) {
+  auto network = test::make_tiny_network(2);
+  auto datasets = test::make_client_datasets(2, 8, 121);
+  common::Rng model_rng(123);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  schemes::FedAvgTrainer trainer(network, std::move(datasets),
+                                 std::move(model), config);
+  (void)trainer.run_round();
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  core::save_experiment_checkpoint(blob, trainer, {}, 1.0);
+  const std::string bytes = blob.str();
+
+  // Cut the blob mid-tensor: the error must name a field and an offset.
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2),
+                        std::ios::in | std::ios::binary);
+  try {
+    (void)core::load_experiment_checkpoint(cut, trainer);
+    FAIL() << "truncated checkpoint must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("offset"), std::string::npos)
+        << "message was: " << error.what();
+  }
+}
+
+TEST(Resume, TrailingGarbageIsRejected) {
+  auto network = test::make_tiny_network(2);
+  auto datasets = test::make_client_datasets(2, 8, 131);
+  common::Rng model_rng(133);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  schemes::FedAvgTrainer trainer(network, std::move(datasets),
+                                 std::move(model), config);
+  std::stringstream blob(std::ios::in | std::ios::out | std::ios::binary);
+  core::save_experiment_checkpoint(blob, trainer, {}, 0.0);
+  blob << "extra bytes that no writer of ours produced";
+  EXPECT_THROW((void)core::load_experiment_checkpoint(blob, trainer),
+               std::runtime_error);
+}
+
+TEST(Resume, SchemesWithoutCheckpointSupportSaySo) {
+  auto network = test::make_tiny_network(1);
+  auto datasets = test::make_client_datasets(1, 8, 141);
+  common::Rng model_rng(143);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  schemes::CentralizedTrainer trainer(network, std::move(datasets),
+                                      std::move(model), config);
+  std::stringstream blob;
+  EXPECT_THROW(trainer.save_state(blob), std::logic_error);
+}
+
+}  // namespace

@@ -102,4 +102,85 @@ TEST(Checkpoint, MissingFileThrows) {
                std::runtime_error);
 }
 
+// ---- malformed inputs ------------------------------------------------------
+// Errors must say where the stream broke: which state entry, at what byte
+// offset. A checkpoint that fails to load hours into an experiment is only
+// debuggable if the message localizes the corruption.
+
+std::string checkpoint_bytes() {
+  Rng rng(7);
+  auto model = make_gtsrb_cnn(small_config(), rng);
+  std::stringstream buffer;
+  save_checkpoint(buffer, model);
+  return buffer.str();
+}
+
+TEST(Checkpoint, TruncatedHeaderNamesTheOffset) {
+  const auto full = checkpoint_bytes();
+  // Cut inside the header (magic + version + entry count = 16 bytes).
+  std::stringstream cut(full.substr(0, 6));
+  try {
+    (void)read_checkpoint_state(cut);
+    FAIL() << "truncated header must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("offset"), std::string::npos)
+        << "message was: " << error.what();
+  }
+}
+
+TEST(Checkpoint, OversizedTensorLengthIsRejectedWithContext) {
+  auto bytes = checkpoint_bytes();
+  // The first tensor's first dimension lives right after the checkpoint
+  // header (16 bytes) and the tensor's own magic + rank (8 bytes). Blow it
+  // up to an absurd length: the reader must reject it instead of trying to
+  // allocate, and the error must say which entry broke.
+  const std::size_t dim_offset = 16 + 4 + 4;
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[dim_offset + i] = static_cast<char>(0xFF);
+  }
+  std::stringstream corrupt(bytes);
+  try {
+    (void)read_checkpoint_state(corrupt);
+    FAIL() << "oversized tensor length must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("state entry 0"), std::string::npos)
+        << "message was: " << what;
+    EXPECT_NE(what.find("offset"), std::string::npos)
+        << "message was: " << what;
+  }
+}
+
+TEST(Checkpoint, TrailingGarbageAfterTheLastTensorIsRejected) {
+  Rng rng(8);
+  auto model = make_gtsrb_cnn(small_config(), rng);
+  auto other = make_gtsrb_cnn(small_config(), rng);
+  std::stringstream buffer;
+  save_checkpoint(buffer, model);
+  buffer << "spurious trailing bytes";
+  try {
+    load_checkpoint(buffer, other);
+    FAIL() << "trailing garbage must throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("trailing"), std::string::npos)
+        << "message was: " << error.what();
+  }
+}
+
+TEST(Checkpoint, MidTensorTruncationNamesEntryAndOffset) {
+  const auto full = checkpoint_bytes();
+  // Cut deep into the blob, past at least one whole tensor.
+  std::stringstream cut(full.substr(0, full.size() - full.size() / 4));
+  try {
+    (void)read_checkpoint_state(cut);
+    FAIL() << "mid-tensor truncation must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("state entry"), std::string::npos)
+        << "message was: " << what;
+    EXPECT_NE(what.find("offset"), std::string::npos)
+        << "message was: " << what;
+  }
+}
+
 }  // namespace

@@ -8,6 +8,9 @@
 // does run while stragglers compute.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "gsfl/core/gsfl.hpp"
@@ -260,6 +263,65 @@ TEST(PipelinedRounds, RunRoundRefusesWhileRoundsInFlight) {
   EXPECT_EQ(trainer.rounds_in_flight(), 0u);
   EXPECT_EQ(trainer.rounds_completed(), 1u);
   (void)trainer.run_round();  // fine again once drained
+}
+
+// ---- error paths -----------------------------------------------------------
+
+// A scheme whose round body throws on one specific round: the pipelined
+// driver must surface that error from the failed ticket, drain the window
+// without deadlocking, and leave both the lane and the trainer reusable.
+class FlakyTrainer final : public schemes::Trainer {
+ public:
+  FlakyTrainer(const net::WirelessNetwork& network,
+               std::vector<data::Dataset> datasets, nn::Sequential model,
+               schemes::TrainConfig config, std::size_t fail_at)
+      : Trainer("Flaky", network, std::move(datasets), config),
+        model_(std::move(model)),
+        fail_at_(fail_at) {}
+
+  [[nodiscard]] nn::Sequential global_model() const override { return model_; }
+
+ protected:
+  schemes::RoundResult do_round() override {
+    const std::size_t round = attempts_.fetch_add(1);
+    if (round == fail_at_) {
+      throw std::runtime_error("flaky client died in round " +
+                               std::to_string(round));
+    }
+    schemes::RoundResult result;
+    result.train_loss = 1.0 / static_cast<double>(round + 1);
+    return result;
+  }
+
+ private:
+  nn::Sequential model_;
+  std::size_t fail_at_;
+  std::atomic<std::size_t> attempts_{0};
+};
+
+TEST(PipelinedRounds, ThrowingRoundFailsItsTicketWithoutPoisoningTheLane) {
+  auto network = test::make_tiny_network(2);
+  auto datasets = test::make_client_datasets(2, 8, 37);
+  common::Rng model_rng(41);
+  FlakyTrainer trainer(network, std::move(datasets),
+                       test::make_tiny_model(model_rng),
+                       schemes::TrainConfig{}, /*fail_at=*/1);
+
+  // Round index 1 throws; with depth 2 the failure lands while another
+  // round is in flight, so the drain path really runs.
+  EXPECT_THROW((void)schemes::run_rounds_pipelined(trainer, 4, 2),
+               std::runtime_error);
+  EXPECT_EQ(trainer.rounds_in_flight(), 0u);
+
+  // The trainer accepts new pipelined rounds after the failed graph drains
+  // (the publish gate was cleared, so these do not inherit the old error).
+  const auto after = schemes::run_rounds_pipelined(trainer, 3, 2);
+  ASSERT_EQ(after.size(), 3u);
+  for (const auto& result : after) EXPECT_GT(result.train_loss, 0.0);
+
+  // The global lane is healthy for unrelated work too.
+  auto f = common::global_lane().submit([] { return 11; });
+  EXPECT_EQ(f.wait(), 11);
 }
 
 }  // namespace

@@ -1,0 +1,448 @@
+// Robust federation: deterministic fault injection and deadline/quorum
+// round completion. Two properties anchor this suite. First, fault-injected
+// rounds stay inside the determinism contract — bitwise identical results
+// across the thread × pipeline-depth × pack-strategy matrix, because every
+// fault is scripted by a round-keyed plan drawn at submission. Second, the
+// quorum/deadline close is an exact, index-ordered renormalization: who is
+// excluded (and why) is recorded per client, and the surviving FedAvg fold
+// is invariant to scheduling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "gsfl/schemes/robustness.hpp"
+#include "gsfl/schemes/splitfed.hpp"
+#include "gsfl/schemes/trainer.hpp"
+#include "support/property.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using namespace gsfl;
+using test::prop::bitwise_equal;
+
+std::vector<data::Dataset> make_straggler_datasets(std::size_t num_clients,
+                                                   std::uint64_t seed) {
+  common::Rng root(seed);
+  std::vector<data::Dataset> out;
+  out.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    auto rng = root.fork(100 + c);
+    const std::size_t samples = c + 1 == num_clients ? 24 : 4 + 2 * c;
+    out.push_back(test::make_separable_dataset(samples, rng));
+  }
+  return out;
+}
+
+sim::FaultConfig lively_faults() {
+  sim::FaultConfig faults;
+  faults.crash_before_rate = 0.15;
+  faults.crash_after_rate = 0.1;
+  faults.downlink_loss_rate = 0.2;
+  faults.uplink_loss_rate = 0.2;
+  faults.straggler_rate = 0.3;
+  faults.seed = 0xBEEF;
+  return faults;
+}
+
+struct RunOutput {
+  std::vector<schemes::RoundResult> results;
+  nn::StateDict state;
+};
+
+void expect_same_run(const RunOutput& actual, const RunOutput& reference,
+                     const std::string& label) {
+  ASSERT_EQ(actual.results.size(), reference.results.size()) << label;
+  for (std::size_t r = 0; r < actual.results.size(); ++r) {
+    const auto& a = actual.results[r];
+    const auto& e = reference.results[r];
+    EXPECT_EQ(a.train_loss, e.train_loss) << label << " round " << r;
+    EXPECT_EQ(a.latency.total(), e.latency.total()) << label << " round " << r;
+    ASSERT_EQ(a.participation.size(), e.participation.size())
+        << label << " round " << r;
+    for (std::size_t c = 0; c < a.participation.size(); ++c) {
+      EXPECT_EQ(a.participation[c].client, e.participation[c].client)
+          << label << " round " << r << " client " << c;
+      EXPECT_EQ(a.participation[c].fault, e.participation[c].fault)
+          << label << " round " << r << " client " << c;
+      EXPECT_EQ(a.participation[c].report_seconds,
+                e.participation[c].report_seconds)
+          << label << " round " << r << " client " << c;
+    }
+  }
+  ASSERT_EQ(actual.state.size(), reference.state.size()) << label;
+  for (std::size_t e = 0; e < actual.state.size(); ++e) {
+    EXPECT_TRUE(bitwise_equal(actual.state[e], reference.state[e]))
+        << label << " state entry " << e;
+  }
+}
+
+// ---- bitwise matrix, per scheme --------------------------------------------
+
+RunOutput run_fl_faulty(std::size_t rounds, std::size_t depth) {
+  const std::size_t clients = 6;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = make_straggler_datasets(clients, 23);
+  common::Rng model_rng(9);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  config.faults = lively_faults();
+  config.round_policy.quorum_fraction = 0.5;
+  schemes::FedAvgTrainer trainer(network, std::move(datasets),
+                                 std::move(model), config);
+  RunOutput out;
+  out.results = schemes::run_rounds_pipelined(trainer, rounds, depth);
+  out.state = trainer.global_model().state();
+  return out;
+}
+
+TEST(FaultInjection, FlFaultyRoundsBitwiseAcrossThreadAndDepthMatrix) {
+  const auto reference = run_fl_faulty(4, 1);
+  test::prop::for_each_thread_count([&](std::size_t threads) {
+    test::prop::for_each_pipeline_depth([&](std::size_t depth) {
+      expect_same_run(run_fl_faulty(4, depth), reference,
+                      "fl t=" + std::to_string(threads) +
+                          " d=" + std::to_string(depth));
+    });
+  });
+}
+
+RunOutput run_sfl_faulty(std::size_t rounds, std::size_t depth) {
+  const std::size_t clients = 5;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = make_straggler_datasets(clients, 11);
+  common::Rng model_rng(7);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  config.faults = lively_faults();
+  config.round_policy.deadline_seconds = 60.0;
+  schemes::SplitFedTrainer trainer(network, std::move(datasets),
+                                   std::move(model), test::kTinyCut, config);
+  RunOutput out;
+  out.results = schemes::run_rounds_pipelined(trainer, rounds, depth);
+  out.state = trainer.global_model().state();
+  return out;
+}
+
+TEST(FaultInjection, SflFaultyRoundsBitwiseAcrossMatrixAndPackStrategy) {
+  const auto reference = run_sfl_faulty(4, 1);
+  test::prop::for_each_pack_strategy([&](tensor::PackStrategy strategy) {
+    test::prop::for_each_pipeline_depth([&](std::size_t depth) {
+      expect_same_run(
+          run_sfl_faulty(4, depth), reference,
+          std::string("sfl pack=") + test::prop::pack_strategy_name(strategy) +
+              " d=" + std::to_string(depth));
+    });
+  });
+  test::prop::for_each_thread_count([&](std::size_t threads) {
+    expect_same_run(run_sfl_faulty(4, 2), reference,
+                    "sfl t=" + std::to_string(threads));
+  });
+}
+
+RunOutput run_gsfl_faulty(std::size_t rounds, std::size_t depth) {
+  const std::size_t clients = 6;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = make_straggler_datasets(clients, 31);
+  common::Rng model_rng(13);
+  auto model = test::make_tiny_model(model_rng);
+  core::GsflConfig config;
+  config.num_groups = 3;
+  config.cut_layer = test::kTinyCut;
+  config.grouping = core::GroupingPolicy::kContiguous;
+  config.bandwidth = core::BandwidthPolicy::kAdaptive;
+  config.client_failure_rate = 0.1;  // legacy injection composes with faults
+  config.train.batch_size = 4;
+  config.train.faults = lively_faults();
+  config.train.round_policy.quorum_fraction = 0.67;
+  core::GsflTrainer trainer(network, std::move(datasets), std::move(model),
+                            config);
+  RunOutput out;
+  out.results = schemes::run_rounds_pipelined(trainer, rounds, depth);
+  out.state = trainer.global_model().state();
+  return out;
+}
+
+TEST(FaultInjection, GsflFaultyRoundsBitwiseAcrossThreadAndDepthMatrix) {
+  const auto reference = run_gsfl_faulty(4, 1);
+  test::prop::for_each_thread_count([&](std::size_t threads) {
+    test::prop::for_each_pipeline_depth([&](std::size_t depth) {
+      expect_same_run(run_gsfl_faulty(4, depth), reference,
+                      "gsfl t=" + std::to_string(threads) +
+                          " d=" + std::to_string(depth));
+    });
+  });
+}
+
+// ---- participation records -------------------------------------------------
+
+TEST(FaultInjection, FaultFreePathsLeaveParticipationEmpty) {
+  auto network = test::make_tiny_network(3);
+  auto datasets = test::make_client_datasets(3, 8, 5);
+  common::Rng model_rng(3);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  schemes::FedAvgTrainer trainer(network, std::move(datasets),
+                                 std::move(model), config);
+  const auto result = trainer.run_round();
+  EXPECT_TRUE(result.participation.empty());
+}
+
+TEST(FaultInjection, ParticipationRecordsExplainEveryClient) {
+  const std::size_t clients = 8;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = test::make_client_datasets(clients, 8, 17);
+  common::Rng model_rng(21);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  config.faults = lively_faults();
+  schemes::FedAvgTrainer trainer(network, std::move(datasets),
+                                 std::move(model), config);
+
+  bool saw_fault = false;
+  bool saw_participant = false;
+  for (std::size_t r = 0; r < 6; ++r) {
+    const auto result = trainer.run_round();
+    ASSERT_EQ(result.participation.size(), clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      const auto& record = result.participation[c];
+      EXPECT_EQ(record.client, c);
+      if (record.fault == sim::FaultKind::kNone) {
+        saw_participant = true;
+        EXPECT_GT(record.report_seconds, 0.0)
+            << "participants must have reached the AP";
+      } else {
+        saw_fault = true;
+      }
+      if (record.fault == sim::FaultKind::kCrashBeforeCompute ||
+          record.fault == sim::FaultKind::kDownlinkFailed ||
+          record.fault == sim::FaultKind::kCrashAfterCompute ||
+          record.fault == sim::FaultKind::kUplinkFailed) {
+        EXPECT_EQ(record.report_seconds, 0.0)
+            << "a client that never reported has no report time";
+      }
+    }
+  }
+  EXPECT_TRUE(saw_fault) << "these rates should fault someone in 6 rounds";
+  EXPECT_TRUE(saw_participant);
+}
+
+TEST(FaultInjection, GsflGroupChainBreaksCascadeToMembers) {
+  const std::size_t clients = 6;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = test::make_client_datasets(clients, 8, 37);
+  common::Rng model_rng(41);
+  auto model = test::make_tiny_model(model_rng);
+  core::GsflConfig config;
+  config.num_groups = 2;  // groups of 3: plenty of cascade surface
+  config.cut_layer = test::kTinyCut;
+  config.grouping = core::GroupingPolicy::kContiguous;
+  config.train.batch_size = 4;
+  config.train.faults.crash_after_rate = 0.5;
+  config.train.faults.seed = 0xCAFE;
+  core::GsflTrainer trainer(network, std::move(datasets), std::move(model),
+                            config);
+
+  bool saw_cascade = false;
+  for (std::size_t r = 0; r < 8 && !saw_cascade; ++r) {
+    const auto result = trainer.run_round();
+    ASSERT_EQ(result.participation.size(), clients);
+    for (const auto& record : result.participation) {
+      saw_cascade |= record.fault == sim::FaultKind::kCascade;
+    }
+  }
+  EXPECT_TRUE(saw_cascade)
+      << "a crash-after in a 3-member group must cascade to its peers";
+}
+
+// ---- retry pricing ---------------------------------------------------------
+
+TEST(FaultInjection, RetriesCostAirtimePlusBackoff) {
+  auto network = test::make_tiny_network(2);
+  const double bytes = 10'000.0;
+  const double share = 0.5;
+  const double single = network.uplink_seconds(0, bytes, share);
+  EXPECT_EQ(network.uplink_seconds(0, bytes, share, 1), single);
+  EXPECT_EQ(network.uplink_seconds(0, bytes, share, 3), 3.0 * single);
+  EXPECT_EQ(network.retry_backoff_seconds(3), 0.0);  // default backoff 0
+
+  net::NetworkConfig config;
+  config.total_bandwidth_hz = 10e6;
+  config.channel.retry.backoff_seconds = 2.0;
+  std::vector<net::DeviceProfile> devices(1);
+  devices[0].distance_m = 30.0;
+  devices[0].compute_flops = 1e9;
+  net::WirelessNetwork backoff_net(config, std::move(devices));
+  // Attempts 3 ⇒ waits of 1·b and 2·b between the three transmissions.
+  EXPECT_EQ(backoff_net.retry_backoff_seconds(3), 6.0);
+  const double base = backoff_net.downlink_seconds(0, bytes, 1.0);
+  EXPECT_EQ(backoff_net.downlink_seconds(0, bytes, 1.0, 3), 3.0 * base + 6.0);
+}
+
+// ---- quorum / deadline close -----------------------------------------------
+
+TEST(Quorum, DefaultPolicyIsTheFullBarrier) {
+  const schemes::RoundPolicy policy;
+  EXPECT_FALSE(policy.active());
+  const std::vector<char> reported = {1, 0, 1, 1};
+  const std::vector<double> times = {3.0, 0.0, 7.0, 5.0};
+  const auto close = schemes::close_round(policy, reported, times);
+  EXPECT_EQ(close.close_seconds, 7.0);
+  EXPECT_EQ(close.included, (std::vector<char>{1, 0, 1, 1}));
+}
+
+TEST(Quorum, ClosesAtTheKthReportAndExcludesLater) {
+  schemes::RoundPolicy policy;
+  policy.quorum_fraction = 0.5;  // K = 2 of 4
+  const std::vector<char> reported = {1, 1, 1, 1};
+  const std::vector<double> times = {9.0, 2.0, 4.0, 6.0};
+  const auto close = schemes::close_round(policy, reported, times);
+  EXPECT_EQ(close.close_seconds, 4.0);
+  EXPECT_EQ(close.included, (std::vector<char>{0, 1, 1, 0}));
+}
+
+TEST(Quorum, TiesAtTheCloseAreIncluded) {
+  schemes::RoundPolicy policy;
+  policy.quorum_fraction = 0.25;  // K = 1 of 4
+  const std::vector<char> reported = {1, 1, 1, 1};
+  const std::vector<double> times = {5.0, 5.0, 5.0, 8.0};
+  const auto close = schemes::close_round(policy, reported, times);
+  EXPECT_EQ(close.close_seconds, 5.0);
+  EXPECT_EQ(close.included, (std::vector<char>{1, 1, 1, 0}));
+}
+
+TEST(Quorum, DeadlineClosesARoundThatNeverReachesQuorum) {
+  schemes::RoundPolicy policy;
+  policy.quorum_fraction = 1.0;
+  policy.deadline_seconds = 4.5;
+  const std::vector<char> reported = {1, 1, 1};
+  const std::vector<double> times = {2.0, 4.0, 9.0};
+  const auto close = schemes::close_round(policy, reported, times);
+  EXPECT_EQ(close.close_seconds, 4.5);
+  EXPECT_EQ(close.included, (std::vector<char>{1, 1, 0}));
+}
+
+TEST(Quorum, UnreachableQuorumWithoutDeadlineTakesEveryReporter) {
+  schemes::RoundPolicy policy;
+  policy.quorum_fraction = 0.9;  // K = 4 of 4, but only 2 report
+  const std::vector<char> reported = {1, 0, 0, 1};
+  const std::vector<double> times = {2.0, 0.0, 0.0, 6.0};
+  const auto close = schemes::close_round(policy, reported, times);
+  EXPECT_EQ(close.close_seconds, 6.0);
+  EXPECT_EQ(close.included, (std::vector<char>{1, 0, 0, 1}));
+}
+
+TEST(Quorum, NobodyReportingClosesAtTheDeadline) {
+  schemes::RoundPolicy policy;
+  policy.deadline_seconds = 3.0;
+  const std::vector<char> reported = {0, 0};
+  const std::vector<double> times = {0.0, 0.0};
+  const auto close = schemes::close_round(policy, reported, times);
+  EXPECT_EQ(close.close_seconds, 3.0);
+  EXPECT_EQ(close.included, (std::vector<char>{0, 0}));
+}
+
+TEST(Quorum, ValidatesPolicyBounds) {
+  const std::vector<char> reported = {1};
+  const std::vector<double> times = {1.0};
+  schemes::RoundPolicy bad;
+  bad.quorum_fraction = 0.0;
+  EXPECT_THROW((void)schemes::close_round(bad, reported, times),
+               std::exception);
+  bad = {};
+  bad.quorum_fraction = 1.5;
+  EXPECT_THROW((void)schemes::close_round(bad, reported, times),
+               std::exception);
+  bad = {};
+  bad.deadline_seconds = -1.0;
+  EXPECT_THROW((void)schemes::close_round(bad, reported, times),
+               std::exception);
+}
+
+// ---- quorum semantics inside a scheme --------------------------------------
+
+TEST(Quorum, LateReportersAreExcludedAndMarked) {
+  // The last client's dataset is 3× everyone else's: under a 0.75 quorum it
+  // reports after the close and must be excluded with kLate, every round.
+  const std::size_t clients = 4;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = make_straggler_datasets(clients, 47);
+  common::Rng model_rng(51);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  config.round_policy.quorum_fraction = 0.75;  // K = 3 of 4
+  schemes::FedAvgTrainer trainer(network, std::move(datasets),
+                                 std::move(model), config);
+  const auto result = trainer.run_round();
+  ASSERT_EQ(result.participation.size(), clients);
+  EXPECT_EQ(result.participation.back().fault, sim::FaultKind::kLate);
+  EXPECT_GT(result.participation.back().report_seconds, 0.0);
+  std::size_t included = 0;
+  for (const auto& record : result.participation) {
+    included += record.fault == sim::FaultKind::kNone ? 1 : 0;
+  }
+  EXPECT_EQ(included, 3u);
+}
+
+TEST(Quorum, QuorumReweightingIsThreadAndDepthInvariant) {
+  const auto run = [](std::size_t depth) {
+    const std::size_t clients = 5;
+    auto network = test::make_tiny_network(clients);
+    auto datasets = make_straggler_datasets(clients, 53);
+    common::Rng model_rng(57);
+    auto model = test::make_tiny_model(model_rng);
+    schemes::TrainConfig config;
+    config.batch_size = 4;
+    config.round_policy.quorum_fraction = 0.6;
+    schemes::SplitFedTrainer trainer(network, std::move(datasets),
+                                     std::move(model), test::kTinyCut, config);
+    RunOutput out;
+    out.results = schemes::run_rounds_pipelined(trainer, 3, depth);
+    out.state = trainer.global_model().state();
+    return out;
+  };
+  const auto reference = run(1);
+  test::prop::for_each_thread_count([&](std::size_t threads) {
+    test::prop::for_each_pipeline_depth([&](std::size_t depth) {
+      expect_same_run(run(depth), reference,
+                      "quorum t=" + std::to_string(threads) +
+                          " d=" + std::to_string(depth));
+    });
+  });
+}
+
+TEST(Quorum, DeadlineWithNoSurvivorsChargesTheWaitAndKeepsTheModel) {
+  const std::size_t clients = 3;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = test::make_client_datasets(clients, 8, 61);
+  common::Rng model_rng(63);
+  auto model = test::make_tiny_model(model_rng);
+  const auto before = model.state();
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  config.round_policy.deadline_seconds = 1e-9;  // nobody can make this
+  schemes::FedAvgTrainer trainer(network, std::move(datasets),
+                                 std::move(model), config);
+  const auto result = trainer.run_round();
+  for (const auto& record : result.participation) {
+    EXPECT_EQ(record.fault, sim::FaultKind::kLate);
+  }
+  // The AP idled out the full deadline; no survivor chain is longer.
+  EXPECT_EQ(result.latency.total(), 1e-9);
+  EXPECT_EQ(result.train_loss, 0.0);
+  const auto after = trainer.global_model().state();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t e = 0; e < after.size(); ++e) {
+    EXPECT_TRUE(bitwise_equal(after[e], before[e])) << "entry " << e;
+  }
+}
+
+}  // namespace

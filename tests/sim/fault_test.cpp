@@ -1,0 +1,143 @@
+// FaultPlan: the deterministic per-round fault script. A plan must be a
+// pure function of (config, retry cap, round index, cohort size) — drawn
+// twice it is identical; drawn for different rounds it is independent; and
+// every drawn field respects its documented bounds.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gsfl/sim/fault.hpp"
+
+namespace {
+
+using gsfl::sim::ClientFault;
+using gsfl::sim::FaultConfig;
+using gsfl::sim::FaultKind;
+using gsfl::sim::FaultPlan;
+
+FaultConfig busy_config() {
+  FaultConfig config;
+  config.crash_before_rate = 0.2;
+  config.crash_after_rate = 0.15;
+  config.downlink_loss_rate = 0.3;
+  config.uplink_loss_rate = 0.3;
+  config.straggler_rate = 0.4;
+  config.straggler_slowdown_min = 2.0;
+  config.straggler_slowdown_max = 6.0;
+  config.seed = 1234;
+  return config;
+}
+
+bool same_fault(const ClientFault& a, const ClientFault& b) {
+  return a.crash_before == b.crash_before && a.crash_after == b.crash_after &&
+         a.slowdown == b.slowdown &&
+         a.downlink_attempts == b.downlink_attempts &&
+         a.uplink_attempts == b.uplink_attempts;
+}
+
+TEST(FaultInjection, DrawIsAPureFunctionOfItsKey) {
+  const auto config = busy_config();
+  const auto a = FaultPlan::draw(config, 3, 7, 20);
+  const auto b = FaultPlan::draw(config, 3, 7, 20);
+  ASSERT_EQ(a.size(), 20u);
+  ASSERT_EQ(b.size(), 20u);
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_TRUE(same_fault(a.client(c), b.client(c))) << "client " << c;
+  }
+}
+
+TEST(FaultInjection, RoundsDrawIndependentStreams) {
+  // Different round keys must yield different scripts (with these rates the
+  // chance of 20 identical clients across two rounds is negligible) — and a
+  // plan must not depend on how many draws earlier rounds consumed, which is
+  // what keying by fork(round + 1) buys.
+  const auto config = busy_config();
+  const auto round0 = FaultPlan::draw(config, 3, 0, 20);
+  const auto round1 = FaultPlan::draw(config, 3, 1, 20);
+  bool any_difference = false;
+  for (std::size_t c = 0; c < 20; ++c) {
+    if (!same_fault(round0.client(c), round1.client(c))) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjection, InactiveConfigScriptsNothing) {
+  const FaultConfig config;  // all rates zero
+  EXPECT_FALSE(config.active());
+  const auto plan = FaultPlan::draw(config, 3, 5, 8);
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    const auto& fault = plan.client(c);
+    EXPECT_FALSE(fault.crash_before);
+    EXPECT_FALSE(fault.crash_after);
+    EXPECT_EQ(fault.slowdown, 1.0);
+    EXPECT_EQ(fault.downlink_attempts, 1u);
+    EXPECT_EQ(fault.uplink_attempts, 1u);
+  }
+}
+
+TEST(FaultInjection, AttemptsStayWithinTheRetryCap) {
+  FaultConfig config;
+  config.downlink_loss_rate = 0.9;
+  config.uplink_loss_rate = 0.9;
+  config.seed = 7;
+  const std::size_t cap = 4;
+  bool saw_exhausted = false;
+  bool saw_retry = false;
+  for (std::uint64_t round = 0; round < 30; ++round) {
+    const auto plan = FaultPlan::draw(config, cap, round, 10);
+    for (std::size_t c = 0; c < plan.size(); ++c) {
+      const auto& fault = plan.client(c);
+      EXPECT_LE(fault.downlink_attempts, cap);
+      EXPECT_LE(fault.uplink_attempts, cap);
+      saw_exhausted |= fault.downlink_attempts == 0 || fault.uplink_attempts == 0;
+      saw_retry |= fault.downlink_attempts > 1 || fault.uplink_attempts > 1;
+    }
+  }
+  EXPECT_TRUE(saw_exhausted) << "loss rate 0.9 should exhaust the cap sometimes";
+  EXPECT_TRUE(saw_retry) << "loss rate 0.9 should need retries sometimes";
+}
+
+TEST(FaultInjection, StragglerSlowdownStaysInItsRange) {
+  FaultConfig config;
+  config.straggler_rate = 1.0;  // every client a straggler
+  config.straggler_slowdown_min = 3.0;
+  config.straggler_slowdown_max = 5.0;
+  const auto plan = FaultPlan::draw(config, 3, 2, 16);
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    EXPECT_GE(plan.client(c).slowdown, 3.0);
+    EXPECT_LE(plan.client(c).slowdown, 5.0);
+  }
+}
+
+TEST(FaultInjection, DrawValidatesItsArguments) {
+  FaultConfig bad = busy_config();
+  bad.crash_before_rate = 1.0;  // certain crash would hang every experiment
+  EXPECT_THROW((void)FaultPlan::draw(bad, 3, 0, 4), std::exception);
+
+  bad = busy_config();
+  bad.straggler_slowdown_min = 0.5;  // a speedup is not a straggler
+  EXPECT_THROW((void)FaultPlan::draw(bad, 3, 0, 4), std::exception);
+
+  bad = busy_config();
+  bad.straggler_slowdown_min = 9.0;  // min above max
+  EXPECT_THROW((void)FaultPlan::draw(bad, 3, 0, 4), std::exception);
+
+  EXPECT_THROW((void)FaultPlan::draw(busy_config(), 0, 0, 4), std::exception);
+}
+
+TEST(FaultInjection, FaultKindNamesAreStable) {
+  EXPECT_STREQ(to_string(FaultKind::kNone), "none");
+  EXPECT_STREQ(to_string(FaultKind::kCrashBeforeCompute),
+               "crash-before-compute");
+  EXPECT_STREQ(to_string(FaultKind::kDownlinkFailed), "downlink-failed");
+  EXPECT_STREQ(to_string(FaultKind::kCrashAfterCompute),
+               "crash-after-compute");
+  EXPECT_STREQ(to_string(FaultKind::kUplinkFailed), "uplink-failed");
+  EXPECT_STREQ(to_string(FaultKind::kLate), "late");
+  EXPECT_STREQ(to_string(FaultKind::kCascade), "cascade");
+}
+
+}  // namespace
