@@ -1,0 +1,123 @@
+// E8 — cut-layer quantization ablation: accuracy vs bits, payload vs bits.
+//
+// Sweeps the channel quantizer's bit width on the SFL scheme (the split
+// schemes are the ones whose smashed activations/gradients cross the radio)
+// and reports, per width: final held-out accuracy, per-batch smashed
+// payload bytes, compression vs raw f32, and simulated round latency. The
+// f32 row (bits=0, quantizer off) is the baseline.
+//
+// BENCH_quant.json conventions (BenchJson rows — the schema only has
+// seconds/speedup slots, so this bench documents its encoding):
+//   - "quant accuracy-vs-bits b<N>": seconds = simulated seconds to finish
+//     the run, speedup = final accuracy as a fraction (the accuracy curve).
+//   - "quant payload-vs-bits b<N>": seconds = smashed payload bytes per
+//     batch (a count, not a time), speedup = f32 payload / quantized
+//     payload (the compression curve).
+//   - "quant 8bit accuracy-vs-f32": speedup = 1 + (acc@8bit − acc@f32) —
+//     the guarded row; floor 0.995 means 8-bit must land within 0.5 pp of
+//     f32 on the synthetic-GTSRB scenario.
+//   - "quant payload 8bit-vs-f32": speedup = f32 payload / 8-bit payload —
+//     guarded; the codec's header overhead must keep this near 4×.
+//
+//   $ ./ablation_quantization [--rounds=N] [--full] [--csv=DIR] ...
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gsfl/common/csv.hpp"
+#include "gsfl/nn/split.hpp"
+#include "gsfl/schemes/trainer.hpp"
+#include "gsfl/tensor/quantize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gsfl;
+  auto options = bench::BenchOptions::parse(argc, argv,
+                                            /*default_rounds=*/40,
+                                            /*full_rounds=*/400);
+  bench::print_header("E8: cut-layer quantization ablation", options.config);
+  bench::BenchJson json;
+
+  // Payload accounting straight from the model geometry: what one batch's
+  // smashed tensor costs on the wire at each width.
+  const core::Experiment probe(options.config);
+  const nn::SplitModel split(probe.initial_model(),
+                             options.config.cut_layer);
+  const auto batch_shape =
+      probe.test_set().batch_shape(options.config.train.batch_size);
+  const auto f32_bytes =
+      static_cast<double>(split.smashed_bytes(batch_shape));
+
+  std::optional<common::CsvFile> csv;
+  if (options.csv_dir) {
+    std::filesystem::create_directories(*options.csv_dir);
+    csv.emplace(*options.csv_dir + "/ablation_quantization.csv",
+                std::vector<std::string>{"bits", "accuracy", "payload_bytes",
+                                         "compression", "sim_seconds"});
+  }
+
+  std::printf("%-6s %12s %16s %12s %14s\n", "bits", "accuracy%",
+              "payload_B/batch", "compression", "sim_seconds");
+
+  // bits = 0 is the f32 baseline (quantizer off); the rest sweep the
+  // supported widths down to the aggressive 2-bit setting.
+  const std::size_t widths[] = {0, 8, 6, 4, 2};
+  double f32_accuracy = 0.0;
+  double accuracy_8bit = 0.0;
+  double bytes_8bit = 0.0;
+  for (const std::size_t bits : widths) {
+    // Per-channel scales: one scale per sample row instead of one per
+    // tensor, a few extra wire floats for noticeably better low-bit
+    // fidelity — this is the configuration the guarded 8-bit accuracy
+    // floor is measured against.
+    auto config = options.config;
+    config.network.channel.quantizer =
+        tensor::QuantizerConfig{.bits = bits, .per_channel = true};
+    const core::Experiment experiment(config);
+
+    schemes::ExperimentOptions run;
+    run.rounds = options.rounds;
+    run.eval_every = std::max<std::size_t>(1, options.rounds / 10);
+    auto trainer = experiment.make_sfl();
+    const auto recorder =
+        schemes::run_experiment(*trainer, experiment.test_set(), run);
+
+    const double accuracy = recorder.final_accuracy();
+    const double payload_bytes =
+        bits == 0 ? f32_bytes
+                  : static_cast<double>(tensor::quantized_wire_bytes(
+                        split.smashed_shape(batch_shape),
+                        config.network.channel.quantizer));
+    const double compression = f32_bytes / payload_bytes;
+    const double sim_seconds = recorder.records().empty()
+                                   ? 0.0
+                                   : recorder.records().back().sim_seconds;
+    if (bits == 0) f32_accuracy = accuracy;
+    if (bits == 8) {
+      accuracy_8bit = accuracy;
+      bytes_8bit = payload_bytes;
+    }
+
+    const std::string label = bits == 0 ? "f32" : "b" + std::to_string(bits);
+    json.add("quant accuracy-vs-bits " + label, 1, sim_seconds, accuracy);
+    json.add("quant payload-vs-bits " + label, 1, payload_bytes,
+             compression);
+    std::printf("%-6s %12.1f %16.0f %11.1fx %14.2f\n", label.c_str(),
+                accuracy * 100.0, payload_bytes, compression, sim_seconds);
+    if (csv) {
+      csv->row({static_cast<std::int64_t>(bits), accuracy, payload_bytes,
+                compression, sim_seconds});
+    }
+  }
+
+  // Guarded summary rows (floors in bench_floors.json).
+  json.add("quant 8bit accuracy-vs-f32", 1, 0.0,
+           1.0 + (accuracy_8bit - f32_accuracy));
+  json.add("quant payload 8bit-vs-f32", 1, bytes_8bit,
+           f32_bytes / bytes_8bit);
+  std::printf(
+      "\n8-bit vs f32: accuracy %+.2f pp, payload %.1fx smaller\n",
+      (accuracy_8bit - f32_accuracy) * 100.0, f32_bytes / bytes_8bit);
+
+  json.write("BENCH_quant.json");
+  return 0;
+}

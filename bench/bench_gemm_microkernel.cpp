@@ -20,6 +20,9 @@
 //     schedule, forced via PackStrategy::kUpfront) seconds / interleaved
 //     per-k-block-packed seconds, threads=1 — the PR-4 acceptance ratio on
 //     the deep-k dense1 shape.
+//   - "... int8-vs-f32" rows: speedup = f32 epilogue-GEMM seconds / int8
+//     quantize-on-pack (GemmPrecision::kInt8) seconds, threads=1 — the
+//     quantized-path acceptance ratio (floor on dense1).
 //   - "... fused-bias-relu" rows: speedup = unfused-sequence seconds /
 //     fused-epilogue seconds, threads=1.
 //   - "bwd ... bwd-fused-vs-unfused" rows: speedup = (relu_mask pass +
@@ -381,6 +384,38 @@ int main(int argc, char** argv) {
              upfront_best / inter_best);
     std::printf("%-24s interleaved-vs-pr3 %8.3f ms  %5.2fx\n", tag.c_str(),
                 inter_best * 1e3, upfront_best / inter_best);
+
+    // The PR-7 acceptance ratio: the int8 quantize-on-pack path
+    // (GemmPrecision::kInt8 — quantize during pack, exact int32
+    // accumulation, dequant on write-back) vs the f32 kernel on the same
+    // operands, single-thread, measured interleaved. dense1 is the guarded
+    // shape (floor in bench_floors.json): its deep k is where halved panel
+    // bytes and 4-MACs-per-lane-byte VNNI issue pay off most.
+    const gsfl::tensor::micro::Epilogue plain{};
+    double f32_best = 1e300;
+    double int8_best = 1e300;
+    for (std::size_t r = 0; r < 2 * reps; ++r) {
+      const double f = time_best(1, [&] {
+        gsfl::tensor::gemm_raw(shape.m, shape.k, shape.n, 1.0f,
+                               a.data().data(), gsfl::tensor::Trans::kNo,
+                               b.data().data(), gsfl::tensor::Trans::kNo,
+                               0.0f, c.data().data(), plain,
+                               gsfl::tensor::GemmPrecision::kF32);
+      });
+      f32_best = std::min(f32_best, f);
+      const double q = time_best(1, [&] {
+        gsfl::tensor::gemm_raw(shape.m, shape.k, shape.n, 1.0f,
+                               a.data().data(), gsfl::tensor::Trans::kNo,
+                               b.data().data(), gsfl::tensor::Trans::kNo,
+                               0.0f, c.data().data(), plain,
+                               gsfl::tensor::GemmPrecision::kInt8);
+      });
+      int8_best = std::min(int8_best, q);
+    }
+    json.add("gemm " + tag + " int8-vs-f32", 1, int8_best,
+             f32_best / int8_best);
+    std::printf("%-24s int8-vs-f32        %8.3f ms  %5.2fx\n", tag.c_str(),
+                int8_best * 1e3, f32_best / int8_best);
     std::printf("\n");
   }
 

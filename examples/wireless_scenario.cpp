@@ -17,7 +17,9 @@
 #include "gsfl/data/partition.hpp"
 #include "gsfl/data/synthetic_gtsrb.hpp"
 #include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/nn/split.hpp"
 #include "gsfl/sim/timeline.hpp"
+#include "gsfl/tensor/quantize.hpp"
 
 int main(int argc, char** argv) {
   using namespace gsfl;
@@ -36,6 +38,10 @@ int main(int argc, char** argv) {
         << "                 wireless_timeline.csv)\n"
         << "  --no-fading    static channel: skip the per-round Rayleigh\n"
         << "                 fade redraw\n"
+        << "  --quant-bits=N quantize cut-layer payloads to N bits in [2,8]\n"
+        << "                 (default 0 = raw f32): smashed activations and\n"
+        << "                 gradients are priced at the quantized wire\n"
+        << "                 bytes and trained through quantize-dequantize\n"
         << "  --fault-rate=P per-round probability each device crashes\n"
         << "                 before computing (default 0; deterministic\n"
         << "                 round-keyed fault plans, see docs/robustness.md)\n"
@@ -54,6 +60,8 @@ int main(int argc, char** argv) {
   }
   const auto rounds = static_cast<std::size_t>(args.int_or("rounds", 5));
   const bool fading = !args.has_flag("no-fading");
+  const auto quant_bits =
+      static_cast<std::size_t>(args.int_or("quant-bits", 0));
   const double fault_rate = args.double_or("fault-rate", 0.0);
   const double deadline =
       args.double_or("deadline", std::numeric_limits<double>::infinity());
@@ -80,6 +88,8 @@ int main(int argc, char** argv) {
   net::NetworkConfig net_config;
   net_config.total_bandwidth_hz = 20e6;
   net_config.channel.rayleigh_fading = fading;
+  net_config.channel.quantizer =
+      tensor::QuantizerConfig{.bits = quant_bits, .per_channel = false};
   net::WirelessNetwork network(net_config, devices);
 
   // --- data: synthetic GTSRB spread IID over the 9 devices ---
@@ -117,6 +127,23 @@ int main(int argc, char** argv) {
   std::cout << "channel: "
             << (fading ? "rayleigh fading, redrawn per round" : "static")
             << "\n";
+  // Per-batch cut-layer payload accounting, straight from the model
+  // geometry: what one smashed tensor costs on the wire raw vs quantized.
+  const nn::SplitModel split_probe(model, gsfl_config.cut_layer);
+  const auto batch_shape =
+      train_set.batch_shape(gsfl_config.train.batch_size);
+  const auto f32_payload = split_probe.smashed_bytes(batch_shape);
+  std::size_t quant_payload = f32_payload;
+  if (net_config.channel.quantizer.active()) {
+    quant_payload = tensor::quantized_wire_bytes(
+        split_probe.smashed_shape(batch_shape), net_config.channel.quantizer);
+    std::cout << "quantizer: " << quant_bits << "-bit cut-layer payloads, "
+              << quant_payload << " B/batch vs " << f32_payload
+              << " B f32 ("
+              << static_cast<double>(f32_payload) /
+                     static_cast<double>(quant_payload)
+              << "x smaller)\n";
+  }
   if (gsfl_config.train.faults.active() ||
       gsfl_config.train.round_policy.active()) {
     std::cout << "robustness: fault-rate " << fault_rate << ", deadline "
@@ -141,6 +168,10 @@ int main(int argc, char** argv) {
     timeline.append("round " + std::to_string(round), result.latency);
     std::cout << "\nround " << round << " (loss " << result.train_loss
               << "): " << result.latency.to_string() << '\n';
+    if (net_config.channel.quantizer.active()) {
+      std::cout << "  cut payload: " << quant_payload << " B/batch ("
+                << f32_payload - quant_payload << " B/batch saved vs f32)\n";
+    }
     for (const auto& record : result.participation) {
       if (record.fault == sim::FaultKind::kNone) continue;
       std::cout << "  client " << record.client << ": "

@@ -151,6 +151,14 @@ class AsyncLane {
 
   [[nodiscard]] std::size_t workers() const { return workers_; }
 
+  /// Workers currently parked on an empty queue — a cheap, racy capacity
+  /// signal (one relaxed atomic load). Schedulers use it to decide whether
+  /// offloading (e.g. pack-ahead GEMM packing) would actually overlap or
+  /// merely queue behind busy workers; the answer is advisory, never a
+  /// correctness input — a stale read only changes *which* thread does the
+  /// work, and lane tasks compute the same values on any thread.
+  [[nodiscard]] std::size_t idle_workers() const;
+
   /// Submit fn() with no dependencies; runs as soon as a worker (or a
   /// helping waiter) picks it up.
   template <typename Fn>

@@ -43,12 +43,29 @@ class Workspace {
                       ///< backward dy (caller-owned, lane-sliced)
     kGemmPackSlice,   ///< interleaved per-k-block B slice (double-buffered,
                       ///< per-lane — see slice())
+    kGemmQuantA,      ///< quantized op(A) panel bytes (per-lane when rows
+                      ///< split, shared when columns split) — bytes()
+    kGemmQuantB,      ///< quantized op(B) panel bytes (shared when rows
+                      ///< split, per-lane when columns split) — bytes()
+    kGemmQuantComp,   ///< int32 u8-offset compensation per B column — bytes()
+    kGemmQuantScaleA, ///< per-row A dequant scales — floats()
+    kGemmQuantScaleB, ///< per-column B dequant scales — floats()
     kUserBase = 16,
   };
 
   /// The calling thread's buffer for `key`, grown (never shrunk) to hold at
   /// least `size` floats. Contents are unspecified.
   [[nodiscard]] static float* floats(std::size_t key, std::size_t size);
+
+  /// Byte-typed sibling of floats() on an independent slot space: the
+  /// calling thread's raw buffer for `key`, grown to at least `size` bytes,
+  /// 64-byte aligned. Quantized GEMM panels live here (u8/s8 packed bytes,
+  /// int32 compensation rows) — unsigned char storage provides storage for
+  /// any implicit-lifetime element type, so consumers may write through a
+  /// reinterpreted pointer of their element type. Same ownership and
+  /// validity rules as floats().
+  [[nodiscard]] static unsigned char* bytes(std::size_t key,
+                                            std::size_t size);
 
   /// Double-buffered slice arena: the calling thread's buffer for
   /// (`key`, `parity & 1`) — two independent grow-only buffers per key, both

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "gsfl/common/rng.hpp"
+#include "gsfl/tensor/quantize.hpp"
 
 namespace gsfl::net {
 
@@ -48,6 +49,14 @@ struct ChannelConfig {
   /// gain per client per direction per round — outside any parallel region,
   /// in fixed client order — so faded runs stay bitwise thread-invariant.
   bool rayleigh_fading = false;
+  /// Cut-layer payload quantizer. When active, smashed activations and
+  /// gradients crossing the channel are priced at the quantized wire-codec
+  /// bytes (tensor::quantized_wire_bytes) instead of raw f32, and the
+  /// training schemes fake-quantize those tensors at the cut so the model
+  /// trains through exactly the values the receiver reconstructs.
+  /// Quantization is a pure elementwise transform, so quantized rounds keep
+  /// the bitwise thread/pipeline-depth reproducibility contract.
+  tensor::QuantizerConfig quantizer;
 };
 
 /// One directional link: transmitter power, distance, bandwidth share.

@@ -3,6 +3,7 @@
 
 #include "gsfl/common/rng.hpp"
 #include "gsfl/nn/layer.hpp"
+#include "gsfl/tensor/gemm.hpp"
 
 namespace gsfl::nn {
 
@@ -31,6 +32,19 @@ class Dense final : public Layer {
   [[nodiscard]] Tensor& weight() { return weight_; }
   [[nodiscard]] Tensor& bias() { return bias_; }
 
+  /// Arithmetic the forward GEMM runs in (default kF32). kInt8 is the
+  /// opt-in quantize-on-pack path for serving/eval: the forward quantizes
+  /// x per row and W per output feature during panel packing and
+  /// dequantizes in the epilogue (see tensor::GemmPrecision). Backward
+  /// always runs f32 — training gradients keep full precision. The knob is
+  /// per-layer and survives clone().
+  void set_forward_precision(tensor::GemmPrecision precision) {
+    forward_precision_ = precision;
+  }
+  [[nodiscard]] tensor::GemmPrecision forward_precision() const {
+    return forward_precision_;
+  }
+
  private:
   /// Shared forward core: one GEMM with the bias (and optionally ReLU)
   /// folded into the write-back epilogue.
@@ -50,6 +64,7 @@ class Dense final : public Layer {
   Tensor cached_input_; ///< (batch, in) from the last forward
   Tensor cached_fused_output_;  ///< relu output of the last fused forward
   bool last_forward_fused_ = false;
+  tensor::GemmPrecision forward_precision_ = tensor::GemmPrecision::kF32;
 };
 
 }  // namespace gsfl::nn

@@ -49,6 +49,22 @@ enum class PackStrategy { kAuto, kUpfront, kInterleaved, kPackAhead };
 void set_pack_strategy(PackStrategy strategy);
 [[nodiscard]] PackStrategy pack_strategy();
 
+/// Arithmetic the GEMM core runs in.
+///
+/// - kF32: the default single-precision path.
+/// - kInt8: quantize-on-pack — operands are symmetrically quantized to 8-bit
+///   integers during panel packing (one scale per logical A row / B column,
+///   round-to-nearest-even), accumulated exactly in int32 on the VNNI /
+///   maddubs / scalar kernel tiers, and dequantized in the write-back
+///   epilogue (see micro::q8). Opt-in and approximate: results differ from
+///   kF32 by the quantization error, but are bitwise reproducible across
+///   thread count, KC, and pack strategy — exact integer accumulation makes
+///   the fold order irrelevant, so the determinism contract holds per
+///   binary. The int8 path always packs the full-k panels up front (there
+///   is no KC parking: accumulators never leave registers), so PackStrategy
+///   does not affect it.
+enum class GemmPrecision { kF32, kInt8 };
+
 /// C = alpha * op(A) · op(B) + beta * C.
 ///
 /// A is (m × k) after op, B is (k × n) after op, C is (m × n). All matrices
@@ -87,6 +103,15 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* a, Trans trans_a, const float* b, Trans trans_b,
               float beta, float* c, const micro::Epilogue& epilogue);
+
+/// Precision variant: run the epilogue GEMM in the requested arithmetic.
+/// kF32 is exactly the overload above; kInt8 takes the quantize-on-pack
+/// integer path (see GemmPrecision). Parallel split and epilogue semantics
+/// are identical in both.
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, Trans trans_a, const float* b, Trans trans_b,
+              float beta, float* c, const micro::Epilogue& epilogue,
+              GemmPrecision precision);
 
 /// Masked-A variant: `a_mask` (nullable; same storage layout and leading
 /// dimension as `a`) folds the Relu derivative into op(A)'s panel packing —

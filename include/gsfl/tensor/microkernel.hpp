@@ -61,7 +61,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
 
 namespace gsfl::tensor::micro {
 
@@ -509,5 +516,591 @@ inline void macrokernel(std::size_t rows, std::size_t cols, std::size_t k,
                       blk + 1 == blocks, ep);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Int8 quantized sibling (quantize-on-pack).
+//
+// The q8 kernels reuse the f32 panel geometry (kMR×kNR tiles) but carry the
+// operands as symmetrically quantized integers: A packs as offset-binary u8
+// (stored byte = q + 128, q ∈ [-127, 127], one scale per *logical* row) and
+// B packs as s8 (q ∈ [-kQmaxB, kQmaxB], one scale per *logical* column).
+// Scales are pure functions of the logical operand rows/columns — never of
+// panel boundaries — so any row/column split packs the identical bytes and
+// the determinism contract holds for free.
+//
+// The accumulation is exact int32 arithmetic (no rounding anywhere between
+// quantize and dequantize), so the fold order is irrelevant to the result:
+// bitwise invariance across thread count, KC, and pack strategy is a property
+// of the number system, not of a carefully pinned fold sequence. The u8
+// offset is compensated at write-back: with stored a' = q_a + 128,
+//   Σ a'·q_b = Σ q_a·q_b + 128·Σ q_b = Σ q_a·q_b + comp[j],
+// where comp[j] = 128·Σ_p q_b[p][j] is computed during pack_b. Dequant +
+// alpha/beta + bias(+relu) fuse into the tile store:
+//   v = alpha · (scale_a[i]·scale_b[j]) · float(acc − comp[j])  [+ beta·c]
+//   [+ bias; relu]
+//
+// Quantization rounds to nearest-even (std::nearbyintf under the default
+// FE_TONEAREST mode — pinned by the property harness), then clamps to the
+// symmetric range.
+//
+// kernels consume k in groups of kKU = 4 (the VPDPBUSD granularity); panels
+// round k up to a multiple of 4 and pad with q = 0 (byte 128 for A, 0 for B
+// — both dequantize to exact zero contributions). ISA tiers:
+//   AVX-512-VNNI  _mm512_dpbusd_epi32 (non-saturating — exact; the
+//                 saturating dpbusds variant would clip long accumulations)
+//   AVX-512-BW /  maddubs+madd: the u8·s8 pair sum saturates s16 at
+//   AVX2          255·127·2 > 32767, so these tiers quantize B to ±63
+//                 (255·63·2 = 32130 fits) — exactness is preserved and the
+//                 determinism contract is per-binary, so an ISA-dependent
+//                 qmax is fine.
+//   scalar        plain integer loops, exact everywhere.
+// ---------------------------------------------------------------------------
+
+namespace q8 {
+
+/// k-group width: kernels consume k in groups of 4 bytes per operand lane
+/// (the VPDPBUSD granularity); packed panels round k up to this.
+inline constexpr std::size_t kKU = 4;
+
+/// Symmetric quantization bound for A rows (stored offset-binary as u8).
+inline constexpr int kQmaxA = 127;
+
+/// Symmetric quantization bound for B columns — reduced to ±63 on the
+/// maddubs tiers so the s16 pair sum cannot saturate (see header comment).
+#if defined(__AVX512VNNI__)
+inline constexpr int kQmaxB = 127;
+#elif defined(__AVX512BW__) || defined(__AVX2__)
+inline constexpr int kQmaxB = 63;
+#else
+inline constexpr int kQmaxB = 127;
+#endif
+
+/// k rounded up to the kernel's 4-byte group width.
+[[nodiscard]] inline constexpr std::size_t padded_k(std::size_t k) {
+  return round_up(k, kKU);
+}
+
+/// Bytes needed for a packed quantized A panel of `rows` rows × k.
+[[nodiscard]] inline constexpr std::size_t packed_a_bytes(std::size_t rows,
+                                                          std::size_t k) {
+  return round_up(rows, kMR) * padded_k(k);
+}
+
+/// Bytes needed for a packed quantized B panel of k × `cols`.
+[[nodiscard]] inline constexpr std::size_t packed_b_bytes(std::size_t k,
+                                                          std::size_t cols) {
+  return round_up(cols, kNR) * padded_k(k);
+}
+
+/// Symmetric scale for a max-abs bound: dequant = scale·q, q ∈ [-qmax, qmax].
+/// An all-zero row/column gets scale 1 (every element quantizes to 0).
+[[nodiscard]] inline float scale_for(float max_abs, int qmax) {
+  return max_abs > 0.0f ? max_abs / static_cast<float>(qmax) : 1.0f;
+}
+
+/// Round-to-nearest-even quantize against a precomputed reciprocal scale.
+/// std::nearbyintf honours the ambient rounding mode; the library never
+/// changes it from the C++ default FE_TONEAREST, and the property harness
+/// pins the tie behaviour (x.5 → even).
+[[nodiscard]] inline int quantize(float x, float inv_scale, int qmax) {
+  const int q = static_cast<int>(std::nearbyintf(x * inv_scale));
+  return std::clamp(q, -qmax, qmax);
+}
+
+namespace detail {
+
+/// Pack + quantize a logical rows×k A operand into MR strips of kKU-grouped
+/// offset-binary bytes: strip s, k group g holds
+///   pa[s·MR·kp + g·MR + i·kKU + u] = u8(q(A[s·MR+i, g+u]) + 128)
+/// with kp = padded_k(k). Row scales land in scale_a[0..rows). `at(i, p)`
+/// reads logical A — scales depend only on it, never on strip boundaries.
+template <typename At>
+inline void pack_a_quant_impl(At at, std::size_t rows, std::size_t k,
+                              std::uint8_t* pa, float* scale_a) {
+  const std::size_t kp = padded_k(k);
+  for (std::size_t s = 0; s < rows; s += kMR) {
+    const std::size_t mr = std::min(kMR, rows - s);
+    std::uint8_t* dst = pa + s * kp;
+    float inv[kMR] = {};
+    for (std::size_t i = 0; i < mr; ++i) {
+      float m = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        m = std::max(m, std::fabs(at(s + i, p)));
+      }
+      const float sc = scale_for(m, kQmaxA);
+      scale_a[s + i] = sc;
+      inv[i] = 1.0f / sc;
+    }
+    for (std::size_t g = 0; g < kp; g += kKU) {
+      for (std::size_t i = 0; i < kMR; ++i) {
+        for (std::size_t u = 0; u < kKU; ++u) {
+          const std::size_t p = g + u;
+          const int q = (i < mr && p < k) ? quantize(at(s + i, p), inv[i],
+                                                     kQmaxA)
+                                          : 0;
+          dst[g * kMR + i * kKU + u] = static_cast<std::uint8_t>(q + 128);
+        }
+      }
+    }
+  }
+}
+
+/// Pack + quantize a logical k×cols B operand into NR strips of kKU-grouped
+/// s8 bytes: strip s, k group g holds
+///   pb[s·NR·kp + g·NR + j·kKU + u] = s8(q(B[g+u, s·NR+j]))
+/// Column scales land in scale_b[0..cols) and the u8-offset compensation
+/// comp[j] = 128·Σ_p q_b[p][j] in comp[0..cols).
+template <typename Bt>
+inline void pack_b_quant_impl(Bt bt, std::size_t k, std::size_t cols,
+                              std::int8_t* pb, float* scale_b,
+                              std::int32_t* comp) {
+  const std::size_t kp = padded_k(k);
+  for (std::size_t s = 0; s < cols; s += kNR) {
+    const std::size_t nr = std::min(kNR, cols - s);
+    std::int8_t* dst = pb + s * kp;
+    float inv[kNR] = {};
+    for (std::size_t j = 0; j < nr; ++j) {
+      float m = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        m = std::max(m, std::fabs(bt(p, s + j)));
+      }
+      const float sc = scale_for(m, kQmaxB);
+      scale_b[s + j] = sc;
+      inv[j] = 1.0f / sc;
+    }
+    std::int32_t sum[kNR] = {};
+    for (std::size_t g = 0; g < kp; g += kKU) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        for (std::size_t u = 0; u < kKU; ++u) {
+          const std::size_t p = g + u;
+          const int q = (j < nr && p < k) ? quantize(bt(p, s + j), inv[j],
+                                                     kQmaxB)
+                                          : 0;
+          dst[g * kNR + j * kKU + u] = static_cast<std::int8_t>(q);
+          sum[j] += q;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < nr; ++j) comp[s + j] = 128 * sum[j];
+  }
+}
+
+#if defined(__AVX512F__)
+
+/// Vectorized row-major (Trans::kNo) sibling of pack_a_quant_impl. The
+/// scalar impl spends a libm nearbyintf call per element — ~20× the cost of
+/// the integer kernel it feeds — so the contiguous layout gets a SIMD pass:
+/// byte-for-byte the same panel, because max (exact, order-free) gives the
+/// same scales, `_mm512_cvtps_epi32` rounds per the never-changed MXCSR
+/// nearest-even mode (the same rule std::nearbyintf follows), and the clamp
+/// bounds are identical. Transposed operands (strided reads) keep the
+/// generic path.
+inline void pack_a_quant_rowmajor(const float* a, std::size_t lda,
+                                  std::size_t rows, std::size_t k,
+                                  std::uint8_t* pa, float* scale_a) {
+  const std::size_t kp = padded_k(k);
+  const __m512i lo = _mm512_set1_epi32(-kQmaxA);
+  const __m512i hi = _mm512_set1_epi32(kQmaxA);
+  const __m512i off = _mm512_set1_epi32(128);
+  for (std::size_t s = 0; s < rows; s += kMR) {
+    const std::size_t mr = std::min(kMR, rows - s);
+    std::uint8_t* dst = pa + s * kp;
+    // Pad rows (i ≥ mr) and the k-pad groups all hold q = 0, byte 128.
+    std::memset(dst, 0x80, kMR * kp);
+    for (std::size_t i = 0; i < mr; ++i) {
+      const float* src = a + (s + i) * lda;
+      __m512 vm = _mm512_setzero_ps();
+      std::size_t p = 0;
+      for (; p + 16 <= k; p += 16) {
+        vm = _mm512_max_ps(vm, _mm512_abs_ps(_mm512_loadu_ps(src + p)));
+      }
+      float m = _mm512_reduce_max_ps(vm);
+      for (; p < k; ++p) m = std::max(m, std::fabs(src[p]));
+      const float sc = scale_for(m, kQmaxA);
+      scale_a[s + i] = sc;
+      const float inv = 1.0f / sc;
+      const __m512 vinv = _mm512_set1_ps(inv);
+      std::uint8_t* row_dst = dst + i * kKU;
+      for (p = 0; p + 16 <= k; p += 16) {
+        __m512i q =
+            _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(src + p), vinv));
+        q = _mm512_add_epi32(_mm512_max_epi32(lo, _mm512_min_epi32(hi, q)),
+                             off);
+        alignas(16) std::uint32_t words[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(words),
+                        _mm512_cvtepi32_epi8(q));
+        std::uint8_t* group = row_dst + (p / kKU) * kMR * kKU;
+        for (std::size_t t = 0; t < 4; ++t) {
+          std::memcpy(group + t * kMR * kKU, &words[t], sizeof words[t]);
+        }
+      }
+      for (; p < k; ++p) {
+        const int q = quantize(src[p], inv, kQmaxA);
+        row_dst[(p / kKU) * kMR * kKU + (p % kKU)] =
+            static_cast<std::uint8_t>(q + 128);
+      }
+    }
+  }
+}
+
+/// Vectorized row-major (Trans::kNo) sibling of pack_b_quant_impl: the k
+/// rows of a kNR-column strip are contiguous loads, per-column lanes carry
+/// max-abs / quantize / compensation sums, and each kKU group's bytes are
+/// assembled in-register (byte u of column j's int32 word is exactly panel
+/// byte g·kNR + j·kKU + u). Same byte-for-byte argument as pack_a's fast
+/// path; partial tail strips fall back to the generic impl.
+inline void pack_b_quant_rowmajor(const float* b, std::size_t ldb,
+                                  std::size_t k, std::size_t cols,
+                                  std::int8_t* pb, float* scale_b,
+                                  std::int32_t* comp) {
+  static_assert(kNR == 32, "fast B pack assumes two zmm lanes per strip");
+  const std::size_t kp = padded_k(k);
+  const __m512i lo = _mm512_set1_epi32(-kQmaxB);
+  const __m512i hi = _mm512_set1_epi32(kQmaxB);
+  const __m512i byte_mask = _mm512_set1_epi32(0xFF);
+  std::size_t s = 0;
+  for (; s + kNR <= cols; s += kNR) {
+    std::int8_t* dst = pb + s * kp;
+    const float* base = b + s;
+    __m512 vm0 = _mm512_setzero_ps();
+    __m512 vm1 = _mm512_setzero_ps();
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* row = base + p * ldb;
+      vm0 = _mm512_max_ps(vm0, _mm512_abs_ps(_mm512_loadu_ps(row)));
+      vm1 = _mm512_max_ps(vm1, _mm512_abs_ps(_mm512_loadu_ps(row + 16)));
+    }
+    alignas(64) float max_abs[kNR];
+    _mm512_store_ps(max_abs, vm0);
+    _mm512_store_ps(max_abs + 16, vm1);
+    alignas(64) float invs[kNR];
+    for (std::size_t j = 0; j < kNR; ++j) {
+      const float sc = scale_for(max_abs[j], kQmaxB);
+      scale_b[s + j] = sc;
+      invs[j] = 1.0f / sc;
+    }
+    const __m512 vinv0 = _mm512_load_ps(invs);
+    const __m512 vinv1 = _mm512_load_ps(invs + 16);
+    __m512i vsum0 = _mm512_setzero_si512();
+    __m512i vsum1 = _mm512_setzero_si512();
+    for (std::size_t g = 0; g < kp; g += kKU) {
+      __m512i w0 = _mm512_setzero_si512();
+      __m512i w1 = _mm512_setzero_si512();
+      for (std::size_t u = 0; u < kKU && g + u < k; ++u) {
+        const float* row = base + (g + u) * ldb;
+        __m512i q0 = _mm512_cvtps_epi32(
+            _mm512_mul_ps(_mm512_loadu_ps(row), vinv0));
+        __m512i q1 = _mm512_cvtps_epi32(
+            _mm512_mul_ps(_mm512_loadu_ps(row + 16), vinv1));
+        q0 = _mm512_max_epi32(lo, _mm512_min_epi32(hi, q0));
+        q1 = _mm512_max_epi32(lo, _mm512_min_epi32(hi, q1));
+        vsum0 = _mm512_add_epi32(vsum0, q0);
+        vsum1 = _mm512_add_epi32(vsum1, q1);
+        const auto shift = static_cast<unsigned>(8 * u);
+        w0 = _mm512_or_si512(
+            w0, _mm512_slli_epi32(_mm512_and_si512(q0, byte_mask), shift));
+        w1 = _mm512_or_si512(
+            w1, _mm512_slli_epi32(_mm512_and_si512(q1, byte_mask), shift));
+      }
+      _mm512_storeu_si512(dst + g * kNR, w0);
+      _mm512_storeu_si512(dst + g * kNR + 64, w1);
+    }
+    alignas(64) std::int32_t sums[kNR];
+    _mm512_store_si512(sums, vsum0);
+    _mm512_store_si512(sums + 16, vsum1);
+    for (std::size_t j = 0; j < kNR; ++j) comp[s + j] = 128 * sums[j];
+  }
+  if (s < cols) {
+    pack_b_quant_impl(
+        [b, ldb, s](std::size_t p, std::size_t j) {
+          return b[p * ldb + (s + j)];
+        },
+        k, cols - s, pb + s * kp, scale_b + s, comp + s);
+  }
+}
+
+/// Vectorized Bᵀ sibling (logical B[p, j] = src[j·ldb + p]): each logical
+/// *column* j is a contiguous source row, so this is pack_a's fast path
+/// with signed bytes, a kNR·kKU inter-group stride, and per-column
+/// compensation sums (int32 lane adds are exact, so the reduce order
+/// cannot change comp). This is the Dense-forward (y = x·Wᵀ) operand.
+inline void pack_b_trans_quant_rowmajor(const float* b, std::size_t ldb,
+                                        std::size_t k, std::size_t cols,
+                                        std::int8_t* pb, float* scale_b,
+                                        std::int32_t* comp) {
+  const std::size_t kp = padded_k(k);
+  const __m512i lo = _mm512_set1_epi32(-kQmaxB);
+  const __m512i hi = _mm512_set1_epi32(kQmaxB);
+  for (std::size_t s = 0; s < cols; s += kNR) {
+    const std::size_t nr = std::min(kNR, cols - s);
+    std::int8_t* dst = pb + s * kp;
+    std::memset(dst, 0, kNR * kp);  // pad columns and pad k-groups hold q = 0
+    for (std::size_t j = 0; j < nr; ++j) {
+      const float* src = b + (s + j) * ldb;
+      __m512 vm = _mm512_setzero_ps();
+      std::size_t p = 0;
+      for (; p + 16 <= k; p += 16) {
+        vm = _mm512_max_ps(vm, _mm512_abs_ps(_mm512_loadu_ps(src + p)));
+      }
+      float m = _mm512_reduce_max_ps(vm);
+      for (; p < k; ++p) m = std::max(m, std::fabs(src[p]));
+      const float sc = scale_for(m, kQmaxB);
+      scale_b[s + j] = sc;
+      const float inv = 1.0f / sc;
+      const __m512 vinv = _mm512_set1_ps(inv);
+      std::int8_t* col_dst = dst + j * kKU;
+      std::int32_t sum = 0;
+      for (p = 0; p + 16 <= k; p += 16) {
+        __m512i q =
+            _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(src + p), vinv));
+        q = _mm512_max_epi32(lo, _mm512_min_epi32(hi, q));
+        sum += _mm512_reduce_add_epi32(q);
+        alignas(16) std::uint32_t words[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(words),
+                        _mm512_cvtepi32_epi8(q));
+        std::int8_t* group = col_dst + (p / kKU) * kNR * kKU;
+        for (std::size_t t = 0; t < 4; ++t) {
+          std::memcpy(group + t * kNR * kKU, &words[t], sizeof words[t]);
+        }
+      }
+      for (; p < k; ++p) {
+        const int q = quantize(src[p], inv, kQmaxB);
+        sum += q;
+        col_dst[(p / kKU) * kNR * kKU + (p % kKU)] =
+            static_cast<std::int8_t>(q);
+      }
+      comp[s + j] = 128 * sum;
+    }
+  }
+}
+
+#endif  // __AVX512F__
+
+/// The integer register tile: acc[i][j] accumulates the exact int32 dot of
+/// strip row i's u8 bytes against strip column j's s8 bytes over the whole
+/// padded k. Exact integer arithmetic makes the fold order irrelevant — the
+/// ISA tiers below are free to reassociate without breaking bitwise
+/// reproducibility (the contract is per-binary).
+template <std::size_t Rows>
+inline void accumulate_q(std::size_t kp, const std::uint8_t* pa,
+                         const std::int8_t* pb, std::int32_t acc[Rows][kNR]) {
+#if defined(__AVX512VNNI__)
+  static_assert(kNR == 32, "VNNI tier assumes two zmm accumulators per row");
+  __m512i vacc[Rows][2];
+  for (std::size_t i = 0; i < Rows; ++i) {
+    vacc[i][0] = _mm512_setzero_si512();
+    vacc[i][1] = _mm512_setzero_si512();
+  }
+  for (std::size_t g = 0; g < kp; g += kKU, pa += kMR * kKU,
+                   pb += kNR * kKU) {
+    const __m512i b0 = _mm512_loadu_si512(pb);
+    const __m512i b1 = _mm512_loadu_si512(pb + 64);
+    for (std::size_t i = 0; i < Rows; ++i) {
+      std::int32_t a4;
+      std::memcpy(&a4, pa + i * kKU, sizeof a4);
+      const __m512i av = _mm512_set1_epi32(a4);
+      vacc[i][0] = _mm512_dpbusd_epi32(vacc[i][0], av, b0);
+      vacc[i][1] = _mm512_dpbusd_epi32(vacc[i][1], av, b1);
+    }
+  }
+  for (std::size_t i = 0; i < Rows; ++i) {
+    _mm512_storeu_si512(&acc[i][0], vacc[i][0]);
+    _mm512_storeu_si512(&acc[i][16], vacc[i][1]);
+  }
+#elif defined(__AVX512BW__)
+  static_assert(kNR == 32, "BW tier assumes two zmm accumulators per row");
+  const __m512i ones = _mm512_set1_epi16(1);
+  __m512i vacc[Rows][2];
+  for (std::size_t i = 0; i < Rows; ++i) {
+    vacc[i][0] = _mm512_setzero_si512();
+    vacc[i][1] = _mm512_setzero_si512();
+  }
+  for (std::size_t g = 0; g < kp; g += kKU, pa += kMR * kKU,
+                   pb += kNR * kKU) {
+    const __m512i b0 = _mm512_loadu_si512(pb);
+    const __m512i b1 = _mm512_loadu_si512(pb + 64);
+    for (std::size_t i = 0; i < Rows; ++i) {
+      std::int32_t a4;
+      std::memcpy(&a4, pa + i * kKU, sizeof a4);
+      const __m512i av = _mm512_set1_epi32(a4);
+      vacc[i][0] = _mm512_add_epi32(
+          vacc[i][0],
+          _mm512_madd_epi16(_mm512_maddubs_epi16(av, b0), ones));
+      vacc[i][1] = _mm512_add_epi32(
+          vacc[i][1],
+          _mm512_madd_epi16(_mm512_maddubs_epi16(av, b1), ones));
+    }
+  }
+  for (std::size_t i = 0; i < Rows; ++i) {
+    _mm512_storeu_si512(&acc[i][0], vacc[i][0]);
+    _mm512_storeu_si512(&acc[i][16], vacc[i][1]);
+  }
+#elif defined(__AVX2__)
+  static_assert(kNR == 16, "AVX2 tier assumes two ymm accumulators per row");
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i vacc[Rows][2];
+  for (std::size_t i = 0; i < Rows; ++i) {
+    vacc[i][0] = _mm256_setzero_si256();
+    vacc[i][1] = _mm256_setzero_si256();
+  }
+  for (std::size_t g = 0; g < kp; g += kKU, pa += kMR * kKU,
+                   pb += kNR * kKU) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb + 32));
+    for (std::size_t i = 0; i < Rows; ++i) {
+      std::int32_t a4;
+      std::memcpy(&a4, pa + i * kKU, sizeof a4);
+      const __m256i av = _mm256_set1_epi32(a4);
+      vacc[i][0] = _mm256_add_epi32(
+          vacc[i][0],
+          _mm256_madd_epi16(_mm256_maddubs_epi16(av, b0), ones));
+      vacc[i][1] = _mm256_add_epi32(
+          vacc[i][1],
+          _mm256_madd_epi16(_mm256_maddubs_epi16(av, b1), ones));
+    }
+  }
+  for (std::size_t i = 0; i < Rows; ++i) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&acc[i][0]), vacc[i][0]);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(&acc[i][8]), vacc[i][1]);
+  }
+#else
+  for (std::size_t g = 0; g < kp; g += kKU, pa += kMR * kKU,
+                   pb += kNR * kKU) {
+    for (std::size_t i = 0; i < Rows; ++i) {
+      for (std::size_t j = 0; j < kNR; ++j) {
+        std::int32_t dot = 0;
+        for (std::size_t u = 0; u < kKU; ++u) {
+          dot += static_cast<std::int32_t>(pa[i * kKU + u]) *
+                 static_cast<std::int32_t>(pb[j * kKU + u]);
+        }
+        acc[i][j] += dot;
+      }
+    }
+  }
+#endif
+}
+
+/// Dequantized final write-back: subtract the u8-offset compensation, scale
+/// by the row·column scale product, then the shared alpha/beta/epilogue
+/// element transform. scale_a/scale_b/comp are tile-relative (callers offset
+/// by ir/jr like the bias pointer).
+template <std::size_t Rows>
+inline void store_final_q(const std::int32_t acc[Rows][kNR], float alpha,
+                          float beta, float* c, std::size_t ldc,
+                          std::size_t mr, std::size_t nr,
+                          const float* scale_a, const float* scale_b,
+                          const std::int32_t* comp, const Epilogue& ep,
+                          std::size_t row0, std::size_t col0) {
+  for (std::size_t i = 0; i < mr; ++i) {
+    const float sa = scale_a[i];
+    for (std::size_t j = 0; j < nr; ++j) {
+      const float deq =
+          sa * scale_b[j] * static_cast<float>(acc[i][j] - comp[j]);
+      c[i * ldc + j] =
+          micro::detail::finalize_element(deq, alpha, beta, &c[i * ldc + j],
+                                          ep, ep.per_row ? row0 + i
+                                                         : col0 + j);
+    }
+  }
+}
+
+template <std::size_t Rows>
+inline void tile_kernel_q(std::size_t kp, float alpha,
+                          const std::uint8_t* pa, const std::int8_t* pb,
+                          float beta, float* c, std::size_t ldc,
+                          std::size_t mr, std::size_t nr,
+                          const float* scale_a, const float* scale_b,
+                          const std::int32_t* comp, const Epilogue& ep,
+                          std::size_t row0, std::size_t col0) {
+  std::int32_t acc[Rows][kNR] = {};
+  accumulate_q<Rows>(kp, pa, pb, acc);
+  store_final_q<Rows>(acc, alpha, beta, c, ldc, mr, nr, scale_a, scale_b,
+                      comp, ep, row0, col0);
+}
+
+}  // namespace detail
+
+/// Pack + quantize `rows`×k of A (row-major, leading dimension lda ≥ k).
+inline void pack_a(const float* a, std::size_t lda, std::size_t rows,
+                   std::size_t k, std::uint8_t* pa, float* scale_a) {
+#if defined(__AVX512F__)
+  detail::pack_a_quant_rowmajor(a, lda, rows, k, pa, scale_a);
+#else
+  detail::pack_a_quant_impl(
+      [a, lda](std::size_t i, std::size_t p) { return a[i * lda + p]; },
+      rows, k, pa, scale_a);
+#endif
+}
+
+/// Pack + quantize `rows`×k of Aᵀ: logical A[i, p] = src[p·lda + i].
+inline void pack_a_trans(const float* a, std::size_t lda, std::size_t rows,
+                         std::size_t k, std::uint8_t* pa, float* scale_a) {
+  detail::pack_a_quant_impl(
+      [a, lda](std::size_t i, std::size_t p) { return a[p * lda + i]; },
+      rows, k, pa, scale_a);
+}
+
+/// Pack + quantize k×`cols` of B (row-major, leading dimension ldb ≥ cols).
+inline void pack_b(const float* b, std::size_t ldb, std::size_t k,
+                   std::size_t cols, std::int8_t* pb, float* scale_b,
+                   std::int32_t* comp) {
+#if defined(__AVX512F__)
+  detail::pack_b_quant_rowmajor(b, ldb, k, cols, pb, scale_b, comp);
+#else
+  detail::pack_b_quant_impl(
+      [b, ldb](std::size_t p, std::size_t j) { return b[p * ldb + j]; }, k,
+      cols, pb, scale_b, comp);
+#endif
+}
+
+/// Pack + quantize k×`cols` of Bᵀ: logical B[p, j] = src[j·ldb + p].
+inline void pack_b_trans(const float* b, std::size_t ldb, std::size_t k,
+                         std::size_t cols, std::int8_t* pb, float* scale_b,
+                         std::int32_t* comp) {
+#if defined(__AVX512F__)
+  detail::pack_b_trans_quant_rowmajor(b, ldb, k, cols, pb, scale_b, comp);
+#else
+  detail::pack_b_quant_impl(
+      [b, ldb](std::size_t p, std::size_t j) { return b[j * ldb + p]; }, k,
+      cols, pb, scale_b, comp);
+#endif
+}
+
+/// Quantized macrokernel: sweep a packed quantized A panel against a packed
+/// quantized B panel, writing the rows×cols block of C at `c`. Always a
+/// single k block — the int32 accumulators are exact, so there is nothing a
+/// KC sweep could change (and no raw-partial parking: the accumulator never
+/// leaves registers). scale_a has one entry per panel row, scale_b and comp
+/// one per panel column; the epilogue bias is block-relative as in the f32
+/// macrokernel.
+inline void macrokernel(std::size_t rows, std::size_t cols, std::size_t k,
+                        float alpha, const std::uint8_t* pa,
+                        const std::int8_t* pb, const float* scale_a,
+                        const float* scale_b, const std::int32_t* comp,
+                        float beta, float* c, std::size_t ldc,
+                        const Epilogue& ep = {}) {
+  const std::size_t kp = padded_k(k);
+  for (std::size_t jr = 0; jr < cols; jr += kNR) {
+    const std::size_t nr = std::min(kNR, cols - jr);
+    const std::int8_t* b_strip = pb + jr * kp;
+    for (std::size_t ir = 0; ir < rows; ir += kMR) {
+      const std::size_t mr = std::min(kMR, rows - ir);
+      const std::uint8_t* a_strip = pa + ir * kp;
+      if (kMR > micro::detail::kSmallMR && mr <= micro::detail::kSmallMR) {
+        detail::tile_kernel_q<micro::detail::kSmallMR>(
+            kp, alpha, a_strip, b_strip, beta, c + ir * ldc + jr, ldc, mr,
+            nr, scale_a + ir, scale_b + jr, comp + jr, ep, ir, jr);
+      } else {
+        detail::tile_kernel_q<kMR>(kp, alpha, a_strip, b_strip, beta,
+                                   c + ir * ldc + jr, ldc, mr, nr,
+                                   scale_a + ir, scale_b + jr, comp + jr, ep,
+                                   ir, jr);
+      }
+    }
+  }
+}
+
+}  // namespace q8
 
 }  // namespace gsfl::tensor::micro

@@ -1,0 +1,55 @@
+// Payload quantizer for tensors crossing the wireless channel.
+//
+// QuantizerConfig describes the symmetric b-bit quantization the channel
+// applies to smashed activations and gradients at the cut layer: each scale
+// group (the whole tensor, or one leading-dimension slice when per_channel)
+// is scaled by max|x| / qmax with qmax = 2^(b−1) − 1, rounded to nearest
+// even, and clamped to [−qmax, qmax]. The wire format (serialize.hpp's
+// write_quantized/read_quantized) carries the scale table plus bit-packed
+// offset-binary ints; fake_quantize applies the identical quantize →
+// dequantize transform in memory, so a training scheme can both *price* the
+// payload at quantized bytes and *train through* exactly the values the
+// receiver reconstructs.
+//
+// Determinism: quantization is a pure elementwise function of the tensor
+// (scales depend only on the group's max-abs; rounding is nearest-even via
+// std::nearbyintf under the never-changed default FE_TONEAREST mode, with
+// tie behaviour pinned by the property harness), so quantized rounds stay
+// bitwise reproducible across the thread × pipeline-depth matrices.
+#pragma once
+
+#include <cstddef>
+
+#include "gsfl/tensor/tensor.hpp"
+
+namespace gsfl::tensor {
+
+/// Channel payload quantizer settings.
+struct QuantizerConfig {
+  /// Payload bit width. 0 disables quantization (f32 payloads); active
+  /// widths are [2, 8] — 1 bit cannot carry a symmetric signed range, and
+  /// beyond 8 the codec stops paying on the wire.
+  std::size_t bits = 0;
+  /// One scale per leading-dimension slice (per sample of a smashed batch)
+  /// instead of one scale for the whole tensor.
+  bool per_channel = false;
+
+  [[nodiscard]] bool active() const { return bits != 0; }
+};
+
+/// Largest representable magnitude at `bits`: 2^(bits−1) − 1.
+[[nodiscard]] int quantizer_qmax(std::size_t bits);
+
+/// In-place quantize→dequantize ("fake quantize"): every element becomes
+/// the value a receiver reconstructs from the wire codec at the configured
+/// bits — scale · clamp(rne(x/scale), −qmax, qmax). No-op when
+/// !config.active(); throws via GSFL_EXPECT when bits is outside [2, 8].
+void fake_quantize(Tensor& t, const QuantizerConfig& config);
+
+/// Serialized size in bytes of the quantized wire format for a tensor of
+/// `shape` (header + scale table + bit-packed payload) — what the channel
+/// prices transfers at. Requires config.active().
+[[nodiscard]] std::size_t quantized_wire_bytes(const Shape& shape,
+                                               const QuantizerConfig& config);
+
+}  // namespace gsfl::tensor

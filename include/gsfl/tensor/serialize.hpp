@@ -2,13 +2,22 @@
 //
 // Used for model checkpointing and, in the wireless model, to size the
 // payloads that clients and the AP exchange (client-side models, smashed
-// data, gradients). The format is a fixed little-endian layout:
+// data, gradients). The f32 format is a fixed little-endian layout:
 //   magic "GSFT" | u32 rank | u64 dims[rank] | f32 data[numel]
+//
+// The quantized codec carries the channel quantizer's compressed payloads
+// (see quantize.hpp for the quantization rule):
+//   magic "GSQT" | u32 rank | u64 dims[rank] | u8 bits | u8 per_channel |
+//   u32 num_scales | f32 scales[num_scales] | bit-packed ints
+// Ints are stored offset-binary (u = q + qmax) and packed LSB-first into
+// ceil(numel·bits/8) bytes. Readers fail loudly with the field name and
+// byte offset on any malformed input (common/serial.hpp idiom).
 #pragma once
 
 #include <istream>
 #include <ostream>
 
+#include "gsfl/tensor/quantize.hpp"
 #include "gsfl/tensor/tensor.hpp"
 
 namespace gsfl::tensor {
@@ -21,5 +30,17 @@ void write_tensor(std::ostream& out, const Tensor& t);
 
 /// Serialized size in bytes (header + payload) without writing.
 [[nodiscard]] std::size_t serialized_size(const Tensor& t);
+
+/// Write one tensor through the quantized codec at config's bit width.
+/// Requires config.active(); throws std::runtime_error on stream failure.
+void write_quantized(std::ostream& out, const Tensor& t,
+                     const QuantizerConfig& config);
+
+/// Read one quantized tensor and dequantize: the result is bitwise the
+/// fake_quantize() of the written tensor (exact round-trip at the chosen
+/// bits). Throws std::runtime_error with field + offset context on
+/// malformed input: truncated scale table, bits outside [2, 8], payload
+/// length not matching the shape, and the f32 codec's shape checks.
+[[nodiscard]] Tensor read_quantized(std::istream& in);
 
 }  // namespace gsfl::tensor

@@ -1,5 +1,6 @@
 #include "gsfl/common/async_lane.hpp"
 
+#include <atomic>
 #include <deque>
 #include <thread>
 
@@ -68,6 +69,7 @@ struct AsyncLane::Impl {
   std::uint64_t next_id = 1;
   bool stop = false;
   std::vector<std::thread> threads;
+  std::atomic<std::size_t> idle{0};  ///< workers parked on an empty queue
 };
 
 AsyncLane::AsyncLane(std::size_t workers)
@@ -141,13 +143,22 @@ void AsyncLane::enqueue(const std::shared_ptr<lane_detail::TaskCore>& core) {
   impl_->cv.notify_one();
 }
 
+std::size_t AsyncLane::idle_workers() const {
+  return impl_->idle.load(std::memory_order_relaxed);
+}
+
 void AsyncLane::worker_main() {
   for (;;) {
     std::shared_ptr<lane_detail::TaskCore> core;
     {
       std::unique_lock<std::mutex> lock(impl_->mutex);
+      // The idle count brackets only the parked wait: a worker holding a
+      // task (or racing for the lock) reads as busy, which errs toward
+      // keeping work on the caller — the cheap failure mode.
+      impl_->idle.fetch_add(1, std::memory_order_relaxed);
       impl_->cv.wait(lock,
                      [&] { return impl_->stop || !impl_->queue.empty(); });
+      impl_->idle.fetch_sub(1, std::memory_order_relaxed);
       if (impl_->queue.empty()) return;  // stop && drained
       core = std::move(impl_->queue.front());
       impl_->queue.pop_front();

@@ -29,9 +29,28 @@ struct AlignedBuffer {
   }
 };
 
+struct AlignedByteBuffer {
+  std::unique_ptr<unsigned char[]> storage;
+  unsigned char* data = nullptr;
+  std::size_t size = 0;
+
+  void grow(std::size_t bytes) {
+    if (size >= bytes) return;
+    storage = std::make_unique<unsigned char[]>(bytes + kAlignBytes);
+    void* raw = storage.get();
+    std::size_t space = bytes + kAlignBytes;
+    data = static_cast<unsigned char*>(
+        std::align(kAlignBytes, bytes, raw, space));
+    size = bytes;
+  }
+};
+
 // One arena per thread: slot index == key. Pool workers live for the whole
 // process, so steady-state training rounds allocate nothing here.
 thread_local std::vector<AlignedBuffer> tl_arena;
+
+// Byte-typed arena (quantized GEMM panels); independent slot space.
+thread_local std::vector<AlignedByteBuffer> tl_byte_arena;
 
 // Double-buffered slice arena: slot index == key·2 + parity. Kept separate
 // from the flat arena so a slice key never collides with a plain key, and
@@ -58,6 +77,13 @@ float* Workspace::floats(std::size_t key, std::size_t size) {
   return buffer.data;
 }
 
+unsigned char* Workspace::bytes(std::size_t key, std::size_t size) {
+  if (tl_byte_arena.size() <= key) tl_byte_arena.resize(key + 1);
+  auto& buffer = tl_byte_arena[key];
+  buffer.grow(size);
+  return buffer.data;
+}
+
 float* Workspace::slice(std::size_t key, std::size_t size,
                         std::size_t parity) {
   const std::size_t slot = key * 2 + (parity & 1);
@@ -68,7 +94,11 @@ float* Workspace::slice(std::size_t key, std::size_t size,
 }
 
 std::size_t Workspace::thread_bytes() {
-  return arena_bytes(tl_arena) + arena_bytes(tl_slice_arena);
+  std::size_t byte_arena = 0;
+  for (const auto& buffer : tl_byte_arena) {
+    if (buffer.size > 0) byte_arena += buffer.size + kAlignBytes;
+  }
+  return arena_bytes(tl_arena) + arena_bytes(tl_slice_arena) + byte_arena;
 }
 
 void Workspace::reset_thread() {
@@ -76,6 +106,8 @@ void Workspace::reset_thread() {
   tl_arena.shrink_to_fit();
   tl_slice_arena.clear();
   tl_slice_arena.shrink_to_fit();
+  tl_byte_arena.clear();
+  tl_byte_arena.shrink_to_fit();
 }
 
 }  // namespace gsfl::common

@@ -42,7 +42,8 @@ Tensor Dense::forward_impl(const Tensor& input, bool fuse_relu) {
       .bias = bias_.data().data()};
   tensor::gemm_raw(batch, in_features_, out_features_, 1.0f,
                    input.data().data(), Trans::kNo, weight_.data().data(),
-                   Trans::kYes, 0.0f, out.data().data(), ep);
+                   Trans::kYes, 0.0f, out.data().data(), ep,
+                   forward_precision_);
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "gsfl/schemes/split_common.hpp"
 
 #include "gsfl/nn/loss.hpp"
+#include "gsfl/tensor/quantize.hpp"
 
 namespace gsfl::schemes {
 
@@ -29,6 +30,13 @@ SplitEpochResult split_epoch_loop(nn::SplitModel& model,
                                   std::size_t client_id,
                                   double bandwidth_share) {
   SplitEpochResult result;
+  // Cut-layer payload quantizer: when active, smashed activations and
+  // gradients are priced at the quantized wire-codec bytes *and* pushed
+  // through quantize→dequantize before crossing the cut, so the model
+  // trains on exactly the values the receiver reconstructs. Both transforms
+  // are pure elementwise functions of the tensors, so quantized rounds keep
+  // the bitwise thread/pipeline-depth reproducibility contract.
+  const auto& quantizer = network.config().channel.quantizer;
 
   for (std::size_t b = 0; b < num_batches; ++b) {
     const auto batch = next_batch(b);
@@ -36,13 +44,17 @@ SplitEpochResult split_epoch_loop(nn::SplitModel& model,
     const auto client_cost = model.client_flops(batch_shape);
     const auto server_cost = model.server_flops(batch_shape);
     const double smashed_bytes =
-        static_cast<double>(model.smashed_bytes(batch_shape));
+        quantizer.active()
+            ? static_cast<double>(tensor::quantized_wire_bytes(
+                  model.smashed_shape(batch_shape), quantizer))
+            : static_cast<double>(model.smashed_bytes(batch_shape));
     const double label_bytes =
         static_cast<double>(batch.size() * sizeof(std::int32_t));
 
     // --- client forward: local data → smashed data ---
     model.zero_grad();
-    const auto smashed = model.client_forward(batch.images, /*train=*/true);
+    auto smashed = model.client_forward(batch.images, /*train=*/true);
+    if (quantizer.active()) tensor::fake_quantize(smashed, quantizer);
     result.latency.client_compute += network.client_compute_seconds(
         client_id, static_cast<double>(client_cost.forward));
 
@@ -53,7 +65,8 @@ SplitEpochResult split_epoch_loop(nn::SplitModel& model,
     // --- server forward + loss + backward ---
     const auto logits = model.server_forward(smashed, /*train=*/true);
     const auto loss = nn::softmax_cross_entropy(logits, batch.labels);
-    const auto grad_smashed = model.server_backward(loss.grad_logits);
+    auto grad_smashed = model.server_backward(loss.grad_logits);
+    if (quantizer.active()) tensor::fake_quantize(grad_smashed, quantizer);
     result.latency.server_compute += network.server_compute_seconds(
         static_cast<double>(server_cost.forward + server_cost.backward));
 

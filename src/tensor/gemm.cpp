@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 
 #include "gsfl/common/async_lane.hpp"
 #include "gsfl/common/thread_pool.hpp"
@@ -141,6 +142,103 @@ void pack_ahead_sweep(std::size_t rows, std::size_t cols, std::size_t k,
   }
 }
 
+// Quantize-on-pack panel of op(A) covering logical rows [r0, r1): packed u8
+// bytes plus one dequant scale per logical row (scales index from 0 — the
+// caller offsets into the full scale array like the bias pointer).
+void pack_qa_panel(const float* a, Trans trans, std::size_t m, std::size_t k,
+                   std::size_t r0, std::size_t r1, std::uint8_t* pa,
+                   float* scale_a) {
+  if (trans == Trans::kNo) {
+    micro::q8::pack_a(a + r0 * k, k, r1 - r0, k, pa, scale_a);
+  } else {
+    micro::q8::pack_a_trans(a + r0, m, r1 - r0, k, pa, scale_a);
+  }
+}
+
+// Quantize-on-pack full-k panel of op(B) covering logical columns [c0, c1):
+// packed s8 bytes, per-column dequant scales, and the u8-offset
+// compensation row.
+void pack_qb_panel(const float* b, Trans trans, std::size_t k, std::size_t n,
+                   std::size_t c0, std::size_t c1, std::int8_t* pb,
+                   float* scale_b, std::int32_t* comp) {
+  if (trans == Trans::kNo) {
+    micro::q8::pack_b(b + c0, n, k, c1 - c0, pb, scale_b, comp);
+  } else {
+    micro::q8::pack_b_trans(b + c0 * k, k, k, c1 - c0, pb, scale_b, comp);
+  }
+}
+
+// The int8 driver: same shape-driven row/column split and grains as the f32
+// path (so the panel roles and Workspace key ownership mirror it exactly),
+// but panels always pack up front over the full k — the integer macrokernel
+// runs one k block with register-resident accumulators, so there is no KC
+// sweep and PackStrategy is irrelevant. Scales are per *logical* row/column
+// (pure functions of the operands, never of panel boundaries) and int32
+// accumulation is exact, so any split packs identical bytes and folds to
+// identical results: bitwise invariance across thread count for free.
+void gemm_raw_q8(std::size_t m, std::size_t k, std::size_t n, float alpha,
+                 const float* a, Trans trans_a, const float* b, Trans trans_b,
+                 float beta, float* c, const micro::Epilogue& epilogue) {
+  namespace q8 = micro::q8;
+  const bool by_columns = (n + kColGrain - 1) / kColGrain >
+                          (m + kRowGrain - 1) / kRowGrain;
+  const bool serial = m * n * k < kParallelMacCutoff;
+
+  if (serial || !by_columns) {
+    // Caller packs + quantizes all of op(B) once (shared, read-only across
+    // the row tasks); each task quantizes its own row panel of op(A).
+    auto* pb = reinterpret_cast<std::int8_t*>(common::Workspace::bytes(
+        common::Workspace::kGemmQuantB, q8::packed_b_bytes(k, n)));
+    float* sb =
+        common::Workspace::floats(common::Workspace::kGemmQuantScaleB, n);
+    auto* comp = reinterpret_cast<std::int32_t*>(common::Workspace::bytes(
+        common::Workspace::kGemmQuantComp, n * sizeof(std::int32_t)));
+    pack_qb_panel(b, trans_b, k, n, 0, n, pb, sb, comp);
+    const auto rows_task = [&](std::size_t r0, std::size_t r1) {
+      auto* pa = reinterpret_cast<std::uint8_t*>(common::Workspace::bytes(
+          common::Workspace::kGemmQuantA, q8::packed_a_bytes(r1 - r0, k)));
+      float* sa = common::Workspace::floats(
+          common::Workspace::kGemmQuantScaleA, r1 - r0);
+      pack_qa_panel(a, trans_a, m, k, r0, r1, pa, sa);
+      micro::Epilogue ep = epilogue;
+      if (ep.bias != nullptr && ep.per_row) ep.bias += r0;
+      q8::macrokernel(r1 - r0, n, k, alpha, pa, pb, sa, sb, comp, beta,
+                      c + r0 * n, n, ep);
+    };
+    if (serial) {
+      rows_task(0, m);
+    } else {
+      common::global_parallel_for(kRowGrain, m, rows_task);
+    }
+    return;
+  }
+
+  // Column split: op(A) quantizes once (shared), each task quantizes its own
+  // column panel of op(B) — the dominant O(k·n) pass spreads across lanes.
+  auto* pa = reinterpret_cast<std::uint8_t*>(common::Workspace::bytes(
+      common::Workspace::kGemmQuantA, q8::packed_a_bytes(m, k)));
+  float* sa =
+      common::Workspace::floats(common::Workspace::kGemmQuantScaleA, m);
+  pack_qa_panel(a, trans_a, m, k, 0, m, pa, sa);
+  common::global_parallel_for(
+      kColGrain, n, [&](std::size_t c0, std::size_t c1) {
+        auto* pb = reinterpret_cast<std::int8_t*>(common::Workspace::bytes(
+            common::Workspace::kGemmQuantB,
+            q8::packed_b_bytes(k, c1 - c0)));
+        float* sb = common::Workspace::floats(
+            common::Workspace::kGemmQuantScaleB, c1 - c0);
+        auto* comp =
+            reinterpret_cast<std::int32_t*>(common::Workspace::bytes(
+                common::Workspace::kGemmQuantComp,
+                (c1 - c0) * sizeof(std::int32_t)));
+        pack_qb_panel(b, trans_b, k, n, c0, c1, pb, sb, comp);
+        micro::Epilogue ep = epilogue;
+        if (ep.bias != nullptr && !ep.per_row) ep.bias += c0;
+        q8::macrokernel(m, c1 - c0, k, alpha, pa, pb, sa, sb, comp, beta,
+                        c + c0, n, ep);
+      });
+}
+
 // Dispatch between the two per-slice schedules.
 void sliced_sweep(PackStrategy strategy, std::size_t rows, std::size_t cols,
                   std::size_t k, float alpha, const float* pa, const float* b,
@@ -235,6 +333,18 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
         strategy == PackStrategy::kInterleaved ||
         strategy == PackStrategy::kPackAhead ||
         (strategy == PackStrategy::kAuto && multi_block && row_single_task);
+    // kAuto upgrades an interleaved sweep to pack-ahead when the global
+    // lane reports idle capacity: the pack of slice b+1 then overlaps block
+    // b's sweep instead of serializing after it. idle_workers() is a racy
+    // advisory read — a stale answer only changes which thread packs, and
+    // the packed bytes (hence the fold, hence the result) are bitwise
+    // identical under every schedule, so the auto-pick cannot perturb
+    // results (pinned by the pack-strategy property sweep).
+    PackStrategy sliced = strategy;
+    if (interleave && strategy == PackStrategy::kAuto &&
+        common::global_lane().idle_workers() > 0) {
+      sliced = PackStrategy::kPackAhead;
+    }
     float* pb = nullptr;
     if (!interleave) {
       // Caller packs all of op(B) once; panel tasks read it concurrently
@@ -256,7 +366,7 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
         // Each task packs its own B slices (one task in the kAuto hot path;
         // forced kInterleaved accepts the per-task repack to exercise the
         // schedule under every split).
-        sliced_sweep(strategy, r1 - r0, n, k, alpha, pa, b, trans_b, n, 0,
+        sliced_sweep(sliced, r1 - r0, n, k, alpha, pa, b, trans_b, n, 0,
                      beta, c + r0 * n, n, ep);
       } else {
         micro::macrokernel(r1 - r0, n, k, alpha, pa, pb, beta, c + r0 * n,
@@ -278,6 +388,14 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
       strategy == PackStrategy::kInterleaved ||
       strategy == PackStrategy::kPackAhead ||
       (strategy == PackStrategy::kAuto && multi_block);
+  // Same advisory pack-ahead upgrade as the row path, decided once by the
+  // issuing thread (column tasks submitting packs race help-on-wait safely
+  // either way).
+  PackStrategy sliced_cols = strategy;
+  if (interleave_cols && strategy == PackStrategy::kAuto &&
+      common::global_lane().idle_workers() > 0) {
+    sliced_cols = PackStrategy::kPackAhead;
+  }
   float* pa = common::Workspace::floats(common::Workspace::kGemmPackA,
                                         micro::packed_a_floats(m, k));
   pack_a_panel(a, a_mask, trans_a, m, k, 0, m, pa);
@@ -286,7 +404,7 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
     micro::Epilogue ep = epilogue;
     if (ep.bias != nullptr && !ep.per_row) ep.bias += c0;
     if (interleave_cols) {
-      sliced_sweep(strategy, m, c1 - c0, k, alpha, pa, b, trans_b, n, c0,
+      sliced_sweep(sliced_cols, m, c1 - c0, k, alpha, pa, b, trans_b, n, c0,
                    beta, c + c0, n, ep);
       return;
     }
@@ -302,6 +420,25 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
               float beta, float* c, const micro::Epilogue& epilogue) {
   gemm_raw(m, k, n, alpha, a, trans_a, nullptr, b, trans_b, beta, c,
            epilogue);
+}
+
+void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, Trans trans_a, const float* b, Trans trans_b,
+              float beta, float* c, const micro::Epilogue& epilogue,
+              GemmPrecision precision) {
+  if (precision == GemmPrecision::kF32) {
+    gemm_raw(m, k, n, alpha, a, trans_a, b, trans_b, beta, c, epilogue);
+    return;
+  }
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // Empty inner dimension: nothing to quantize — the write-back
+    // (beta scale + epilogue) is precision-independent.
+    micro::macrokernel(m, n, 0, alpha, nullptr, nullptr, beta, c, n,
+                       epilogue);
+    return;
+  }
+  gemm_raw_q8(m, k, n, alpha, a, trans_a, b, trans_b, beta, c, epilogue);
 }
 
 void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,

@@ -1,0 +1,221 @@
+#include "gsfl/tensor/quantize.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gsfl/common/serial.hpp"
+#include "gsfl/tensor/microkernel.hpp"
+#include "gsfl/tensor/serialize.hpp"
+
+namespace gsfl::tensor {
+
+namespace {
+
+constexpr std::array<char, 4> kQuantMagic = {'G', 'S', 'Q', 'T'};
+
+// The quantize/round helpers are shared with the int8 GEMM path
+// (micro::q8::scale_for / quantize) so the wire codec and the compute path
+// round identically — one nearest-even rule, pinned in one place.
+
+std::size_t num_scale_groups(const Shape& shape,
+                             const QuantizerConfig& config) {
+  return config.per_channel && shape.rank() > 0 ? shape[0] : 1;
+}
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error(message);
+}
+
+}  // namespace
+
+int quantizer_qmax(std::size_t bits) {
+  GSFL_EXPECT_MSG(bits >= 2 && bits <= 8, "quantizer bits must be in [2, 8]");
+  return (1 << (bits - 1)) - 1;
+}
+
+void fake_quantize(Tensor& t, const QuantizerConfig& config) {
+  if (!config.active()) return;
+  const int qmax = quantizer_qmax(config.bits);
+  auto data = t.data();
+  const std::size_t groups = num_scale_groups(t.shape(), config);
+  const std::size_t stride = data.size() / groups;
+  for (std::size_t g = 0; g < groups; ++g) {
+    float* x = data.data() + g * stride;
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < stride; ++i) {
+      max_abs = std::max(max_abs, std::fabs(x[i]));
+    }
+    const float scale = micro::q8::scale_for(max_abs, qmax);
+    const float inv = 1.0f / scale;
+    for (std::size_t i = 0; i < stride; ++i) {
+      x[i] = scale *
+             static_cast<float>(micro::q8::quantize(x[i], inv, qmax));
+    }
+  }
+}
+
+std::size_t quantized_wire_bytes(const Shape& shape,
+                                 const QuantizerConfig& config) {
+  GSFL_EXPECT_MSG(config.active(),
+                  "quantized_wire_bytes requires an active quantizer");
+  (void)quantizer_qmax(config.bits);  // range-check bits
+  const std::size_t groups = num_scale_groups(shape, config);
+  return kQuantMagic.size() + sizeof(std::uint32_t) +
+         shape.rank() * sizeof(std::uint64_t) + 2 * sizeof(std::uint8_t) +
+         sizeof(std::uint32_t) + groups * sizeof(float) +
+         (shape.numel() * config.bits + 7) / 8;
+}
+
+void write_quantized(std::ostream& out, const Tensor& t,
+                     const QuantizerConfig& config) {
+  GSFL_EXPECT_MSG(config.active(),
+                  "write_quantized requires an active quantizer");
+  const int qmax = quantizer_qmax(config.bits);
+  out.write(kQuantMagic.data(), kQuantMagic.size());
+  common::serial::write_pod(
+      out, static_cast<std::uint32_t>(t.shape().rank()));
+  for (const std::size_t d : t.shape().dims()) {
+    common::serial::write_pod(out, static_cast<std::uint64_t>(d));
+  }
+  common::serial::write_pod(out, static_cast<std::uint8_t>(config.bits));
+  common::serial::write_pod(
+      out, static_cast<std::uint8_t>(config.per_channel ? 1 : 0));
+
+  const auto data = t.data();
+  const std::size_t groups = num_scale_groups(t.shape(), config);
+  const std::size_t stride = data.size() / groups;
+  common::serial::write_pod(out, static_cast<std::uint32_t>(groups));
+  std::vector<float> scales(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < stride; ++i) {
+      max_abs = std::max(max_abs, std::fabs(data[g * stride + i]));
+    }
+    scales[g] = micro::q8::scale_for(max_abs, qmax);
+    common::serial::write_pod(out, scales[g]);
+  }
+
+  std::vector<unsigned char> payload((data.size() * config.bits + 7) / 8, 0);
+  std::size_t bitpos = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const float inv = 1.0f / scales[g];
+    for (std::size_t i = 0; i < stride; ++i) {
+      const int q =
+          micro::q8::quantize(data[g * stride + i], inv, qmax);
+      const auto u = static_cast<unsigned>(q + qmax);
+      for (std::size_t b = 0; b < config.bits; ++b, ++bitpos) {
+        if ((u >> b) & 1u) {
+          payload[bitpos >> 3] |=
+              static_cast<unsigned char>(1u << (bitpos & 7));
+        }
+      }
+    }
+  }
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (!out) fail("quantized tensor serialization: write failed");
+}
+
+Tensor read_quantized(std::istream& in) {
+  std::array<char, 4> magic{};
+  const auto magic_offset = static_cast<long long>(in.tellg());
+  in.read(magic.data(), magic.size());
+  if (!in) {
+    fail("truncated read of quantized tensor magic at offset " +
+         std::to_string(magic_offset));
+  }
+  if (magic != kQuantMagic) {
+    fail("quantized tensor deserialization: bad magic");
+  }
+  const auto rank =
+      common::serial::read_pod<std::uint32_t>(in, "quantized tensor rank");
+  if (rank > 8) fail("quantized tensor deserialization: rank > 8");
+  std::vector<std::size_t> dims(rank);
+  std::size_t numel = 1;
+  for (auto& d : dims) {
+    d = static_cast<std::size_t>(
+        common::serial::read_u64(in, "quantized tensor dim"));
+    if (d == 0 || numel > (1ULL << 32) / std::max<std::size_t>(d, 1)) {
+      fail("quantized tensor deserialization: implausible shape");
+    }
+    numel *= d;
+  }
+
+  const auto bits_offset = static_cast<long long>(in.tellg());
+  const auto bits =
+      common::serial::read_pod<std::uint8_t>(in, "quantized tensor bits");
+  if (bits < 2 || bits > 8) {
+    fail("quantized tensor deserialization: bits " +
+         std::to_string(static_cast<int>(bits)) +
+         " outside [2, 8] at offset " + std::to_string(bits_offset));
+  }
+  const auto flag_offset = static_cast<long long>(in.tellg());
+  const auto per_channel = common::serial::read_pod<std::uint8_t>(
+      in, "quantized tensor per-channel flag");
+  if (per_channel > 1) {
+    fail("quantized tensor deserialization: bad per-channel flag at offset " +
+         std::to_string(flag_offset));
+  }
+  const auto scales_offset = static_cast<long long>(in.tellg());
+  const auto num_scales = common::serial::read_pod<std::uint32_t>(
+      in, "quantized tensor scale count");
+  const std::size_t expected_scales =
+      per_channel != 0 && rank > 0 ? dims[0] : 1;
+  if (num_scales != expected_scales) {
+    fail("quantized tensor deserialization: scale table of " +
+         std::to_string(num_scales) + " entries does not match shape " +
+         Shape(dims).to_string() + " (expected " +
+         std::to_string(expected_scales) + ") at offset " +
+         std::to_string(scales_offset));
+  }
+  std::vector<float> scales(num_scales);
+  for (auto& scale : scales) {
+    const auto scale_offset = static_cast<long long>(in.tellg());
+    scale = common::serial::read_pod<float>(in, "quantized tensor scale");
+    if (!std::isfinite(scale) || scale <= 0.0f) {
+      fail("quantized tensor deserialization: bad scale at offset " +
+           std::to_string(scale_offset));
+    }
+  }
+
+  const std::size_t payload_bytes = (numel * bits + 7) / 8;
+  std::vector<unsigned char> payload(payload_bytes);
+  const auto payload_offset = static_cast<long long>(in.tellg());
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  if (!in) {
+    fail("truncated read of quantized tensor payload at offset " +
+         std::to_string(payload_offset) + " (shape " +
+         Shape(dims).to_string() + " needs " +
+         std::to_string(payload_bytes) + " payload bytes)");
+  }
+
+  const int qmax = (1 << (bits - 1)) - 1;
+  Tensor t{Shape(std::move(dims))};
+  auto data = t.data();
+  const std::size_t stride = numel / num_scales;
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < numel; ++i) {
+    unsigned u = 0;
+    for (std::size_t b = 0; b < bits; ++b, ++bitpos) {
+      u |= static_cast<unsigned>((payload[bitpos >> 3] >> (bitpos & 7)) & 1u)
+           << b;
+    }
+    // Clamp offset-binary codes above the symmetric range (2·qmax) — they
+    // cannot come from our writer, but a corrupt payload must not
+    // dequantize outside the advertised range.
+    const int q =
+        static_cast<int>(std::min<unsigned>(u, 2u * static_cast<unsigned>(
+                                                     qmax))) -
+        qmax;
+    data[i] = scales[i / stride] * static_cast<float>(q);
+  }
+  return t;
+}
+
+}  // namespace gsfl::tensor

@@ -288,4 +288,40 @@ TEST(AsyncLane, LaneIsReusableAfterAFullyFailedGraph) {
   EXPECT_EQ(b.wait(), 22);
 }
 
+// idle_workers() is the advisory capacity signal the GEMM pack-ahead
+// upgrade consults: all workers parked on an empty queue read as idle, a
+// blocked worker does not, and the count recovers once the queue drains.
+// The signal is racy by design, so the assertions poll with a deadline
+// instead of expecting instantaneous transitions.
+TEST(AsyncLane, IdleWorkersTracksParkedWorkers) {
+  AsyncLane lane(2);
+  const auto deadline_passed = [start = std::chrono::steady_clock::now()] {
+    return std::chrono::steady_clock::now() - start >
+           std::chrono::seconds(10);
+  };
+  // Freshly constructed (or drained): both workers park.
+  while (lane.idle_workers() < 2 && !deadline_passed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(lane.idle_workers(), 2u);
+
+  // Occupy one worker: at most one can be parked while it blocks.
+  std::promise<void> started;
+  std::promise<void> release;
+  auto blocker = lane.submit([&] {
+    started.set_value();
+    release.get_future().wait();
+  });
+  started.get_future().wait();
+  EXPECT_LE(lane.idle_workers(), 1u);
+
+  // Drain: both park again.
+  release.set_value();
+  blocker.wait();
+  while (lane.idle_workers() < 2 && !deadline_passed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(lane.idle_workers(), 2u);
+}
+
 }  // namespace

@@ -272,4 +272,69 @@ TEST(Dense, HeInitializationScale) {
   for (const float b : layer.bias().data()) EXPECT_FLOAT_EQ(b, 0.0f);
 }
 
+// The int8 forward path (GemmPrecision::kInt8) is an opt-in serving knob:
+// close to the f32 forward numerically, bitwise reproducible across the
+// thread matrix (exact int32 accumulation), and never touching backward.
+TEST(Dense, Int8ForwardIsCloseToF32) {
+  Rng rng(40);
+  Dense layer(64, 32, rng);
+  const auto x = Tensor::uniform(Shape{16, 64}, rng, -1, 1);
+  const auto f32 = layer.forward(x, false);
+  layer.set_forward_precision(gsfl::tensor::GemmPrecision::kInt8);
+  EXPECT_EQ(layer.forward_precision(), gsfl::tensor::GemmPrecision::kInt8);
+  const auto q8 = layer.forward(x, false);
+  float max_abs = 1e-6f;
+  for (const float v : f32.data()) max_abs = std::max(max_abs, std::abs(v));
+  for (std::size_t i = 0; i < f32.numel(); ++i) {
+    EXPECT_NEAR(q8.at(i), f32.at(i), 0.02f * max_abs) << "flat index " << i;
+  }
+}
+
+TEST(Dense, Int8ForwardIsBitwiseThreadInvariant) {
+  Rng rng(41);
+  Dense layer(48, 40, rng);
+  layer.set_forward_precision(gsfl::tensor::GemmPrecision::kInt8);
+  const auto x = Tensor::uniform(Shape{9, 48}, rng, -1, 1);
+  gsfl::common::set_global_threads(1);
+  const auto reference = layer.forward(x, false);
+  prop::for_each_thread_count([&](std::size_t threads) {
+    ASSERT_TRUE(prop::bitwise_equal(layer.forward(x, false), reference))
+        << "threads=" << threads;
+  });
+}
+
+TEST(Dense, Int8ForwardPrecisionSurvivesClone) {
+  Rng rng(42);
+  Dense layer(12, 8, rng);
+  layer.set_forward_precision(gsfl::tensor::GemmPrecision::kInt8);
+  const auto clone = layer.clone();
+  const auto x = Tensor::uniform(Shape{3, 12}, rng, -1, 1);
+  EXPECT_TRUE(
+      prop::bitwise_equal(clone->forward(x, false), layer.forward(x, false)));
+}
+
+TEST(Dense, Int8ForwardLeavesBackwardInF32) {
+  // Gradcheck differentiates the f32 forward; with the int8 knob set the
+  // backward must still be the exact f32 gradients of the f32 graph —
+  // training arithmetic is untouched by the serving precision.
+  Rng rng(43);
+  Dense f32_layer(4, 3, rng);
+  Dense q8_layer = f32_layer;
+  q8_layer.set_forward_precision(gsfl::tensor::GemmPrecision::kInt8);
+  const auto x = Tensor::uniform(Shape{2, 4}, rng, -1, 1);
+  const auto dy = Tensor::ones(Shape{2, 3});
+
+  f32_layer.zero_grad();
+  (void)f32_layer.forward(x, true);
+  const auto dx_f32 = f32_layer.backward(dy);
+
+  q8_layer.zero_grad();
+  (void)q8_layer.forward(x, true);
+  const auto dx_q8 = q8_layer.backward(dy);
+
+  EXPECT_TRUE(prop::bitwise_equal(dx_q8, dx_f32));
+  EXPECT_TRUE(prop::bitwise_equal(*q8_layer.gradients()[0],
+                                  *f32_layer.gradients()[0]));
+}
+
 }  // namespace

@@ -1,0 +1,126 @@
+// Quantized cut-layer rounds: with ChannelConfig::quantizer active the
+// schemes price smashed payloads at the quantized wire bytes and push the
+// smashed activations/gradients through fake_quantize. Both are pure
+// elementwise transforms, so quantized training must keep the same bitwise
+// thread × pipeline-depth invariance the f32 path pins — at every bit
+// width the harness sweeps — while the radio time actually shrinks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gsfl/schemes/splitfed.hpp"
+#include "gsfl/schemes/trainer.hpp"
+#include "gsfl/tensor/quantize.hpp"
+#include "support/property.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using namespace gsfl;
+using test::prop::bitwise_equal;
+
+net::WirelessNetwork make_quantized_network(std::size_t num_clients,
+                                            tensor::QuantizerConfig quantizer) {
+  net::NetworkConfig config;
+  config.total_bandwidth_hz = 10e6;
+  config.channel.quantizer = quantizer;
+  std::vector<net::DeviceProfile> clients(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients[c].distance_m = 30.0 + 10.0 * static_cast<double>(c);
+    clients[c].compute_flops = 1e9;
+  }
+  return net::WirelessNetwork(config, std::move(clients));
+}
+
+struct RunOutput {
+  std::vector<schemes::RoundResult> results;
+  nn::StateDict state;
+};
+
+RunOutput run_sfl(std::size_t rounds, std::size_t depth,
+                  tensor::QuantizerConfig quantizer) {
+  const std::size_t clients = 4;
+  auto network = make_quantized_network(clients, quantizer);
+  auto datasets = test::make_client_datasets(clients, 8, 17);
+  common::Rng model_rng(7);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = 4;
+  schemes::SplitFedTrainer trainer(network, std::move(datasets),
+                                   std::move(model), test::kTinyCut, config);
+  RunOutput out;
+  out.results = schemes::run_rounds_pipelined(trainer, rounds, depth);
+  out.state = trainer.global_model().state();
+  return out;
+}
+
+void expect_same_run(const RunOutput& actual, const RunOutput& reference,
+                     const std::string& label) {
+  ASSERT_EQ(actual.results.size(), reference.results.size()) << label;
+  for (std::size_t r = 0; r < actual.results.size(); ++r) {
+    const auto& a = actual.results[r];
+    const auto& e = reference.results[r];
+    EXPECT_EQ(a.train_loss, e.train_loss) << label << " round " << r;
+    EXPECT_EQ(a.latency.uplink, e.latency.uplink) << label << " round " << r;
+    EXPECT_EQ(a.latency.downlink, e.latency.downlink)
+        << label << " round " << r;
+    EXPECT_EQ(a.latency.client_compute, e.latency.client_compute)
+        << label << " round " << r;
+    EXPECT_EQ(a.latency.server_compute, e.latency.server_compute)
+        << label << " round " << r;
+  }
+  ASSERT_EQ(actual.state.size(), reference.state.size()) << label;
+  for (std::size_t e = 0; e < actual.state.size(); ++e) {
+    EXPECT_TRUE(bitwise_equal(actual.state[e], reference.state[e]))
+        << label << " state entry " << e;
+  }
+}
+
+TEST(QuantizedRounds, RadioTimeShrinksAndTrainingStaysSane) {
+  const auto f32 = run_sfl(2, 1, tensor::QuantizerConfig{});
+  const auto q8 = run_sfl(2, 1, {.bits = 8, .per_channel = false});
+  const auto q2 = run_sfl(2, 1, {.bits = 2, .per_channel = false});
+  for (std::size_t r = 0; r < 2; ++r) {
+    // 8-bit payloads are ~4× smaller than f32, 2-bit ~16× — strictly less
+    // radio time each round, and fewer bits always costs less than more.
+    EXPECT_LT(q8.results[r].latency.uplink, f32.results[r].latency.uplink);
+    EXPECT_LT(q8.results[r].latency.downlink,
+              f32.results[r].latency.downlink);
+    EXPECT_LT(q2.results[r].latency.uplink, q8.results[r].latency.uplink);
+    // Quantization must not blow up the optimization.
+    EXPECT_TRUE(std::isfinite(q8.results[r].train_loss));
+    EXPECT_GT(q8.results[r].train_loss, 0.0);
+  }
+  // Compute time is priced from FLOPs, untouched by the quantizer.
+  EXPECT_EQ(q8.results[0].latency.client_compute,
+            f32.results[0].latency.client_compute);
+}
+
+TEST(QuantizedRounds, EightBitLossTracksF32Closely) {
+  const auto f32 = run_sfl(3, 1, tensor::QuantizerConfig{});
+  const auto q8 = run_sfl(3, 1, {.bits = 8, .per_channel = false});
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(q8.results[r].train_loss, f32.results[r].train_loss, 0.05)
+        << "round " << r;
+  }
+}
+
+TEST(QuantizedRounds, BitwiseAcrossThreadAndDepthMatrix) {
+  test::prop::for_each_quantizer([&](const tensor::QuantizerConfig& config) {
+    const auto reference = run_sfl(2, 1, config);
+    test::prop::for_each_thread_count([&](std::size_t threads) {
+      test::prop::for_each_pipeline_depth([&](std::size_t depth) {
+        const auto run = run_sfl(2, depth, config);
+        expect_same_run(run, reference,
+                        "bits=" + std::to_string(config.bits) +
+                            (config.per_channel ? "/ch" : "") +
+                            " t=" + std::to_string(threads) +
+                            " d=" + std::to_string(depth));
+      });
+    });
+  });
+}
+
+}  // namespace

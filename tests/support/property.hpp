@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -22,6 +23,7 @@
 #include "gsfl/nn/layer.hpp"
 #include "gsfl/tensor/gemm.hpp"
 #include "gsfl/tensor/microkernel.hpp"
+#include "gsfl/tensor/quantize.hpp"
 #include "gsfl/tensor/tensor.hpp"
 
 namespace gsfl::test::prop {
@@ -59,6 +61,59 @@ inline std::vector<float> naive_gemm(std::size_t m, std::size_t k,
         acc = mac_step(a[i * k + p], b[p * n + j], acc);
       }
       c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+/// Reference for the int8 quantized GEMM (GemmPrecision::kInt8): quantize A
+/// per logical row and B per logical column with the library's own
+/// nearest-even rule (micro::q8::scale_for / quantize — this reference pins
+/// the *fold and dequant sequence*; the RNE suites pin the rounding
+/// separately), accumulate the exact int32 dot naively, then dequantize
+/// with the kernel's element transform sa·sb·float(acc). Exact integer
+/// arithmetic means the kernel must match this bitwise for every thread
+/// count, KC, and pack strategy.
+inline std::vector<float> naive_gemm_q8(std::size_t m, std::size_t k,
+                                        std::size_t n,
+                                        const std::vector<float>& a,
+                                        const std::vector<float>& b) {
+  namespace q8 = micro::q8;
+  std::vector<int> qa(m * k);
+  std::vector<int> qb(k * n);
+  std::vector<float> sa(m);
+  std::vector<float> sb(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    float max_abs = 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+      max_abs = std::max(max_abs, std::fabs(a[i * k + p]));
+    }
+    sa[i] = q8::scale_for(max_abs, q8::kQmaxA);
+    const float inv = 1.0f / sa[i];
+    for (std::size_t p = 0; p < k; ++p) {
+      qa[i * k + p] = q8::quantize(a[i * k + p], inv, q8::kQmaxA);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    float max_abs = 0.0f;
+    for (std::size_t p = 0; p < k; ++p) {
+      max_abs = std::max(max_abs, std::fabs(b[p * n + j]));
+    }
+    sb[j] = q8::scale_for(max_abs, q8::kQmaxB);
+    const float inv = 1.0f / sb[j];
+    for (std::size_t p = 0; p < k; ++p) {
+      qb[p * n + j] = q8::quantize(b[p * n + j], inv, q8::kQmaxB);
+    }
+  }
+  std::vector<float> c(m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t acc = 0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(qa[i * k + p]) *
+               static_cast<std::int32_t>(qb[p * n + j]);
+      }
+      c[i * n + j] = sa[i] * sb[j] * static_cast<float>(acc);
     }
   }
   return c;
@@ -191,6 +246,29 @@ inline const std::vector<std::size_t>& pipeline_depth_matrix() {
 template <typename Fn>
 void for_each_pipeline_depth(Fn&& fn) {
   for (const std::size_t depth : pipeline_depth_matrix()) fn(depth);
+}
+
+// ---- quantizer axis --------------------------------------------------------
+
+/// Cut-layer quantizer configs the quantized-rounds suites sweep: the full
+/// 8-bit wire setting (per-tensor and per-channel) plus aggressive low-bit
+/// settings that stress the clamp and the scale-group stride. Quantization
+/// is elementwise, so every config must preserve the bitwise thread /
+/// pipeline-depth invariance the f32 path pins.
+inline const std::vector<gsfl::tensor::QuantizerConfig>& quantizer_matrix() {
+  static const std::vector<gsfl::tensor::QuantizerConfig> configs = {
+      {.bits = 8, .per_channel = false},
+      {.bits = 8, .per_channel = true},
+      {.bits = 4, .per_channel = false},
+      {.bits = 2, .per_channel = true},
+  };
+  return configs;
+}
+
+/// Run fn once per quantizer config.
+template <typename Fn>
+void for_each_quantizer(Fn&& fn) {
+  for (const auto& config : quantizer_matrix()) fn(config);
 }
 
 // ---- fused-pair adapter ----------------------------------------------------

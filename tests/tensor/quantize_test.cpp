@@ -1,0 +1,408 @@
+// The int8 quantized GEMM and the quantized wire codec share one rounding
+// rule (micro::q8::scale_for / quantize, nearest-even). These tests pin that
+// rule numerically, hold the kInt8 GEMM bitwise to an exact integer
+// reference across thread counts and pack strategies (exact int32
+// accumulation makes the fold order-invariant, so the contract here is
+// equality, not tolerance), and hold the GSQT codec to an exact
+// fake_quantize round-trip with loud, offset-bearing failures on malformed
+// input.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/tensor/gemm.hpp"
+#include "gsfl/tensor/microkernel.hpp"
+#include "gsfl/tensor/quantize.hpp"
+#include "gsfl/tensor/serialize.hpp"
+#include "support/property.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::fake_quantize;
+using gsfl::tensor::GemmPrecision;
+using gsfl::tensor::QuantizerConfig;
+using gsfl::tensor::quantized_wire_bytes;
+using gsfl::tensor::quantizer_qmax;
+using gsfl::tensor::read_quantized;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using gsfl::tensor::Trans;
+using gsfl::tensor::write_quantized;
+namespace micro = gsfl::tensor::micro;
+namespace q8 = micro::q8;
+namespace prop = gsfl::test::prop;
+
+// ---- rounding rule ---------------------------------------------------------
+
+TEST(Quantize, RoundsHalfToEven) {
+  // inv_scale = 1 makes the argument the value being rounded: ties must go
+  // to the even integer (FE_TONEAREST nearbyint), not away from zero.
+  EXPECT_EQ(q8::quantize(0.5f, 1.0f, 127), 0);
+  EXPECT_EQ(q8::quantize(1.5f, 1.0f, 127), 2);
+  EXPECT_EQ(q8::quantize(2.5f, 1.0f, 127), 2);
+  EXPECT_EQ(q8::quantize(3.5f, 1.0f, 127), 4);
+  EXPECT_EQ(q8::quantize(-0.5f, 1.0f, 127), 0);
+  EXPECT_EQ(q8::quantize(-1.5f, 1.0f, 127), -2);
+  EXPECT_EQ(q8::quantize(-2.5f, 1.0f, 127), -2);
+}
+
+TEST(Quantize, ClampsToSymmetricRange) {
+  EXPECT_EQ(q8::quantize(1000.0f, 1.0f, 127), 127);
+  EXPECT_EQ(q8::quantize(-1000.0f, 1.0f, 127), -127);
+  EXPECT_EQ(q8::quantize(1000.0f, 1.0f, 7), 7);
+  EXPECT_EQ(q8::quantize(-1000.0f, 1.0f, 7), -7);
+}
+
+TEST(Quantize, ScaleForZeroInputIsOne) {
+  // All-zero groups must not divide by zero; scale 1 dequantizes 0 → 0.
+  EXPECT_FLOAT_EQ(q8::scale_for(0.0f, 127), 1.0f);
+  EXPECT_FLOAT_EQ(q8::scale_for(254.0f, 127), 2.0f);
+}
+
+TEST(Quantize, QmaxFollowsBitWidth) {
+  EXPECT_EQ(quantizer_qmax(8), 127);
+  EXPECT_EQ(quantizer_qmax(4), 7);
+  EXPECT_EQ(quantizer_qmax(2), 1);
+  EXPECT_THROW((void)quantizer_qmax(1), std::invalid_argument);
+  EXPECT_THROW((void)quantizer_qmax(9), std::invalid_argument);
+}
+
+// ---- int8 GEMM vs exact integer reference ----------------------------------
+
+void run_q8(std::size_t m, std::size_t k, std::size_t n,
+            const std::vector<float>& a, const std::vector<float>& b,
+            std::vector<float>& c) {
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo, b.data(),
+                         Trans::kNo, 0.0f, c.data(), micro::Epilogue{},
+                         GemmPrecision::kInt8);
+}
+
+TEST(QuantizedGemm, EdgeGeometriesMatchIntegerReferenceBitwise) {
+  for (const auto& [m, k, n] : prop::edge_gemm_cases()) {
+    const auto a = prop::random_matrix(m, k, 100 + m * 7 + k);
+    const auto b = prop::random_matrix(k, n, 200 + n * 3 + k);
+    const auto expected = prop::naive_gemm_q8(m, k, n, a, b);
+    std::vector<float> c(m * n, -2.0f);
+    run_q8(m, k, n, a, b, c);
+    ASSERT_TRUE(prop::bitwise_equal(c, expected))
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(QuantizedGemm, LargeShapesMatchIntegerReferenceBitwise) {
+  // dense1-like k=2048 spans many f32 KC blocks; the int8 path packs full-k
+  // upfront, so exactness here shows there is no k-blocking reassociation
+  // to worry about (int32 accumulation is exact regardless).
+  const prop::GemmCase cases[] = {
+      {4 * micro::kMR + 1, 129, 3 * micro::kNR + 5},
+      {16, 2048, 128},
+      {100, 1, 100},
+  };
+  for (const auto& [m, k, n] : cases) {
+    const auto a = prop::random_matrix(m, k, 300 + m);
+    const auto b = prop::random_matrix(k, n, 400 + n);
+    const auto expected = prop::naive_gemm_q8(m, k, n, a, b);
+    std::vector<float> c(m * n);
+    run_q8(m, k, n, a, b, c);
+    ASSERT_TRUE(prop::bitwise_equal(c, expected))
+        << "m=" << m << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(QuantizedGemm, TransposedOperandsMatchUntransposedBitwise) {
+  const std::size_t m = micro::kMR + 3;
+  const std::size_t k = 67;
+  const std::size_t n = micro::kNR + 9;
+  const auto a = prop::random_matrix(m, k, 500);
+  const auto b = prop::random_matrix(k, n, 501);
+  const auto at = prop::transposed(a, m, k);  // (k × m) row-major
+  const auto bt = prop::transposed(b, k, n);  // (n × k) row-major
+  const auto expected = prop::naive_gemm_q8(m, k, n, a, b);
+
+  const struct {
+    const float* pa;
+    Trans ta;
+    const float* pb;
+    Trans tb;
+  } variants[] = {
+      {a.data(), Trans::kNo, bt.data(), Trans::kYes},
+      {at.data(), Trans::kYes, b.data(), Trans::kNo},
+      {at.data(), Trans::kYes, bt.data(), Trans::kYes},
+  };
+  for (const auto& v : variants) {
+    std::vector<float> c(m * n, -1.0f);
+    gsfl::tensor::gemm_raw(m, k, n, 1.0f, v.pa, v.ta, v.pb, v.tb, 0.0f,
+                           c.data(), micro::Epilogue{},
+                           GemmPrecision::kInt8);
+    ASSERT_TRUE(prop::bitwise_equal(c, expected));
+  }
+}
+
+TEST(QuantizedGemm, ThreadAndPackStrategyInvariantBitwise) {
+  // Both the row-parallel (m large) and column-parallel (n large) splits:
+  // per-logical-row/-column scales mean every lane quantizes identically no
+  // matter which panel it owns, and exact int32 accumulation means the
+  // fold cannot reassociate. The pack-strategy axis is a no-op for int8
+  // (full-k upfront pack) — swept anyway to pin that it stays one.
+  const prop::GemmCase cases[] = {
+      {6 * micro::kMR + 1, 128, micro::kNR + 3},   // rows split
+      {micro::kMR + 2, 96, 5 * micro::kNR + 7},    // cols split
+  };
+  for (const auto& [m, k, n] : cases) {
+    const auto a = prop::random_matrix(m, k, 600 + m);
+    const auto b = prop::random_matrix(k, n, 700 + n);
+    const auto expected = prop::naive_gemm_q8(m, k, n, a, b);
+    prop::for_each_thread_count([&](std::size_t threads) {
+      prop::for_each_pack_strategy([&](gsfl::tensor::PackStrategy strategy) {
+        std::vector<float> c(m * n, 9.0f);
+        run_q8(m, k, n, a, b, c);
+        ASSERT_TRUE(prop::bitwise_equal(c, expected))
+            << "threads=" << threads
+            << " strategy=" << prop::pack_strategy_name(strategy)
+            << " m=" << m << " n=" << n;
+      });
+    });
+  }
+}
+
+TEST(QuantizedGemm, BiasReluEpilogueMatchesUnfusedSequence) {
+  const std::size_t m = 2 * micro::kMR + 1;
+  const std::size_t k = 53;
+  const std::size_t n = micro::kNR + 5;
+  const auto a = prop::random_matrix(m, k, 800);
+  const auto b = prop::random_matrix(k, n, 801);
+  const auto bias = prop::random_matrix(1, m, 802);
+  auto expected = prop::naive_gemm_q8(m, k, n, a, b);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float& v = expected[i * n + j];
+      v = std::max(v + bias[i], 0.0f);
+    }
+  }
+  micro::Epilogue ep;
+  ep.kind = micro::Epilogue::Kind::kBiasRelu;
+  ep.per_row = true;
+  ep.bias = bias.data();
+  std::vector<float> c(m * n);
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo, b.data(),
+                         Trans::kNo, 0.0f, c.data(), ep,
+                         GemmPrecision::kInt8);
+  ASSERT_TRUE(prop::bitwise_equal(c, expected));
+}
+
+TEST(QuantizedGemm, F32PrecisionSelectsTheFloatPath) {
+  const std::size_t m = 5;
+  const std::size_t k = 17;
+  const std::size_t n = micro::kNR;
+  const auto a = prop::random_matrix(m, k, 900);
+  const auto b = prop::random_matrix(k, n, 901);
+  const auto expected = prop::naive_gemm(m, k, n, a, b);
+  std::vector<float> c(m * n);
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo, b.data(),
+                         Trans::kNo, 0.0f, c.data(), micro::Epilogue{},
+                         GemmPrecision::kF32);
+  ASSERT_TRUE(prop::bitwise_equal(c, expected));
+}
+
+TEST(QuantizedGemm, DegenerateDimensionsAreHandled) {
+  // m == 0 / n == 0: no work, no crash. k == 0: C scaled by beta only.
+  std::vector<float> c = {3.0f, 5.0f};
+  gsfl::tensor::gemm_raw(0, 4, 2, 1.0f, nullptr, Trans::kNo, nullptr,
+                         Trans::kNo, 0.0f, c.data(), micro::Epilogue{},
+                         GemmPrecision::kInt8);
+  EXPECT_FLOAT_EQ(c[0], 3.0f);
+  gsfl::tensor::gemm_raw(1, 0, 2, 1.0f, nullptr, Trans::kNo, nullptr,
+                         Trans::kNo, 0.5f, c.data(), micro::Epilogue{},
+                         GemmPrecision::kInt8);
+  EXPECT_FLOAT_EQ(c[0], 1.5f);
+  EXPECT_FLOAT_EQ(c[1], 2.5f);
+}
+
+TEST(QuantizedGemm, EightBitErrorIsSmallRelativeToF32) {
+  // Not a determinism property — a sanity bound that 8-bit quantization of
+  // [-1, 1) operands stays within a small relative error of the f32 result.
+  const std::size_t m = 16;
+  const std::size_t k = 256;
+  const std::size_t n = 32;
+  const auto a = prop::random_matrix(m, k, 1000);
+  const auto b = prop::random_matrix(k, n, 1001);
+  const auto exact = prop::naive_gemm(m, k, n, a, b);
+  std::vector<float> c(m * n);
+  run_q8(m, k, n, a, b, c);
+  float max_abs = 1e-6f;
+  for (const float v : exact) max_abs = std::max(max_abs, std::fabs(v));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], exact[i], 0.02f * max_abs) << "flat index " << i;
+  }
+}
+
+// ---- fake_quantize ---------------------------------------------------------
+
+TEST(FakeQuantize, InactiveConfigIsIdentity) {
+  Rng rng(1);
+  auto t = Tensor::normal(Shape{3, 5}, rng);
+  const Tensor original = t;
+  fake_quantize(t, QuantizerConfig{});
+  EXPECT_TRUE(prop::bitwise_equal(t, original));
+}
+
+TEST(FakeQuantize, ZeroTensorStaysZero) {
+  auto t = Tensor(Shape{4, 4});
+  fake_quantize(t, {.bits = 8, .per_channel = true});
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(FakeQuantize, ValuesLandOnTheQuantizedGrid) {
+  Rng rng(2);
+  auto t = Tensor::uniform(Shape{2, 64}, rng, -3, 3);
+  const Tensor original = t;
+  const QuantizerConfig config{.bits = 4, .per_channel = true};
+  fake_quantize(t, config);
+  const int qmax = quantizer_qmax(config.bits);
+  // Per-channel: each row uses its own scale; every value must be
+  // scale·q for an integer q in [-qmax, qmax].
+  for (std::size_t g = 0; g < 2; ++g) {
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < 64; ++i) {
+      max_abs = std::max(max_abs, std::fabs(original.at(g * 64 + i)));
+    }
+    const float scale = q8::scale_for(max_abs, qmax);
+    for (std::size_t i = 0; i < 64; ++i) {
+      const float v = t.at(g * 64 + i);
+      const float q = v / scale;
+      EXPECT_EQ(q, std::nearbyintf(q));
+      EXPECT_LE(std::fabs(q), static_cast<float>(qmax));
+    }
+  }
+}
+
+// ---- wire codec ------------------------------------------------------------
+
+TEST(QuantizedCodec, RoundTripIsExactlyFakeQuantize) {
+  Rng rng(3);
+  prop::for_each_quantizer([&](const QuantizerConfig& config) {
+    const auto original = Tensor::normal(Shape{4, 3, 5}, rng);
+    Tensor expected = original;
+    fake_quantize(expected, config);
+    std::stringstream buffer;
+    write_quantized(buffer, original, config);
+    const auto restored = read_quantized(buffer);
+    ASSERT_TRUE(prop::bitwise_equal(restored, expected))
+        << "bits=" << config.bits << " per_channel=" << config.per_channel;
+  });
+}
+
+TEST(QuantizedCodec, WireBytesMatchesBytesWritten) {
+  Rng rng(4);
+  prop::for_each_quantizer([&](const QuantizerConfig& config) {
+    const auto t = Tensor::uniform(Shape{3, 7}, rng);
+    std::stringstream buffer;
+    write_quantized(buffer, t, config);
+    EXPECT_EQ(buffer.str().size(), quantized_wire_bytes(t.shape(), config))
+        << "bits=" << config.bits << " per_channel=" << config.per_channel;
+  });
+}
+
+TEST(QuantizedCodec, CompressesAgainstF32Serialization) {
+  const Shape shape{16, 128};
+  const auto f32_bytes = 4 + 4 + 2 * 8 + shape.numel() * sizeof(float);
+  const QuantizerConfig eight{.bits = 8, .per_channel = false};
+  const QuantizerConfig two{.bits = 2, .per_channel = false};
+  EXPECT_LT(quantized_wire_bytes(shape, eight), f32_bytes / 3);
+  EXPECT_LT(quantized_wire_bytes(shape, two), f32_bytes / 12);
+}
+
+TEST(QuantizedCodec, InactiveConfigRejected) {
+  Rng rng(5);
+  const auto t = Tensor::uniform(Shape{2, 2}, rng);
+  std::stringstream buffer;
+  EXPECT_THROW(write_quantized(buffer, t, QuantizerConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)quantized_wire_bytes(t.shape(), QuantizerConfig{}),
+               std::invalid_argument);
+}
+
+// Serialize a small tensor and return the raw bytes for corruption tests.
+std::string quantized_bytes(const QuantizerConfig& config) {
+  Rng rng(6);
+  const auto t = Tensor::uniform(Shape{3, 4}, rng, -1, 1);
+  std::stringstream buffer;
+  write_quantized(buffer, t, config);
+  return buffer.str();
+}
+
+// Expect read_quantized to throw a runtime_error whose message contains
+// every listed fragment — the offset-context contract.
+void expect_read_failure(const std::string& bytes,
+                         const std::vector<std::string>& fragments) {
+  std::stringstream buffer(bytes);
+  try {
+    (void)read_quantized(buffer);
+    FAIL() << "expected read_quantized to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    for (const auto& fragment : fragments) {
+      EXPECT_NE(message.find(fragment), std::string::npos)
+          << "message \"" << message << "\" lacks \"" << fragment << "\"";
+    }
+  }
+}
+
+TEST(QuantizedCodec, BadMagicRejected) {
+  auto bytes = quantized_bytes({.bits = 8, .per_channel = false});
+  bytes[0] = 'X';
+  expect_read_failure(bytes, {"bad magic"});
+}
+
+TEST(QuantizedCodec, BitsOutsideRangeRejectedWithOffset) {
+  auto bytes = quantized_bytes({.bits = 8, .per_channel = false});
+  // magic(4) + rank(4) + dims(2·8) = 24 → the bits byte.
+  const std::size_t bits_offset = 24;
+  bytes[bits_offset] = 9;
+  expect_read_failure(bytes,
+                      {"bits 9 outside [2, 8]", "at offset 24"});
+  bytes[bits_offset] = 1;
+  expect_read_failure(bytes,
+                      {"bits 1 outside [2, 8]", "at offset 24"});
+}
+
+TEST(QuantizedCodec, TruncatedScaleTableRejectedWithOffset) {
+  const auto bytes = quantized_bytes({.bits = 8, .per_channel = true});
+  // Header through scale count: 24 + bits(1) + flag(1) + count(4) = 30,
+  // then 3 per-row scales. Cut inside the second scale entry.
+  expect_read_failure(bytes.substr(0, 30 + 4 + 2),
+                      {"truncated read", "scale", "offset 34"});
+}
+
+TEST(QuantizedCodec, ScaleCountMismatchRejectedWithOffset) {
+  auto bytes = quantized_bytes({.bits = 8, .per_channel = true});
+  // Patch the u32 scale count at offset 26 (after bits + flag) to a value
+  // that cannot match shape (3, 4).
+  const std::uint32_t wrong = 7;
+  std::memcpy(bytes.data() + 26, &wrong, sizeof wrong);
+  expect_read_failure(
+      bytes, {"scale table of 7 entries", "expected 3", "at offset 26"});
+}
+
+TEST(QuantizedCodec, TruncatedPayloadRejectedWithContext) {
+  const auto bytes = quantized_bytes({.bits = 4, .per_channel = false});
+  expect_read_failure(bytes.substr(0, bytes.size() - 2),
+                      {"truncated read", "payload", "[3, 4]"});
+}
+
+TEST(QuantizedCodec, NonPositiveScaleRejectedWithOffset) {
+  auto bytes = quantized_bytes({.bits = 8, .per_channel = false});
+  const float bad = -1.0f;
+  std::memcpy(bytes.data() + 30, &bad, sizeof bad);  // the single scale
+  expect_read_failure(bytes, {"bad scale", "at offset 30"});
+}
+
+}  // namespace
