@@ -1,0 +1,240 @@
+// Serving-lane bench: frozen inference vs naive eval under request streams.
+//
+// Builds the serving CNN preset (three conv blocks, batch norm, dropout),
+// freezes one copy (Sequential::freeze — persistent packed panels, BN folded
+// into conv epilogues, dropout elided) and pumps concurrent request streams
+// through an AsyncLane against a naive-eval twin. Each stream is one lane
+// task owning a private model replica; requests run back-to-back inside the
+// stream (an InlineRegionGuard keeps each request on its lane worker, so the
+// stream count is the concurrency). The naive twin dirties every weight's
+// version before each request, reproducing the per-request weight pack the
+// eval path ran before persistent panels existed — the pre-PR serving cost.
+//
+// Before timing anything the bench asserts the serving contract: the frozen
+// f32 forward must be bitwise identical to the unfrozen, fusion-disabled
+// eval forward at every thread count {1, 4, 8}. A mismatch exits nonzero —
+// the perf numbers are meaningless if the lane serves different bits.
+//
+// BENCH_serving.json conventions (BenchJson rows; the schema only has
+// seconds/speedup slots):
+//   - "serving p50 s<N>" / "serving p99 s<N>": seconds = that percentile's
+//     per-request latency with N streams on the frozen model, speedup =
+//     naive latency / frozen latency at the same percentile and stream
+//     count.
+//   - "serving throughput s<N>": seconds = frozen requests/second (a rate,
+//     not a time), speedup = frozen rate / naive rate.
+//   - "serving p50|p99|throughput frozen-vs-naive": the guarded summary
+//     rows (floors in bench_floors.json) — best ratio across stream counts.
+//   - "serving p50 int8-vs-f32 s<N>": speedup = frozen-f32 p50 / frozen-int8
+//     p50 (informational; the int8 path only rewrites the dense head here,
+//     so the ratio hugs 1 and is not floor-guarded).
+//
+//   $ ./bench_serving [--requests=N] [--warmup=W]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gsfl/common/async_lane.hpp"
+#include "gsfl/common/cli.hpp"
+#include "gsfl/common/rng.hpp"
+#include "gsfl/common/thread_pool.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/nn/sequential.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using Clock = std::chrono::steady_clock;
+
+Tensor random_batch(std::size_t batch, std::size_t channels,
+                    std::size_t image_size, Rng& rng) {
+  Tensor t(Shape{batch, channels, image_size, image_size});
+  auto d = t.data();
+  for (auto& v : d) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape())) return false;
+  const auto ad = a.data();
+  const auto bd = b.data();
+  return std::memcmp(ad.data(), bd.data(), ad.size() * sizeof(float)) == 0;
+}
+
+/// Bump every Dense/Conv2d weight's version so the next forward repacks —
+/// the naive stream's per-request pack cost.
+void dirty_weights(gsfl::nn::Sequential& model) {
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (auto* dense = dynamic_cast<gsfl::nn::Dense*>(&model.layer(i))) {
+      (void)dense->weight().data();
+    } else if (auto* conv =
+                   dynamic_cast<gsfl::nn::Conv2d*>(&model.layer(i))) {
+      (void)conv->weight().data();
+    }
+  }
+}
+
+struct StreamRun {
+  std::vector<double> latencies;  ///< per-request seconds, all streams
+  double wall_seconds = 0.0;      ///< submit → last stream drained
+};
+
+/// Pump `streams` concurrent request streams through a fresh AsyncLane
+/// (global_lane() is a fixed-size process singleton, so the concurrency
+/// axis needs a local lane per configuration). Each stream task copies the
+/// model once — frozen replicas share the packed panels by pointer — and
+/// serves its requests sequentially.
+StreamRun run_streams(const gsfl::nn::Sequential& model, std::size_t streams,
+                      std::size_t requests, std::size_t warmup,
+                      const Tensor& input, bool naive_repack) {
+  gsfl::common::AsyncLane lane(streams);
+  std::vector<gsfl::common::TaskFuture<std::vector<double>>> futures;
+  futures.reserve(streams);
+  const auto start = Clock::now();
+  for (std::size_t s = 0; s < streams; ++s) {
+    futures.push_back(lane.submit([&] {
+      // Requests are the unit of concurrency: keep each forward on this
+      // lane worker instead of re-entering the shared pool.
+      gsfl::common::InlineRegionGuard inline_guard;
+      gsfl::nn::Sequential replica = model;
+      std::vector<double> latencies;
+      latencies.reserve(requests);
+      for (std::size_t r = 0; r < warmup + requests; ++r) {
+        if (naive_repack) dirty_weights(replica);
+        const auto t0 = Clock::now();
+        const Tensor out = replica.forward(input, /*train=*/false);
+        const std::chrono::duration<double> dt = Clock::now() - t0;
+        if (out.numel() == 0) std::abort();  // keep the forward observable
+        if (r >= warmup) latencies.push_back(dt.count());
+      }
+      return latencies;
+    }));
+  }
+  auto per_stream = gsfl::common::AsyncLane::when_all(futures);
+  const std::chrono::duration<double> wall = Clock::now() - start;
+  StreamRun run;
+  run.wall_seconds = wall.count();
+  for (auto& v : per_stream) {
+    run.latencies.insert(run.latencies.end(), v.begin(), v.end());
+  }
+  std::sort(run.latencies.begin(), run.latencies.end());
+  return run;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gsfl;
+  const common::CliArgs args(argc, argv, {});
+  const auto requests =
+      static_cast<std::size_t>(args.int_or("requests", 200));
+  const auto warmup = static_cast<std::size_t>(args.int_or("warmup", 8));
+
+  Rng rng(0x5e47'11e5u);
+  const auto config = nn::serving_cnn_config();
+  nn::Sequential trained = nn::make_gtsrb_cnn(config, rng);
+  // A few training forwards move the batch-norm running statistics off
+  // their init values so the folded epilogue has real work to reproduce.
+  for (int step = 0; step < 3; ++step) {
+    const Tensor batch =
+        random_batch(8, config.in_channels, config.image_size, rng);
+    (void)trained.forward(batch, /*train=*/true);
+  }
+
+  nn::Sequential frozen = trained;
+  frozen.freeze();
+  nn::Sequential frozen_q8 = trained;
+  frozen_q8.freeze(tensor::GemmPrecision::kInt8);
+  nn::Sequential unfused = trained;
+  unfused.set_fusion(false);
+
+  // Serving contract first: frozen f32 ≡ unfused eval forward, bitwise, at
+  // every thread count the latency table is about to quote.
+  const Tensor probe =
+      random_batch(8, config.in_channels, config.image_size, rng);
+  for (const std::size_t threads : {1, 4, 8}) {
+    common::set_global_threads(threads);
+    const Tensor want = unfused.forward(probe, /*train=*/false);
+    const Tensor got = frozen.forward(probe, /*train=*/false);
+    if (!bitwise_equal(want, got)) {
+      std::fprintf(stderr,
+                   "FAIL: frozen forward diverged from unfused eval "
+                   "forward at %zu threads\n",
+                   threads);
+      return 1;
+    }
+  }
+  common::set_global_threads(0);
+  std::printf("frozen == unfused eval (bitwise) at 1/4/8 threads\n\n");
+
+  bench::BenchJson json;
+  const Tensor request =
+      random_batch(1, config.in_channels, config.image_size, rng);
+  const std::size_t total_requests = requests;
+
+  std::printf("%-8s %12s %12s %12s %12s %14s\n", "streams", "frozen p50",
+              "frozen p99", "naive p50", "naive p99", "req/s (f/n)");
+  double best_p50 = 0.0;
+  double best_p99 = 0.0;
+  double best_throughput = 0.0;
+  for (const std::size_t streams : {1, 4, 8}) {
+    const StreamRun frozen_run = run_streams(frozen, streams, total_requests,
+                                             warmup, request,
+                                             /*naive_repack=*/false);
+    const StreamRun naive_run = run_streams(trained, streams, total_requests,
+                                            warmup, request,
+                                            /*naive_repack=*/true);
+    const StreamRun q8_run = run_streams(frozen_q8, streams, total_requests,
+                                         warmup, request,
+                                         /*naive_repack=*/false);
+
+    const double f_p50 = percentile(frozen_run.latencies, 0.50);
+    const double f_p99 = percentile(frozen_run.latencies, 0.99);
+    const double n_p50 = percentile(naive_run.latencies, 0.50);
+    const double n_p99 = percentile(naive_run.latencies, 0.99);
+    const double f_rate = static_cast<double>(frozen_run.latencies.size()) /
+                          frozen_run.wall_seconds;
+    const double n_rate = static_cast<double>(naive_run.latencies.size()) /
+                          naive_run.wall_seconds;
+    const double q_p50 = percentile(q8_run.latencies, 0.50);
+
+    best_p50 = std::max(best_p50, n_p50 / f_p50);
+    best_p99 = std::max(best_p99, n_p99 / f_p99);
+    best_throughput = std::max(best_throughput, f_rate / n_rate);
+
+    const std::string tag = " s" + std::to_string(streams);
+    json.add("serving p50" + tag, streams, f_p50, n_p50 / f_p50);
+    json.add("serving p99" + tag, streams, f_p99, n_p99 / f_p99);
+    json.add("serving throughput" + tag, streams, f_rate, f_rate / n_rate);
+    json.add("serving p50 int8-vs-f32" + tag, streams, q_p50, f_p50 / q_p50);
+    std::printf("%-8zu %10.0fus %10.0fus %10.0fus %10.0fus %6.0f/%6.0f\n",
+                streams, f_p50 * 1e6, f_p99 * 1e6, n_p50 * 1e6, n_p99 * 1e6,
+                f_rate, n_rate);
+  }
+
+  // Guarded summary rows (floors in bench_floors.json): the frozen lane
+  // must beat per-request repacking at some concurrency.
+  json.add("serving p50 frozen-vs-naive", 1, 0.0, best_p50);
+  json.add("serving p99 frozen-vs-naive", 1, 0.0, best_p99);
+  json.add("serving throughput frozen-vs-naive", 1, 0.0, best_throughput);
+  std::printf(
+      "\nfrozen vs naive: p50 %.2fx, p99 %.2fx, throughput %.2fx (best "
+      "across stream counts)\n",
+      best_p50, best_p99, best_throughput);
+
+  json.write("BENCH_serving.json");
+  return 0;
+}

@@ -24,8 +24,59 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 namespace gsfl::common {
+
+/// 64-byte-aligned grow-only heap buffer: the storage primitive behind the
+/// Workspace arenas, exposed publicly so long-lived owners (persistent packed
+/// GEMM operands — tensor::PackedOperand — which outlive any single call) can
+/// hold panel bytes with the same alignment guarantee the per-call scratch
+/// gets. Packed panels are read as full-width vector rows every kernel step;
+/// a buffer that straddles cache lines turns every such load into a
+/// line-crossing split, hence the line-size alignment. Move-only.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  AlignedBuffer(AlignedBuffer&&) = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Grow to hold at least `bytes` bytes (never shrinks). Contents are
+  /// unspecified after a growth reallocation.
+  void grow_bytes(std::size_t bytes);
+
+  [[nodiscard]] unsigned char* data() noexcept { return data_; }
+  [[nodiscard]] const unsigned char* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_; }
+
+  /// Heap bytes retained including the alignment slack (leak-tracking
+  /// introspection; pairs with Workspace::thread_bytes()).
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return size_ == 0 ? 0 : size_ + kAlignment;
+  }
+
+  /// The buffer viewed as `count` elements of implicit-lifetime type T,
+  /// grown as needed. Unsigned-char storage provides storage for any such
+  /// T, so consumers write through the reinterpreted pointer directly.
+  template <typename T>
+  [[nodiscard]] T* elements(std::size_t count) {
+    grow_bytes(count * sizeof(T));
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  [[nodiscard]] const T* elements() const noexcept {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  std::unique_ptr<unsigned char[]> storage_;
+  unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 class Workspace {
  public:

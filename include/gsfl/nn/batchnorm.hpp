@@ -36,6 +36,16 @@ class BatchNorm2d final : public Layer {
     return {&running_mean_, &running_var_};
   }
 
+  /// Frozen-statistics accessors for Sequential::freeze(): the eval affine
+  /// is γ·(x − running_mean)·rsqrt(running_var + ε) + β, which
+  /// Conv2d::fold_batchnorm absorbs into the preceding conv's epilogue.
+  [[nodiscard]] std::size_t channels() const { return channels_; }
+  [[nodiscard]] float epsilon() const { return epsilon_; }
+  [[nodiscard]] const Tensor& gamma() const { return gamma_; }
+  [[nodiscard]] const Tensor& shift() const { return beta_; }
+  [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+
  private:
   std::size_t channels_;
   float momentum_;

@@ -1,8 +1,14 @@
 // 2-D convolution over NCHW batches, implemented as im2col + GEMM.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
 #include "gsfl/common/rng.hpp"
 #include "gsfl/nn/layer.hpp"
+#include "gsfl/tensor/gemm.hpp"
 #include "gsfl/tensor/im2col.hpp"
 
 namespace gsfl::nn {
@@ -31,6 +37,24 @@ class Conv2d final : public Layer {
   [[nodiscard]] Tensor& weight() { return weight_; }
   [[nodiscard]] Tensor& bias() { return bias_; }
 
+  /// Rebuild the persistent packed weight panel if the weight mutated since
+  /// the last pack (see Layer::prepack).
+  void prepack() override;
+
+  /// Fold a trailing BatchNorm2d's frozen statistics into this conv's
+  /// write-back epilogue: every output element runs
+  /// γ_c·((conv + bias) − μ_c)·inv_σ_c + β_c during the GEMM finalize, with
+  /// inv_σ_c precomputed here as 1/sqrt(var_c + eps) — the exact expression
+  /// BatchNorm2d's own eval pass computes (micro::bn_affine is shared), so
+  /// the folded forward is bitwise identical to conv → BN as two layers.
+  /// The conv's weights and bias are untouched (state()/checkpoints stay
+  /// valid); training forwards are rejected while folded.
+  void fold_batchnorm(std::span<const float> gamma,
+                      std::span<const float> shift,
+                      std::span<const float> mean, std::span<const float> var,
+                      float epsilon);
+  [[nodiscard]] bool batchnorm_folded() const { return bn_folded_; }
+
  private:
   [[nodiscard]] tensor::ConvGeometry geometry(const Shape& input) const;
   /// Shared forward core: batched GEMM with the per-channel bias (and
@@ -43,6 +67,9 @@ class Conv2d final : public Layer {
   /// sweep.
   [[nodiscard]] Tensor backward_impl(const Tensor& grad_output,
                                      const float* relu_y);
+  /// The packed weight panel (MR strips), rebuilt copy-on-write when
+  /// weight_.version() moved.
+  [[nodiscard]] const tensor::PackedOperand& ensure_packed();
 
   std::size_t in_channels_;
   std::size_t out_channels_;
@@ -61,6 +88,19 @@ class Conv2d final : public Layer {
   Tensor cached_input_;
   Tensor cached_fused_output_;  ///< relu output of the last fused forward
   bool last_forward_fused_ = false;
+
+  /// Persistent packed weight panel, keyed on weight_.version(); shared
+  /// (read-only) with clones until either side's weight mutates.
+  std::shared_ptr<const tensor::PackedOperand> packed_weight_;
+  std::uint64_t packed_version_ = 0;
+
+  /// Frozen batch-norm epilogue operands (fold_batchnorm), indexed per
+  /// output channel. Empty until folded.
+  bool bn_folded_ = false;
+  std::vector<float> bn_gamma_;
+  std::vector<float> bn_shift_;
+  std::vector<float> bn_mean_;
+  std::vector<float> bn_inv_std_;
 };
 
 }  // namespace gsfl::nn

@@ -1,6 +1,9 @@
 // Fully-connected layer: y = x·Wᵀ + b.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+
 #include "gsfl/common/rng.hpp"
 #include "gsfl/nn/layer.hpp"
 #include "gsfl/tensor/gemm.hpp"
@@ -45,10 +48,20 @@ class Dense final : public Layer {
     return forward_precision_;
   }
 
+  /// Rebuild the persistent packed weight panel if the weight mutated since
+  /// the last pack (see Layer::prepack). The forward calls this lazily;
+  /// callers that fan a model out across threads (metrics::evaluate,
+  /// Sequential::freeze) call it up front so every replica shares one panel.
+  void prepack() override;
+
  private:
-  /// Shared forward core: one GEMM with the bias (and optionally ReLU)
-  /// folded into the write-back epilogue.
-  [[nodiscard]] Tensor forward_impl(const Tensor& input, bool fuse_relu);
+  /// Shared forward core: one GEMM off the persistent packed weight with
+  /// the bias (and optionally ReLU) folded into the write-back epilogue.
+  [[nodiscard]] Tensor forward_impl(const Tensor& input, bool train,
+                                    bool fuse_relu);
+  /// The packed Wᵀ panel, rebuilt copy-on-write when weight_.version()
+  /// moved (clones sharing the pointer are never perturbed).
+  [[nodiscard]] const tensor::PackedOperand& ensure_packed();
   /// Shared backward core. `relu_y` (nullable) is the fused forward's
   /// output: when set, the Relu derivative masks dy inside the dW/dx panel
   /// packing and the db fold — no masked-dy tensor, no extra dy sweep.
@@ -61,10 +74,15 @@ class Dense final : public Layer {
   Tensor bias_;         ///< (out)
   Tensor grad_weight_;
   Tensor grad_bias_;
-  Tensor cached_input_; ///< (batch, in) from the last forward
+  Tensor cached_input_; ///< (batch, in) from the last *training* forward
   Tensor cached_fused_output_;  ///< relu output of the last fused forward
   bool last_forward_fused_ = false;
   tensor::GemmPrecision forward_precision_ = tensor::GemmPrecision::kF32;
+  /// Persistent packed Wᵀ (+ optional int8 sibling), keyed on
+  /// weight_.version(). Shared (read-only) with clones until either side's
+  /// weight mutates, at which point that side repacks a fresh panel.
+  std::shared_ptr<const tensor::PackedOperand> packed_weight_;
+  std::uint64_t packed_version_ = 0;
 };
 
 }  // namespace gsfl::nn

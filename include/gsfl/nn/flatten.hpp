@@ -9,15 +9,17 @@ class Flatten final : public Layer {
  public:
   [[nodiscard]] std::string name() const override { return "flatten"; }
 
-  [[nodiscard]] Tensor forward(const Tensor& input, bool /*train*/) override {
+  [[nodiscard]] Tensor forward(const Tensor& input, bool train) override {
     GSFL_EXPECT(input.shape().rank() >= 2);
-    cached_input_shape_ = input.shape();
+    // Backward only needs the input shape; eval forwards clear it so
+    // backward-after-eval fails loudly.
+    cached_input_shape_ = train ? input.shape() : Shape();
     return input.reshape(output_shape(input.shape()));
   }
 
   [[nodiscard]] Tensor backward(const Tensor& grad_output) override {
     GSFL_EXPECT_MSG(cached_input_shape_.rank() >= 2,
-                    "backward() requires a prior forward()");
+                    "backward() requires a prior training-mode forward()");
     GSFL_EXPECT(grad_output.numel() == cached_input_shape_.numel());
     return grad_output.reshape(cached_input_shape_);
   }

@@ -72,6 +72,13 @@ class Layer {
     return {};
   }
 
+  /// Build any persistent packed form of the layer's parameters ahead of
+  /// time (e.g. the GEMM panel layout of a Dense/Conv2d weight). Forward
+  /// paths build these lazily anyway; calling prepack() moves the one-time
+  /// cost out of the first request so serving latency percentiles are not
+  /// polluted by it. Stateless layers keep the default no-op.
+  virtual void prepack() {}
+
   /// Trainable parameters and their gradient buffers, in matching order.
   /// Stateless layers return empty vectors.
   [[nodiscard]] virtual std::vector<Tensor*> parameters() { return {}; }

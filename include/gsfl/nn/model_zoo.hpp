@@ -31,6 +31,13 @@ struct CnnConfig {
 [[nodiscard]] CnnConfig deep_cnn_config(std::size_t image_size = 32,
                                         std::size_t classes = 43);
 
+/// Serving preset: the deep three-block model with batch norm and dropout
+/// enabled — every layer class Sequential::freeze() rewrites (BN folding,
+/// dropout elision, persistent packs) appears at least once. Used by
+/// bench_serving and the freeze tests.
+[[nodiscard]] CnnConfig serving_cnn_config(std::size_t image_size = 32,
+                                           std::size_t classes = 43);
+
 /// Layer index after the first conv block — the paper's natural cut point
 /// (small client-side model, moderate smashed data).
 [[nodiscard]] std::size_t default_cut_layer(const CnnConfig& config);

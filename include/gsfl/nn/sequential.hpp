@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "gsfl/nn/layer.hpp"
+#include "gsfl/tensor/gemm.hpp"
 
 namespace gsfl::nn {
 
@@ -79,6 +80,29 @@ class Sequential {
 
   [[nodiscard]] std::string summary(const Shape& input) const;
 
+  /// Freeze the model for inference-only serving. Irreversible on this
+  /// instance (copies made *before* the call stay trainable):
+  ///   - every Dense/Conv2d weight is pre-packed into its persistent GEMM
+  ///     panel layout (Layer::prepack), so no request pays pack cost;
+  ///   - each BatchNorm2d directly following a Conv2d is folded into that
+  ///     conv's write-back epilogue (Conv2d::fold_batchnorm) and skipped;
+  ///   - Dropout layers are skipped (identity at eval);
+  ///   - with `precision == kInt8`, Dense forwards switch to the quantized
+  ///     GEMM path off the frozen weight scales.
+  /// Skipped layers stay in the stack — indices, state dicts, and summaries
+  /// are unchanged — they are simply not executed. At kF32 a frozen
+  /// forward(x, /*train=*/false) is bitwise identical to the unfrozen eval
+  /// forward (see docs/serving.md). Training forwards, backward(), and
+  /// load_state() are rejected while frozen.
+  void freeze(tensor::GemmPrecision precision = tensor::GemmPrecision::kF32);
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+  /// Pre-pack every layer's persistent GEMM panels (Layer::prepack) without
+  /// freezing. Used by metrics::evaluate before fanning a model out across
+  /// threads so every replica shares one panel instead of racing to build
+  /// thread-local copies.
+  void prepack();
+
   /// Split into [0, cut) and [cut, size) deep copies — the primitive beneath
   /// SplitModel. `cut` may be 0 or size() (one side empty).
   [[nodiscard]] std::pair<Sequential, Sequential> split(std::size_t cut) const;
@@ -88,14 +112,23 @@ class Sequential {
                                               const Sequential& tail);
 
  private:
-  /// Recompute fused_: fused_[i] == 1 ⇔ layer i absorbs the Relu at i+1.
+  /// Recompute fused_: fused_[i] == 1 ⇔ layer i absorbs the next executed
+  /// layer, which is a Relu. On a frozen model the pair may straddle skipped
+  /// layers (conv → folded BN → relu fuses conv+relu).
   void refresh_fusion_plan();
+  [[nodiscard]] bool is_skipped(std::size_t i) const {
+    return i < skipped_.size() && skipped_[i] != 0;
+  }
 
   std::vector<std::unique_ptr<Layer>> layers_;
   bool fusion_enabled_ = true;
   /// Fusion plan of the last forward (backward mirrors it). Not part of the
   /// model's value: copies rebuild it on their next forward.
   std::vector<unsigned char> fused_;
+  /// Serving plan (freeze()): skipped_[i] == 1 ⇔ layer i is elided from
+  /// execution (folded BatchNorm2d, Dropout). Copies carry it.
+  bool frozen_ = false;
+  std::vector<unsigned char> skipped_;
 };
 
 }  // namespace gsfl::nn

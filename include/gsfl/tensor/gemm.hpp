@@ -9,6 +9,9 @@
 // panel *packing*, so no variant materializes an intermediate matrix.
 #pragma once
 
+#include <cstdint>
+
+#include "gsfl/common/workspace.hpp"
 #include "gsfl/tensor/microkernel.hpp"
 #include "gsfl/tensor/tensor.hpp"
 
@@ -112,6 +115,97 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* a, Trans trans_a, const float* b, Trans trans_b,
               float beta, float* c, const micro::Epilogue& epilogue,
               GemmPrecision precision);
+
+/// A GEMM operand packed once into persistent panel layout and reused across
+/// calls — the serving-lane primitive. Every gemm_raw call re-packs its
+/// operands into per-thread Workspace scratch; for weights that never change
+/// between forwards (a frozen model, or training-side evaluation between
+/// optimizer steps) that O(k·n) pass is pure waste. A PackedOperand owns the
+/// panel in a 64-byte-aligned buffer (common::AlignedBuffer) outside the
+/// scratch arenas, so it survives across calls and threads; consumers key it
+/// on Tensor::version() to decide when to re-pack.
+///
+/// Packed bytes are identical to what gemm_raw's internal packers produce
+/// (the same micro::pack_* / micro::q8::pack_* routines run), so driving the
+/// kernel off a PackedOperand is bitwise identical to the re-pack-every-call
+/// path. Sharing across threads is safe after packing completes: all
+/// consumers read only.
+///
+/// Roles:
+///  - pack_b: op(B) in NR strips — the Dense weight (Wᵀ) side, consumed by
+///    gemm_packed.
+///  - pack_b_q8: additionally quantize-on-pack the int8 sibling (packed s8
+///    bytes + per-logical-column dequant scales + u8-offset compensation),
+///    enabling GemmPrecision::kInt8 off frozen scales.
+///  - pack_a: op(A) in MR strips — the Conv2d weight side, consumed by
+///    micro::macrokernel directly (strip stride k·kMR).
+class PackedOperand {
+ public:
+  PackedOperand() = default;
+  PackedOperand(PackedOperand&&) = default;
+  PackedOperand& operator=(PackedOperand&&) = default;
+  PackedOperand(const PackedOperand&) = delete;
+  PackedOperand& operator=(const PackedOperand&) = delete;
+
+  /// Pack op(B) (k×cols after op) into the persistent f32 panel.
+  void pack_b(const float* b, Trans trans, std::size_t k, std::size_t cols);
+
+  /// Quantize-on-pack the int8 panel of op(B) alongside (callable only
+  /// after/with pack_b dims; idempotent per call).
+  void pack_b_q8(const float* b, Trans trans, std::size_t k,
+                 std::size_t cols);
+
+  /// Pack op(A) (rows×k after op) into the persistent f32 panel.
+  void pack_a(const float* a, Trans trans, std::size_t rows, std::size_t k);
+
+  [[nodiscard]] bool has_f32() const { return has_f32_; }
+  [[nodiscard]] bool has_q8() const { return has_q8_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] const float* panel_f32() const {
+    return f32_.elements<float>();
+  }
+  [[nodiscard]] const std::int8_t* panel_q8() const {
+    return q8_.elements<std::int8_t>();
+  }
+  [[nodiscard]] const float* q8_scales() const {
+    return q8_scale_.elements<float>();
+  }
+  [[nodiscard]] const std::int32_t* q8_comp() const {
+    return q8_comp_.elements<std::int32_t>();
+  }
+
+  /// Heap bytes held across calls (docs/tests: the persistent-panel cost).
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return f32_.capacity_bytes() + q8_.capacity_bytes() +
+           q8_scale_.capacity_bytes() + q8_comp_.capacity_bytes();
+  }
+
+ private:
+  common::AlignedBuffer f32_;
+  common::AlignedBuffer q8_;
+  common::AlignedBuffer q8_scale_;
+  common::AlignedBuffer q8_comp_;
+  std::size_t rows_ = 0;
+  std::size_t k_ = 0;
+  std::size_t cols_ = 0;
+  bool has_f32_ = false;
+  bool has_q8_ = false;
+};
+
+/// gemm_raw with a persistent pre-packed op(B): C(m×n) = alpha·op(A)·B + β·C
+/// where `b` was packed via PackedOperand::pack_b (and pack_b_q8 for kInt8)
+/// with matching k and cols == n. The parallel split mirrors gemm_raw's —
+/// row panels share the packed B read-only; column panels index into it at
+/// strip-group granularity — and the per-element fold is the same block
+/// sequence, so results are bitwise identical to the equivalent gemm_raw
+/// call for every thread count and split.
+void gemm_packed(std::size_t m, std::size_t k, std::size_t n, float alpha,
+                 const float* a, Trans trans_a, const PackedOperand& b,
+                 float beta, float* c, const micro::Epilogue& epilogue,
+                 GemmPrecision precision = GemmPrecision::kF32);
 
 /// Masked-A variant: `a_mask` (nullable; same storage layout and leading
 /// dimension as `a`) folds the Relu derivative into op(A)'s panel packing —

@@ -299,18 +299,54 @@ inline void pack_b_trans(const float* b, std::size_t ldb, std::size_t k,
   pack_b_trans_slice(b, ldb, k, cols, pb);
 }
 
+/// The batch-norm eval affine, factored so the GEMM epilogue fold and
+/// BatchNorm2d's own eval loop run the *same expression tree* — identical
+/// FMA contraction, hence bitwise-identical results whether BN runs as its
+/// own layer pass or fused into the conv write-back.
+inline float bn_affine(float v, float gamma, float mean, float inv_std,
+                       float shift) {
+  return gamma * (v - mean) * inv_std + shift;
+}
+
 /// Write-back transform applied when a tile is *finalized* (last k block).
-/// `bias` is indexed relative to the block the macrokernel writes — callers
-/// that hand the macrokernel a sub-block of C offset the pointer themselves.
+/// `bias` (and the bn_* arrays) are indexed relative to the block the
+/// macrokernel writes — callers handing the macrokernel a sub-block of C
+/// offset the pointers themselves via shifted().
 struct Epilogue {
   enum class Kind : unsigned char {
-    kNone,      ///< c = alpha·acc + beta·c
-    kBias,      ///< … + bias[row] or bias[col]
-    kBiasRelu,  ///< … then max(·, 0)
+    kNone,        ///< c = alpha·acc + beta·c
+    kBias,        ///< … + bias[row] or bias[col]
+    kBiasRelu,    ///< … then max(·, 0)
+    kBiasBn,      ///< … + bias, then the frozen batch-norm affine
+    kBiasBnRelu,  ///< … + bias, bn affine, then max(·, 0)
   };
   Kind kind = Kind::kNone;
   bool per_row = true;  ///< bias[i] per C row when true, bias[j] per column
   const float* bias = nullptr;
+  /// Frozen batch-norm operands (kBiasBn/kBiasBnRelu only), indexed like
+  /// bias: v ← bn_gamma[i]·(v − bn_mean[i])·bn_inv_std[i] + bn_shift[i].
+  /// inv_std is precomputed as 1/sqrt(running_var + eps) at freeze time so
+  /// the fold matches BatchNorm2d's eval arithmetic exactly (see bn_affine).
+  const float* bn_gamma = nullptr;
+  const float* bn_mean = nullptr;
+  const float* bn_inv_std = nullptr;
+  const float* bn_shift = nullptr;
+
+  /// The same epilogue re-based for a sub-block starting `offset` rows
+  /// (per_row) or columns (!per_row) into the parent block: every active
+  /// per-element array advances together.
+  [[nodiscard]] Epilogue shifted(std::size_t offset) const {
+    Epilogue ep = *this;
+    if (ep.kind == Kind::kNone || offset == 0) return ep;
+    ep.bias += offset;
+    if (ep.bn_gamma != nullptr) {
+      ep.bn_gamma += offset;
+      ep.bn_mean += offset;
+      ep.bn_inv_std += offset;
+      ep.bn_shift += offset;
+    }
+    return ep;
+  }
 };
 
 namespace detail {
@@ -381,7 +417,14 @@ inline float finalize_element(float acc, float alpha, float beta,
   if (beta != 0.0f) v += beta * *c_elem;
   if (ep.kind != Epilogue::Kind::kNone) {
     v += ep.bias[bias_index];
-    if (ep.kind == Epilogue::Kind::kBiasRelu && !(v > 0.0f)) v = 0.0f;
+    if (ep.kind == Epilogue::Kind::kBiasBn ||
+        ep.kind == Epilogue::Kind::kBiasBnRelu) {
+      v = bn_affine(v, ep.bn_gamma[bias_index], ep.bn_mean[bias_index],
+                    ep.bn_inv_std[bias_index], ep.bn_shift[bias_index]);
+    }
+    const bool relu = ep.kind == Epilogue::Kind::kBiasRelu ||
+                      ep.kind == Epilogue::Kind::kBiasBnRelu;
+    if (relu && !(v > 0.0f)) v = 0.0f;
   }
   return v;
 }

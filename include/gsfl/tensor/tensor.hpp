@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,23 @@ class Tensor {
   /// Tensor with explicit contents; data size must match the shape.
   Tensor(Shape shape, std::vector<float> data);
 
+  Tensor(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  /// Assignment bumps the destination's version (see version()) — the
+  /// destination's contents changed, whatever the source's counter said.
+  Tensor& operator=(const Tensor& other) {
+    shape_ = other.shape_;
+    data_ = other.data_;
+    ++version_;
+    return *this;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+    ++version_;
+    return *this;
+  }
+
   [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   [[nodiscard]] static Tensor full(Shape shape, float value);
   [[nodiscard]] static Tensor ones(Shape shape) { return full(std::move(shape), 1.0f); }
@@ -46,8 +64,20 @@ class Tensor {
     return data_.size() * sizeof(float);
   }
 
-  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<float> data() {
+    ++version_;
+    return data_;
+  }
   [[nodiscard]] std::span<const float> data() const { return data_; }
+
+  /// Monotonic mutation counter: bumped by every non-const element access,
+  /// in-place mutator, and assignment (conservatively — handing out a
+  /// mutable span counts as a write). Consumers that cache derived state
+  /// keyed on a tensor's contents (the persistent packed GEMM panels in
+  /// nn::Dense / nn::Conv2d) compare this to decide whether to rebuild.
+  /// Copies/moves carry the source counter; a mutation through a span
+  /// retained across calls is observed at the *next* non-const access.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
   [[nodiscard]] float& at(std::size_t flat_index);
   [[nodiscard]] float at(std::size_t flat_index) const;
@@ -98,6 +128,7 @@ class Tensor {
  private:
   Shape shape_;
   std::vector<float> data_;
+  std::uint64_t version_ = 0;
 };
 
 /// Out-of-place arithmetic.

@@ -6,51 +6,24 @@
 
 namespace gsfl::common {
 
+void AlignedBuffer::grow_bytes(std::size_t bytes) {
+  if (size_ >= bytes) return;
+  storage_ = std::make_unique<unsigned char[]>(bytes + kAlignment);
+  void* raw = storage_.get();
+  std::size_t space = bytes + kAlignment;
+  data_ = static_cast<unsigned char*>(std::align(kAlignment, bytes, raw,
+                                                 space));
+  size_ = bytes;
+}
+
 namespace {
-
-// Packed GEMM panels are read as full-width vector rows every kernel step;
-// a buffer that straddles cache lines turns every one of those loads into a
-// line-crossing split. Align each arena buffer to the line size.
-constexpr std::size_t kAlignBytes = 64;
-
-struct AlignedBuffer {
-  std::unique_ptr<float[]> storage;
-  float* data = nullptr;
-  std::size_t size = 0;
-
-  void grow(std::size_t floats) {
-    if (size >= floats) return;
-    storage = std::make_unique<float[]>(floats + kAlignBytes / sizeof(float));
-    void* raw = storage.get();
-    std::size_t space = (floats + kAlignBytes / sizeof(float)) * sizeof(float);
-    data = static_cast<float*>(std::align(kAlignBytes, floats * sizeof(float),
-                                          raw, space));
-    size = floats;
-  }
-};
-
-struct AlignedByteBuffer {
-  std::unique_ptr<unsigned char[]> storage;
-  unsigned char* data = nullptr;
-  std::size_t size = 0;
-
-  void grow(std::size_t bytes) {
-    if (size >= bytes) return;
-    storage = std::make_unique<unsigned char[]>(bytes + kAlignBytes);
-    void* raw = storage.get();
-    std::size_t space = bytes + kAlignBytes;
-    data = static_cast<unsigned char*>(
-        std::align(kAlignBytes, bytes, raw, space));
-    size = bytes;
-  }
-};
 
 // One arena per thread: slot index == key. Pool workers live for the whole
 // process, so steady-state training rounds allocate nothing here.
 thread_local std::vector<AlignedBuffer> tl_arena;
 
 // Byte-typed arena (quantized GEMM panels); independent slot space.
-thread_local std::vector<AlignedByteBuffer> tl_byte_arena;
+thread_local std::vector<AlignedBuffer> tl_byte_arena;
 
 // Double-buffered slice arena: slot index == key·2 + parity. Kept separate
 // from the flat arena so a slice key never collides with a plain key, and
@@ -60,11 +33,7 @@ thread_local std::vector<AlignedBuffer> tl_slice_arena;
 
 std::size_t arena_bytes(const std::vector<AlignedBuffer>& arena) {
   std::size_t bytes = 0;
-  for (const auto& buffer : arena) {
-    if (buffer.size > 0) {
-      bytes += (buffer.size + kAlignBytes / sizeof(float)) * sizeof(float);
-    }
-  }
+  for (const auto& buffer : arena) bytes += buffer.capacity_bytes();
   return bytes;
 }
 
@@ -72,33 +41,24 @@ std::size_t arena_bytes(const std::vector<AlignedBuffer>& arena) {
 
 float* Workspace::floats(std::size_t key, std::size_t size) {
   if (tl_arena.size() <= key) tl_arena.resize(key + 1);
-  auto& buffer = tl_arena[key];
-  buffer.grow(size);
-  return buffer.data;
+  return tl_arena[key].elements<float>(size);
 }
 
 unsigned char* Workspace::bytes(std::size_t key, std::size_t size) {
   if (tl_byte_arena.size() <= key) tl_byte_arena.resize(key + 1);
-  auto& buffer = tl_byte_arena[key];
-  buffer.grow(size);
-  return buffer.data;
+  return tl_byte_arena[key].elements<unsigned char>(size);
 }
 
 float* Workspace::slice(std::size_t key, std::size_t size,
                         std::size_t parity) {
   const std::size_t slot = key * 2 + (parity & 1);
   if (tl_slice_arena.size() <= slot) tl_slice_arena.resize(slot + 1);
-  auto& buffer = tl_slice_arena[slot];
-  buffer.grow(size);
-  return buffer.data;
+  return tl_slice_arena[slot].elements<float>(size);
 }
 
 std::size_t Workspace::thread_bytes() {
-  std::size_t byte_arena = 0;
-  for (const auto& buffer : tl_byte_arena) {
-    if (buffer.size > 0) byte_arena += buffer.size + kAlignBytes;
-  }
-  return arena_bytes(tl_arena) + arena_bytes(tl_slice_arena) + byte_arena;
+  return arena_bytes(tl_arena) + arena_bytes(tl_slice_arena) +
+         arena_bytes(tl_byte_arena);
 }
 
 void Workspace::reset_thread() {

@@ -12,14 +12,20 @@ EvalResult evaluate(nn::Sequential& model, const data::Dataset& dataset,
   GSFL_EXPECT(batch_size >= 1);
   GSFL_EXPECT_MSG(!dataset.empty(), "cannot evaluate on an empty dataset");
 
+  // Pack every weight panel once on the source model before fanning out:
+  // the replicas below share the packed operands by pointer (copy-on-write),
+  // so no lane repacks — and the one-time cost stays out of the per-batch
+  // timings.
+  model.prepack();
+
   // Batches are independent, so evaluation fans out over them: a contiguous
-  // sample range per batch — no index vector, one block gather each. Layers
-  // cache activations even in eval mode, so lanes must not share one model;
-  // the context overload builds one replica per pool chunk (small
-  // evaluations may still see one per batch, which is fine — a state copy
-  // is tiny next to a batch forward). The loss/correct fold below walks the
-  // slots in batch order: bitwise identical to the serial sweep for any
-  // lane count.
+  // sample range per batch — no index vector, one block gather each. Lanes
+  // must not share one model (layers are stateful; eval forwards still
+  // write per-instance scratch); the context overload builds one replica
+  // per pool chunk (small evaluations may still see one per batch, which is
+  // fine — a state copy is tiny next to a batch forward). The loss/correct
+  // fold below walks the slots in batch order: bitwise identical to the
+  // serial sweep for any lane count.
   const std::size_t num_batches =
       (dataset.size() + batch_size - 1) / batch_size;
   struct BatchOutcome {

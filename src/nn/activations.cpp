@@ -16,19 +16,26 @@ Tensor relu_mask(const Tensor& grad_output, const Tensor& y) {
   return masked;
 }
 
-Tensor Activation::forward(const Tensor& input, bool /*train*/) {
-  cached_input_ = input;
+Tensor Activation::forward(const Tensor& input, bool train) {
   Tensor out(input.shape());
   const auto src = input.data();
   auto dst = out.data();
   for (std::size_t i = 0; i < src.size(); ++i) dst[i] = apply(src[i]);
-  cached_output_ = out;
+  // Only backward reads the caches; eval forwards copy nothing and clear
+  // any stale training pair so backward-after-eval fails loudly.
+  if (train) {
+    cached_input_ = input;
+    cached_output_ = out;
+  } else {
+    cached_input_ = Tensor();
+    cached_output_ = Tensor();
+  }
   return out;
 }
 
 Tensor Activation::backward(const Tensor& grad_output) {
   GSFL_EXPECT_MSG(grad_output.shape() == cached_input_.shape(),
-                  "activation backward shape mismatch (missing forward?)");
+                  "backward() requires a prior training-mode forward()");
   Tensor grad_input(grad_output.shape());
   const auto go = grad_output.data();
   const auto x = cached_input_.data();

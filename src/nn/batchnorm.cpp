@@ -1,6 +1,9 @@
 #include "gsfl/nn/batchnorm.hpp"
 
 #include <cmath>
+#include <utility>
+
+#include "gsfl/tensor/microkernel.hpp"
 
 namespace gsfl::nn {
 
@@ -71,12 +74,23 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
           var_sum += d * d;
         }
       }
+      // The batch is normalized with the biased (1/m) variance — the
+      // standard formulation, and what backward differentiates against.
       const float var = static_cast<float>(var_sum / per_channel);
       const float inv_std = 1.0f / std::sqrt(var + epsilon_);
       cached_mean_[c] = mean;
       cached_inv_std_[c] = inv_std;
+      // The *running* estimate feeding eval normalization uses the
+      // Bessel-corrected (1/(m−1)) estimator: the biased one is
+      // systematically low at small per-channel counts, so eval would
+      // over-scale activations relative to training. (Matches the
+      // torch.nn.BatchNorm2d convention.)
+      const float unbiased_var =
+          per_channel > 1
+              ? static_cast<float>(var_sum / (per_channel - 1))
+              : var;
       rm[c] = (1.0f - momentum_) * rm[c] + momentum_ * mean;
-      rv[c] = (1.0f - momentum_) * rv[c] + momentum_ * var;
+      rv[c] = (1.0f - momentum_) * rv[c] + momentum_ * unbiased_var;
 
       for (std::size_t n = 0; n < batch; ++n) {
         const std::size_t off = plane_offset(n, c);
@@ -88,14 +102,25 @@ Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
       }
     }
   } else {
-    const auto rm = running_mean_.data();
-    const auto rv = running_var_.data();
+    // Eval forwards leave no training caches behind: a backward without a
+    // training forward fails loudly instead of differentiating stale state.
+    cached_input_ = Tensor();
+    cached_normalized_ = Tensor();
+    cached_mean_.clear();
+    cached_inv_std_.clear();
+    const auto rm = std::as_const(running_mean_).data();
+    const auto rv = std::as_const(running_var_).data();
     for (std::size_t c = 0; c < channels_; ++c) {
       const float inv_std = 1.0f / std::sqrt(rv[c] + epsilon_);
       for (std::size_t n = 0; n < batch; ++n) {
         const std::size_t off = plane_offset(n, c);
         for (std::size_t i = 0; i < hw; ++i) {
-          dst[off + i] = g[c] * (src[off + i] - rm[c]) * inv_std + b[c];
+          // bn_affine is the exact expression the GEMM epilogue runs when
+          // this layer is folded into the preceding conv
+          // (Conv2d::fold_batchnorm) — sharing it keeps the two paths
+          // bitwise identical under FMA contraction.
+          dst[off + i] = tensor::micro::bn_affine(src[off + i], g[c], rm[c],
+                                                  inv_std, b[c]);
         }
       }
     }

@@ -1,6 +1,9 @@
 #include "gsfl/nn/conv2d.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "gsfl/common/thread_pool.hpp"
@@ -49,8 +52,49 @@ ConvGeometry Conv2d::geometry(const Shape& input) const {
                       .pad = pad_};
 }
 
+const tensor::PackedOperand& Conv2d::ensure_packed() {
+  const std::size_t patch = in_channels_ * kernel_ * kernel_;
+  const std::uint64_t version = std::as_const(weight_).version();
+  if (packed_weight_ == nullptr || packed_version_ != version) {
+    // Copy-on-write: clones sharing the old panel keep reading it; this
+    // layer swaps in a freshly packed one.
+    auto packed = std::make_shared<tensor::PackedOperand>();
+    packed->pack_a(std::as_const(weight_).data().data(), Trans::kNo,
+                   out_channels_, patch);
+    packed_weight_ = std::move(packed);
+    packed_version_ = version;
+  }
+  return *packed_weight_;
+}
+
+void Conv2d::prepack() { (void)ensure_packed(); }
+
+void Conv2d::fold_batchnorm(std::span<const float> gamma,
+                            std::span<const float> shift,
+                            std::span<const float> mean,
+                            std::span<const float> var, float epsilon) {
+  GSFL_EXPECT_MSG(!bn_folded_, "fold_batchnorm() called twice");
+  GSFL_EXPECT_MSG(gamma.size() == out_channels_ &&
+                      shift.size() == out_channels_ &&
+                      mean.size() == out_channels_ &&
+                      var.size() == out_channels_,
+                  "fold_batchnorm operand size must match out_channels");
+  bn_gamma_.assign(gamma.begin(), gamma.end());
+  bn_shift_.assign(shift.begin(), shift.end());
+  bn_mean_.assign(mean.begin(), mean.end());
+  bn_inv_std_.resize(out_channels_);
+  for (std::size_t c = 0; c < out_channels_; ++c) {
+    // Same expression BatchNorm2d's eval pass computes — the fold must
+    // reproduce its arithmetic bitwise.
+    bn_inv_std_[c] = 1.0f / std::sqrt(var[c] + epsilon);
+  }
+  bn_folded_ = true;
+}
+
 Tensor Conv2d::forward_impl(const Tensor& input, bool train,
                             bool fuse_relu) {
+  GSFL_EXPECT_MSG(!(train && bn_folded_),
+                  "training forward on a batchnorm-folded conv");
   const ConvGeometry geom = geometry(input.shape());
   const std::size_t batch = input.shape()[0];
   const std::size_t positions = geom.out_positions();
@@ -71,21 +115,41 @@ Tensor Conv2d::forward_impl(const Tensor& input, bool train,
   const float* in = input.data().data();
 
   // One batched GEMM over the whole im2col matrix, driven on the raw panel
-  // kernels: the weight panel is packed once per call and shared read-only;
-  // each sample then flows unfold → pack → macrokernel while its columns are
-  // still cache-hot, writing its NCHW output slice directly (the im2col
-  // matrix's per-sample column blocks never need to coexist). The per-channel
-  // bias — and, when fused, the ReLU clamp — rides the GEMM write-back
-  // epilogue, so no pass pre-fills or post-processes the output.
-  float* pw = common::Workspace::floats(
-      common::Workspace::kGemmPackA, micro::packed_a_floats(out_channels_,
-                                                            patch));
-  micro::pack_a(weight_.data().data(), patch, out_channels_, patch, pw);
-  const micro::Epilogue ep{.kind = fuse_relu
-                                       ? micro::Epilogue::Kind::kBiasRelu
+  // kernels: the weight panel is shared read-only; each sample then flows
+  // unfold → pack → macrokernel while its columns are still cache-hot,
+  // writing its NCHW output slice directly (the im2col matrix's per-sample
+  // column blocks never need to coexist). The per-channel bias — plus the
+  // frozen batch-norm affine when folded, and the ReLU clamp when fused —
+  // rides the GEMM write-back epilogue, so no pass pre-fills or
+  // post-processes the output. Eval forwards ride the persistent packed
+  // panel, re-built only when the weight's version moved; training forwards
+  // re-pack into thread scratch per call, because the version key cannot
+  // see writes made through a data() span the caller is still holding
+  // (exactly what a numeric gradient checker or a fused optimizer kernel
+  // does mid-step).
+  const float* pw;
+  if (train) {
+    float* fresh = common::Workspace::floats(
+        common::Workspace::kGemmPackA,
+        micro::packed_a_floats(out_channels_, patch));
+    micro::pack_a(std::as_const(weight_).data().data(), patch, out_channels_,
+                  patch, fresh);
+    pw = fresh;
+  } else {
+    pw = ensure_packed().panel_f32();
+  }
+  micro::Epilogue ep{.kind = fuse_relu ? micro::Epilogue::Kind::kBiasRelu
                                        : micro::Epilogue::Kind::kBias,
-                           .per_row = true,
-                           .bias = bias_.data().data()};
+                     .per_row = true,
+                     .bias = std::as_const(bias_).data().data()};
+  if (bn_folded_) {
+    ep.kind = fuse_relu ? micro::Epilogue::Kind::kBiasBnRelu
+                        : micro::Epilogue::Kind::kBiasBn;
+    ep.bn_gamma = bn_gamma_.data();
+    ep.bn_mean = bn_mean_.data();
+    ep.bn_inv_std = bn_inv_std_.data();
+    ep.bn_shift = bn_shift_.data();
+  }
 
   common::global_parallel_for(1, batch, [&](std::size_t b0, std::size_t b1) {
     float* columns = common::Workspace::floats(
@@ -136,7 +200,7 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 
 Tensor Conv2d::backward_impl(const Tensor& grad_output, const float* relu_y) {
   GSFL_EXPECT_MSG(cached_input_.shape().rank() == 4,
-                  "backward() requires a prior forward()");
+                  "backward() requires a prior training-mode forward()");
   const ConvGeometry geom = geometry(cached_input_.shape());
   const std::size_t batch = cached_input_.shape()[0];
   const std::size_t positions = geom.out_positions();
@@ -148,7 +212,7 @@ Tensor Conv2d::backward_impl(const Tensor& grad_output, const float* relu_y) {
 
   Tensor grad_input(cached_input_.shape());
   const float* gd = grad_output.data().data();
-  const float* in = cached_input_.data().data();
+  const float* in = std::as_const(cached_input_).data().data();
   float* gi = grad_input.data().data();
 
   // dx: dcols_n = Wᵀ · dy_n per sample, fused with the col2im scatter while
@@ -160,8 +224,10 @@ Tensor Conv2d::backward_impl(const Tensor& grad_output, const float* relu_y) {
   float* pwt = common::Workspace::floats(
       common::Workspace::kGemmPackA, micro::packed_a_floats(patch,
                                                             out_channels_));
-  micro::pack_a_trans(weight_.data().data(), patch, patch, out_channels_,
-                      pwt);
+  // std::as_const: a read of W must not bump its version — that would
+  // force a needless repack of the persistent forward panel.
+  micro::pack_a_trans(std::as_const(weight_).data().data(), patch, patch,
+                      out_channels_, pwt);
 
   common::global_parallel_for(1, batch, [&](std::size_t b0, std::size_t b1) {
     float* pb = common::Workspace::floats(

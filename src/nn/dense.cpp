@@ -1,5 +1,8 @@
 #include "gsfl/nn/dense.hpp"
 
+#include <memory>
+#include <utility>
+
 #include "gsfl/nn/init.hpp"
 #include "gsfl/tensor/gemm.hpp"
 
@@ -24,37 +27,75 @@ std::string Dense::name() const {
          std::to_string(out_features_) + ")";
 }
 
-Tensor Dense::forward_impl(const Tensor& input, bool fuse_relu) {
+const tensor::PackedOperand& Dense::ensure_packed() {
+  const bool need_q8 = forward_precision_ == tensor::GemmPrecision::kInt8;
+  const std::uint64_t version = std::as_const(weight_).version();
+  if (packed_weight_ == nullptr || packed_version_ != version ||
+      (need_q8 && !packed_weight_->has_q8())) {
+    // Copy-on-write: clones sharing the old panel keep reading it; this
+    // layer swaps in a freshly packed one.
+    auto packed = std::make_shared<tensor::PackedOperand>();
+    const float* w = std::as_const(weight_).data().data();
+    packed->pack_b(w, Trans::kYes, in_features_, out_features_);
+    if (need_q8) {
+      packed->pack_b_q8(w, Trans::kYes, in_features_, out_features_);
+    }
+    packed_weight_ = std::move(packed);
+    packed_version_ = version;
+  }
+  return *packed_weight_;
+}
+
+void Dense::prepack() { (void)ensure_packed(); }
+
+Tensor Dense::forward_impl(const Tensor& input, bool train, bool fuse_relu) {
   GSFL_EXPECT(input.shape().rank() == 2);
   GSFL_EXPECT_MSG(input.shape()[1] == in_features_,
                   "dense input width mismatch");
-  cached_input_ = input;
+  if (train) {
+    cached_input_ = input;
+  } else {
+    // Eval forwards copy nothing and leave no stale activation behind, so
+    // a backward without a training forward fails loudly.
+    cached_input_ = Tensor();
+  }
   // y = x · Wᵀ with the per-column bias (and, when fused, the ReLU clamp)
-  // folded into the GEMM write-back epilogue. The raw path absorbs the
-  // transpose into panel packing — no staging copy of W, no separate bias
-  // or activation pass over the output.
+  // folded into the GEMM write-back epilogue; the transpose is absorbed into
+  // panel packing either way — no staging copy of W, no separate bias or
+  // activation pass over the output. Eval forwards ride the persistent
+  // packed panel, re-built only when the weight's version moved; training
+  // forwards re-pack per call, because the version key cannot see writes
+  // made through a data() span the caller is still holding (exactly what a
+  // numeric gradient checker or a fused optimizer kernel does mid-step).
   const std::size_t batch = input.shape()[0];
   Tensor out(Shape{batch, out_features_});
   const tensor::micro::Epilogue ep{
       .kind = fuse_relu ? tensor::micro::Epilogue::Kind::kBiasRelu
                         : tensor::micro::Epilogue::Kind::kBias,
       .per_row = false,
-      .bias = bias_.data().data()};
-  tensor::gemm_raw(batch, in_features_, out_features_, 1.0f,
-                   input.data().data(), Trans::kNo, weight_.data().data(),
-                   Trans::kYes, 0.0f, out.data().data(), ep,
-                   forward_precision_);
+      .bias = std::as_const(bias_).data().data()};
+  if (train) {
+    tensor::gemm_raw(batch, in_features_, out_features_, 1.0f,
+                     std::as_const(input).data().data(), Trans::kNo,
+                     std::as_const(weight_).data().data(), Trans::kYes, 0.0f,
+                     out.data().data(), ep, forward_precision_);
+  } else {
+    tensor::gemm_packed(batch, in_features_, out_features_, 1.0f,
+                        std::as_const(input).data().data(), Trans::kNo,
+                        ensure_packed(), 0.0f, out.data().data(), ep,
+                        forward_precision_);
+  }
   return out;
 }
 
-Tensor Dense::forward(const Tensor& input, bool /*train*/) {
+Tensor Dense::forward(const Tensor& input, bool train) {
   last_forward_fused_ = false;
-  return forward_impl(input, /*fuse_relu=*/false);
+  return forward_impl(input, train, /*fuse_relu=*/false);
 }
 
 Tensor Dense::forward_fused_relu(const Tensor& input, bool train) {
   last_forward_fused_ = true;
-  Tensor out = forward_impl(input, /*fuse_relu=*/true);
+  Tensor out = forward_impl(input, train, /*fuse_relu=*/true);
   // Only backward reads the cache; eval passes skip the copy and
   // invalidate it, so a backward after an eval forward fails loudly.
   if (train) {
@@ -84,7 +125,7 @@ Tensor Dense::backward_impl(const Tensor& grad_output, const float* relu_y) {
   GSFL_EXPECT(grad_output.shape().rank() == 2);
   GSFL_EXPECT(grad_output.shape()[1] == out_features_);
   GSFL_EXPECT_MSG(cached_input_.shape().rank() == 2,
-                  "backward() requires a prior forward()");
+                  "backward() requires a prior training-mode forward()");
   GSFL_EXPECT(grad_output.shape()[0] == cached_input_.shape()[0]);
 
   // dW += dyᵀ · x ; db += column sums of dy ; dx = dy · W. All three run on
@@ -93,8 +134,8 @@ Tensor Dense::backward_impl(const Tensor& grad_output, const float* relu_y) {
   const std::size_t batch = grad_output.shape()[0];
   tensor::gemm_raw(out_features_, batch, in_features_, 1.0f,
                    grad_output.data().data(), Trans::kYes, relu_y,
-                   cached_input_.data().data(), Trans::kNo, 1.0f,
-                   grad_weight_.data().data(), {});
+                   std::as_const(cached_input_).data().data(), Trans::kNo,
+                   1.0f, grad_weight_.data().data(), {});
   const auto gd = grad_output.data();
   auto gb = grad_bias_.data();
   if (relu_y == nullptr) {
@@ -112,10 +153,12 @@ Tensor Dense::backward_impl(const Tensor& grad_output, const float* relu_y) {
     }
   }
   Tensor dx(Shape{batch, in_features_});
+  // std::as_const: a read of W must not bump its version — that would
+  // force a needless repack of the persistent forward panel.
   tensor::gemm_raw(batch, out_features_, in_features_, 1.0f,
                    grad_output.data().data(), Trans::kNo, relu_y,
-                   weight_.data().data(), Trans::kNo, 0.0f, dx.data().data(),
-                   {});
+                   std::as_const(weight_).data().data(), Trans::kNo, 0.0f,
+                   dx.data().data(), {});
   return dx;
 }
 

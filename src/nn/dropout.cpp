@@ -14,6 +14,9 @@ std::string Dropout::name() const {
 Tensor Dropout::forward(const Tensor& input, bool train) {
   last_was_train_ = train;
   if (!train || drop_probability_ == 0.0f) {
+    // Identity at eval — and the mask from any earlier training pass is
+    // cleared so it cannot leak into a later (erroneous) backward.
+    if (!train) cached_mask_ = Tensor();
     return input;
   }
   const float keep = 1.0f - drop_probability_;
@@ -32,7 +35,12 @@ Tensor Dropout::forward(const Tensor& input, bool train) {
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {
-  if (!last_was_train_ || drop_probability_ == 0.0f) {
+  // House contract: a backward whose forward ran in eval mode fails loudly
+  // — silently passing the gradient through would differentiate a different
+  // function (identity) than the one training executes (masked scale).
+  GSFL_EXPECT_MSG(last_was_train_,
+                  "backward() requires a prior training-mode forward()");
+  if (drop_probability_ == 0.0f) {
     return grad_output;
   }
   GSFL_EXPECT_MSG(grad_output.shape() == cached_mask_.shape(),

@@ -61,6 +61,13 @@ CnnConfig deep_cnn_config(std::size_t image_size, std::size_t classes) {
   return config;
 }
 
+CnnConfig serving_cnn_config(std::size_t image_size, std::size_t classes) {
+  CnnConfig config = deep_cnn_config(image_size, classes);
+  config.batch_norm = true;
+  config.dropout = 0.25f;
+  return config;
+}
+
 std::size_t default_cut_layer(const CnnConfig& config) {
   // End of the first conv block: conv (+bn) + relu + pool.
   return config.batch_norm ? 4 : 3;

@@ -27,11 +27,20 @@ std::string MaxPool2d::name() const {
          std::to_string(stride_) + ")";
 }
 
-Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
-  cached_input_shape_ = input.shape();
+Tensor MaxPool2d::forward(const Tensor& input, bool train) {
   const Shape out_shape = pooled_shape(input.shape(), window_, stride_);
   Tensor out(out_shape);
-  cached_argmax_.assign(out.numel(), 0);
+  // Only backward reads the argmax routing; eval forwards allocate no cache
+  // and clear any stale one so backward-after-eval fails loudly.
+  std::size_t* arg = nullptr;
+  if (train) {
+    cached_input_shape_ = input.shape();
+    cached_argmax_.assign(out.numel(), 0);
+    arg = cached_argmax_.data();
+  } else {
+    cached_input_shape_ = Shape();
+    cached_argmax_.clear();
+  }
 
   const std::size_t batch = input.shape()[0];
   const std::size_t channels = input.shape()[1];
@@ -62,7 +71,7 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
             }
           }
           dst[out_idx] = best;
-          cached_argmax_[out_idx] = best_idx;
+          if (arg != nullptr) arg[out_idx] = best_idx;
         }
       }
     }
@@ -72,7 +81,7 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*train*/) {
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
   GSFL_EXPECT_MSG(cached_input_shape_.rank() == 4,
-                  "backward() requires a prior forward()");
+                  "backward() requires a prior training-mode forward()");
   GSFL_EXPECT(grad_output.numel() == cached_argmax_.size());
   Tensor grad_input(cached_input_shape_);
   auto gi = grad_input.data();
@@ -107,8 +116,10 @@ std::string AvgPool2d::name() const {
          std::to_string(stride_) + ")";
 }
 
-Tensor AvgPool2d::forward(const Tensor& input, bool /*train*/) {
-  cached_input_shape_ = input.shape();
+Tensor AvgPool2d::forward(const Tensor& input, bool train) {
+  // Backward only needs the input shape; eval forwards clear it so
+  // backward-after-eval fails loudly.
+  cached_input_shape_ = train ? input.shape() : Shape();
   const Shape out_shape = pooled_shape(input.shape(), window_, stride_);
   Tensor out(out_shape);
   const std::size_t batch = input.shape()[0];
@@ -143,7 +154,7 @@ Tensor AvgPool2d::forward(const Tensor& input, bool /*train*/) {
 
 Tensor AvgPool2d::backward(const Tensor& grad_output) {
   GSFL_EXPECT_MSG(cached_input_shape_.rank() == 4,
-                  "backward() requires a prior forward()");
+                  "backward() requires a prior training-mode forward()");
   const Shape out_shape =
       pooled_shape(cached_input_shape_, window_, stride_);
   GSFL_EXPECT(grad_output.shape() == out_shape);

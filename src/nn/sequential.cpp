@@ -1,13 +1,20 @@
 #include "gsfl/nn/sequential.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "gsfl/nn/activations.hpp"
+#include "gsfl/nn/batchnorm.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/dropout.hpp"
 
 namespace gsfl::nn {
 
 Sequential::Sequential(const Sequential& other)
-    : fusion_enabled_(other.fusion_enabled_) {
+    : fusion_enabled_(other.fusion_enabled_),
+      frozen_(other.frozen_),
+      skipped_(other.skipped_) {
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
 }
@@ -17,6 +24,8 @@ Sequential& Sequential::operator=(const Sequential& other) {
   Sequential copy(other);
   layers_ = std::move(copy.layers_);
   fusion_enabled_ = copy.fusion_enabled_;
+  frozen_ = copy.frozen_;
+  skipped_ = std::move(copy.skipped_);
   fused_.clear();
   return *this;
 }
@@ -40,21 +49,34 @@ const Layer& Sequential::layer(std::size_t i) const {
 void Sequential::refresh_fusion_plan() {
   fused_.assign(layers_.size(), 0);
   if (!fusion_enabled_) return;
-  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
-    if (layers_[i]->can_fuse_relu() &&
-        dynamic_cast<const Relu*>(layers_[i + 1].get()) != nullptr) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (is_skipped(i) || !layers_[i]->can_fuse_relu()) continue;
+    // The fusion partner is the next *executed* layer: on a frozen model a
+    // folded BatchNorm2d may sit (skipped) between the conv and its Relu.
+    std::size_t j = i + 1;
+    while (j < layers_.size() && is_skipped(j)) ++j;
+    if (j < layers_.size() &&
+        dynamic_cast<const Relu*>(layers_[j].get()) != nullptr) {
       fused_[i] = 1;
     }
   }
 }
 
 Tensor Sequential::forward(const Tensor& input, bool train) {
+  GSFL_EXPECT_MSG(!(frozen_ && train),
+                  "training forward() on a frozen model");
   refresh_fusion_plan();
   Tensor x = input;
   for (std::size_t i = 0; i < layers_.size();) {
+    if (is_skipped(i)) {
+      i += 1;
+      continue;
+    }
     if (fused_[i]) {
       x = layers_[i]->forward_fused_relu(x, train);
-      i += 2;  // the Relu at i+1 was absorbed
+      i += 1;
+      while (i < layers_.size() && is_skipped(i)) i += 1;
+      i += 1;  // the next executed layer (a Relu) was absorbed
     } else {
       x = layers_[i]->forward(x, train);
       i += 1;
@@ -64,6 +86,7 @@ Tensor Sequential::forward(const Tensor& input, bool train) {
 }
 
 Tensor Sequential::backward(const Tensor& grad_output) {
+  GSFL_EXPECT_MSG(!frozen_, "backward() on a frozen model");
   // Mirror the last forward's fusion plan; a backward with no prior forward
   // runs unfused and lets the layers raise their own "requires a prior
   // forward" errors. A fused pair's backward masks dy inside the layer's
@@ -120,6 +143,10 @@ StateDict Sequential::state() const {
 }
 
 void Sequential::load_state(const StateDict& state) {
+  // A frozen model has batch-norm statistics baked into conv epilogues and
+  // serving precision pinned; swapping parameters underneath would silently
+  // serve a hybrid of old epilogue and new weights.
+  GSFL_EXPECT_MSG(!frozen_, "load_state() on a frozen model");
   auto params = parameters();
   auto bufs = buffers();
   GSFL_EXPECT_MSG(state.size() == params.size() + bufs.size(),
@@ -194,7 +221,48 @@ std::string Sequential::summary(const Shape& input) const {
   return os.str();
 }
 
+void Sequential::prepack() {
+  for (auto& l : layers_) l->prepack();
+}
+
+void Sequential::freeze(tensor::GemmPrecision precision) {
+  GSFL_EXPECT_MSG(!frozen_, "freeze() called twice");
+  skipped_.assign(layers_.size(), 0);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (dynamic_cast<const Dropout*>(layers_[i].get()) != nullptr) {
+      // Identity at eval — elided entirely so requests skip the virtual
+      // call and the mask bookkeeping.
+      skipped_[i] = 1;
+      continue;
+    }
+    auto* bn = dynamic_cast<BatchNorm2d*>(layers_[i].get());
+    if (bn != nullptr && i > 0) {
+      auto* conv = dynamic_cast<Conv2d*>(layers_[i - 1].get());
+      if (conv != nullptr && !conv->batchnorm_folded()) {
+        conv->fold_batchnorm(std::as_const(bn->gamma()).data(),
+                             std::as_const(bn->shift()).data(),
+                             std::as_const(bn->running_mean()).data(),
+                             std::as_const(bn->running_var()).data(),
+                             bn->epsilon());
+        skipped_[i] = 1;
+      }
+    }
+  }
+  if (precision == tensor::GemmPrecision::kInt8) {
+    for (auto& l : layers_) {
+      if (auto* dense = dynamic_cast<Dense*>(l.get())) {
+        dense->set_forward_precision(precision);
+      }
+    }
+  }
+  frozen_ = true;
+  // Pack every panel now (including the int8 siblings the precision switch
+  // just requested) so the first request pays no one-time cost.
+  prepack();
+}
+
 std::pair<Sequential, Sequential> Sequential::split(std::size_t cut) const {
+  GSFL_EXPECT_MSG(!frozen_, "split() on a frozen model");
   GSFL_EXPECT_MSG(cut <= layers_.size(), "cut index beyond model depth");
   Sequential head;
   Sequential tail;
@@ -206,6 +274,8 @@ std::pair<Sequential, Sequential> Sequential::split(std::size_t cut) const {
 
 Sequential Sequential::concatenate(const Sequential& head,
                                    const Sequential& tail) {
+  GSFL_EXPECT_MSG(!head.frozen_ && !tail.frozen_,
+                  "concatenate() on a frozen model");
   Sequential out(head);
   for (std::size_t i = 0; i < tail.size(); ++i) {
     out.add(tail.layer(i).clone());

@@ -200,8 +200,10 @@ void gemm_raw_q8(std::size_t m, std::size_t k, std::size_t n, float alpha,
       float* sa = common::Workspace::floats(
           common::Workspace::kGemmQuantScaleA, r1 - r0);
       pack_qa_panel(a, trans_a, m, k, r0, r1, pa, sa);
-      micro::Epilogue ep = epilogue;
-      if (ep.bias != nullptr && ep.per_row) ep.bias += r0;
+      // A per-row epilogue walks with the panel's row offset; per-column
+      // arrays span all of n unshifted.
+      const micro::Epilogue ep =
+          epilogue.per_row ? epilogue.shifted(r0) : epilogue;
       q8::macrokernel(r1 - r0, n, k, alpha, pa, pb, sa, sb, comp, beta,
                       c + r0 * n, n, ep);
     };
@@ -232,8 +234,8 @@ void gemm_raw_q8(std::size_t m, std::size_t k, std::size_t n, float alpha,
                 common::Workspace::kGemmQuantComp,
                 (c1 - c0) * sizeof(std::int32_t)));
         pack_qb_panel(b, trans_b, k, n, c0, c1, pb, sb, comp);
-        micro::Epilogue ep = epilogue;
-        if (ep.bias != nullptr && !ep.per_row) ep.bias += c0;
+        const micro::Epilogue ep =
+            epilogue.per_row ? epilogue : epilogue.shifted(c0);
         q8::macrokernel(m, c1 - c0, k, alpha, pa, pb, sa, sb, comp, beta,
                         c + c0, n, ep);
       });
@@ -254,6 +256,154 @@ void sliced_sweep(PackStrategy strategy, std::size_t rows, std::size_t cols,
 }
 
 }  // namespace
+
+void PackedOperand::pack_b(const float* b, Trans trans, std::size_t k,
+                           std::size_t cols) {
+  GSFL_EXPECT(k > 0 && cols > 0);
+  k_ = k;
+  cols_ = cols;
+  rows_ = 0;
+  float* panel = f32_.elements<float>(micro::packed_b_floats(k, cols));
+  pack_b_panel(b, trans, k, cols, 0, cols, panel);
+  has_f32_ = true;
+  // Dims changed ⇒ any previously quantized panel is stale.
+  has_q8_ = false;
+}
+
+void PackedOperand::pack_b_q8(const float* b, Trans trans, std::size_t k,
+                              std::size_t cols) {
+  namespace q8 = micro::q8;
+  GSFL_EXPECT(k > 0 && cols > 0);
+  GSFL_EXPECT_MSG(rows_ == 0, "pack_b_q8 on an A-side operand");
+  k_ = k;
+  cols_ = cols;
+  auto* pb = q8_.elements<std::int8_t>(q8::packed_b_bytes(k, cols));
+  float* sb = q8_scale_.elements<float>(cols);
+  auto* comp = q8_comp_.elements<std::int32_t>(cols);
+  pack_qb_panel(b, trans, k, cols, 0, cols, pb, sb, comp);
+  has_q8_ = true;
+}
+
+void PackedOperand::pack_a(const float* a, Trans trans, std::size_t rows,
+                           std::size_t k) {
+  GSFL_EXPECT(rows > 0 && k > 0);
+  rows_ = rows;
+  k_ = k;
+  cols_ = 0;
+  float* panel = f32_.elements<float>(micro::packed_a_floats(rows, k));
+  pack_a_panel(a, nullptr, trans, rows, k, 0, rows, panel);
+  has_f32_ = true;
+  has_q8_ = false;
+}
+
+void gemm_packed(std::size_t m, std::size_t k, std::size_t n, float alpha,
+                 const float* a, Trans trans_a, const PackedOperand& b,
+                 float beta, float* c, const micro::Epilogue& epilogue,
+                 GemmPrecision precision) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    micro::macrokernel(m, n, 0, alpha, nullptr, nullptr, beta, c, n,
+                       epilogue);
+    return;
+  }
+  GSFL_EXPECT_MSG(b.k() == k && b.cols() == n,
+                  "gemm_packed: packed operand dims must match the call");
+
+  // Same shape-driven split heuristic as gemm_raw — the panel roles mirror
+  // it, with the persistent B standing in for the per-call pack.
+  const bool by_columns = (n + kColGrain - 1) / kColGrain >
+                          (m + kRowGrain - 1) / kRowGrain;
+  const bool serial = m * n * k < kParallelMacCutoff;
+
+  if (precision == GemmPrecision::kInt8) {
+    namespace q8 = micro::q8;
+    GSFL_EXPECT_MSG(b.has_q8(),
+                    "gemm_packed kInt8 requires a pack_b_q8'd operand");
+    const std::int8_t* pb = b.panel_q8();
+    const float* sb = b.q8_scales();
+    const std::int32_t* comp = b.q8_comp();
+    if (serial || !by_columns) {
+      // Row split: every task reads the shared persistent B panel and
+      // quantizes only its own row panel of op(A) into lane-local scratch —
+      // exactly gemm_raw_q8's row path minus the B pack.
+      const auto rows_task = [&](std::size_t r0, std::size_t r1) {
+        auto* pa = reinterpret_cast<std::uint8_t*>(common::Workspace::bytes(
+            common::Workspace::kGemmQuantA, q8::packed_a_bytes(r1 - r0, k)));
+        float* sa = common::Workspace::floats(
+            common::Workspace::kGemmQuantScaleA, r1 - r0);
+        pack_qa_panel(a, trans_a, m, k, r0, r1, pa, sa);
+        const micro::Epilogue ep =
+            epilogue.per_row ? epilogue.shifted(r0) : epilogue;
+        q8::macrokernel(r1 - r0, n, k, alpha, pa, pb, sa, sb, comp, beta,
+                        c + r0 * n, n, ep);
+      };
+      if (serial) {
+        rows_task(0, m);
+      } else {
+        common::global_parallel_for(kRowGrain, m, rows_task);
+      }
+      return;
+    }
+    // Column split into the shared panel: parallelize over *strip groups*
+    // (kColGrain = 2·kNR columns each) rather than raw columns — pool chunk
+    // boundaries are not grain-aligned, and a mid-strip c0 cannot be
+    // addressed inside a pre-packed panel. c0 = group·kColGrain is always a
+    // strip boundary, so the sub-panel is pb + c0·padded_k.
+    auto* pa = reinterpret_cast<std::uint8_t*>(common::Workspace::bytes(
+        common::Workspace::kGemmQuantA, q8::packed_a_bytes(m, k)));
+    float* sa =
+        common::Workspace::floats(common::Workspace::kGemmQuantScaleA, m);
+    pack_qa_panel(a, trans_a, m, k, 0, m, pa, sa);
+    const std::size_t kp = q8::padded_k(k);
+    const std::size_t groups = (n + kColGrain - 1) / kColGrain;
+    common::global_parallel_for(
+        1, groups, [&](std::size_t g0, std::size_t g1) {
+          const std::size_t c0 = g0 * kColGrain;
+          const std::size_t c1 = std::min(g1 * kColGrain, n);
+          const micro::Epilogue ep =
+              epilogue.per_row ? epilogue : epilogue.shifted(c0);
+          q8::macrokernel(m, c1 - c0, k, alpha, pa, pb + c0 * kp, sa,
+                          sb + c0, comp + c0, beta, c + c0, n, ep);
+        });
+    return;
+  }
+
+  GSFL_EXPECT_MSG(b.has_f32(), "gemm_packed requires a pack_b'd operand");
+  const float* pb = b.panel_f32();
+  if (serial || !by_columns) {
+    const auto rows_task = [&](std::size_t r0, std::size_t r1) {
+      float* pa = common::Workspace::floats(
+          common::Workspace::kGemmPackA, micro::packed_a_floats(r1 - r0, k));
+      pack_a_panel(a, nullptr, trans_a, m, k, r0, r1, pa);
+      const micro::Epilogue ep =
+          epilogue.per_row ? epilogue.shifted(r0) : epilogue;
+      micro::macrokernel(r1 - r0, n, k, alpha, pa, pb, beta, c + r0 * n, n,
+                         ep);
+    };
+    if (serial) {
+      rows_task(0, m);
+    } else {
+      common::global_parallel_for(kRowGrain, m, rows_task);
+    }
+    return;
+  }
+  // Column split over strip groups (see the int8 path above): each group's
+  // f32 sub-panel starts at pb + c0·k (strip stride k·kNR, c0 a kNR
+  // multiple). The per-element fold never depends on where the panel was
+  // sliced, so this matches gemm_raw's arbitrary-boundary split bitwise.
+  float* pa = common::Workspace::floats(common::Workspace::kGemmPackA,
+                                        micro::packed_a_floats(m, k));
+  pack_a_panel(a, nullptr, trans_a, m, k, 0, m, pa);
+  const std::size_t groups = (n + kColGrain - 1) / kColGrain;
+  common::global_parallel_for(1, groups, [&](std::size_t g0, std::size_t g1) {
+    const std::size_t c0 = g0 * kColGrain;
+    const std::size_t c1 = std::min(g1 * kColGrain, n);
+    const micro::Epilogue ep =
+        epilogue.per_row ? epilogue : epilogue.shifted(c0);
+    micro::macrokernel(m, c1 - c0, k, alpha, pa, pb + c0 * k, beta, c + c0,
+                       n, ep);
+  });
+}
 
 void set_pack_strategy(PackStrategy strategy) {
   g_pack_strategy.store(strategy, std::memory_order_relaxed);
@@ -358,10 +508,10 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
       float* pa = common::Workspace::floats(
           common::Workspace::kGemmPackA, micro::packed_a_floats(r1 - r0, k));
       pack_a_panel(a, a_mask, trans_a, m, k, r0, r1, pa);
-      // A per-row bias walks with the panel's row offset; a per-column bias
-      // spans all of n unshifted.
-      micro::Epilogue ep = epilogue;
-      if (ep.bias != nullptr && ep.per_row) ep.bias += r0;
+      // A per-row epilogue walks with the panel's row offset; per-column
+      // arrays span all of n unshifted.
+      const micro::Epilogue ep =
+          epilogue.per_row ? epilogue.shifted(r0) : epilogue;
       if (interleave) {
         // Each task packs its own B slices (one task in the kAuto hot path;
         // forced kInterleaved accepts the per-task repack to exercise the
@@ -401,8 +551,8 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
   pack_a_panel(a, a_mask, trans_a, m, k, 0, m, pa);
   common::global_parallel_for(kColGrain, n, [&](std::size_t c0,
                                                 std::size_t c1) {
-    micro::Epilogue ep = epilogue;
-    if (ep.bias != nullptr && !ep.per_row) ep.bias += c0;
+    const micro::Epilogue ep =
+        epilogue.per_row ? epilogue : epilogue.shifted(c0);
     if (interleave_cols) {
       sliced_sweep(sliced_cols, m, c1 - c0, k, alpha, pa, b, trans_b, n, c0,
                    beta, c + c0, n, ep);

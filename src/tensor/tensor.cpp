@@ -42,6 +42,7 @@ Tensor Tensor::arange(std::size_t n) {
 
 float& Tensor::at(std::size_t flat_index) {
   GSFL_EXPECT(flat_index < data_.size());
+  ++version_;
   return data_[flat_index];
 }
 
@@ -53,11 +54,14 @@ float Tensor::at(std::size_t flat_index) const {
 float& Tensor::at2(std::size_t i, std::size_t j) {
   GSFL_EXPECT(shape_.rank() == 2);
   GSFL_EXPECT(i < shape_[0] && j < shape_[1]);
+  ++version_;
   return data_[i * shape_[1] + j];
 }
 
 float Tensor::at2(std::size_t i, std::size_t j) const {
-  return const_cast<Tensor*>(this)->at2(i, j);
+  GSFL_EXPECT(shape_.rank() == 2);
+  GSFL_EXPECT(i < shape_[0] && j < shape_[1]);
+  return data_[i * shape_[1] + j];
 }
 
 float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
@@ -65,12 +69,16 @@ float& Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
   GSFL_EXPECT(shape_.rank() == 4);
   GSFL_EXPECT(n < shape_[0] && c < shape_[1] && h < shape_[2] &&
               w < shape_[3]);
+  ++version_;
   return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
 float Tensor::at4(std::size_t n, std::size_t c, std::size_t h,
                   std::size_t w) const {
-  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+  GSFL_EXPECT(shape_.rank() == 4);
+  GSFL_EXPECT(n < shape_[0] && c < shape_[1] && h < shape_[2] &&
+              w < shape_[3]);
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
 }
 
 Tensor Tensor::reshape(Shape new_shape) const {
@@ -92,29 +100,34 @@ Tensor Tensor::slice0(std::size_t begin, std::size_t end) const {
 
 Tensor& Tensor::fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
+  ++version_;
   return *this;
 }
 
 Tensor& Tensor::add_(const Tensor& other) {
   GSFL_EXPECT(shape_ == other.shape_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  ++version_;
   return *this;
 }
 
 Tensor& Tensor::sub_(const Tensor& other) {
   GSFL_EXPECT(shape_ == other.shape_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  ++version_;
   return *this;
 }
 
 Tensor& Tensor::mul_(const Tensor& other) {
   GSFL_EXPECT(shape_ == other.shape_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  ++version_;
   return *this;
 }
 
 Tensor& Tensor::scale_(float factor) {
   for (auto& v : data_) v *= factor;
+  ++version_;
   return *this;
 }
 
@@ -122,6 +135,7 @@ Tensor& Tensor::axpy_(float alpha, const Tensor& x) {
   GSFL_EXPECT(shape_ == x.shape_);
   for (std::size_t i = 0; i < data_.size(); ++i)
     data_[i] += alpha * x.data_[i];
+  ++version_;
   return *this;
 }
 

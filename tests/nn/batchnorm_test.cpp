@@ -60,6 +60,36 @@ TEST(BatchNorm, RunningStatsConvergeToDataStats) {
   EXPECT_NEAR(bn.buffers()[1]->at(0), 4.0f, 0.8f);  // variance ≈ 4
 }
 
+TEST(BatchNorm, RunningVarianceIsBesselCorrected) {
+  // momentum 1 ⇒ running stats = last batch's estimates, so the estimator
+  // choice is directly observable: the *batch* is normalized with the
+  // biased 1/m variance, but the *running* estimate feeding eval gets the
+  // Bessel-corrected 1/(m−1) one (the torch convention — the biased
+  // estimator is systematically low at small per-channel counts, so eval
+  // would over-scale activations relative to training).
+  BatchNorm2d bn(1, /*momentum=*/1.0f);
+  const Tensor x(Shape{1, 1, 2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const auto y = bn.forward(x, /*train=*/true);
+
+  // m = 4, mean = 2.5, Σd² = 5 ⇒ biased var 1.25, unbiased 5/3.
+  EXPECT_FLOAT_EQ(bn.buffers()[0]->at(0), 2.5f);
+  EXPECT_NEAR(bn.buffers()[1]->at(0), 5.0f / 3.0f, 1e-6f);
+  // …while the normalization itself used the biased variance.
+  const float inv_std = 1.0f / std::sqrt(1.25f + 1e-5f);
+  EXPECT_NEAR(y.at(0), (1.0f - 2.5f) * inv_std, 1e-5f);
+}
+
+TEST(BatchNorm, SingleSampleRunningVarianceFallsBackToBiased) {
+  // per_channel == 1 has no unbiased estimator (division by m−1 = 0); the
+  // update falls back to the biased value (0) instead of poisoning the
+  // running buffer with inf/NaN.
+  BatchNorm2d bn(1, /*momentum=*/1.0f);
+  const Tensor x(Shape{1, 1, 1, 1}, {5.0f});
+  (void)bn.forward(x, /*train=*/true);
+  EXPECT_FLOAT_EQ(bn.buffers()[0]->at(0), 5.0f);
+  EXPECT_FLOAT_EQ(bn.buffers()[1]->at(0), 0.0f);
+}
+
 TEST(BatchNorm, EvalUsesRunningStats) {
   BatchNorm2d bn(1, 1.0f);  // momentum 1: running stats = last batch stats
   Rng rng(4);

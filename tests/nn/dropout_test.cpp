@@ -62,13 +62,22 @@ TEST(Dropout, BackwardUsesSameMask) {
   }
 }
 
-TEST(Dropout, EvalBackwardIsIdentity) {
+TEST(Dropout, EvalBackwardThrows) {
   Rng rng(6);
   Dropout dropout(0.5f, rng);
   const auto x = Tensor::ones(Shape{3, 3});
-  (void)dropout.forward(x, false);
   const Tensor g(Shape{3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
-  EXPECT_EQ(dropout.backward(g), g);
+  // A backward whose forward ran in eval mode would differentiate the
+  // identity while training runs the masked scale — fail loudly instead of
+  // silently passing the gradient through.
+  (void)dropout.forward(x, false);
+  EXPECT_THROW((void)dropout.backward(g), std::invalid_argument);
+  // A training forward *after* the eval pass re-arms backward…
+  (void)dropout.forward(x, true);
+  EXPECT_NO_THROW((void)dropout.backward(g));
+  // …and the next eval forward disarms it again (stale-mask leak).
+  (void)dropout.forward(x, false);
+  EXPECT_THROW((void)dropout.backward(g), std::invalid_argument);
 }
 
 TEST(Dropout, CloneDrawsIdenticalMasks) {

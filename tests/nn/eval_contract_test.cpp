@@ -1,0 +1,117 @@
+// Eval-path contract sweep: for EVERY layer, an evaluation forward
+// (train=false) must leave no training state behind —
+//   (1) backward() after an eval-only forward fails loudly,
+//   (2) an eval forward *invalidates* the cache of an earlier training
+//       forward (no silent differentiation against a stale batch),
+//   (3) a training forward after an eval pass re-arms backward().
+// Before this contract, several layers cached activations unconditionally
+// (a memcpy per eval batch) and Dropout silently passed gradients through
+// after an eval forward — differentiating the identity while training runs
+// the masked scale.
+#include <functional>
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/activations.hpp"
+#include "gsfl/nn/batchnorm.hpp"
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/dropout.hpp"
+#include "gsfl/nn/flatten.hpp"
+#include "gsfl/nn/pooling.hpp"
+
+namespace {
+
+using gsfl::common::Rng;
+using gsfl::nn::Layer;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+struct LayerCase {
+  std::string name;
+  std::function<std::unique_ptr<Layer>(Rng&)> make;
+  Shape input;
+};
+
+std::vector<LayerCase> all_cases() {
+  // One entry per Layer implementation — a new layer class must be added
+  // here (the suite is the machine-checked census of the eval contract).
+  std::vector<LayerCase> cases;
+  const auto add = [&](std::string name,
+                       std::function<std::unique_ptr<Layer>(Rng&)> make,
+                       Shape input) {
+    cases.push_back({std::move(name), std::move(make), std::move(input)});
+  };
+  add("dense",
+      [](Rng& rng) { return std::make_unique<gsfl::nn::Dense>(6, 4, rng); },
+      Shape{3, 6});
+  add("conv2d",
+      [](Rng& rng) {
+        return std::make_unique<gsfl::nn::Conv2d>(2, 3, 3, 1, 1, rng);
+      },
+      Shape{2, 2, 6, 5});
+  add("batchnorm",
+      [](Rng&) { return std::make_unique<gsfl::nn::BatchNorm2d>(2); },
+      Shape{2, 2, 3, 3});
+  add("dropout",
+      [](Rng& rng) { return std::make_unique<gsfl::nn::Dropout>(0.3f, rng); },
+      Shape{3, 8});
+  add("relu", [](Rng&) { return std::make_unique<gsfl::nn::Relu>(); },
+      Shape{3, 10});
+  add("leaky_relu",
+      [](Rng&) { return std::make_unique<gsfl::nn::LeakyRelu>(0.1f); },
+      Shape{2, 2, 3, 3});
+  add("tanh", [](Rng&) { return std::make_unique<gsfl::nn::Tanh>(); },
+      Shape{3, 7});
+  add("sigmoid", [](Rng&) { return std::make_unique<gsfl::nn::Sigmoid>(); },
+      Shape{3, 4});
+  add("maxpool",
+      [](Rng&) { return std::make_unique<gsfl::nn::MaxPool2d>(2); },
+      Shape{2, 2, 6, 4});
+  add("avgpool",
+      [](Rng&) { return std::make_unique<gsfl::nn::AvgPool2d>(2); },
+      Shape{2, 3, 4, 6});
+  add("flatten", [](Rng&) { return std::make_unique<gsfl::nn::Flatten>(); },
+      Shape{2, 2, 3, 4});
+  return cases;
+}
+
+class EvalContract : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(EvalContract, BackwardAfterEvalOnlyForwardThrows) {
+  Rng rng(201);
+  auto layer = GetParam().make(rng);
+  const auto x = Tensor::uniform(GetParam().input, rng, -1, 1);
+  const auto y = layer->forward(x, /*train=*/false);
+  const auto dy = Tensor::uniform(y.shape(), rng, -1, 1);
+  EXPECT_THROW((void)layer->backward(dy), std::invalid_argument);
+}
+
+TEST_P(EvalContract, EvalForwardInvalidatesTrainingCache) {
+  Rng rng(202);
+  auto layer = GetParam().make(rng);
+  const auto x = Tensor::uniform(GetParam().input, rng, -1, 1);
+  const auto y = layer->forward(x, /*train=*/true);
+  (void)layer->forward(x, /*train=*/false);
+  const auto dy = Tensor::uniform(y.shape(), rng, -1, 1);
+  EXPECT_THROW((void)layer->backward(dy), std::invalid_argument);
+}
+
+TEST_P(EvalContract, TrainingForwardAfterEvalRearmsBackward) {
+  Rng rng(203);
+  auto layer = GetParam().make(rng);
+  const auto x = Tensor::uniform(GetParam().input, rng, -1, 1);
+  (void)layer->forward(x, /*train=*/false);
+  const auto y = layer->forward(x, /*train=*/true);
+  const auto dy = Tensor::uniform(y.shape(), rng, -1, 1);
+  Tensor dx;
+  EXPECT_NO_THROW(dx = layer->backward(dy));
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayers, EvalContract, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<LayerCase>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Sequential::freeze — the serving lane's correctness contract:
+//   - a frozen f32 forward is bitwise identical to the unfrozen,
+//     fusion-disabled eval forward, for every thread count and pack
+//     strategy (the BN fold, dropout elision, relu fusion across skipped
+//     layers, and persistent packed panels change *nothing* numerically);
+//   - freeze(kInt8) matches the same model with the dense layers manually
+//     switched to the quantized forward;
+//   - freezing mutates no parameter or buffer (state dicts survive);
+//   - training entry points are rejected while frozen, and copy semantics
+//     carry the frozen plan.
+#include <gtest/gtest.h>
+
+#include "gsfl/nn/conv2d.hpp"
+#include "gsfl/nn/dense.hpp"
+#include "gsfl/nn/model_zoo.hpp"
+#include "gsfl/nn/sequential.hpp"
+#include "support/property.hpp"
+
+namespace {
+
+namespace prop = gsfl::test::prop;
+using gsfl::common::Rng;
+using gsfl::nn::Sequential;
+using gsfl::tensor::GemmPrecision;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+
+/// The serving preset at test scale (three conv blocks with batch norm,
+/// dropout in the head), with the batch-norm running statistics moved off
+/// their init values by a few training forwards.
+Sequential build_trained(Rng& rng) {
+  const auto config = gsfl::nn::serving_cnn_config(/*image_size=*/16,
+                                                   /*classes=*/7);
+  Sequential model = gsfl::nn::make_gtsrb_cnn(config, rng);
+  for (int step = 0; step < 3; ++step) {
+    const auto batch = Tensor::uniform(Shape{4, 3, 16, 16}, rng, -1, 1);
+    (void)model.forward(batch, /*train=*/true);
+  }
+  return model;
+}
+
+TEST(Freeze, MatchesUnfusedEvalBitwiseAcrossThreadsAndStrategies) {
+  Rng rng(301);
+  const Sequential trained = build_trained(rng);
+  const auto x = Tensor::uniform(Shape{5, 3, 16, 16}, rng, -1, 1);
+
+  Sequential frozen = trained;
+  frozen.freeze();
+  Sequential frozen_unfused = trained;
+  frozen_unfused.freeze();
+  frozen_unfused.set_fusion(false);
+  Sequential baseline = trained;
+  baseline.set_fusion(false);
+
+  prop::for_each_thread_count([&](std::size_t threads) {
+    prop::for_each_pack_strategy([&](gsfl::tensor::PackStrategy strategy) {
+      const auto want = baseline.forward(x, /*train=*/false);
+      ASSERT_TRUE(prop::bitwise_equal(frozen.forward(x, false), want))
+          << "threads=" << threads
+          << " strategy=" << prop::pack_strategy_name(strategy);
+      // The epilogue relu clamp (fused across the skipped BN) and the Relu
+      // layer applied to the stored epilogue output must agree bitwise too.
+      ASSERT_TRUE(
+          prop::bitwise_equal(frozen_unfused.forward(x, false), want))
+          << "unfused frozen, threads=" << threads;
+    });
+  });
+}
+
+TEST(Freeze, Int8MatchesManuallyQuantizedDenseLayers) {
+  Rng rng(302);
+  const Sequential trained = build_trained(rng);
+  const auto x = Tensor::uniform(Shape{4, 3, 16, 16}, rng, -1, 1);
+
+  Sequential frozen = trained;
+  frozen.freeze(GemmPrecision::kInt8);
+  Sequential manual = trained;
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    if (auto* dense = dynamic_cast<gsfl::nn::Dense*>(&manual.layer(i))) {
+      dense->set_forward_precision(GemmPrecision::kInt8);
+    }
+  }
+
+  prop::for_each_thread_count([&](std::size_t threads) {
+    ASSERT_TRUE(prop::bitwise_equal(frozen.forward(x, false),
+                                    manual.forward(x, false)))
+        << "threads=" << threads;
+  });
+}
+
+TEST(Freeze, FoldsBatchNormAndPlansSkips) {
+  Rng rng(303);
+  Sequential model = build_trained(rng);
+  EXPECT_FALSE(model.frozen());
+  model.freeze();
+  EXPECT_TRUE(model.frozen());
+  // Every conv gained a folded epilogue; the stack itself is untouched
+  // (indices, summaries, and state dicts must not shift).
+  std::size_t folded = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (auto* conv = dynamic_cast<gsfl::nn::Conv2d*>(&model.layer(i))) {
+      EXPECT_TRUE(conv->batchnorm_folded()) << "layer " << i;
+      ++folded;
+    }
+  }
+  EXPECT_EQ(folded, 3u);
+}
+
+TEST(Freeze, LeavesStateDictUntouched) {
+  Rng rng(304);
+  Sequential model = build_trained(rng);
+  const auto before = model.state();
+  model.freeze();
+  const auto after = model.state();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(prop::bitwise_equal(after[i], before[i])) << "entry " << i;
+  }
+}
+
+TEST(Freeze, RejectsTrainingEntryPoints) {
+  Rng rng(305);
+  Sequential model = build_trained(rng);
+  const auto state = model.state();
+  model.freeze();
+  const auto x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, -1, 1);
+
+  EXPECT_THROW((void)model.forward(x, /*train=*/true), std::invalid_argument);
+  EXPECT_THROW((void)model.backward(Tensor(Shape{2, 7})),
+               std::invalid_argument);
+  EXPECT_THROW(model.load_state(state), std::invalid_argument);
+  EXPECT_THROW((void)model.split(1), std::invalid_argument);
+  EXPECT_THROW(model.freeze(), std::invalid_argument);
+
+  Sequential trainable = build_trained(rng);
+  EXPECT_THROW((void)Sequential::concatenate(model, trainable),
+               std::invalid_argument);
+  EXPECT_THROW((void)Sequential::concatenate(trainable, model),
+               std::invalid_argument);
+}
+
+TEST(Freeze, CopyBeforeFreezeStaysTrainable) {
+  Rng rng(306);
+  Sequential model = build_trained(rng);
+  Sequential copy = model;
+  model.freeze();
+
+  const auto x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, -1, 1);
+  const auto y = copy.forward(x, /*train=*/true);
+  EXPECT_NO_THROW((void)copy.backward(Tensor::uniform(y.shape(), rng, -1, 1)));
+  EXPECT_FALSE(copy.frozen());
+}
+
+TEST(Freeze, CopyCarriesTheFrozenPlan) {
+  Rng rng(307);
+  Sequential model = build_trained(rng);
+  model.freeze();
+  Sequential copy = model;
+  EXPECT_TRUE(copy.frozen());
+
+  const auto x = Tensor::uniform(Shape{2, 3, 16, 16}, rng, -1, 1);
+  EXPECT_TRUE(prop::bitwise_equal(copy.forward(x, false),
+                                  model.forward(x, false)));
+  EXPECT_THROW((void)copy.forward(x, /*train=*/true), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// PackedOperand / gemm_packed: the persistent-panel path must be bitwise
+// identical to the re-pack-every-call gemm_raw path — same packed bytes,
+// same per-element fold — for every edge geometry, thread count, pack
+// strategy, and precision; and the Tensor::version() key its consumers use
+// must move exactly when the data can have changed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gsfl/tensor/gemm.hpp"
+#include "support/property.hpp"
+
+namespace {
+
+namespace prop = gsfl::test::prop;
+using gsfl::tensor::GemmPrecision;
+using gsfl::tensor::PackedOperand;
+using gsfl::tensor::Shape;
+using gsfl::tensor::Tensor;
+using gsfl::tensor::Trans;
+
+/// gemm_raw vs gemm_packed on the same operands; returns both outputs.
+struct Pair {
+  std::vector<float> raw;
+  std::vector<float> packed;
+};
+
+Pair run_pair(std::size_t m, std::size_t k, std::size_t n,
+              const std::vector<float>& a, const std::vector<float>& b,
+              const gsfl::tensor::micro::Epilogue& ep,
+              GemmPrecision precision) {
+  Pair out{std::vector<float>(m * n), std::vector<float>(m * n)};
+  gsfl::tensor::gemm_raw(m, k, n, 1.0f, a.data(), Trans::kNo, b.data(),
+                         Trans::kNo, 0.0f, out.raw.data(), ep, precision);
+  PackedOperand pb;
+  pb.pack_b(b.data(), Trans::kNo, k, n);
+  if (precision == GemmPrecision::kInt8) {
+    pb.pack_b_q8(b.data(), Trans::kNo, k, n);
+  }
+  gsfl::tensor::gemm_packed(m, k, n, 1.0f, a.data(), Trans::kNo, pb, 0.0f,
+                            out.packed.data(), ep, precision);
+  return out;
+}
+
+TEST(PackedGemm, MatchesGemmRawOnEdgeGeometries) {
+  for (const auto& c : prop::edge_gemm_cases()) {
+    const auto a = prop::random_matrix(c.m, c.k, 0xA000 + c.m * 131 + c.n);
+    const auto b = prop::random_matrix(c.k, c.n, 0xB000 + c.m * 131 + c.n);
+    const auto pair = run_pair(c.m, c.k, c.n, a, b, {}, GemmPrecision::kF32);
+    ASSERT_TRUE(prop::bitwise_equal(pair.packed, pair.raw))
+        << "m=" << c.m << " k=" << c.k << " n=" << c.n;
+  }
+}
+
+TEST(PackedGemm, BitwiseInvariantAcrossThreadsAndStrategies) {
+  // Big enough to cross the parallel cutoff in both split directions:
+  // wide-n (column split over strip groups) and tall-m (row split).
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{16, 256, 640}, {320, 96, 48}};
+  for (const auto& s : shapes) {
+    const auto a = prop::random_matrix(s.m, s.k, 0xC0FE);
+    const auto b = prop::random_matrix(s.k, s.n, 0xD0FE);
+    const std::vector<float> bias = prop::random_matrix(1, s.n, 0xE0FE);
+    const gsfl::tensor::micro::Epilogue ep{
+        .kind = gsfl::tensor::micro::Epilogue::Kind::kBiasRelu,
+        .per_row = false,
+        .bias = bias.data()};
+    std::vector<float> baseline;
+    prop::for_each_thread_count([&](std::size_t threads) {
+      prop::for_each_pack_strategy([&](gsfl::tensor::PackStrategy strategy) {
+        const auto pair =
+            run_pair(s.m, s.k, s.n, a, b, ep, GemmPrecision::kF32);
+        ASSERT_TRUE(prop::bitwise_equal(pair.packed, pair.raw))
+            << s.m << "x" << s.k << "x" << s.n << " threads=" << threads
+            << " strategy=" << prop::pack_strategy_name(strategy);
+        if (baseline.empty()) baseline = pair.packed;
+        ASSERT_TRUE(prop::bitwise_equal(pair.packed, baseline))
+            << "cross-config divergence at threads=" << threads;
+      });
+    });
+  }
+}
+
+TEST(PackedGemm, Int8MatchesGemmRawInt8) {
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{7, 33, 19}, {16, 256, 640}, {320, 96, 48}};
+  for (const auto& s : shapes) {
+    const auto a = prop::random_matrix(s.m, s.k, 0x1111);
+    const auto b = prop::random_matrix(s.k, s.n, 0x2222);
+    prop::for_each_thread_count([&](std::size_t threads) {
+      const auto pair =
+          run_pair(s.m, s.k, s.n, a, b, {}, GemmPrecision::kInt8);
+      ASSERT_TRUE(prop::bitwise_equal(pair.packed, pair.raw))
+          << s.m << "x" << s.k << "x" << s.n << " threads=" << threads;
+    });
+  }
+}
+
+TEST(PackedGemm, PackATranposeMatchesDenseWeightUse) {
+  // The Dense consumer packs Wᵀ (trans kYes): op(B) = transpose of the
+  // stored (out × in) weight. Equivalent to packing the materialized
+  // transpose with trans kNo.
+  const std::size_t in = 37;
+  const std::size_t out = 21;
+  const auto w = prop::random_matrix(out, in, 0x3333);
+  const auto wt = prop::transposed(w, out, in);
+  const auto x = prop::random_matrix(5, in, 0x4444);
+
+  PackedOperand via_trans;
+  via_trans.pack_b(w.data(), Trans::kYes, in, out);
+  PackedOperand via_copy;
+  via_copy.pack_b(wt.data(), Trans::kNo, in, out);
+
+  std::vector<float> c1(5 * out);
+  std::vector<float> c2(5 * out);
+  gsfl::tensor::gemm_packed(5, in, out, 1.0f, x.data(), Trans::kNo,
+                            via_trans, 0.0f, c1.data(), {});
+  gsfl::tensor::gemm_packed(5, in, out, 1.0f, x.data(), Trans::kNo, via_copy,
+                            0.0f, c2.data(), {});
+  EXPECT_TRUE(prop::bitwise_equal(std::span<const float>(c1),
+                                  std::span<const float>(c2)));
+}
+
+// ---- the version key the persistent-pack consumers rely on ----------------
+
+TEST(TensorVersion, MutationsBumpTheCounter) {
+  Tensor t(Shape{2, 3});
+  const auto v0 = std::as_const(t).version();
+  (void)std::as_const(t).data();   // const read: no bump
+  (void)std::as_const(t).at(0);
+  EXPECT_EQ(std::as_const(t).version(), v0);
+
+  (void)t.data();                  // mutable access: bump
+  EXPECT_GT(std::as_const(t).version(), v0);
+
+  const auto v1 = std::as_const(t).version();
+  t.fill(1.0f);
+  t.at(0) = 2.0f;
+  t.scale_(0.5f);
+  EXPECT_GT(std::as_const(t).version(), v1);
+}
+
+TEST(TensorVersion, AssignmentBumpsDestination) {
+  Tensor a(Shape{4});
+  Tensor b(Shape{4});
+  b.fill(3.0f);
+  const auto va = std::as_const(a).version();
+  a = b;
+  EXPECT_GT(std::as_const(a).version(), va);
+  const auto va2 = std::as_const(a).version();
+  a = Tensor(Shape{2});
+  EXPECT_GT(std::as_const(a).version(), va2);
+}
+
+}  // namespace
