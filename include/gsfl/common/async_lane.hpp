@@ -34,7 +34,6 @@
 #include <functional>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <type_traits>
@@ -42,6 +41,8 @@
 #include <vector>
 
 #include "gsfl/common/expect.hpp"
+#include "gsfl/common/mutex.hpp"
+#include "gsfl/common/thread_annotations.hpp"
 
 namespace gsfl::common {
 
@@ -58,14 +59,18 @@ struct TaskCore {
   std::uint64_t id = 0;
   AsyncLane* lane = nullptr;
 
-  std::mutex mutex;
+  Mutex mutex;
   std::condition_variable cv;
-  Stage stage = Stage::kBlocked;
-  std::size_t pending_deps = 0;
-  std::function<void()> run;          ///< moved out at claim time
-  std::exception_ptr dep_error;       ///< first failed dependency's error
-  std::exception_ptr error;           ///< this task's outcome error
-  std::vector<std::function<void(const std::exception_ptr&)>> continuations;
+  Stage stage GSFL_GUARDED_BY(mutex) = Stage::kBlocked;
+  std::size_t pending_deps GSFL_GUARDED_BY(mutex) = 0;
+  /// Moved out at claim time.
+  std::function<void()> run GSFL_GUARDED_BY(mutex);
+  /// First failed dependency's error.
+  std::exception_ptr dep_error GSFL_GUARDED_BY(mutex);
+  /// This task's outcome error.
+  std::exception_ptr error GSFL_GUARDED_BY(mutex);
+  std::vector<std::function<void(const std::exception_ptr&)>> continuations
+      GSFL_GUARDED_BY(mutex);
 
   /// Mark done with `err` (nullptr = success), wake waiters, fire
   /// continuations (outside the lock).
@@ -81,6 +86,10 @@ struct TaskCore {
 
 template <typename T>
 struct TaskState : TaskCore {
+  /// Deliberately not GSFL_GUARDED_BY(mutex): the producing task writes it
+  /// before complete() publishes kDone, and consumers read it only after
+  /// observing completion (wait_done or a dependency edge) — ordered by the
+  /// mutex hand-off in complete()/on_complete(), never accessed concurrently.
   std::optional<T> value;
 };
 
@@ -120,7 +129,7 @@ class TaskFuture {
   /// True once the task completed (successfully or with an error).
   [[nodiscard]] bool ready() const {
     GSFL_EXPECT(state_ != nullptr);
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     return state_->stage == lane_detail::TaskCore::Stage::kDone;
   }
 
@@ -176,10 +185,10 @@ class AsyncLane {
     auto state = std::make_shared<lane_detail::TaskState<R>>();
     state->id = next_id();
     state->lane = this;
-    state->run = [state, fn = std::move(fn)]() mutable {
+    auto body = [state, fn = std::move(fn)]() mutable {
       std::exception_ptr err;
       {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         err = state->dep_error;
       }
       if (!err) {
@@ -195,6 +204,13 @@ class AsyncLane {
       }
       state->complete(err);
     };
+    {
+      // No contention yet (the task is unpublished until attach), but run is
+      // guarded state: take the lock so the write is visible to whichever
+      // thread claims the task, and provable to the thread-safety analysis.
+      MutexLock lock(state->mutex);
+      state->run = std::move(body);
+    }
     attach(state, deps);
     return TaskFuture<R>(std::move(state));
   }

@@ -1,0 +1,66 @@
+// Capability-annotated lock types.
+//
+// libstdc++'s std::mutex carries no Clang capability attributes, so code
+// locking it directly is invisible to -Wthread-safety. Mutex wraps
+// std::mutex as a GSFL_CAPABILITY and MutexLock replaces both
+// std::lock_guard (plain critical sections) and std::unique_lock
+// (condition-variable waits, via wait()), so every critical section in the
+// concurrency runtime is a scope the analysis can see. Zero overhead: both
+// are inline forwarding shells around exactly the std types they replace.
+//
+// Condition variables stay std::condition_variable — MutexLock::wait()
+// hands it the wrapped std::unique_lock. The analysis treats the capability
+// as held across the wait, matching the caller-visible contract (the lock
+// is reacquired before wait returns).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "gsfl/common/thread_annotations.hpp"
+
+namespace gsfl::common {
+
+class GSFL_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GSFL_ACQUIRE() { mutex_.lock(); }
+  void unlock() GSFL_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() GSFL_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII critical section over a Mutex; the one lock type the runtime uses
+/// for both lock_guard-style sections and condition-variable waits.
+class GSFL_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) GSFL_ACQUIRE(mutex)
+      : lock_(mutex.mutex_) {}
+  ~MutexLock() GSFL_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Wait on `cv`, releasing the mutex while parked and reacquiring before
+  /// returning — std::condition_variable::wait on the wrapped lock.
+  void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  template <typename Predicate>
+  void wait(std::condition_variable& cv, Predicate predicate) {
+    cv.wait(lock_, std::move(predicate));
+  }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace gsfl::common

@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis attribute shim.
+//
+// The macros expand to Clang's capability attributes when the compiler
+// supports them (clang with -Wthread-safety) and to nothing everywhere
+// else, so GCC builds see plain declarations. They let the compiler prove
+// the lock discipline the concurrency headers document in prose: a field
+// declared GSFL_GUARDED_BY(mutex) is a compile error to touch without the
+// mutex held, a function declared GSFL_REQUIRES(mutex) is a compile error
+// to call without it, and a GSFL_SCOPED_CAPABILITY RAII type tells the
+// analysis exactly which region holds what.
+//
+// Names and semantics follow the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); the annotated
+// lock types that give these attributes a libstdc++-portable anchor live in
+// mutex.hpp. CI builds with -Wthread-safety -Werror (the
+// thread-safety-warnings leg), so a violated annotation fails the build.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GSFL_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define GSFL_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define GSFL_CAPABILITY(x) GSFL_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define GSFL_SCOPED_CAPABILITY \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GSFL_GUARDED_BY(x) GSFL_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define GSFL_PT_GUARDED_BY(x) \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed capabilities.
+#define GSFL_REQUIRES(...) \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and returns holding them.
+#define GSFL_ACQUIRE(...) \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define GSFL_RELEASE(...) \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capabilities iff it returns `result`.
+#define GSFL_TRY_ACQUIRE(result, ...) \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed capabilities
+/// (deadlock guard for self-locking entry points).
+#define GSFL_EXCLUDES(...) \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Documented lock-ordering edge: this capability is acquired after `x`.
+#define GSFL_ACQUIRED_AFTER(...) \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis. Every use must carry a one-line rationale at the site.
+#define GSFL_NO_THREAD_SAFETY_ANALYSIS \
+  GSFL_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -21,6 +21,14 @@
 //     parallel_for fetches the buffer before the region, tasks access it
 //     under the rule in parentheses, and the issuer reads it after the
 //     join. Nothing else may touch that key while the region runs.
+//
+// Thread-safety analysis: Workspace carries no GSFL_GUARDED_BY annotations
+// on purpose. There is no mutex to name — isolation is structural
+// (thread_local arenas), and the one cross-thread window, the slice()
+// double-buffer handoff to pack-ahead lane tasks, is ordered by the pack
+// future's completion (the TaskCore mutex hand-off), which Clang's analysis
+// cannot express. The TSan leg (GSFL_SANITIZE=thread) is the checker for
+// this handoff; see docs/TSAN.md.
 #pragma once
 
 #include <cstddef>

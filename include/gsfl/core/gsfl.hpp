@@ -115,6 +115,11 @@ class GsflTrainer final : public schemes::Trainer {
   GroupAssignment groups_;
   nn::Sequential global_client_;
   nn::Sequential global_server_;
+  /// state_bytes() of global_client_, cached at construction. Shapes never
+  /// change, and the pipelined submit path must not read the live model: a
+  /// previous round's publish task may still be load_state()-ing it (only
+  /// the compute tasks are gated on that publish, not submission itself).
+  std::size_t client_model_bytes_cached_ = 0;
   std::vector<data::BatchSampler> samplers_;  ///< one per client, persistent
   std::vector<sim::LatencyBreakdown> last_group_chains_;
   std::vector<double> group_shares_;

@@ -38,6 +38,11 @@ class FedAvgTrainer final : public Trainer {
       const common::TaskHandle& start, const common::TaskHandle& release);
 
   nn::Sequential global_;
+  /// state_bytes() of global_, cached at construction. Shapes never change,
+  /// and the pipelined submit path must not read the live model: a previous
+  /// round's publish task may still be load_state()-ing it (only the compute
+  /// tasks are gated on that publish, not submission itself).
+  std::size_t model_bytes_ = 0;
   std::vector<data::BatchSampler> samplers_;  ///< one per client, persistent
 };
 

@@ -43,6 +43,11 @@ class SplitFedTrainer final : public Trainer {
   std::size_t cut_layer_;
   nn::Sequential global_client_;  ///< aggregated client-side model
   nn::Sequential global_server_;  ///< aggregated server-side model
+  /// state_bytes() of global_client_, cached at construction. Shapes never
+  /// change, and the pipelined submit path must not read the live model: a
+  /// previous round's publish task may still be load_state()-ing it (only
+  /// the compute tasks are gated on that publish, not submission itself).
+  std::size_t client_model_bytes_ = 0;
   std::vector<data::BatchSampler> samplers_;
 };
 

@@ -4,6 +4,8 @@
 #include <deque>
 #include <thread>
 
+#include "gsfl/common/mutex.hpp"
+#include "gsfl/common/thread_annotations.hpp"
 #include "gsfl/common/thread_pool.hpp"
 
 namespace gsfl::common {
@@ -13,7 +15,7 @@ namespace lane_detail {
 void TaskCore::complete(std::exception_ptr err) {
   std::vector<std::function<void(const std::exception_ptr&)>> fire;
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     stage = Stage::kDone;
     error = err;
     fire = std::move(continuations);
@@ -28,7 +30,7 @@ void TaskCore::complete(std::exception_ptr err) {
 void TaskCore::on_complete(std::function<void(const std::exception_ptr&)> fn) {
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (stage != Stage::kDone) {
       continuations.push_back(std::move(fn));
       return;
@@ -41,7 +43,7 @@ void TaskCore::on_complete(std::function<void(const std::exception_ptr&)> fn) {
 void TaskCore::run_if_ready(const std::shared_ptr<TaskCore>& core) {
   std::function<void()> local;
   {
-    std::lock_guard<std::mutex> lock(core->mutex);
+    MutexLock lock(core->mutex);
     if (core->stage != Stage::kReady) return;
     core->stage = Stage::kClaimed;
     // Moving the closure out breaks the state→run→state ownership cycle
@@ -53,21 +55,26 @@ void TaskCore::run_if_ready(const std::shared_ptr<TaskCore>& core) {
 }
 
 void TaskCore::wait_done() {
+  std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [&] { return stage == Stage::kDone; });
+    MutexLock lock(mutex);
+    while (stage != Stage::kDone) lock.wait(cv);
+    // Copy the outcome out under the lock: rethrowing after release reads
+    // nothing another completer could touch.
+    err = error;
   }
-  if (error) std::rethrow_exception(error);
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace lane_detail
 
 struct AsyncLane::Impl {
-  std::mutex mutex;
+  Mutex mutex;
   std::condition_variable cv;
-  std::deque<std::shared_ptr<lane_detail::TaskCore>> queue;
-  std::uint64_t next_id = 1;
-  bool stop = false;
+  std::deque<std::shared_ptr<lane_detail::TaskCore>> queue
+      GSFL_GUARDED_BY(mutex);
+  std::uint64_t next_id GSFL_GUARDED_BY(mutex) = 1;
+  bool stop GSFL_GUARDED_BY(mutex) = false;
   std::vector<std::thread> threads;
   std::atomic<std::size_t> idle{0};  ///< workers parked on an empty queue
 };
@@ -82,7 +89,7 @@ AsyncLane::AsyncLane(std::size_t workers)
     }
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(impl_->mutex);
+      MutexLock lock(impl_->mutex);
       impl_->stop = true;
     }
     impl_->cv.notify_all();
@@ -93,7 +100,7 @@ AsyncLane::AsyncLane(std::size_t workers)
 
 AsyncLane::~AsyncLane() {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->cv.notify_all();
@@ -103,7 +110,7 @@ AsyncLane::~AsyncLane() {
 }
 
 std::uint64_t AsyncLane::next_id() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   return impl_->next_id++;
 }
 
@@ -113,19 +120,24 @@ void AsyncLane::attach(const std::shared_ptr<lane_detail::TaskCore>& core,
   for (const auto& dep : deps) real += dep.valid() ? 1 : 0;
   if (real == 0) {
     {
-      std::lock_guard<std::mutex> lock(core->mutex);
+      MutexLock lock(core->mutex);
       core->stage = lane_detail::TaskCore::Stage::kReady;
     }
     enqueue(core);
     return;
   }
-  core->pending_deps = real;
+  {
+    // Unpublished until the on_complete hooks below register, but
+    // pending_deps is guarded state — write it as such.
+    MutexLock lock(core->mutex);
+    core->pending_deps = real;
+  }
   for (const auto& dep : deps) {
     if (!dep.valid()) continue;
     dep.core_->on_complete([core](const std::exception_ptr& err) {
       bool ready = false;
       {
-        std::lock_guard<std::mutex> lock(core->mutex);
+        MutexLock lock(core->mutex);
         if (err && !core->dep_error) core->dep_error = err;
         ready = --core->pending_deps == 0;
         if (ready) core->stage = lane_detail::TaskCore::Stage::kReady;
@@ -137,7 +149,7 @@ void AsyncLane::attach(const std::shared_ptr<lane_detail::TaskCore>& core,
 
 void AsyncLane::enqueue(const std::shared_ptr<lane_detail::TaskCore>& core) {
   {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MutexLock lock(impl_->mutex);
     impl_->queue.push_back(core);
   }
   impl_->cv.notify_one();
@@ -151,13 +163,12 @@ void AsyncLane::worker_main() {
   for (;;) {
     std::shared_ptr<lane_detail::TaskCore> core;
     {
-      std::unique_lock<std::mutex> lock(impl_->mutex);
+      MutexLock lock(impl_->mutex);
       // The idle count brackets only the parked wait: a worker holding a
       // task (or racing for the lock) reads as busy, which errs toward
       // keeping work on the caller — the cheap failure mode.
       impl_->idle.fetch_add(1, std::memory_order_relaxed);
-      impl_->cv.wait(lock,
-                     [&] { return impl_->stop || !impl_->queue.empty(); });
+      while (!impl_->stop && impl_->queue.empty()) lock.wait(impl_->cv);
       impl_->idle.fetch_sub(1, std::memory_order_relaxed);
       if (impl_->queue.empty()) return;  // stop && drained
       core = std::move(impl_->queue.front());
@@ -169,13 +180,14 @@ void AsyncLane::worker_main() {
 
 namespace {
 
-std::mutex g_lane_mutex;
-std::unique_ptr<AsyncLane> g_lane;  // NOLINT: intentional process singleton
+Mutex g_lane_mutex;
+std::unique_ptr<AsyncLane> g_lane  // NOLINT: intentional process singleton
+    GSFL_GUARDED_BY(g_lane_mutex);
 
 }  // namespace
 
 AsyncLane& global_lane() {
-  std::lock_guard<std::mutex> lock(g_lane_mutex);
+  MutexLock lock(g_lane_mutex);
   if (!g_lane) g_lane = std::make_unique<AsyncLane>(resolve_threads(0));
   return *g_lane;
 }

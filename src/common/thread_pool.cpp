@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "gsfl/common/expect.hpp"
+#include "gsfl/common/mutex.hpp"
+#include "gsfl/common/thread_annotations.hpp"
 
 namespace gsfl::common {
 
@@ -38,20 +39,26 @@ struct ThreadPool::Job {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
   std::atomic<bool> abort{false};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  std::mutex done_mutex;
+  Mutex error_mutex;
+  std::exception_ptr error GSFL_GUARDED_BY(error_mutex);
+  Mutex done_mutex;
   std::condition_variable done_cv;
-  bool done = false;
+  bool done GSFL_GUARDED_BY(done_mutex) = false;
+
+  /// The first chunk exception, readable once every chunk finished.
+  [[nodiscard]] std::exception_ptr take_error() {
+    MutexLock lock(error_mutex);
+    return error;
+  }
 };
 
 struct ThreadPool::Impl {
-  std::mutex wake_mutex;
+  Mutex wake_mutex;
   std::condition_variable wake_cv;
-  std::shared_ptr<Job> current_job;
-  std::uint64_t generation = 0;
-  bool stop = false;
-  std::mutex submit_mutex;  ///< serializes external parallel_for callers
+  std::shared_ptr<Job> current_job GSFL_GUARDED_BY(wake_mutex);
+  std::uint64_t generation GSFL_GUARDED_BY(wake_mutex) = 0;
+  bool stop GSFL_GUARDED_BY(wake_mutex) = false;
+  Mutex submit_mutex;  ///< serializes external parallel_for callers
   std::vector<std::thread> workers;
 };
 
@@ -70,7 +77,7 @@ ThreadPool::ThreadPool(std::size_t lanes)
     // did start, then surface the error — leaving joinable threads behind
     // would turn a resource error into std::terminate.
     {
-      std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+      MutexLock lock(impl_->wake_mutex);
       impl_->stop = true;
     }
     impl_->wake_cv.notify_all();
@@ -81,7 +88,7 @@ ThreadPool::ThreadPool(std::size_t lanes)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+    MutexLock lock(impl_->wake_mutex);
     impl_->stop = true;
   }
   impl_->wake_cv.notify_all();
@@ -110,7 +117,7 @@ void ThreadPool::run_chunks(Job& job) {
         (*job.fn)(begin, end);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(job.error_mutex);
+          MutexLock lock(job.error_mutex);
           if (!job.error) job.error = std::current_exception();
         }
         job.abort.store(true, std::memory_order_relaxed);
@@ -118,7 +125,7 @@ void ThreadPool::run_chunks(Job& job) {
     }
     if (job.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         job.num_chunks) {
-      std::lock_guard<std::mutex> lock(job.done_mutex);
+      MutexLock lock(job.done_mutex);
       job.done = true;
       job.done_cv.notify_all();
     }
@@ -131,10 +138,10 @@ void ThreadPool::worker_main() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(impl_->wake_mutex);
-      impl_->wake_cv.wait(lock, [&] {
-        return impl_->stop || impl_->generation != seen;
-      });
+      MutexLock lock(impl_->wake_mutex);
+      while (!impl_->stop && impl_->generation == seen) {
+        lock.wait(impl_->wake_cv);
+      }
       if (impl_->stop) return;
       seen = impl_->generation;
       job = impl_->current_job;
@@ -162,14 +169,14 @@ void ThreadPool::parallel_for(std::size_t grain, std::size_t n,
     return;
   }
 
-  std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+  MutexLock submit_lock(impl_->submit_mutex);
   auto job = std::make_shared<Job>();
   job->fn = &fn;
   job->n = n;
   job->chunk = chunk;
   job->num_chunks = num_chunks;
   {
-    std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+    MutexLock lock(impl_->wake_mutex);
     impl_->current_job = job;
     ++impl_->generation;
   }
@@ -178,16 +185,16 @@ void ThreadPool::parallel_for(std::size_t grain, std::size_t n,
   run_chunks(*job);  // the calling thread is a lane too
 
   {
-    std::unique_lock<std::mutex> lock(job->done_mutex);
-    job->done_cv.wait(lock, [&] { return job->done; });
+    MutexLock lock(job->done_mutex);
+    while (!job->done) lock.wait(job->done_cv);
   }
   {
     // Drop the pool's reference: job->fn points at the caller's stack and
     // must not outlive this call through impl_->current_job.
-    std::lock_guard<std::mutex> lock(impl_->wake_mutex);
+    MutexLock lock(impl_->wake_mutex);
     if (impl_->current_job == job) impl_->current_job.reset();
   }
-  if (job->error) std::rethrow_exception(job->error);
+  if (auto error = job->take_error()) std::rethrow_exception(error);
 }
 
 std::size_t resolve_threads(std::size_t requested) {
@@ -202,20 +209,21 @@ std::size_t resolve_threads(std::size_t requested) {
 
 namespace {
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;  // NOLINT: intentional process singleton
+Mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool  // NOLINT: intentional process singleton
+    GSFL_GUARDED_BY(g_pool_mutex);
 
 }  // namespace
 
 ThreadPool& global_pool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (!g_pool) g_pool = std::make_unique<ThreadPool>(resolve_threads(0));
   return *g_pool;
 }
 
 void set_global_threads(std::size_t lanes) {
   const std::size_t resolved = resolve_threads(lanes);
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (g_pool && g_pool->lanes() == resolved) return;
   GSFL_EXPECT_MSG(!ThreadPool::in_parallel_region(),
                   "cannot resize the global pool from inside parallel_for");
@@ -226,6 +234,8 @@ std::size_t global_lanes() { return global_pool().lanes(); }
 
 void global_parallel_for(std::size_t grain, std::size_t n,
                          const ThreadPool::RangeFn& fn) {
+  GSFL_EXPECT_MSG(static_cast<bool>(fn),
+                  "global_parallel_for requires a callable body");
   if (n == 0) return;
   if (tl_in_parallel) {
     fn(0, n);

@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "gsfl/common/expect.hpp"
 #include "gsfl/common/parallel_map.hpp"
 #include "gsfl/common/serial.hpp"
 #include "gsfl/nn/checkpoint.hpp"
@@ -67,6 +68,7 @@ GsflTrainer::GsflTrainer(const net::WirelessNetwork& network,
   global_server_ = std::move(tail);
   GSFL_EXPECT_MSG(!global_server_.parameters().empty(),
                   "GSFL requires a trainable server side (raise cut_layer)");
+  client_model_bytes_cached_ = global_client_.state_bytes();
   samplers_.reserve(client_data_.size());
   for (std::size_t c = 0; c < client_data_.size(); ++c) {
     samplers_.emplace_back(client_data_[c], gsfl_config_.train.batch_size,
@@ -84,7 +86,7 @@ std::size_t GsflTrainer::server_storage_bytes() const {
 }
 
 std::size_t GsflTrainer::client_model_bytes() const {
-  return global_client_.state_bytes();
+  return client_model_bytes_cached_;
 }
 
 schemes::RoundResult GsflTrainer::do_round() {
@@ -97,7 +99,7 @@ schemes::RoundResult GsflTrainer::do_round() {
   }
   schemes::RoundResult result;
   const double client_model_bytes =
-      static_cast<double>(global_client_.state_bytes());
+      static_cast<double>(client_model_bytes_cached_);
 
   std::vector<nn::StateDict> client_states;
   std::vector<nn::StateDict> server_states;
@@ -128,6 +130,9 @@ schemes::RoundResult GsflTrainer::do_round() {
   // optimizers, and its members' samplers (groups partition the clients, so
   // samplers never cross indices). The returned slots are folded in group
   // order below, keeping the round bitwise identical for any lane count.
+  GSFL_EXPECT_MSG(!groups_.empty() && group_shares_.size() == groups_.size(),
+                  "group share table must cover every group before the "
+                  "parallel round");
   auto outcomes = common::parallel_map(groups_.size(), [&](std::size_t g) {
     GroupOutcome out;
     const auto& members = groups_[g];
@@ -222,7 +227,7 @@ common::TaskFuture<schemes::RoundResult> GsflTrainer::do_submit_round(
   if (robustness_active()) return submit_round_faulty(start, release);
   const std::size_t m = groups_.size();
   const double client_model_bytes =
-      static_cast<double>(global_client_.state_bytes());
+      static_cast<double>(client_model_bytes_cached_);
 
   // Submit stage (this thread, round order): the round's entire RNG — the
   // failure draws and every available member's batch plan — is drained
@@ -361,7 +366,7 @@ common::TaskFuture<schemes::RoundResult> GsflTrainer::submit_round_faulty(
   const std::size_t m = groups_.size();
   const std::size_t n = client_data_.size();
   const double client_model_bytes =
-      static_cast<double>(global_client_.state_bytes());
+      static_cast<double>(client_model_bytes_cached_);
   const std::size_t retry_cap = network().config().channel.retry.max_attempts;
 
   // Submit stage: the round's entire RNG — legacy failure draws, the fault

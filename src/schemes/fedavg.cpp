@@ -1,5 +1,6 @@
 #include "gsfl/schemes/fedavg.hpp"
 
+#include "gsfl/common/expect.hpp"
 #include "gsfl/common/parallel_map.hpp"
 #include "gsfl/nn/checkpoint.hpp"
 #include "gsfl/nn/loss.hpp"
@@ -45,6 +46,7 @@ FedAvgTrainer::FedAvgTrainer(const net::WirelessNetwork& network,
                              nn::Sequential initial_model, TrainConfig config)
     : Trainer("FL", network, std::move(client_data), config),
       global_(std::move(initial_model)) {
+  model_bytes_ = global_.state_bytes();
   samplers_.reserve(client_data_.size());
   for (std::size_t c = 0; c < client_data_.size(); ++c) {
     samplers_.emplace_back(client_data_[c], config.batch_size,
@@ -62,7 +64,8 @@ RoundResult FedAvgTrainer::do_round() {
     return done.wait();
   }
   RoundResult result;
-  const double model_bytes = static_cast<double>(global_.state_bytes());
+  GSFL_EXPECT_MSG(num_clients() > 0, "round with no clients");
+  const double model_bytes = static_cast<double>(model_bytes_);
   const double share = 1.0 / static_cast<double>(num_clients());
 
   // Clients train concurrently in FL by definition; the simulation does
@@ -130,7 +133,7 @@ common::TaskFuture<RoundResult> FedAvgTrainer::do_submit_round(
     const common::TaskHandle& start, const common::TaskHandle& release) {
   if (robustness_active()) return submit_round_faulty(start, release);
   const std::size_t n = num_clients();
-  const double model_bytes = static_cast<double>(global_.state_bytes());
+  const double model_bytes = static_cast<double>(model_bytes_);
   const double share = 1.0 / static_cast<double>(n);
 
   // Submit stage: pre-draw local_epochs epochs of batch indices per client
@@ -207,7 +210,7 @@ common::TaskFuture<RoundResult> FedAvgTrainer::do_submit_round(
 common::TaskFuture<RoundResult> FedAvgTrainer::submit_round_faulty(
     const common::TaskHandle& start, const common::TaskHandle& release) {
   const std::size_t n = num_clients();
-  const double model_bytes = static_cast<double>(global_.state_bytes());
+  const double model_bytes = static_cast<double>(model_bytes_);
   const double share = 1.0 / static_cast<double>(n);
   const std::size_t retry_cap = network().config().channel.retry.max_attempts;
 

@@ -1,5 +1,6 @@
 #include "gsfl/schemes/splitfed.hpp"
 
+#include "gsfl/common/expect.hpp"
 #include "gsfl/common/parallel_map.hpp"
 #include "gsfl/nn/checkpoint.hpp"
 #include "gsfl/schemes/aggregate.hpp"
@@ -34,6 +35,7 @@ SplitFedTrainer::SplitFedTrainer(const net::WirelessNetwork& network,
   global_server_ = std::move(tail);
   GSFL_EXPECT_MSG(!global_server_.parameters().empty(),
                   "SFL requires a trainable server side (raise cut_layer)");
+  client_model_bytes_ = global_client_.state_bytes();
   samplers_.reserve(client_data_.size());
   for (std::size_t c = 0; c < client_data_.size(); ++c) {
     samplers_.emplace_back(client_data_[c], config.batch_size,
@@ -59,8 +61,8 @@ RoundResult SplitFedTrainer::do_round() {
     return done.wait();
   }
   RoundResult result;
-  const double client_model_bytes =
-      static_cast<double>(global_client_.state_bytes());
+  GSFL_EXPECT_MSG(num_clients() > 0, "round with no clients");
+  const double client_model_bytes = static_cast<double>(client_model_bytes_);
   const double share = 1.0 / static_cast<double>(num_clients());
 
   // Every client trains against its own server-side replica — exactly the
@@ -133,8 +135,7 @@ common::TaskFuture<RoundResult> SplitFedTrainer::do_submit_round(
     const common::TaskHandle& start, const common::TaskHandle& release) {
   if (robustness_active()) return submit_round_faulty(start, release);
   const std::size_t n = num_clients();
-  const double client_model_bytes =
-      static_cast<double>(global_client_.state_bytes());
+  const double client_model_bytes = static_cast<double>(client_model_bytes_);
   const double share = 1.0 / static_cast<double>(n);
 
   // Submit stage (this thread, round order): pre-draw every client's batch
@@ -226,8 +227,7 @@ common::TaskFuture<RoundResult> SplitFedTrainer::do_submit_round(
 common::TaskFuture<RoundResult> SplitFedTrainer::submit_round_faulty(
     const common::TaskHandle& start, const common::TaskHandle& release) {
   const std::size_t n = num_clients();
-  const double client_model_bytes =
-      static_cast<double>(global_client_.state_bytes());
+  const double client_model_bytes = static_cast<double>(client_model_bytes_);
   const double share = 1.0 / static_cast<double>(n);
   const std::size_t retry_cap = network().config().channel.retry.max_attempts;
 

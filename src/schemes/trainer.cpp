@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "gsfl/common/async_lane.hpp"
+#include "gsfl/common/expect.hpp"
 #include "gsfl/common/serial.hpp"
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/core/checkpoint.hpp"
@@ -82,6 +83,7 @@ common::TaskFuture<RoundResult> Trainer::do_submit_round(
   // Fallback for schemes without a submit/aggregate decomposition: the
   // whole barriered round runs as one aggregate-stage task. No intra-round
   // overlap, but the pipelined API (and its gating) behaves uniformly.
+  // lint: missing-precondition(no shape inputs — gates only optional handles; do_round validates its own state)
   return common::global_lane().submit_after([this] { return do_round(); },
                                             {start, release});
 }
@@ -156,6 +158,8 @@ metrics::RunRecorder run_experiment_pipelined(
     const ExperimentOptions& options, std::size_t depth,
     metrics::RunRecorder recorder, double sim_seconds,
     std::size_t first_round) {
+  GSFL_EXPECT_MSG(options.eval_every > 0 && depth > 0,
+                  "pipelined run needs eval_every >= 1 and depth >= 1");
   struct InFlight {
     std::size_t round = 0;
     RoundTicket ticket;

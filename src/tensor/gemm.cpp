@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "gsfl/common/async_lane.hpp"
+#include "gsfl/common/expect.hpp"
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/common/workspace.hpp"
 #include "gsfl/tensor/microkernel.hpp"
@@ -121,6 +122,10 @@ void pack_ahead_sweep(std::size_t rows, std::size_t cols, std::size_t k,
                                slice_floats, 0),
       common::Workspace::slice(common::Workspace::kGemmPackSlice,
                                slice_floats, 1)};
+  // The parity handoff is the whole safety argument: the lane worker writes
+  // one buffer while this thread sweeps the other.
+  GSFL_EXPECT_MSG(pb[0] != pb[1],
+                  "double-buffered pack slices must be distinct arenas");
   const auto pack_block = [&](std::size_t blk) {
     const std::size_t p0 = blk * kc_len;
     const std::size_t p1 = std::min(p0 + kc_len, k);
@@ -180,6 +185,8 @@ void gemm_raw_q8(std::size_t m, std::size_t k, std::size_t n, float alpha,
                  const float* a, Trans trans_a, const float* b, Trans trans_b,
                  float beta, float* c, const micro::Epilogue& epilogue) {
   namespace q8 = micro::q8;
+  GSFL_EXPECT_MSG(a != nullptr && b != nullptr && c != nullptr,
+                  "gemm_raw_q8 operands must be non-null");
   const bool by_columns = (n + kColGrain - 1) / kColGrain >
                           (m + kRowGrain - 1) / kRowGrain;
   const bool serial = m * n * k < kParallelMacCutoff;
@@ -446,6 +453,8 @@ void gemm_raw(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* b, Trans trans_b, float beta, float* c,
               const micro::Epilogue& epilogue) {
   if (m == 0 || n == 0) return;
+  GSFL_EXPECT_MSG(a != nullptr && b != nullptr && c != nullptr,
+                  "gemm_raw operands must be non-null");
   if (k == 0) {
     // Empty inner dimension: the product term vanishes — run the write-back
     // (beta scale + epilogue) through a zero-k macrokernel so the epilogue

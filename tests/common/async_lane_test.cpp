@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "gsfl/common/thread_pool.hpp"
+#include "gsfl/common/workspace.hpp"
 
 namespace {
 
@@ -156,6 +157,81 @@ TEST(AsyncLane, SubmittingFromInsideATaskIsSafe) {
     return inner.wait() * 2;  // helps inline if both workers are busy
   });
   EXPECT_EQ(outer.wait(), 42);
+}
+
+// Contention hammer for the help-on-wait claim path: several waiter threads
+// and the lane workers race for the same queued tasks, so the
+// kReady→kClaimed claim, the run-closure move-out, and the completion
+// hand-off all run under real contention, including many waiters on the
+// *same* future. Functionally every task must run exactly once and every
+// waiter must observe the value; under the TSan CI leg this test is the
+// regression pin for the clean help-on-wait baseline (docs/TSAN.md).
+TEST(AsyncLane, HelpOnWaitClaimRaceHammer) {
+  AsyncLane lane(2);
+  constexpr int kRounds = 25;
+  constexpr int kTasksPerRound = 32;
+  constexpr int kWaiters = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    std::atomic<int> executed{0};
+    std::vector<TaskFuture<int>> futures;
+    futures.reserve(kTasksPerRound);
+    for (int t = 0; t < kTasksPerRound; ++t) {
+      futures.push_back(lane.submit([&executed, t] {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        return t;
+      }));
+    }
+    std::vector<std::thread> waiters;
+    std::vector<long> sums(kWaiters, 0);
+    waiters.reserve(kWaiters);
+    for (int w = 0; w < kWaiters; ++w) {
+      waiters.emplace_back([&futures, &sums, w] {
+        // Every waiter waits every future — staggered start index so the
+        // help attempts interleave instead of marching in lockstep.
+        for (int i = 0; i < kTasksPerRound; ++i) {
+          sums[w] += futures[(i + w * 7) % kTasksPerRound].wait();
+        }
+      });
+    }
+    for (auto& thread : waiters) thread.join();
+    EXPECT_EQ(executed.load(), kTasksPerRound);
+    const long expected = kTasksPerRound * (kTasksPerRound - 1) / 2;
+    for (int w = 0; w < kWaiters; ++w) EXPECT_EQ(sums[w], expected);
+  }
+}
+
+// The Workspace::slice double-buffer handoff exactly as pack_ahead_sweep
+// uses it: the issuing thread fetches both parity buffers up front, a lane
+// task fills the other parity while this thread works the current one, and
+// the pack future's completion orders the reader after the writer. The
+// sum checks catch a torn or stale buffer; TSan checks the ordering claim.
+TEST(AsyncLane, SliceDoubleBufferHandoffHammer) {
+  using gsfl::common::Workspace;
+  AsyncLane lane(2);
+  constexpr std::size_t kFloats = 1024;
+  constexpr int kBlocks = 64;
+  float* const pb[2] = {
+      Workspace::slice(Workspace::kGemmPackSlice, kFloats, 0),
+      Workspace::slice(Workspace::kGemmPackSlice, kFloats, 1)};
+  ASSERT_NE(pb[0], pb[1]);
+  const auto fill = [&](int blk) {
+    float* buffer = pb[blk & 1];
+    for (std::size_t i = 0; i < kFloats; ++i) {
+      buffer[i] = static_cast<float>(blk);
+    }
+  };
+  fill(0);
+  TaskFuture<void> pending;
+  for (int blk = 0; blk < kBlocks; ++blk) {
+    if (blk > 0) pending.wait();  // block blk's buffer is ready
+    if (blk + 1 < kBlocks) {
+      pending = lane.submit([&fill, next = blk + 1] { fill(next); });
+    }
+    const float* buffer = pb[blk & 1];
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kFloats; ++i) sum += buffer[i];
+    EXPECT_EQ(sum, static_cast<double>(blk) * kFloats);
+  }
 }
 
 TEST(AsyncLane, ManyTasksStress) {

@@ -1,0 +1,386 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint_concurrency.py.
+
+Each fixture is a minimal C++ snippet that must trigger exactly the check it
+names (and nothing else), plus clean exemplars lifted from the house style —
+OrderedStateFold-style index folds, pre-drawn plan_epoch RNG — that must stay
+silent, and suppression round-trips proving the annotation syntax works and
+that malformed annotations are themselves findings.
+
+Runs standalone (python3 tests/tools/lint_concurrency_test.py) and as the
+lint_concurrency_selftest ctest.
+"""
+
+import os
+import sys
+import unittest
+
+REPO = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+import lint_concurrency as lint  # noqa: E402
+
+
+def run(snippet, path="src/sample.cpp"):
+    """Lint one snippet; returns the surviving findings."""
+    findings = lint.lint_file_tokens(path, snippet)
+    findings, bad = lint.apply_suppressions(snippet, path, findings)
+    return findings + bad
+
+
+def checks(findings):
+    return sorted({f.check for f in findings})
+
+
+class StripTest(unittest.TestCase):
+    def test_strings_and_comments_blanked_offsets_preserved(self):
+        text = 'int x; // rand()\nconst char* s = "rand()";\n/* now() */\n'
+        code = lint.strip_comments_and_strings(text)
+        self.assertEqual(len(code), len(text))
+        self.assertNotIn("rand", code)
+        self.assertNotIn("now", code)
+        self.assertEqual(code.count("\n"), text.count("\n"))
+
+    def test_raw_string_blanked(self):
+        text = 'auto s = R"(rand() inside)";\n'
+        self.assertNotIn("rand", lint.strip_comments_and_strings(text))
+
+
+class D1SubmitTimeRngTest(unittest.TestCase):
+    def test_random_device_in_parallel_lambda(self):
+        findings = run("""
+void f() {
+  GSFL_EXPECT(n > 0);
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) {
+    std::random_device rd;
+    use(rd());
+  });
+}
+""")
+        self.assertEqual(checks(findings), ["submit-time-rng"])
+
+    def test_clock_now_in_submitted_task(self):
+        findings = run("""
+void f() {
+  GSFL_EXPECT(ok);
+  lane.submit([&] {
+    auto t = std::chrono::steady_clock::now();
+    use(t);
+  });
+}
+""")
+        self.assertEqual(checks(findings), ["submit-time-rng"])
+
+    def test_rng_constructed_inside_lambda(self):
+        findings = run("""
+void f() {
+  GSFL_EXPECT(n > 0);
+  parallel_map(n, [&](std::size_t c) {
+    common::Rng rng(seed + c);
+    return rng.next();
+  });
+}
+""")
+        self.assertIn("submit-time-rng", checks(findings))
+
+    def test_predrawn_plan_epoch_is_clean(self):
+        # The house idiom: randomness drawn on the submitting thread, in
+        # round order, before the dispatch; the lambda reads plans[c].
+        findings = run("""
+void f() {
+  std::vector<Plan> plans;
+  for (std::size_t c = 0; c < n; ++c) plans.push_back(plan_epoch(rng_));
+  GSFL_EXPECT(plans.size() == n);
+  auto outcomes = parallel_map(n, [&](std::size_t c) {
+    return run_epoch(plans[c]);
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_index_owned_sampler_is_clean(self):
+        # samplers_[c].next() draws from the index-owned stream — allowed.
+        findings = run("""
+void f() {
+  GSFL_EXPECT(n > 0);
+  auto outcomes = parallel_map(n, [&](std::size_t c) {
+    Outcome out;
+    out.batch = samplers_[c].next();
+    return out;
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+
+class D2OrderedWriteTest(unittest.TestCase):
+    def test_mutating_data_on_ref_capture(self):
+        findings = run("""
+void f(Tensor& grad) {
+  GSFL_EXPECT(n > 0);
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) {
+    float* p = grad.data().data();
+    p[b] = 1.0f;
+  });
+}
+""")
+        self.assertEqual(checks(findings), ["ordered-write"])
+
+    def test_as_const_read_is_clean(self):
+        findings = run("""
+void f(const Tensor& x) {
+  GSFL_EXPECT(n > 0);
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) {
+    const float* p = std::as_const(x).data().data();
+    use(p[b]);
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_lambda_local_tensor_is_clean(self):
+        findings = run("""
+void f() {
+  GSFL_EXPECT(n > 0);
+  parallel_map(n, [&](std::size_t c) {
+    Tensor local = make_tensor();
+    local.data()[0] = 1.0f;
+    return local;
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_by_value_capture_is_clean(self):
+        findings = run("""
+void f(Tensor grad) {
+  GSFL_EXPECT(n > 0);
+  parallel_for(1, n, [grad](std::size_t b, std::size_t e) mutable {
+    grad.data()[b] = 1.0f;
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_suppression_round_trip(self):
+        findings = run("""
+void f(Tensor& grad) {
+  GSFL_EXPECT(n > 0);
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) {
+    // lint: ordered-write(each chunk writes its own disjoint row range)
+    grad.data()[b] = 1.0f;
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+
+class D3OrderedFoldTest(unittest.TestCase):
+    def test_accumulate_into_captured_state(self):
+        findings = run("""
+void f() {
+  double loss = 0.0;
+  GSFL_EXPECT(n > 0);
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) {
+    loss += compute(b, e);
+  });
+}
+""")
+        self.assertEqual(checks(findings), ["ordered-fold"])
+
+    def test_lambda_local_outcome_is_clean(self):
+        # The OrderedStateFold shape: accumulate into the index-owned slot,
+        # fold after the join in index order.
+        findings = run("""
+void f() {
+  GSFL_EXPECT(n > 0);
+  auto outcomes = parallel_map(n, [&](std::size_t c) {
+    Outcome out;
+    out.chain.downlink += network().downlink_seconds(c);
+    return out;
+  });
+  double total = 0.0;
+  for (const auto& out : outcomes) total += out.chain.downlink;
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_induction_sliced_write_is_clean(self):
+        # gb[c] += acc with c a lambda-local loop var: a disjoint slice write.
+        findings = run("""
+void f(float* gb) {
+  GSFL_EXPECT(n > 0);
+  parallel_for(1, n, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      float acc = compute(c);
+      gb[c] += acc;
+    }
+  });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_unordered_map_iteration(self):
+        findings = run("""
+void f() {
+  std::unordered_map<int, double> by_client;
+  double total = 0.0;
+  for (const auto& kv : by_client) total += kv.second;
+}
+""")
+        self.assertEqual(checks(findings), ["ordered-fold"])
+
+    def test_ordered_map_iteration_is_clean(self):
+        findings = run("""
+void f() {
+  std::map<int, double> by_client;
+  double total = 0.0;
+  for (const auto& kv : by_client) total += kv.second;
+}
+""")
+        self.assertEqual(findings, [])
+
+
+class D4HotPathMutexTest(unittest.TestCase):
+    def test_lock_in_microkernel_file(self):
+        findings = run("""
+void sweep() {
+  std::mutex m;
+  std::lock_guard<std::mutex> lock(m);
+}
+""", path="src/tensor/microkernel_avx.cpp")
+        self.assertEqual(checks(findings), ["hot-path-mutex"])
+
+    def test_gemm_file_is_covered(self):
+        findings = run("void f() { impl_->mutex.lock(); }",
+                       path="src/tensor/gemm.cpp")
+        self.assertEqual(checks(findings), ["hot-path-mutex"])
+
+    def test_same_tokens_outside_hot_path_are_clean(self):
+        findings = run("""
+void f() {
+  std::mutex m;
+  std::lock_guard<std::mutex> lock(m);
+}
+""", path="src/common/thread_pool.cpp")
+        self.assertEqual(findings, [])
+
+
+class D5MissingPreconditionTest(unittest.TestCase):
+    def test_unguarded_dispatch(self):
+        findings = run("""
+void f(std::size_t n) {
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) { work(b, e); });
+}
+""")
+        self.assertEqual(checks(findings), ["missing-precondition"])
+
+    def test_expect_before_dispatch_is_clean(self):
+        findings = run("""
+void f(std::size_t n) {
+  GSFL_EXPECT_MSG(n > 0, "empty range");
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) { work(b, e); });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_static_assert_counts(self):
+        findings = run("""
+template <typename Fn>
+void f(std::size_t n, Fn fn) {
+  static_assert(std::is_invocable_v<Fn&, std::size_t>);
+  parallel_map(n, [&](std::size_t c) { return fn(c); });
+}
+""")
+        self.assertEqual(findings, [])
+
+    def test_expect_after_dispatch_does_not_count(self):
+        findings = run("""
+void f(std::size_t n) {
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) { work(b, e); });
+  GSFL_EXPECT(n > 0);
+}
+""")
+        self.assertEqual(checks(findings), ["missing-precondition"])
+
+    def test_suppression_round_trip(self):
+        findings = run("""
+void f() {
+  // lint: missing-precondition(no shape inputs; body validates at run time)
+  lane.submit([&] { work(); });
+}
+""")
+        self.assertEqual(findings, [])
+
+
+class NamedLambdaTest(unittest.TestCase):
+    def test_named_lambda_passed_to_dispatch_is_checked(self):
+        # rows_task-style: defined as a variable, dispatched later.
+        findings = run("""
+void f() {
+  double acc = 0.0;
+  const auto rows_task = [&](std::size_t r0, std::size_t r1) {
+    acc += sweep(r0, r1);
+  };
+  GSFL_EXPECT(m > 0);
+  global_parallel_for(kRowGrain, m, rows_task);
+}
+""")
+        self.assertEqual(checks(findings), ["ordered-fold"])
+
+    def test_unreferenced_lambda_is_not_checked(self):
+        findings = run("""
+void f() {
+  double acc = 0.0;
+  const auto serial_task = [&](std::size_t r0, std::size_t r1) {
+    acc += sweep(r0, r1);  // runs inline on this thread: ordering is fine
+  };
+  serial_task(0, m);
+}
+""")
+        self.assertEqual(findings, [])
+
+
+class SuppressionSyntaxTest(unittest.TestCase):
+    def test_unknown_check_name_is_reported(self):
+        findings = run("void f() {\n  // lint: no-such-check(whatever)\n}\n")
+        self.assertEqual(checks(findings), ["bad-suppression"])
+
+    def test_missing_reason_is_reported(self):
+        findings = run("void f() {\n  // lint: ordered-write()\n}\n")
+        self.assertEqual(checks(findings), ["bad-suppression"])
+
+    def test_suppression_only_silences_its_own_check(self):
+        findings = run("""
+void f() {
+  double loss = 0.0;
+  GSFL_EXPECT(n > 0);
+  parallel_for(1, n, [&](std::size_t b, std::size_t e) {
+    // lint: ordered-write(wrong check name for this finding)
+    loss += compute(b, e);
+  });
+}
+""")
+        self.assertEqual(checks(findings), ["ordered-fold"])
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repository_is_clean(self):
+        # The tree itself must lint clean; registered separately as the
+        # lint_concurrency_tree ctest, asserted here too so a standalone
+        # run of this file gives the full verdict.
+        rc = lint.main(["--engine=tokens",
+                        os.path.join(REPO, "include"),
+                        os.path.join(REPO, "src")])
+        self.assertEqual(rc, 0)
+
+    def test_list_checks(self):
+        self.assertEqual(lint.main(["--list-checks"]), 0)
+
+    def test_unknown_check_flag_is_usage_error(self):
+        self.assertEqual(lint.main(["--check=bogus"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,759 @@
+#!/usr/bin/env python3
+"""Static lint for the GSFL concurrency determinism contract.
+
+Every perf layer in this repo (pipelined rounds, pack-ahead packing, int8
+GEMM, frozen serving) rests on the contract documented in
+docs/architecture.md and docs/parallelism.md: round RNG is pre-drawn at
+submission in round order, folds walk outcomes in index order, parallel
+lambdas write only index-owned state, and the GEMM hot path never blocks.
+This tool makes those house rules machine-checked instead of
+convention-checked. The check catalog (with one real before/after per rule)
+lives in docs/static-analysis.md.
+
+Checks (named, individually suppressible):
+
+  D1 submit-time-rng      No Rng construction, std::random_device, rand()/
+                          srand(), or std::chrono::*_clock::now() inside a
+                          lambda passed to parallel_for / global_parallel_for
+                          / parallel_map / AsyncLane::submit* /
+                          submit_round_graph. Round randomness must be drawn
+                          by the submitting thread, in round order; clocks
+                          are nondeterministic inputs by definition.
+                          (Per-index RNG owned by the lambda's index — e.g.
+                          samplers_[c].next() — is the documented exception
+                          and is not flagged: the stream is addressed by
+                          index, not by schedule.)
+
+  D2 ordered-write        No mutating Tensor access (.data() / .at*()) on a
+                          by-reference capture inside a parallel lambda.
+                          data() bumps the tensor version counter (PR 8) and
+                          can invalidate shared packed panels mid-eval; reads
+                          must go through std::as_const, and true ordered
+                          writes must carry // lint: ordered-write(<reason>).
+
+  D3 ordered-fold         Accumulation must be index-ordered: flags range-for
+                          iteration over std::unordered_map/set variables
+                          (iteration order is unspecified — any fold over it
+                          drifts across platforms), and compound assignment
+                          (+=, -=, ...) into captured state inside a parallel
+                          lambda unless the write is sliced by a loop
+                          variable local to the lambda (disjoint index-owned
+                          writes are the house idiom).
+
+  D4 hot-path-mutex       No mutex types or .lock() calls in the microkernel
+                          / GEMM / im2col / quantize hot-path files. A lock
+                          on the panel sweep serializes lanes behind a cache
+                          miss; hot paths coordinate by data ownership only.
+
+  D5 missing-precondition Every parallel dispatch site must be preceded, in
+                          an enclosing function, by at least one
+                          GSFL_EXPECT / GSFL_ENSURE / static_assert guard:
+                          a parallel region built on an unchecked shape or
+                          count turns a caller bug into a data race instead
+                          of an exception on the submitting thread.
+
+Suppression: a finding is silenced by an inline annotation on the same line
+or the line directly above:
+
+    // lint: <check-name>(<reason>)
+
+The reason is mandatory — a bare name is reported as bad-suppression. The
+annotation doubles as the authorization D2 requires for true ordered writes.
+
+Engines: --engine=clang parses with libclang (python3-clang) when available;
+--engine=tokens is the dependency-free regex/brace engine; --engine=auto
+(default) prefers libclang and falls back. CI pins --engine=tokens so
+findings never depend on the runner's clang packaging.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+CHECKS = {
+    "submit-time-rng": "D1",
+    "ordered-write": "D2",
+    "ordered-fold": "D3",
+    "hot-path-mutex": "D4",
+    "missing-precondition": "D5",
+}
+
+# Call names whose lambda arguments execute on pool/lane threads.
+DISPATCH_NAMES = (
+    "global_parallel_for",
+    "parallel_for",
+    "parallel_map",
+    "submit_after",
+    "submit",
+    "submit_round_graph",
+)
+
+# Files that are the compute hot path: locks are banned outright (D4).
+HOT_PATH_PATTERN = re.compile(
+    r"tensor/(microkernel|gemm|im2col|quantize)[^/]*$"
+)
+
+SUPPRESS_RE = re.compile(
+    r"//\s*lint:\s*([\w-]+)\s*\(\s*([^)]*?)\s*\)"
+)
+
+PRECONDITION_RE = re.compile(
+    r"\b(?:GSFL_EXPECT(?:_MSG)?|GSFL_ENSURE(?:_MSG)?|static_assert)\s*\("
+)
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    check: str
+    message: str
+
+    @property
+    def rule(self) -> str:
+        return CHECKS.get(self.check, "??")
+
+
+@dataclass
+class Lambda:
+    """One lambda literal: capture list, parameter list, and body span."""
+
+    capture: str
+    params: str
+    body_begin: int  # offset of '{'
+    body_end: int  # offset one past '}'
+
+
+@dataclass
+class SourceFile:
+    path: str
+    text: str  # raw contents
+    code: str = ""  # comments/strings blanked, offsets preserved
+    line_starts: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.code = strip_comments_and_strings(self.text)
+        self.line_starts = [0]
+        for i, ch in enumerate(self.text):
+            if ch == "\n":
+                self.line_starts.append(i + 1)
+
+    def line_of(self, offset: int) -> int:
+        """1-based line number containing `offset`."""
+        lo, hi = 0, len(self.line_starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.line_starts[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving offsets
+    (every replaced character becomes a space; newlines survive)."""
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif ch == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif ch == '"':
+            # Raw strings: R"delim( ... )delim"
+            if i > 0 and text[i - 1] == "R":
+                m = re.match(r'"([^(\s]*)\(', text[i:])
+                if m:
+                    closer = ")" + m.group(1) + '"'
+                    end = text.find(closer, i)
+                    end = (end + len(closer)) if end != -1 else n
+                    for j in range(i, end):
+                        if text[j] != "\n":
+                            out[j] = " "
+                    i = end
+                    continue
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                if i < n:
+                    if text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+            i += 1
+        elif ch == "'":
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                if i < n:
+                    out[i] = " "
+                    i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_forward(code: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Offset one past the bracket matching code[start] (which must be
+    open_ch). Returns -1 when unbalanced."""
+    depth = 0
+    for i in range(start, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def parse_lambda_at(code: str, bracket: int) -> Lambda | None:
+    """Parse a lambda literal whose capture list starts at `bracket`."""
+    cap_end = match_forward(code, bracket, "[", "]")
+    if cap_end == -1:
+        return None
+    capture = code[bracket + 1:cap_end - 1]
+    i = cap_end
+    while i < len(code) and code[i].isspace():
+        i += 1
+    params = ""
+    if i < len(code) and code[i] == "(":
+        par_end = match_forward(code, i, "(", ")")
+        if par_end == -1:
+            return None
+        params = code[i + 1:par_end - 1]
+        i = par_end
+    # Skip specifiers / trailing return type up to the body brace. A
+    # trailing return may name templated types; no braces appear before the
+    # body in well-formed code we care about.
+    while i < len(code) and code[i] != "{":
+        if code[i] == ";":
+            return None  # declaration like `int x[3];` — not a lambda
+        i += 1
+    if i >= len(code):
+        return None
+    body_end = match_forward(code, i, "{", "}")
+    if body_end == -1:
+        return None
+    return Lambda(capture=capture, params=params, body_begin=i,
+                  body_end=body_end)
+
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def lambda_starts_in(code: str, begin: int, end: int) -> list:
+    """Offsets of '[' tokens that begin lambda literals inside
+    code[begin:end] — a '[' whose previous non-space char is one of
+    ( , { = : ; & or the span start."""
+    starts = []
+    i = begin
+    while i < end:
+        if code[i] == "[":
+            j = i - 1
+            while j >= begin and code[j].isspace():
+                j -= 1
+            prev = code[j] if j >= begin else "("
+            if prev in "(,{=:;&|":
+                starts.append(i)
+                closed = match_forward(code, i, "[", "]")
+                i = closed if closed != -1 else i + 1
+                continue
+        i += 1
+    return starts
+
+
+def named_lambdas(code: str) -> dict:
+    """name -> Lambda for `auto name = [...] ... {...};` definitions."""
+    out = {}
+    for m in re.finditer(r"\bauto\s+(\w+)\s*=\s*\[", code):
+        lam = parse_lambda_at(code, m.end() - 1)
+        if lam is not None:
+            out[m.group(1)] = lam
+    return out
+
+
+@dataclass
+class Dispatch:
+    """One parallel dispatch call site."""
+
+    name: str
+    offset: int  # offset of the call name
+    args_begin: int
+    args_end: int
+
+
+def find_dispatches(code: str) -> list:
+    out = []
+    for name in DISPATCH_NAMES:
+        for m in re.finditer(r"\b" + name + r"\s*\(", code):
+            # `.submit(` and `.submit_after(` are AsyncLane methods; the bare
+            # names also appear as Trainer::submit_round etc. — require the
+            # exact name, which the \b handles, but skip definitions
+            # (`auto submit(` / `void submit(`): a definition is preceded by
+            # a type token, a call by . -> :: ( , = & or statement start.
+            j = m.start() - 1
+            while j >= 0 and code[j].isspace():
+                j -= 1
+            prev = code[j] if j >= 0 else ";"
+            if name in ("submit", "submit_after") and prev not in ".:>":
+                continue  # method call only (x.submit / lane->submit / ::)
+            if prev.isalnum() or prev == "_":
+                continue  # `void parallel_for(` definition / declaration
+            open_paren = m.end() - 1
+            close = match_forward(code, open_paren, "(", ")")
+            if close == -1:
+                continue
+            out.append(Dispatch(name=name, offset=m.start(),
+                                args_begin=open_paren + 1,
+                                args_end=close - 1))
+    out.sort(key=lambda d: d.offset)
+    return out
+
+
+# --- declaration heuristics -------------------------------------------------
+
+
+def body_locals(body: str, params: str) -> set:
+    """Names declared inside a lambda body or its parameter list (regex
+    heuristic: good enough for the house style the lint enforces)."""
+    names = set()
+    for m in re.finditer(r"(\w+)\s*(?:,|$|\))", params):
+        names.add(m.group(1))
+    # `Type name =`, `Type name;`, `Type name(`, `Type name{`: a word (or
+    # template/pointer/ref tail) followed by a plain identifier.
+    decl = re.compile(
+        r"[\w>\]&*]\s+[&*]?(\w+)\s*(?:=(?!=)|;|\{|\()")
+    for m in decl.finditer(body):
+        names.add(m.group(1))
+    # structured bindings: auto [a, b] = ...
+    for m in re.finditer(r"\bauto\s*&?\s*\[([^\]]*)\]", body):
+        for name in re.findall(r"\w+", m.group(1)):
+            names.add(name)
+    # range-for: for (const auto& x : ...)
+    for m in re.finditer(r"for\s*\(\s*(?:const\s+)?[\w:<>,\s*&\[\]]*?"
+                         r"[&*\s](\w+)\s*[:=]", body):
+        names.add(m.group(1))
+    return names
+
+
+def loop_vars(body: str) -> set:
+    """Induction variables of for-loops inside the body — indexing a
+    captured pointer by one of these is the disjoint-slice idiom."""
+    out = set()
+    for m in re.finditer(r"for\s*\(\s*(?:const\s+)?[\w:<>\s]*?[\s&*](\w+)"
+                         r"\s*=\s*[^;]*;", body):
+        out.add(m.group(1))
+    for m in re.finditer(r"for\s*\(\s*(?:const\s+)?[\w:<>,\s*&]*?[\s&*](\w+)"
+                         r"\s*:\s*", body):
+        out.add(m.group(1))
+    return out
+
+
+def capture_is_by_ref(capture: str, name: str) -> bool:
+    """Whether `name` reaches the lambda by reference: an explicit &name
+    capture, or a default [&] capture that does not shadow it by value."""
+    entries = [e.strip() for e in capture.split(",") if e.strip()]
+    default_ref = any(e == "&" for e in entries)
+    for e in entries:
+        if e == "&" + name:
+            return True
+        if re.fullmatch(rf"{re.escape(name)}(\s*=.*)?", e):
+            return False  # by-value (possibly init-capture)
+    return default_ref
+
+
+# --- the checks -------------------------------------------------------------
+
+D1_PATTERNS = (
+    (re.compile(r"\bstd::random_device\b|\brandom_device\s+\w"),
+     "std::random_device inside a parallel lambda"),
+    (re.compile(r"(?<![\w.])s?rand\s*\("),
+     "rand()/srand() inside a parallel lambda"),
+    (re.compile(r"\b\w*_clock\s*::\s*now\s*\("),
+     "std::chrono clock read inside a parallel lambda"),
+    (re.compile(r"\bRng\b\s*\w*\s*[({]"),
+     "Rng constructed inside a parallel lambda"),
+    (re.compile(r"\.\s*fork\s*\("),
+     "RNG stream forked inside a parallel lambda"),
+)
+
+
+def check_lambda_body(src: SourceFile, lam: Lambda,
+                      findings: list) -> None:
+    body = src.code[lam.body_begin:lam.body_end]
+    base = lam.body_begin
+
+    # D1: submit-time RNG / clock reads.
+    for pattern, what in D1_PATTERNS:
+        for m in pattern.finditer(body):
+            findings.append(Finding(
+                src.path, src.line_of(base + m.start()), "submit-time-rng",
+                f"{what} — pre-draw round RNG (and timestamps) on the "
+                "submitting thread, in round order"))
+
+    locals_ = body_locals(body, lam.params)
+    inductions = loop_vars(body)
+
+    # D2: mutating Tensor access on a by-reference capture.
+    for m in re.finditer(r"\b(\w+)\s*(?:\.|->)\s*(data|at\w*)\s*\(", body):
+        name, method = m.group(1), m.group(2)
+        if name in locals_:
+            continue
+        # std::as_const(x).data() is the sanctioned read path.
+        prefix = body[max(0, m.start() - 64):m.start()]
+        if re.search(r"as_const\s*\(\s*$", prefix):
+            continue
+        if re.search(rf"as_const\s*\(\s*{re.escape(name)}\s*\)\s*$", prefix):
+            continue
+        if not capture_is_by_ref(lam.capture, name):
+            continue
+        findings.append(Finding(
+            src.path, src.line_of(base + m.start()), "ordered-write",
+            f"non-const Tensor::{method}() on by-reference capture "
+            f"'{name}' inside a parallel lambda — it bumps the version "
+            "counter and can invalidate shared packed panels; read through "
+            "std::as_const or annotate // lint: ordered-write(<reason>)"))
+
+    # D3b: compound assignment into captured state.
+    for m in re.finditer(
+            r"(?:^|[;{}])\s*((?:\w+(?:\s*(?:\.|->)\s*\w+)*"
+            r"(?:\s*\[[^\]]*\])?)+)\s*"
+            r"(\+=|-=|\*=|/=|\|=|&=|\^=)", body):
+        lhs = m.group(1)
+        root = IDENT_RE.match(lhs.strip())
+        if root is None:
+            continue
+        name = root.group(0)
+        if name in locals_:
+            continue
+        if not capture_is_by_ref(lam.capture, name):
+            continue
+        index = re.search(r"\[([^\]]*)\]", lhs)
+        if index and any(v in inductions
+                         for v in re.findall(r"\w+", index.group(1))):
+            continue  # disjoint slice write indexed by a body-local loop var
+        findings.append(Finding(
+            src.path, src.line_of(base + m.start(1)), "ordered-fold",
+            f"'{m.group(2)}' into captured state '{name}' inside a parallel "
+            "lambda — accumulate into an index-owned outcome slot and fold "
+            "in index order after the join"))
+
+
+def check_unordered_iteration(src: SourceFile, findings: list) -> None:
+    """D3a: range-for over std::unordered_map/set variables."""
+    containers = set()
+    for m in re.finditer(
+            r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s*&?\s*"
+            r"(\w+)\s*[;={(]", src.code):
+        containers.add(m.group(1))
+    if not containers:
+        return
+    for m in re.finditer(r"for\s*\([^();]*:\s*&?(\w+)\s*\)", src.code):
+        if m.group(1) in containers:
+            findings.append(Finding(
+                src.path, src.line_of(m.start()), "ordered-fold",
+                f"iteration over unordered container '{m.group(1)}' — "
+                "iteration order is unspecified, so any fold over it is not "
+                "reproducible; iterate a sorted index instead"))
+
+
+def check_hot_path_mutex(src: SourceFile, findings: list) -> None:
+    if not HOT_PATH_PATTERN.search(src.path.replace(os.sep, "/")):
+        return
+    for m in re.finditer(
+            r"\bstd::(?:mutex|recursive_mutex|shared_mutex|lock_guard|"
+            r"unique_lock|scoped_lock|shared_lock)\b"
+            r"|\bMutexLock\b|(?<!\bgsfl::common::)\bMutex\b"
+            r"|\.\s*lock\s*\(\s*\)", src.code):
+        findings.append(Finding(
+            src.path, src.line_of(m.start()), "hot-path-mutex",
+            "lock primitive in a GEMM/microkernel hot-path file — hot paths "
+            "coordinate by data ownership (Workspace keys, index-owned "
+            "writes), never by blocking"))
+
+
+def function_body_spans(code: str) -> list:
+    """(begin, end) offset pairs of every `) ... {` body — functions and
+    lambdas alike; D5 passes if ANY enclosing span holds a guard before the
+    dispatch, so over-collection is safe."""
+    spans = []
+    for m in re.finditer(
+            r"\)\s*(?:const\b|noexcept\b|override\b|mutable\b|"
+            r"->\s*[\w:<>,&*\s]+?)*\s*\{", code):
+        begin = m.end() - 1
+        end = match_forward(code, begin, "{", "}")
+        if end != -1:
+            spans.append((begin, end))
+    return spans
+
+
+def check_preconditions(src: SourceFile, dispatches: list,
+                        findings: list) -> None:
+    spans = function_body_spans(src.code)
+    for d in dispatches:
+        enclosing = [s for s in spans if s[0] < d.offset <= s[1]]
+        if not enclosing:
+            continue  # file-scope macro oddity; nothing to anchor to
+        ok = any(PRECONDITION_RE.search(src.code[b:d.offset])
+                 for b, _ in enclosing)
+        if not ok:
+            findings.append(Finding(
+                src.path, src.line_of(d.offset), "missing-precondition",
+                f"parallel dispatch '{d.name}' with no GSFL_EXPECT/"
+                "GSFL_ENSURE/static_assert guard earlier in the enclosing "
+                "function — validate shapes and counts on the submitting "
+                "thread, where the failure is an exception, not a race"))
+
+
+# --- engines ----------------------------------------------------------------
+
+
+def lint_file_tokens(path: str, text: str) -> list:
+    src = SourceFile(path=path, text=text)
+    findings: list = []
+
+    dispatches = find_dispatches(src.code)
+    named = named_lambdas(src.code)
+
+    seen_bodies = set()
+    for d in dispatches:
+        # Lambda literals directly in the argument list.
+        for off in lambda_starts_in(src.code, d.args_begin, d.args_end):
+            lam = parse_lambda_at(src.code, off)
+            if lam and lam.body_begin not in seen_bodies:
+                seen_bodies.add(lam.body_begin)
+                check_lambda_body(src, lam, findings)
+        # Named lambdas referenced by identifier (possibly via std::move).
+        for m in IDENT_RE.finditer(src.code[d.args_begin:d.args_end]):
+            lam = named.get(m.group(0))
+            if lam and lam.body_begin not in seen_bodies:
+                seen_bodies.add(lam.body_begin)
+                check_lambda_body(src, lam, findings)
+
+    check_unordered_iteration(src, findings)
+    check_hot_path_mutex(src, findings)
+    check_preconditions(src, dispatches, findings)
+    return findings
+
+
+def try_libclang():
+    """Return a configured clang.cindex module, or None."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def lint_file_clang(cindex, path: str, text: str) -> list:
+    """libclang engine: same checks, with real AST spans for lambdas.
+
+    The AST is used to locate lambda bodies passed (directly or through a
+    variable) to dispatch calls; the per-body checks are shared with the
+    token engine so both engines agree on what a violation is.
+    """
+    src = SourceFile(path=path, text=text)
+    findings: list = []
+
+    index = cindex.Index.create()
+    tu = index.parse(path, args=["-std=c++20", "-Iinclude"],
+                     unsaved_files=[(path, text)],
+                     options=cindex.TranslationUnit.PARSE_INCOMPLETE)
+
+    lambda_bodies = []
+
+    def offset_of(loc) -> int:
+        return loc.offset
+
+    def visit(node, inside_dispatch: bool) -> None:
+        is_dispatch = False
+        if node.kind == cindex.CursorKind.CALL_EXPR and \
+                node.spelling in DISPATCH_NAMES:
+            is_dispatch = True
+        if node.kind == cindex.CursorKind.LAMBDA_EXPR and inside_dispatch:
+            ext = node.extent
+            lambda_bodies.append((offset_of(ext.start), offset_of(ext.end)))
+        for child in node.get_children():
+            visit(child, inside_dispatch or is_dispatch)
+
+    visit(tu.cursor, False)
+
+    seen = set()
+    for begin, _end in lambda_bodies:
+        bracket = src.code.find("[", begin)
+        if bracket == -1:
+            continue
+        lam = parse_lambda_at(src.code, bracket)
+        if lam and lam.body_begin not in seen:
+            seen.add(lam.body_begin)
+            check_lambda_body(src, lam, findings)
+
+    dispatches = find_dispatches(src.code)
+    check_unordered_iteration(src, findings)
+    check_hot_path_mutex(src, findings)
+    check_preconditions(src, dispatches, findings)
+    return findings
+
+
+# --- suppression + reporting ------------------------------------------------
+
+
+def apply_suppressions(text: str, path: str,
+                       findings: list) -> tuple:
+    """Drop findings annotated // lint: <check>(<reason>); malformed or
+    unknown annotations become bad-suppression findings."""
+    lines = text.splitlines()
+    suppressed_checks: dict = {}
+    extra: list = []
+    for i, line in enumerate(lines, start=1):
+        for m in SUPPRESS_RE.finditer(line):
+            check, reason = m.group(1), m.group(2).strip()
+            if check not in CHECKS:
+                extra.append(Finding(
+                    path, i, "bad-suppression",
+                    f"unknown check '{check}' in lint suppression — one of: "
+                    + ", ".join(sorted(CHECKS))))
+                continue
+            if not reason:
+                extra.append(Finding(
+                    path, i, "bad-suppression",
+                    f"suppression for '{check}' has no reason — write "
+                    f"// lint: {check}(<why this site is safe>)"))
+                continue
+            suppressed_checks.setdefault(check, set()).update({i, i + 1})
+    kept = [f for f in findings
+            if f.line not in suppressed_checks.get(f.check, set())]
+    return kept, extra
+
+
+def emit(finding: Finding, ci: bool) -> None:
+    title = f"{finding.rule} {finding.check}"
+    if ci:
+        # GitHub Actions annotation: surfaces inline on the PR diff.
+        message = finding.message.replace("\n", " ")
+        print(f"::error file={finding.path},line={finding.line},"
+              f"title={title}::{message}")
+    else:
+        print(f"{finding.path}:{finding.line}: [{title}] {finding.message}")
+
+
+def collect_files(paths: list) -> list:
+    exts = (".hpp", ".cpp", ".h", ".cc", ".cxx", ".hxx")
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, _dirs, names in os.walk(p):
+                for name in sorted(names):
+                    if name.endswith(exts):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(p)
+    return sorted(files)
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(
+        description="GSFL determinism-contract concurrency lint "
+                    "(checks D1-D5; see docs/static-analysis.md)")
+    parser.add_argument("paths", nargs="*", default=["include", "src"],
+                        help="files or directories to lint "
+                             "(default: include src)")
+    parser.add_argument("--ci", action="store_true",
+                        help="emit GitHub Actions ::error annotations")
+    parser.add_argument("--check", default="",
+                        help="comma-separated subset of checks to run")
+    parser.add_argument("--engine", choices=("auto", "clang", "tokens"),
+                        default="auto",
+                        help="parser engine (auto prefers libclang)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="print the check catalog and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for name, rule in sorted(CHECKS.items(), key=lambda kv: kv[1]):
+            print(f"{rule}  {name}")
+        return 0
+
+    wanted = set(CHECKS)
+    if args.check:
+        wanted = {c.strip() for c in args.check.split(",") if c.strip()}
+        unknown = wanted - set(CHECKS)
+        if unknown:
+            print(f"unknown check(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    cindex = None
+    if args.engine in ("auto", "clang"):
+        cindex = try_libclang()
+        if cindex is None and args.engine == "clang":
+            print("libclang (python3-clang) not available", file=sys.stderr)
+            return 2
+
+    paths = args.paths if args.paths else ["include", "src"]
+    try:
+        files = collect_files(paths)
+    except FileNotFoundError as err:
+        print(f"no such file or directory: {err}", file=sys.stderr)
+        return 2
+
+    total = 0
+    for path in files:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as handle:
+                text = handle.read()
+        except OSError as err:
+            print(f"cannot read {path}: {err}", file=sys.stderr)
+            return 2
+        if cindex is not None:
+            findings = lint_file_clang(cindex, path, text)
+        else:
+            findings = lint_file_tokens(path, text)
+        findings = [f for f in findings if f.check in wanted]
+        findings, bad = apply_suppressions(text, path, findings)
+        findings.extend(bad)
+        findings.sort(key=lambda f: (f.line, f.check))
+        for finding in findings:
+            emit(finding, args.ci)
+        total += len(findings)
+
+    if total:
+        print(f"\nlint_concurrency: {total} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
