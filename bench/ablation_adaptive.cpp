@@ -1,0 +1,162 @@
+// E10 — adaptive-controller ablation: static GSFL vs the per-round
+// cut/bandwidth controller on a heterogeneous straggler world.
+//
+// The world is deliberately lopsided: half the fleet sits near the AP with
+// phone-class compute, the other half is far away with IoT-class compute,
+// and contiguous grouping turns that into fast and slow groups sharing the
+// band. The static baseline keeps the configured cut layer and equal
+// per-group bandwidth shares for the whole run; the adaptive runs attach a
+// schemes::AdaptiveController (greedy / paper / bandit), which re-picks the
+// cut from each round's observed latency split and re-balances shares
+// toward equal group radio time.
+//
+// Cut moves and share moves change *where* time is spent, never the model
+// math: every run trains bitwise-identical weights, so the accuracy curve
+// is shared and "wall-clock to target accuracy" reduces to the simulated
+// seconds at the shared target round. The bench verifies that invariant and
+// exits nonzero if the curves ever diverge.
+//
+// BENCH_adaptive.json conventions (BenchJson rows):
+//   - "gsfl_straggler static": seconds = simulated time to the target
+//     accuracy (or the full-run total if the round budget is too small to
+//     get there), speedup = 1.0 (the baseline row).
+//   - "gsfl_straggler adaptive-<policy>": same seconds metric, speedup =
+//     static seconds / policy seconds.
+//   - "gsfl_straggler adaptive-vs-static": the guarded row — speedup is
+//     the greedy policy's ratio (floor in bench_floors.json).
+//
+//   $ ./ablation_adaptive [--rounds=N] [--full] [--csv=DIR] ...
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "gsfl/schemes/adaptive.hpp"
+#include "gsfl/schemes/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gsfl;
+  const auto options = bench::BenchOptions::parse(argc, argv,
+                                                  /*default_rounds=*/40,
+                                                  /*full_rounds=*/200);
+  bench::print_header("E10: adaptive controller on a straggler world",
+                      options.config);
+  bench::BenchJson json;
+
+  // The straggler fleet: reuse the experiment's data/model/seeds but
+  // rebuild the radio population lopsided — near half phone-class, far
+  // half weak IoT-class. Contiguous grouping then yields whole fast and
+  // whole slow groups, the regime where a single static cut and equal
+  // shares leave the most time on the table.
+  const core::Experiment probe(options.config);
+  std::vector<net::DeviceProfile> devices;
+  for (std::size_t c = 0; c < options.config.num_clients; ++c) {
+    auto profile = probe.network().client(c);
+    const bool near = c < options.config.num_clients / 2;
+    profile.distance_m = near ? 20.0 : 250.0;
+    profile.tx_power_dbm = near ? 23.0 : 14.0;
+    profile.compute_flops = near ? 4e9 : 1e9;
+    devices.push_back(profile);
+  }
+  const net::WirelessNetwork network(options.config.network, devices);
+
+  schemes::ExperimentOptions run;
+  run.rounds = options.rounds;
+  run.eval_every = 1;  // time-to-target needs the full accuracy curve
+
+  const auto run_world =
+      [&](const std::optional<schemes::AdaptivePolicy> policy) {
+        core::GsflConfig gsfl_config;
+        gsfl_config.num_groups = options.config.num_groups;
+        gsfl_config.cut_layer = options.config.cut_layer;
+        gsfl_config.grouping = core::GroupingPolicy::kContiguous;
+        gsfl_config.train = options.config.train;
+        core::GsflTrainer trainer(network, probe.client_data(),
+                                  probe.initial_model(), gsfl_config);
+        if (policy) {
+          schemes::AdaptiveConfig adaptive_config;
+          adaptive_config.policy = *policy;
+          trainer.set_adaptive(
+              std::make_shared<schemes::AdaptiveController>(adaptive_config));
+        }
+        auto recorder = schemes::run_experiment(trainer, probe.test_set(), run);
+        return std::pair{std::move(recorder), trainer.cut_layer()};
+      };
+
+  const auto [static_run, static_cut] = run_world(std::nullopt);
+
+  // Target: the static run's own best smoothed accuracy, backed off a
+  // touch so short smoke runs (CI uses the default round budget) still
+  // cross it with a few rounds to spare. All runs share one curve, so any
+  // target below the shared ceiling compares the same convergence point.
+  const double target = static_run.best_accuracy() * 0.95;
+  const auto seconds_to_target = [&](const metrics::RunRecorder& recorder) {
+    const auto seconds = recorder.seconds_to_accuracy(target, 2);
+    return seconds ? *seconds : recorder.last().sim_seconds;
+  };
+  const double static_seconds = seconds_to_target(static_run);
+
+  std::printf("target accuracy: %.1f%% (static best %.1f%%)\n\n",
+              target * 100.0, static_run.best_accuracy() * 100.0);
+  std::printf("%-10s %12s %16s %12s %10s\n", "policy", "final_acc%",
+              "time_to_target_s", "total_sim_s", "speedup");
+  std::printf("%-10s %12.1f %16.2f %12.2f %9.2fx\n", "static",
+              static_run.final_accuracy() * 100.0, static_seconds,
+              static_run.last().sim_seconds, 1.0);
+  json.add("gsfl_straggler static", 1, static_seconds, 1.0);
+
+  double greedy_speedup = 0.0;
+  bool curves_match = true;
+  const schemes::AdaptivePolicy policies[] = {schemes::AdaptivePolicy::kGreedy,
+                                              schemes::AdaptivePolicy::kPaper,
+                                              schemes::AdaptivePolicy::kBandit};
+  for (const auto policy : policies) {
+    const auto [recorder, final_cut] = run_world(policy);
+    const double seconds = seconds_to_target(recorder);
+    const double speedup = static_seconds / seconds;
+    if (policy == schemes::AdaptivePolicy::kGreedy) greedy_speedup = speedup;
+
+    // The invariant the timing comparison rests on: controller decisions
+    // move latency, not weights, so every run's accuracy curve is the
+    // static run's curve, round for round.
+    for (std::size_t i = 0; i < recorder.records().size(); ++i) {
+      if (recorder.records()[i].eval_accuracy !=
+          static_run.records()[i].eval_accuracy) {
+        curves_match = false;
+      }
+    }
+
+    const std::string name = schemes::to_string(policy);
+    std::printf("%-10s %12.1f %16.2f %12.2f %9.2fx  (final cut %zu)\n",
+                name.c_str(), recorder.final_accuracy() * 100.0, seconds,
+                recorder.last().sim_seconds, speedup, final_cut);
+    json.add("gsfl_straggler adaptive-" + name, 1, seconds, speedup);
+    bench::maybe_write_csv(options.csv_dir, "ablation_adaptive_" + name + ".csv",
+                           recorder);
+  }
+  bench::maybe_write_csv(options.csv_dir, "ablation_adaptive_static.csv",
+                         static_run);
+
+  // Guarded summary row (floor in bench_floors.json): greedy is the
+  // deterministic workhorse policy, so it carries the gate.
+  json.add("gsfl_straggler adaptive-vs-static", 1, static_seconds,
+           greedy_speedup);
+  std::printf("\nadaptive (greedy) vs static wall-clock to %.1f%%: %.2fx\n",
+              target * 100.0, greedy_speedup);
+  std::cout << "notes:\n"
+               "  - static keeps cut layer "
+            << static_cut
+            << " and equal shares; adaptive re-picks both per round\n"
+               "  - all runs train bitwise-identical weights (cut and share "
+               "moves change latency only)\n";
+  if (!curves_match) {
+    std::cerr << "FAIL: adaptive accuracy curve diverged from static — "
+                 "controller decisions must not touch the model math\n";
+    return 1;
+  }
+
+  json.write("BENCH_adaptive.json");
+  return 0;
+}

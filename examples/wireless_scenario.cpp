@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 
 #include "gsfl/common/cli.hpp"
 #include "gsfl/core/checkpoint.hpp"
@@ -49,6 +50,10 @@ int main(int argc, char** argv) {
         << "                 whatever has arrived (default: wait for all)\n"
         << "  --quorum=Q     fraction of groups whose report closes the\n"
         << "                 round, in (0,1] (default 1.0 = full barrier)\n"
+        << "  --adaptive=P   per-round cut/bandwidth controller: off, greedy,\n"
+        << "                 paper, or bandit (default off). Re-picks the cut\n"
+        << "                 layer and re-balances group shares from each\n"
+        << "                 round's observed latency (see docs/adaptive.md)\n"
         << "  --checkpoint-dir=DIR\n"
         << "                 write a resumable experiment checkpoint\n"
         << "                 (<scheme>_round_<r>.gsflx) after every round\n"
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
   const double deadline =
       args.double_or("deadline", std::numeric_limits<double>::infinity());
   const double quorum = args.double_or("quorum", 1.0);
+  const std::string adaptive = args.value_or("adaptive", "off");
   const std::string checkpoint_dir = args.value_or("checkpoint-dir", "");
 
   // --- the fleet: 9 devices in three tiers ---
@@ -124,6 +130,25 @@ int main(int argc, char** argv) {
   gsfl_config.train.round_policy.quorum_fraction = quorum;
   core::GsflTrainer trainer(network, client_data, model, gsfl_config);
 
+  std::shared_ptr<schemes::AdaptiveController> controller;
+  if (adaptive != "off") {
+    const auto policy = schemes::parse_adaptive_policy(adaptive);
+    if (!policy) {
+      std::cerr << "unknown --adaptive policy '" << adaptive
+                << "' (want off, greedy, paper, or bandit)\n";
+      return 1;
+    }
+    schemes::AdaptiveConfig adaptive_config;
+    adaptive_config.policy = *policy;
+    controller =
+        std::make_shared<schemes::AdaptiveController>(adaptive_config);
+    trainer.set_adaptive(controller);
+    std::cout << "adaptive controller: " << schemes::to_string(*policy)
+              << ", " << controller->candidates().size()
+              << " candidate cuts, starting at layer " << trainer.cut_layer()
+              << "\n";
+  }
+
   std::cout << "channel: "
             << (fading ? "rayleigh fading, redrawn per round" : "static")
             << "\n";
@@ -176,6 +201,16 @@ int main(int argc, char** argv) {
       if (record.fault == sim::FaultKind::kNone) continue;
       std::cout << "  client " << record.client << ": "
                 << to_string(record.fault) << '\n';
+    }
+    if (controller) {
+      const auto& decision = controller->last_decision();
+      std::cout << "  adaptive: cut " << trainer.cut_layer()
+                << (decision.changed ? " (moved)" : " (kept)")
+                << (decision.explored ? ", explored" : "") << ", shares";
+      for (const double share : trainer.group_shares()) {
+        std::cout << ' ' << share;
+      }
+      std::cout << '\n';
     }
     if (!checkpoint_dir.empty()) {
       core::save_experiment_checkpoint_file(

@@ -103,7 +103,24 @@ class GsflTrainer final : public schemes::Trainer {
   void do_save_state(std::ostream& out) const override;
   void do_load_state(std::istream& in) override;
 
+  /// Adaptive-controller surface (docs/adaptive.md): enumerate the cuts of
+  /// the reassembled global model, and apply decisions by re-splitting the
+  /// live halves (parameters carry over bitwise) then re-balancing shares
+  /// against the new cut's cost vector.
+  [[nodiscard]] std::vector<schemes::CutCost> enumerate_cut_costs()
+      const override;
+  void apply_adaptive_decision(const schemes::AdaptiveDecision& decision)
+      override;
+  [[nodiscard]] std::size_t adaptive_cut() const override {
+    return gsfl_config_.cut_layer;
+  }
+
  private:
+  /// Move the live model's cut (no-op when unchanged): concatenate the
+  /// halves, split at `cut`, refresh the cached client-model bytes. Runs
+  /// only in the post-publish slot (decision task / barriered run_round /
+  /// do_load_state), never concurrent with a round's compute.
+  void apply_cut(std::size_t cut);
   /// The fault-injected / policy-closed round graph (see docs/robustness.md).
   /// Faults are per client; a broken link anywhere in a group's sequential
   /// relay chain takes the whole group out for the round (kCascade for the

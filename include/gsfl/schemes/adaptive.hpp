@@ -1,0 +1,146 @@
+// AdaptiveController: online cut-layer and bandwidth-share decisions.
+//
+// The paper picks the split point and the per-group resource shares *per
+// deployment*; follow-up work (ASFL, Xu et al. — see PAPERS.md) re-picks
+// both *per round* from observed timings. This controller is that loop: a
+// trainer hands it one observation per round — the published round's
+// LatencyBreakdown plus the cut it trained at — and gets back a decision:
+// which cut the next round should train at and whether to re-balance the
+// bandwidth shares.
+//
+// Determinism contract (pinned by the Adaptive* property tests): decide()
+// is a pure function of (config, candidate table, observation history).
+// Its only random ingredient — the bandit's ε-exploration — is drawn from
+// a fresh round-keyed stream, Rng(seed).fork(round + 1), never from a
+// persistent engine, so a decision replayed after checkpoint/resume, at
+// any pipeline depth, or on any thread is bitwise the one the barriered
+// loop makes. Trainers call decide() exactly once per round, in round
+// order, from the round's publish chain.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gsfl/nn/split.hpp"
+#include "gsfl/sim/breakdown.hpp"
+
+namespace gsfl::schemes {
+
+enum class AdaptivePolicy {
+  kGreedy,  ///< rate-model argmin over enumerated cuts, every round
+  kPaper,   ///< the paper's heuristic: min wire bytes under a device-flops cap
+  kBandit,  ///< ε-greedy over cuts, reward = −round latency
+};
+
+[[nodiscard]] const char* to_string(AdaptivePolicy policy);
+/// Parse "greedy" / "paper" / "bandit" (as spelled by --adaptive=).
+[[nodiscard]] std::optional<AdaptivePolicy> parse_adaptive_policy(
+    std::string_view name);
+
+/// Per-batch cost profile of one candidate cut, from nn::SplitModel
+/// enumeration (flops are forward + backward).
+struct CutCost {
+  std::size_t cut = 0;
+  double client_flops = 0.0;
+  double server_flops = 0.0;
+  double smashed_bytes = 0.0;       ///< one cut-layer exchange on the air
+  double client_state_bytes = 0.0;  ///< client-side model on the air
+};
+
+struct AdaptiveConfig {
+  AdaptivePolicy policy = AdaptivePolicy::kGreedy;
+  /// Seeds the round-keyed exploration stream (bandit only).
+  std::uint64_t seed = 0xADA7;
+  /// Bandit exploration probability, in [0, 1).
+  double epsilon = 0.1;
+  /// Candidate cuts outside [min_cut, max_cut] are dropped from the table.
+  std::size_t min_cut = 1;
+  std::size_t max_cut = std::numeric_limits<std::size_t>::max();
+  /// kPaper: device-side flops cap as a fraction of the full model's flops.
+  double paper_compute_budget = 0.25;
+};
+
+/// What a trainer reports after a round publishes: the latency the round
+/// actually cost and the cut it trained at.
+struct AdaptiveObservation {
+  std::size_t round = 0;  ///< 0-based index of the round observed
+  std::size_t cut = 0;
+  sim::LatencyBreakdown latency;
+};
+
+struct AdaptiveDecision {
+  std::size_t cut = 0;      ///< cut the next round should train at
+  bool changed = false;     ///< cut differs from the observed round's
+  bool rebalance = false;   ///< re-balance bandwidth shares now
+  bool explored = false;    ///< bandit ε-exploration round
+};
+
+class AdaptiveController {
+ public:
+  explicit AdaptiveController(AdaptiveConfig config = {});
+
+  /// Install the scheme's enumerated cut-cost table (Trainer::set_adaptive
+  /// does this). Cuts outside [min_cut, max_cut] are filtered out; an empty
+  /// table (e.g. FL has no cut) pins every decision to "keep".
+  void set_candidates(std::vector<CutCost> table);
+  [[nodiscard]] const std::vector<CutCost>& candidates() const {
+    return candidates_;
+  }
+  [[nodiscard]] const AdaptiveConfig& config() const { return config_; }
+
+  /// Consume round `obs.round`'s outcome and decide for the next round.
+  /// Must be called once per round, in round order (the bandit's arm
+  /// statistics advance here).
+  [[nodiscard]] AdaptiveDecision decide(const AdaptiveObservation& obs);
+
+  /// Most recent decision (default-constructed before the first decide).
+  [[nodiscard]] const AdaptiveDecision& last_decision() const { return last_; }
+
+  /// Rounds observed so far (== bandit updates applied).
+  [[nodiscard]] std::size_t rounds_observed() const { return observed_; }
+
+  /// The greedy policy's latency model for one candidate, given the
+  /// observed round: per-unit rates are fitted to the observed cut's cost
+  /// row and extrapolated to `candidate`. Exposed so tests can pin the
+  /// argmin independently.
+  [[nodiscard]] double score_cut(const CutCost& candidate,
+                                 const AdaptiveObservation& obs) const;
+
+  /// Mutable decision state (bandit arm statistics + observation counter),
+  /// for trainer checkpoints. Greedy/paper carry no state but still
+  /// round-trip the counter.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+
+ private:
+  [[nodiscard]] const CutCost* cost_for(std::size_t cut) const;
+  [[nodiscard]] AdaptiveDecision decide_greedy(const AdaptiveObservation& obs);
+  [[nodiscard]] AdaptiveDecision decide_paper(const AdaptiveObservation& obs);
+  [[nodiscard]] AdaptiveDecision decide_bandit(const AdaptiveObservation& obs);
+
+  AdaptiveConfig config_;
+  std::vector<CutCost> candidates_;  ///< filtered, ascending by cut
+  std::vector<CutCost> all_costs_;   ///< unfiltered (rates need the live cut)
+  std::vector<std::uint64_t> arm_pulls_;  ///< bandit: per-candidate
+  std::vector<double> arm_mean_;          ///< bandit: mean observed latency
+  std::size_t observed_ = 0;
+  AdaptiveDecision last_;
+};
+
+/// Enumerate every cut of `full` where both halves carry parameters (the
+/// client must have a model to relay, the server a side to train) and price
+/// it for one batch of `batch_shape`.
+[[nodiscard]] std::vector<CutCost> enumerate_split_cut_costs(
+    const nn::Sequential& full, const tensor::Shape& batch_shape);
+
+/// Re-split a live (client, server) half pair at `new_cut`, carrying every
+/// parameter over bitwise (concatenate + split are deep copies).
+void resplit_halves(nn::Sequential& client, nn::Sequential& server,
+                    std::size_t new_cut);
+
+}  // namespace gsfl::schemes

@@ -24,6 +24,8 @@ class SplitFedTrainer final : public Trainer {
 
   [[nodiscard]] nn::Sequential global_model() const override;
 
+  [[nodiscard]] std::size_t cut_layer() const { return cut_layer_; }
+
   /// Bytes of server-side model storage this scheme needs at the AP.
   [[nodiscard]] std::size_t server_storage_bytes() const;
 
@@ -35,10 +37,21 @@ class SplitFedTrainer final : public Trainer {
   void do_save_state(std::ostream& out) const override;
   void do_load_state(std::istream& in) override;
 
+  /// Adaptive-controller surface (docs/adaptive.md). SFL has no bandwidth
+  /// shares (every client gets 1/N), so only the cut moves.
+  [[nodiscard]] std::vector<CutCost> enumerate_cut_costs() const override;
+  void apply_adaptive_decision(const AdaptiveDecision& decision) override;
+  [[nodiscard]] std::size_t adaptive_cut() const override {
+    return cut_layer_;
+  }
+
  private:
   /// The fault-injected / policy-closed round graph (see docs/robustness.md).
   [[nodiscard]] common::TaskFuture<RoundResult> submit_round_faulty(
       const common::TaskHandle& start, const common::TaskHandle& release);
+
+  /// Move the live model's cut (no-op when unchanged); post-publish only.
+  void apply_cut(std::size_t cut);
 
   std::size_t cut_layer_;
   nn::Sequential global_client_;  ///< aggregated client-side model

@@ -17,6 +17,7 @@
 
 #include "gsfl/common/async_lane.hpp"
 #include "gsfl/common/rng.hpp"
+#include "gsfl/schemes/adaptive.hpp"
 #include "gsfl/data/dataset.hpp"
 #include "gsfl/metrics/recorder.hpp"
 #include "gsfl/net/network.hpp"
@@ -146,6 +147,19 @@ class Trainer {
   /// Rounds submitted but not yet collected.
   [[nodiscard]] std::size_t rounds_in_flight() const { return in_flight_; }
 
+  /// Attach a per-round adaptive controller (docs/adaptive.md): after every
+  /// published round the trainer feeds it the round's LatencyBreakdown and
+  /// applies its cut/share decision before the next round's compute starts.
+  /// In the pipelined API the decision runs as a lane task chained onto the
+  /// round's publish — the same post-publish, pre-next-compute slot the
+  /// barriered loop uses — so results stay bitwise identical across depths.
+  /// Attach before the first round; pass nullptr to detach. A checkpoint
+  /// saved with a controller attached must be restored with one attached.
+  void set_adaptive(std::shared_ptr<AdaptiveController> controller);
+  [[nodiscard]] AdaptiveController* adaptive() const {
+    return controller_.get();
+  }
+
   /// Snapshot of the current global model (for evaluation).
   [[nodiscard]] virtual nn::Sequential global_model() const = 0;
 
@@ -203,6 +217,18 @@ class Trainer {
   virtual void do_save_state(std::ostream& out) const;
   virtual void do_load_state(std::istream& in);
 
+  /// Adaptive-controller surface. Split schemes (GSFL, SFL) override all
+  /// three; the defaults make cut-less schemes (FL) controller-safe no-ops:
+  /// an empty candidate table pins every decision to "keep".
+  [[nodiscard]] virtual std::vector<CutCost> enumerate_cut_costs() const {
+    return {};
+  }
+  /// Apply a decision to the live model/shares. Runs post-publish with the
+  /// next round's compute gated behind it — never concurrent with training.
+  virtual void apply_adaptive_decision(const AdaptiveDecision& /*decision*/) {}
+  /// The cut layer the scheme is currently training at (0 if cut-less).
+  [[nodiscard]] virtual std::size_t adaptive_cut() const { return 0; }
+
  private:
   std::string name_;
   const net::WirelessNetwork* network_;  ///< non-owning
@@ -212,9 +238,14 @@ class Trainer {
   TrainConfig config_;
 
  private:
+  /// Feed the controller round `round`'s published outcome and apply the
+  /// decision (no-op without a controller).
+  void apply_adaptive(std::size_t round, const RoundResult& result);
+
   std::size_t rounds_ = 0;
   std::size_t in_flight_ = 0;         ///< submitted, not yet collected
   common::TaskHandle last_publish_;   ///< gate for the next submission
+  std::shared_ptr<AdaptiveController> controller_;
 };
 
 /// Options for the round-loop driver.

@@ -24,6 +24,11 @@ struct LatencyBreakdown {
            aggregation;
   }
 
+  /// Compute vs. communication split — the feedback signal the adaptive
+  /// controller fits its per-unit rates to (docs/adaptive.md).
+  [[nodiscard]] double compute() const { return client_compute + server_compute; }
+  [[nodiscard]] double comm() const { return uplink + downlink + relay; }
+
   LatencyBreakdown& operator+=(const LatencyBreakdown& other);
   [[nodiscard]] LatencyBreakdown operator+(const LatencyBreakdown& other) const;
   [[nodiscard]] LatencyBreakdown scaled(double factor) const;

@@ -226,8 +226,6 @@ common::TaskFuture<schemes::RoundResult> GsflTrainer::do_submit_round(
     const common::TaskHandle& start, const common::TaskHandle& release) {
   if (robustness_active()) return submit_round_faulty(start, release);
   const std::size_t m = groups_.size();
-  const double client_model_bytes =
-      static_cast<double>(client_model_bytes_cached_);
 
   // Submit stage (this thread, round order): the round's entire RNG — the
   // failure draws and every available member's batch plan — is drained
@@ -280,9 +278,14 @@ common::TaskFuture<schemes::RoundResult> GsflTrainer::do_submit_round(
 
   // Compute stage: one task per group, identical arithmetic to do_round's
   // parallel_map body with the plan-driven epoch.
-  auto compute = [this, prep,
-                  client_model_bytes](std::size_t g) -> GroupOutcome {
+  auto compute = [this, prep](std::size_t g) -> GroupOutcome {
     GroupOutcome out;
+    // Read shares and model bytes live, not as submission-time snapshots:
+    // compute is gated on the previous round's publish chain, so under an
+    // adaptive controller this sees that round's re-cut model and
+    // re-balanced shares — exactly what the barriered round reads.
+    const double client_model_bytes =
+        static_cast<double>(client_model_bytes_cached_);
     const double share = group_shares_[g];
     sim::LatencyBreakdown& chain = out.chain;
     const auto& available = prep->available[g];
@@ -365,8 +368,6 @@ common::TaskFuture<schemes::RoundResult> GsflTrainer::submit_round_faulty(
     const common::TaskHandle& start, const common::TaskHandle& release) {
   const std::size_t m = groups_.size();
   const std::size_t n = client_data_.size();
-  const double client_model_bytes =
-      static_cast<double>(client_model_bytes_cached_);
   const std::size_t retry_cap = network().config().channel.retry.max_attempts;
 
   // Submit stage: the round's entire RNG — legacy failure draws, the fault
@@ -460,14 +461,16 @@ common::TaskFuture<schemes::RoundResult> GsflTrainer::submit_round_faulty(
   // non-reporting groups only charge the airtime that was actually spent
   // before the chain broke — their training result is unobservable at the
   // AP, so the host skips it.
-  auto compute = [this, prep, client_model_bytes,
-                  retry_cap](std::size_t g) -> GroupOutcome {
+  auto compute = [this, prep, retry_cap](std::size_t g) -> GroupOutcome {
     GroupOutcome out;
     const auto& avail = prep->available[g];
     if (avail.empty()) return out;
-    // Read the live share, not a submission-time snapshot: compute is gated
-    // on the previous round's publish, so under kAdaptive this sees that
-    // round's rebalanced value — exactly what the barriered round reads.
+    // Read the live share and model bytes, not submission-time snapshots:
+    // compute is gated on the previous round's publish chain, so under
+    // kAdaptive (or an adaptive controller) this sees that round's
+    // rebalanced/re-cut values — exactly what the barriered round reads.
+    const double client_model_bytes =
+        static_cast<double>(client_model_bytes_cached_);
     const double share = group_shares_[g];
     sim::LatencyBreakdown& chain = out.chain;
 
@@ -582,7 +585,37 @@ common::TaskFuture<schemes::RoundResult> GsflTrainer::submit_round_faulty(
       std::move(compute), std::move(fold), std::move(publish));
 }
 
+std::vector<schemes::CutCost> GsflTrainer::enumerate_cut_costs() const {
+  return schemes::enumerate_split_cut_costs(
+      global_model(), client_dataset(0).batch_shape(config().batch_size));
+}
+
+void GsflTrainer::apply_cut(std::size_t cut) {
+  if (cut == gsfl_config_.cut_layer) return;
+  schemes::resplit_halves(global_client_, global_server_, cut);
+  client_model_bytes_cached_ = global_client_.state_bytes();
+  gsfl_config_.cut_layer = cut;
+}
+
+void GsflTrainer::apply_adaptive_decision(
+    const schemes::AdaptiveDecision& decision) {
+  if (decision.changed) apply_cut(decision.cut);
+  // The controller's share re-balance composes with — and defers to — the
+  // kAdaptive bandwidth policy, which already re-balanced at publish
+  // (rebalance_shares is not idempotent: running it twice would price the
+  // chains against the freshly rewritten shares).
+  if (decision.rebalance &&
+      gsfl_config_.bandwidth != BandwidthPolicy::kAdaptive &&
+      last_group_chains_.size() == group_shares_.size() &&
+      !last_group_chains_.empty()) {
+    rebalance_shares();
+  }
+}
+
 void GsflTrainer::do_save_state(std::ostream& out) const {
+  // Cut first: an adaptively re-cut trainer must re-split its halves before
+  // their state dicts can load (per-half entry counts follow the cut).
+  common::serial::write_u64(out, gsfl_config_.cut_layer);
   nn::write_state_dict(out, global_client_.state());
   nn::write_state_dict(out, global_server_.state());
   for (const auto& sampler : samplers_) sampler.save_state(out);
@@ -596,6 +629,8 @@ void GsflTrainer::do_save_state(std::ostream& out) const {
 }
 
 void GsflTrainer::do_load_state(std::istream& in) {
+  apply_cut(static_cast<std::size_t>(
+      common::serial::read_u64(in, "gsfl cut layer")));
   global_client_.load_state(nn::read_state_dict(in));
   global_server_.load_state(nn::read_state_dict(in));
   for (auto& sampler : samplers_) sampler.restore_state(in);

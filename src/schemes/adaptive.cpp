@@ -1,0 +1,257 @@
+#include "gsfl/schemes/adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gsfl/common/expect.hpp"
+#include "gsfl/common/rng.hpp"
+#include "gsfl/common/serial.hpp"
+
+namespace gsfl::schemes {
+
+const char* to_string(AdaptivePolicy policy) {
+  switch (policy) {
+    case AdaptivePolicy::kGreedy: return "greedy";
+    case AdaptivePolicy::kPaper: return "paper";
+    case AdaptivePolicy::kBandit: return "bandit";
+  }
+  return "?";
+}
+
+std::optional<AdaptivePolicy> parse_adaptive_policy(std::string_view name) {
+  if (name == "greedy") return AdaptivePolicy::kGreedy;
+  if (name == "paper") return AdaptivePolicy::kPaper;
+  if (name == "bandit") return AdaptivePolicy::kBandit;
+  return std::nullopt;
+}
+
+AdaptiveController::AdaptiveController(AdaptiveConfig config)
+    : config_(config) {
+  GSFL_EXPECT_MSG(config_.epsilon >= 0.0 && config_.epsilon < 1.0,
+                  "bandit epsilon must be in [0, 1)");
+  GSFL_EXPECT(config_.min_cut <= config_.max_cut);
+  GSFL_EXPECT(config_.paper_compute_budget > 0.0);
+}
+
+void AdaptiveController::set_candidates(std::vector<CutCost> table) {
+  all_costs_ = std::move(table);
+  std::sort(all_costs_.begin(), all_costs_.end(),
+            [](const CutCost& a, const CutCost& b) { return a.cut < b.cut; });
+  candidates_.clear();
+  for (const CutCost& cost : all_costs_) {
+    if (cost.cut >= config_.min_cut && cost.cut <= config_.max_cut) {
+      candidates_.push_back(cost);
+    }
+  }
+  arm_pulls_.assign(candidates_.size(), 0);
+  arm_mean_.assign(candidates_.size(), 0.0);
+}
+
+const CutCost* AdaptiveController::cost_for(std::size_t cut) const {
+  for (const CutCost& cost : all_costs_) {
+    if (cost.cut == cut) return &cost;
+  }
+  return nullptr;
+}
+
+double AdaptiveController::score_cut(const CutCost& candidate,
+                                     const AdaptiveObservation& obs) const {
+  // Fit per-unit rates to the observed round: seconds per client flop,
+  // per server flop, and per byte on the air, each from the observed cut's
+  // cost row. Extrapolating those rates to another cut assumes the fleet's
+  // speeds and the channel are cut-invariant — true in the simulator, a
+  // first-order model on real radios.
+  const CutCost* cur = cost_for(obs.cut);
+  if (cur == nullptr) return candidate.client_flops;  // no fit: prefer thin
+  const auto rate = [](double seconds, double units) {
+    return units > 0.0 ? seconds / units : 0.0;
+  };
+  const double rc = rate(obs.latency.client_compute, cur->client_flops);
+  const double rs = rate(obs.latency.server_compute, cur->server_flops);
+  const double wire_cur = cur->smashed_bytes + cur->client_state_bytes;
+  const double rw = rate(obs.latency.comm(), wire_cur);
+  return rc * candidate.client_flops + rs * candidate.server_flops +
+         rw * (candidate.smashed_bytes + candidate.client_state_bytes);
+}
+
+AdaptiveDecision AdaptiveController::decide_greedy(
+    const AdaptiveObservation& obs) {
+  AdaptiveDecision decision;
+  decision.cut = obs.cut;
+  double best = std::numeric_limits<double>::infinity();
+  for (const CutCost& candidate : candidates_) {
+    const double score = score_cut(candidate, obs);
+    if (score < best) {  // strict: ties keep the lowest cut (ascending scan)
+      best = score;
+      decision.cut = candidate.cut;
+    }
+  }
+  return decision;
+}
+
+AdaptiveDecision AdaptiveController::decide_paper(
+    const AdaptiveObservation& obs) {
+  // The paper's device-fit heuristic, made online: among the cuts whose
+  // client-side flops fit the device budget, take the one that puts the
+  // fewest bytes on the air (smashed exchange + model relay); shares then
+  // re-balance toward equal group radio time (the §IV allocation step).
+  AdaptiveDecision decision;
+  decision.cut = obs.cut;
+  double budget = std::numeric_limits<double>::infinity();
+  if (!candidates_.empty()) {
+    const double total =
+        candidates_.front().client_flops + candidates_.front().server_flops;
+    budget = config_.paper_compute_budget * total;
+  }
+  double best_wire = std::numeric_limits<double>::infinity();
+  bool any_fit = false;
+  for (const CutCost& candidate : candidates_) {
+    if (candidate.client_flops > budget) continue;
+    any_fit = true;
+    const double wire = candidate.smashed_bytes + candidate.client_state_bytes;
+    if (wire < best_wire) {
+      best_wire = wire;
+      decision.cut = candidate.cut;
+    }
+  }
+  if (!any_fit && !candidates_.empty()) {
+    // Nothing fits the budget: fall back to the thinnest client side.
+    double least = std::numeric_limits<double>::infinity();
+    for (const CutCost& candidate : candidates_) {
+      if (candidate.client_flops < least) {
+        least = candidate.client_flops;
+        decision.cut = candidate.cut;
+      }
+    }
+  }
+  return decision;
+}
+
+AdaptiveDecision AdaptiveController::decide_bandit(
+    const AdaptiveObservation& obs) {
+  AdaptiveDecision decision;
+  decision.cut = obs.cut;
+  if (candidates_.empty()) return decision;
+
+  // Credit the observation to the arm that produced it (the observed cut
+  // may sit outside the filtered table on the very first round).
+  for (std::size_t a = 0; a < candidates_.size(); ++a) {
+    if (candidates_[a].cut != obs.cut) continue;
+    const double n = static_cast<double>(++arm_pulls_[a]);
+    arm_mean_[a] += (obs.latency.total() - arm_mean_[a]) / n;
+    break;
+  }
+
+  // Round-keyed exploration stream: a pure function of (seed, round), so
+  // replays — resume, pipeline, retry — redraw the identical decision.
+  common::Rng root(config_.seed);
+  common::Rng rng = root.fork(obs.round + 1);
+  if (config_.epsilon > 0.0 && rng.bernoulli(config_.epsilon)) {
+    decision.explored = true;
+    decision.cut =
+        candidates_[static_cast<std::size_t>(
+                        rng.uniform_index(candidates_.size()))]
+            .cut;
+    return decision;
+  }
+  // Exploit: first untried arm in cut order, else the best observed mean.
+  for (std::size_t a = 0; a < candidates_.size(); ++a) {
+    if (arm_pulls_[a] == 0) {
+      decision.cut = candidates_[a].cut;
+      return decision;
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < candidates_.size(); ++a) {
+    if (arm_mean_[a] < best) {
+      best = arm_mean_[a];
+      decision.cut = candidates_[a].cut;
+    }
+  }
+  return decision;
+}
+
+AdaptiveDecision AdaptiveController::decide(const AdaptiveObservation& obs) {
+  AdaptiveDecision decision;
+  if (candidates_.empty()) {
+    decision.cut = obs.cut;  // schemes without a cut: nothing to move
+  } else {
+    switch (config_.policy) {
+      case AdaptivePolicy::kGreedy: decision = decide_greedy(obs); break;
+      case AdaptivePolicy::kPaper: decision = decide_paper(obs); break;
+      case AdaptivePolicy::kBandit: decision = decide_bandit(obs); break;
+    }
+  }
+  decision.changed = decision.cut != obs.cut;
+  // Every policy re-balances shares from the freshly observed chains; the
+  // trainer applies it after any cut swap, so the renormalization prices
+  // the new cut's cost vector. Schemes without shares ignore the bit.
+  decision.rebalance = true;
+  ++observed_;
+  last_ = decision;
+  return decision;
+}
+
+void AdaptiveController::save_state(std::ostream& out) const {
+  common::serial::write_u64(out, observed_);
+  common::serial::write_u64(out, arm_pulls_.size());
+  for (std::size_t a = 0; a < arm_pulls_.size(); ++a) {
+    common::serial::write_u64(out, arm_pulls_[a]);
+    common::serial::write_f64(out, arm_mean_[a]);
+  }
+}
+
+void AdaptiveController::load_state(std::istream& in) {
+  observed_ = static_cast<std::size_t>(
+      common::serial::read_u64(in, "adaptive rounds observed"));
+  const std::uint64_t arms =
+      common::serial::read_u64(in, "adaptive arm count");
+  if (arms != arm_pulls_.size()) {
+    throw std::runtime_error(
+        "adaptive checkpoint arm count mismatch: checkpoint has " +
+        std::to_string(arms) + ", controller has " +
+        std::to_string(arm_pulls_.size()));
+  }
+  for (std::size_t a = 0; a < arm_pulls_.size(); ++a) {
+    arm_pulls_[a] = common::serial::read_u64(in, "adaptive arm pulls");
+    arm_mean_[a] = common::serial::read_f64(in, "adaptive arm mean");
+  }
+}
+
+std::vector<CutCost> enumerate_split_cut_costs(
+    const nn::Sequential& full, const tensor::Shape& batch_shape) {
+  std::vector<CutCost> table;
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    const nn::SplitModel split(full, cut);
+    // Both halves must carry parameters: the client needs a model to hold
+    // and relay, the schemes need a trainable server side.
+    if (split.client().parameter_count() == 0 ||
+        split.server().parameter_count() == 0) {
+      continue;
+    }
+    CutCost cost;
+    cost.cut = cut;
+    const nn::FlopCount cf = split.client_flops(batch_shape);
+    const nn::FlopCount sf = split.server_flops(batch_shape);
+    cost.client_flops = static_cast<double>(cf.forward + cf.backward);
+    cost.server_flops = static_cast<double>(sf.forward + sf.backward);
+    cost.smashed_bytes = static_cast<double>(split.smashed_bytes(batch_shape));
+    cost.client_state_bytes = static_cast<double>(split.client_state_bytes());
+    table.push_back(cost);
+  }
+  return table;
+}
+
+void resplit_halves(nn::Sequential& client, nn::Sequential& server,
+                    std::size_t new_cut) {
+  const nn::Sequential full = nn::Sequential::concatenate(client, server);
+  GSFL_EXPECT_MSG(new_cut <= full.size(),
+                  "adaptive cut beyond the model's layer count");
+  auto [head, tail] = full.split(new_cut);
+  GSFL_EXPECT_MSG(tail.parameter_count() > 0,
+                  "adaptive cut must leave a trainable server side");
+  client = std::move(head);
+  server = std::move(tail);
+}
+
+}  // namespace gsfl::schemes

@@ -2,6 +2,7 @@
 
 #include "gsfl/common/expect.hpp"
 #include "gsfl/common/parallel_map.hpp"
+#include "gsfl/common/serial.hpp"
 #include "gsfl/nn/checkpoint.hpp"
 #include "gsfl/schemes/aggregate.hpp"
 #include "gsfl/schemes/pipeline.hpp"
@@ -135,7 +136,6 @@ common::TaskFuture<RoundResult> SplitFedTrainer::do_submit_round(
     const common::TaskHandle& start, const common::TaskHandle& release) {
   if (robustness_active()) return submit_round_faulty(start, release);
   const std::size_t n = num_clients();
-  const double client_model_bytes = static_cast<double>(client_model_bytes_);
   const double share = 1.0 / static_cast<double>(n);
 
   // Submit stage (this thread, round order): pre-draw every client's batch
@@ -163,9 +163,13 @@ common::TaskFuture<RoundResult> SplitFedTrainer::do_submit_round(
 
   // Compute stage: identical arithmetic to do_round's parallel_map body,
   // batches gathered from the pre-drawn plan.
-  auto compute = [this, prep, client_model_bytes,
-                  share](std::size_t c) -> SflClientOutcome {
+  auto compute = [this, prep, share](std::size_t c) -> SflClientOutcome {
     SflClientOutcome out;
+    // Read the model bytes live, not a submission-time snapshot: compute is
+    // gated on the previous round's publish chain, so under an adaptive
+    // controller this sees that round's re-cut model — exactly what the
+    // barriered round reads.
+    const double client_model_bytes = static_cast<double>(client_model_bytes_);
     out.chain.downlink +=
         network().downlink_seconds(c, client_model_bytes, share);
 
@@ -227,7 +231,6 @@ common::TaskFuture<RoundResult> SplitFedTrainer::do_submit_round(
 common::TaskFuture<RoundResult> SplitFedTrainer::submit_round_faulty(
     const common::TaskHandle& start, const common::TaskHandle& release) {
   const std::size_t n = num_clients();
-  const double client_model_bytes = static_cast<double>(client_model_bytes_);
   const double share = 1.0 / static_cast<double>(n);
   const std::size_t retry_cap = network().config().channel.retry.max_attempts;
 
@@ -249,12 +252,14 @@ common::TaskFuture<RoundResult> SplitFedTrainer::submit_round_faulty(
     if (prep->dispo[c].computes) prep->plans[c] = samplers_[c].plan_epoch();
   }
 
-  auto compute = [this, prep, client_model_bytes, share,
+  auto compute = [this, prep, share,
                   retry_cap](std::size_t c) -> SflClientOutcome {
     SflClientOutcome out;
     const auto& fault = prep->plan.client(c);
     const auto& dispo = prep->dispo[c];
     if (fault.crash_before) return out;
+    // Live read — see do_submit_round's compute stage.
+    const double client_model_bytes = static_cast<double>(client_model_bytes_);
 
     const std::size_t dl =
         fault.downlink_attempts > 0 ? fault.downlink_attempts : retry_cap;
@@ -344,13 +349,35 @@ common::TaskFuture<RoundResult> SplitFedTrainer::submit_round_faulty(
       std::move(compute), std::move(fold), std::move(publish));
 }
 
+std::vector<CutCost> SplitFedTrainer::enumerate_cut_costs() const {
+  return enumerate_split_cut_costs(
+      global_model(), client_dataset(0).batch_shape(config().batch_size));
+}
+
+void SplitFedTrainer::apply_cut(std::size_t cut) {
+  if (cut == cut_layer_) return;
+  resplit_halves(global_client_, global_server_, cut);
+  client_model_bytes_ = global_client_.state_bytes();
+  cut_layer_ = cut;
+}
+
+void SplitFedTrainer::apply_adaptive_decision(
+    const AdaptiveDecision& decision) {
+  if (decision.changed) apply_cut(decision.cut);
+}
+
 void SplitFedTrainer::do_save_state(std::ostream& out) const {
+  // Cut first: an adaptively re-cut trainer must re-split its halves before
+  // their state dicts can load (per-half entry counts follow the cut).
+  common::serial::write_u64(out, cut_layer_);
   nn::write_state_dict(out, global_client_.state());
   nn::write_state_dict(out, global_server_.state());
   for (const auto& sampler : samplers_) sampler.save_state(out);
 }
 
 void SplitFedTrainer::do_load_state(std::istream& in) {
+  apply_cut(static_cast<std::size_t>(
+      common::serial::read_u64(in, "sfl cut layer")));
   global_client_.load_state(nn::read_state_dict(in));
   global_server_.load_state(nn::read_state_dict(in));
   for (auto& sampler : samplers_) sampler.restore_state(in);

@@ -43,8 +43,29 @@ RoundResult Trainer::run_round() {
                   "every ticket first");
   if (config_.threads > 0) common::set_global_threads(config_.threads);
   RoundResult result = do_round();
+  apply_adaptive(rounds_, result);
   ++rounds_;
   return result;
+}
+
+void Trainer::set_adaptive(std::shared_ptr<AdaptiveController> controller) {
+  GSFL_EXPECT_MSG(in_flight_ == 0,
+                  "set_adaptive with rounds in flight — collect every ticket "
+                  "first");
+  controller_ = std::move(controller);
+  if (controller_) controller_->set_candidates(enumerate_cut_costs());
+}
+
+void Trainer::apply_adaptive(std::size_t round, const RoundResult& result) {
+  if (!controller_) return;
+  AdaptiveObservation obs;
+  obs.round = round;
+  obs.cut = adaptive_cut();
+  obs.latency = result.latency;
+  // One decide() per round, in round order — faulty, quorum-closed, and
+  // clean rounds all report through the same published RoundResult, so the
+  // controller sees identical observations on every execution path.
+  apply_adaptive_decision(controller_->decide(obs));
 }
 
 RoundTicket Trainer::submit_round(const common::TaskHandle& model_release) {
@@ -55,7 +76,20 @@ RoundTicket Trainer::submit_round(const common::TaskHandle& model_release) {
   if (config_.threads > 0 && in_flight_ == 0) {
     common::set_global_threads(config_.threads);
   }
-  RoundTicket ticket{do_submit_round(last_publish_, model_release)};
+  auto done = do_submit_round(last_publish_, model_release);
+  if (controller_) {
+    // The adaptive stage rides the publish chain: it observes the fully
+    // published round and mutates the model/shares before anything gated on
+    // this round (the next round's compute, evaluations, save_state) runs —
+    // exactly the slot run_round applies it in, so depths agree bitwise.
+    const std::size_t round = next_round_index();
+    done = common::global_lane().then(
+        std::move(done), [this, round](RoundResult& result) {
+          apply_adaptive(round, result);
+          return result;
+        });
+  }
+  RoundTicket ticket{std::move(done)};
   last_publish_ = ticket.done.handle();
   ++in_flight_;
   return ticket;
@@ -94,6 +128,10 @@ void Trainer::save_state(std::ostream& out) const {
                   "first");
   common::serial::write_u64(out, rounds_);
   do_save_state(out);
+  // Controller state rides the trainer checkpoint so resumed runs replay
+  // the identical decision sequence (the Adaptive* resume tests pin this).
+  common::serial::write_u64(out, controller_ ? 1 : 0);
+  if (controller_) controller_->save_state(out);
 }
 
 void Trainer::load_state(std::istream& in) {
@@ -101,6 +139,14 @@ void Trainer::load_state(std::istream& in) {
   rounds_ = static_cast<std::size_t>(
       common::serial::read_u64(in, "trainer round counter"));
   do_load_state(in);
+  const std::uint64_t has_controller =
+      common::serial::read_u64(in, "adaptive controller flag");
+  if (has_controller != (controller_ ? 1U : 0U)) {
+    throw std::runtime_error(
+        "experiment checkpoint adaptive-controller mismatch: attach the same "
+        "controller configuration before load_state");
+  }
+  if (controller_) controller_->load_state(in);
 }
 
 void Trainer::do_save_state(std::ostream&) const {

@@ -1,0 +1,614 @@
+// AdaptiveController: policy decisions (greedy argmin, the paper's budget
+// heuristic, ε-greedy bandit) must be pure functions of (config, candidate
+// table, observation history) with round-keyed exploration — so adaptive
+// rounds keep every bitwise contract the static schemes pin: thread ×
+// pipeline-depth × pack-strategy invariance, checkpoint/resume decision
+// replay, and identical controller observations on the clean and
+// faulty/quorum round paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gsfl/core/gsfl.hpp"
+#include "gsfl/schemes/adaptive.hpp"
+#include "gsfl/schemes/fedavg.hpp"
+#include "gsfl/schemes/splitfed.hpp"
+#include "gsfl/schemes/trainer.hpp"
+#include "support/property.hpp"
+#include "support/test_world.hpp"
+
+namespace {
+
+using namespace gsfl;
+using test::prop::bitwise_equal;
+
+constexpr std::size_t kBatch = 4;
+
+tensor::Shape tiny_batch_shape() { return tensor::Shape{kBatch, 1, 2, 2}; }
+
+std::vector<schemes::CutCost> tiny_cut_table() {
+  common::Rng rng(7);
+  const auto model = test::make_tiny_model(rng);
+  return schemes::enumerate_split_cut_costs(model, tiny_batch_shape());
+}
+
+// ---- policy unit tests -----------------------------------------------------
+
+TEST(AdaptiveController, EnumerationSkipsParameterlessHalves) {
+  const auto table = tiny_cut_table();
+  // flatten→dense→relu→dense: cut 1 leaves a parameter-less client
+  // (flatten only) and is dropped; cuts 2 and 3 keep both halves trainable.
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0].cut, 2u);
+  EXPECT_EQ(table[1].cut, 3u);
+  // Moving the relu across the cut moves its flops, nothing else: same
+  // smashed payload (8 floats), same client parameters.
+  EXPECT_EQ(table[0].smashed_bytes, table[1].smashed_bytes);
+  EXPECT_EQ(table[0].client_state_bytes, table[1].client_state_bytes);
+  EXPECT_LT(table[0].client_flops, table[1].client_flops);
+  EXPECT_GT(table[0].server_flops, table[1].server_flops);
+}
+
+TEST(AdaptiveController, GreedyPicksArgminEnumeratedCut) {
+  schemes::AdaptiveConfig config;
+  config.policy = schemes::AdaptivePolicy::kGreedy;
+  schemes::AdaptiveController controller(config);
+  controller.set_candidates(tiny_cut_table());
+
+  schemes::AdaptiveObservation obs;
+  obs.round = 0;
+  obs.cut = 2;
+  obs.latency.client_compute = 10.0;  // client-bound round
+  obs.latency.server_compute = 1e-3;
+  obs.latency.uplink = 0.1;
+
+  // The decision must be the argmin of the controller's own score model.
+  std::size_t argmin = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& candidate : controller.candidates()) {
+    const double score = controller.score_cut(candidate, obs);
+    if (score < best) {
+      best = score;
+      argmin = candidate.cut;
+    }
+  }
+  const auto decision = controller.decide(obs);
+  EXPECT_EQ(decision.cut, argmin);
+  // Client-bound: the thinner client side (cut 2) wins.
+  EXPECT_EQ(decision.cut, 2u);
+  EXPECT_FALSE(decision.changed);
+  EXPECT_TRUE(decision.rebalance);
+
+  // Server-bound round: moving the relu onto the client (cut 3) relieves
+  // the bottleneck, so greedy flips the cut.
+  schemes::AdaptiveObservation server_bound;
+  server_bound.round = 1;
+  server_bound.cut = 2;
+  server_bound.latency.server_compute = 10.0;
+  const auto flipped = controller.decide(server_bound);
+  EXPECT_EQ(flipped.cut, 3u);
+  EXPECT_TRUE(flipped.changed);
+}
+
+TEST(AdaptiveController, PaperHeuristicRespectsBudgetAndFilter) {
+  schemes::AdaptiveObservation obs;
+  obs.cut = 3;
+  obs.latency.client_compute = 1.0;
+
+  {  // Everything fits a full budget: min wire bytes, ties to lowest cut.
+    schemes::AdaptiveConfig config;
+    config.policy = schemes::AdaptivePolicy::kPaper;
+    config.paper_compute_budget = 1.0;
+    schemes::AdaptiveController controller(config);
+    controller.set_candidates(tiny_cut_table());
+    EXPECT_EQ(controller.decide(obs).cut, 2u);
+  }
+  {  // min_cut filter drops cut 2: the heuristic picks from what remains.
+    schemes::AdaptiveConfig config;
+    config.policy = schemes::AdaptivePolicy::kPaper;
+    config.min_cut = 3;
+    schemes::AdaptiveController controller(config);
+    controller.set_candidates(tiny_cut_table());
+    ASSERT_EQ(controller.candidates().size(), 1u);
+    EXPECT_EQ(controller.decide(obs).cut, 3u);
+  }
+  {  // Nothing fits a vanishing budget: fall back to the thinnest client.
+    schemes::AdaptiveConfig config;
+    config.policy = schemes::AdaptivePolicy::kPaper;
+    config.paper_compute_budget = 1e-12;
+    schemes::AdaptiveController controller(config);
+    controller.set_candidates(tiny_cut_table());
+    EXPECT_EQ(controller.decide(obs).cut, 2u);
+  }
+}
+
+TEST(AdaptiveController, BanditReplaysFromRoundKeyedRng) {
+  schemes::AdaptiveConfig config;
+  config.policy = schemes::AdaptivePolicy::kBandit;
+  config.seed = 42;
+  config.epsilon = 0.9;
+  schemes::AdaptiveController a(config);
+  schemes::AdaptiveController b(config);
+  a.set_candidates(tiny_cut_table());
+  b.set_candidates(tiny_cut_table());
+
+  std::size_t cut_a = 2;
+  std::size_t cut_b = 2;
+  std::size_t explored = 0;
+  for (std::size_t round = 0; round < 16; ++round) {
+    schemes::AdaptiveObservation obs;
+    obs.round = round;
+    obs.latency.client_compute = 1.0 + 0.25 * static_cast<double>(round % 3);
+    obs.latency.uplink = 0.5;
+    obs.cut = cut_a;
+    const auto da = a.decide(obs);
+    obs.cut = cut_b;
+    const auto db = b.decide(obs);
+    // Same config, same observations ⇒ bitwise the same decision stream.
+    EXPECT_EQ(da.cut, db.cut) << "round " << round;
+    EXPECT_EQ(da.explored, db.explored) << "round " << round;
+    cut_a = da.cut;
+    cut_b = db.cut;
+    if (!da.explored) continue;
+    ++explored;
+    // An exploration draw is a pure function of (seed, round): replay it.
+    common::Rng root(config.seed);
+    common::Rng rng = root.fork(round + 1);
+    ASSERT_TRUE(rng.bernoulli(config.epsilon));
+    const auto& table = a.candidates();
+    const std::size_t expected =
+        table[static_cast<std::size_t>(rng.uniform_index(table.size()))].cut;
+    EXPECT_EQ(da.cut, expected) << "round " << round;
+  }
+  EXPECT_GT(explored, 0u);  // ε = 0.9 over 16 rounds: exploration happened
+}
+
+TEST(AdaptiveController, BanditStateRoundTripsThroughCheckpoint) {
+  schemes::AdaptiveConfig config;
+  config.policy = schemes::AdaptivePolicy::kBandit;
+  config.seed = 9;
+  config.epsilon = 0.3;
+  schemes::AdaptiveController warm(config);
+  warm.set_candidates(tiny_cut_table());
+
+  std::size_t cut = 2;
+  for (std::size_t round = 0; round < 6; ++round) {
+    schemes::AdaptiveObservation obs;
+    obs.round = round;
+    obs.cut = cut;
+    obs.latency.client_compute = cut == 2 ? 2.0 : 1.0;
+    cut = warm.decide(obs).cut;
+  }
+
+  std::stringstream buffer;
+  warm.save_state(buffer);
+  schemes::AdaptiveController restored(config);
+  restored.set_candidates(tiny_cut_table());
+  restored.load_state(buffer);
+  EXPECT_EQ(restored.rounds_observed(), warm.rounds_observed());
+
+  schemes::AdaptiveObservation next;
+  next.round = 6;
+  next.cut = cut;
+  next.latency.client_compute = 1.5;
+  const auto expected = warm.decide(next);
+  const auto replayed = restored.decide(next);
+  EXPECT_EQ(replayed.cut, expected.cut);
+  EXPECT_EQ(replayed.explored, expected.explored);
+
+  // Arm-count mismatch (different candidate filter) must be rejected.
+  std::stringstream buffer2;
+  warm.save_state(buffer2);
+  schemes::AdaptiveConfig narrow = config;
+  narrow.min_cut = 3;
+  schemes::AdaptiveController mismatched(narrow);
+  mismatched.set_candidates(tiny_cut_table());
+  EXPECT_THROW(mismatched.load_state(buffer2), std::runtime_error);
+}
+
+TEST(AdaptiveController, EmptyCandidateTableKeepsTheCut) {
+  schemes::AdaptiveController controller;
+  schemes::AdaptiveObservation obs;
+  obs.round = 0;
+  obs.cut = 0;
+  obs.latency.client_compute = 3.0;
+  const auto decision = controller.decide(obs);
+  EXPECT_EQ(decision.cut, 0u);
+  EXPECT_FALSE(decision.changed);
+}
+
+TEST(AdaptiveController, PolicyNamesRoundTrip) {
+  for (const auto policy : test::prop::policy_matrix()) {
+    const auto parsed = schemes::parse_adaptive_policy(
+        schemes::to_string(policy));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_FALSE(schemes::parse_adaptive_policy("off").has_value());
+}
+
+// ---- adaptive rounds: scheme integration -----------------------------------
+
+struct AdaptiveRun {
+  std::vector<schemes::RoundResult> results;
+  nn::StateDict state;
+  std::size_t final_cut = 0;
+  std::vector<double> shares;
+};
+
+void expect_same_adaptive_run(const AdaptiveRun& actual,
+                              const AdaptiveRun& reference,
+                              const std::string& label) {
+  ASSERT_EQ(actual.results.size(), reference.results.size()) << label;
+  for (std::size_t r = 0; r < actual.results.size(); ++r) {
+    const auto& a = actual.results[r].latency;
+    const auto& e = reference.results[r].latency;
+    EXPECT_EQ(actual.results[r].train_loss, reference.results[r].train_loss)
+        << label << " round " << r;
+    EXPECT_EQ(a.client_compute, e.client_compute) << label << " round " << r;
+    EXPECT_EQ(a.server_compute, e.server_compute) << label << " round " << r;
+    EXPECT_EQ(a.uplink, e.uplink) << label << " round " << r;
+    EXPECT_EQ(a.downlink, e.downlink) << label << " round " << r;
+    EXPECT_EQ(a.relay, e.relay) << label << " round " << r;
+    EXPECT_EQ(a.aggregation, e.aggregation) << label << " round " << r;
+  }
+  EXPECT_EQ(actual.final_cut, reference.final_cut) << label;
+  ASSERT_EQ(actual.shares.size(), reference.shares.size()) << label;
+  for (std::size_t g = 0; g < actual.shares.size(); ++g) {
+    EXPECT_EQ(actual.shares[g], reference.shares[g])
+        << label << " share " << g;
+  }
+  ASSERT_EQ(actual.state.size(), reference.state.size()) << label;
+  for (std::size_t e = 0; e < actual.state.size(); ++e) {
+    EXPECT_TRUE(bitwise_equal(actual.state[e], reference.state[e]))
+        << label << " state entry " << e;
+  }
+}
+
+core::GsflConfig adaptive_gsfl_config(bool faulty) {
+  core::GsflConfig config;
+  config.num_groups = 3;
+  config.cut_layer = test::kTinyCut;
+  config.grouping = core::GroupingPolicy::kContiguous;
+  config.train.batch_size = kBatch;
+  if (faulty) {
+    config.train.faults.crash_before_rate = 0.2;
+    config.train.faults.uplink_loss_rate = 0.1;
+    config.train.faults.seed = 0x5EED;
+    config.train.round_policy.quorum_fraction = 0.67;
+  }
+  return config;
+}
+
+schemes::AdaptiveConfig adaptive_test_config(schemes::AdaptivePolicy policy) {
+  schemes::AdaptiveConfig config;
+  config.policy = policy;
+  config.epsilon = 0.5;  // short runs still exercise exploration
+  config.seed = 0xADA7;
+  return config;
+}
+
+AdaptiveRun run_gsfl_adaptive(schemes::AdaptivePolicy policy,
+                              std::size_t rounds, std::size_t depth,
+                              bool faulty = false) {
+  const std::size_t clients = 6;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = test::make_client_datasets(clients, 12, 31);
+  common::Rng model_rng(7);
+  auto model = test::make_tiny_model(model_rng);
+  core::GsflTrainer trainer(network, std::move(datasets), std::move(model),
+                            adaptive_gsfl_config(faulty));
+  trainer.set_adaptive(std::make_shared<schemes::AdaptiveController>(
+      adaptive_test_config(policy)));
+  AdaptiveRun out;
+  out.results = schemes::run_rounds_pipelined(trainer, rounds, depth);
+  out.state = trainer.global_model().state();
+  out.final_cut = trainer.cut_layer();
+  out.shares = trainer.group_shares();
+  return out;
+}
+
+TEST(AdaptiveRounds, GsflBitwiseAcrossPolicyThreadDepthPackMatrix) {
+  test::prop::for_each_policy([&](schemes::AdaptivePolicy policy) {
+    const auto reference = run_gsfl_adaptive(policy, 4, 1);
+    test::prop::for_each_thread_count([&](std::size_t threads) {
+      test::prop::for_each_pipeline_depth([&](std::size_t depth) {
+        test::prop::for_each_pack_strategy([&](tensor::PackStrategy pack) {
+          const auto run = run_gsfl_adaptive(policy, 4, depth);
+          expect_same_adaptive_run(
+              run, reference,
+              std::string("gsfl ") + test::prop::policy_name(policy) +
+                  " t=" + std::to_string(threads) +
+                  " d=" + std::to_string(depth) + " pack=" +
+                  test::prop::pack_strategy_name(pack));
+        });
+      });
+    });
+  });
+}
+
+TEST(AdaptiveRounds, FaultyQuorumRoundsBitwiseAcrossDepths) {
+  test::prop::for_each_policy([&](schemes::AdaptivePolicy policy) {
+    const auto reference = run_gsfl_adaptive(policy, 5, 1, /*faulty=*/true);
+    test::prop::for_each_pipeline_depth([&](std::size_t depth) {
+      const auto run = run_gsfl_adaptive(policy, 5, depth, /*faulty=*/true);
+      expect_same_adaptive_run(run, reference,
+                               std::string("gsfl faulty ") +
+                                   test::prop::policy_name(policy) +
+                                   " d=" + std::to_string(depth));
+    });
+  });
+}
+
+// Late/faulty reporters must feed the controller the very observation the
+// round published: replaying the published RoundResults through a standalone
+// controller must reproduce the trainer's cut trajectory exactly.
+TEST(AdaptiveRounds, FaultyRoundsFeedPublishedObservationsToController) {
+  const std::size_t clients = 6;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = test::make_client_datasets(clients, 12, 31);
+  common::Rng model_rng(7);
+  auto model = test::make_tiny_model(model_rng);
+  const auto table =
+      schemes::enumerate_split_cut_costs(model, tiny_batch_shape());
+  core::GsflTrainer trainer(network, std::move(datasets), std::move(model),
+                            adaptive_gsfl_config(/*faulty=*/true));
+  const auto policy = schemes::AdaptivePolicy::kBandit;
+  trainer.set_adaptive(std::make_shared<schemes::AdaptiveController>(
+      adaptive_test_config(policy)));
+
+  schemes::AdaptiveController shadow(adaptive_test_config(policy));
+  shadow.set_candidates(table);
+
+  for (std::size_t round = 0; round < 6; ++round) {
+    const std::size_t cut_before = trainer.cut_layer();
+    const auto result = trainer.run_round();
+    schemes::AdaptiveObservation obs;
+    obs.round = round;
+    obs.cut = cut_before;
+    obs.latency = result.latency;
+    const auto expected = shadow.decide(obs);
+    EXPECT_EQ(trainer.cut_layer(), expected.cut) << "round " << round;
+  }
+}
+
+AdaptiveRun run_sfl_adaptive(schemes::AdaptivePolicy policy,
+                             std::size_t rounds, std::size_t depth) {
+  const std::size_t clients = 5;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = test::make_client_datasets(clients, 12, 13);
+  common::Rng model_rng(9);
+  auto model = test::make_tiny_model(model_rng);
+  schemes::TrainConfig config;
+  config.batch_size = kBatch;
+  schemes::SplitFedTrainer trainer(network, std::move(datasets),
+                                   std::move(model), test::kTinyCut, config);
+  trainer.set_adaptive(std::make_shared<schemes::AdaptiveController>(
+      adaptive_test_config(policy)));
+  AdaptiveRun out;
+  out.results = schemes::run_rounds_pipelined(trainer, rounds, depth);
+  out.state = trainer.global_model().state();
+  out.final_cut = trainer.cut_layer();
+  return out;
+}
+
+TEST(AdaptiveRounds, SflBitwiseAcrossPolicyAndDepthMatrix) {
+  test::prop::for_each_policy([&](schemes::AdaptivePolicy policy) {
+    const auto reference = run_sfl_adaptive(policy, 4, 1);
+    test::prop::for_each_thread_count([&](std::size_t threads) {
+      test::prop::for_each_pipeline_depth([&](std::size_t depth) {
+        const auto run = run_sfl_adaptive(policy, 4, depth);
+        expect_same_adaptive_run(run, reference,
+                                 std::string("sfl ") +
+                                     test::prop::policy_name(policy) +
+                                     " t=" + std::to_string(threads) +
+                                     " d=" + std::to_string(depth));
+      });
+    });
+  });
+}
+
+// FL has no cut: a controller attached to FedAvg must be a pure observer.
+TEST(AdaptiveRounds, FedAvgControllerIsNoop) {
+  const auto run_fl = [](bool with_controller) {
+    const std::size_t clients = 4;
+    auto network = test::make_tiny_network(clients);
+    auto datasets = test::make_client_datasets(clients, 12, 17);
+    common::Rng model_rng(5);
+    auto model = test::make_tiny_model(model_rng);
+    schemes::TrainConfig config;
+    config.batch_size = kBatch;
+    schemes::FedAvgTrainer trainer(network, std::move(datasets),
+                                   std::move(model), config);
+    std::shared_ptr<schemes::AdaptiveController> controller;
+    if (with_controller) {
+      controller = std::make_shared<schemes::AdaptiveController>(
+          adaptive_test_config(schemes::AdaptivePolicy::kGreedy));
+      trainer.set_adaptive(controller);
+    }
+    AdaptiveRun out;
+    out.results = schemes::run_rounds_pipelined(trainer, 3, 2);
+    out.state = trainer.global_model().state();
+    if (controller) {
+      EXPECT_TRUE(controller->candidates().empty());
+      EXPECT_EQ(controller->rounds_observed(), 3u);
+      EXPECT_FALSE(controller->last_decision().changed);
+    }
+    return out;
+  };
+  expect_same_adaptive_run(run_fl(true), run_fl(false), "fl controller noop");
+}
+
+// ---- checkpoint / resume ---------------------------------------------------
+
+TEST(AdaptiveResume, CheckpointReplaysIdenticalDecisions) {
+  const auto policy = schemes::AdaptivePolicy::kBandit;
+  const auto make_trainer = [](std::shared_ptr<net::WirelessNetwork> network) {
+    auto datasets = test::make_client_datasets(6, 12, 31);
+    common::Rng model_rng(7);
+    auto model = test::make_tiny_model(model_rng);
+    return std::make_unique<core::GsflTrainer>(
+        *network, std::move(datasets), std::move(model),
+        adaptive_gsfl_config(false));
+  };
+  auto network = std::make_shared<net::WirelessNetwork>(
+      test::make_tiny_network(6));
+
+  // Uninterrupted reference: 6 rounds straight.
+  auto straight = make_trainer(network);
+  straight->set_adaptive(std::make_shared<schemes::AdaptiveController>(
+      adaptive_test_config(policy)));
+  std::vector<schemes::RoundResult> straight_tail;
+  for (std::size_t r = 0; r < 6; ++r) {
+    auto result = straight->run_round();
+    if (r >= 3) straight_tail.push_back(std::move(result));
+  }
+
+  // Interrupted run: 3 rounds, checkpoint, restore into a fresh trainer +
+  // fresh controller, 3 more rounds.
+  std::stringstream checkpoint;
+  {
+    auto first = make_trainer(network);
+    first->set_adaptive(std::make_shared<schemes::AdaptiveController>(
+        adaptive_test_config(policy)));
+    for (std::size_t r = 0; r < 3; ++r) (void)first->run_round();
+    first->save_state(checkpoint);
+  }
+  auto resumed = make_trainer(network);
+  resumed->set_adaptive(std::make_shared<schemes::AdaptiveController>(
+      adaptive_test_config(policy)));
+  resumed->load_state(checkpoint);
+  EXPECT_EQ(resumed->rounds_completed(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto result = resumed->run_round();
+    const auto& expected = straight_tail[r];
+    EXPECT_EQ(result.train_loss, expected.train_loss) << "round " << 3 + r;
+    EXPECT_EQ(result.latency.total(), expected.latency.total())
+        << "round " << 3 + r;
+  }
+  EXPECT_EQ(resumed->cut_layer(), straight->cut_layer());
+  EXPECT_TRUE(
+      test::states_equal(resumed->global_model(), straight->global_model()));
+}
+
+TEST(AdaptiveResume, ControllerPresenceMustMatchCheckpoint) {
+  auto network = std::make_shared<net::WirelessNetwork>(
+      test::make_tiny_network(6));
+  const auto make_trainer = [&network] {
+    auto datasets = test::make_client_datasets(6, 12, 31);
+    common::Rng model_rng(7);
+    auto model = test::make_tiny_model(model_rng);
+    return std::make_unique<core::GsflTrainer>(
+        *network, std::move(datasets), std::move(model),
+        adaptive_gsfl_config(false));
+  };
+  std::stringstream checkpoint;
+  {
+    auto with = make_trainer();
+    with->set_adaptive(std::make_shared<schemes::AdaptiveController>(
+        adaptive_test_config(schemes::AdaptivePolicy::kGreedy)));
+    (void)with->run_round();
+    with->save_state(checkpoint);
+  }
+  auto without = make_trainer();
+  EXPECT_THROW(without->load_state(checkpoint), std::runtime_error);
+}
+
+// ---- rebalance × cut-change regression -------------------------------------
+
+// A controller-triggered cut change and the share re-balance land in the
+// same post-publish slot: the re-balance must renormalize against the *new*
+// cut (the swap happens first), keep the shares summing to 1, and preserve
+// the starvation floor.
+TEST(AdaptiveRebalance, CutChangeAndRebalanceInSameRound) {
+  const std::size_t clients = 6;
+  auto network = test::make_tiny_network(clients);
+  auto datasets = test::make_client_datasets(clients, 12, 31);
+  common::Rng model_rng(7);
+  auto model = test::make_tiny_model(model_rng);
+  const auto full_model = model;  // for the expected re-split geometry
+  core::GsflTrainer trainer(network, std::move(datasets), std::move(model),
+                            adaptive_gsfl_config(false));
+
+  // Pin the candidate set to {3}: the first decision must move 2 → 3.
+  schemes::AdaptiveConfig config;
+  config.policy = schemes::AdaptivePolicy::kGreedy;
+  config.min_cut = 3;
+  config.max_cut = 3;
+  trainer.set_adaptive(
+      std::make_shared<schemes::AdaptiveController>(config));
+  ASSERT_EQ(trainer.cut_layer(), test::kTinyCut);
+
+  (void)trainer.run_round();
+  EXPECT_EQ(trainer.cut_layer(), 3u);
+  EXPECT_TRUE(trainer.adaptive()->last_decision().changed);
+
+  // The cached wire size tracks the re-split client half.
+  auto [head, tail] = full_model.split(3);
+  (void)tail;
+  EXPECT_EQ(trainer.client_model_bytes(), head.state_bytes());
+
+  // Shares were re-balanced after the swap: normalized, floored, and moved
+  // off uniform (the tiny network's distances are heterogeneous).
+  const auto& shares = trainer.group_shares();
+  ASSERT_EQ(shares.size(), trainer.num_groups());
+  const double floor = 0.05 / static_cast<double>(shares.size());
+  double sum = 0.0;
+  bool off_uniform = false;
+  for (const double share : shares) {
+    EXPECT_GE(share, floor - 1e-12);
+    sum += share;
+    if (std::abs(share - 1.0 / static_cast<double>(shares.size())) > 1e-9) {
+      off_uniform = true;
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_TRUE(off_uniform);
+
+  // The next round trains at the new cut without incident, and the pinned
+  // candidate set keeps it there.
+  (void)trainer.run_round();
+  EXPECT_EQ(trainer.cut_layer(), 3u);
+}
+
+// Under BandwidthPolicy::kAdaptive the publish path already re-balanced;
+// the controller must defer (re-balancing twice would re-price the chains
+// against freshly rewritten shares). With the cut pinned, a controller on
+// top of kAdaptive must be a pure observer.
+TEST(AdaptiveRebalance, ControllerDefersToAdaptiveBandwidthPolicy) {
+  const auto run = [](bool with_controller) {
+    const std::size_t clients = 6;
+    auto network = test::make_tiny_network(clients);
+    auto datasets = test::make_client_datasets(clients, 12, 31);
+    common::Rng model_rng(7);
+    auto model = test::make_tiny_model(model_rng);
+    auto config = adaptive_gsfl_config(false);
+    config.bandwidth = core::BandwidthPolicy::kAdaptive;
+    core::GsflTrainer trainer(network, std::move(datasets), std::move(model),
+                              config);
+    if (with_controller) {
+      schemes::AdaptiveConfig acfg;
+      acfg.policy = schemes::AdaptivePolicy::kGreedy;
+      acfg.min_cut = test::kTinyCut;
+      acfg.max_cut = test::kTinyCut;  // pin the cut: observer only
+      trainer.set_adaptive(
+          std::make_shared<schemes::AdaptiveController>(acfg));
+    }
+    AdaptiveRun out;
+    out.results = schemes::run_rounds_pipelined(trainer, 4, 2);
+    out.state = trainer.global_model().state();
+    out.final_cut = trainer.cut_layer();
+    out.shares = trainer.group_shares();
+    return out;
+  };
+  expect_same_adaptive_run(run(true), run(false),
+                           "kAdaptive bandwidth + pinned controller");
+}
+
+}  // namespace

@@ -21,6 +21,7 @@
 #include "gsfl/common/rng.hpp"
 #include "gsfl/common/thread_pool.hpp"
 #include "gsfl/nn/layer.hpp"
+#include "gsfl/schemes/adaptive.hpp"
 #include "gsfl/tensor/gemm.hpp"
 #include "gsfl/tensor/microkernel.hpp"
 #include "gsfl/tensor/quantize.hpp"
@@ -246,6 +247,35 @@ inline const std::vector<std::size_t>& pipeline_depth_matrix() {
 template <typename Fn>
 void for_each_pipeline_depth(Fn&& fn) {
   for (const std::size_t depth : pipeline_depth_matrix()) fn(depth);
+}
+
+// ---- controller-policy axis ------------------------------------------------
+
+/// Adaptive-controller policies the Adaptive* suites sweep. Every policy's
+/// decisions must be a pure function of (config, candidate table,
+/// observation history) — the bandit's exploration is round-keyed, not
+/// engine-streamed — so adaptive rounds obey the same bitwise thread ×
+/// pipeline-depth × pack-strategy invariance as static ones.
+inline const std::vector<gsfl::schemes::AdaptivePolicy>& policy_matrix() {
+  static const std::vector<gsfl::schemes::AdaptivePolicy> policies = {
+      gsfl::schemes::AdaptivePolicy::kGreedy,
+      gsfl::schemes::AdaptivePolicy::kPaper,
+      gsfl::schemes::AdaptivePolicy::kBandit};
+  return policies;
+}
+
+/// Run fn once per controller policy. fn receives the policy; it is
+/// expected to build a fresh trainer + controller pair per invocation.
+template <typename Fn>
+void for_each_policy(Fn&& fn) {
+  for (const gsfl::schemes::AdaptivePolicy policy : policy_matrix()) {
+    fn(policy);
+  }
+}
+
+/// Human-readable policy name for failure messages.
+inline const char* policy_name(gsfl::schemes::AdaptivePolicy policy) {
+  return gsfl::schemes::to_string(policy);
 }
 
 // ---- quantizer axis --------------------------------------------------------

@@ -42,6 +42,10 @@ at their best stream counts -> floors 1.30/1.10/1.30. p50 and throughput
 are dominated by the elided per-request packing and stay well clear on any
 hardware; p99 is scheduler-noise-bound under stream oversubscription, so
 its floor only asserts the frozen tail never regresses past the naive one.
+gsfl_straggler adaptive-vs-static compares *simulated* seconds-to-target
+(greedy controller vs static cut + equal shares on the straggler world),
+so the measured ~1.34x is deterministic across hosts; floor 1.15 is the
+issue's acceptance bar and only real controller/simulator changes move it.
 """
 import json
 import os
